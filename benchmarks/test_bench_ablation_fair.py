@@ -1,0 +1,88 @@
+"""A2: ablation of FA*IR's multiple-testing correction.
+
+The ranked group fairness test checks every prefix of the top-k; [14]'s
+alpha adjustment keeps the *overall* type-I error at the target.  This
+bench measures the realized rejection rate of truly fair rankings with
+and without the adjustment, across k and p — the correction's entire
+reason to exist — plus the exact (DP-computed) failure probabilities.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.fairness import (
+    adjust_alpha,
+    compute_fail_probability,
+    generate_ranking_labels,
+)
+from repro.fairness.fair_star.verifier import audit_prefixes
+
+ALPHA = 0.1
+KS = (10, 50, 100, 200)
+PS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def exact_fail_probabilities():
+    table = {}
+    for k in KS:
+        for p in PS:
+            naive = compute_fail_probability(k, p, ALPHA)
+            corrected_alpha = adjust_alpha(k, p, ALPHA)
+            corrected = (
+                compute_fail_probability(k, p, corrected_alpha)
+                if corrected_alpha > 0 else 0.0
+            )
+            table[(k, p)] = (naive, corrected_alpha, corrected)
+    return table
+
+
+def test_bench_a2_exact_type_one_error(benchmark):
+    table = benchmark.pedantic(exact_fail_probabilities, rounds=1, iterations=1)
+
+    rows = ["k     p     naive-fail   adjusted-alpha   adjusted-fail"]
+    for (k, p), (naive, alpha_c, corrected) in table.items():
+        rows.append(
+            f"{k:<5} {p:<5} {naive:10.3f}   {alpha_c:14.5f}   {corrected:12.3f}"
+        )
+    report(f"A2a: P[fair ranking fails] at target alpha={ALPHA}", rows)
+
+    for (k, p), (naive, _, corrected) in table.items():
+        # adjusted test meets the target everywhere
+        assert corrected <= ALPHA + 1e-9, (k, p)
+        # the naive test overshoots it for all but trivial settings
+        if k >= 50:
+            assert naive > ALPHA, (k, p)
+    # and the inflation grows with k (more prefixes = more chances to fail)
+    naive_by_k = [table[(k, 0.5)][0] for k in KS]
+    assert naive_by_k == sorted(naive_by_k)
+
+
+def simulated_rejection_rates(k=50, p=0.5, trials=300, seed=20180610):
+    rng = np.random.default_rng(seed)
+    naive = corrected = 0
+    for _ in range(trials):
+        labels = generate_ranking_labels(2 * k, p, rng=rng)
+        if not audit_prefixes(labels, p=p, k=k, alpha=ALPHA, adjust=False).passes:
+            naive += 1
+        if not audit_prefixes(labels, p=p, k=k, alpha=ALPHA, adjust=True).passes:
+            corrected += 1
+    return naive / trials, corrected / trials
+
+
+def test_bench_a2_simulated_type_one_error(benchmark):
+    naive_rate, corrected_rate = benchmark.pedantic(
+        simulated_rejection_rates, rounds=1, iterations=1
+    )
+    report(
+        "A2b: simulated rejection of fair rankings (k=50, p=0.5, 300 trials)",
+        [
+            f"naive per-prefix test: {naive_rate:.3f}",
+            f"adjusted (FA*IR):      {corrected_rate:.3f}   target {ALPHA}",
+        ],
+    )
+    assert corrected_rate <= ALPHA + 0.05
+    assert naive_rate > corrected_rate
+    # simulation matches the exact DP within Monte-Carlo error
+    exact_naive = compute_fail_probability(50, 0.5, ALPHA)
+    assert naive_rate == pytest.approx(exact_naive, abs=0.07)

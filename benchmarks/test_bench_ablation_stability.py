@@ -1,0 +1,116 @@
+"""A1: ablation of the Stability widget's design constants.
+
+§2.2 fixes two constants by example — the 0.25 slope threshold and the
+top-10 segment — and names two alternative estimators.  This bench:
+
+1. sweeps the threshold over [0.05, 0.5] and k over {5, 10, 20, all}
+   on the Figure-1 ranking, showing where the verdict flips;
+2. compares the slope method against the Monte-Carlo weight-perturbation
+   and data-noise estimators on rankings engineered to be stable and
+   fragile, verifying all three orderings agree.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.ranking import LinearScoringFunction, rank_table
+from repro.stability import (
+    DataUncertaintyStability,
+    SlopeStability,
+    WeightPerturbationStability,
+)
+from repro.tabular import Table
+
+THRESHOLDS = (0.05, 0.1, 0.25, 0.4, 0.5)
+KS = (5, 10, 20, 51)
+
+
+def threshold_k_sweep(ranking):
+    verdicts = {}
+    for k in KS:
+        for threshold in THRESHOLDS:
+            rep = SlopeStability(k=k, threshold=threshold).assess(ranking)
+            verdicts[(k, threshold)] = rep
+    return verdicts
+
+
+def test_bench_a1_threshold_and_k_sweep(benchmark, figure1_ranking):
+    verdicts = benchmark(threshold_k_sweep, figure1_ranking)
+
+    rows = ["k     " + "".join(f"thr={t:<6}" for t in THRESHOLDS)]
+    for k in KS:
+        cells = "".join(
+            f"{'S' if verdicts[(k, t)].stable else 'U':<10}" for t in THRESHOLDS
+        )
+        rows.append(f"{k:<6}{cells}")
+    slope10 = verdicts[(10, 0.25)].slope_top_k
+    rows.append(f"(top-10 slope magnitude: {slope10:.3f})")
+    report("A1a: stability verdict vs threshold and k (S=stable, U=unstable)", rows)
+
+    # the paper's configuration is stable...
+    assert verdicts[(10, 0.25)].stable
+    # ...but the verdict is threshold-sensitive: some swept setting flips it
+    flips = {v.stable for v in verdicts.values()}
+    assert flips == {True, False}
+
+
+def engineered_tables():
+    rng = np.random.default_rng(3)
+    n = 40
+    # convex score decay: the top-10 covers ~80% of the score range, so
+    # the rescaled top-10 slope is far above the 0.25 threshold
+    decay = 100.0 * 0.85 ** np.arange(n)
+    stable = Table.from_dict(
+        {
+            "name": [f"i{j}" for j in range(n)],
+            "a": decay,
+            "b": decay + rng.normal(0, 0.3, n),
+        }
+    )
+    fragile = Table.from_dict(
+        {
+            "name": [f"i{j}" for j in range(n)],
+            "a": 50 + rng.normal(0, 0.05, n),
+            "b": 50 + rng.normal(0, 0.05, n),
+        }
+    )
+    return stable, fragile
+
+
+def estimator_comparison():
+    stable_t, fragile_t = engineered_tables()
+    scorer = LinearScoringFunction({"a": 0.5, "b": 0.5})
+    out = {}
+    for name, table in (("stable", stable_t), ("fragile", fragile_t)):
+        ranking = rank_table(table, scorer, "name")
+        slope = SlopeStability(k=10).assess(ranking)
+        wps = WeightPerturbationStability(table, scorer, "name", trials=20)
+        dus = DataUncertaintyStability(table, scorer, "name", trials=20)
+        out[name] = {
+            "slope": slope.slope_top_k,
+            "slope_verdict": slope.verdict,
+            "weight_eps": wps.minimal_change_epsilon(iterations=6),
+            "noise_eps": dus.minimal_change_epsilon(iterations=6),
+        }
+    return out
+
+
+def test_bench_a1_estimator_agreement(benchmark):
+    results = benchmark.pedantic(estimator_comparison, rounds=1, iterations=1)
+
+    rows = [
+        f"{name:<9} slope {r['slope']:.3f} ({r['slope_verdict']})   "
+        f"min weight-eps {r['weight_eps']:.3f}   "
+        f"min noise-eps {r['noise_eps']:.3f}"
+        for name, r in results.items()
+    ]
+    report("A1b: three stability estimators on engineered rankings", rows)
+
+    stable, fragile = results["stable"], results["fragile"]
+    # all three estimators order the two rankings the same way
+    assert stable["slope"] > fragile["slope"]
+    assert stable["slope_verdict"] == "stable"
+    assert fragile["slope_verdict"] == "unstable"
+    assert stable["weight_eps"] > fragile["weight_eps"]
+    assert stable["noise_eps"] > fragile["noise_eps"]

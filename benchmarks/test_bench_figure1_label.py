@@ -1,0 +1,91 @@
+"""F1: regenerate Figure 1 — the full nutritional label for CS departments.
+
+Rebuilds every widget value the figure displays and asserts the shape
+findings the paper narrates: the Recipe's three weighted attributes,
+Ingredients led by size-driven attributes with GRE immaterial, a stable
+score distribution, size-fairness failing for "small", and an all-large
+top-10.  The benchmark times the complete label build.
+"""
+
+import pytest
+
+from benchmarks.conftest import FIGURE1_WEIGHTS, report
+from repro.label import RankingFactsBuilder
+
+
+def build_label(cs_table, figure1_scorer):
+    return (
+        RankingFactsBuilder(cs_table, dataset_name="CS departments")
+        .with_id_column("DeptName")
+        .with_scoring(figure1_scorer)
+        .with_sensitive_attribute("DeptSizeBin")
+        .with_diversity_attributes(["DeptSizeBin", "Region"])
+        .build()
+    )
+
+
+def test_bench_figure1_full_label(benchmark, cs_table, figure1_scorer):
+    facts = benchmark(build_label, cs_table, figure1_scorer)
+    label = facts.label
+
+    rows = []
+
+    # Recipe widget (Figure 1, yellow card)
+    for attribute, weight in label.recipe.weights.items():
+        rows.append(f"recipe      {attribute:<10} weight {weight:.2f} (minmax)")
+    assert label.recipe.weights == FIGURE1_WEIGHTS
+
+    # Ingredients widget (green card)
+    for item in label.ingredients.analysis.importances:
+        rows.append(
+            f"ingredients {item.attribute:<10} importance {item.importance:.3f}"
+        )
+    leaders = label.ingredients.top_attributes()
+    assert set(leaders[:2]) == {"PubCount", "Faculty"}
+    assert label.ingredients.analysis.importance_of("GRE").importance < 0.3
+
+    # Stability widget (purple card)
+    slope = label.stability.slope_report
+    rows.append(
+        f"stability   top-10 slope {slope.slope_top_k:.3f}  "
+        f"overall {slope.slope_overall:.3f}  -> {slope.verdict}"
+    )
+    assert slope.stable
+
+    # Fairness widget (blue card): verdict per measure per protected feature
+    for result in label.fairness.results:
+        rows.append(
+            f"fairness    {result.measure:<11} {result.group_label:<18} "
+            f"{result.verdict:<7} p={result.p_value:.3g}"
+        )
+    grid = label.fairness.verdict_grid()
+    assert set(grid["DeptSizeBin=small"].values()) == {"unfair"}
+    assert grid["DeptSizeBin=large"]["FA*IR"] == "fair"  # no under-representation
+
+    # Diversity widget (red card): both pie-chart pairs
+    for div in label.diversity.reports:
+        for category, share in div.overall.proportions.items():
+            top = div.top_k.proportions.get(category, 0.0)
+            rows.append(
+                f"diversity   {div.attribute:<12} {category:<6} "
+                f"top-10 {top:6.1%}  overall {share:6.1%}"
+            )
+    size_report = label.diversity.reports[0]
+    assert size_report.top_k.proportions["large"] == 1.0
+    assert size_report.missing_categories() == ("small",)
+
+    report("Figure 1: Ranking Facts for CS departments", rows)
+
+
+def test_bench_figure1_json_round_trip(benchmark, cs_table, figure1_scorer):
+    """The label survives serialization (what the web tool ships to the browser)."""
+    from repro.label import label_from_json, render_json
+
+    facts = build_label(cs_table, figure1_scorer)
+
+    def round_trip():
+        return label_from_json(render_json(facts.label))
+
+    data = benchmark(round_trip)
+    assert data["num_items"] == 51
+    assert data["fairness"]["verdicts"]["DeptSizeBin=small"]["FA*IR"] == "unfair"

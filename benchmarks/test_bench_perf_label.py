@@ -1,0 +1,97 @@
+"""P1: label generation cost vs dataset size.
+
+The tool is an interactive web demo, so the implicit systems claim is
+that a complete label is cheap to produce.  This bench times the
+end-to-end build and each widget family at n in {100, 1k, 6889, 20k}
+(6,889 = the COMPAS cohort) and checks the scaling stays practical.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.datasets import synthetic_scores_table
+from repro.diversity import diversity_report
+from repro.fairness import evaluate_fairness
+from repro.ingredients import correlation_importance
+from repro.label import RankingFactsBuilder
+from repro.preprocess import binarize_numeric
+from repro.ranking import LinearScoringFunction, rank_table
+from repro.stability import slope_stability
+
+SIZES = (100, 1_000, 6_889, 20_000)
+SCORER = LinearScoringFunction({"attr_1": 0.5, "attr_2": 0.3, "attr_3": 0.2})
+
+
+def dataset(n):
+    table = synthetic_scores_table(
+        n, num_attributes=3, group_advantage=0.8, seed=42
+    )
+    return binarize_numeric(
+        table, "attr_1", "attr1Bin", above_label="high", below_label="low"
+    )
+
+
+def build(table):
+    return (
+        RankingFactsBuilder(table)
+        .with_id_column("item")
+        .with_scoring(SCORER)
+        .with_sensitive_attribute("group")
+        .with_diversity_attributes(["group", "attr1Bin"])
+        .with_top_k(min(100, table.num_rows // 4))
+        .build()
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_bench_p1_label_build(benchmark, n):
+    table = dataset(n)
+    facts = benchmark(build, table)
+    assert facts.label.num_items == n
+
+
+def test_bench_p1_per_widget_profile(benchmark):
+    """One pass at COMPAS scale, timed widget by widget."""
+    table = dataset(6_889)
+
+    def profile():
+        timings = {}
+        start = time.perf_counter()
+        ranking = rank_table(table, SCORER, "item")
+        timings["rank"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        correlation_importance(ranking, ["attr_1", "attr_2", "attr_3"])
+        timings["ingredients"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        slope_stability(ranking, k=100)
+        timings["stability"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        evaluate_fairness(ranking, "group", k=100)
+        timings["fairness"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        diversity_report(ranking, ["group", "attr1Bin"], k=100)
+        timings["diversity"] = time.perf_counter() - start
+        return timings
+
+    timings = benchmark.pedantic(profile, rounds=3, iterations=1)
+    rows = [f"{widget:<12} {seconds * 1000:8.1f} ms" for widget, seconds in timings.items()]
+    report("P1: per-widget cost at n=6,889 (COMPAS scale)", rows)
+
+    # interactivity: every widget family under a second at COMPAS scale
+    assert all(seconds < 1.0 for seconds in timings.values())
+
+
+def test_bench_p1_scaling_is_practical(benchmark):
+    """End-to-end label at 20k items stays interactive (< 5 s)."""
+    table = dataset(20_000)
+    start = time.perf_counter()
+    benchmark.pedantic(build, args=(table,), rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+    report("P1: end-to-end label at n=20,000", [f"{elapsed:.2f} s"])
+    assert elapsed < 5.0

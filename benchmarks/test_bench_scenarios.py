@@ -1,0 +1,130 @@
+"""T1: the §3 demonstration matrix — three datasets x several recipes.
+
+"We will demonstrate the utility of Ranking Facts using three
+real-world data sets, considering several ranking functions for each."
+This bench runs the whole matrix and prints one summary row per
+(dataset, recipe): stability verdict, number of unfair (group, measure)
+pairs, and the top-k diversity loss.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.datasets import compas, cs_departments, german_credit
+from repro.label import RankingFactsBuilder
+from repro.preprocess import binarize_categorical
+from repro.ranking import LinearScoringFunction
+
+SCENARIOS = []
+
+
+def scenario(name):
+    def register(fn):
+        SCENARIOS.append((name, fn))
+        return fn
+    return register
+
+
+@scenario("cs-departments / figure-1 recipe")
+def _cs_figure1():
+    return cs_departments(), {"PubCount": 0.4, "Faculty": 0.4, "GRE": 0.2}, \
+        "DeptName", "DeptSizeBin", ["DeptSizeBin", "Region"], 10
+
+
+@scenario("cs-departments / pubs only")
+def _cs_pubs():
+    return cs_departments(), {"PubCount": 1.0}, \
+        "DeptName", "DeptSizeBin", ["DeptSizeBin", "Region"], 10
+
+
+@scenario("cs-departments / gre heavy")
+def _cs_gre():
+    return cs_departments(), {"GRE": 0.8, "PubCount": 0.1, "Faculty": 0.1}, \
+        "DeptName", "DeptSizeBin", ["DeptSizeBin", "Region"], 10
+
+
+@scenario("compas / risk recipe")
+def _compas_risk():
+    table = binarize_categorical(
+        compas(n=2000), "race", "RaceBin", ["African-American"],
+        protected_label="African-American", other_label="other",
+    )
+    return table, {"decile_score": 0.7, "priors_count": 0.3}, \
+        "defendant_id", "RaceBin", ["RaceBin", "sex"], 100
+
+
+@scenario("compas / priors only")
+def _compas_priors():
+    table = binarize_categorical(
+        compas(n=2000), "race", "RaceBin", ["African-American"],
+        protected_label="African-American", other_label="other",
+    )
+    return table, {"priors_count": 1.0}, \
+        "defendant_id", "RaceBin", ["RaceBin", "sex"], 100
+
+
+@scenario("german-credit / creditworthiness")
+def _german_credit_score():
+    return german_credit(), \
+        {"credit_score": 0.8, "credit_amount": -0.1, "duration_months": -0.1}, \
+        "applicant_id", "AgeGroup", ["AgeGroup", "sex"], 100
+
+
+@scenario("german-credit / raw score")
+def _german_raw():
+    return german_credit(), {"credit_score": 1.0}, \
+        "applicant_id", "sex", ["sex", "AgeGroup"], 100
+
+
+def run_scenario(config):
+    table, weights, id_column, sensitive, diversity, k = config()
+    facts = (
+        RankingFactsBuilder(table)
+        .with_id_column(id_column)
+        .with_scoring(LinearScoringFunction(weights))
+        .with_sensitive_attribute(sensitive)
+        .with_diversity_attributes(diversity)
+        .with_top_k(k)
+        .build()
+    )
+    label = facts.label
+    unfair = sum(1 for r in label.fairness.results if not r.fair)
+    missing = label.diversity.reports[0].missing_categories()
+    return {
+        "stability": label.stability.verdict,
+        "unfair_pairs": unfair,
+        "total_pairs": len(label.fairness.results),
+        "missing_from_topk": missing,
+    }
+
+
+def run_all():
+    return {name: run_scenario(config) for name, config in SCENARIOS}
+
+
+def test_bench_scenario_matrix(benchmark):
+    results = benchmark(run_all)
+
+    rows = [
+        f"{name:<36} {r['stability']:<9} "
+        f"unfair {r['unfair_pairs']}/{r['total_pairs']}  "
+        f"missing@top-k: {', '.join(r['missing_from_topk']) or '-'}"
+        for name, r in results.items()
+    ]
+    report("§3 scenario matrix (dataset x recipe)", rows)
+
+    assert len(results) == 7
+    # the Figure-1 recipe flags unfairness; a GRE-heavy recipe is the
+    # counterfactual: size no longer dominates, so fewer flags
+    figure1 = results["cs-departments / figure-1 recipe"]
+    gre_heavy = results["cs-departments / gre heavy"]
+    assert figure1["unfair_pairs"] >= 3
+    assert gre_heavy["unfair_pairs"] < figure1["unfair_pairs"]
+    # COMPAS risk recipes skew by race in every variant
+    assert results["compas / risk recipe"]["unfair_pairs"] >= 2
+
+
+@pytest.mark.parametrize("name,config", SCENARIOS)
+def test_bench_each_scenario(benchmark, name, config):
+    result = benchmark(run_scenario, config)
+    assert result["total_pairs"] in (6,)  # 2 protected features x 3 measures

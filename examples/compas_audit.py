@@ -1,0 +1,77 @@
+"""Auditing a criminal-risk ranking (the paper's COMPAS scenario).
+
+Ranks defendants by a risk score built from the COMPAS decile and
+priors count, audits the ranking for racial skew with all three
+fairness measures, then uses the FA*IR re-ranker to construct a
+statistically fair top-100 and shows the before/after contrast — the
+mitigation direction the paper's §4 describes.
+
+Run:
+    python examples/compas_audit.py
+"""
+
+from repro import LinearScoringFunction, RankingFactsBuilder
+from repro.datasets import compas
+from repro.fairness import ProtectedGroup, fair_star_rerank, set_difference_scores
+from repro.preprocess import binarize_categorical
+
+
+def main() -> None:
+    table = compas()
+    print(f"loaded {table.num_rows} defendants (ProPublica schema, synthesized)")
+
+    # fairness measures need a binary sensitive attribute (paper §3);
+    # collapse race to African-American vs other, ProPublica's contrast
+    table = binarize_categorical(
+        table, "race", "RaceBin", ["African-American"],
+        protected_label="African-American", other_label="other",
+    )
+
+    scorer = LinearScoringFunction({"decile_score": 0.7, "priors_count": 0.3})
+    facts = (
+        RankingFactsBuilder(table, dataset_name="COMPAS risk ranking")
+        .with_id_column("defendant_id")
+        .with_scoring(scorer)
+        .with_sensitive_attribute("RaceBin")
+        .with_diversity_attributes(["RaceBin", "sex"])
+        .with_top_k(100)
+        .build()
+    )
+
+    print("\nfairness verdicts at k=100 (alpha=0.05):")
+    for result in facts.label.fairness.results:
+        print(
+            f"  {result.measure:<12} {result.group_label:<28} "
+            f"{result.verdict:<7} (p={result.p_value:.2e})"
+        )
+
+    report = facts.label.diversity.reports[0]
+    print("\nrepresentation, top-100 vs overall:")
+    for category, share in report.overall.proportions.items():
+        top = report.top_k.proportions.get(category, 0.0)
+        print(f"  {category:<18} top-100 {top:6.1%}   overall {share:6.1%}")
+
+    # rank-aware scores of [13] give a graded view of the same skew
+    group = ProtectedGroup(facts.ranking, "RaceBin", "African-American")
+    scores = set_difference_scores(group.mask)
+    print(
+        f"\nrank-aware fairness scores (0 = fair): "
+        f"rND {scores.rnd:.3f}, rKL {scores.rkl:.3f}"
+    )
+
+    # mitigation: FA*IR builds a top-100 whose every prefix passes the test.
+    # For a risk ranking the protected group is OVER-represented at the top,
+    # so the meaningful FA*IR direction is guaranteeing the 'other' group
+    # its share of the top positions.
+    other = ProtectedGroup(facts.ranking, "RaceBin", "other")
+    fair100 = fair_star_rerank(other, k=100, alpha=0.1)
+    before = facts.ranking.group_count_at_k("RaceBin", "other", 100)
+    after = fair100.group_count_at_k("RaceBin", "other", 100)
+    print(
+        f"\nFA*IR re-ranked top-100: 'other' defendants {before} -> {after} "
+        f"(overall share {other.proportion:.1%})"
+    )
+
+
+if __name__ == "__main__":
+    main()

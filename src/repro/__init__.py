@@ -1,0 +1,69 @@
+"""Ranking Facts: nutritional labels for rankings.
+
+A from-scratch reproduction of *A Nutritional Label for Rankings*
+(Yang, Stoyanovich, Asudeh, Howe, Jagadish, Miklau — SIGMOD 2018,
+DOI 10.1145/3183713.3193568).
+
+Quickstart
+----------
+>>> from repro import RankingFactsBuilder, LinearScoringFunction, render_text
+>>> from repro.datasets import cs_departments
+>>> facts = (
+...     RankingFactsBuilder(cs_departments(), dataset_name="CS departments")
+...     .with_id_column("DeptName")
+...     .with_scoring(LinearScoringFunction(
+...         {"PubCount": 0.4, "Faculty": 0.4, "GRE": 0.2}))
+...     .with_sensitive_attribute("DeptSizeBin")
+...     .with_diversity_attributes(["DeptSizeBin", "Region"])
+...     .build()
+... )
+>>> print(render_text(facts.label))  # doctest: +SKIP
+
+The subpackages (see DESIGN.md for the full inventory):
+
+- :mod:`repro.tabular` — columnar table substrate (CSV, schemas, stats);
+- :mod:`repro.preprocess` — normalization / standardization / binning;
+- :mod:`repro.stats` — distributions, tests, regression, correlation;
+- :mod:`repro.ranking` — scoring functions, rankings, rank distances;
+- :mod:`repro.ingredients` — attribute-importance estimators;
+- :mod:`repro.stability` — slope / weight-jitter / data-noise stability;
+- :mod:`repro.fairness` — FA*IR, proportion, pairwise, rND/rKL/rRD,
+  the generative fair-ranking model;
+- :mod:`repro.diversity` — top-k vs overall category breakdowns;
+- :mod:`repro.label` — widgets, label builder, renderers;
+- :mod:`repro.datasets` — the three demo datasets (synthesized) + CSV;
+- :mod:`repro.app` — workflow session, CLI, demo HTTP server.
+"""
+
+from repro.errors import RankingFactsError
+from repro.label.builder import RankingFacts, RankingFactsBuilder
+from repro.label.render_html import render_html
+from repro.label.render_json import render_json
+from repro.label.render_markdown import render_markdown
+from repro.label.render_text import render_text
+from repro.label.widgets import NutritionalLabel
+from repro.preprocess.pipeline import NormalizationPlan
+from repro.ranking.ranker import Ranking, rank_table
+from repro.ranking.scoring import LinearScoringFunction
+from repro.tabular.csvio import read_csv
+from repro.tabular.table import Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "RankingFactsError",
+    "Table",
+    "read_csv",
+    "LinearScoringFunction",
+    "Ranking",
+    "rank_table",
+    "NormalizationPlan",
+    "RankingFactsBuilder",
+    "RankingFacts",
+    "NutritionalLabel",
+    "render_text",
+    "render_html",
+    "render_json",
+    "render_markdown",
+]

@@ -1,0 +1,21 @@
+"""The demo application: the paper's workflow, CLI, and web server.
+
+- :mod:`repro.app.session` — the Figure-3 workflow as an explicit state
+  machine (load dataset → preprocess → design scorer → preview → label);
+- :mod:`repro.app.design` — the design view's helpers: attribute
+  preview, histogram rendering, weight validation;
+- :mod:`repro.app.cli` — the ``ranking-facts`` command-line interface;
+- :mod:`repro.app.server` — a stdlib HTTP server exposing labels as
+  JSON and HTML (the web-demo substitution, see DESIGN.md §4).
+"""
+
+from repro.app.design import attribute_preview, histogram_ascii, suggest_weights
+from repro.app.session import DemoSession, SessionStage
+
+__all__ = [
+    "DemoSession",
+    "SessionStage",
+    "attribute_preview",
+    "histogram_ascii",
+    "suggest_weights",
+]

@@ -1,0 +1,304 @@
+"""The ``ranking-facts`` command-line interface.
+
+Subcommands mirror the demo workflow:
+
+- ``ranking-facts datasets`` — list the built-in demo datasets;
+- ``ranking-facts inspect`` — the design view: attribute overview and
+  optional histograms;
+- ``ranking-facts preview`` — rank and show the top rows;
+- ``ranking-facts label`` — generate the nutritional label (text,
+  detailed text, JSON, or HTML);
+- ``ranking-facts serve`` — start the demo web server.
+
+Weights are given as ``name=value`` pairs, e.g.::
+
+    ranking-facts label --dataset cs-departments \\
+        --weight PubCount=0.4 --weight Faculty=0.4 --weight GRE=0.2 \\
+        --sensitive DeptSizeBin --diversity DeptSizeBin --diversity Region \\
+        --id-column DeptName
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.app.session import DemoSession
+from repro.errors import RankingFactsError
+from repro.label.render_html import render_html
+from repro.label.render_json import render_json
+from repro.label.render_markdown import render_markdown
+from repro.label.render_text import render_text
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_weights(pairs: Sequence[str]) -> dict[str, float]:
+    weights: dict[str, float] = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep or not name:
+            raise RankingFactsError(
+                f"bad --weight {pair!r}; expected name=value (e.g. PubCount=0.4)"
+            )
+        try:
+            weights[name] = float(value)
+        except ValueError:
+            raise RankingFactsError(
+                f"bad --weight {pair!r}; {value!r} is not a number"
+            ) from None
+    return weights
+
+
+def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--dataset", help="built-in dataset name (see `ranking-facts datasets`)"
+    )
+    source.add_argument("--csv", help="path to a user-supplied CSV file")
+
+
+def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--weight", action="append", default=[], metavar="NAME=VALUE",
+        help="scoring attribute weight; repeatable",
+    )
+    parser.add_argument(
+        "--sensitive", action="append", default=[], metavar="ATTRIBUTE",
+        help="sensitive categorical attribute; repeatable",
+    )
+    parser.add_argument(
+        "--diversity", action="append", default=[], metavar="ATTRIBUTE",
+        help="diversity attribute; repeatable (defaults to the sensitive ones)",
+    )
+    parser.add_argument("--id-column", help="column identifying items")
+    parser.add_argument(
+        "--raw", action="store_true",
+        help="rank on raw values (skip min-max normalization)",
+    )
+    parser.add_argument("--top-k", type=int, default=10, help="headline k (default 10)")
+    parser.add_argument(
+        "--alpha", type=float, default=0.05, help="significance level (default 0.05)"
+    )
+
+
+def _load(session: DemoSession, args: argparse.Namespace) -> None:
+    if args.dataset:
+        session.load_builtin(args.dataset)
+    else:
+        session.load_csv(args.csv)
+
+
+def _design(session: DemoSession, args: argparse.Namespace) -> None:
+    session.set_normalization(not args.raw)
+    session.design_scoring(
+        weights=_parse_weights(args.weight),
+        sensitive_attribute=args.sensitive,
+        id_column=args.id_column,
+        diversity_attributes=args.diversity or None,
+        k=args.top_k,
+        alpha=args.alpha,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="ranking-facts",
+        description="Generate nutritional labels for rankings (Yang et al., SIGMOD 2018)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("datasets", help="list built-in demo datasets")
+
+    inspect = commands.add_parser("inspect", help="attribute overview and histograms")
+    _add_data_arguments(inspect)
+    inspect.add_argument(
+        "--histogram", action="append", default=[], metavar="ATTRIBUTE",
+        help="also print an ASCII histogram of this numeric attribute; repeatable",
+    )
+    inspect.add_argument("--bins", type=int, default=10, help="histogram bins")
+
+    preview = commands.add_parser("preview", help="rank and print the top rows")
+    _add_data_arguments(preview)
+    _add_design_arguments(preview)
+    preview.add_argument("--rows", type=int, default=10, help="rows to show")
+
+    label = commands.add_parser("label", help="generate the nutritional label")
+    _add_data_arguments(label)
+    _add_design_arguments(label)
+    label.add_argument(
+        "--format", choices=("text", "detailed", "json", "html", "markdown"),
+        default="text", help="output format (default text)",
+    )
+    label.add_argument("--output", help="write to this file instead of stdout")
+
+    mitigate = commands.add_parser(
+        "mitigate",
+        help="suggest modified scoring functions that restore fairness (§4)",
+    )
+    _add_data_arguments(mitigate)
+    _add_design_arguments(mitigate)
+    mitigate.add_argument(
+        "--protected", required=True, metavar="CATEGORY",
+        help="the protected feature (value of the first --sensitive attribute)",
+    )
+    mitigate.add_argument(
+        "--suggestions", type=int, default=3, help="how many recipes to propose"
+    )
+
+    serve = commands.add_parser("serve", help="start the demo web server")
+    _add_data_arguments(serve)
+    _add_design_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000)
+
+    return parser
+
+
+def _run_datasets(_: argparse.Namespace) -> str:
+    lines = ["built-in datasets:"]
+    lines += [f"  {name}" for name in DemoSession.available_datasets()]
+    return "\n".join(lines)
+
+
+def _run_inspect(args: argparse.Namespace) -> str:
+    session = DemoSession()
+    _load(session, args)
+    lines = [f"dataset: {session.dataset_name()}"]
+    for entry in session.attribute_overview():
+        if entry["kind"] == "numeric":
+            lines.append(
+                f"  {entry['name']:<20} numeric      "
+                f"min {entry['min']:g}  median {entry['median']:g}  max {entry['max']:g}"
+                + (f"  ({entry['missing']} missing)" if entry["missing"] else "")
+            )
+        else:
+            categories = ", ".join(entry["categories"])
+            lines.append(
+                f"  {entry['name']:<20} categorical  "
+                f"{entry['num_categories']} categories: {categories}"
+            )
+    for attribute in args.histogram:
+        lines.append("")
+        lines.append(session.attribute_histogram_ascii(attribute, bins=args.bins))
+    return "\n".join(lines)
+
+
+def _run_preview(args: argparse.Namespace) -> str:
+    session = DemoSession()
+    _load(session, args)
+    _design(session, args)
+    ranking = session.preview(args.rows)
+    lines = [f"{'rank':>4}  {'score':>10}  item"]
+    for item in ranking:
+        lines.append(f"{item.rank:>4}  {item.score:>10.4f}  {item.item_id}")
+    return "\n".join(lines)
+
+
+def _run_label(args: argparse.Namespace) -> str:
+    session = DemoSession()
+    _load(session, args)
+    _design(session, args)
+    facts = session.generate_label()
+    if args.format == "json":
+        payload = render_json(facts.label)
+    elif args.format == "html":
+        payload = render_html(facts.label)
+    elif args.format == "markdown":
+        payload = render_markdown(facts.label, detailed=True)
+    elif args.format == "detailed":
+        payload = render_text(facts.label, detailed=True)
+    else:
+        payload = render_text(facts.label)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        return f"wrote {args.format} label to {args.output}"
+    return payload
+
+
+def _run_mitigate(args: argparse.Namespace) -> str:
+    from repro.mitigation import suggest_fair_weights
+    from repro.preprocess.pipeline import NormalizationPlan, TablePreprocessor
+    from repro.ranking.scoring import LinearScoringFunction
+
+    session = DemoSession()
+    _load(session, args)
+    _design(session, args)
+    if not args.sensitive:
+        raise RankingFactsError("mitigate needs at least one --sensitive attribute")
+    facts = session.generate_label()
+
+    weights = _parse_weights(args.weight)
+    scorer = LinearScoringFunction(weights)
+    # search on the same preprocessed table the label ranked
+    suggestions = suggest_fair_weights(
+        facts.scored_table,
+        scorer,
+        sensitive_attribute=args.sensitive[0],
+        protected_category=args.protected,
+        k=args.top_k,
+        alpha=args.alpha,
+        id_column=args.id_column,
+        max_suggestions=args.suggestions,
+    )
+    if not suggestions:
+        return (
+            "no fair recipe found in the searched neighbourhood; "
+            "consider post-processing with the FA*IR re-ranker instead"
+        )
+    lines = [
+        f"recipes making {args.sensitive[0]}={args.protected} pass FA*IR "
+        f"at k={args.top_k}, alpha={args.alpha} (smallest change first):"
+    ]
+    for i, suggestion in enumerate(suggestions, start=1):
+        recipe = ", ".join(
+            f"{attr}={weight:.3f}" for attr, weight in suggestion.weights.items()
+        )
+        lines.append(
+            f"  {i}. {recipe}   (change {suggestion.distance:.2f}, "
+            f"keeps {suggestion.top_k_overlap:.0%} of the original top-{args.top_k})"
+        )
+    return "\n".join(lines)
+
+
+def _run_serve(args: argparse.Namespace) -> str:
+    # imported here so `label`/`preview` work even if sockets are restricted
+    from repro.app.server import serve_forever
+
+    session = DemoSession()
+    _load(session, args)
+    _design(session, args)
+    session.generate_label()
+    serve_forever(session, host=args.host, port=args.port)
+    return ""  # serve_forever blocks; reached only on shutdown
+
+
+_RUNNERS = {
+    "datasets": _run_datasets,
+    "inspect": _run_inspect,
+    "preview": _run_preview,
+    "label": _run_label,
+    "mitigate": _run_mitigate,
+    "serve": _run_serve,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        output = _RUNNERS[args.command](args)
+    except RankingFactsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if output:
+        print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

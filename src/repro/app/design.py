@@ -1,0 +1,104 @@
+"""Scoring-function design helpers (the Figure-3 panel's pieces).
+
+The design view shows, for each attribute, enough context to assign a
+weight sensibly: type, missing counts, range and distribution
+("[scoring attribute selection] can be informed by the range and
+distribution of values for a given attribute", paper §3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import RankingFactsError
+from repro.tabular.summary import Histogram, describe
+from repro.tabular.table import Table
+
+__all__ = ["attribute_preview", "histogram_ascii", "suggest_weights"]
+
+
+def attribute_preview(table: Table) -> list[dict[str, object]]:
+    """One summary row per column for the design view's attribute panel.
+
+    Numeric columns report min/median/max; categorical columns report
+    their categories (truncated at 8 for display).
+    """
+    rows: list[dict[str, object]] = []
+    for name in table.column_names:
+        column = table.column(name)
+        entry: dict[str, object] = {
+            "name": name,
+            "kind": column.kind,
+            "missing": column.num_missing(),
+        }
+        if column.kind == "numeric":
+            summary = describe(column)
+            entry.update(
+                {
+                    "min": summary.minimum,
+                    "median": summary.median,
+                    "max": summary.maximum,
+                }
+            )
+        else:
+            categories = column.as_categorical().categories()
+            entry["num_categories"] = len(categories)
+            entry["categories"] = list(categories[:8])
+        rows.append(entry)
+    return rows
+
+
+def histogram_ascii(hist: Histogram, width: int = 40) -> str:
+    """Render a histogram as horizontal ASCII bars.
+
+    >>> from repro.tabular import Table, histogram
+    >>> h = histogram(Table.from_dict({"x": [1.0, 1.5, 3.0]}).column("x"), bins=2)
+    >>> print(histogram_ascii(h, width=4))  # doctest: +NORMALIZE_WHITESPACE
+    x (n=3)
+    [     1,      2) ##    2
+    [     2,      3] #     1
+    """
+    if width < 1:
+        raise RankingFactsError(f"histogram width must be >= 1, got {width}")
+    peak = max(hist.counts) if hist.counts else 0
+    lines = [f"{hist.name} (n={hist.total})"]
+    for i, count in enumerate(hist.counts):
+        lo, hi = hist.edges[i], hist.edges[i + 1]
+        closing = "]" if i == len(hist.counts) - 1 else ")"
+        bar = "#" * (round(width * count / peak) if peak else 0)
+        lines.append(f"[{lo:6g}, {hi:6g}{closing} {bar:<{width}} {count}")
+    return "\n".join(lines)
+
+
+def suggest_weights(
+    table: Table, attributes: Sequence[str], scheme: str = "equal"
+) -> dict[str, float]:
+    """Starting weights for the chosen scoring attributes.
+
+    Schemes:
+
+    - ``"equal"`` — 1/m each (the neutral default the demo pre-fills);
+    - ``"variance"`` — proportional to each attribute's coefficient of
+      variation, so attributes that actually discriminate between items
+      start with more influence.
+    """
+    chosen = list(attributes)
+    if not chosen:
+        raise RankingFactsError("suggest_weights needs at least one attribute")
+    for name in chosen:
+        table.numeric_column(name)
+    if scheme == "equal":
+        return {name: 1.0 / len(chosen) for name in chosen}
+    if scheme == "variance":
+        dispersions: dict[str, float] = {}
+        for name in chosen:
+            summary = describe(table.column(name))
+            scale = abs(summary.mean)
+            dispersions[name] = summary.std / scale if scale > 0 else summary.std
+        total = sum(dispersions.values())
+        if total == 0.0:
+            return {name: 1.0 / len(chosen) for name in chosen}
+        return {name: value / total for name, value in dispersions.items()}
+    raise RankingFactsError(
+        f"unknown weight scheme {scheme!r}; use 'equal' or 'variance'"
+    )

@@ -1,0 +1,221 @@
+"""A stdlib-only HTTP server for the demo (the web-app substitution).
+
+The original Ranking Facts is "a Web-based application"; this server
+reproduces its workflow without Flask or network installs:
+
+- ``GET /``            — landing page with links;
+- ``GET /label``       — the label as JSON;
+- ``GET /label.html``  — the label as the Figure-1 style HTML page;
+- ``GET /preview``     — the ranking's top rows as JSON;
+- ``GET /datasets``    — the built-in dataset registry as JSON;
+- ``GET /attributes``  — the design view's attribute overview as JSON;
+- ``GET /health``      — liveness probe;
+- ``POST /dataset``    — ``{"name": "compas"}``: load a built-in dataset;
+- ``POST /design``     — Figure 3 over HTTP: ``{"weights": {...},
+  "sensitive": [...], "id_column": ..., "diversity": [...], "k": ...,
+  "alpha": ..., "normalize": true}``; the next ``GET /label`` reflects it.
+
+Use :func:`make_server` in tests (ephemeral port) and
+:func:`serve_forever` from the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.app.session import DemoSession, SessionStage
+from repro.datasets.loaders import list_datasets
+from repro.errors import RankingFactsError
+from repro.label.render_html import render_html
+from repro.label.render_json import render_json
+
+__all__ = ["make_server", "serve_forever", "ServerHandle"]
+
+_LANDING_PAGE = """<!DOCTYPE html><html><head><meta charset="utf-8">
+<title>Ranking Facts demo</title></head><body>
+<h1>Ranking Facts</h1>
+<p>A nutritional label for rankings (Yang et al., SIGMOD 2018 — reproduction).</p>
+<ul>
+<li><a href="/label.html">the label (HTML)</a></li>
+<li><a href="/label">the label (JSON)</a></li>
+<li><a href="/preview">ranking preview (JSON)</a></li>
+<li><a href="/datasets">built-in datasets (JSON)</a></li>
+</ul></body></html>"""
+
+
+class _RankingFactsHandler(BaseHTTPRequestHandler):
+    """Routes GET requests against the bound session."""
+
+    # set by make_server on the subclass
+    session: DemoSession = None  # type: ignore[assignment]
+
+    server_version = "RankingFacts/1.0"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep tests and CLI output clean
+
+    def _send(self, status: int, content_type: str, payload: str) -> None:
+        body = payload.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", f"{content_type}; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, data: object) -> None:
+        self._send(status, "application/json", json.dumps(data, indent=2))
+
+    def _label_or_error(self):
+        if self.session.stage is not SessionStage.LABELED:
+            self.session.generate_label()
+        return self.session.last_label()
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        try:
+            self._route()
+        except RankingFactsError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive boundary
+            self._send_json(500, {"error": f"internal error: {exc}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        try:
+            self._route_post()
+        except RankingFactsError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive boundary
+            self._send_json(500, {"error": f"internal error: {exc}"})
+
+    def _read_json_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise RankingFactsError("POST body required")
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise RankingFactsError(f"invalid JSON body: {exc}") from exc
+        if not isinstance(body, dict):
+            raise RankingFactsError("POST body must be a JSON object")
+        return body
+
+    def _route_post(self) -> None:
+        path = self.path.split("?", 1)[0]
+        if path == "/dataset":
+            body = self._read_json_body()
+            name = body.get("name")
+            if not isinstance(name, str):
+                raise RankingFactsError('POST /dataset needs {"name": "<dataset>"}')
+            self.session.load_builtin(name)
+            self._send_json(
+                200, {"ok": True, "dataset": name, "stage": self.session.stage.value}
+            )
+        elif path == "/design":
+            body = self._read_json_body()
+            weights = body.get("weights")
+            sensitive = body.get("sensitive")
+            if not isinstance(weights, dict) or not weights:
+                raise RankingFactsError(
+                    'POST /design needs a non-empty "weights" object'
+                )
+            if isinstance(sensitive, str):
+                sensitive = [sensitive]
+            if not isinstance(sensitive, list) or not sensitive:
+                raise RankingFactsError(
+                    'POST /design needs "sensitive": attribute name or list'
+                )
+            self.session.set_normalization(bool(body.get("normalize", True)))
+            self.session.design_scoring(
+                weights={str(a): float(w) for a, w in weights.items()},
+                sensitive_attribute=[str(s) for s in sensitive],
+                id_column=body.get("id_column"),
+                diversity_attributes=body.get("diversity"),
+                k=int(body.get("k", 10)),
+                alpha=float(body.get("alpha", 0.05)),
+            )
+            self._send_json(200, {"ok": True, "stage": self.session.stage.value})
+        else:
+            self._send_json(404, {"error": f"unknown POST path {path!r}"})
+
+    def _route(self) -> None:
+        path = self.path.split("?", 1)[0]
+        if path == "/":
+            self._send(200, "text/html", _LANDING_PAGE)
+        elif path == "/health":
+            self._send_json(200, {"status": "ok", "stage": self.session.stage.value})
+        elif path == "/datasets":
+            self._send_json(200, {"datasets": list(list_datasets())})
+        elif path == "/attributes":
+            self._send_json(
+                200, {"attributes": self.session.attribute_overview()}
+            )
+        elif path == "/label":
+            facts = self._label_or_error()
+            self._send(200, "application/json", render_json(facts.label))
+        elif path == "/label.html":
+            facts = self._label_or_error()
+            self._send(200, "text/html", render_html(facts.label))
+        elif path == "/preview":
+            facts = self._label_or_error()
+            records = facts.ranking.top_k(
+                min(facts.label.k, facts.ranking.size)
+            ).to_records()
+            self._send_json(200, {"preview": records})
+        else:
+            self._send_json(404, {"error": f"unknown path {path!r}"})
+
+
+class ServerHandle:
+    """A running server plus its background thread (context manager)."""
+
+    def __init__(self, server: ThreadingHTTPServer):
+        self._server = server
+        self._thread = threading.Thread(target=server.serve_forever, daemon=True)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, port) the server is bound to."""
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        """Base URL for client requests."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def __enter__(self) -> "ServerHandle":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5)
+
+
+def make_server(
+    session: DemoSession, host: str = "127.0.0.1", port: int = 0
+) -> ServerHandle:
+    """Bind a server for ``session`` (port 0 = ephemeral, for tests).
+
+    The session must have data loaded; the label is generated lazily on
+    the first request that needs it.
+    """
+    if session.stage is SessionStage.EMPTY:
+        raise RankingFactsError("the session has no dataset; load one before serving")
+    handler = type("BoundHandler", (_RankingFactsHandler,), {"session": session})
+    server = ThreadingHTTPServer((host, port), handler)
+    return ServerHandle(server)
+
+
+def serve_forever(session: DemoSession, host: str = "127.0.0.1", port: int = 8000) -> None:
+    """Run the demo server until interrupted (the CLI's ``serve``)."""
+    with make_server(session, host=host, port=port) as handle:
+        print(f"Ranking Facts demo serving on {handle.url} (Ctrl-C to stop)")
+        try:
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            print("shutting down")

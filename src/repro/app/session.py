@@ -1,0 +1,261 @@
+"""The demo workflow as a state machine.
+
+Paper §3 describes the interaction: the user picks a dataset (or
+uploads a CSV), decides "whether to work with raw data or to normalize
+and standardize the attributes", chooses at least one categorical
+sensitive attribute and at least one weighted numeric scoring
+attribute, previews the ranking, "and will then either refine it, or go
+on to generate Ranking Facts".
+
+:class:`DemoSession` encodes those stages explicitly so every client
+(CLI, HTTP server, notebooks) drives the same object and out-of-order
+calls fail with :class:`~repro.errors.SessionStateError` instead of
+producing half-configured labels.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+from repro.app.design import attribute_preview, histogram_ascii
+from repro.datasets.loaders import dataset_by_name, list_datasets, load_csv_dataset
+from repro.errors import SessionStateError
+from repro.label.builder import RankingFacts, RankingFactsBuilder
+from repro.preprocess.pipeline import NormalizationPlan
+from repro.ranking.ranker import Ranking, rank_table
+from repro.ranking.scoring import LinearScoringFunction
+from repro.tabular.summary import Histogram, histogram
+from repro.tabular.table import Table
+
+__all__ = ["SessionStage", "DemoSession"]
+
+
+class SessionStage(enum.Enum):
+    """Where in the workflow a session currently is."""
+
+    EMPTY = "empty"                    # nothing loaded
+    DATA_LOADED = "data-loaded"        # table present
+    SCORER_DESIGNED = "scorer-designed"  # scoring + sensitive chosen
+    PREVIEWED = "previewed"            # ranking previewed at least once
+    LABELED = "labeled"                # label generated
+
+
+class DemoSession:
+    """One user's pass through the Ranking Facts workflow.
+
+    Example
+    -------
+    >>> session = DemoSession()
+    >>> session.load_builtin("cs-departments")
+    >>> session.design_scoring(
+    ...     weights={"PubCount": 0.4, "Faculty": 0.4, "GRE": 0.2},
+    ...     sensitive_attribute="DeptSizeBin",
+    ...     id_column="DeptName",
+    ... )
+    >>> session.preview(3).size
+    3
+    >>> facts = session.generate_label()
+    >>> facts.label.dataset_name
+    'cs-departments'
+    """
+
+    def __init__(self):
+        self._stage = SessionStage.EMPTY
+        self._table: Table | None = None
+        self._dataset_name = ""
+        self._normalize = True
+        self._weights: dict[str, float] = {}
+        self._sensitive: list[str] = []
+        self._diversity: list[str] = []
+        self._id_column: str | None = None
+        self._k = 10
+        self._alpha = 0.05
+        self._facts: RankingFacts | None = None
+
+    # -- stage bookkeeping -------------------------------------------------------
+
+    @property
+    def stage(self) -> SessionStage:
+        """The session's current workflow stage."""
+        return self._stage
+
+    def _require_stage(self, *allowed: SessionStage) -> None:
+        if self._stage not in allowed:
+            names = " or ".join(s.value for s in allowed)
+            raise SessionStateError(
+                f"operation requires stage {names}, session is {self._stage.value}"
+            )
+
+    def _require_table(self) -> Table:
+        if self._table is None:
+            raise SessionStateError("no dataset loaded; call load_builtin()/load_csv()")
+        return self._table
+
+    # -- stage 1: load data --------------------------------------------------------
+
+    def load_builtin(self, name: str, **kwargs) -> None:
+        """Load one of the paper's demo datasets (any stage; resets)."""
+        table = dataset_by_name(name, **kwargs)
+        self._reset_with(table, name)
+
+    def load_csv(self, path: str | Path) -> None:
+        """Load a user CSV (the paper's upload option; resets)."""
+        table = load_csv_dataset(path)
+        self._reset_with(table, Path(path).stem)
+
+    def load_table(self, table: Table, name: str = "in-memory table") -> None:
+        """Adopt an already-built table (programmatic clients)."""
+        table.require_rows(2)
+        self._reset_with(table, name)
+
+    def _reset_with(self, table: Table, name: str) -> None:
+        self._table = table
+        self._dataset_name = name
+        self._weights = {}
+        self._sensitive = []
+        self._diversity = []
+        self._id_column = None
+        self._facts = None
+        self._stage = SessionStage.DATA_LOADED
+
+    @staticmethod
+    def available_datasets() -> tuple[str, ...]:
+        """The built-in dataset names."""
+        return list_datasets()
+
+    # -- stage 2: inspect (Figure 3's preview panel) ----------------------------------
+
+    def dataset_name(self) -> str:
+        """Name of the loaded dataset."""
+        self._require_table()
+        return self._dataset_name
+
+    def preview_data(self, rows: int = 5) -> list[dict[str, object]]:
+        """The design view's data preview: the first ``rows`` rows."""
+        return list(self._require_table().head(rows).iter_rows())
+
+    def attribute_overview(self) -> list[dict[str, object]]:
+        """Per-attribute summary for the design view's attribute panel."""
+        return attribute_preview(self._require_table())
+
+    def attribute_histogram(self, attribute: str, bins: int = 10) -> Histogram:
+        """Histogram of a numeric attribute (Figure 3 shows GRE's)."""
+        return histogram(self._require_table().column(attribute), bins=bins)
+
+    def attribute_histogram_ascii(self, attribute: str, bins: int = 10) -> str:
+        """Terminal rendering of :meth:`attribute_histogram`."""
+        return histogram_ascii(self.attribute_histogram(attribute, bins=bins))
+
+    # -- stage 3: design the scoring function ------------------------------------------
+
+    def set_normalization(self, enabled: bool) -> None:
+        """Figure 3's normalize-and-standardize checkbox."""
+        self._require_table()
+        self._normalize = bool(enabled)
+
+    def design_scoring(
+        self,
+        weights: Mapping[str, float],
+        sensitive_attribute: str | Sequence[str],
+        id_column: str | None = None,
+        diversity_attributes: Sequence[str] | None = None,
+        k: int = 10,
+        alpha: float = 0.05,
+    ) -> None:
+        """Commit the scoring design (weights + sensitive attribute).
+
+        Mirrors the paper's constraints: "at least one categorical
+        attribute must be chosen as the sensitive attribute" and "the
+        user selects at least one numerical attribute for the scoring
+        function, and assigns a weight" (§3) — both are enforced by the
+        underlying builder/scorer constructors.
+        """
+        self._require_stage(
+            SessionStage.DATA_LOADED, SessionStage.SCORER_DESIGNED,
+            SessionStage.PREVIEWED, SessionStage.LABELED,
+        )
+        table = self._require_table()
+        scorer = LinearScoringFunction(dict(weights))  # validates weights
+        for attr in scorer.attributes():
+            table.numeric_column(attr)  # raise early on bad attributes
+        sensitive = (
+            [sensitive_attribute]
+            if isinstance(sensitive_attribute, str)
+            else list(sensitive_attribute)
+        )
+        if not sensitive:
+            raise SessionStateError(
+                "at least one sensitive attribute must be chosen (paper §3)"
+            )
+        for attr in sensitive:
+            table.categorical_column(attr)
+        if id_column is not None and id_column not in table:
+            raise SessionStateError(f"id column {id_column!r} not in table")
+        self._weights = scorer.weights
+        self._sensitive = sensitive
+        self._diversity = list(diversity_attributes or sensitive)
+        self._id_column = id_column
+        self._k = k
+        self._alpha = alpha
+        self._facts = None
+        self._stage = SessionStage.SCORER_DESIGNED
+
+    # -- stage 4: preview ------------------------------------------------------------------
+
+    def preview(self, rows: int = 10) -> Ranking:
+        """Rank with the current design and return the top ``rows``.
+
+        The user "will preview the ranking, and will then either refine
+        it, or go on to generate Ranking Facts" (§3).
+        """
+        self._require_stage(
+            SessionStage.SCORER_DESIGNED, SessionStage.PREVIEWED, SessionStage.LABELED
+        )
+        table = self._require_table()
+        scorer = LinearScoringFunction(self._weights)
+        plan = (
+            NormalizationPlan.minmax_all(scorer.attributes())
+            if self._normalize
+            else NormalizationPlan.raw()
+        )
+        from repro.preprocess.pipeline import TablePreprocessor
+
+        prepared = TablePreprocessor(plan).fit_transform(table)
+        ranking = rank_table(prepared, scorer, self._id_column)
+        self._stage = SessionStage.PREVIEWED
+        return ranking.top_k(min(rows, ranking.size))
+
+    # -- stage 5: the label -----------------------------------------------------------------
+
+    def generate_label(self) -> RankingFacts:
+        """Build the nutritional label for the current design."""
+        self._require_stage(
+            SessionStage.SCORER_DESIGNED, SessionStage.PREVIEWED, SessionStage.LABELED
+        )
+        table = self._require_table()
+        scorer = LinearScoringFunction(self._weights)
+        builder = (
+            RankingFactsBuilder(table, dataset_name=self._dataset_name)
+            .with_scoring(scorer)
+            .with_top_k(self._k)
+            .with_alpha(self._alpha)
+            .with_diversity_attributes(self._diversity)
+        )
+        if self._id_column is not None:
+            builder.with_id_column(self._id_column)
+        if not self._normalize:
+            builder.with_normalization(NormalizationPlan.raw())
+        for attr in self._sensitive:
+            builder.with_sensitive_attribute(attr)
+        facts = builder.build()
+        self._facts = facts
+        self._stage = SessionStage.LABELED
+        return facts
+
+    def last_label(self) -> RankingFacts:
+        """The most recently generated label."""
+        if self._facts is None:
+            raise SessionStateError("no label generated yet; call generate_label()")
+        return self._facts

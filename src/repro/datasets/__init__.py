@@ -1,0 +1,35 @@
+"""Built-in datasets: the paper's three demo scenarios (§3), synthesized.
+
+The originals are network resources (CSRankings+NRC, ProPublica's
+COMPAS export, the UCI German Credit file).  In this offline
+reproduction each is replaced by a generator that reproduces the
+published schema, size, and — critically — the correlation structure
+the paper's narrative depends on (see each module's docstring and
+DESIGN.md §4 for the substitution argument).  Real files, if you have
+them, load through :func:`load_csv_dataset` unchanged.
+
+- :func:`cs_departments` — 51 CS departments: PubCount, Faculty, GRE,
+  Region, DeptSizeBin (paper's running example);
+- :func:`compas` — 6,889 criminal-risk rows in ProPublica's schema;
+- :func:`german_credit` — 1,000 credit applicants in the UCI schema.
+"""
+
+from repro.datasets.compas import compas, COMPAS_SCHEMA
+from repro.datasets.csdepts import cs_departments, CS_DEPARTMENTS_SCHEMA
+from repro.datasets.german_credit import german_credit, GERMAN_CREDIT_SCHEMA
+from repro.datasets.loaders import dataset_by_name, list_datasets, load_csv_dataset
+from repro.datasets.synthetic import ranked_labels_table, synthetic_scores_table
+
+__all__ = [
+    "cs_departments",
+    "CS_DEPARTMENTS_SCHEMA",
+    "compas",
+    "COMPAS_SCHEMA",
+    "german_credit",
+    "GERMAN_CREDIT_SCHEMA",
+    "load_csv_dataset",
+    "dataset_by_name",
+    "list_datasets",
+    "synthetic_scores_table",
+    "ranked_labels_table",
+]

@@ -1,0 +1,119 @@
+"""A COMPAS-like criminal-risk dataset (ProPublica schema, synthesized).
+
+The paper's second demo scenario: "a dataset collected and published by
+ProPublica as part of their investigation into racial bias in criminal
+risk assessment software called COMPAS ... demographics, recidivism
+scores produced by COMPAS, and criminal offense information for 6,889
+individuals" (§3).
+
+The generator reproduces the fields a Ranking-Facts audit touches and
+the statistical regularities ProPublica documented:
+
+- ``decile_score`` (1..10): the COMPAS risk decile.  Group means differ
+  by race — African-American defendants skew higher — which is the bias
+  signal the audit should surface when ranking by risk.
+- ``priors_count``: correlated with the decile score (the legitimate
+  signal component).
+- ``age``: younger defendants receive higher scores.
+- ``race`` with ProPublica's category mix, ``sex`` ~81% male,
+  ``two_year_recid`` drawn with probability increasing in the decile.
+
+Absolute distributions are synthetic; what the benchmarks rely on is
+the *direction and rough magnitude* of the group skew (ProPublica
+reported African-American defendants' mean decile ≈ 5.4 vs Caucasian
+≈ 3.7; the generator targets that gap).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.synthetic import DEFAULT_SEED
+from repro.errors import DatasetError
+from repro.tabular.column import CategoricalColumn, NumericColumn
+from repro.tabular.schema import ColumnSpec, Schema
+from repro.tabular.table import Table
+
+__all__ = ["compas", "COMPAS_SCHEMA"]
+
+#: Row count of ProPublica's two-year-recidivism cohort as cited by the paper.
+NUM_DEFENDANTS = 6889
+
+_RACES = (
+    "African-American",
+    "Caucasian",
+    "Hispanic",
+    "Other",
+    "Asian",
+    "Native American",
+)
+#: Category mix of the ProPublica cohort (approximate published shares).
+_RACE_WEIGHTS = (0.514, 0.340, 0.088, 0.045, 0.005, 0.008)
+
+#: Mean decile shift per race relative to the Caucasian baseline.
+_RACE_SCORE_SHIFT = {
+    "African-American": 1.7,
+    "Caucasian": 0.0,
+    "Hispanic": 0.1,
+    "Other": -0.2,
+    "Asian": -0.4,
+    "Native American": 0.9,
+}
+
+COMPAS_SCHEMA = Schema.of(
+    ColumnSpec("defendant_id", "categorical"),
+    ColumnSpec("sex", "categorical", allowed_categories=("Male", "Female")),
+    ColumnSpec("race", "categorical", allowed_categories=_RACES),
+    ColumnSpec("age", "numeric", minimum=18.0, maximum=96.0),
+    ColumnSpec("priors_count", "numeric", minimum=0.0),
+    ColumnSpec("decile_score", "numeric", minimum=1.0, maximum=10.0),
+    ColumnSpec("two_year_recid", "categorical", allowed_categories=("yes", "no")),
+)
+
+
+def compas(n: int = NUM_DEFENDANTS, seed: int = DEFAULT_SEED) -> Table:
+    """Generate the COMPAS-like table (see the module docstring).
+
+    Parameters
+    ----------
+    n:
+        Number of defendants (default 6,889, the cohort size the paper
+        cites).
+    seed:
+        RNG seed for determinism.
+    """
+    if n < 10:
+        raise DatasetError(f"compas needs n >= 10, got {n}")
+    rng = np.random.default_rng(seed)
+
+    race = rng.choice(_RACES, size=n, p=_RACE_WEIGHTS)
+    sex = rng.choice(["Male", "Female"], size=n, p=[0.81, 0.19])
+    age = np.clip(np.round(rng.gamma(shape=4.0, scale=8.5, size=n) + 18), 18, 96)
+    priors = np.clip(np.round(rng.gamma(shape=0.9, scale=3.6, size=n)), 0, 38)
+
+    shift = np.asarray([_RACE_SCORE_SHIFT[r] for r in race])
+    # latent risk: priors raise it, age lowers it, race shifts it (the bias)
+    latent = (
+        3.7
+        + shift
+        + 0.28 * priors
+        - 0.045 * (age - 35)
+        + rng.normal(0.0, 1.9, size=n)
+    )
+    decile = np.clip(np.round(latent), 1, 10)
+
+    recid_probability = np.clip(0.08 + 0.052 * decile, 0.0, 0.95)
+    recid = rng.random(n) < recid_probability
+
+    table = Table(
+        [
+            CategoricalColumn("defendant_id", [f"D{i + 1:05d}" for i in range(n)]),
+            CategoricalColumn("sex", sex),
+            CategoricalColumn("race", race),
+            NumericColumn("age", age.astype(np.float64)),
+            NumericColumn("priors_count", priors.astype(np.float64)),
+            NumericColumn("decile_score", decile.astype(np.float64)),
+            CategoricalColumn("two_year_recid", ["yes" if r else "no" for r in recid]),
+        ]
+    )
+    return COMPAS_SCHEMA.validate(table)

@@ -1,0 +1,114 @@
+"""The CS-departments dataset (the paper's running example).
+
+The original combines CS Rankings with NRC assessment attributes
+(paper §3): *PubCount* — "the geometric mean of the adjusted number of
+publications in each area by institution"; *Faculty* — department
+faculty count; *GRE* — average GRE scores (2004–2006); *Region* — one
+of NE, MW, SA, SC, W.  The walkthrough also uses *DeptSizeBin*, the
+binary large/small split of department size that serves as the
+sensitive attribute in Figure 1.
+
+This generator reproduces the structure the paper's findings rest on:
+
+1. **PubCount and Faculty are strongly positively correlated** (bigger
+   departments publish more) — so size dominates any quality ranking
+   and the top-10 is all-large ("only large departments are present in
+   the top-10", §2.4), making `DeptSizeBin=small` unfair under the
+   widget's measures.
+2. **GRE is essentially independent of both** — admissions test
+   averages vary little across strong departments, reproducing §3's
+   finding that "GRE is one of the scoring attributes, but it does not
+   correlate with the ranked outcome" and that its "range ... and the
+   median ... are very similar in the top-10 and overall".
+3. **Region is uninformative about quality** but unevenly distributed,
+   mirroring US geography (NE-heavy), so the Diversity widget has a
+   non-trivial regional pie.
+
+Magnitudes follow the public data: PubCount is a geometric-mean index
+in roughly [1, 30]; Faculty between ~15 and ~90; GRE quantitative
+averages in the high 150s-160s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.synthetic import DEFAULT_SEED
+from repro.errors import DatasetError
+from repro.tabular.column import CategoricalColumn, NumericColumn
+from repro.tabular.schema import ColumnSpec, Schema
+from repro.tabular.table import Table
+
+__all__ = ["cs_departments", "CS_DEPARTMENTS_SCHEMA"]
+
+#: The number of departments in the paper's demo table.
+NUM_DEPARTMENTS = 51
+
+_REGIONS = ("NE", "MW", "SA", "SC", "W")
+#: Regional mix loosely following the distribution of US CS departments.
+_REGION_WEIGHTS = (0.32, 0.22, 0.16, 0.10, 0.20)
+
+CS_DEPARTMENTS_SCHEMA = Schema.of(
+    ColumnSpec("DeptName", "categorical"),
+    ColumnSpec("PubCount", "numeric", minimum=0.0),
+    ColumnSpec("Faculty", "numeric", minimum=1.0),
+    ColumnSpec("GRE", "numeric", minimum=130.0, maximum=170.0),
+    ColumnSpec("Region", "categorical", allowed_categories=_REGIONS),
+    ColumnSpec("DeptSizeBin", "categorical", allowed_categories=("large", "small")),
+)
+
+
+def cs_departments(n: int = NUM_DEPARTMENTS, seed: int = DEFAULT_SEED) -> Table:
+    """Generate the CS-departments table.
+
+    Parameters
+    ----------
+    n:
+        Number of departments (default 51, the demo's size).
+    seed:
+        RNG seed; the default makes Figure-1 reproduction deterministic.
+
+    Returns
+    -------
+    A table conforming to :data:`CS_DEPARTMENTS_SCHEMA`.
+    """
+    if n < 4:
+        raise DatasetError(f"cs_departments needs n >= 4, got {n}")
+    rng = np.random.default_rng(seed)
+
+    # latent department size drives Faculty and PubCount jointly
+    latent_size = rng.lognormal(mean=3.6, sigma=0.45, size=n)  # ~ faculty scale
+    faculty = np.clip(np.round(latent_size), 12, 120)
+    # publications grow with faculty, with productivity noise
+    productivity = rng.lognormal(mean=-1.35, sigma=0.35, size=n)
+    pub_count = np.round(faculty * productivity, 1)
+    pub_count = np.clip(pub_count, 0.5, None)
+    # GRE: tight distribution, independent of size
+    gre = np.round(rng.normal(loc=161.0, scale=2.2, size=n), 1)
+    gre = np.clip(gre, 150.0, 170.0)
+    region = rng.choice(_REGIONS, size=n, p=_REGION_WEIGHTS)
+    median_faculty = float(np.median(faculty))
+    size_bin = ["large" if f >= median_faculty else "small" for f in faculty]
+
+    names = [f"Dept{i + 1:02d}" for i in range(n)]
+    # assembled the way the paper describes: the CSRankings part is
+    # "augmented with attributes from the NRC dataset" — a join on the
+    # department identifier
+    csrankings = Table(
+        [
+            CategoricalColumn("DeptName", names),
+            NumericColumn("PubCount", pub_count),
+            NumericColumn("Faculty", faculty.astype(np.float64)),
+        ]
+    )
+    nrc = Table(
+        [
+            CategoricalColumn("DeptName", names),
+            NumericColumn("GRE", gre),
+            CategoricalColumn("Region", region),
+        ]
+    )
+    table = csrankings.join(nrc, on="DeptName").with_column(
+        CategoricalColumn("DeptSizeBin", size_bin)
+    )
+    return CS_DEPARTMENTS_SCHEMA.validate(table)

@@ -1,0 +1,105 @@
+"""A German-Credit-like dataset (UCI schema, synthesized).
+
+The paper's third demo scenario: "the German Credit dataset from the
+UCI Machine Learning Repository, with demographic and financial
+information on 1000 individuals" (§3).
+
+The generator reproduces the audit-relevant structure of the UCI file:
+
+- 1,000 applicants; ``credit_risk`` good/bad at the original 70/30
+  split;
+- ``sex`` derived the way the fairness literature uses this dataset
+  (personal-status field → male/female, ~69% male);
+- ``age`` skewed young (median ~33); younger applicants are riskier —
+  "age below 25" is the canonical protected feature for this data;
+- ``credit_amount`` log-normal (median ~2,300 DM with a long tail),
+  ``duration`` in months correlated with the amount;
+- a ``credit_score`` in [0, 100] (higher = more creditworthy) so the
+  dataset supports score-based ranking out of the box, decreasing with
+  risk factors and slightly with the young-age/female effects the
+  fairness benchmarks look for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.synthetic import DEFAULT_SEED
+from repro.errors import DatasetError
+from repro.tabular.column import CategoricalColumn, NumericColumn
+from repro.tabular.schema import ColumnSpec, Schema
+from repro.tabular.table import Table
+
+__all__ = ["german_credit", "GERMAN_CREDIT_SCHEMA"]
+
+#: Row count of the UCI file.
+NUM_APPLICANTS = 1000
+
+GERMAN_CREDIT_SCHEMA = Schema.of(
+    ColumnSpec("applicant_id", "categorical"),
+    ColumnSpec("sex", "categorical", allowed_categories=("male", "female")),
+    ColumnSpec("age", "numeric", minimum=18.0, maximum=80.0),
+    ColumnSpec("AgeGroup", "categorical", allowed_categories=("young", "adult")),
+    ColumnSpec("credit_amount", "numeric", minimum=100.0),
+    ColumnSpec("duration_months", "numeric", minimum=4.0, maximum=72.0),
+    ColumnSpec("credit_score", "numeric", minimum=0.0, maximum=100.0),
+    ColumnSpec("credit_risk", "categorical", allowed_categories=("good", "bad")),
+)
+
+
+def german_credit(n: int = NUM_APPLICANTS, seed: int = DEFAULT_SEED) -> Table:
+    """Generate the German-Credit-like table (see the module docstring).
+
+    Parameters
+    ----------
+    n:
+        Number of applicants (default 1,000, the UCI file's size).
+    seed:
+        RNG seed for determinism.
+    """
+    if n < 10:
+        raise DatasetError(f"german_credit needs n >= 10, got {n}")
+    rng = np.random.default_rng(seed)
+
+    sex = rng.choice(["male", "female"], size=n, p=[0.69, 0.31])
+    age = np.clip(np.round(rng.lognormal(mean=3.52, sigma=0.28, size=n)), 18, 80)
+    age_group = ["young" if a < 25 else "adult" for a in age]
+    credit_amount = np.round(rng.lognormal(mean=7.75, sigma=0.85, size=n), 0)
+    credit_amount = np.clip(credit_amount, 100, None)
+    duration = np.clip(
+        np.round(4 + credit_amount / 400.0 + rng.normal(0, 6, size=n)), 4, 72
+    )
+
+    # latent creditworthiness: age helps (to a point), big/long loans hurt,
+    # with mild sex and youth penalties (the biases audits look for)
+    young = np.asarray([1.0 if g == "young" else 0.0 for g in age_group])
+    female = np.asarray([1.0 if s == "female" else 0.0 for s in sex])
+    latent = (
+        55.0
+        + 0.45 * np.minimum(age, 55)
+        - 4.5 * np.log(credit_amount / 1000.0 + 1.0)
+        - 0.22 * duration
+        - 6.0 * young
+        - 2.5 * female
+        + rng.normal(0.0, 9.0, size=n)
+    )
+    credit_score = np.clip(np.round(latent, 1), 0.0, 100.0)
+
+    # good/bad at the UCI 70/30 split, driven by the same latent score
+    threshold = float(np.quantile(credit_score, 0.30))
+    noise = rng.normal(0.0, 4.0, size=n)
+    risk = ["good" if s + e > threshold else "bad" for s, e in zip(credit_score, noise)]
+
+    table = Table(
+        [
+            CategoricalColumn("applicant_id", [f"A{i + 1:04d}" for i in range(n)]),
+            CategoricalColumn("sex", sex),
+            NumericColumn("age", age.astype(np.float64)),
+            CategoricalColumn("AgeGroup", age_group),
+            NumericColumn("credit_amount", credit_amount),
+            NumericColumn("duration_months", duration.astype(np.float64)),
+            NumericColumn("credit_score", credit_score),
+            CategoricalColumn("credit_risk", risk),
+        ]
+    )
+    return GERMAN_CREDIT_SCHEMA.validate(table)

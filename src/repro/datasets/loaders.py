@@ -1,0 +1,103 @@
+"""Dataset registry and CSV loading.
+
+The demo's opening choice — "choose one of these datasets, or ... upload
+one of their own (as a fully populated table in CSV format)" (paper §3)
+— maps to :func:`dataset_by_name` for the built-ins and
+:func:`load_csv_dataset` for user files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.datasets.compas import COMPAS_SCHEMA, compas
+from repro.datasets.csdepts import CS_DEPARTMENTS_SCHEMA, cs_departments
+from repro.datasets.german_credit import GERMAN_CREDIT_SCHEMA, german_credit
+from repro.errors import DatasetError
+from repro.tabular.csvio import read_csv
+from repro.tabular.schema import Schema
+from repro.tabular.table import Table
+
+__all__ = ["list_datasets", "dataset_by_name", "load_csv_dataset", "schema_by_name"]
+
+_BUILTINS = {
+    "cs-departments": (cs_departments, CS_DEPARTMENTS_SCHEMA),
+    "compas": (compas, COMPAS_SCHEMA),
+    "german-credit": (german_credit, GERMAN_CREDIT_SCHEMA),
+}
+
+
+def list_datasets() -> tuple[str, ...]:
+    """Names of the built-in demo datasets."""
+    return tuple(_BUILTINS)
+
+
+def dataset_by_name(name: str, **kwargs) -> Table:
+    """Instantiate a built-in dataset by its registry name.
+
+    ``kwargs`` forward to the generator (``n``, ``seed``).
+
+    >>> dataset_by_name("cs-departments").num_rows
+    51
+    """
+    try:
+        generator, _ = _BUILTINS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {', '.join(_BUILTINS)}"
+        ) from None
+    return generator(**kwargs)
+
+
+def schema_by_name(name: str) -> Schema:
+    """The schema a built-in dataset conforms to."""
+    try:
+        _, schema = _BUILTINS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {', '.join(_BUILTINS)}"
+        ) from None
+    return schema
+
+
+def load_csv_dataset(
+    path: str | Path,
+    schema: Schema | None = None,
+    min_rows: int = 2,
+) -> Table:
+    """Load a user-supplied CSV as a dataset, with basic fitness checks.
+
+    Parameters
+    ----------
+    path:
+        CSV file (header row first).
+    schema:
+        Optional schema to validate against (e.g.
+        ``schema_by_name("compas")`` when loading the real ProPublica
+        export).
+    min_rows:
+        Smallest usable dataset (rankings of fewer rows are rejected).
+
+    Raises
+    ------
+    DatasetError
+        On unusable files; the underlying parse/validation error is
+        chained for detail.
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        raise DatasetError(f"dataset file not found: {file_path}")
+    table = read_csv(file_path)
+    if table.num_rows < min_rows:
+        raise DatasetError(
+            f"dataset {file_path.name} has {table.num_rows} row(s); "
+            f"need at least {min_rows}"
+        )
+    if not table.numeric_column_names():
+        raise DatasetError(
+            f"dataset {file_path.name} has no numeric columns; "
+            "nothing can be scored"
+        )
+    if schema is not None:
+        schema.validate(table)
+    return table

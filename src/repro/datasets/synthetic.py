@@ -1,0 +1,105 @@
+"""Generic synthetic tables for tests and benchmarks.
+
+Two building blocks used across the harness:
+
+- :func:`synthetic_scores_table` — n items with a configurable number
+  of correlated numeric attributes and one binary group whose score
+  advantage is a parameter (the knob the fairness benchmarks sweep);
+- :func:`ranked_labels_table` — wrap a protected-label vector from the
+  generative model into a ranked table, so label-level code can audit
+  rankings of known, controlled unfairness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.tabular.column import CategoricalColumn, NumericColumn
+from repro.tabular.table import Table
+
+__all__ = ["synthetic_scores_table", "ranked_labels_table", "DEFAULT_SEED"]
+
+#: The fixed seed every built-in dataset uses (the paper's SIGMOD date).
+DEFAULT_SEED = 20180610
+
+
+def synthetic_scores_table(
+    n: int,
+    num_attributes: int = 3,
+    group_proportion: float = 0.5,
+    group_advantage: float = 0.0,
+    noise: float = 1.0,
+    seed: int = DEFAULT_SEED,
+) -> Table:
+    """A table of n items with numeric attributes and a binary group.
+
+    Attributes are standard normal plus ``group_advantage`` for members
+    of group "a" (so positive advantage pushes group "a" up any
+    monotone ranking), with attribute-specific noise scaled by
+    ``noise``.  Columns: ``item`` (id), ``group`` ("a"/"b"),
+    ``attr_1..attr_m``.
+
+    Raises
+    ------
+    DatasetError
+        On a non-positive size, empty group, or bad parameters.
+    """
+    if n < 2:
+        raise DatasetError(f"need at least 2 items, got {n}")
+    if num_attributes < 1:
+        raise DatasetError(f"need at least 1 attribute, got {num_attributes}")
+    if not 0.0 < group_proportion < 1.0:
+        raise DatasetError(
+            f"group proportion must be inside (0, 1), got {group_proportion}"
+        )
+    if noise < 0.0:
+        raise DatasetError(f"noise must be non-negative, got {noise}")
+    rng = np.random.default_rng(seed)
+    n_a = int(round(n * group_proportion))
+    if n_a == 0 or n_a == n:
+        raise DatasetError(
+            f"group proportion {group_proportion} leaves a group empty at n={n}"
+        )
+    groups = np.asarray(["a"] * n_a + ["b"] * (n - n_a), dtype=object)
+    rng.shuffle(groups)
+    advantage = np.where(groups == "a", group_advantage, 0.0)
+    base = rng.normal(0.0, 1.0, size=n)
+    columns = [
+        CategoricalColumn("item", [f"item-{i:05d}" for i in range(n)]),
+        CategoricalColumn("group", groups),
+    ]
+    for j in range(num_attributes):
+        values = base + advantage + rng.normal(0.0, noise, size=n)
+        columns.append(NumericColumn(f"attr_{j + 1}", values))
+    return Table(columns)
+
+
+def ranked_labels_table(labels, scores=None) -> Table:
+    """A ranked table from a protected-label vector (True = protected).
+
+    ``scores`` default to a strictly decreasing sequence so the row
+    order *is* the rank order.  Columns: ``item``, ``group``
+    ("protected"/"other"), ``score``.
+    """
+    arr = np.asarray(labels, dtype=bool)
+    if arr.ndim != 1 or arr.size == 0:
+        raise DatasetError("labels must be a non-empty 1-d boolean vector")
+    n = arr.size
+    if scores is None:
+        score_values = np.linspace(float(n), 1.0, n)
+    else:
+        score_values = np.asarray(scores, dtype=np.float64)
+        if score_values.shape != (n,):
+            raise DatasetError(
+                f"scores have shape {score_values.shape}, labels have {arr.shape}"
+            )
+    return Table(
+        [
+            CategoricalColumn("item", [f"item-{i:05d}" for i in range(n)]),
+            CategoricalColumn(
+                "group", ["protected" if flag else "other" for flag in arr]
+            ),
+            NumericColumn("score", score_values),
+        ]
+    )

@@ -1,0 +1,29 @@
+"""Diversity measures for ranked outputs (the Diversity widget's engine).
+
+"The Diversity widget shows diversity with respect to a set of
+demographic categories of individuals, or a set of categorical
+attributes of other kinds of items.  The widget displays the proportion
+of each category in the top-10 ranked list and over-all" (paper §2.4).
+"""
+
+from repro.diversity.measures import (
+    CategoryBreakdown,
+    DiversityReport,
+    category_breakdown,
+    diversity_report,
+    entropy,
+    normalized_entropy,
+    richness,
+    top_k_vs_overall,
+)
+
+__all__ = [
+    "CategoryBreakdown",
+    "DiversityReport",
+    "category_breakdown",
+    "top_k_vs_overall",
+    "diversity_report",
+    "entropy",
+    "normalized_entropy",
+    "richness",
+]

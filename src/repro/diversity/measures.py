@@ -1,0 +1,210 @@
+"""Category proportions and diversity aggregates over rankings.
+
+The widget's core artifact is the pair of pie charts — category
+proportions in the top-10 versus the whole ranking
+(:func:`top_k_vs_overall`).  On top of the proportions we expose the
+standard diversity aggregates (Shannon entropy, richness) so the
+benchmark harness can summarize a breakdown in one number, and a
+``missing_categories`` view that names what the top-k lost — the
+paper's walkthrough observation that "only large departments are
+present in the top-10" is precisely this set being non-empty.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import FairnessConfigError
+from repro.ranking.ranker import Ranking
+
+__all__ = [
+    "CategoryBreakdown",
+    "DiversityReport",
+    "category_breakdown",
+    "top_k_vs_overall",
+    "diversity_report",
+    "entropy",
+    "normalized_entropy",
+    "richness",
+]
+
+
+def entropy(proportions: Sequence[float]) -> float:
+    """Shannon entropy (bits) of a category distribution.
+
+    Zero-probability categories contribute nothing; proportions must be
+    non-negative and sum to ~1.
+    """
+    props = list(proportions)
+    if not props:
+        return 0.0
+    if any(p < 0 for p in props):
+        raise ValueError("proportions must be non-negative")
+    total = sum(props)
+    if not math.isclose(total, 1.0, rel_tol=1e-6, abs_tol=1e-9):
+        raise ValueError(f"proportions must sum to 1, got {total:g}")
+    return -sum(p * math.log2(p) for p in props if p > 0.0)
+
+
+def normalized_entropy(proportions: Sequence[float]) -> float:
+    """Entropy divided by its maximum ``log2(m)``; 1 = perfectly even.
+
+    Defined as 1.0 for a single category (nothing can be uneven).
+    """
+    props = [p for p in proportions if p > 0.0]
+    if len(props) <= 1:
+        # validate even in the degenerate case
+        entropy(list(proportions))
+        return 1.0
+    return entropy(list(proportions)) / math.log2(len(props))
+
+
+def richness(proportions: Sequence[float]) -> int:
+    """Number of categories actually present (proportion > 0)."""
+    if any(p < 0 for p in proportions):
+        raise ValueError("proportions must be non-negative")
+    return sum(1 for p in proportions if p > 0.0)
+
+
+@dataclass(frozen=True)
+class CategoryBreakdown:
+    """Proportions of each category within one slice of a ranking.
+
+    ``proportions`` preserves the attribute's first-appearance category
+    order from the *full* ranking, so top-k and overall breakdowns of
+    the same attribute always have aligned keys (absent categories
+    appear with proportion 0.0 — that alignment is what makes the two
+    pie charts comparable).
+    """
+
+    attribute: str
+    slice_name: str
+    counts: dict[str, int]
+    proportions: dict[str, float]
+
+    @property
+    def total(self) -> int:
+        """Number of items in this slice (non-missing only)."""
+        return sum(self.counts.values())
+
+    def entropy(self) -> float:
+        """Shannon entropy of this slice's distribution."""
+        return entropy(list(self.proportions.values()))
+
+    def normalized_entropy(self) -> float:
+        """Evenness in [0, 1] relative to the categories present."""
+        return normalized_entropy(list(self.proportions.values()))
+
+    def richness(self) -> int:
+        """Number of categories present in this slice."""
+        return richness(list(self.proportions.values()))
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for serialization."""
+        return {
+            "attribute": self.attribute,
+            "slice": self.slice_name,
+            "counts": dict(self.counts),
+            "proportions": dict(self.proportions),
+            "entropy": self.entropy(),
+            "richness": self.richness(),
+        }
+
+
+def category_breakdown(
+    ranking: Ranking,
+    attribute: str,
+    k: int | None = None,
+    category_order: Sequence[str] | None = None,
+) -> CategoryBreakdown:
+    """Category counts and proportions in the top-k (or whole) ranking.
+
+    Parameters
+    ----------
+    ranking:
+        The ranking to slice.
+    attribute:
+        Categorical attribute to break down.
+    k:
+        Slice size; ``None`` means the whole ranking.
+    category_order:
+        Key order for the output dicts; defaults to the attribute's
+        categories in the sliced view.  Categories listed here but
+        absent from the slice appear with count 0.
+    """
+    view = ranking if k is None else ranking.top_k(k)
+    column = view.table.categorical_column(attribute)
+    counts = column.counts()
+    if category_order is not None:
+        counts = {cat: counts.get(cat, 0) for cat in category_order}
+    total = sum(counts.values())
+    if total == 0:
+        raise FairnessConfigError(
+            f"attribute {attribute!r} has no known categories in this slice"
+        )
+    proportions = {cat: cnt / total for cat, cnt in counts.items()}
+    return CategoryBreakdown(
+        attribute=attribute,
+        slice_name="overall" if k is None else f"top-{view.size}",
+        counts=counts,
+        proportions=proportions,
+    )
+
+
+@dataclass(frozen=True)
+class DiversityReport:
+    """The Diversity widget's payload for one attribute: both pie charts."""
+
+    attribute: str
+    top_k: CategoryBreakdown
+    overall: CategoryBreakdown
+
+    def missing_categories(self) -> tuple[str, ...]:
+        """Categories present overall but absent from the top-k.
+
+        Figure 1's finding — "only large departments are present in the
+        top-10" — surfaces here as ``("small",)``.
+        """
+        return tuple(
+            cat
+            for cat, proportion in self.overall.proportions.items()
+            if proportion > 0.0 and self.top_k.proportions.get(cat, 0.0) == 0.0
+        )
+
+    def representation_gap(self) -> dict[str, float]:
+        """Per-category ``top_k share - overall share`` (signed)."""
+        return {
+            cat: self.top_k.proportions.get(cat, 0.0) - share
+            for cat, share in self.overall.proportions.items()
+        }
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for serialization."""
+        return {
+            "attribute": self.attribute,
+            "top_k": self.top_k.as_dict(),
+            "overall": self.overall.as_dict(),
+            "missing_categories": list(self.missing_categories()),
+            "representation_gap": self.representation_gap(),
+        }
+
+
+def top_k_vs_overall(ranking: Ranking, attribute: str, k: int = 10) -> DiversityReport:
+    """Build the widget's top-k vs overall contrast for one attribute."""
+    if k < 1:
+        raise FairnessConfigError(f"k must be >= 1, got {k}")
+    overall = category_breakdown(ranking, attribute, k=None)
+    order = tuple(overall.proportions)
+    top = category_breakdown(ranking, attribute, k=k, category_order=order)
+    return DiversityReport(attribute=attribute, top_k=top, overall=overall)
+
+
+def diversity_report(
+    ranking: Ranking, attributes: Sequence[str], k: int = 10
+) -> list[DiversityReport]:
+    """One :class:`DiversityReport` per attribute (the full widget)."""
+    if not attributes:
+        raise FairnessConfigError("diversity_report needs at least one attribute")
+    return [top_k_vs_overall(ranking, attr, k=k) for attr in attributes]

@@ -1,0 +1,118 @@
+"""Exception hierarchy for the Ranking Facts library.
+
+Every error raised deliberately by this library derives from
+:class:`RankingFactsError`, so callers can catch one base class at an
+application boundary.  Subclasses are fine-grained enough that tests and
+user code can distinguish bad input data from bad configuration.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "RankingFactsError",
+    "SchemaError",
+    "ColumnTypeError",
+    "MissingColumnError",
+    "EmptyTableError",
+    "CSVFormatError",
+    "NormalizationError",
+    "ScoringError",
+    "WeightError",
+    "RankingError",
+    "FairnessConfigError",
+    "ProtectedGroupError",
+    "StabilityError",
+    "LabelError",
+    "DatasetError",
+    "SessionStateError",
+]
+
+
+class RankingFactsError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(RankingFactsError):
+    """A table or column violates its declared schema."""
+
+
+class ColumnTypeError(SchemaError):
+    """An operation was applied to a column of the wrong type.
+
+    For example, requesting a histogram of a categorical column, or using
+    a categorical attribute inside a linear scoring function.
+    """
+
+
+class MissingColumnError(SchemaError, KeyError):
+    """A referenced column name does not exist in the table."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        self.name = name
+        self.available = tuple(available)
+        msg = f"column {name!r} not found"
+        if self.available:
+            msg += f"; available columns: {', '.join(self.available)}"
+        super().__init__(msg)
+
+    def __str__(self) -> str:  # KeyError.__str__ adds quotes; keep message readable
+        return self.args[0]
+
+
+class EmptyTableError(RankingFactsError):
+    """An operation that requires at least one row got an empty table."""
+
+
+class CSVFormatError(RankingFactsError):
+    """A CSV file could not be parsed into a well-formed table."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        self.line_number = line_number
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class NormalizationError(RankingFactsError):
+    """A normalizer could not be fit or applied (e.g. zero variance)."""
+
+
+class ScoringError(RankingFactsError):
+    """A scoring function is malformed or cannot be evaluated."""
+
+
+class WeightError(ScoringError):
+    """Scoring weights are invalid (wrong sign, non-finite, empty...)."""
+
+
+class RankingError(RankingFactsError):
+    """A ranking operation failed (e.g. top-k larger than the ranking)."""
+
+
+class FairnessConfigError(RankingFactsError):
+    """A fairness measure was configured with invalid parameters."""
+
+
+class ProtectedGroupError(FairnessConfigError):
+    """The protected group is empty, universal, or otherwise degenerate."""
+
+
+class StabilityError(RankingFactsError):
+    """A stability estimator could not be computed."""
+
+
+class LabelError(RankingFactsError):
+    """A nutritional label could not be assembled or rendered."""
+
+
+class DatasetError(RankingFactsError):
+    """A built-in dataset generator or loader received bad parameters."""
+
+
+class SessionStateError(RankingFactsError):
+    """A demo-session method was called out of workflow order.
+
+    The Figure-3 workflow is: load dataset -> (optional) preprocess ->
+    design scoring function -> preview -> build label.  Calling e.g.
+    ``preview()`` before a scoring function exists raises this error.
+    """

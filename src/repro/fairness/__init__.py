@@ -1,0 +1,83 @@
+"""Fairness measures for rankings (the Fairness widget's engine).
+
+The widget "quantifies whether the ranked output exhibits statistical
+parity with respect to one or more sensitive attributes" and presents
+"the output of three fairness measures: FA*IR [14], proportion [15], and
+our own pairwise measure.  All these measures are statistical tests, and
+whether a result is fair is determined by the computed p-value"
+(paper §2.3).
+
+Contents:
+
+- :mod:`repro.fairness.base` — shared vocabulary:
+  :class:`ProtectedGroup`, :class:`FairnessResult`, the
+  :class:`FairnessMeasure` interface, and :func:`evaluate_fairness`
+  which runs all three widget measures at once;
+- :mod:`repro.fairness.proportion` — top-k proportion test adapted from
+  Zliobaite's review [15];
+- :mod:`repro.fairness.pairwise` — the authors' pairwise preference
+  measure (working paper);
+- :mod:`repro.fairness.fair_star` — the FA*IR ranked group fairness
+  test and re-ranking algorithm of Zehlike et al. [14];
+- :mod:`repro.fairness.relevance` — the rank-aware set measures rND,
+  rKL, rRD of Yang & Stoyanovich [13];
+- :mod:`repro.fairness.generative` — the generative fair-ranking model
+  of [13] (fairness probability f, proportion p) used to calibrate and
+  benchmark the tests.
+"""
+
+from repro.fairness.base import (
+    FairnessMeasure,
+    FairnessResult,
+    ProtectedGroup,
+    evaluate_fairness,
+)
+from repro.fairness.fair_star import (
+    FairStarAuditResult,
+    FairStarMeasure,
+    adjust_alpha,
+    compute_fail_probability,
+    fair_star_rerank,
+    minimum_protected_table,
+)
+from repro.fairness.generative import generate_ranking_labels, mixing_proportion
+from repro.fairness.multivalued import (
+    MultivaluedAudit,
+    evaluate_fairness_multivalued,
+    holm_bonferroni,
+)
+from repro.fairness.pairwise import PairwiseMeasure, pairwise_preference_statistics
+from repro.fairness.proportion import ProportionMeasure
+from repro.fairness.relevance import (
+    NormalizedFairnessScores,
+    rkl,
+    rnd,
+    rrd,
+    set_difference_scores,
+)
+
+__all__ = [
+    "ProtectedGroup",
+    "FairnessResult",
+    "FairnessMeasure",
+    "evaluate_fairness",
+    "ProportionMeasure",
+    "PairwiseMeasure",
+    "pairwise_preference_statistics",
+    "FairStarMeasure",
+    "FairStarAuditResult",
+    "minimum_protected_table",
+    "adjust_alpha",
+    "compute_fail_probability",
+    "fair_star_rerank",
+    "rnd",
+    "rkl",
+    "rrd",
+    "set_difference_scores",
+    "NormalizedFairnessScores",
+    "generate_ranking_labels",
+    "mixing_proportion",
+    "MultivaluedAudit",
+    "evaluate_fairness_multivalued",
+    "holm_bonferroni",
+]

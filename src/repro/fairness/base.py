@@ -1,0 +1,280 @@
+"""Shared fairness vocabulary: protected groups, results, the measure API.
+
+A *protected feature* is "one or several values of the sensitive
+attribute" (paper §2.3) — e.g. ``gender=F``, or ``DeptSizeBin=small``.
+:class:`ProtectedGroup` pins that choice down against a concrete
+ranking and precomputes the membership mask in rank order; every
+measure consumes the group view rather than re-reading the table.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import FairnessConfigError, ProtectedGroupError
+from repro.ranking.ranker import Ranking
+
+__all__ = [
+    "ProtectedGroup",
+    "FairnessResult",
+    "FairnessMeasure",
+    "evaluate_fairness",
+    "DEFAULT_ALPHA",
+    "DEFAULT_TOP_K",
+]
+
+#: Significance level at which all widget measures decide fair/unfair.
+DEFAULT_ALPHA = 0.05
+
+#: The widget's headline prefix size (paper widgets contrast top-10 vs all).
+DEFAULT_TOP_K = 10
+
+
+class ProtectedGroup:
+    """A binary protected/non-protected split of a ranking's items.
+
+    Parameters
+    ----------
+    ranking:
+        The ranking under audit.
+    attribute:
+        Name of the sensitive categorical attribute.
+    category:
+        The protected feature: the attribute value defining membership.
+
+    Raises
+    ------
+    ProtectedGroupError
+        If the group is empty or includes every item (statistical parity
+        is undefined without both groups), or membership is unknown for
+        some item (missing sensitive values make the audit unsound).
+    """
+
+    def __init__(self, ranking: Ranking, attribute: str, category: str):
+        column = ranking.table.categorical_column(attribute)
+        if category not in column.categories():
+            raise ProtectedGroupError(
+                f"attribute {attribute!r} has no category {category!r}; "
+                f"present: {', '.join(column.categories())}"
+            )
+        missing = int(column.missing_mask().sum())
+        if missing:
+            raise ProtectedGroupError(
+                f"attribute {attribute!r} has {missing} missing value(s); "
+                "fairness requires known group membership for every item"
+            )
+        mask = column.indicator(category)
+        n_protected = int(mask.sum())
+        if n_protected == 0:
+            raise ProtectedGroupError(
+                f"protected group {attribute}={category} is empty"
+            )
+        if n_protected == ranking.size:
+            raise ProtectedGroupError(
+                f"protected group {attribute}={category} covers every item; "
+                "the non-protected group is empty"
+            )
+        self._ranking = ranking
+        self._attribute = attribute
+        self._category = category
+        self._mask = mask
+        self._mask.setflags(write=False)
+
+    # -- identity -------------------------------------------------------------
+
+    @property
+    def ranking(self) -> Ranking:
+        """The audited ranking."""
+        return self._ranking
+
+    @property
+    def attribute(self) -> str:
+        """The sensitive attribute name."""
+        return self._attribute
+
+    @property
+    def category(self) -> str:
+        """The protected feature (attribute value)."""
+        return self._category
+
+    def label(self) -> str:
+        """Human-readable ``attribute=category`` tag for the widget."""
+        return f"{self._attribute}={self._category}"
+
+    # -- membership ------------------------------------------------------------
+
+    @property
+    def mask(self) -> np.ndarray:
+        """Boolean membership vector in rank order (read-only)."""
+        return self._mask
+
+    @property
+    def size(self) -> int:
+        """Total number of ranked items."""
+        return int(self._mask.shape[0])
+
+    @property
+    def protected_count(self) -> int:
+        """Number of protected items in the whole ranking."""
+        return int(self._mask.sum())
+
+    @property
+    def proportion(self) -> float:
+        """Population share ``p`` of the protected group."""
+        return self.protected_count / self.size
+
+    def count_at(self, k: int) -> int:
+        """Protected items among the top ``k`` (k clamped to the size)."""
+        if k <= 0:
+            raise FairnessConfigError(f"prefix size must be >= 1, got {k}")
+        return int(self._mask[: min(k, self.size)].sum())
+
+    def prefix_counts(self, k: int | None = None) -> np.ndarray:
+        """Cumulative protected counts for prefixes 1..k (default: all)."""
+        limit = self.size if k is None else min(k, self.size)
+        if limit <= 0:
+            raise FairnessConfigError(f"prefix size must be >= 1, got {limit}")
+        return np.cumsum(self._mask[:limit]).astype(np.int64)
+
+    def protected_positions(self) -> np.ndarray:
+        """1-based ranks of protected items."""
+        return np.flatnonzero(self._mask) + 1
+
+    def __repr__(self) -> str:
+        return (
+            f"ProtectedGroup({self.label()}, {self.protected_count}/{self.size} items)"
+        )
+
+
+@dataclass(frozen=True)
+class FairnessResult:
+    """One measure's verdict on one protected group.
+
+    Attributes
+    ----------
+    measure:
+        Measure name as shown on the label ("FA*IR", "Proportion",
+        "Pairwise").
+    group_label:
+        ``attribute=category`` of the audited group.
+    fair:
+        The fair/unfair verdict at ``alpha``.
+    p_value:
+        The probability driving the verdict (see each measure's
+        docstring for its exact meaning).
+    alpha:
+        Significance level used.
+    details:
+        Measure-specific internals for the detailed widget view.
+    """
+
+    measure: str
+    group_label: str
+    fair: bool
+    p_value: float
+    alpha: float
+    details: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def verdict(self) -> str:
+        """``"fair"`` or ``"unfair"``, as printed on the label."""
+        return "fair" if self.fair else "unfair"
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for serialization."""
+        return {
+            "measure": self.measure,
+            "group": self.group_label,
+            "verdict": self.verdict,
+            "fair": self.fair,
+            "p_value": self.p_value,
+            "alpha": self.alpha,
+            "details": dict(self.details),
+        }
+
+
+class FairnessMeasure:
+    """Interface every widget measure implements."""
+
+    #: display name on the label
+    name: str = "fairness measure"
+
+    def audit(self, group: ProtectedGroup) -> FairnessResult:
+        """Run the statistical test for ``group`` and return the verdict."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def evaluate_fairness(
+    ranking: Ranking,
+    attribute: str,
+    categories: Sequence[str] | None = None,
+    k: int = DEFAULT_TOP_K,
+    alpha: float = DEFAULT_ALPHA,
+    measures: Sequence[FairnessMeasure] | None = None,
+) -> list[FairnessResult]:
+    """Run the widget's measures for each protected feature.
+
+    Ranking Facts "will evaluate fairness with respect to every value in
+    the domain of this attribute" (paper §3) — by default every category
+    of ``attribute`` is treated as a protected feature in turn, exactly
+    as Figure 1 does for both "large" and "small".
+
+    Parameters
+    ----------
+    ranking:
+        The ranking to audit.
+    attribute:
+        Sensitive categorical attribute (must be binary unless explicit
+        ``categories`` are given).
+    categories:
+        Protected features to audit; defaults to all categories.
+    k:
+        Prefix size for the top-k measures.
+    alpha:
+        Significance level for every verdict.
+    measures:
+        Override the measure battery (defaults to FA*IR, Proportion,
+        Pairwise — the three on the paper's label).
+
+    Returns
+    -------
+    One :class:`FairnessResult` per (category, measure), category-major.
+    """
+    # late imports: the concrete measures import this module
+    from repro.fairness.fair_star import FairStarMeasure
+    from repro.fairness.pairwise import PairwiseMeasure
+    from repro.fairness.proportion import ProportionMeasure
+
+    column = ranking.table.categorical_column(attribute)
+    audit_categories = list(categories) if categories is not None else list(
+        column.categories()
+    )
+    if not audit_categories:
+        raise FairnessConfigError(
+            f"attribute {attribute!r} has no categories to audit"
+        )
+    if categories is None and len(audit_categories) > 2:
+        raise FairnessConfigError(
+            f"attribute {attribute!r} has {len(audit_categories)} categories; "
+            "Ranking Facts is limited to binary sensitive attributes "
+            "(pass explicit `categories`, or binarize first — see "
+            "repro.preprocess.binarize_categorical)"
+        )
+    if measures is None:
+        measures = (
+            FairStarMeasure(k=k, alpha=alpha),
+            ProportionMeasure(k=k, alpha=alpha),
+            PairwiseMeasure(alpha=alpha),
+        )
+    results: list[FairnessResult] = []
+    for category in audit_categories:
+        group = ProtectedGroup(ranking, attribute, category)
+        for measure in measures:
+            results.append(measure.audit(group))
+    return results

@@ -1,0 +1,136 @@
+"""The constructive half of FA*IR [14]: build a fair top-k ranking.
+
+Given candidates split into protected and non-protected queues (each
+already ordered by quality), the algorithm fills positions greedily:
+whenever the prefix would fall below its mtable requirement the best
+remaining protected candidate is forced in; otherwise the better head
+of the two queues is taken.  This is Algorithm 2 of [14], and is the
+"suggest modified scoring functions / mitigate lack of fairness"
+direction the paper's §4 names as future work for the tool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FairnessConfigError
+from repro.fairness.base import ProtectedGroup
+from repro.fairness.fair_star.adjustment import adjust_alpha
+from repro.fairness.fair_star.mtable import minimum_protected_table
+from repro.ranking.ranker import Ranking
+
+__all__ = ["fair_star_rerank", "rerank_labels"]
+
+
+def rerank_labels(
+    labels: np.ndarray,
+    scores: np.ndarray,
+    k: int,
+    p: float,
+    alpha: float,
+    adjust: bool = True,
+) -> np.ndarray:
+    """Re-rank by index: returns positions into the original order.
+
+    Parameters
+    ----------
+    labels:
+        Boolean protected mask, in current rank order.
+    scores:
+        Scores in current rank order (non-increasing).
+    k:
+        Length of the fair ranking to construct.
+    p, alpha, adjust:
+        FA*IR test parameters (see
+        :func:`~repro.fairness.fair_star.verifier.audit_prefixes`).
+
+    Returns
+    -------
+    Integer array of length ``k``: indices into the original order, such
+    that taking them in sequence yields a ranking whose every prefix
+    meets the mtable while preserving within-group score order.
+
+    Raises
+    ------
+    FairnessConfigError
+        When the protected queue is too small to ever satisfy the
+        requirement (infeasible instance).
+    """
+    mask = np.asarray(labels, dtype=bool)
+    score_arr = np.asarray(scores, dtype=np.float64)
+    if mask.shape != score_arr.shape or mask.ndim != 1:
+        raise FairnessConfigError("labels and scores must be equal-length 1-d arrays")
+    if not 1 <= k <= mask.size:
+        raise FairnessConfigError(f"k must be in [1, {mask.size}], got {k}")
+    adjusted = adjust_alpha(k, p, alpha) if adjust else alpha
+    if adjusted > 0.0:
+        mtable = minimum_protected_table(k, p, adjusted)
+    else:
+        mtable = np.zeros(k, dtype=np.int64)
+    if int(mtable[-1]) > int(mask.sum()):
+        raise FairnessConfigError(
+            f"infeasible: prefix {k} requires {int(mtable[-1])} protected "
+            f"candidates but only {int(mask.sum())} exist"
+        )
+
+    protected_queue = list(np.flatnonzero(mask))
+    other_queue = list(np.flatnonzero(~mask))
+    taken: list[int] = []
+    protected_so_far = 0
+    for position in range(1, k + 1):
+        need = int(mtable[position - 1])
+        if protected_so_far < need:
+            # constraint binds: must take a protected candidate
+            taken.append(protected_queue.pop(0))
+            protected_so_far += 1
+            continue
+        if not protected_queue:
+            taken.append(other_queue.pop(0))
+            continue
+        if not other_queue:
+            taken.append(protected_queue.pop(0))
+            protected_so_far += 1
+            continue
+        # free choice: take the better head (ties prefer the earlier item,
+        # which preserves the original order's tie-breaking)
+        if score_arr[protected_queue[0]] >= score_arr[other_queue[0]]:
+            take_protected = score_arr[protected_queue[0]] > score_arr[other_queue[0]] or (
+                protected_queue[0] < other_queue[0]
+            )
+        else:
+            take_protected = False
+        if take_protected:
+            taken.append(protected_queue.pop(0))
+            protected_so_far += 1
+        else:
+            taken.append(other_queue.pop(0))
+    return np.asarray(taken, dtype=np.intp)
+
+
+def fair_star_rerank(
+    group: ProtectedGroup,
+    k: int,
+    alpha: float = 0.1,
+    p: float | None = None,
+    adjust: bool = True,
+) -> Ranking:
+    """Produce a FA*IR-fair top-k :class:`Ranking` from an audited group.
+
+    The result contains ``k`` items; within each group the original
+    score order is preserved (FA*IR never swaps same-group items).
+
+    Note the returned ranking's scores are the items' original scores —
+    they may be locally non-monotone where a protected item was forced
+    up, which is the visible footprint of the intervention.
+    """
+    ranking = group.ranking
+    order = rerank_labels(
+        group.mask, ranking.scores, k=k,
+        p=group.proportion if p is None else p,
+        alpha=alpha, adjust=adjust,
+    )
+    return Ranking.presorted(
+        ranking.table.take(order),
+        ranking.scores[order],
+        id_column=ranking.id_column,
+    )

@@ -1,0 +1,114 @@
+"""The generative fair-ranking model of Yang & Stoyanovich [13].
+
+"In [13], we proposed a generative method to describe rankings that
+meet a particular fairness criterion (fairness probability f) and are
+drawn from a dataset with a given proportion of members of a binary
+protected group (p)" (paper §2.3).
+
+The process builds a ranking top-down from two pools — protected and
+non-protected items.  At each position it flips a coin with success
+probability ``f``:
+
+- success: the next item comes from the **protected** pool,
+- failure: from the non-protected pool,
+
+falling back to the non-empty pool when one side runs out.  With
+``f = p`` the process is *group-blind* (statistical parity holds in
+expectation at every prefix); ``f < p`` starves the protected group at
+the top, ``f > p`` favours it.
+
+The model has two jobs here: FA*IR's null hypothesis is exactly this
+process with ``f = p`` (each prefix is then Binomial(i, p)), and the
+benchmark harness sweeps ``(p, f)`` to measure how often each widget
+test flags rankings of known unfairness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FairnessConfigError
+
+__all__ = ["generate_ranking_labels", "mixing_proportion"]
+
+
+def generate_ranking_labels(
+    n: int,
+    p: float,
+    f: float | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Draw one ranking from the generative model as a boolean label vector.
+
+    Parameters
+    ----------
+    n:
+        Ranking length.
+    p:
+        Proportion of protected items in the underlying dataset; the
+        protected pool holds ``round(n * p)`` items.
+    f:
+        Fairness probability: chance that each position is filled from
+        the protected pool.  Defaults to ``p`` (the group-blind null).
+    rng:
+        numpy random generator (a fresh default one when omitted).
+
+    Returns
+    -------
+    Boolean array of length ``n``; ``True`` marks a protected item, in
+    rank order (index 0 = rank 1).
+
+    Raises
+    ------
+    FairnessConfigError
+        For an empty ranking, a proportion that leaves either pool
+        empty, or probabilities outside [0, 1].
+    """
+    if n <= 0:
+        raise FairnessConfigError(f"ranking length must be >= 1, got {n}")
+    if not 0.0 < p < 1.0:
+        raise FairnessConfigError(f"proportion p must be inside (0, 1), got {p}")
+    if f is None:
+        f = p
+    if not 0.0 <= f <= 1.0:
+        raise FairnessConfigError(f"fairness probability f must be in [0, 1], got {f}")
+    protected_left = int(round(n * p))
+    if protected_left == 0 or protected_left == n:
+        raise FairnessConfigError(
+            f"p={p} with n={n} leaves one pool empty "
+            f"({protected_left} protected items)"
+        )
+    non_protected_left = n - protected_left
+    if rng is None:
+        rng = np.random.default_rng()
+
+    coins = rng.random(n)
+    labels = np.zeros(n, dtype=bool)
+    for position in range(n):
+        if protected_left == 0:
+            take_protected = False
+        elif non_protected_left == 0:
+            take_protected = True
+        else:
+            take_protected = coins[position] < f
+        labels[position] = take_protected
+        if take_protected:
+            protected_left -= 1
+        else:
+            non_protected_left -= 1
+    return labels
+
+
+def mixing_proportion(labels: np.ndarray, k: int | None = None) -> float:
+    """Observed protected share in the first ``k`` positions (default all).
+
+    The natural empirical estimate of ``f`` for a generated ranking,
+    used by calibration tests of the generative model itself.
+    """
+    arr = np.asarray(labels, dtype=bool)
+    if arr.ndim != 1 or arr.size == 0:
+        raise FairnessConfigError("labels must be a non-empty 1-d boolean array")
+    limit = arr.size if k is None else min(k, arr.size)
+    if limit <= 0:
+        raise FairnessConfigError(f"prefix size must be >= 1, got {limit}")
+    return float(arr[:limit].mean())

@@ -1,0 +1,221 @@
+"""Fairness for multi-valued sensitive attributes (paper §4 future work).
+
+"We are actively working on defining group fairness measures that go
+beyond binary categories (e.g., can be applied to ethnicity, not only
+to gender), and will incorporate these into the tool when available."
+
+The natural lift of the widget's binary measures is one-vs-rest: audit
+each category of the attribute as the protected feature against the
+union of the others.  That multiplies the number of hypothesis tests by
+the number of categories, so raw p-values overstate significance —
+exactly the problem FA*IR's alpha adjustment solves across prefixes,
+now across *groups*.  We apply the Holm–Bonferroni step-down correction
+within each measure family, which controls the family-wise error rate
+at ``alpha`` with no independence assumptions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import FairnessConfigError
+from repro.fairness.base import (
+    DEFAULT_ALPHA,
+    DEFAULT_TOP_K,
+    FairnessMeasure,
+    FairnessResult,
+    ProtectedGroup,
+)
+from repro.ranking.ranker import Ranking
+
+__all__ = [
+    "holm_bonferroni",
+    "MultivaluedAudit",
+    "evaluate_fairness_multivalued",
+]
+
+
+def holm_bonferroni(p_values: Sequence[float], alpha: float = DEFAULT_ALPHA) -> list[bool]:
+    """Holm's step-down procedure: which hypotheses are rejected?
+
+    Returns a boolean per input p-value (True = rejected / significant),
+    controlling the family-wise error rate at ``alpha``.  Sorting is
+    internal; results align with the input order.
+
+    >>> holm_bonferroni([0.01, 0.04, 0.03], alpha=0.05)
+    [True, False, False]
+    """
+    if not 0.0 < alpha < 1.0:
+        raise FairnessConfigError(f"alpha must be inside (0, 1), got {alpha}")
+    m = len(p_values)
+    if m == 0:
+        return []
+    for p in p_values:
+        if not 0.0 <= p <= 1.0:
+            raise FairnessConfigError(f"p-values must be in [0, 1], got {p}")
+    order = sorted(range(m), key=lambda i: p_values[i])
+    rejected = [False] * m
+    for step, index in enumerate(order):
+        threshold = alpha / (m - step)
+        if p_values[index] < threshold:
+            rejected[index] = True
+        else:
+            break  # step-down stops at the first acceptance
+    return rejected
+
+
+@dataclass(frozen=True)
+class MultivaluedAudit:
+    """The lifted audit: per-category results with corrected verdicts.
+
+    ``results`` hold each one-vs-rest :class:`FairnessResult` with its
+    *raw* verdict; ``corrected_unfair`` marks which (category, measure)
+    pairs remain significant after Holm–Bonferroni within the measure
+    family.
+    """
+
+    attribute: str
+    categories: tuple[str, ...]
+    results: tuple[FairnessResult, ...]
+    corrected_unfair: dict[str, tuple[str, ...]]  # measure -> categories
+    alpha: float
+
+    def unfair_categories(self, measure: str) -> tuple[str, ...]:
+        """Categories flagged unfair by ``measure`` after correction."""
+        if measure not in self.corrected_unfair:
+            raise FairnessConfigError(
+                f"no measure {measure!r} in this audit; "
+                f"have: {', '.join(self.corrected_unfair)}"
+            )
+        return self.corrected_unfair[measure]
+
+    def any_unfair(self) -> bool:
+        """True when any corrected verdict is unfair."""
+        return any(self.corrected_unfair.values())
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for serialization."""
+        return {
+            "attribute": self.attribute,
+            "categories": list(self.categories),
+            "alpha": self.alpha,
+            "results": [r.as_dict() for r in self.results],
+            "corrected_unfair": {
+                measure: list(categories)
+                for measure, categories in self.corrected_unfair.items()
+            },
+        }
+
+
+def evaluate_fairness_multivalued(
+    ranking: Ranking,
+    attribute: str,
+    k: int = DEFAULT_TOP_K,
+    alpha: float = DEFAULT_ALPHA,
+    measures: Sequence[FairnessMeasure] | None = None,
+    min_group_size: int = 2,
+) -> MultivaluedAudit:
+    """One-vs-rest audit of every category, with Holm-corrected verdicts.
+
+    Parameters
+    ----------
+    ranking:
+        The ranking to audit.
+    attribute:
+        A categorical attribute with two or more categories (ethnicity,
+        region, ...).  Binary attributes work too and reduce to the
+        widget's behaviour plus the (mild, m=2) correction.
+    k, alpha:
+        Audit parameters; ``alpha`` is the *family-wise* level.
+    measures:
+        Measure battery (defaults to the widget's three).
+    min_group_size:
+        Categories with fewer members are skipped (their tests would be
+        vacuous); they are excluded from ``categories``.
+
+    Notes
+    -----
+    FA*IR decides against its own internally *adjusted* alpha, not by
+    comparing the p-value to the raw level, so the correction must act
+    at the test level: with the default battery every measure is
+    re-audited at the Bonferroni level ``alpha / m`` (m = number of
+    audited categories) and the measure's own verdict logic decides.
+    For a custom ``measures`` battery, where test internals are opaque,
+    Holm's step-down on the reported p-values is used instead — correct
+    for p-value-driven tests, conservative otherwise.
+    """
+    column = ranking.table.categorical_column(attribute)
+    all_categories = column.categories()
+    if len(all_categories) < 2:
+        raise FairnessConfigError(
+            f"attribute {attribute!r} has {len(all_categories)} category; "
+            "need at least 2"
+        )
+    if min_group_size < 1:
+        raise FairnessConfigError(
+            f"min_group_size must be >= 1, got {min_group_size}"
+        )
+    counts = column.counts()
+    categories = tuple(
+        c for c in all_categories
+        if counts[c] >= min_group_size and counts[c] < ranking.size
+    )
+    if not categories:
+        raise FairnessConfigError(
+            f"no category of {attribute!r} has between {min_group_size} "
+            f"and {ranking.size - 1} members"
+        )
+    corrected_measures: Sequence[FairnessMeasure] | None = None
+    if measures is None:
+        from repro.fairness.fair_star import FairStarMeasure
+        from repro.fairness.pairwise import PairwiseMeasure
+        from repro.fairness.proportion import ProportionMeasure
+
+        measures = (
+            FairStarMeasure(k=k, alpha=alpha),
+            ProportionMeasure(k=k, alpha=alpha),
+            PairwiseMeasure(alpha=alpha),
+        )
+        family_alpha = alpha / len(categories)  # Bonferroni across groups
+        corrected_measures = (
+            FairStarMeasure(k=k, alpha=family_alpha),
+            ProportionMeasure(k=k, alpha=family_alpha),
+            PairwiseMeasure(alpha=family_alpha),
+        )
+
+    results: list[FairnessResult] = []
+    by_measure: dict[str, list[tuple[str, float]]] = {}
+    corrected: dict[str, tuple[str, ...]] = {}
+    for category in categories:
+        group = ProtectedGroup(ranking, attribute, category)
+        for measure in measures:
+            result = measure.audit(group)
+            results.append(result)
+            by_measure.setdefault(result.measure, []).append(
+                (category, result.p_value)
+            )
+
+    if corrected_measures is not None:
+        # test-level Bonferroni: each measure re-decides at alpha / m
+        flagged: dict[str, list[str]] = {m.name: [] for m in corrected_measures}
+        for category in categories:
+            group = ProtectedGroup(ranking, attribute, category)
+            for measure in corrected_measures:
+                if not measure.audit(group).fair:
+                    flagged[measure.name].append(category)
+        corrected = {name: tuple(cats) for name, cats in flagged.items()}
+    else:
+        # opaque custom battery: Holm step-down on the reported p-values
+        for measure_name, pairs in by_measure.items():
+            rejected = holm_bonferroni([p for _, p in pairs], alpha=alpha)
+            corrected[measure_name] = tuple(
+                category for (category, _), flag in zip(pairs, rejected) if flag
+            )
+    return MultivaluedAudit(
+        attribute=attribute,
+        categories=categories,
+        results=tuple(results),
+        corrected_unfair=corrected,
+        alpha=alpha,
+    )

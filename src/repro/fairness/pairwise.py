@@ -1,0 +1,200 @@
+"""The authors' pairwise fairness measure (working paper, §2.3).
+
+"In our follow-up work (working paper), we are developing a pairwise
+measure that directly models the probability that a member of a
+protected group is preferred to a member of the non-protected group."
+
+The statistic is exactly that probability: of all (protected,
+non-protected) item pairs, the fraction where the protected item is
+ranked higher.  Under statistical parity this is 1/2.  The pair count
+is the Mann-Whitney U statistic of the protected group's rank
+positions, so the calibrated test is the rank-sum z-test (pairs share
+items and are not independent — a plain binomial on the pair count
+badly overstates significance; :class:`NaiveBinomialPairwiseMeasure`
+keeps that variant around for the calibration benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FairnessConfigError
+from repro.fairness.base import (
+    DEFAULT_ALPHA,
+    FairnessMeasure,
+    FairnessResult,
+    ProtectedGroup,
+)
+from repro.stats.distributions import norm_cdf, norm_sf
+from repro.stats.tests import binomial_test
+
+__all__ = [
+    "PairwiseStatistics",
+    "pairwise_preference_statistics",
+    "PairwiseMeasure",
+    "NaiveBinomialPairwiseMeasure",
+]
+
+
+@dataclass(frozen=True)
+class PairwiseStatistics:
+    """Counts behind the pairwise measure.
+
+    ``u_statistic`` is the number of (protected, non-protected) pairs
+    with the protected item ranked higher; ``preference_probability``
+    is ``u_statistic`` divided by the number of such pairs.
+    """
+
+    n_protected: int
+    n_non_protected: int
+    u_statistic: int
+    preference_probability: float
+
+    @property
+    def total_pairs(self) -> int:
+        """Number of (protected, non-protected) cross pairs."""
+        return self.n_protected * self.n_non_protected
+
+
+def pairwise_preference_statistics(mask) -> PairwiseStatistics:
+    """Exact pairwise counts from a rank-ordered protected mask.
+
+    Runs in O(n): for each protected item, the non-protected items
+    ranked below it are counted with a suffix sum.
+
+    >>> pairwise_preference_statistics([True, False]).preference_probability
+    1.0
+    """
+    arr = np.asarray(mask, dtype=bool)
+    if arr.ndim != 1 or arr.size < 2:
+        raise FairnessConfigError("pairwise statistics need >= 2 ranked items")
+    n_protected = int(arr.sum())
+    n_non = int(arr.size - n_protected)
+    if n_protected == 0 or n_non == 0:
+        raise FairnessConfigError(
+            "pairwise statistics need both protected and non-protected items"
+        )
+    # non_protected_below[i] = count of non-protected strictly after position i
+    non_protected_below = np.concatenate(
+        [np.cumsum((~arr)[::-1])[::-1][1:], [0]]
+    )
+    u = int(non_protected_below[arr].sum())
+    return PairwiseStatistics(
+        n_protected=n_protected,
+        n_non_protected=n_non,
+        u_statistic=u,
+        preference_probability=u / (n_protected * n_non),
+    )
+
+
+class PairwiseMeasure(FairnessMeasure):
+    """Rank-sum (Mann-Whitney) test of the pairwise preference probability.
+
+    The null hypothesis is exchangeability of ranks between the groups;
+    the z statistic uses the exact null mean ``n1*n2/2`` and variance
+    ``n1*n2*(n1+n2+1)/12`` (no ties are possible: ranks are distinct),
+    with a continuity correction.
+
+    Parameters
+    ----------
+    alpha:
+        Significance level.
+    alternative:
+        ``"two-sided"`` (default) flags deviations in either direction;
+        ``"less"`` flags only protected items being systematically
+        *dis*preferred.
+    """
+
+    name = "Pairwise"
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA, alternative: str = "two-sided"):
+        if not 0.0 < alpha < 1.0:
+            raise FairnessConfigError(f"alpha must be in (0, 1), got {alpha}")
+        if alternative not in ("two-sided", "less"):
+            raise FairnessConfigError(
+                f"alternative must be 'two-sided' or 'less', got {alternative!r}"
+            )
+        self._alpha = alpha
+        self._alternative = alternative
+
+    @property
+    def alpha(self) -> float:
+        """The significance level."""
+        return self._alpha
+
+    def audit(self, group: ProtectedGroup) -> FairnessResult:
+        """Run the rank-sum test on the group's positions."""
+        stats = pairwise_preference_statistics(group.mask)
+        n1, n2 = stats.n_protected, stats.n_non_protected
+        mean_u = n1 * n2 / 2.0
+        var_u = n1 * n2 * (n1 + n2 + 1) / 12.0
+        # continuity correction towards the mean
+        u = float(stats.u_statistic)
+        if u > mean_u:
+            z = (u - 0.5 - mean_u) / var_u**0.5
+        elif u < mean_u:
+            z = (u + 0.5 - mean_u) / var_u**0.5
+        else:
+            z = 0.0
+        if self._alternative == "less":
+            p_value = norm_cdf(z)
+        else:
+            p_value = min(1.0, 2.0 * norm_sf(abs(z)))
+        fair = not (p_value < self._alpha)
+        return FairnessResult(
+            measure=self.name,
+            group_label=group.label(),
+            fair=fair,
+            p_value=float(p_value),
+            alpha=self._alpha,
+            details={
+                "preference_probability": stats.preference_probability,
+                "u_statistic": stats.u_statistic,
+                "total_pairs": stats.total_pairs,
+                "n_protected": n1,
+                "n_non_protected": n2,
+                "z_statistic": z,
+                "alternative": self._alternative,
+                "test": "Mann-Whitney rank-sum z-test",
+            },
+        )
+
+
+class NaiveBinomialPairwiseMeasure(FairnessMeasure):
+    """Pairwise measure tested with a plain binomial on the pair count.
+
+    Treats all ``n1*n2`` cross pairs as independent Bernoulli(1/2)
+    trials.  They are not (pairs share items), so this test is badly
+    anti-conservative; it exists for the A-series calibration benchmark
+    that demonstrates why the rank-sum form is the right one.
+    """
+
+    name = "Pairwise (naive binomial)"
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA):
+        if not 0.0 < alpha < 1.0:
+            raise FairnessConfigError(f"alpha must be in (0, 1), got {alpha}")
+        self._alpha = alpha
+
+    def audit(self, group: ProtectedGroup) -> FairnessResult:
+        """Binomial test of the raw pair count against 1/2."""
+        stats = pairwise_preference_statistics(group.mask)
+        result = binomial_test(
+            stats.u_statistic, stats.total_pairs, 0.5, alternative="two-sided"
+        )
+        fair = not result.significant(self._alpha)
+        return FairnessResult(
+            measure=self.name,
+            group_label=group.label(),
+            fair=fair,
+            p_value=result.p_value,
+            alpha=self._alpha,
+            details={
+                "preference_probability": stats.preference_probability,
+                "u_statistic": stats.u_statistic,
+                "total_pairs": stats.total_pairs,
+                "test": result.name,
+            },
+        )

@@ -1,0 +1,118 @@
+"""The "proportion" fairness measure (adapted from Zliobaite's review [15]).
+
+"One typical measure compares the proportion of members of a protected
+group who receive a positive outcome to their proportion in the overall
+population ... A measure of this kind can be adapted to rankings by
+quantifying the proportion of members of a protected group in some
+selected set of size k (treating the top-k as a set)" (paper §2.3).
+
+Being ranked in the top-k is the positive outcome.  The test is the
+pooled two-proportion z-test comparing the protected share inside the
+top-k against the share in the remainder of the ranking; a significant
+difference in either direction is reported as unfair (under- **or**
+over-representation both break statistical parity).
+"""
+
+from __future__ import annotations
+
+from repro.errors import FairnessConfigError
+from repro.fairness.base import (
+    DEFAULT_ALPHA,
+    DEFAULT_TOP_K,
+    FairnessMeasure,
+    FairnessResult,
+    ProtectedGroup,
+)
+from repro.stats.tests import two_proportion_ztest
+
+__all__ = ["ProportionMeasure"]
+
+
+class ProportionMeasure(FairnessMeasure):
+    """Two-proportion z-test of top-k membership vs the rest.
+
+    Parameters
+    ----------
+    k:
+        Size of the selected set (default 10, the widget's headline k).
+    alpha:
+        Significance level for the fair/unfair verdict.
+    alternative:
+        ``"two-sided"`` (default) flags both under- and
+        over-representation; ``"less"`` flags only
+        under-representation of the protected group.
+    """
+
+    name = "Proportion"
+
+    def __init__(
+        self,
+        k: int = DEFAULT_TOP_K,
+        alpha: float = DEFAULT_ALPHA,
+        alternative: str = "two-sided",
+    ):
+        if k < 1:
+            raise FairnessConfigError(f"k must be >= 1, got {k}")
+        if not 0.0 < alpha < 1.0:
+            raise FairnessConfigError(f"alpha must be in (0, 1), got {alpha}")
+        if alternative not in ("two-sided", "less"):
+            raise FairnessConfigError(
+                f"alternative must be 'two-sided' or 'less', got {alternative!r}"
+            )
+        self._k = k
+        self._alpha = alpha
+        self._alternative = alternative
+
+    @property
+    def k(self) -> int:
+        """The selected-set size."""
+        return self._k
+
+    @property
+    def alpha(self) -> float:
+        """The significance level."""
+        return self._alpha
+
+    def audit(self, group: ProtectedGroup) -> FairnessResult:
+        """Test whether the top-k protected share matches the rest.
+
+        Raises
+        ------
+        FairnessConfigError
+            When ``k`` is not smaller than the ranking (there would be
+            no comparison group).
+        """
+        n = group.size
+        k = self._k
+        if k >= n:
+            raise FairnessConfigError(
+                f"proportion measure needs k < ranking size, got k={k}, n={n}"
+            )
+        in_topk = group.count_at(k)
+        below = group.protected_count - in_topk
+        result = two_proportion_ztest(
+            successes_a=in_topk,
+            trials_a=k,
+            successes_b=below,
+            trials_b=n - k,
+            alternative=self._alternative,
+        )
+        fair = not result.significant(self._alpha)
+        return FairnessResult(
+            measure=self.name,
+            group_label=group.label(),
+            fair=fair,
+            p_value=result.p_value,
+            alpha=self._alpha,
+            details={
+                "k": k,
+                "protected_in_topk": in_topk,
+                "topk_share": in_topk / k,
+                "protected_below": below,
+                "below_share": below / (n - k),
+                "overall_share": group.proportion,
+                "z_statistic": result.statistic,
+                "alternative": self._alternative,
+                "test": result.name,
+            },
+        )

@@ -1,0 +1,22 @@
+"""Attribute importance (the Ingredients widget's engine).
+
+"The Ingredients widget lists attributes most material to the ranked
+outcome, in order of importance ... Such associations can be derived
+with linear models or with other methods" (paper §2.1).
+"""
+
+from repro.ingredients.importance import (
+    AttributeImportance,
+    IngredientsAnalysis,
+    correlation_importance,
+    ingredients,
+    linear_model_importance,
+)
+
+__all__ = [
+    "AttributeImportance",
+    "IngredientsAnalysis",
+    "correlation_importance",
+    "linear_model_importance",
+    "ingredients",
+]

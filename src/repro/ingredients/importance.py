@@ -1,0 +1,209 @@
+"""Estimating which attributes drive a ranked outcome.
+
+Two estimators, matching the paper's two suggestions:
+
+- :func:`correlation_importance` — rank correlation (Spearman's rho)
+  between each attribute and the ranking's scores; model-free, the
+  widget default.  This is what exposes Figure 1's finding that "GRE
+  is one of the scoring attributes, but it does not correlate with the
+  ranked outcome".
+- :func:`linear_model_importance` — "for a linear model, this list
+  could present the attributes with the highest learned weights": an
+  OLS fit of the score on standardized attributes; the absolute
+  standardized coefficients are the importances.
+
+Both return importances in [0, 1]-comparable magnitudes with a signed
+``direction`` so the detailed widget can say *how* an attribute is
+associated (more faculty -> higher rank vs. lower).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import RankingFactsError
+from repro.ranking.ranker import Ranking
+from repro.stats.correlation import spearman_rho
+
+__all__ = [
+    "AttributeImportance",
+    "IngredientsAnalysis",
+    "correlation_importance",
+    "linear_model_importance",
+    "ingredients",
+]
+
+
+@dataclass(frozen=True)
+class AttributeImportance:
+    """One attribute's influence on the outcome.
+
+    ``importance`` is a non-negative magnitude (larger = more material
+    to the outcome); ``direction`` is the signed underlying statistic
+    (correlation or standardized coefficient).
+    """
+
+    attribute: str
+    importance: float
+    direction: float
+    method: str
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for serialization."""
+        return {
+            "attribute": self.attribute,
+            "importance": self.importance,
+            "direction": self.direction,
+            "method": self.method,
+        }
+
+
+@dataclass(frozen=True)
+class IngredientsAnalysis:
+    """All attribute importances, sorted most-material first."""
+
+    method: str
+    importances: tuple[AttributeImportance, ...]
+
+    def top(self, n: int = 3) -> tuple[AttributeImportance, ...]:
+        """The ``n`` most important attributes (the overview widget)."""
+        if n < 1:
+            raise ValueError(f"top() needs n >= 1, got {n}")
+        return self.importances[:n]
+
+    def importance_of(self, attribute: str) -> AttributeImportance:
+        """Lookup by name (raises when the attribute was not analyzed)."""
+        for item in self.importances:
+            if item.attribute == attribute:
+                return item
+        raise RankingFactsError(
+            f"attribute {attribute!r} was not part of this analysis"
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for serialization."""
+        return {
+            "method": self.method,
+            "importances": [imp.as_dict() for imp in self.importances],
+        }
+
+
+def _candidate_attributes(
+    ranking: Ranking, attributes: Sequence[str] | None
+) -> tuple[str, ...]:
+    if attributes is not None:
+        chosen = tuple(attributes)
+        for name in chosen:
+            ranking.table.numeric_column(name)  # raise early on bad names
+        if not chosen:
+            raise RankingFactsError("ingredients need at least one attribute")
+        return chosen
+    names = ranking.table.numeric_column_names()
+    if not names:
+        raise RankingFactsError("the ranked table has no numeric attributes")
+    return names
+
+
+def _paired_without_missing(
+    values: np.ndarray, scores: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    keep = ~(np.isnan(values) | np.isnan(scores))
+    return values[keep], scores[keep]
+
+
+def correlation_importance(
+    ranking: Ranking, attributes: Sequence[str] | None = None
+) -> IngredientsAnalysis:
+    """Spearman correlation of each attribute with the ranking's scores.
+
+    Missing attribute values are dropped pairwise; an attribute that is
+    constant (or has fewer than two observed values) gets importance 0.
+    Sorting is by importance descending, ties broken by attribute name
+    for determinism.
+    """
+    chosen = _candidate_attributes(ranking, attributes)
+    scores = ranking.scores
+    results: list[AttributeImportance] = []
+    for name in chosen:
+        values, paired_scores = _paired_without_missing(
+            ranking.table.numeric_column(name).values, scores
+        )
+        if values.size < 2 or np.all(values == values[0]):
+            rho = 0.0
+        else:
+            rho = spearman_rho(values, paired_scores)
+        results.append(
+            AttributeImportance(
+                attribute=name,
+                importance=abs(rho),
+                direction=rho,
+                method="spearman",
+            )
+        )
+    results.sort(key=lambda item: (-item.importance, item.attribute))
+    return IngredientsAnalysis(method="spearman", importances=tuple(results))
+
+
+def linear_model_importance(
+    ranking: Ranking, attributes: Sequence[str] | None = None
+) -> IngredientsAnalysis:
+    """OLS of the score on standardized attributes; |coefficient| ranks.
+
+    Rows with any missing chosen attribute are dropped (listwise).
+    Standardizing the design matrix makes coefficients comparable
+    across attribute scales; constant attributes get coefficient 0.
+    """
+    chosen = _candidate_attributes(ranking, attributes)
+    scores = ranking.scores
+    matrix = np.column_stack(
+        [ranking.table.numeric_column(name).values for name in chosen]
+    )
+    keep = ~(np.isnan(matrix).any(axis=1) | np.isnan(scores))
+    matrix = matrix[keep]
+    y = scores[keep]
+    if matrix.shape[0] < len(chosen) + 1:
+        raise RankingFactsError(
+            f"linear importance needs more complete rows ({matrix.shape[0]}) "
+            f"than attributes ({len(chosen)})"
+        )
+    stds = matrix.std(axis=0, ddof=0)
+    means = matrix.mean(axis=0)
+    usable = stds > 0.0
+    standardized = np.zeros_like(matrix)
+    standardized[:, usable] = (matrix[:, usable] - means[usable]) / stds[usable]
+    design = np.column_stack([standardized, np.ones(matrix.shape[0])])
+    coefficients, *_ = np.linalg.lstsq(design, y, rcond=None)
+    results = []
+    for j, name in enumerate(chosen):
+        coef = float(coefficients[j]) if usable[j] else 0.0
+        results.append(
+            AttributeImportance(
+                attribute=name,
+                importance=abs(coef),
+                direction=coef,
+                method="linear-model",
+            )
+        )
+    results.sort(key=lambda item: (-item.importance, item.attribute))
+    return IngredientsAnalysis(method="linear-model", importances=tuple(results))
+
+
+def ingredients(
+    ranking: Ranking,
+    attributes: Sequence[str] | None = None,
+    method: str = "spearman",
+) -> IngredientsAnalysis:
+    """The widget's entry point: importance analysis by method name.
+
+    ``method`` is ``"spearman"`` (default) or ``"linear-model"``.
+    """
+    if method == "spearman":
+        return correlation_importance(ranking, attributes)
+    if method == "linear-model":
+        return linear_model_importance(ranking, attributes)
+    raise RankingFactsError(
+        f"unknown ingredients method {method!r}; use 'spearman' or 'linear-model'"
+    )

@@ -1,0 +1,51 @@
+"""Nutritional-label assembly and rendering (the paper's contribution).
+
+"Ranking Facts is made up of a collection of visual widgets.  Each
+widget addresses an essential aspect of transparency and
+interpretability" (paper §1).  Here:
+
+- :mod:`repro.label.widgets` — the six widget payloads (Recipe,
+  Ingredients, Stability, Fairness, Diversity) plus the
+  :class:`NutritionalLabel` that binds them;
+- :mod:`repro.label.builder` — :class:`RankingFactsBuilder`: configure
+  dataset, scoring function, sensitive and diversity attributes, then
+  ``build()`` the label in one call;
+- :mod:`repro.label.render_text` / ``render_html`` / ``render_json`` —
+  the three output formats (terminal, browser, machine).
+"""
+
+from repro.label.builder import RankingFacts, RankingFactsBuilder
+from repro.label.compare import LabelDiff, VerdictChange, diff_labels
+from repro.label.render_html import render_html
+from repro.label.render_json import label_from_json, render_json
+from repro.label.render_markdown import render_markdown
+from repro.label.render_text import render_text
+from repro.label.widgets import (
+    DiversityWidget,
+    FairnessWidget,
+    IngredientsWidget,
+    NutritionalLabel,
+    RecipeWidget,
+    StabilityWidget,
+    WidgetStatistics,
+)
+
+__all__ = [
+    "RecipeWidget",
+    "IngredientsWidget",
+    "StabilityWidget",
+    "FairnessWidget",
+    "DiversityWidget",
+    "WidgetStatistics",
+    "NutritionalLabel",
+    "RankingFactsBuilder",
+    "RankingFacts",
+    "render_text",
+    "render_html",
+    "render_json",
+    "render_markdown",
+    "label_from_json",
+    "diff_labels",
+    "LabelDiff",
+    "VerdictChange",
+]

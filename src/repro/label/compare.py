@@ -1,0 +1,188 @@
+"""Comparing two nutritional labels: what did a recipe change *do*?
+
+The demo's loop is iterative — the user "will then either refine it, or
+go on to generate Ranking Facts" (paper §3) — and the mitigation module
+exists to propose refinements.  A label diff is the missing feedback
+artifact: given the labels before and after a change, it reports every
+verdict flip, the stability movement, and the per-category diversity
+shifts, so the effect of a refinement is itself transparent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LabelError
+from repro.label.widgets import NutritionalLabel
+
+__all__ = ["VerdictChange", "LabelDiff", "diff_labels"]
+
+
+@dataclass(frozen=True)
+class VerdictChange:
+    """One fairness verdict that differs between the two labels."""
+
+    group: str
+    measure: str
+    before: str
+    after: str
+
+    @property
+    def improved(self) -> bool:
+        """True when the change is unfair -> fair."""
+        return self.before == "unfair" and self.after == "fair"
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for serialization."""
+        return {
+            "group": self.group,
+            "measure": self.measure,
+            "before": self.before,
+            "after": self.after,
+            "improved": self.improved,
+        }
+
+
+@dataclass(frozen=True)
+class LabelDiff:
+    """Structured difference between two labels of the same dataset.
+
+    Attributes
+    ----------
+    weight_changes:
+        ``{attribute: (before, after)}`` for every attribute whose
+        weight differs (attributes present in only one recipe appear
+        with ``None`` on the missing side).
+    verdict_changes:
+        Fairness verdicts that flipped.
+    stability_before / stability_after:
+        The two overview stability scores.
+    diversity_shifts:
+        ``{attribute: {category: delta}}`` — change in top-k share per
+        category, for attributes present in both labels.
+    """
+
+    weight_changes: dict[str, tuple[float | None, float | None]]
+    verdict_changes: tuple[VerdictChange, ...]
+    stability_before: float
+    stability_after: float
+    stability_verdict_before: str
+    stability_verdict_after: str
+    diversity_shifts: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def fairness_improved(self) -> bool:
+        """True when at least one verdict flipped to fair and none regressed."""
+        if not self.verdict_changes:
+            return False
+        return all(change.improved for change in self.verdict_changes)
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable one-line-per-change summary."""
+        lines: list[str] = []
+        for attribute, (before, after) in self.weight_changes.items():
+            lines.append(
+                f"weight {attribute}: "
+                f"{'-' if before is None else f'{before:g}'} -> "
+                f"{'-' if after is None else f'{after:g}'}"
+            )
+        for change in self.verdict_changes:
+            lines.append(
+                f"fairness {change.measure} on {change.group}: "
+                f"{change.before} -> {change.after}"
+            )
+        if self.stability_verdict_before != self.stability_verdict_after:
+            lines.append(
+                f"stability: {self.stability_verdict_before} -> "
+                f"{self.stability_verdict_after}"
+            )
+        for attribute, shifts in self.diversity_shifts.items():
+            for category, delta in shifts.items():
+                if abs(delta) >= 0.005:
+                    lines.append(
+                        f"diversity {attribute}={category}: top-k share "
+                        f"{'+' if delta >= 0 else ''}{delta:.1%}"
+                    )
+        return lines
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for serialization."""
+        return {
+            "weight_changes": {
+                a: list(pair) for a, pair in self.weight_changes.items()
+            },
+            "verdict_changes": [c.as_dict() for c in self.verdict_changes],
+            "stability_before": self.stability_before,
+            "stability_after": self.stability_after,
+            "stability_verdict_before": self.stability_verdict_before,
+            "stability_verdict_after": self.stability_verdict_after,
+            "diversity_shifts": {
+                a: dict(shifts) for a, shifts in self.diversity_shifts.items()
+            },
+        }
+
+
+def diff_labels(before: NutritionalLabel, after: NutritionalLabel) -> LabelDiff:
+    """Structured diff of two labels over the same dataset.
+
+    Raises
+    ------
+    LabelError
+        When the labels describe different datasets or different k —
+        those diffs would compare incomparable widgets.
+    """
+    if before.dataset_name != after.dataset_name:
+        raise LabelError(
+            f"cannot diff labels of different datasets "
+            f"({before.dataset_name!r} vs {after.dataset_name!r})"
+        )
+    if before.k != after.k:
+        raise LabelError(
+            f"cannot diff labels with different k ({before.k} vs {after.k})"
+        )
+
+    weight_changes: dict[str, tuple[float | None, float | None]] = {}
+    for attribute in {**before.recipe.weights, **after.recipe.weights}:
+        b = before.recipe.weights.get(attribute)
+        a = after.recipe.weights.get(attribute)
+        if b != a:
+            weight_changes[attribute] = (b, a)
+
+    before_grid = before.fairness.verdict_grid()
+    after_grid = after.fairness.verdict_grid()
+    verdict_changes = []
+    for group in sorted(set(before_grid) & set(after_grid)):
+        for measure in before_grid[group]:
+            if measure not in after_grid[group]:
+                continue
+            old = before_grid[group][measure]
+            new = after_grid[group][measure]
+            if old != new:
+                verdict_changes.append(
+                    VerdictChange(
+                        group=group, measure=measure, before=old, after=new
+                    )
+                )
+
+    before_diversity = {r.attribute: r for r in before.diversity.reports}
+    after_diversity = {r.attribute: r for r in after.diversity.reports}
+    diversity_shifts: dict[str, dict[str, float]] = {}
+    for attribute in set(before_diversity) & set(after_diversity):
+        old = before_diversity[attribute].top_k.proportions
+        new = after_diversity[attribute].top_k.proportions
+        shifts = {
+            category: new.get(category, 0.0) - share
+            for category, share in old.items()
+        }
+        if any(abs(v) > 1e-12 for v in shifts.values()):
+            diversity_shifts[attribute] = shifts
+
+    return LabelDiff(
+        weight_changes=weight_changes,
+        verdict_changes=tuple(verdict_changes),
+        stability_before=before.stability.stability_score,
+        stability_after=after.stability.stability_score,
+        stability_verdict_before=before.stability.verdict,
+        stability_verdict_after=after.stability.verdict,
+        diversity_shifts=diversity_shifts,
+    )

@@ -1,0 +1,224 @@
+"""HTML rendering: the label as a self-contained web page.
+
+Dependency-free string templating (inline CSS, no JavaScript needed for
+the static view).  The demo web server serves this for ``/label.html``;
+the layout follows Figure 1: a grid of colored widget cards, each with
+its overview on top and its detail table below.
+"""
+
+from __future__ import annotations
+
+import html
+
+from repro.label.widgets import NutritionalLabel, WidgetStatistics
+
+__all__ = ["render_html"]
+
+_PAGE_STYLE = """
+body { font-family: Helvetica, Arial, sans-serif; background: #f5f5f2;
+       margin: 2em; color: #222; }
+h1 { text-align: center; letter-spacing: 0.08em; }
+.meta { text-align: center; color: #555; margin-bottom: 1.5em; }
+.grid { display: grid; grid-template-columns: repeat(auto-fit, minmax(330px, 1fr));
+        gap: 1em; max-width: 1100px; margin: 0 auto; }
+.widget { border-radius: 8px; padding: 1em; background: #fff;
+          box-shadow: 0 1px 3px rgba(0,0,0,0.15); border-top: 6px solid #888; }
+.widget.recipe { border-top-color: #d4a017; }
+.widget.ingredients { border-top-color: #2e8b57; }
+.widget.stability { border-top-color: #8860d0; }
+.widget.fairness { border-top-color: #4682b4; }
+.widget.diversity { border-top-color: #cd5c5c; }
+.widget h2 { margin-top: 0; font-size: 1.1em; text-transform: uppercase;
+             letter-spacing: 0.05em; }
+table { border-collapse: collapse; width: 100%; font-size: 0.85em; }
+th, td { padding: 0.25em 0.5em; text-align: right; border-bottom: 1px solid #eee; }
+th:first-child, td:first-child { text-align: left; }
+.fair { color: #2e8b57; font-weight: bold; }
+.unfair { color: #c0392b; font-weight: bold; }
+.stable { color: #2e8b57; font-weight: bold; }
+.unstable { color: #c0392b; font-weight: bold; }
+.bar { background: #e8e8e8; height: 10px; border-radius: 5px; overflow: hidden; }
+.bar > span { display: block; height: 100%; background: #4682b4; }
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value))
+
+
+def _fmt(value: float, digits: int = 3) -> str:
+    if value != value:
+        return "n/a"
+    return f"{value:.{digits}g}"
+
+
+def _stats_table(stats: tuple[WidgetStatistics, ...]) -> str:
+    rows = ["<table><tr><th>attribute</th><th>slice</th><th>min</th>"
+            "<th>median</th><th>max</th></tr>"]
+    for stat in stats:
+        rows.append(
+            f"<tr><td>{_esc(stat.attribute)}</td><td>top-k</td>"
+            f"<td>{_fmt(stat.top_k.minimum)}</td><td>{_fmt(stat.top_k.median)}</td>"
+            f"<td>{_fmt(stat.top_k.maximum)}</td></tr>"
+        )
+        rows.append(
+            f"<tr><td></td><td>overall</td>"
+            f"<td>{_fmt(stat.overall.minimum)}</td><td>{_fmt(stat.overall.median)}</td>"
+            f"<td>{_fmt(stat.overall.maximum)}</td></tr>"
+        )
+    rows.append("</table>")
+    return "".join(rows)
+
+
+def _recipe_card(label: NutritionalLabel) -> str:
+    parts = ['<div class="widget recipe"><h2>Recipe</h2><table>',
+             "<tr><th>attribute</th><th>weight</th><th>share</th><th>scaling</th></tr>"]
+    for attribute, weight in label.recipe.weights.items():
+        share = label.recipe.normalized_weights[attribute]
+        scheme = label.recipe.normalization.get(attribute, "identity")
+        parts.append(
+            f"<tr><td>{_esc(attribute)}</td><td>{weight:g}</td>"
+            f"<td>{share:.1%}</td><td>{_esc(scheme)}</td></tr>"
+        )
+    parts.append("</table>")
+    parts.append(_stats_table(label.recipe.statistics))
+    parts.append("</div>")
+    return "".join(parts)
+
+
+def _ingredients_card(label: NutritionalLabel) -> str:
+    parts = ['<div class="widget ingredients"><h2>Ingredients</h2><table>',
+             "<tr><th>attribute</th><th>importance</th><th></th></tr>"]
+    for item in label.ingredients.analysis.importances:
+        width = int(round(100 * min(1.0, item.importance)))
+        parts.append(
+            f"<tr><td>{_esc(item.attribute)}</td><td>{item.importance:.3f}</td>"
+            f'<td><div class="bar"><span style="width:{width}%"></span></div></td></tr>'
+        )
+    parts.append("</table>")
+    parts.append(_stats_table(label.ingredients.statistics))
+    parts.append("</div>")
+    return "".join(parts)
+
+
+def _stability_card(label: NutritionalLabel) -> str:
+    report = label.stability.slope_report
+    verdict_class = "stable" if report.stable else "unstable"
+    parts = [
+        '<div class="widget stability"><h2>Stability</h2>',
+        f'<p>score {_fmt(label.stability.stability_score)} — '
+        f'<span class="{verdict_class}">{report.verdict.upper()}</span></p>',
+        "<table><tr><th>segment</th><th>slope</th><th>R&sup2;</th><th>verdict</th></tr>",
+        f"<tr><td>top-{report.k}</td><td>{_fmt(report.slope_top_k)}</td>"
+        f"<td>{report.fit_top_k.r_squared:.3f}</td>"
+        f"<td>{'stable' if report.stable_top_k else 'unstable'}</td></tr>",
+        f"<tr><td>overall</td><td>{_fmt(report.slope_overall)}</td>"
+        f"<td>{report.fit_overall.r_squared:.3f}</td>"
+        f"<td>{'stable' if report.stable_overall else 'unstable'}</td></tr>",
+        "</table>",
+        f"<p>instability threshold: {report.threshold:g}</p>",
+    ]
+    if label.stability.gaps:
+        parts.append("<table><tr><th>segment</th><th>min gap</th>"
+                     "<th>median gap</th><th>swap margin</th></tr>")
+        for segment, gap in label.stability.gaps.items():
+            parts.append(
+                f"<tr><td>{_esc(segment)}</td><td>{_fmt(gap.min_gap)}</td>"
+                f"<td>{_fmt(gap.median_gap)}</td>"
+                f"<td>{_fmt(gap.swap_margin)}</td></tr>"
+            )
+        parts.append("</table>")
+    for name, outcomes in (
+        ("weight perturbation", label.stability.perturbation),
+        ("data uncertainty", label.stability.uncertainty),
+    ):
+        if outcomes:
+            parts.append(f"<table><tr><th>{_esc(name)} &epsilon;</th>"
+                         "<th>P[top-k changes]</th><th>mean &tau;</th></tr>")
+            for outcome in outcomes:
+                parts.append(
+                    f"<tr><td>{outcome.epsilon:g}</td>"
+                    f"<td>{outcome.change_probability:.2f}</td>"
+                    f"<td>{outcome.mean_kendall_tau:.3f}</td></tr>"
+                )
+            parts.append("</table>")
+    if label.stability.per_attribute:
+        parts.append("<table><tr><th>attribute</th><th>weight</th>"
+                     "<th>critical change</th></tr>")
+        for result in label.stability.per_attribute:
+            parts.append(
+                f"<tr><td>{_esc(result.attribute)}</td><td>{result.weight:g}</td>"
+                f"<td>{result.critical_epsilon:.0%}</td></tr>"
+            )
+        parts.append("</table>")
+    parts.append("</div>")
+    return "".join(parts)
+
+
+def _fairness_card(label: NutritionalLabel) -> str:
+    grid = label.fairness.verdict_grid()
+    measures: list[str] = []
+    for verdicts in grid.values():
+        for measure in verdicts:
+            if measure not in measures:
+                measures.append(measure)
+    parts = ['<div class="widget fairness"><h2>Fairness</h2><table><tr><th>group</th>']
+    parts += [f"<th>{_esc(m)}</th>" for m in measures]
+    parts.append("</tr>")
+    for group, verdicts in grid.items():
+        parts.append(f"<tr><td>{_esc(group)}</td>")
+        for measure in measures:
+            verdict = verdicts.get(measure, "-")
+            parts.append(f'<td class="{verdict}">{_esc(verdict)}</td>')
+        parts.append("</tr>")
+    parts.append("</table><table><tr><th>measure</th><th>group</th><th>p-value</th>"
+                 "<th>&alpha;</th></tr>")
+    for result in label.fairness.results:
+        parts.append(
+            f"<tr><td>{_esc(result.measure)}</td><td>{_esc(result.group_label)}</td>"
+            f"<td>{_fmt(result.p_value, 4)}</td><td>{_fmt(result.alpha, 4)}</td></tr>"
+        )
+    parts.append("</table></div>")
+    return "".join(parts)
+
+
+def _diversity_card(label: NutritionalLabel) -> str:
+    parts = ['<div class="widget diversity"><h2>Diversity</h2>']
+    for report in label.diversity.reports:
+        parts.append(f"<h3>{_esc(report.attribute)}</h3>")
+        parts.append(f"<table><tr><th>category</th><th>top-{label.k}</th>"
+                     "<th>overall</th></tr>")
+        for category, share in report.overall.proportions.items():
+            top_share = report.top_k.proportions.get(category, 0.0)
+            parts.append(
+                f"<tr><td>{_esc(category)}</td><td>{top_share:.1%}</td>"
+                f"<td>{share:.1%}</td></tr>"
+            )
+        parts.append("</table>")
+        missing = report.missing_categories()
+        if missing:
+            parts.append(
+                f"<p>missing from top-{label.k}: {_esc(', '.join(missing))}</p>"
+            )
+    parts.append("</div>")
+    return "".join(parts)
+
+
+def render_html(label: NutritionalLabel) -> str:
+    """Render the label as a complete standalone HTML page."""
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>Ranking Facts — {_esc(label.dataset_name)}</title>"
+        f"<style>{_PAGE_STYLE}</style></head><body>"
+        "<h1>Ranking Facts</h1>"
+        f'<p class="meta">{_esc(label.dataset_name)} &middot; '
+        f"{label.num_items} items &middot; top-{label.k} &middot; "
+        f"{_esc(label.generator)}</p>"
+        '<div class="grid">'
+        + _recipe_card(label)
+        + _ingredients_card(label)
+        + _stability_card(label)
+        + _fairness_card(label)
+        + _diversity_card(label)
+        + "</div></body></html>"
+    )

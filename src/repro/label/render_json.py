@@ -1,0 +1,69 @@
+"""JSON rendering of nutritional labels.
+
+The machine-readable output format: everything a widget shows, exactly
+as structured by ``as_dict()``.  The web server and the CLI's
+``--format json`` both emit this.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.errors import LabelError
+from repro.label.widgets import NutritionalLabel
+
+__all__ = ["render_json", "label_from_json"]
+
+_REQUIRED_KEYS = (
+    "dataset",
+    "num_items",
+    "k",
+    "recipe",
+    "ingredients",
+    "stability",
+    "fairness",
+    "diversity",
+)
+
+
+def _sanitize(value):
+    """Replace non-finite floats: JSON has no NaN/Infinity literal."""
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {k: _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    return value
+
+
+def render_json(label: NutritionalLabel, indent: int | None = 2) -> str:
+    """Serialize a label to a JSON string.
+
+    Non-finite floats (possible in summaries of empty slices) become
+    ``null`` so the output is strict JSON.
+    """
+    return json.dumps(_sanitize(label.as_dict()), indent=indent, sort_keys=False)
+
+
+def label_from_json(payload: str) -> dict[str, object]:
+    """Parse and validate a label JSON document.
+
+    Returns the dict form (the same shape ``NutritionalLabel.as_dict``
+    produces).  Raises :class:`~repro.errors.LabelError` when required
+    sections are missing — the integrity check consumers should run on
+    labels they did not generate themselves.
+    """
+    try:
+        data = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise LabelError(f"invalid label JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise LabelError("label JSON must be an object at the top level")
+    missing = [key for key in _REQUIRED_KEYS if key not in data]
+    if missing:
+        raise LabelError(
+            f"label JSON is missing section(s): {', '.join(missing)}"
+        )
+    return data

@@ -1,0 +1,158 @@
+"""Markdown rendering: the label as a report section.
+
+For embedding a nutritional label in documentation, model cards, or
+pull-request descriptions — anywhere GitHub-flavoured markdown renders.
+Same structure as the text renderer, but with real tables.
+"""
+
+from __future__ import annotations
+
+from repro.label.widgets import NutritionalLabel, WidgetStatistics
+
+__all__ = ["render_markdown"]
+
+
+def _fmt(value: float, digits: int = 3) -> str:
+    if value != value:  # NaN
+        return "n/a"
+    return f"{value:.{digits}g}"
+
+
+def _stats_table(stats: tuple[WidgetStatistics, ...]) -> list[str]:
+    lines = [
+        "| attribute | slice | min | median | max |",
+        "|---|---|---|---|---|",
+    ]
+    for stat in stats:
+        lines.append(
+            f"| {stat.attribute} | top-k | {_fmt(stat.top_k.minimum)} | "
+            f"{_fmt(stat.top_k.median)} | {_fmt(stat.top_k.maximum)} |"
+        )
+        lines.append(
+            f"| | overall | {_fmt(stat.overall.minimum)} | "
+            f"{_fmt(stat.overall.median)} | {_fmt(stat.overall.maximum)} |"
+        )
+    return lines
+
+
+def render_markdown(label: NutritionalLabel, detailed: bool = False) -> str:
+    """Render the label as a GitHub-flavoured markdown document."""
+    lines: list[str] = [
+        "# Ranking Facts",
+        "",
+        f"**{label.dataset_name}** — {label.num_items} items, top-{label.k} "
+        f"({label.generator})",
+    ]
+
+    # Recipe
+    lines += ["", "## Recipe", "", "| attribute | weight | share | scaling |",
+              "|---|---|---|---|"]
+    for attribute, weight in label.recipe.weights.items():
+        share = label.recipe.normalized_weights[attribute]
+        scheme = label.recipe.normalization.get(attribute, "identity")
+        lines.append(f"| {attribute} | {weight:g} | {share:.1%} | {scheme} |")
+    if detailed:
+        lines += ["", *_stats_table(label.recipe.statistics)]
+
+    # Ingredients
+    lines += ["", "## Ingredients", "", "| attribute | importance | direction |",
+              "|---|---|---|"]
+    shown = (
+        label.ingredients.analysis.importances
+        if detailed
+        else label.ingredients.analysis.top(label.ingredients.top_n)
+    )
+    for item in shown:
+        arrow = "+" if item.direction >= 0 else "-"
+        lines.append(f"| {item.attribute} | {item.importance:.3f} | {arrow} |")
+    if detailed:
+        lines += ["", *_stats_table(label.ingredients.statistics)]
+
+    # Stability
+    slope = label.stability.slope_report
+    lines += [
+        "",
+        "## Stability",
+        "",
+        f"**{slope.verdict.upper()}** — score {_fmt(label.stability.stability_score)} "
+        f"(threshold {slope.threshold:g})",
+        "",
+        "| segment | slope | R² | verdict |",
+        "|---|---|---|---|",
+        f"| top-{slope.k} | {_fmt(slope.slope_top_k)} | "
+        f"{slope.fit_top_k.r_squared:.3f} | "
+        f"{'stable' if slope.stable_top_k else 'unstable'} |",
+        f"| overall | {_fmt(slope.slope_overall)} | "
+        f"{slope.fit_overall.r_squared:.3f} | "
+        f"{'stable' if slope.stable_overall else 'unstable'} |",
+    ]
+    if detailed:
+        if label.stability.gaps:
+            lines += ["", "| segment | min gap | median gap | swap margin |",
+                      "|---|---|---|---|"]
+            for segment, gap in label.stability.gaps.items():
+                lines.append(
+                    f"| {segment} | {_fmt(gap.min_gap)} | {_fmt(gap.median_gap)} "
+                    f"| {_fmt(gap.swap_margin)} |"
+                )
+        for name, outcomes in (
+            ("weight perturbation", label.stability.perturbation),
+            ("data uncertainty", label.stability.uncertainty),
+        ):
+            if outcomes:
+                lines += ["", f"| {name} ε | P[top-k changes] | mean τ |",
+                          "|---|---|---|"]
+                for outcome in outcomes:
+                    lines.append(
+                        f"| {outcome.epsilon:g} | {outcome.change_probability:.2f} "
+                        f"| {outcome.mean_kendall_tau:.3f} |"
+                    )
+        if label.stability.per_attribute:
+            lines += ["", "| attribute | weight | critical change |",
+                      "|---|---|---|"]
+            for result in label.stability.per_attribute:
+                lines.append(
+                    f"| {result.attribute} | {result.weight:g} "
+                    f"| {result.critical_epsilon:.0%} |"
+                )
+
+    # Fairness
+    grid = label.fairness.verdict_grid()
+    measures: list[str] = []
+    for verdicts in grid.values():
+        for measure in verdicts:
+            if measure not in measures:
+                measures.append(measure)
+    lines += ["", "## Fairness", "",
+              "| group | " + " | ".join(measures) + " |",
+              "|---|" + "---|" * len(measures)]
+    for group, verdicts in grid.items():
+        cells = " | ".join(
+            f"**{verdicts.get(m, '-')}**" if verdicts.get(m) == "unfair"
+            else verdicts.get(m, "-")
+            for m in measures
+        )
+        lines.append(f"| {group} | {cells} |")
+    if detailed:
+        lines += ["", "| measure | group | p-value | α |", "|---|---|---|---|"]
+        for result in label.fairness.results:
+            lines.append(
+                f"| {result.measure} | {result.group_label} | "
+                f"{_fmt(result.p_value, 4)} | {_fmt(result.alpha, 4)} |"
+            )
+
+    # Diversity
+    lines += ["", "## Diversity"]
+    for report in label.diversity.reports:
+        lines += ["", f"### {report.attribute}", "",
+                  f"| category | top-{label.k} | overall |", "|---|---|---|"]
+        for category, share in report.overall.proportions.items():
+            top_share = report.top_k.proportions.get(category, 0.0)
+            lines.append(f"| {category} | {top_share:.1%} | {share:.1%} |")
+        missing = report.missing_categories()
+        if missing:
+            lines.append("")
+            lines.append(f"Missing from top-{label.k}: **{', '.join(missing)}**")
+
+    lines.append("")
+    return "\n".join(lines)

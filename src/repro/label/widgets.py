@@ -1,0 +1,223 @@
+"""Widget payloads: the structured content behind each label section.
+
+Each widget mirrors the paper's overview/detail split: the overview
+fields are what Figure 1 shows collapsed; ``detail`` carries what the
+expanded view adds (attribute statistics at top-10 and over-all for
+Recipe/Ingredients, per-prefix audit trails for Fairness, fitted lines
+for Stability).  Widgets are plain frozen dataclasses with
+``as_dict()`` so every renderer works from the same structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.diversity.measures import DiversityReport
+from repro.fairness.base import FairnessResult
+from repro.ingredients.importance import IngredientsAnalysis
+from repro.stability.gaps import GapReport
+from repro.stability.per_attribute import AttributeStability
+from repro.stability.perturbation import PerturbationOutcome
+from repro.stability.slope import SlopeStabilityReport
+from repro.tabular.summary import ColumnSummary
+
+__all__ = [
+    "WidgetStatistics",
+    "RecipeWidget",
+    "IngredientsWidget",
+    "StabilityWidget",
+    "FairnessWidget",
+    "DiversityWidget",
+    "NutritionalLabel",
+]
+
+
+@dataclass(frozen=True)
+class WidgetStatistics:
+    """One attribute's min/max/median "at the top-10 and over-all".
+
+    The shared detail block of the Recipe and Ingredients widgets
+    (paper §2.1).
+    """
+
+    attribute: str
+    top_k: ColumnSummary
+    overall: ColumnSummary
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for serialization."""
+        return {
+            "attribute": self.attribute,
+            "top_k": self.top_k.as_dict(),
+            "overall": self.overall.as_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class RecipeWidget:
+    """The ranking methodology as designed: attributes and their weights.
+
+    ``weights`` are the designer's raw weights; ``normalized_weights``
+    rescale them to sum (in absolute value) to 1 for display.
+    ``normalization`` records how each attribute was preprocessed —
+    part of the disclosed recipe.
+    """
+
+    scorer_name: str
+    weights: dict[str, float]
+    normalized_weights: dict[str, float]
+    normalization: dict[str, str]
+    statistics: tuple[WidgetStatistics, ...]
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for serialization."""
+        return {
+            "scorer": self.scorer_name,
+            "weights": dict(self.weights),
+            "normalized_weights": dict(self.normalized_weights),
+            "normalization": dict(self.normalization),
+            "statistics": [s.as_dict() for s in self.statistics],
+        }
+
+
+@dataclass(frozen=True)
+class IngredientsWidget:
+    """Attributes most material to the outcome, in importance order."""
+
+    analysis: IngredientsAnalysis
+    top_n: int
+    statistics: tuple[WidgetStatistics, ...]
+
+    def top_attributes(self) -> tuple[str, ...]:
+        """The overview list: names of the strongest ingredients."""
+        return tuple(item.attribute for item in self.analysis.top(self.top_n))
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for serialization."""
+        return {
+            "top_n": self.top_n,
+            "analysis": self.analysis.as_dict(),
+            "statistics": [s.as_dict() for s in self.statistics],
+        }
+
+
+@dataclass(frozen=True)
+class StabilityWidget:
+    """Stability score plus the Figure-2 detail (and optional Monte-Carlo).
+
+    ``gaps`` carries the adjacent-score-gap analysis (always computed —
+    it is the paper's "scores of items in adjacent ranks are close to
+    each other" criterion made explicit); ``per_attribute`` the
+    single-weight sensitivity results when Monte-Carlo stability is on.
+    """
+
+    slope_report: SlopeStabilityReport
+    perturbation: tuple[PerturbationOutcome, ...] = ()
+    uncertainty: tuple[PerturbationOutcome, ...] = ()
+    gaps: dict[str, GapReport] = field(default_factory=dict)
+    per_attribute: tuple[AttributeStability, ...] = ()
+
+    @property
+    def stability_score(self) -> float:
+        """The overview's single number (see the slope report)."""
+        return self.slope_report.stability_score
+
+    @property
+    def verdict(self) -> str:
+        """``"stable"`` or ``"unstable"``."""
+        return self.slope_report.verdict
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for serialization."""
+        return {
+            "stability_score": self.stability_score,
+            "verdict": self.verdict,
+            "slope": self.slope_report.as_dict(),
+            "weight_perturbation": [o.as_dict() for o in self.perturbation],
+            "data_uncertainty": [o.as_dict() for o in self.uncertainty],
+            "gaps": {name: report.as_dict() for name, report in self.gaps.items()},
+            "per_attribute": [a.as_dict() for a in self.per_attribute],
+        }
+
+
+@dataclass(frozen=True)
+class FairnessWidget:
+    """Fair/unfair verdicts per protected feature per measure."""
+
+    results: tuple[FairnessResult, ...]
+    k: int
+    alpha: float
+
+    def verdict_grid(self) -> dict[str, dict[str, str]]:
+        """``{group: {measure: verdict}}`` — the overview's table."""
+        grid: dict[str, dict[str, str]] = {}
+        for result in self.results:
+            grid.setdefault(result.group_label, {})[result.measure] = result.verdict
+        return grid
+
+    def any_unfair(self) -> bool:
+        """True when at least one (group, measure) pair flags unfair."""
+        return any(not result.fair for result in self.results)
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for serialization."""
+        return {
+            "k": self.k,
+            "alpha": self.alpha,
+            "results": [r.as_dict() for r in self.results],
+            "verdicts": self.verdict_grid(),
+        }
+
+
+@dataclass(frozen=True)
+class DiversityWidget:
+    """Category proportions, top-k vs over-all, per chosen attribute."""
+
+    reports: tuple[DiversityReport, ...]
+    k: int
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for serialization."""
+        return {
+            "k": self.k,
+            "reports": [r.as_dict() for r in self.reports],
+        }
+
+
+@dataclass(frozen=True)
+class NutritionalLabel:
+    """The complete nutritional label for one ranking.
+
+    This is the object Figure 1 visualizes; the three renderers in this
+    subpackage consume it unchanged.
+    """
+
+    dataset_name: str
+    num_items: int
+    k: int
+    recipe: RecipeWidget
+    ingredients: IngredientsWidget
+    stability: StabilityWidget
+    fairness: FairnessWidget
+    diversity: DiversityWidget
+    generator: str = "repro (Ranking Facts reproduction)"
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def widget_names(self) -> tuple[str, ...]:
+        """The label's sections, in display order."""
+        return ("recipe", "ingredients", "stability", "fairness", "diversity")
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for serialization."""
+        return {
+            "dataset": self.dataset_name,
+            "num_items": self.num_items,
+            "k": self.k,
+            "generator": self.generator,
+            "metadata": dict(self.metadata),
+            "recipe": self.recipe.as_dict(),
+            "ingredients": self.ingredients.as_dict(),
+            "stability": self.stability.as_dict(),
+            "fairness": self.fairness.as_dict(),
+            "diversity": self.diversity.as_dict(),
+        }

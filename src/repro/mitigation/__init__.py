@@ -1,0 +1,31 @@
+r"""Mitigation: suggest modified scoring functions (paper §4 future work).
+
+"We are also working on extending Ranking Facts to support richer
+scoring function design functionality.  For example, we plan to include
+methods that help the user mitigate lack of fairness and diversity by
+suggesting modified scoring functions."
+
+Two complementary mechanisms:
+
+- :mod:`repro.mitigation.weights` — search the weight space near the
+  designer's recipe for the *smallest* change that makes a chosen
+  fairness measure pass (or restores a missing category to the top-k),
+  and map the distance-vs-fairness frontier;
+- the FA\*IR re-ranker (:func:`repro.fairness.fair_star_rerank`)
+  already covers the post-processing route: keep the recipe, fix the
+  output.
+"""
+
+from repro.mitigation.weights import (
+    MitigationSuggestion,
+    fairness_frontier,
+    suggest_diverse_weights,
+    suggest_fair_weights,
+)
+
+__all__ = [
+    "MitigationSuggestion",
+    "suggest_fair_weights",
+    "suggest_diverse_weights",
+    "fairness_frontier",
+]

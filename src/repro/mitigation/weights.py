@@ -1,0 +1,330 @@
+"""Weight-space mitigation search.
+
+The designer's weights encode intent, so a mitigation suggestion should
+move them as little as possible.  The search enumerates candidate
+weight vectors on rings of increasing L1 distance around the original
+recipe (plus axis-aligned and convex-mixture candidates), re-ranks, and
+audits each candidate with the requested fairness measure.  Results
+come back ordered by distance, so the first suggestion is the minimal
+intervention.
+
+This is a deliberately transparent search — a handful of interpretable
+candidates rather than a black-box optimizer — because the suggestions
+themselves go *on the label*: a user must be able to read "lower
+Faculty's weight from 0.40 to 0.22" and understand it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FairnessConfigError, RankingFactsError
+from repro.fairness.base import FairnessMeasure, ProtectedGroup
+from repro.fairness.fair_star.verifier import FairStarMeasure
+from repro.ranking.ranker import rank_table
+from repro.ranking.scoring import LinearScoringFunction
+from repro.tabular.table import Table
+
+__all__ = [
+    "MitigationSuggestion",
+    "suggest_fair_weights",
+    "suggest_diverse_weights",
+    "fairness_frontier",
+]
+
+
+@dataclass(frozen=True)
+class MitigationSuggestion:
+    """One candidate recipe and what it buys.
+
+    Attributes
+    ----------
+    weights:
+        The suggested weight vector (same attributes as the original).
+    distance:
+        L1 distance from the original weights (after both are
+        normalized to unit absolute sum) — the "size" of the change.
+    fair:
+        Whether the audited measure passes under these weights.
+    p_value:
+        The measure's p-value under these weights.
+    top_k_overlap:
+        Fraction of the original top-k retained — how much of the
+        original outcome survives the intervention.
+    """
+
+    weights: dict[str, float]
+    distance: float
+    fair: bool
+    p_value: float
+    top_k_overlap: float
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for serialization."""
+        return {
+            "weights": dict(self.weights),
+            "distance": self.distance,
+            "fair": self.fair,
+            "p_value": self.p_value,
+            "top_k_overlap": self.top_k_overlap,
+        }
+
+
+def _normalized(weights: dict[str, float]) -> dict[str, float]:
+    total = sum(abs(w) for w in weights.values())
+    if total == 0.0:
+        raise RankingFactsError("cannot normalize an all-zero weight vector")
+    return {a: w / total for a, w in weights.items()}
+
+
+def _l1(a: dict[str, float], b: dict[str, float]) -> float:
+    return float(sum(abs(a[k] - b[k]) for k in a))
+
+
+def _candidate_weight_vectors(
+    base: dict[str, float], steps: int, rng: np.random.Generator
+) -> list[dict[str, float]]:
+    """Interpretable candidates around ``base`` (normalized, unit L1)."""
+    attributes = list(base)
+    base_vec = np.asarray([base[a] for a in attributes], dtype=np.float64)
+    signs = np.sign(base_vec)
+    signs[signs == 0] = 1.0
+    magnitudes = np.abs(base_vec)
+
+    candidates: list[np.ndarray] = []
+    # 1. single-attribute emphasis: each axis alone (keeps original sign)
+    for i in range(len(attributes)):
+        axis = np.zeros_like(magnitudes)
+        axis[i] = 1.0
+        candidates.append(axis)
+    # 2. uniform recipe
+    candidates.append(np.full_like(magnitudes, 1.0 / len(attributes)))
+    # 3. convex mixtures of the base with each of the above
+    anchors = list(candidates)
+    for anchor in anchors:
+        for t in np.linspace(0.1, 0.9, steps):
+            candidates.append((1 - t) * magnitudes + t * anchor)
+    # 4. random simplex draws, denser near the base
+    for _ in range(steps * 10):
+        draw = rng.dirichlet(np.ones(len(attributes)))
+        for t in (0.25, 0.5, 1.0):
+            candidates.append((1 - t) * magnitudes + t * draw)
+
+    unique: dict[tuple, np.ndarray] = {}
+    for vec in candidates:
+        total = vec.sum()
+        if total <= 0:
+            continue
+        normalized = vec / total
+        key = tuple(np.round(normalized, 4))
+        unique.setdefault(key, normalized)
+    return [
+        {a: float(s * v) for a, s, v in zip(attributes, signs, vec)}
+        for vec in unique.values()
+    ]
+
+
+def _audit_candidate(
+    table: Table,
+    weights: dict[str, float],
+    attribute: str,
+    category: str,
+    measure: FairnessMeasure,
+    id_column: str | None,
+    baseline_top: set,
+    k: int,
+) -> tuple[bool, float, float]:
+    scorer = LinearScoringFunction(weights)
+    ranking = rank_table(table, scorer, id_column)
+    try:
+        group = ProtectedGroup(ranking, attribute, category)
+        result = measure.audit(group)
+        fair, p_value = result.fair, result.p_value
+    except FairnessConfigError:
+        return False, 0.0, 0.0
+    top = set(ranking.item_ids()[:k])
+    overlap = len(top & baseline_top) / max(len(baseline_top), 1)
+    return fair, p_value, overlap
+
+
+def suggest_fair_weights(
+    table: Table,
+    scorer: LinearScoringFunction,
+    sensitive_attribute: str,
+    protected_category: str,
+    k: int = 10,
+    alpha: float = 0.05,
+    measure: FairnessMeasure | None = None,
+    id_column: str | None = None,
+    max_suggestions: int = 5,
+    steps: int = 5,
+    seed: int = 20180610,
+) -> list[MitigationSuggestion]:
+    """Smallest-change weight vectors that make the measure pass.
+
+    Parameters
+    ----------
+    table:
+        The (already preprocessed) data — the same table the label was
+        built on, so scales match the original recipe.
+    scorer:
+        The designer's recipe to stay close to.
+    sensitive_attribute / protected_category:
+        The group whose treatment is being fixed.
+    k, alpha:
+        Audit parameters.
+    measure:
+        The fairness measure that must pass (default: FA\\*IR at
+        ``k``/``alpha``, the paper's headline test).
+    id_column:
+        Item identifier (for top-k overlap accounting).
+    max_suggestions:
+        How many passing candidates to return (distance-ordered).
+    steps / seed:
+        Search density and RNG seed.
+
+    Returns
+    -------
+    Passing candidates sorted by (distance, -top_k_overlap); empty when
+    no candidate in the searched neighbourhood passes.
+    """
+    if max_suggestions < 1:
+        raise RankingFactsError(f"max_suggestions must be >= 1, got {max_suggestions}")
+    column = table.categorical_column(sensitive_attribute)
+    if protected_category not in column.categories():
+        raise RankingFactsError(
+            f"attribute {sensitive_attribute!r} has no category "
+            f"{protected_category!r}; present: {', '.join(column.categories())}"
+        )
+    if measure is None:
+        measure = FairStarMeasure(k=k, alpha=alpha)
+    rng = np.random.default_rng(seed)
+    base = _normalized(scorer.weights)
+    baseline = rank_table(table, scorer, id_column)
+    baseline_top = set(baseline.item_ids()[:k])
+
+    suggestions: list[MitigationSuggestion] = []
+    for weights in _candidate_weight_vectors(base, steps, rng):
+        fair, p_value, overlap = _audit_candidate(
+            table, weights, sensitive_attribute, protected_category,
+            measure, id_column, baseline_top, k,
+        )
+        if not fair:
+            continue
+        suggestions.append(
+            MitigationSuggestion(
+                weights=weights,
+                distance=_l1(base, weights),
+                fair=True,
+                p_value=p_value,
+                top_k_overlap=overlap,
+            )
+        )
+    suggestions.sort(key=lambda s: (s.distance, -s.top_k_overlap))
+    return suggestions[:max_suggestions]
+
+
+def suggest_diverse_weights(
+    table: Table,
+    scorer: LinearScoringFunction,
+    attribute: str,
+    missing_category: str,
+    k: int = 10,
+    minimum_count: int = 1,
+    id_column: str | None = None,
+    max_suggestions: int = 5,
+    steps: int = 5,
+    seed: int = 20180610,
+) -> list[MitigationSuggestion]:
+    """Smallest-change weights that bring a missing category into the top-k.
+
+    The diversity analogue of :func:`suggest_fair_weights`: Figure 1's
+    "only large departments in the top-10" becomes a search for the
+    nearest recipe whose top-10 contains at least ``minimum_count``
+    small departments.  ``p_value`` on the results is the achieved
+    count scaled into [0, 1] (count / k) rather than a test p-value.
+    """
+    if minimum_count < 1 or minimum_count > k:
+        raise RankingFactsError(
+            f"minimum_count must be in [1, {k}], got {minimum_count}"
+        )
+    column = table.categorical_column(attribute)
+    if missing_category not in column.categories():
+        raise RankingFactsError(
+            f"attribute {attribute!r} has no category {missing_category!r}"
+        )
+    rng = np.random.default_rng(seed)
+    base = _normalized(scorer.weights)
+    baseline = rank_table(table, scorer, id_column)
+    baseline_top = set(baseline.item_ids()[:k])
+
+    suggestions: list[MitigationSuggestion] = []
+    for weights in _candidate_weight_vectors(base, steps, rng):
+        ranking = rank_table(table, LinearScoringFunction(weights), id_column)
+        count = ranking.group_count_at_k(attribute, missing_category, k)
+        if count < minimum_count:
+            continue
+        top = set(ranking.item_ids()[:k])
+        suggestions.append(
+            MitigationSuggestion(
+                weights=weights,
+                distance=_l1(base, weights),
+                fair=True,
+                p_value=count / k,
+                top_k_overlap=len(top & baseline_top) / max(len(baseline_top), 1),
+            )
+        )
+    suggestions.sort(key=lambda s: (s.distance, -s.top_k_overlap))
+    return suggestions[:max_suggestions]
+
+
+def fairness_frontier(
+    table: Table,
+    scorer: LinearScoringFunction,
+    sensitive_attribute: str,
+    protected_category: str,
+    k: int = 10,
+    alpha: float = 0.05,
+    measure: FairnessMeasure | None = None,
+    id_column: str | None = None,
+    steps: int = 5,
+    seed: int = 20180610,
+    resolution: float = 0.1,
+) -> list[MitigationSuggestion]:
+    """The distance-vs-fairness trade-off curve.
+
+    Buckets all searched candidates by L1 distance (bucket width
+    ``resolution``) and keeps the best candidate (highest p-value) per
+    bucket, passing or not — the curve a design view would plot so the
+    user sees how much recipe change buys how much fairness.
+    """
+    if resolution <= 0:
+        raise RankingFactsError(f"resolution must be positive, got {resolution}")
+    if measure is None:
+        measure = FairStarMeasure(k=k, alpha=alpha)
+    rng = np.random.default_rng(seed)
+    base = _normalized(scorer.weights)
+    baseline = rank_table(table, scorer, id_column)
+    baseline_top = set(baseline.item_ids()[:k])
+
+    best_by_bucket: dict[int, MitigationSuggestion] = {}
+    for weights in _candidate_weight_vectors(base, steps, rng):
+        fair, p_value, overlap = _audit_candidate(
+            table, weights, sensitive_attribute, protected_category,
+            measure, id_column, baseline_top, k,
+        )
+        suggestion = MitigationSuggestion(
+            weights=weights,
+            distance=_l1(base, weights),
+            fair=fair,
+            p_value=p_value,
+            top_k_overlap=overlap,
+        )
+        bucket = int(suggestion.distance / resolution)
+        current = best_by_bucket.get(bucket)
+        if current is None or suggestion.p_value > current.p_value:
+            best_by_bucket[bucket] = suggestion
+    return [best_by_bucket[b] for b in sorted(best_by_bucket)]

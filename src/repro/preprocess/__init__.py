@@ -1,0 +1,41 @@
+"""Attribute preprocessing: normalization, standardization, binning.
+
+The scoring-function design view (paper Figure 3) lets the user "decide
+whether to work with raw data or to normalize and standardize the
+attributes".  This subpackage implements that toggle:
+
+- :mod:`repro.preprocess.normalize` — min-max, z-score, and identity
+  scalers with an explicit fit/transform split;
+- :mod:`repro.preprocess.binning` — binarization of numeric attributes
+  (how ``DeptSizeBin`` is derived from ``Faculty``) and grouping of
+  categorical attributes into binary protected/other encodings;
+- :mod:`repro.preprocess.pipeline` — applies a set of per-column
+  normalizers to a table in one shot and remembers the fit parameters.
+"""
+
+from repro.preprocess.binning import (
+    binarize_categorical,
+    binarize_numeric,
+    intersect_attributes,
+)
+from repro.preprocess.normalize import (
+    IdentityNormalizer,
+    MinMaxNormalizer,
+    Normalizer,
+    ZScoreNormalizer,
+    make_normalizer,
+)
+from repro.preprocess.pipeline import NormalizationPlan, TablePreprocessor
+
+__all__ = [
+    "Normalizer",
+    "MinMaxNormalizer",
+    "ZScoreNormalizer",
+    "IdentityNormalizer",
+    "make_normalizer",
+    "binarize_numeric",
+    "binarize_categorical",
+    "intersect_attributes",
+    "TablePreprocessor",
+    "NormalizationPlan",
+]

@@ -1,0 +1,179 @@
+"""Binarization of attributes into two-category sensitive features.
+
+Ranking Facts "is currently limited to binary [sensitive] attributes"
+(paper §3).  The CS-departments walkthrough derives ``DeptSizeBin``
+("large"/"small") from the numeric ``Faculty`` count; these helpers
+perform that derivation for numeric and categorical sources.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ColumnTypeError, ProtectedGroupError
+from repro.tabular.column import CategoricalColumn, Column
+from repro.tabular.table import Table
+
+__all__ = ["binarize_numeric", "binarize_categorical", "intersect_attributes"]
+
+
+def binarize_numeric(
+    table: Table,
+    source: str,
+    new_name: str,
+    threshold: float | None = None,
+    above_label: str = "high",
+    below_label: str = "low",
+) -> Table:
+    """Add a binary categorical column splitting ``source`` at a threshold.
+
+    Parameters
+    ----------
+    table:
+        Input table (unchanged; a new table is returned).
+    source:
+        Name of the numeric column to split.
+    new_name:
+        Name of the derived categorical column.
+    threshold:
+        Split point; values >= threshold get ``above_label``.  Defaults
+        to the median, which is how the demo derives ``DeptSizeBin``.
+    above_label / below_label:
+        Category names for the two sides.  Missing source values map to
+        the missing category ("").
+
+    Raises
+    ------
+    ProtectedGroupError
+        If the split would put every row on one side (the resulting
+        attribute could not serve as a sensitive attribute).
+    """
+    column = table.numeric_column(source)
+    values = column.values
+    non_missing = column.dropna_values()
+    if non_missing.size == 0:
+        raise ProtectedGroupError(
+            f"cannot binarize {source!r}: no non-missing values"
+        )
+    if above_label == below_label:
+        raise ProtectedGroupError(
+            f"binarize labels must differ, both are {above_label!r}"
+        )
+    cut = float(np.median(non_missing)) if threshold is None else float(threshold)
+    labels = []
+    for v in values:
+        if np.isnan(v):
+            labels.append("")
+        elif v >= cut:
+            labels.append(above_label)
+        else:
+            labels.append(below_label)
+    distinct = {lab for lab in labels if lab != ""}
+    if len(distinct) < 2:
+        raise ProtectedGroupError(
+            f"binarizing {source!r} at {cut:g} puts all rows in "
+            f"{distinct.pop()!r}; choose a different threshold"
+        )
+    return table.with_column(CategoricalColumn(new_name, labels))
+
+
+def intersect_attributes(
+    table: Table,
+    sources: Sequence[str],
+    new_name: str,
+    separator: str = "&",
+) -> Table:
+    """Add a combined categorical column crossing two or more attributes.
+
+    Intersectional audits (race x sex, size x region, ...) need a single
+    sensitive attribute whose categories are the attribute combinations;
+    this derives it: the new category of a row is the ``separator``-join
+    of its source values (e.g. ``"Female&African-American"``).  Rows with
+    any missing source value get the missing category.
+
+    Feed the result to
+    :func:`repro.fairness.evaluate_fairness_multivalued` (combinations
+    are usually more than two) or collapse it further with
+    :func:`binarize_categorical`.
+
+    Raises
+    ------
+    ProtectedGroupError
+        With fewer than two sources, or when the combination collapses
+        to a single category (nothing to audit).
+    ColumnTypeError
+        If a source column is numeric (binarize it first).
+    """
+    names = list(sources)
+    if len(names) < 2:
+        raise ProtectedGroupError(
+            f"intersect_attributes needs at least 2 sources, got {len(names)}"
+        )
+    columns = [table.categorical_column(name) for name in names]
+    combined: list[str] = []
+    for i in range(table.num_rows):
+        parts = [str(column.values[i]) for column in columns]
+        combined.append("" if any(p == "" for p in parts) else separator.join(parts))
+    distinct = {value for value in combined if value != ""}
+    if len(distinct) < 2:
+        raise ProtectedGroupError(
+            f"intersecting {', '.join(names)} yields a single category; "
+            "nothing to audit"
+        )
+    return table.with_column(CategoricalColumn(new_name, combined))
+
+
+def binarize_categorical(
+    table: Table,
+    source: str,
+    new_name: str,
+    protected_categories: Sequence[str],
+    protected_label: str | None = None,
+    other_label: str = "other",
+) -> Table:
+    """Add a binary column: protected categories vs everything else.
+
+    This is how a multi-valued sensitive attribute (e.g. race in the
+    COMPAS data) is reduced to the binary form the fairness measures
+    require: ``protected_categories`` collapse to one label, all other
+    categories to ``other_label``.
+
+    Parameters
+    ----------
+    protected_label:
+        Label for the protected side.  Defaults to the single protected
+        category when one is given, else ``"protected"``.
+    """
+    column = table.categorical_column(source)
+    protected = list(protected_categories)
+    if not protected:
+        raise ProtectedGroupError(
+            f"binarize_categorical on {source!r}: no protected categories given"
+        )
+    existing = set(column.categories())
+    unknown = [c for c in protected if c not in existing]
+    if unknown:
+        raise ProtectedGroupError(
+            f"column {source!r} has no categor{'y' if len(unknown)==1 else 'ies'} "
+            f"{', '.join(repr(u) for u in unknown)}; "
+            f"present: {', '.join(sorted(existing))}"
+        )
+    if set(protected) >= existing:
+        raise ProtectedGroupError(
+            f"binarize_categorical on {source!r}: every category is protected, "
+            "the complement group would be empty"
+        )
+    if protected_label is None:
+        protected_label = protected[0] if len(protected) == 1 else "protected"
+    if protected_label == other_label:
+        raise ProtectedGroupError(
+            f"binarize labels must differ, both are {protected_label!r}"
+        )
+    protected_set = set(protected)
+    labels = [
+        "" if v == "" else (protected_label if v in protected_set else other_label)
+        for v in column.values
+    ]
+    return table.with_column(CategoricalColumn(new_name, labels))

@@ -1,0 +1,172 @@
+"""Column normalizers with an explicit fit/transform split.
+
+Scoring functions combine attributes with very different ranges
+(publication counts in the tens, GRE scores in the hundreds), so the
+design view offers normalization before weighting.  Each normalizer is
+fit on a column once and can then transform any compatible column —
+which is what lets the Recipe widget report statistics of *normalized*
+attributes for both the top-10 slice and the full table using the same
+fit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NormalizationError
+from repro.tabular.column import NumericColumn
+
+__all__ = [
+    "Normalizer",
+    "MinMaxNormalizer",
+    "ZScoreNormalizer",
+    "IdentityNormalizer",
+    "make_normalizer",
+]
+
+
+class Normalizer:
+    """Base class: fit on one column, transform many.
+
+    Subclasses implement :meth:`_fit_params` and :meth:`_apply`.
+    """
+
+    #: machine-readable scheme name used in label JSON and the CLI
+    scheme: str = "abstract"
+
+    def __init__(self):
+        self._fitted = False
+
+    @property
+    def fitted(self) -> bool:
+        """True once :meth:`fit` has run."""
+        return self._fitted
+
+    def fit(self, column: NumericColumn) -> "Normalizer":
+        """Learn scaling parameters from ``column``; returns self."""
+        values = column.as_numeric().dropna_values()
+        if values.size == 0:
+            raise NormalizationError(
+                f"cannot fit {self.scheme} normalizer on {column.name!r}: "
+                "no non-missing values"
+            )
+        self._fit_params(values, column.name)
+        self._fitted = True
+        return self
+
+    def transform(self, column: NumericColumn) -> NumericColumn:
+        """Return a normalized copy of ``column`` (NaNs pass through)."""
+        if not self._fitted:
+            raise NormalizationError(
+                f"{self.scheme} normalizer used before fit()"
+            )
+        numeric = column.as_numeric()
+        return NumericColumn(numeric.name, self._apply(numeric.values.copy()))
+
+    def fit_transform(self, column: NumericColumn) -> NumericColumn:
+        """Fit on ``column`` and transform it in one call."""
+        return self.fit(column).transform(column)
+
+    def params(self) -> dict[str, float]:
+        """The learned parameters (empty before fit)."""
+        return {}
+
+    # -- subclass hooks ------------------------------------------------------
+
+    def _fit_params(self, values: np.ndarray, name: str) -> None:
+        raise NotImplementedError
+
+    def _apply(self, values: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class MinMaxNormalizer(Normalizer):
+    """Scales values linearly onto [0, 1] using the fitted min and max.
+
+    A constant column cannot be min-max scaled; :meth:`fit` raises
+    :class:`~repro.errors.NormalizationError` so the design view can
+    tell the user to drop the attribute instead of silently producing
+    zeros.
+    """
+
+    scheme = "minmax"
+
+    def __init__(self):
+        super().__init__()
+        self._lo = float("nan")
+        self._hi = float("nan")
+
+    def _fit_params(self, values: np.ndarray, name: str) -> None:
+        lo, hi = float(values.min()), float(values.max())
+        if lo == hi:
+            raise NormalizationError(
+                f"cannot min-max normalize constant column {name!r} (value {lo:g})"
+            )
+        self._lo, self._hi = lo, hi
+
+    def _apply(self, values: np.ndarray) -> np.ndarray:
+        return (values - self._lo) / (self._hi - self._lo)
+
+    def params(self) -> dict[str, float]:
+        return {"min": self._lo, "max": self._hi} if self._fitted else {}
+
+
+class ZScoreNormalizer(Normalizer):
+    """Standardizes to zero mean and unit (population) standard deviation."""
+
+    scheme = "zscore"
+
+    def __init__(self):
+        super().__init__()
+        self._mean = float("nan")
+        self._std = float("nan")
+
+    def _fit_params(self, values: np.ndarray, name: str) -> None:
+        std = float(values.std(ddof=0))
+        if std == 0.0:
+            raise NormalizationError(
+                f"cannot z-score constant column {name!r} (std is 0)"
+            )
+        self._mean = float(values.mean())
+        self._std = std
+
+    def _apply(self, values: np.ndarray) -> np.ndarray:
+        return (values - self._mean) / self._std
+
+    def params(self) -> dict[str, float]:
+        return {"mean": self._mean, "std": self._std} if self._fitted else {}
+
+
+class IdentityNormalizer(Normalizer):
+    """The "work with raw data" setting: a no-op with the same interface."""
+
+    scheme = "identity"
+
+    def _fit_params(self, values: np.ndarray, name: str) -> None:
+        pass
+
+    def _apply(self, values: np.ndarray) -> np.ndarray:
+        return values
+
+
+_SCHEMES = {
+    "minmax": MinMaxNormalizer,
+    "zscore": ZScoreNormalizer,
+    "identity": IdentityNormalizer,
+    "raw": IdentityNormalizer,  # alias used by the CLI
+}
+
+
+def make_normalizer(scheme: str) -> Normalizer:
+    """Instantiate a normalizer by scheme name.
+
+    >>> make_normalizer("minmax").scheme
+    'minmax'
+    """
+    try:
+        return _SCHEMES[scheme]()
+    except KeyError:
+        raise NormalizationError(
+            f"unknown normalization scheme {scheme!r}; "
+            f"expected one of {', '.join(sorted(set(_SCHEMES)))}"
+        ) from None

@@ -1,0 +1,125 @@
+"""Table-level preprocessing: apply one normalizer per column, remember fits.
+
+The design view's normalization checkbox (Figure 3) toggles preprocessing
+for *all* scoring attributes at once; :class:`TablePreprocessor` is the
+object behind that checkbox.  It records each column's fitted parameters
+so the Recipe widget can disclose exactly how raw attribute values were
+rescaled before weighting — part of the label's transparency story.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import NormalizationError
+from repro.preprocess.normalize import Normalizer, make_normalizer
+from repro.tabular.table import Table
+
+__all__ = ["NormalizationPlan", "TablePreprocessor"]
+
+
+@dataclass(frozen=True)
+class NormalizationPlan:
+    """Declares which scheme to use for which columns.
+
+    Parameters
+    ----------
+    default_scheme:
+        Scheme applied to every listed column unless overridden.
+    columns:
+        The numeric columns to preprocess.  Columns not listed pass
+        through untouched.
+    overrides:
+        Per-column scheme exceptions, e.g. ``{"GRE": "zscore"}``.
+    """
+
+    columns: tuple[str, ...]
+    default_scheme: str = "minmax"
+    overrides: Mapping[str, str] = field(default_factory=dict)
+
+    def scheme_for(self, column: str) -> str:
+        """The scheme that will be applied to ``column``."""
+        if column not in self.columns:
+            return "identity"
+        return dict(self.overrides).get(column, self.default_scheme)
+
+    @classmethod
+    def raw(cls) -> "NormalizationPlan":
+        """The unchecked checkbox: no column is rescaled."""
+        return cls(columns=())
+
+    @classmethod
+    def minmax_all(cls, columns: Sequence[str]) -> "NormalizationPlan":
+        """Min-max scale every listed column (the demo default)."""
+        return cls(columns=tuple(columns), default_scheme="minmax")
+
+
+class TablePreprocessor:
+    """Fits a :class:`NormalizationPlan` on a table and transforms tables.
+
+    The fit/transform split matters: the preprocessor is fit **once** on
+    the full dataset, and the same fitted scalers are reused on slices
+    (e.g. the top-10 table), so a value's normalized form is identical
+    wherever it appears.
+
+    Example
+    -------
+    >>> from repro.tabular import Table
+    >>> t = Table.from_dict({"x": [0.0, 5.0, 10.0]})
+    >>> prep = TablePreprocessor(NormalizationPlan.minmax_all(["x"]))
+    >>> prep.fit(t).transform(t).numeric_column("x").values.tolist()
+    [0.0, 0.5, 1.0]
+    """
+
+    def __init__(self, plan: NormalizationPlan):
+        self._plan = plan
+        self._normalizers: dict[str, Normalizer] = {}
+        self._fitted = False
+
+    @property
+    def plan(self) -> NormalizationPlan:
+        """The plan this preprocessor was constructed with."""
+        return self._plan
+
+    @property
+    def fitted(self) -> bool:
+        """True once :meth:`fit` has run."""
+        return self._fitted
+
+    def fit(self, table: Table) -> "TablePreprocessor":
+        """Fit one normalizer per planned column; returns self."""
+        normalizers: dict[str, Normalizer] = {}
+        for name in self._plan.columns:
+            column = table.numeric_column(name)  # raises on missing/categorical
+            normalizer = make_normalizer(self._plan.scheme_for(name))
+            normalizer.fit(column)
+            normalizers[name] = normalizer
+        self._normalizers = normalizers
+        self._fitted = True
+        return self
+
+    def transform(self, table: Table) -> Table:
+        """Return a copy of ``table`` with planned columns rescaled."""
+        if not self._fitted:
+            raise NormalizationError("TablePreprocessor used before fit()")
+        out = table
+        for name, normalizer in self._normalizers.items():
+            if name not in table:
+                raise NormalizationError(
+                    f"fitted column {name!r} is missing from the table to transform"
+                )
+            out = out.with_column(normalizer.transform(table.numeric_column(name)))
+        return out
+
+    def fit_transform(self, table: Table) -> Table:
+        """Fit on ``table`` and transform it."""
+        return self.fit(table).transform(table)
+
+    def fitted_params(self) -> dict[str, dict[str, float]]:
+        """``{column: fitted-parameters}`` for the label's Recipe detail."""
+        return {name: norm.params() for name, norm in self._normalizers.items()}
+
+    def schemes(self) -> dict[str, str]:
+        """``{column: scheme}`` actually applied."""
+        return {name: norm.scheme for name, norm in self._normalizers.items()}

@@ -1,0 +1,39 @@
+"""The ranking engine: scoring functions, rankings, and rank comparison.
+
+Everything the label explains is produced here:
+
+- :mod:`repro.ranking.scoring` — linear scoring functions (attribute
+  weights), the "Recipe" the paper's user designs in Figure 3;
+- :mod:`repro.ranking.ranker` — the :class:`Ranking` object: a scored,
+  ordered view of a table with top-k slicing and group lookups;
+- :mod:`repro.ranking.compare` — distances between rankings (Kendall
+  tau, Spearman footrule/rho, top-k overlap), used by the perturbation
+  stability estimators.
+"""
+
+from repro.ranking.compare import (
+    kendall_distance,
+    kendall_tau_rankings,
+    rank_biased_overlap,
+    rank_displacement,
+    spearman_footrule,
+    top_k_jaccard,
+    top_k_overlap,
+)
+from repro.ranking.ranker import RankedItem, Ranking, rank_table
+from repro.ranking.scoring import LinearScoringFunction, ScoringFunction
+
+__all__ = [
+    "ScoringFunction",
+    "LinearScoringFunction",
+    "Ranking",
+    "RankedItem",
+    "rank_table",
+    "kendall_tau_rankings",
+    "kendall_distance",
+    "spearman_footrule",
+    "rank_displacement",
+    "top_k_overlap",
+    "top_k_jaccard",
+    "rank_biased_overlap",
+]

@@ -1,0 +1,163 @@
+"""Distances and agreement measures between two rankings.
+
+The perturbation-based stability estimators (paper §2.2's "alternatively,
+stability can be computed ...") quantify how far a ranking moves when
+weights or data are jittered.  These functions are the movement metrics:
+Kendall tau / Kendall distance over the common items, Spearman footrule,
+maximum rank displacement, and set overlap of the top-k.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RankingError
+from repro.ranking.ranker import Ranking
+from repro.stats.correlation import kendall_tau
+
+__all__ = [
+    "kendall_tau_rankings",
+    "kendall_distance",
+    "spearman_footrule",
+    "rank_displacement",
+    "top_k_overlap",
+    "top_k_jaccard",
+    "rank_biased_overlap",
+]
+
+
+def _common_rank_vectors(a: Ranking, b: Ranking) -> tuple[list[int], list[int]]:
+    """Ranks in ``a`` and ``b`` of the items present in both (by item id)."""
+    ids_a = a.item_ids()
+    ids_b = b.item_ids()
+    if len(set(ids_a)) != len(ids_a) or len(set(ids_b)) != len(ids_b):
+        raise RankingError("rank comparison requires unique item ids")
+    pos_b = {item: i + 1 for i, item in enumerate(ids_b)}
+    ranks_a: list[int] = []
+    ranks_b: list[int] = []
+    for i, item in enumerate(ids_a):
+        if item in pos_b:
+            ranks_a.append(i + 1)
+            ranks_b.append(pos_b[item])
+    if len(ranks_a) < 2:
+        raise RankingError(
+            f"rank comparison needs at least 2 common items, found {len(ranks_a)}"
+        )
+    return ranks_a, ranks_b
+
+
+def kendall_tau_rankings(a: Ranking, b: Ranking) -> float:
+    """Kendall tau-b between two rankings over their common items.
+
+    1.0 means identical order, -1.0 fully reversed.
+    """
+    ranks_a, ranks_b = _common_rank_vectors(a, b)
+    return kendall_tau(ranks_a, ranks_b)
+
+
+def kendall_distance(a: Ranking, b: Ranking, normalized: bool = True) -> float:
+    """Number of discordant pairs between the two rankings.
+
+    With ``normalized=True`` the count is divided by the number of item
+    pairs, giving a value in [0, 1] (0 = identical order).
+    """
+    ranks_a, ranks_b = _common_rank_vectors(a, b)
+    n = len(ranks_a)
+    discordant = 0
+    for i in range(n - 1):
+        for j in range(i + 1, n):
+            if (ranks_a[i] - ranks_a[j]) * (ranks_b[i] - ranks_b[j]) < 0:
+                discordant += 1
+    if not normalized:
+        return float(discordant)
+    pairs = n * (n - 1) // 2
+    return discordant / pairs
+
+
+def spearman_footrule(a: Ranking, b: Ranking, normalized: bool = True) -> float:
+    """Total absolute rank displacement of common items.
+
+    Normalization divides by the maximum possible footrule distance for
+    ``n`` items (``n^2/2`` for even n, ``(n^2-1)/2`` for odd), mapping
+    into [0, 1].
+    """
+    ranks_a, ranks_b = _common_rank_vectors(a, b)
+    total = float(sum(abs(x - y) for x, y in zip(ranks_a, ranks_b)))
+    if not normalized:
+        return total
+    n = len(ranks_a)
+    max_footrule = (n * n) / 2.0 if n % 2 == 0 else (n * n - 1) / 2.0
+    return total / max_footrule
+
+
+def rank_displacement(a: Ranking, b: Ranking) -> int:
+    """The largest rank change of any common item (0 = no item moved)."""
+    ranks_a, ranks_b = _common_rank_vectors(a, b)
+    return int(max(abs(x - y) for x, y in zip(ranks_a, ranks_b)))
+
+
+def top_k_overlap(a: Ranking, b: Ranking, k: int) -> float:
+    """Fraction of ``a``'s top-k that also appears in ``b``'s top-k."""
+    if k <= 0:
+        raise RankingError(f"top_k_overlap needs k >= 1, got {k}")
+    top_a = set(a.item_ids()[:k])
+    top_b = set(b.item_ids()[:k])
+    if not top_a:
+        return 0.0
+    return len(top_a & top_b) / len(top_a)
+
+
+def rank_biased_overlap(a: Ranking, b: Ranking, p: float = 0.9) -> float:
+    """Rank-biased overlap (RBO) of two rankings, in [0, 1].
+
+    Webber et al.'s top-weighted agreement measure: the expected overlap
+    of the two prefixes at a geometrically distributed depth.  ``p``
+    controls top-weightedness (0.9 puts ~86% of the weight on the first
+    10 ranks).  This is the extrapolated ("RBO_ext") point estimate over
+    the evaluated depths, which equals the exact RBO when both rankings
+    contain the same items.
+
+    Unlike the Kendall metrics, RBO is defined for rankings over
+    different item sets, which is what the perturbation-stability view
+    needs when comparing top fragments.
+    """
+    if not 0.0 < p < 1.0:
+        raise RankingError(f"RBO persistence p must be inside (0, 1), got {p}")
+    ids_a = a.item_ids()
+    ids_b = b.item_ids()
+    if len(set(ids_a)) != len(ids_a) or len(set(ids_b)) != len(ids_b):
+        raise RankingError("rank comparison requires unique item ids")
+    depth = min(len(ids_a), len(ids_b))
+    if depth == 0:
+        raise RankingError("RBO needs non-empty rankings")
+    seen_a: set = set()
+    seen_b: set = set()
+    overlap = 0
+    weighted_sum = 0.0
+    for d in range(1, depth + 1):
+        item_a, item_b = ids_a[d - 1], ids_b[d - 1]
+        if item_a == item_b:
+            overlap += 1
+        else:
+            if item_a in seen_b:
+                overlap += 1
+            if item_b in seen_a:
+                overlap += 1
+        seen_a.add(item_a)
+        seen_b.add(item_b)
+        weighted_sum += (overlap / d) * p ** (d - 1)
+    agreement_at_depth = overlap / depth
+    # extrapolate the tail assuming agreement stays at the final level
+    return float(
+        (1 - p) * weighted_sum + agreement_at_depth * p**depth
+    )
+
+
+def top_k_jaccard(a: Ranking, b: Ranking, k: int) -> float:
+    """Jaccard similarity of the two top-k sets."""
+    if k <= 0:
+        raise RankingError(f"top_k_jaccard needs k >= 1, got {k}")
+    top_a = set(a.item_ids()[:k])
+    top_b = set(b.item_ids()[:k])
+    union = top_a | top_b
+    if not union:
+        return 0.0
+    return len(top_a & top_b) / len(union)

@@ -1,0 +1,247 @@
+"""The :class:`Ranking`: a scored, ordered view of a table.
+
+A ranking remembers three things: the ordered table (best row first),
+the score of each row, and which column (if any) identifies items.
+Widgets consume rankings, never raw tables — the top-10/over-all
+contrast that every detailed widget draws (paper §2.1) is exactly
+``ranking.top_k(10)`` versus ``ranking``.
+
+Ordering is descending by score.  Ties break by original row order,
+which makes rankings deterministic; NaN scores sort to the bottom
+(a row the scorer could not evaluate can never crack the top-k).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import RankingError
+from repro.ranking.scoring import ScoringFunction
+from repro.tabular.table import Table
+
+__all__ = ["Ranking", "RankedItem", "rank_table"]
+
+
+@dataclass(frozen=True)
+class RankedItem:
+    """One row of a ranking: its 1-based rank, score, id, and attributes."""
+
+    rank: int
+    score: float
+    item_id: object
+    attributes: dict[str, object]
+
+
+class Ranking:
+    """An immutable ranking over a table.
+
+    Construct via :func:`rank_table` (score with a
+    :class:`~repro.ranking.scoring.ScoringFunction`) or
+    :meth:`Ranking.from_scores` (bring your own score vector — e.g. the
+    COMPAS decile scores, which arrive pre-computed).
+
+    Parameters
+    ----------
+    ordered_table:
+        The table already sorted best-first.
+    ordered_scores:
+        Scores aligned with ``ordered_table`` rows, non-increasing
+        (NaNs allowed only in a suffix).
+    id_column:
+        Optional name of the column identifying items; defaults to the
+        1-based position when absent.
+    check_monotone:
+        Verify that scores are non-increasing (on by default).  The
+        FA*IR re-ranker disables this: its positions are intentional
+        even where they break score order.
+    """
+
+    def __init__(
+        self,
+        ordered_table: Table,
+        ordered_scores: np.ndarray,
+        id_column: str | None = None,
+        check_monotone: bool = True,
+    ):
+        scores = np.asarray(ordered_scores, dtype=np.float64)
+        if scores.shape != (ordered_table.num_rows,):
+            raise RankingError(
+                f"scores have shape {scores.shape}, table has {ordered_table.num_rows} rows"
+            )
+        finite = scores[~np.isnan(scores)]
+        if np.isnan(scores).any():
+            first_nan = int(np.flatnonzero(np.isnan(scores)).min())
+            if not np.isnan(scores[first_nan:]).all():
+                raise RankingError("NaN scores must form a suffix of the ranking")
+        if check_monotone and finite.size > 1 and (np.diff(finite) > 1e-12).any():
+            raise RankingError("scores must be non-increasing in rank order")
+        if id_column is not None and id_column not in ordered_table:
+            raise RankingError(f"id column {id_column!r} not in table")
+        self._table = ordered_table
+        self._scores = scores
+        self._scores.setflags(write=False)
+        self._id_column = id_column
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_scores(
+        cls,
+        table: Table,
+        scores: Sequence[float] | np.ndarray,
+        id_column: str | None = None,
+    ) -> "Ranking":
+        """Order ``table`` by ``scores`` (descending, stable, NaNs last)."""
+        table.require_rows(1)
+        arr = np.asarray(scores, dtype=np.float64)
+        if arr.shape != (table.num_rows,):
+            raise RankingError(
+                f"scores have shape {arr.shape}, table has {table.num_rows} rows"
+            )
+        keys = -arr.copy()
+        keys[np.isnan(keys)] = np.inf  # NaN scores sort last
+        order = np.argsort(keys, kind="stable")
+        return cls(table.take(order), arr[order], id_column=id_column)
+
+    @classmethod
+    def presorted(
+        cls,
+        ordered_table: Table,
+        ordered_scores: Sequence[float] | np.ndarray,
+        id_column: str | None = None,
+    ) -> "Ranking":
+        """Wrap an already-ordered table *without* the monotonicity check.
+
+        For rankings whose positions are intentional but whose scores
+        may be locally non-monotone — e.g. the output of the FA*IR
+        re-ranker, which can force a lower-scored protected item above
+        a higher-scored one.  Everything else about the ranking behaves
+        normally.
+        """
+        return cls(
+            ordered_table,
+            np.asarray(ordered_scores, dtype=np.float64).copy(),
+            id_column=id_column,
+            check_monotone=False,
+        )
+
+    # -- basics --------------------------------------------------------------------
+
+    @property
+    def table(self) -> Table:
+        """The ordered table (rank 1 first)."""
+        return self._table
+
+    @property
+    def scores(self) -> np.ndarray:
+        """Scores in rank order (read-only)."""
+        return self._scores
+
+    @property
+    def id_column(self) -> str | None:
+        """Name of the identifying column, if any."""
+        return self._id_column
+
+    @property
+    def size(self) -> int:
+        """Number of ranked items."""
+        return self._table.num_rows
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return f"Ranking({self.size} items, id={self._id_column!r})"
+
+    def item_ids(self) -> list[object]:
+        """Item identifiers in rank order (1-based positions if no id column)."""
+        if self._id_column is None:
+            return list(range(1, self.size + 1))
+        return list(self._table.column(self._id_column).values)
+
+    def item(self, rank: int) -> RankedItem:
+        """The item at 1-based ``rank``."""
+        if not 1 <= rank <= self.size:
+            raise RankingError(f"rank {rank} out of range 1..{self.size}")
+        row = self._table.row(rank - 1)
+        item_id = row[self._id_column] if self._id_column else rank
+        return RankedItem(
+            rank=rank, score=float(self._scores[rank - 1]), item_id=item_id, attributes=row
+        )
+
+    def __iter__(self):
+        for rank in range(1, self.size + 1):
+            yield self.item(rank)
+
+    # -- slicing ----------------------------------------------------------------------
+
+    def top_k(self, k: int) -> "Ranking":
+        """The first ``k`` items as a ranking (k is clamped to the size)."""
+        if k <= 0:
+            raise RankingError(f"top_k needs k >= 1, got {k}")
+        k = min(k, self.size)
+        return Ranking(
+            self._table.head(k), self._scores[:k].copy(), id_column=self._id_column
+        )
+
+    def rank_of(self, item_id: object) -> int:
+        """1-based rank of ``item_id`` (raises if absent or ambiguous)."""
+        ids = self.item_ids()
+        hits = [i for i, v in enumerate(ids) if v == item_id]
+        if not hits:
+            raise RankingError(f"item {item_id!r} is not in this ranking")
+        if len(hits) > 1:
+            raise RankingError(f"item {item_id!r} appears {len(hits)} times")
+        return hits[0] + 1
+
+    # -- group views --------------------------------------------------------------------
+
+    def group_mask(self, attribute: str, category: str) -> np.ndarray:
+        """Boolean mask, in rank order, of items whose ``attribute`` equals ``category``."""
+        return self._table.categorical_column(attribute).indicator(category)
+
+    def group_count_at_k(self, attribute: str, category: str, k: int) -> int:
+        """Number of ``category`` members in the top ``k``."""
+        if k <= 0:
+            raise RankingError(f"group_count_at_k needs k >= 1, got {k}")
+        k = min(k, self.size)
+        return int(self.group_mask(attribute, category)[:k].sum())
+
+    def group_share_overall(self, attribute: str, category: str) -> float:
+        """Fraction of the whole ranking belonging to ``category``."""
+        mask = self.group_mask(attribute, category)
+        return float(mask.mean()) if mask.size else 0.0
+
+    # -- serialization ------------------------------------------------------------------
+
+    def to_records(self) -> list[dict[str, object]]:
+        """Rank/score/id/attribute dicts for JSON output and previews."""
+        return [
+            {
+                "rank": item.rank,
+                "score": item.score,
+                "item_id": item.item_id,
+                **item.attributes,
+            }
+            for item in self
+        ]
+
+
+def rank_table(
+    table: Table, scorer: ScoringFunction, id_column: str | None = None
+) -> Ranking:
+    """Score ``table`` with ``scorer`` and return the resulting ranking.
+
+    This is the single entry point the demo session uses after the user
+    finishes designing the scoring function.
+
+    >>> from repro.tabular import Table
+    >>> from repro.ranking import LinearScoringFunction, rank_table
+    >>> t = Table.from_dict({"name": ["x", "y"], "v": [1.0, 2.0]})
+    >>> rank_table(t, LinearScoringFunction({"v": 1.0}), "name").item_ids()
+    ['y', 'x']
+    """
+    return Ranking.from_scores(table, scorer.score_table(table), id_column=id_column)

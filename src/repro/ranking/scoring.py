@@ -1,0 +1,158 @@
+"""Scoring functions: how a row becomes a score.
+
+The demo's scoring design view (paper Figure 3) has the user pick
+numeric attributes and assign each a weight; the score of an item is
+the weighted sum of its (optionally normalized) attribute values.
+:class:`LinearScoringFunction` is that object.  The abstract
+:class:`ScoringFunction` base leaves room for non-linear rankers — the
+label machinery only ever calls :meth:`score_table`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.errors import ScoringError, WeightError
+from repro.tabular.column import NumericColumn
+from repro.tabular.table import Table
+
+__all__ = ["ScoringFunction", "LinearScoringFunction"]
+
+
+class ScoringFunction:
+    """Abstract scorer: maps a table to one float score per row."""
+
+    #: name shown in the Recipe widget
+    name: str = "scoring function"
+
+    def score_table(self, table: Table) -> np.ndarray:
+        """Return a float64 score array aligned with the table's rows."""
+        raise NotImplementedError
+
+    def attributes(self) -> tuple[str, ...]:
+        """The attribute names this scorer reads (for the Recipe widget)."""
+        raise NotImplementedError
+
+    def describe(self) -> dict[str, object]:
+        """Machine-readable description for label serialization."""
+        return {"name": self.name, "attributes": list(self.attributes())}
+
+
+class LinearScoringFunction(ScoringFunction):
+    """A weighted sum of numeric attributes.
+
+    Parameters
+    ----------
+    weights:
+        ``{attribute: weight}``.  Weights must be finite and not all
+        zero; negative weights are allowed (an attribute can count
+        against an item, e.g. a risk score in a desirability ranking).
+    missing_policy:
+        How to score rows with a missing attribute value:
+        ``"zero"`` treats missing as 0 (the demo tool's behaviour),
+        ``"propagate"`` scores the row NaN so it sorts to the bottom.
+
+    Example
+    -------
+    >>> from repro.tabular import Table
+    >>> f = LinearScoringFunction({"a": 2.0, "b": 1.0})
+    >>> f.score_table(Table.from_dict({"a": [1.0], "b": [3.0]})).tolist()
+    [5.0]
+    """
+
+    name = "linear scoring function"
+    _POLICIES = ("zero", "propagate")
+
+    def __init__(self, weights: Mapping[str, float], missing_policy: str = "zero"):
+        if not weights:
+            raise WeightError("a linear scoring function needs at least one attribute")
+        clean: dict[str, float] = {}
+        for attr, weight in weights.items():
+            if not isinstance(attr, str) or not attr:
+                raise WeightError(f"attribute name must be a non-empty string, got {attr!r}")
+            w = float(weight)
+            if not math.isfinite(w):
+                raise WeightError(f"weight for {attr!r} must be finite, got {w!r}")
+            clean[attr] = w
+        if all(w == 0.0 for w in clean.values()):
+            raise WeightError("all weights are zero; the ranking would be arbitrary")
+        if missing_policy not in self._POLICIES:
+            raise ScoringError(
+                f"missing_policy must be one of {self._POLICIES}, got {missing_policy!r}"
+            )
+        self._weights = clean
+        self._missing_policy = missing_policy
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def weights(self) -> dict[str, float]:
+        """A copy of the weight mapping."""
+        return dict(self._weights)
+
+    @property
+    def missing_policy(self) -> str:
+        """The configured missing-value policy."""
+        return self._missing_policy
+
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(self._weights)
+
+    def normalized_weights(self) -> dict[str, float]:
+        """Weights rescaled so absolute values sum to 1 (Recipe display)."""
+        total = sum(abs(w) for w in self._weights.values())
+        return {a: w / total for a, w in self._weights.items()}
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "attributes": list(self._weights),
+            "weights": dict(self._weights),
+            "normalized_weights": self.normalized_weights(),
+            "missing_policy": self._missing_policy,
+        }
+
+    # -- scoring ------------------------------------------------------------------
+
+    def score_table(self, table: Table) -> np.ndarray:
+        """Weighted sum per row; see ``missing_policy`` for NaN handling."""
+        table.require_rows(1)
+        total = np.zeros(table.num_rows, dtype=np.float64)
+        any_missing = np.zeros(table.num_rows, dtype=bool)
+        for attr, weight in self._weights.items():
+            column: NumericColumn = table.numeric_column(attr)
+            values = column.values.copy()
+            missing = np.isnan(values)
+            any_missing |= missing
+            values[missing] = 0.0
+            total += weight * values
+        if self._missing_policy == "propagate":
+            total[any_missing] = np.nan
+        return total
+
+    # -- derivation -----------------------------------------------------------------
+
+    def with_weights(self, weights: Mapping[str, float]) -> "LinearScoringFunction":
+        """A new scorer with different weights, same policy."""
+        return LinearScoringFunction(weights, missing_policy=self._missing_policy)
+
+    def perturbed(self, deltas: Mapping[str, float]) -> "LinearScoringFunction":
+        """A new scorer with ``deltas`` added to the matching weights.
+
+        Unknown attributes in ``deltas`` raise — perturbation code must
+        not silently invent new scoring attributes.
+        """
+        unknown = set(deltas) - set(self._weights)
+        if unknown:
+            raise WeightError(
+                f"perturbed() got unknown attribute(s): {', '.join(sorted(unknown))}"
+            )
+        new = {a: w + float(deltas.get(a, 0.0)) for a, w in self._weights.items()}
+        return LinearScoringFunction(new, missing_policy=self._missing_policy)
+
+    def __repr__(self) -> str:
+        terms = " + ".join(f"{w:g}*{a}" for a, w in self._weights.items())
+        return f"LinearScoringFunction({terms})"

@@ -1,0 +1,110 @@
+"""Score-gap analysis: the most literal stability reading.
+
+"A score distribution is unstable if scores of items in adjacent ranks
+are close to each other, and so a very small change in scores will lead
+to a change in the ranking" (paper §2.2).  The slope fit summarizes the
+whole distribution; this module reports the gaps themselves:
+
+- adjacent-gap statistics at the top-k and over-all;
+- the *swap margin* — half the smallest adjacent gap, which is exactly
+  "the extent of the change required for the ranking to change": add
+  that much to the lower item (and subtract it from the upper) and the
+  pair swaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StabilityError
+from repro.ranking.ranker import Ranking
+
+__all__ = ["GapReport", "score_gap_analysis"]
+
+
+@dataclass(frozen=True)
+class GapReport:
+    """Adjacent-gap statistics for one segment of a ranking.
+
+    All gaps are non-negative; positions are 1-based ranks of the upper
+    item of the tightest pair.  ``relative`` values divide by the score
+    range of the *whole* ranking, giving scale-free numbers comparable
+    across recipes (0.01 = the tightest pair is within 1% of the score
+    range).
+    """
+
+    segment: str
+    num_gaps: int
+    min_gap: float
+    median_gap: float
+    max_gap: float
+    tightest_pair_rank: int
+    swap_margin: float
+    min_gap_relative: float
+    swap_margin_relative: float
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for serialization."""
+        return {
+            "segment": self.segment,
+            "num_gaps": self.num_gaps,
+            "min_gap": self.min_gap,
+            "median_gap": self.median_gap,
+            "max_gap": self.max_gap,
+            "tightest_pair_rank": self.tightest_pair_rank,
+            "swap_margin": self.swap_margin,
+            "min_gap_relative": self.min_gap_relative,
+            "swap_margin_relative": self.swap_margin_relative,
+        }
+
+
+def _segment_report(scores: np.ndarray, segment: str, span: float) -> GapReport:
+    gaps = -np.diff(scores)  # scores are non-increasing
+    gaps = np.maximum(gaps, 0.0)  # guard float dust on ties
+    tightest = int(np.argmin(gaps))
+    min_gap = float(gaps[tightest])
+    return GapReport(
+        segment=segment,
+        num_gaps=int(gaps.size),
+        min_gap=min_gap,
+        median_gap=float(np.median(gaps)),
+        max_gap=float(gaps.max()),
+        tightest_pair_rank=tightest + 1,
+        swap_margin=min_gap / 2.0,
+        min_gap_relative=min_gap / span if span > 0 else 0.0,
+        swap_margin_relative=(min_gap / 2.0) / span if span > 0 else 0.0,
+    )
+
+
+def score_gap_analysis(ranking: Ranking, k: int = 10) -> dict[str, GapReport]:
+    """Adjacent-gap reports for the top-k segment and the whole ranking.
+
+    Returns ``{"top_k": ..., "overall": ...}``.  The overall swap margin
+    is the single number the overview widget's "extent of change
+    required" phrasing describes: the smallest score perturbation that
+    provably reorders some adjacent pair.
+
+    Raises
+    ------
+    StabilityError
+        On rankings with fewer than 2 items or NaN scores.
+    """
+    if k < 2:
+        raise StabilityError(f"gap analysis needs k >= 2, got {k}")
+    scores = ranking.scores
+    if scores.size < 2:
+        raise StabilityError(
+            f"gap analysis needs at least 2 items, got {scores.size}"
+        )
+    if np.isnan(scores).any():
+        raise StabilityError(
+            "gap analysis is undefined with NaN scores; drop unscored items first"
+        )
+    span = float(scores.max() - scores.min())
+    k = min(k, scores.size)
+    return {
+        "top_k": _segment_report(scores[:k], f"top-{k}", span),
+        "overall": _segment_report(scores, "overall", span),
+    }

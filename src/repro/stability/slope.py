@@ -1,0 +1,202 @@
+"""Score-distribution slope stability (paper §2.2, Figure 2).
+
+"The stability of the ranking is quantified as the slope of the line
+that is fit to the score distribution, at the top-10 and over-all.  A
+score distribution is unstable if scores of items in adjacent ranks are
+close to each other ... In this example the score distribution is
+considered unstable if the slope is 0.25 or lower."
+
+The fit regresses score on rank position; for a descending ranking the
+slope is negative, and its magnitude is the average score separation
+between adjacent ranks.  A large magnitude means small score noise
+cannot reorder items.
+
+One wrinkle: raw slopes are not comparable across scoring functions
+with different output scales, so the widget fits on **scores rescaled
+to [0, 1] over the full ranking and rank positions rescaled to [0, 1]
+per segment** (the fit is then scale- and length-free, and the 0.25
+threshold means "the top-to-bottom score drop across the segment is at
+least a quarter of the overall score range").  Set
+``rescale=False`` to fit on raw scores instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StabilityError
+from repro.ranking.ranker import Ranking
+from repro.stats.regression import LinearFit, fit_line_xy
+
+__all__ = ["SlopeStabilityReport", "SlopeStability", "slope_stability"]
+
+#: Paper's instability threshold: "unstable if the slope is 0.25 or lower".
+DEFAULT_SLOPE_THRESHOLD = 0.25
+
+#: The widget's headline prefix.
+DEFAULT_TOP_K = 10
+
+
+@dataclass(frozen=True)
+class SlopeStabilityReport:
+    """Figure 2's payload: fits at the top-k and over-all.
+
+    ``slope_top_k`` / ``slope_overall`` are slope *magnitudes* (the raw
+    fitted slopes are negative).  The single-number ``stability_score``
+    on the overview widget is the smaller of the two — the ranking is
+    only as stable as its weaker segment.
+    """
+
+    k: int
+    threshold: float
+    rescaled: bool
+    fit_top_k: LinearFit
+    fit_overall: LinearFit
+    slope_top_k: float
+    slope_overall: float
+    stable_top_k: bool
+    stable_overall: bool
+
+    @property
+    def stability_score(self) -> float:
+        """The overview widget's single number."""
+        return min(self.slope_top_k, self.slope_overall)
+
+    @property
+    def stable(self) -> bool:
+        """Overall verdict: stable only when both segments are."""
+        return self.stable_top_k and self.stable_overall
+
+    @property
+    def verdict(self) -> str:
+        """``"stable"`` or ``"unstable"``, as printed on the label."""
+        return "stable" if self.stable else "unstable"
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for serialization."""
+        return {
+            "k": self.k,
+            "threshold": self.threshold,
+            "rescaled": self.rescaled,
+            "stability_score": self.stability_score,
+            "stable": self.stable,
+            "top_k": {
+                "slope": self.slope_top_k,
+                "stable": self.stable_top_k,
+                "fit": self.fit_top_k.as_dict(),
+            },
+            "overall": {
+                "slope": self.slope_overall,
+                "stable": self.stable_overall,
+                "fit": self.fit_overall.as_dict(),
+            },
+        }
+
+
+def _segment_fit(scores: np.ndarray, rescale: bool, span: float) -> LinearFit:
+    """Fit score vs rank for one segment.
+
+    With ``rescale`` the x axis is the segment's rank positions mapped
+    onto [0, 1] and the y axis is assumed pre-scaled by the caller
+    (``span`` divides the scores); the slope is then the score drop per
+    full segment traversal, in units of the overall score range.
+    """
+    n = scores.size
+    if n < 2:
+        raise StabilityError(f"slope stability needs at least 2 items, got {n}")
+    y = scores.astype(np.float64)
+    if rescale:
+        x = np.linspace(0.0, 1.0, n)
+        y = y / span if span > 0 else y * 0.0
+    else:
+        x = np.arange(1, n + 1, dtype=np.float64)
+    return fit_line_xy(x, y)
+
+
+class SlopeStability:
+    """The Figure-2 estimator with configurable k and threshold.
+
+    Parameters
+    ----------
+    k:
+        Top segment length (default 10).
+    threshold:
+        Slope magnitude at or below which a segment is unstable
+        (default 0.25, the paper's example value).
+    rescale:
+        Fit in scale-free units (default, see module docstring).
+    """
+
+    name = "score-distribution slope"
+
+    def __init__(
+        self,
+        k: int = DEFAULT_TOP_K,
+        threshold: float = DEFAULT_SLOPE_THRESHOLD,
+        rescale: bool = True,
+    ):
+        if k < 2:
+            raise StabilityError(f"k must be >= 2 to fit a line, got {k}")
+        if threshold <= 0.0:
+            raise StabilityError(f"threshold must be positive, got {threshold}")
+        self._k = k
+        self._threshold = threshold
+        self._rescale = rescale
+
+    @property
+    def k(self) -> int:
+        """The top segment length."""
+        return self._k
+
+    @property
+    def threshold(self) -> float:
+        """The instability threshold."""
+        return self._threshold
+
+    def assess(self, ranking: Ranking) -> SlopeStabilityReport:
+        """Fit both segments of ``ranking`` and return the report.
+
+        Raises
+        ------
+        StabilityError
+            When the ranking has NaN scores or fewer than 2 items.
+        """
+        scores = ranking.scores
+        if np.isnan(scores).any():
+            raise StabilityError(
+                "slope stability is undefined with NaN scores; "
+                "drop unscored items first"
+            )
+        if scores.size < 2:
+            raise StabilityError(
+                f"slope stability needs at least 2 items, got {scores.size}"
+            )
+        span = float(scores.max() - scores.min())
+        k = min(self._k, scores.size)
+        fit_top = _segment_fit(scores[:k], self._rescale, span)
+        fit_all = _segment_fit(scores, self._rescale, span)
+        slope_top = abs(fit_top.slope)
+        slope_all = abs(fit_all.slope)
+        return SlopeStabilityReport(
+            k=k,
+            threshold=self._threshold,
+            rescaled=self._rescale,
+            fit_top_k=fit_top,
+            fit_overall=fit_all,
+            slope_top_k=slope_top,
+            slope_overall=slope_all,
+            stable_top_k=slope_top > self._threshold,
+            stable_overall=slope_all > self._threshold,
+        )
+
+
+def slope_stability(
+    ranking: Ranking,
+    k: int = DEFAULT_TOP_K,
+    threshold: float = DEFAULT_SLOPE_THRESHOLD,
+    rescale: bool = True,
+) -> SlopeStabilityReport:
+    """Functional shortcut for ``SlopeStability(...).assess(ranking)``."""
+    return SlopeStability(k=k, threshold=threshold, rescale=rescale).assess(ranking)

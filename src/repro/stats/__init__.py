@@ -1,0 +1,66 @@
+"""Self-contained statistics substrate.
+
+Every fair/unfair verdict on the label "is determined by the computed
+p-value" (paper §2.3), and the Stability widget fits a regression line
+to the score distribution (paper §2.2, Figure 2).  This subpackage
+implements those primitives directly — normal and binomial distributions,
+ordinary least squares, binomial and proportion tests, and rank
+correlations — so the numbers on the label are auditable end to end.
+scipy is used only in the test suite, as an independent cross-check.
+"""
+
+from repro.stats.descriptive import (
+    five_number_summary,
+    mean,
+    median,
+    quantile,
+    stddev,
+    trimmed_mean,
+)
+from repro.stats.distributions import (
+    binom_cdf,
+    binom_logpmf,
+    binom_pmf,
+    binom_ppf,
+    binom_sf,
+    norm_cdf,
+    norm_pdf,
+    norm_ppf,
+    norm_sf,
+)
+from repro.stats.regression import LinearFit, fit_line, fit_line_xy
+from repro.stats.tests import (
+    TestResult,
+    binomial_test,
+    one_proportion_ztest,
+    two_proportion_ztest,
+)
+from repro.stats.correlation import kendall_tau, pearson_r, spearman_rho
+
+__all__ = [
+    "mean",
+    "median",
+    "stddev",
+    "quantile",
+    "trimmed_mean",
+    "five_number_summary",
+    "norm_pdf",
+    "norm_cdf",
+    "norm_sf",
+    "norm_ppf",
+    "binom_pmf",
+    "binom_logpmf",
+    "binom_cdf",
+    "binom_sf",
+    "binom_ppf",
+    "LinearFit",
+    "fit_line",
+    "fit_line_xy",
+    "TestResult",
+    "binomial_test",
+    "one_proportion_ztest",
+    "two_proportion_ztest",
+    "pearson_r",
+    "spearman_rho",
+    "kendall_tau",
+]

@@ -1,0 +1,93 @@
+"""Descriptive statistics on raw float sequences.
+
+These helpers operate on plain sequences/arrays (not columns) so the
+stability and fairness code can use them on derived quantities such as
+score vectors and rank gaps.  NaNs are rejected, not silently dropped:
+by the time data reaches these functions it has passed through the
+tabular layer, which owns missing-value policy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "mean",
+    "median",
+    "stddev",
+    "quantile",
+    "trimmed_mean",
+    "five_number_summary",
+]
+
+
+def _as_clean_array(values: Sequence[float] | np.ndarray, what: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"{what} expects a 1-d sequence, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{what} of an empty sequence is undefined")
+    if np.isnan(arr).any():
+        raise ValueError(f"{what} received NaN values; clean the data first")
+    return arr
+
+
+def mean(values: Sequence[float] | np.ndarray) -> float:
+    """Arithmetic mean."""
+    return float(_as_clean_array(values, "mean").mean())
+
+
+def median(values: Sequence[float] | np.ndarray) -> float:
+    """Median (average of the middle two for even lengths)."""
+    return float(np.median(_as_clean_array(values, "median")))
+
+
+def stddev(values: Sequence[float] | np.ndarray, ddof: int = 0) -> float:
+    """Standard deviation; population (ddof=0) by default."""
+    arr = _as_clean_array(values, "stddev")
+    if arr.size <= ddof:
+        raise ValueError(
+            f"stddev with ddof={ddof} needs more than {ddof} values, got {arr.size}"
+        )
+    return float(arr.std(ddof=ddof))
+
+
+def quantile(values: Sequence[float] | np.ndarray, q: float) -> float:
+    """Linear-interpolation quantile, ``q`` in [0, 1]."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile level must be in [0, 1], got {q}")
+    return float(np.quantile(_as_clean_array(values, "quantile"), q))
+
+
+def trimmed_mean(values: Sequence[float] | np.ndarray, proportion: float = 0.1) -> float:
+    """Mean after removing ``proportion`` of mass from each tail.
+
+    Used by the uncertainty-based stability estimator to make its
+    summary robust to a few extreme perturbation draws.
+    """
+    if not 0.0 <= proportion < 0.5:
+        raise ValueError(
+            f"trim proportion must be in [0, 0.5), got {proportion}"
+        )
+    arr = np.sort(_as_clean_array(values, "trimmed_mean"))
+    cut = int(arr.size * proportion)
+    trimmed = arr[cut: arr.size - cut]
+    if trimmed.size == 0:
+        trimmed = arr
+    return float(trimmed.mean())
+
+
+def five_number_summary(
+    values: Sequence[float] | np.ndarray,
+) -> dict[str, float]:
+    """Min, first quartile, median, third quartile, max as a dict."""
+    arr = _as_clean_array(values, "five_number_summary")
+    return {
+        "min": float(arr.min()),
+        "q1": float(np.quantile(arr, 0.25)),
+        "median": float(np.median(arr)),
+        "q3": float(np.quantile(arr, 0.75)),
+        "max": float(arr.max()),
+    }

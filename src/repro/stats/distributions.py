@@ -1,0 +1,210 @@
+"""Normal and binomial distribution primitives.
+
+Implemented from first principles (log-space binomial PMF, ``erfc``-based
+normal CDF, bisection/Newton inverses) so that every p-value the fairness
+widget reports can be traced to elementary operations.  The unit tests
+cross-check all of these against scipy.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "norm_pdf",
+    "norm_cdf",
+    "norm_sf",
+    "norm_ppf",
+    "binom_pmf",
+    "binom_logpmf",
+    "binom_cdf",
+    "binom_sf",
+    "binom_ppf",
+]
+
+_SQRT2 = math.sqrt(2.0)
+_SQRT2PI = math.sqrt(2.0 * math.pi)
+
+
+# ---------------------------------------------------------------------------
+# Normal distribution
+# ---------------------------------------------------------------------------
+
+
+def norm_pdf(x: float, mean: float = 0.0, std: float = 1.0) -> float:
+    """Density of the normal distribution at ``x``."""
+    if std <= 0:
+        raise ValueError(f"std must be positive, got {std}")
+    z = (x - mean) / std
+    return math.exp(-0.5 * z * z) / (std * _SQRT2PI)
+
+
+def norm_cdf(x: float, mean: float = 0.0, std: float = 1.0) -> float:
+    """P(X <= x) for X ~ Normal(mean, std).
+
+    Uses ``erfc`` for full double-precision accuracy in both tails.
+    """
+    if std <= 0:
+        raise ValueError(f"std must be positive, got {std}")
+    z = (x - mean) / std
+    return 0.5 * math.erfc(-z / _SQRT2)
+
+
+def norm_sf(x: float, mean: float = 0.0, std: float = 1.0) -> float:
+    """P(X > x): the survival function, accurate in the upper tail."""
+    if std <= 0:
+        raise ValueError(f"std must be positive, got {std}")
+    z = (x - mean) / std
+    return 0.5 * math.erfc(z / _SQRT2)
+
+
+def norm_ppf(q: float, mean: float = 0.0, std: float = 1.0) -> float:
+    """Inverse CDF (quantile function) of the normal distribution.
+
+    Acklam's rational approximation refined with one Halley step, giving
+    ~1e-15 relative accuracy — indistinguishable from scipy in tests.
+    """
+    if std <= 0:
+        raise ValueError(f"std must be positive, got {std}")
+    if not 0.0 < q < 1.0:
+        if q == 0.0:
+            return float("-inf")
+        if q == 1.0:
+            return float("inf")
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+
+    # Acklam's coefficients
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+
+    p_low = 0.02425
+    if q < p_low:
+        u = math.sqrt(-2.0 * math.log(q))
+        z = (((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) / (
+            (((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0
+        )
+    elif q <= 1.0 - p_low:
+        u = q - 0.5
+        t = u * u
+        z = (((((a[0] * t + a[1]) * t + a[2]) * t + a[3]) * t + a[4]) * t + a[5]) * u / (
+            ((((b[0] * t + b[1]) * t + b[2]) * t + b[3]) * t + b[4]) * t + 1.0
+        )
+    else:
+        u = math.sqrt(-2.0 * math.log(1.0 - q))
+        z = -(((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) / (
+            (((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0
+        )
+
+    # one Halley refinement step
+    err = norm_cdf(z) - q
+    density = norm_pdf(z)
+    if density > 0.0:
+        step = err / density
+        z -= step / (1.0 + z * step / 2.0)
+    return mean + std * z
+
+
+# ---------------------------------------------------------------------------
+# Binomial distribution
+# ---------------------------------------------------------------------------
+
+
+def _validate_binom(k: int, n: int, p: float) -> None:
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    if not isinstance(k, int):
+        raise TypeError(f"k must be an int, got {type(k).__name__}")
+
+
+def binom_logpmf(k: int, n: int, p: float) -> float:
+    """log P(X = k) for X ~ Binomial(n, p); ``-inf`` outside support."""
+    _validate_binom(k, n, p)
+    if k < 0 or k > n:
+        return float("-inf")
+    if p == 0.0:
+        return 0.0 if k == 0 else float("-inf")
+    if p == 1.0:
+        return 0.0 if k == n else float("-inf")
+    return (
+        math.lgamma(n + 1)
+        - math.lgamma(k + 1)
+        - math.lgamma(n - k + 1)
+        + k * math.log(p)
+        + (n - k) * math.log1p(-p)
+    )
+
+
+def binom_pmf(k: int, n: int, p: float) -> float:
+    """P(X = k) for X ~ Binomial(n, p)."""
+    logpmf = binom_logpmf(k, n, p)
+    return 0.0 if logpmf == float("-inf") else math.exp(logpmf)
+
+
+def binom_cdf(k: int, n: int, p: float) -> float:
+    """P(X <= k) for X ~ Binomial(n, p).
+
+    Direct summation of the PMF from the smaller tail; exact for the
+    prefix sizes the FA*IR test uses (k up to a few thousand).
+    """
+    _validate_binom(k, n, p)
+    if k < 0:
+        return 0.0
+    if k >= n:
+        return 1.0
+    # Sum the smaller tail for accuracy, then complement if needed.
+    if k <= n * p:
+        total = 0.0
+        for i in range(0, k + 1):
+            total += binom_pmf(i, n, p)
+        return min(total, 1.0)
+    total = 0.0
+    for i in range(k + 1, n + 1):
+        total += binom_pmf(i, n, p)
+    return max(0.0, 1.0 - total)
+
+
+def binom_sf(k: int, n: int, p: float) -> float:
+    """P(X > k): the binomial survival function."""
+    _validate_binom(k, n, p)
+    if k < 0:
+        return 1.0
+    if k >= n:
+        return 0.0
+    if k <= n * p:
+        total = 0.0
+        for i in range(0, k + 1):
+            total += binom_pmf(i, n, p)
+        return max(0.0, 1.0 - total)
+    total = 0.0
+    for i in range(k + 1, n + 1):
+        total += binom_pmf(i, n, p)
+    return min(total, 1.0)
+
+
+def binom_ppf(q: float, n: int, p: float) -> int:
+    """Smallest ``k`` with ``binom_cdf(k, n, p) >= q``.
+
+    This is exactly scipy's convention, and the quantity FA*IR's mtable
+    construction needs: the minimum number of protected candidates whose
+    shortfall probability stays below significance.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    _validate_binom(0, n, p)
+    if q == 0.0:
+        # scipy returns -1 for q=0 when p>0; we clamp to the support
+        return 0
+    cumulative = 0.0
+    for k in range(0, n + 1):
+        cumulative += binom_pmf(k, n, p)
+        if cumulative >= q - 1e-15:
+            return k
+    return n

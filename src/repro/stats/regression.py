@@ -1,0 +1,104 @@
+"""Ordinary least squares line fitting.
+
+The detailed Stability widget (paper §2.2, Figure 2) quantifies
+stability "as the slope of the line that is fit to the score
+distribution, at the top-10 and over-all".  :func:`fit_line` is that
+fit: x = rank position (1-based), y = score at that rank.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LinearFit", "fit_line", "fit_line_xy"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of a least-squares line fit ``y ≈ slope * x + intercept``.
+
+    ``r_squared`` is the coefficient of determination; it is defined as
+    1.0 for a perfect fit on degenerate (zero-variance) targets.
+    """
+
+    slope: float
+    intercept: float
+    r_squared: float
+    n: int
+
+    def predict(self, x: float) -> float:
+        """The fitted value at ``x``."""
+        return self.slope * x + self.intercept
+
+    def residuals(
+        self, xs: Sequence[float] | np.ndarray, ys: Sequence[float] | np.ndarray
+    ) -> np.ndarray:
+        """``y - fitted(x)`` for paired observations."""
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        return ys - (self.slope * xs + self.intercept)
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Plain-dict form for serialization."""
+        return {
+            "slope": self.slope,
+            "intercept": self.intercept,
+            "r_squared": self.r_squared,
+            "n": self.n,
+        }
+
+
+def fit_line_xy(
+    xs: Sequence[float] | np.ndarray, ys: Sequence[float] | np.ndarray
+) -> LinearFit:
+    """Least-squares fit of ``ys`` against ``xs``.
+
+    Raises
+    ------
+    ValueError
+        On length mismatch, fewer than two points, NaNs, or zero
+        variance in ``xs`` (a vertical line has no finite slope).
+    """
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError(
+            f"fit_line_xy needs equal-length 1-d sequences, got {x.shape} and {y.shape}"
+        )
+    if x.size < 2:
+        raise ValueError(f"fit_line_xy needs at least 2 points, got {x.size}")
+    if np.isnan(x).any() or np.isnan(y).any():
+        raise ValueError("fit_line_xy received NaN values; clean the data first")
+
+    x_mean = x.mean()
+    y_mean = y.mean()
+    sxx = float(((x - x_mean) ** 2).sum())
+    if sxx == 0.0:
+        raise ValueError("fit_line_xy: x values are constant, slope undefined")
+    sxy = float(((x - x_mean) * (y - y_mean)).sum())
+    slope = sxy / sxx
+    intercept = float(y_mean - slope * x_mean)
+
+    ss_tot = float(((y - y_mean) ** 2).sum())
+    if ss_tot == 0.0:
+        r_squared = 1.0  # constant target, perfectly reproduced by slope 0
+    else:
+        fitted = slope * x + intercept
+        ss_res = float(((y - fitted) ** 2).sum())
+        r_squared = 1.0 - ss_res / ss_tot
+    return LinearFit(slope=float(slope), intercept=intercept, r_squared=r_squared, n=int(x.size))
+
+
+def fit_line(scores: Sequence[float] | np.ndarray) -> LinearFit:
+    """Fit a line to a score distribution indexed by rank position.
+
+    ``scores`` must already be in rank order (best first); the x-axis is
+    the 1-based rank.  For a descending score sequence the slope is
+    negative; the Stability widget reports its magnitude.
+    """
+    y = np.asarray(scores, dtype=np.float64)
+    x = np.arange(1, y.size + 1, dtype=np.float64)
+    return fit_line_xy(x, y)

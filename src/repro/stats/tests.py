@@ -1,0 +1,236 @@
+"""Hypothesis tests used by the Fairness widget.
+
+"All these measures are statistical tests, and whether a result is fair
+is determined by the computed p-value" (paper §2.3).  Three tests cover
+the widget's needs:
+
+- :func:`binomial_test` — exact test of a count against Binomial(n, p);
+  the FA*IR prefix test and the pairwise measure both reduce to it.
+- :func:`one_proportion_ztest` — normal-approximation test of a sample
+  proportion against a population proportion; the "proportion" measure
+  adapted from Zliobaite's review [15].
+- :func:`two_proportion_ztest` — pooled z-test comparing the protected
+  proportion inside the top-k against the rest of the ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+import numpy as np
+
+from repro.stats.distributions import binom_cdf, binom_sf, norm_cdf, norm_sf
+
+
+def _full_binom_logpmf(trials: int, p: float) -> np.ndarray:
+    """log PMF of Binomial(trials, p) over 0..trials, via the ratio recurrence.
+
+    ``logpmf[k+1] - logpmf[k] = log((n-k)/(k+1)) + log(p/(1-p))``, which a
+    cumulative sum vectorizes; exact to float precision and O(n) even for
+    the millions-of-pairs counts the naive pairwise measure produces.
+    """
+    k = np.arange(trials, dtype=np.float64)
+    steps = np.log(trials - k) - np.log(k + 1.0) + math.log(p) - math.log1p(-p)
+    logpmf = np.empty(trials + 1, dtype=np.float64)
+    logpmf[0] = trials * math.log1p(-p)
+    logpmf[1:] = logpmf[0] + np.cumsum(steps)
+    return logpmf
+
+
+def _two_sided_binomial_pvalue(successes: int, trials: int, p: float) -> float:
+    """Exact minlike two-sided p-value.
+
+    Sums the probabilities of every outcome whose likelihood does not
+    exceed the observed one (the convention of ``scipy.stats.binomtest``).
+    """
+    if trials == 0:
+        return 1.0
+    if p == 0.0:
+        return 1.0 if successes == 0 else 0.0
+    if p == 1.0:
+        return 1.0 if successes == trials else 0.0
+    pmf = np.exp(_full_binom_logpmf(trials, p))
+    threshold = pmf[successes] * (1.0 + 1e-12)  # tolerate float round-off
+    return float(min(1.0, pmf[pmf <= threshold].sum()))
+
+__all__ = [
+    "TestResult",
+    "binomial_test",
+    "one_proportion_ztest",
+    "two_proportion_ztest",
+]
+
+_ALTERNATIVES = ("two-sided", "less", "greater")
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of a hypothesis test.
+
+    Attributes
+    ----------
+    statistic:
+        The test statistic (z value, or the observed count for exact
+        tests).
+    p_value:
+        Probability, under the null, of a result at least as extreme.
+    alternative:
+        Which tail(s) were tested.
+    name:
+        Human-readable test name, shown in the detailed Fairness widget.
+    """
+
+    statistic: float
+    p_value: float
+    alternative: str
+    name: str
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """True when the null hypothesis is rejected at level ``alpha``."""
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        return self.p_value < alpha
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for serialization."""
+        return {
+            "name": self.name,
+            "statistic": self.statistic,
+            "p_value": self.p_value,
+            "alternative": self.alternative,
+        }
+
+
+def _check_alternative(alternative: str) -> None:
+    if alternative not in _ALTERNATIVES:
+        raise ValueError(
+            f"alternative must be one of {_ALTERNATIVES}, got {alternative!r}"
+        )
+
+
+def binomial_test(
+    successes: int, trials: int, p: float, alternative: str = "two-sided"
+) -> TestResult:
+    """Exact binomial test of ``successes`` out of ``trials`` against ``p``.
+
+    The two-sided p-value follows the minlike convention (sum of all
+    outcome probabilities no larger than the observed one), matching
+    ``scipy.stats.binomtest``.
+    """
+    _check_alternative(alternative)
+    if trials < 0:
+        raise ValueError(f"trials must be non-negative, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(
+            f"successes must be in [0, {trials}], got {successes}"
+        )
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"null proportion must be in [0, 1], got {p}")
+
+    if alternative == "less":
+        p_value = binom_cdf(successes, trials, p)
+    elif alternative == "greater":
+        p_value = binom_sf(successes - 1, trials, p)
+    else:
+        p_value = _two_sided_binomial_pvalue(successes, trials, p)
+    return TestResult(
+        statistic=float(successes),
+        p_value=float(p_value),
+        alternative=alternative,
+        name="exact binomial test",
+    )
+
+
+def one_proportion_ztest(
+    successes: int, trials: int, p: float, alternative: str = "two-sided"
+) -> TestResult:
+    """Normal-approximation test of a sample proportion against ``p``.
+
+    This is the classical statistical-parity check: is the share of the
+    protected group in the selected set consistent with its share ``p``
+    of the population?
+
+    Raises
+    ------
+    ValueError
+        When the null variance is zero (``p`` of 0 or 1) or ``trials``
+        is zero — the z statistic is undefined there.
+    """
+    _check_alternative(alternative)
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes must be in [0, {trials}], got {successes}")
+    if not 0.0 < p < 1.0:
+        raise ValueError(
+            f"null proportion must be strictly inside (0, 1), got {p}"
+        )
+    observed = successes / trials
+    se = (p * (1.0 - p) / trials) ** 0.5
+    z = (observed - p) / se
+    if alternative == "less":
+        p_value = norm_cdf(z)
+    elif alternative == "greater":
+        p_value = norm_sf(z)
+    else:
+        p_value = 2.0 * norm_sf(abs(z))
+    return TestResult(
+        statistic=float(z),
+        p_value=float(min(1.0, p_value)),
+        alternative=alternative,
+        name="one-proportion z-test",
+    )
+
+
+def two_proportion_ztest(
+    successes_a: int,
+    trials_a: int,
+    successes_b: int,
+    trials_b: int,
+    alternative: str = "two-sided",
+) -> TestResult:
+    """Pooled two-sample z-test for a difference in proportions.
+
+    Group *a* is conventionally the top-k slice and group *b* the
+    remainder of the ranking; ``alternative="less"`` then asks whether
+    the protected share in the top-k is significantly lower.
+
+    Raises
+    ------
+    ValueError
+        When either sample is empty, or the pooled proportion is 0 or 1
+        (no variance: the test cannot distinguish the groups).
+    """
+    _check_alternative(alternative)
+    for label, successes, trials in (
+        ("a", successes_a, trials_a),
+        ("b", successes_b, trials_b),
+    ):
+        if trials <= 0:
+            raise ValueError(f"group {label}: trials must be positive, got {trials}")
+        if not 0 <= successes <= trials:
+            raise ValueError(
+                f"group {label}: successes must be in [0, {trials}], got {successes}"
+            )
+    pooled = (successes_a + successes_b) / (trials_a + trials_b)
+    if pooled in (0.0, 1.0):
+        raise ValueError(
+            "two_proportion_ztest: pooled proportion is degenerate "
+            f"({pooled:g}); both groups are homogeneous"
+        )
+    se = (pooled * (1.0 - pooled) * (1.0 / trials_a + 1.0 / trials_b)) ** 0.5
+    z = (successes_a / trials_a - successes_b / trials_b) / se
+    if alternative == "less":
+        p_value = norm_cdf(z)
+    elif alternative == "greater":
+        p_value = norm_sf(z)
+    else:
+        p_value = 2.0 * norm_sf(abs(z))
+    return TestResult(
+        statistic=float(z),
+        p_value=float(min(1.0, p_value)),
+        alternative=alternative,
+        name="two-proportion z-test",
+    )

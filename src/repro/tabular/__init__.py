@@ -1,0 +1,50 @@
+"""Minimal columnar table substrate (the library's pandas replacement).
+
+The original Ranking Facts tool was built on pandas.  pandas is not a
+dependency here; this subpackage provides the small slice of dataframe
+functionality that nutritional labels actually need:
+
+- typed columns (:class:`NumericColumn`, :class:`CategoricalColumn`),
+- an immutable :class:`Table` with selection, filtering, sorting and
+  row slicing,
+- CSV reading with type inference and CSV writing (:mod:`repro.tabular.csvio`),
+- schema declaration and validation (:mod:`repro.tabular.schema`),
+- descriptive summaries and histograms (:mod:`repro.tabular.summary`).
+
+Example
+-------
+>>> from repro.tabular import Table
+>>> t = Table.from_dict({"name": ["a", "b"], "score": [1.0, 2.0]})
+>>> t.num_rows
+2
+>>> t.column("score").values.tolist()
+[1.0, 2.0]
+"""
+
+from repro.tabular.column import (
+    CategoricalColumn,
+    Column,
+    NumericColumn,
+    infer_column,
+)
+from repro.tabular.csvio import read_csv, read_csv_text, write_csv
+from repro.tabular.schema import ColumnSpec, Schema
+from repro.tabular.summary import ColumnSummary, Histogram, describe, histogram
+from repro.tabular.table import Table
+
+__all__ = [
+    "Column",
+    "NumericColumn",
+    "CategoricalColumn",
+    "infer_column",
+    "Table",
+    "Schema",
+    "ColumnSpec",
+    "read_csv",
+    "read_csv_text",
+    "write_csv",
+    "describe",
+    "histogram",
+    "ColumnSummary",
+    "Histogram",
+]

@@ -1,0 +1,143 @@
+"""CSV input/output for :class:`repro.tabular.table.Table`.
+
+The demo paper's workflow starts from "a fully populated table in CSV
+format" uploaded by the user (paper §3).  This module is the
+corresponding ingestion path: it parses CSV with the stdlib ``csv``
+module, validates rectangularity, and infers per-column types
+(:func:`repro.tabular.column.infer_column`).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Mapping
+
+from repro.errors import CSVFormatError
+from repro.tabular.column import CategoricalColumn, infer_column
+from repro.tabular.table import Table
+
+__all__ = ["read_csv", "read_csv_text", "write_csv", "write_csv_text"]
+
+
+def read_csv_text(
+    text: str,
+    delimiter: str = ",",
+    type_overrides: Mapping[str, str] | None = None,
+) -> Table:
+    """Parse CSV content from a string into a :class:`Table`.
+
+    Parameters
+    ----------
+    text:
+        The CSV payload, header row first.
+    delimiter:
+        Field separator (defaults to comma).
+    type_overrides:
+        Optional ``{column: "numeric"|"categorical"}`` forcing a column's
+        type instead of inferring it.  Forcing ``numeric`` on a column
+        with non-numeric cells raises :class:`~repro.errors.CSVFormatError`.
+
+    Raises
+    ------
+    CSVFormatError
+        On an empty payload, a duplicate/blank header, or ragged rows.
+    """
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise CSVFormatError("empty CSV: no header row") from None
+    header = [h.strip() for h in header]
+    if any(not h for h in header):
+        raise CSVFormatError("header contains a blank column name", line_number=1)
+    if len(set(header)) != len(header):
+        dupes = sorted({h for h in header if header.count(h) > 1})
+        raise CSVFormatError(
+            f"duplicate header names: {', '.join(dupes)}", line_number=1
+        )
+
+    rows: list[list[str]] = []
+    for line_number, row in enumerate(reader, start=2):
+        if not row:
+            continue  # genuinely blank line (csv yields an empty list)
+        if len(row) != len(header) and all(cell.strip() == "" for cell in row):
+            continue  # whitespace-only line that isn't a data row
+        if len(row) != len(header):
+            raise CSVFormatError(
+                f"expected {len(header)} cells, found {len(row)}",
+                line_number=line_number,
+            )
+        rows.append([cell.strip() for cell in row])
+
+    overrides = dict(type_overrides or {})
+    unknown = set(overrides) - set(header)
+    if unknown:
+        raise CSVFormatError(
+            f"type override for unknown column(s): {', '.join(sorted(unknown))}"
+        )
+
+    columns = []
+    for j, name in enumerate(header):
+        raw = [row[j] for row in rows]
+        forced = overrides.get(name)
+        if forced is None:
+            columns.append(infer_column(name, raw))
+        elif forced == "categorical":
+            columns.append(CategoricalColumn(name, raw))
+        elif forced == "numeric":
+            inferred = infer_column(name, raw)
+            if inferred.kind != "numeric":
+                bad = next(
+                    cell for cell in raw if cell and infer_column("_", [cell]).kind != "numeric"
+                )
+                raise CSVFormatError(
+                    f"column {name!r} forced numeric but contains {bad!r}"
+                )
+            columns.append(inferred)
+        else:
+            raise CSVFormatError(
+                f"unknown type override {forced!r} for column {name!r} "
+                "(use 'numeric' or 'categorical')"
+            )
+    return Table(columns)
+
+
+def read_csv(
+    path: str | Path,
+    delimiter: str = ",",
+    type_overrides: Mapping[str, str] | None = None,
+) -> Table:
+    """Read a CSV file from disk into a :class:`Table`.
+
+    See :func:`read_csv_text` for parsing semantics.
+    """
+    payload = Path(path).read_text(encoding="utf-8")
+    return read_csv_text(payload, delimiter=delimiter, type_overrides=type_overrides)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):  # includes numpy float64
+        value = float(value)
+        if value != value:  # NaN
+            return ""
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)  # shortest round-tripping decimal form
+    return str(value)
+
+
+def write_csv_text(table: Table, delimiter: str = ",") -> str:
+    """Serialize a table to CSV text (header first, missing cells blank)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, delimiter=delimiter, lineterminator="\n")
+    writer.writerow(table.column_names)
+    for row in table.iter_rows():
+        writer.writerow([_format_cell(row[name]) for name in table.column_names])
+    return buffer.getvalue()
+
+
+def write_csv(table: Table, path: str | Path, delimiter: str = ",") -> None:
+    """Write a table to a CSV file on disk."""
+    Path(path).write_text(write_csv_text(table, delimiter=delimiter), encoding="utf-8")

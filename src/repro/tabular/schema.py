@@ -1,0 +1,142 @@
+"""Schema declaration and validation for tables.
+
+Dataset generators and the demo-session workflow both promise a shape
+("CS departments has numeric PubCount/Faculty/GRE and categorical
+Region/DeptSizeBin").  A :class:`Schema` makes that promise explicit and
+checkable, so integration points fail fast with a precise message rather
+than deep inside a widget computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.tabular.table import Table
+
+__all__ = ["ColumnSpec", "Schema"]
+
+_VALID_KINDS = ("numeric", "categorical")
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Declares one column: its name, its kind, and optional constraints.
+
+    Parameters
+    ----------
+    name:
+        Column name.
+    kind:
+        ``"numeric"`` or ``"categorical"``.
+    required:
+        When false, the column may be absent from a conforming table.
+    allowed_categories:
+        For categorical columns, the closed set of legal category values
+        (missing/empty cells are always allowed).  ``None`` means open.
+    minimum, maximum:
+        For numeric columns, inclusive bounds on non-missing values.
+    """
+
+    name: str
+    kind: str
+    required: bool = True
+    allowed_categories: tuple[str, ...] | None = None
+    minimum: float | None = None
+    maximum: float | None = None
+
+    def __post_init__(self):
+        if self.kind not in _VALID_KINDS:
+            raise SchemaError(
+                f"column {self.name!r}: kind must be one of {_VALID_KINDS}, got {self.kind!r}"
+            )
+        if self.kind == "numeric" and self.allowed_categories is not None:
+            raise SchemaError(
+                f"column {self.name!r}: allowed_categories only applies to categorical columns"
+            )
+        if self.kind == "categorical" and (
+            self.minimum is not None or self.maximum is not None
+        ):
+            raise SchemaError(
+                f"column {self.name!r}: numeric bounds only apply to numeric columns"
+            )
+
+    def validate(self, table: Table) -> list[str]:
+        """Return a list of violation messages for this spec on ``table``."""
+        problems: list[str] = []
+        if self.name not in table:
+            if self.required:
+                problems.append(f"missing required column {self.name!r}")
+            return problems
+        col = table.column(self.name)
+        if col.kind != self.kind:
+            problems.append(
+                f"column {self.name!r} is {col.kind}, schema requires {self.kind}"
+            )
+            return problems
+        if self.kind == "categorical" and self.allowed_categories is not None:
+            allowed = set(self.allowed_categories)
+            extra = [c for c in col.as_categorical().categories() if c not in allowed]
+            if extra:
+                problems.append(
+                    f"column {self.name!r} has unexpected categories: {', '.join(extra)}"
+                )
+        if self.kind == "numeric":
+            values = col.as_numeric().dropna_values()
+            if values.size:
+                if self.minimum is not None and float(values.min()) < self.minimum:
+                    problems.append(
+                        f"column {self.name!r} has value {values.min():g} below minimum {self.minimum:g}"
+                    )
+                if self.maximum is not None and float(values.max()) > self.maximum:
+                    problems.append(
+                        f"column {self.name!r} has value {values.max():g} above maximum {self.maximum:g}"
+                    )
+        return problems
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of :class:`ColumnSpec` with validation helpers."""
+
+    specs: tuple[ColumnSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        names = [s.name for s in self.specs]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"schema declares duplicate columns: {', '.join(dupes)}")
+
+    @classmethod
+    def of(cls, *specs: ColumnSpec) -> "Schema":
+        """Convenience constructor: ``Schema.of(spec1, spec2, ...)``."""
+        return cls(tuple(specs))
+
+    def spec(self, name: str) -> ColumnSpec:
+        """The spec for ``name`` (raises :class:`SchemaError` if absent)."""
+        for s in self.specs:
+            if s.name == name:
+                return s
+        raise SchemaError(f"schema has no column {name!r}")
+
+    def column_names(self) -> tuple[str, ...]:
+        """Declared column names, in order."""
+        return tuple(s.name for s in self.specs)
+
+    def problems(self, table: Table) -> list[str]:
+        """All violation messages for ``table`` against this schema."""
+        out: list[str] = []
+        for s in self.specs:
+            out.extend(s.validate(table))
+        return out
+
+    def validate(self, table: Table) -> Table:
+        """Return ``table`` if it conforms, else raise :class:`SchemaError`."""
+        problems = self.problems(table)
+        if problems:
+            raise SchemaError("; ".join(problems))
+        return table
+
+    def conforms(self, table: Table) -> bool:
+        """True when ``table`` satisfies every spec."""
+        return not self.problems(table)

@@ -1,0 +1,147 @@
+"""Descriptive summaries and histograms of table columns.
+
+These feed two parts of the label pipeline:
+
+- the detailed **Recipe** and **Ingredients** widgets report min / max /
+  median of each attribute "at the top-10 and over-all" (paper §2.1) —
+  :func:`describe` computes those statistics for one column;
+- the scoring-function **design view** (Figure 3) previews the data and
+  "allows the user to plot the distribution of values of each attribute
+  as a histogram" — :func:`histogram` computes the bins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ColumnTypeError, EmptyTableError
+from repro.tabular.column import Column, NumericColumn
+from repro.tabular.table import Table
+
+__all__ = ["ColumnSummary", "Histogram", "describe", "describe_table", "histogram"]
+
+
+@dataclass(frozen=True)
+class ColumnSummary:
+    """Descriptive statistics of one numeric column.
+
+    ``count`` is the number of non-missing values; the remaining fields
+    are ``nan`` when ``count`` is zero.
+    """
+
+    name: str
+    count: int
+    minimum: float
+    maximum: float
+    median: float
+    mean: float
+    std: float
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        """Plain-dict form, used by the JSON renderer."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "min": self.minimum,
+            "max": self.maximum,
+            "median": self.median,
+            "mean": self.mean,
+            "std": self.std,
+        }
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """A fixed-width histogram of a numeric column.
+
+    ``edges`` has ``len(counts) + 1`` entries; bin ``i`` covers
+    ``[edges[i], edges[i+1])`` with the final bin closed on the right.
+    """
+
+    name: str
+    edges: tuple[float, ...]
+    counts: tuple[int, ...]
+
+    @property
+    def num_bins(self) -> int:
+        """Number of histogram bins."""
+        return len(self.counts)
+
+    @property
+    def total(self) -> int:
+        """Total observations across all bins."""
+        return int(sum(self.counts))
+
+    def densities(self) -> tuple[float, ...]:
+        """Counts normalized to fractions of the total (0 when empty)."""
+        total = self.total
+        if total == 0:
+            return tuple(0.0 for _ in self.counts)
+        return tuple(c / total for c in self.counts)
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for serialization."""
+        return {"name": self.name, "edges": list(self.edges), "counts": list(self.counts)}
+
+
+def describe(column: Column) -> ColumnSummary:
+    """Summary statistics (count/min/max/median/mean/std) of a numeric column.
+
+    Missing values are excluded.  ``std`` is the population standard
+    deviation (ddof=0), matching what the stability widget uses on score
+    distributions.
+    """
+    numeric = column.as_numeric()
+    values = numeric.dropna_values()
+    if values.size == 0:
+        nan = float("nan")
+        return ColumnSummary(numeric.name, 0, nan, nan, nan, nan, nan)
+    return ColumnSummary(
+        name=numeric.name,
+        count=int(values.size),
+        minimum=float(values.min()),
+        maximum=float(values.max()),
+        median=float(np.median(values)),
+        mean=float(values.mean()),
+        std=float(values.std(ddof=0)),
+    )
+
+
+def describe_table(table: Table) -> list[ColumnSummary]:
+    """Summaries of every numeric column, in display order."""
+    return [describe(table.column(name)) for name in table.numeric_column_names()]
+
+
+def histogram(column: Column, bins: int = 10) -> Histogram:
+    """Fixed-width histogram of a numeric column (missing values dropped).
+
+    Raises
+    ------
+    ColumnTypeError
+        If the column is categorical (use
+        :meth:`~repro.tabular.column.CategoricalColumn.counts` instead).
+    EmptyTableError
+        If no non-missing values exist.
+    ValueError
+        If ``bins`` is not positive.
+    """
+    if bins <= 0:
+        raise ValueError(f"histogram needs bins >= 1, got {bins}")
+    numeric: NumericColumn = column.as_numeric()
+    values = numeric.dropna_values()
+    if values.size == 0:
+        raise EmptyTableError(
+            f"cannot build a histogram of {column.name!r}: no non-missing values"
+        )
+    lo, hi = float(values.min()), float(values.max())
+    if lo == hi:
+        # one degenerate bin covering the single value
+        return Histogram(numeric.name, (lo, hi), (int(values.size),))
+    counts, edges = np.histogram(values, bins=bins, range=(lo, hi))
+    return Histogram(
+        numeric.name,
+        tuple(float(e) for e in edges),
+        tuple(int(c) for c in counts),
+    )

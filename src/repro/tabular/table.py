@@ -1,0 +1,365 @@
+"""The :class:`Table`: an immutable, ordered collection of typed columns.
+
+Rows are implicit: every column has the same length and row ``i`` is the
+tuple of the columns' ``i``-th values.  All mutating-style operations
+(``select``, ``filter``, ``sort_by`` ...) return new tables; widget code
+can therefore hold references to views of the same data without copies
+drifting out of sync.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import EmptyTableError, MissingColumnError, SchemaError
+from repro.tabular.column import (
+    CategoricalColumn,
+    Column,
+    NumericColumn,
+    infer_column,
+)
+
+__all__ = ["Table"]
+
+
+class Table:
+    """An immutable columnar table.
+
+    Parameters
+    ----------
+    columns:
+        Columns in display order.  Names must be unique; lengths equal.
+
+    Example
+    -------
+    >>> t = Table.from_dict({"dept": ["a", "b"], "score": [3.0, 1.0]})
+    >>> t.sort_by("score", ascending=False).column("dept").values.tolist()
+    ['a', 'b']
+    """
+
+    def __init__(self, columns: Sequence[Column]):
+        cols = list(columns)
+        names = [c.name for c in cols]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate column names: {', '.join(dupes)}")
+        lengths = {len(c) for c in cols}
+        if len(lengths) > 1:
+            detail = ", ".join(f"{c.name}={len(c)}" for c in cols)
+            raise SchemaError(f"columns have unequal lengths: {detail}")
+        self._columns: dict[str, Column] = {c.name: c for c in cols}
+        self._order: tuple[str, ...] = tuple(names)
+        self._num_rows = lengths.pop() if lengths else 0
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Sequence[object]]) -> "Table":
+        """Build a table from ``{name: values}``, inferring column types.
+
+        Values that are already :class:`Column` instances are used as-is
+        (renamed to their key if needed).
+        """
+        cols: list[Column] = []
+        for name, values in data.items():
+            if isinstance(values, Column):
+                cols.append(values if values.name == name else values.rename(name))
+            else:
+                cols.append(infer_column(name, list(values)))
+        return cls(cols)
+
+    @classmethod
+    def from_rows(
+        cls, header: Sequence[str], rows: Iterable[Sequence[object]]
+    ) -> "Table":
+        """Build a table from a header and row tuples, inferring types."""
+        header = list(header)
+        materialized = [list(r) for r in rows]
+        for i, row in enumerate(materialized):
+            if len(row) != len(header):
+                raise SchemaError(
+                    f"row {i} has {len(row)} cells, expected {len(header)}"
+                )
+        columns = {
+            name: [row[j] for row in materialized] for j, name in enumerate(header)
+        }
+        return cls.from_dict(columns)
+
+    @classmethod
+    def empty(cls) -> "Table":
+        """A table with no columns and no rows."""
+        return cls([])
+
+    # -- basic protocol --------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows."""
+        return self._num_rows
+
+    @property
+    def num_columns(self) -> int:
+        """Number of columns."""
+        return len(self._order)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Column names in display order."""
+        return self._order
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        if self._order != other._order:
+            return False
+        return all(self._columns[n] == other._columns[n] for n in self._order)
+
+    def __repr__(self) -> str:
+        return f"Table({self.num_rows} rows x {self.num_columns} columns: {', '.join(self._order)})"
+
+    # -- access ------------------------------------------------------------------
+
+    def column(self, name: str) -> Column:
+        """The column called ``name`` (raises :class:`MissingColumnError`)."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise MissingColumnError(name, self._order) from None
+
+    def numeric_column(self, name: str) -> NumericColumn:
+        """The column called ``name``, required to be numeric."""
+        return self.column(name).as_numeric()
+
+    def categorical_column(self, name: str) -> CategoricalColumn:
+        """The column called ``name``, required to be categorical."""
+        return self.column(name).as_categorical()
+
+    def numeric_column_names(self) -> tuple[str, ...]:
+        """Names of all numeric columns, in display order."""
+        return tuple(n for n in self._order if self._columns[n].kind == "numeric")
+
+    def categorical_column_names(self) -> tuple[str, ...]:
+        """Names of all categorical columns, in display order."""
+        return tuple(n for n in self._order if self._columns[n].kind == "categorical")
+
+    def row(self, index: int) -> dict[str, object]:
+        """Row ``index`` as an ordered ``{column: value}`` dict."""
+        if not -self._num_rows <= index < self._num_rows:
+            raise IndexError(
+                f"row index {index} out of range for table with {self._num_rows} rows"
+            )
+        return {name: self._columns[name][index] for name in self._order}
+
+    def iter_rows(self) -> Iterable[dict[str, object]]:
+        """Iterate over rows as dicts (ordered by display order)."""
+        for i in range(self._num_rows):
+            yield self.row(i)
+
+    def to_dict(self) -> dict[str, list[object]]:
+        """Materialize as ``{name: list-of-values}`` in display order."""
+        return {name: list(self._columns[name].values) for name in self._order}
+
+    # -- transformations -----------------------------------------------------------
+
+    def select(self, names: Sequence[str]) -> "Table":
+        """Project onto ``names``, in the given order."""
+        return Table([self.column(n) for n in names])
+
+    def drop(self, names: Sequence[str]) -> "Table":
+        """Remove the given columns (each must exist)."""
+        for n in names:
+            self.column(n)  # raise early with a helpful message
+        doomed = set(names)
+        return Table([self._columns[n] for n in self._order if n not in doomed])
+
+    def with_column(self, column: Column) -> "Table":
+        """Add or replace a column, preserving display order for replacements."""
+        if column.name in self._columns:
+            return Table(
+                [
+                    column if n == column.name else self._columns[n]
+                    for n in self._order
+                ]
+            )
+        if self._order and len(column) != self._num_rows:
+            raise SchemaError(
+                f"column {column.name!r} has {len(column)} rows, table has {self._num_rows}"
+            )
+        return Table([self._columns[n] for n in self._order] + [column])
+
+    def rename_column(self, old: str, new: str) -> "Table":
+        """Rename column ``old`` to ``new``."""
+        col = self.column(old)
+        if new in self._columns and new != old:
+            raise SchemaError(f"cannot rename {old!r}: column {new!r} already exists")
+        return Table(
+            [
+                col.rename(new) if n == old else self._columns[n]
+                for n in self._order
+            ]
+        )
+
+    def take(self, indices: Sequence[int] | np.ndarray) -> "Table":
+        """Gather rows at ``indices`` (in order, duplicates allowed)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        if idx.size and (idx.min() < -self._num_rows or idx.max() >= self._num_rows):
+            raise IndexError("take() index out of range")
+        return Table([self._columns[n].take(idx) for n in self._order])
+
+    def head(self, k: int) -> "Table":
+        """First ``k`` rows (``k`` may exceed the table size)."""
+        k = min(max(k, 0), self._num_rows)
+        return self.take(np.arange(k))
+
+    def filter(self, mask: Sequence[bool] | np.ndarray) -> "Table":
+        """Keep rows where ``mask`` is true."""
+        m = np.asarray(mask, dtype=bool)
+        if m.shape != (self._num_rows,):
+            raise SchemaError(
+                f"filter mask has shape {m.shape}, expected ({self._num_rows},)"
+            )
+        return self.take(np.flatnonzero(m))
+
+    def filter_rows(self, predicate: Callable[[dict[str, object]], bool]) -> "Table":
+        """Keep rows for which ``predicate(row_dict)`` is true."""
+        mask = np.asarray([predicate(r) for r in self.iter_rows()], dtype=bool)
+        return self.filter(mask)
+
+    def sort_by(self, name: str, ascending: bool = True) -> "Table":
+        """Stable sort by one column.
+
+        Numeric NaNs and categorical missings sort last regardless of
+        direction, so missing data never floats into a top-k view.
+        """
+        col = self.column(name)
+        if col.kind == "numeric":
+            values = col.values.astype(np.float64)
+            missing = np.isnan(values)
+            keys = values.copy()
+        else:
+            raw = [str(v) for v in col.values]
+            missing = np.asarray([v == "" for v in raw], dtype=bool)
+            # rank categories lexicographically for a deterministic order
+            order = {v: i for i, v in enumerate(sorted(set(raw)))}
+            keys = np.asarray([order[v] for v in raw], dtype=np.float64)
+        if not ascending:
+            keys = -keys
+        keys[missing] = np.inf  # missing sorts last either way
+        idx = np.argsort(keys, kind="stable")
+        return self.take(idx)
+
+    def concat_rows(self, other: "Table") -> "Table":
+        """Stack ``other`` below this table (schemas must match exactly)."""
+        if self._order != other._order:
+            raise SchemaError(
+                "cannot concat: column order differs "
+                f"({self._order} vs {other._order})"
+            )
+        cols: list[Column] = []
+        for name in self._order:
+            a, b = self._columns[name], other._columns[name]
+            if a.kind != b.kind:
+                raise SchemaError(
+                    f"cannot concat column {name!r}: {a.kind} vs {b.kind}"
+                )
+            merged = np.concatenate([a.values, b.values])
+            cols.append(type(a)(name, merged))
+        return Table(cols)
+
+    def join(
+        self,
+        other: "Table",
+        on: str,
+        how: str = "inner",
+        suffix: str = "_right",
+    ) -> "Table":
+        """Join ``other`` onto this table by equality on column ``on``.
+
+        This is how the paper's demo dataset is assembled: CSRankings
+        rows augmented with NRC attributes, matched on the department.
+
+        Parameters
+        ----------
+        other:
+            Right-hand table; its ``on`` values must be unique (the
+            join is 1:1 or many:1 onto it).
+        on:
+            Join key, present in both tables with the same kind.
+        how:
+            ``"inner"`` keeps matched rows only; ``"left"`` keeps every
+            left row, filling unmatched right columns with missing
+            values.
+        suffix:
+            Appended to right-hand column names that collide with
+            left-hand ones (the key column is never duplicated).
+
+        Raises
+        ------
+        SchemaError
+            On a missing/mismatched key column, duplicate right keys,
+            or an unknown ``how``.
+        """
+        if how not in ("inner", "left"):
+            raise SchemaError(f"join how must be 'inner' or 'left', got {how!r}")
+        left_key = self.column(on)
+        right_key = other.column(on)
+        if left_key.kind != right_key.kind:
+            raise SchemaError(
+                f"join key {on!r} is {left_key.kind} on the left but "
+                f"{right_key.kind} on the right"
+            )
+        right_values = list(right_key.values)
+        if len(set(right_values)) != len(right_values):
+            raise SchemaError(
+                f"join key {on!r} has duplicate values in the right table"
+            )
+        right_index = {value: i for i, value in enumerate(right_values)}
+
+        left_rows: list[int] = []
+        right_rows: list[int | None] = []
+        for i, value in enumerate(left_key.values):
+            match = right_index.get(value)
+            if match is None and how == "inner":
+                continue
+            left_rows.append(i)
+            right_rows.append(match)
+
+        result = self.take(np.asarray(left_rows, dtype=np.intp))
+        for name in other.column_names:
+            if name == on:
+                continue
+            column = other.column(name)
+            out_name = name if name not in self._columns else name + suffix
+            if column.kind == "numeric":
+                values = np.asarray(
+                    [
+                        np.nan if j is None else float(column.values[j])
+                        for j in right_rows
+                    ],
+                    dtype=np.float64,
+                )
+                result = result.with_column(NumericColumn(out_name, values))
+            else:
+                values = [
+                    "" if j is None else str(column.values[j]) for j in right_rows
+                ]
+                result = result.with_column(CategoricalColumn(out_name, values))
+        return result
+
+    # -- guards ---------------------------------------------------------------------
+
+    def require_rows(self, minimum: int = 1) -> "Table":
+        """Return self, or raise :class:`EmptyTableError` if too small."""
+        if self._num_rows < minimum:
+            raise EmptyTableError(
+                f"operation requires at least {minimum} row(s), table has {self._num_rows}"
+            )
+        return self

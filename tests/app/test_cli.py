@@ -1,0 +1,151 @@
+"""Tests for the ranking-facts CLI."""
+
+import json
+
+import pytest
+
+from repro.app.cli import main
+from repro.tabular import write_csv
+
+CS_ARGS = [
+    "--dataset", "cs-departments",
+    "--weight", "PubCount=0.4",
+    "--weight", "Faculty=0.4",
+    "--weight", "GRE=0.2",
+    "--sensitive", "DeptSizeBin",
+    "--id-column", "DeptName",
+]
+
+
+class TestDatasets:
+    def test_lists_builtins(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "cs-departments" in out and "compas" in out
+
+
+class TestInspect:
+    def test_overview(self, capsys):
+        assert main(["inspect", "--dataset", "cs-departments"]) == 0
+        out = capsys.readouterr().out
+        assert "GRE" in out and "categorical" in out
+
+    def test_histogram_flag(self, capsys):
+        code = main(
+            ["inspect", "--dataset", "cs-departments", "--histogram", "GRE"]
+        )
+        assert code == 0
+        assert "GRE (n=51)" in capsys.readouterr().out
+
+    def test_csv_source(self, tmp_path, cs_table, capsys):
+        path = tmp_path / "cs.csv"
+        write_csv(cs_table, path)
+        assert main(["inspect", "--csv", str(path)]) == 0
+        assert "PubCount" in capsys.readouterr().out
+
+    def test_unknown_dataset_fails_cleanly(self, capsys):
+        assert main(["inspect", "--dataset", "imagenet"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestPreview:
+    def test_prints_ranked_rows(self, capsys):
+        assert main(["preview", *CS_ARGS, "--rows", "5"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[0].split() == ["rank", "score", "item"]
+        assert len(out) == 6
+
+    def test_bad_weight_syntax(self, capsys):
+        code = main(["preview", "--dataset", "cs-departments",
+                     "--weight", "PubCount", "--sensitive", "DeptSizeBin"])
+        assert code == 2
+        assert "name=value" in capsys.readouterr().err
+
+    def test_non_numeric_weight(self, capsys):
+        code = main(["preview", "--dataset", "cs-departments",
+                     "--weight", "PubCount=abc", "--sensitive", "DeptSizeBin"])
+        assert code == 2
+
+
+class TestLabel:
+    def test_text_format(self, capsys):
+        assert main(["label", *CS_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "RANKING FACTS" in out and "Fairness" in out
+
+    def test_detailed_format(self, capsys):
+        assert main(["label", *CS_ARGS, "--format", "detailed"]) == 0
+        assert "median" in capsys.readouterr().out
+
+    def test_json_format_is_valid(self, capsys):
+        assert main(["label", *CS_ARGS, "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["dataset"] == "cs-departments"
+
+    def test_html_format(self, capsys):
+        assert main(["label", *CS_ARGS, "--format", "html"]) == 0
+        assert capsys.readouterr().out.startswith("<!DOCTYPE html>")
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "label.json"
+        code = main(["label", *CS_ARGS, "--format", "json",
+                     "--output", str(target)])
+        assert code == 0
+        assert "wrote json label" in capsys.readouterr().out
+        json.loads(target.read_text())
+
+    def test_raw_flag(self, capsys):
+        assert main(["label", *CS_ARGS, "--raw"]) == 0
+        assert "identity" in capsys.readouterr().out
+
+    def test_diversity_flag(self, capsys):
+        assert main(["label", *CS_ARGS, "--diversity", "Region"]) == 0
+        assert "Region" in capsys.readouterr().out
+
+    def test_top_k_and_alpha(self, capsys):
+        assert main(["label", *CS_ARGS, "--top-k", "5", "--alpha", "0.01"]) == 0
+        assert "top-k: 5" in capsys.readouterr().out
+
+    def test_missing_sensitive_fails(self, capsys):
+        code = main(["label", "--dataset", "cs-departments",
+                     "--weight", "GRE=1.0"])
+        assert code == 2
+
+
+class TestMitigate:
+    def test_suggests_recipes(self, capsys):
+        code = main(["mitigate", *CS_ARGS, "--protected", "small"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pass FA*IR" in out
+        assert "GRE=" in out  # suggested recipes shift weight to GRE
+
+    def test_suggestion_count_respected(self, capsys):
+        code = main(["mitigate", *CS_ARGS, "--protected", "small",
+                     "--suggestions", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "  1. " in out
+        assert "  2. " not in out
+
+    def test_unknown_protected_category_fails(self, capsys):
+        code = main(["mitigate", *CS_ARGS, "--protected", "tiny"])
+        assert code == 2
+
+
+class TestMarkdownFormat:
+    def test_markdown_label(self, capsys):
+        assert main(["label", *CS_ARGS, "--format", "markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Ranking Facts")
+        assert "| attribute | weight |" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_dataset_and_csv_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["inspect", "--dataset", "compas", "--csv", "x.csv"])

@@ -1,0 +1,82 @@
+"""Tests for repro.app.design."""
+
+import pytest
+
+from repro.app import attribute_preview, histogram_ascii, suggest_weights
+from repro.errors import RankingFactsError
+from repro.tabular import Table, histogram
+
+
+class TestAttributePreview:
+    def test_numeric_entries(self, small_table):
+        entries = {e["name"]: e for e in attribute_preview(small_table)}
+        assert entries["x"]["kind"] == "numeric"
+        assert entries["x"]["min"] == 1.0
+        assert entries["x"]["max"] == 6.0
+
+    def test_categorical_entries(self, small_table):
+        entries = {e["name"]: e for e in attribute_preview(small_table)}
+        assert entries["group"]["num_categories"] == 2
+        assert entries["group"]["categories"] == ["g1", "g2"]
+
+    def test_missing_counts(self, missing_table):
+        entries = {e["name"]: e for e in attribute_preview(missing_table)}
+        assert entries["x"]["missing"] == 1
+        assert entries["cat"]["missing"] == 1
+
+    def test_categories_truncated_at_eight(self):
+        t = Table.from_dict({"c": [f"cat{i}" for i in range(20)]})
+        entry = attribute_preview(t)[0]
+        assert entry["num_categories"] == 20
+        assert len(entry["categories"]) == 8
+
+
+class TestHistogramAscii:
+    def test_bars_scale_to_peak(self):
+        t = Table.from_dict({"x": [1.0, 1.0, 1.0, 2.0]})
+        art = histogram_ascii(histogram(t.column("x"), bins=2), width=10)
+        lines = art.splitlines()
+        assert lines[0] == "x (n=4)"
+        assert lines[1].count("#") == 10  # the full-peak bin
+        assert 0 < lines[2].count("#") < 10
+
+    def test_width_validation(self):
+        t = Table.from_dict({"x": [1.0, 2.0]})
+        with pytest.raises(RankingFactsError):
+            histogram_ascii(histogram(t.column("x")), width=0)
+
+    def test_counts_appear(self):
+        t = Table.from_dict({"x": [1.0, 2.0, 3.0]})
+        art = histogram_ascii(histogram(t.column("x"), bins=3))
+        assert art.rstrip().endswith("1")
+
+
+class TestSuggestWeights:
+    def test_equal_scheme(self, small_table):
+        weights = suggest_weights(small_table, ["x", "y"])
+        assert weights == {"x": 0.5, "y": 0.5}
+
+    def test_variance_scheme_sums_to_one(self, small_table):
+        weights = suggest_weights(small_table, ["x", "y"], scheme="variance")
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_variance_prefers_dispersed_attributes(self):
+        t = Table.from_dict(
+            {"flat": [100.0, 100.1, 99.9], "spread": [1.0, 100.0, 50.0]}
+        )
+        weights = suggest_weights(t, ["flat", "spread"], scheme="variance")
+        assert weights["spread"] > weights["flat"]
+
+    def test_empty_attributes_rejected(self, small_table):
+        with pytest.raises(RankingFactsError):
+            suggest_weights(small_table, [])
+
+    def test_unknown_scheme_rejected(self, small_table):
+        with pytest.raises(RankingFactsError, match="unknown weight scheme"):
+            suggest_weights(small_table, ["x"], scheme="random")
+
+    def test_unknown_attribute_rejected(self, small_table):
+        from repro.errors import MissingColumnError
+
+        with pytest.raises(MissingColumnError):
+            suggest_weights(small_table, ["zz"])

@@ -1,0 +1,168 @@
+"""Tests for repro.app.session (the Figure-3 workflow state machine)."""
+
+import pytest
+
+from repro.app import DemoSession, SessionStage
+from repro.errors import SessionStateError, WeightError
+from repro.tabular import Table, write_csv
+
+
+@pytest.fixture()
+def designed_session():
+    session = DemoSession()
+    session.load_builtin("cs-departments")
+    session.design_scoring(
+        weights={"PubCount": 0.4, "Faculty": 0.4, "GRE": 0.2},
+        sensitive_attribute="DeptSizeBin",
+        id_column="DeptName",
+    )
+    return session
+
+
+class TestStageProgression:
+    def test_initial_stage(self):
+        assert DemoSession().stage is SessionStage.EMPTY
+
+    def test_load_advances(self):
+        session = DemoSession()
+        session.load_builtin("cs-departments")
+        assert session.stage is SessionStage.DATA_LOADED
+
+    def test_design_advances(self, designed_session):
+        assert designed_session.stage is SessionStage.SCORER_DESIGNED
+
+    def test_preview_advances(self, designed_session):
+        designed_session.preview()
+        assert designed_session.stage is SessionStage.PREVIEWED
+
+    def test_label_advances(self, designed_session):
+        designed_session.generate_label()
+        assert designed_session.stage is SessionStage.LABELED
+
+    def test_preview_before_design_rejected(self):
+        session = DemoSession()
+        session.load_builtin("cs-departments")
+        with pytest.raises(SessionStateError, match="requires stage"):
+            session.preview()
+
+    def test_label_before_design_rejected(self):
+        session = DemoSession()
+        session.load_builtin("cs-departments")
+        with pytest.raises(SessionStateError):
+            session.generate_label()
+
+    def test_inspect_before_load_rejected(self):
+        with pytest.raises(SessionStateError, match="no dataset"):
+            DemoSession().attribute_overview()
+
+    def test_last_label_before_generation_rejected(self, designed_session):
+        with pytest.raises(SessionStateError, match="no label"):
+            designed_session.last_label()
+
+    def test_reload_resets_design(self, designed_session):
+        designed_session.load_builtin("german-credit")
+        assert designed_session.stage is SessionStage.DATA_LOADED
+        with pytest.raises(SessionStateError):
+            designed_session.preview()
+
+    def test_redesign_after_label_allowed(self, designed_session):
+        designed_session.generate_label()
+        designed_session.design_scoring(
+            weights={"PubCount": 1.0},
+            sensitive_attribute="DeptSizeBin",
+            id_column="DeptName",
+        )
+        assert designed_session.stage is SessionStage.SCORER_DESIGNED
+
+
+class TestDesignValidation:
+    @pytest.fixture()
+    def loaded(self):
+        session = DemoSession()
+        session.load_builtin("cs-departments")
+        return session
+
+    def test_empty_weights_rejected(self, loaded):
+        with pytest.raises(WeightError):
+            loaded.design_scoring({}, "DeptSizeBin")
+
+    def test_unknown_scoring_attribute_rejected(self, loaded):
+        from repro.errors import MissingColumnError
+
+        with pytest.raises(MissingColumnError):
+            loaded.design_scoring({"zz": 1.0}, "DeptSizeBin")
+
+    def test_categorical_scoring_attribute_rejected(self, loaded):
+        from repro.errors import ColumnTypeError
+
+        with pytest.raises(ColumnTypeError):
+            loaded.design_scoring({"Region": 1.0}, "DeptSizeBin")
+
+    def test_no_sensitive_attribute_rejected(self, loaded):
+        with pytest.raises(SessionStateError, match="sensitive"):
+            loaded.design_scoring({"GRE": 1.0}, [])
+
+    def test_numeric_sensitive_attribute_rejected(self, loaded):
+        from repro.errors import ColumnTypeError
+
+        with pytest.raises(ColumnTypeError):
+            loaded.design_scoring({"GRE": 1.0}, "GRE")
+
+    def test_bad_id_column_rejected(self, loaded):
+        with pytest.raises(SessionStateError, match="id column"):
+            loaded.design_scoring({"GRE": 1.0}, "DeptSizeBin", id_column="zz")
+
+
+class TestWorkflowOutputs:
+    def test_preview_rows(self, designed_session):
+        top = designed_session.preview(5)
+        assert top.size == 5
+        assert top.item_ids()[0].startswith("Dept")
+
+    def test_preview_respects_normalization_toggle(self, designed_session):
+        normalized = designed_session.preview(51)
+        designed_session.set_normalization(False)
+        raw = designed_session.preview(51)
+        assert raw.scores.max() > normalized.scores.max()
+
+    def test_generate_label_contents(self, designed_session):
+        facts = designed_session.generate_label()
+        assert facts.label.dataset_name == "cs-departments"
+        assert designed_session.last_label() is facts
+
+    def test_preview_data(self, designed_session):
+        rows = designed_session.preview_data(3)
+        assert len(rows) == 3
+        assert "PubCount" in rows[0]
+
+    def test_attribute_overview(self, designed_session):
+        overview = designed_session.attribute_overview()
+        kinds = {entry["name"]: entry["kind"] for entry in overview}
+        assert kinds["GRE"] == "numeric"
+        assert kinds["Region"] == "categorical"
+
+    def test_attribute_histogram(self, designed_session):
+        hist = designed_session.attribute_histogram("GRE", bins=5)
+        assert hist.total == 51
+        ascii_art = designed_session.attribute_histogram_ascii("GRE", bins=5)
+        assert "GRE (n=51)" in ascii_art
+
+    def test_load_csv(self, tmp_path, cs_table):
+        path = tmp_path / "mine.csv"
+        write_csv(cs_table, path)
+        session = DemoSession()
+        session.load_csv(path)
+        assert session.dataset_name() == "mine"
+
+    def test_load_table(self, small_table):
+        session = DemoSession()
+        session.load_table(small_table, name="tiny")
+        assert session.dataset_name() == "tiny"
+
+    def test_available_datasets(self):
+        assert "compas" in DemoSession.available_datasets()
+
+    def test_raw_label_records_identity_normalization(self, designed_session):
+        designed_session.set_normalization(False)
+        facts = designed_session.generate_label()
+        assert facts.label.recipe.normalization["GRE"] == "identity"

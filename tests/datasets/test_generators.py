@@ -1,0 +1,159 @@
+"""Tests for the three demo-dataset generators and their documented structure."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    compas,
+    cs_departments,
+    german_credit,
+)
+from repro.errors import DatasetError
+from repro.stats import pearson_r
+
+
+class TestCsDepartments:
+    def test_default_size_and_schema(self, cs_table):
+        assert cs_table.num_rows == 51
+        assert cs_table.column_names == (
+            "DeptName", "PubCount", "Faculty", "GRE", "Region", "DeptSizeBin",
+        )
+
+    def test_deterministic(self):
+        assert cs_departments() == cs_departments()
+
+    def test_different_seeds_differ(self):
+        assert cs_departments(seed=1) != cs_departments(seed=2)
+
+    def test_pubcount_faculty_strongly_correlated(self, cs_table):
+        r = pearson_r(
+            cs_table.column("PubCount").values, cs_table.column("Faculty").values
+        )
+        assert r > 0.6
+
+    def test_gre_uncorrelated_with_size(self, cs_table):
+        r = pearson_r(
+            cs_table.column("GRE").values, cs_table.column("Faculty").values
+        )
+        assert abs(r) < 0.3
+
+    def test_size_bin_is_median_split(self, cs_table):
+        faculty = cs_table.column("Faculty").values
+        median = np.median(faculty)
+        for f, label in zip(faculty, cs_table.column("DeptSizeBin").values):
+            assert label == ("large" if f >= median else "small")
+
+    def test_regions_cover_all_five(self, cs_table):
+        assert set(cs_table.categorical_column("Region").categories()) == {
+            "NE", "MW", "SA", "SC", "W",
+        }
+
+    def test_unique_names(self, cs_table):
+        names = list(cs_table.column("DeptName").values)
+        assert len(set(names)) == 51
+
+    def test_custom_size(self):
+        assert cs_departments(n=20).num_rows == 20
+
+    def test_too_small_rejected(self):
+        with pytest.raises(DatasetError):
+            cs_departments(n=3)
+
+
+class TestCompas:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return compas()
+
+    def test_default_size(self, table):
+        assert table.num_rows == 6889
+
+    def test_race_mix_close_to_propublica(self, table):
+        proportions = table.categorical_column("race").proportions()
+        assert proportions["African-American"] == pytest.approx(0.514, abs=0.03)
+        assert proportions["Caucasian"] == pytest.approx(0.340, abs=0.03)
+
+    def test_decile_gap_reproduces_published_direction(self, table):
+        decile = table.column("decile_score").values
+        race = table.categorical_column("race")
+        aa = decile[race.indicator("African-American")].mean()
+        white = decile[race.indicator("Caucasian")].mean()
+        assert aa - white == pytest.approx(1.7, abs=0.5)  # published ~5.4 vs 3.7
+
+    def test_priors_correlate_with_decile(self, table):
+        r = pearson_r(
+            table.column("priors_count").values, table.column("decile_score").values
+        )
+        assert r > 0.3
+
+    def test_age_negatively_correlates(self, table):
+        r = pearson_r(
+            table.column("age").values, table.column("decile_score").values
+        )
+        assert r < -0.1
+
+    def test_recidivism_increases_with_decile(self, table):
+        decile = table.column("decile_score").values
+        recid = table.categorical_column("two_year_recid").indicator("yes")
+        low = recid[decile <= 3].mean()
+        high = recid[decile >= 8].mean()
+        assert high > low + 0.15
+
+    def test_sex_ratio(self, table):
+        assert table.categorical_column("sex").proportions()["Male"] == pytest.approx(
+            0.81, abs=0.03
+        )
+
+    def test_deterministic(self):
+        assert compas(n=200) == compas(n=200)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(DatasetError):
+            compas(n=5)
+
+
+class TestGermanCredit:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return german_credit()
+
+    def test_default_size(self, table):
+        assert table.num_rows == 1000
+
+    def test_risk_split_70_30(self, table):
+        proportions = table.categorical_column("credit_risk").proportions()
+        assert proportions["good"] == pytest.approx(0.70, abs=0.05)
+
+    def test_sex_ratio(self, table):
+        assert table.categorical_column("sex").proportions()["male"] == pytest.approx(
+            0.69, abs=0.04
+        )
+
+    def test_age_group_consistent_with_age(self, table):
+        ages = table.column("age").values
+        for age, group in zip(ages, table.column("AgeGroup").values):
+            assert group == ("young" if age < 25 else "adult")
+
+    def test_young_penalized_in_score(self, table):
+        score = table.column("credit_score").values
+        young = table.categorical_column("AgeGroup").indicator("young")
+        assert score[~young].mean() > score[young].mean() + 2.0
+
+    def test_duration_correlates_with_amount(self, table):
+        r = pearson_r(
+            table.column("credit_amount").values,
+            table.column("duration_months").values,
+        )
+        assert r > 0.3
+
+    def test_score_drives_risk_label(self, table):
+        score = table.column("credit_score").values
+        good = table.categorical_column("credit_risk").indicator("good")
+        assert score[good].mean() > score[~good].mean() + 5.0
+
+    def test_deterministic(self):
+        assert german_credit(n=150) == german_credit(n=150)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(DatasetError):
+            german_credit(n=2)

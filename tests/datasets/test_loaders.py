@@ -1,0 +1,117 @@
+"""Tests for repro.datasets.loaders and repro.datasets.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    dataset_by_name,
+    list_datasets,
+    load_csv_dataset,
+    ranked_labels_table,
+    synthetic_scores_table,
+)
+from repro.datasets.loaders import schema_by_name
+from repro.errors import DatasetError
+from repro.tabular import write_csv
+
+
+class TestRegistry:
+    def test_list_datasets(self):
+        assert list_datasets() == ("cs-departments", "compas", "german-credit")
+
+    def test_dataset_by_name_forwards_kwargs(self):
+        assert dataset_by_name("compas", n=120).num_rows == 120
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            dataset_by_name("imagenet")
+
+    def test_schema_by_name(self):
+        schema = schema_by_name("cs-departments")
+        assert "PubCount" in schema.column_names()
+        with pytest.raises(DatasetError):
+            schema_by_name("imagenet")
+
+
+class TestLoadCsvDataset:
+    def test_round_trip_through_disk(self, tmp_path, cs_table):
+        path = tmp_path / "cs.csv"
+        write_csv(cs_table, path)
+        loaded = load_csv_dataset(path, schema=schema_by_name("cs-departments"))
+        assert loaded.num_rows == 51
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError, match="not found"):
+            load_csv_dataset(tmp_path / "nope.csv")
+
+    def test_too_few_rows(self, tmp_path):
+        path = tmp_path / "tiny.csv"
+        path.write_text("a\n1\n")
+        with pytest.raises(DatasetError, match="at least 2"):
+            load_csv_dataset(path)
+
+    def test_no_numeric_columns(self, tmp_path):
+        path = tmp_path / "cats.csv"
+        path.write_text("a,b\nx,y\nu,v\n")
+        with pytest.raises(DatasetError, match="no numeric"):
+            load_csv_dataset(path)
+
+    def test_schema_violation_surfaces(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("DeptName,PubCount\nA,1\nB,2\n")
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            load_csv_dataset(path, schema=schema_by_name("cs-departments"))
+
+
+class TestSyntheticScoresTable:
+    def test_shape_and_columns(self):
+        t = synthetic_scores_table(50, num_attributes=2)
+        assert t.num_rows == 50
+        assert t.column_names == ("item", "group", "attr_1", "attr_2")
+
+    def test_group_proportion(self):
+        t = synthetic_scores_table(100, group_proportion=0.3)
+        assert t.categorical_column("group").counts()["a"] == 30
+
+    def test_advantage_shifts_group_a(self):
+        t = synthetic_scores_table(500, group_advantage=3.0, noise=0.5)
+        values = t.column("attr_1").values
+        mask = t.categorical_column("group").indicator("a")
+        assert values[mask].mean() > values[~mask].mean() + 1.5
+
+    def test_deterministic(self):
+        a = synthetic_scores_table(30, seed=9)
+        b = synthetic_scores_table(30, seed=9)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            synthetic_scores_table(1)
+        with pytest.raises(DatasetError):
+            synthetic_scores_table(10, num_attributes=0)
+        with pytest.raises(DatasetError):
+            synthetic_scores_table(10, group_proportion=0.0)
+        with pytest.raises(DatasetError):
+            synthetic_scores_table(10, noise=-1.0)
+        with pytest.raises(DatasetError):
+            synthetic_scores_table(10, group_proportion=0.01)
+
+
+class TestRankedLabelsTable:
+    def test_default_scores_strictly_decreasing(self):
+        t = ranked_labels_table([True, False, True])
+        scores = t.column("score").values
+        assert (np.diff(scores) < 0).all()
+        assert list(t.column("group").values) == ["protected", "other", "protected"]
+
+    def test_custom_scores(self):
+        t = ranked_labels_table([True, False], scores=[9.0, 1.0])
+        assert t.column("score").values.tolist() == [9.0, 1.0]
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            ranked_labels_table([])
+        with pytest.raises(DatasetError):
+            ranked_labels_table([True, False], scores=[1.0])

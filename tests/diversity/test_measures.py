@@ -1,0 +1,153 @@
+"""Tests for repro.diversity.measures."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diversity import (
+    category_breakdown,
+    diversity_report,
+    entropy,
+    normalized_entropy,
+    richness,
+    top_k_vs_overall,
+)
+from repro.errors import FairnessConfigError
+from repro.ranking import Ranking
+from repro.tabular import Table
+
+
+def ranking_with_groups(groups):
+    t = Table.from_dict(
+        {
+            "name": [f"i{j}" for j in range(len(groups))],
+            "cat": list(groups),
+        }
+    )
+    return Ranking.from_scores(
+        t, list(range(len(groups), 0, -1)), id_column="name"
+    )
+
+
+class TestEntropy:
+    def test_uniform_maximal(self):
+        assert entropy([0.25] * 4) == pytest.approx(2.0)
+
+    def test_point_mass_zero(self):
+        assert entropy([1.0]) == 0.0
+        assert entropy([1.0, 0.0]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            entropy([0.5, 0.6])
+        with pytest.raises(ValueError):
+            entropy([-0.1, 1.1])
+
+    def test_empty_is_zero(self):
+        assert entropy([]) == 0.0
+
+    def test_normalized_entropy_bounds(self):
+        assert normalized_entropy([0.5, 0.5]) == pytest.approx(1.0)
+        assert normalized_entropy([1.0]) == 1.0
+        assert 0.0 < normalized_entropy([0.9, 0.1]) < 1.0
+
+    def test_richness(self):
+        assert richness([0.5, 0.5, 0.0]) == 2
+
+    @given(st.lists(st.floats(0.01, 1.0), min_size=1, max_size=10))
+    @settings(max_examples=50)
+    def test_entropy_bounded_by_log_m(self, raw):
+        total = sum(raw)
+        props = [v / total for v in raw]
+        assert 0.0 <= entropy(props) <= math.log2(len(props)) + 1e-9
+
+
+class TestCategoryBreakdown:
+    def test_overall_counts(self):
+        r = ranking_with_groups(["a", "b", "a", "c"])
+        breakdown = category_breakdown(r, "cat")
+        assert breakdown.counts == {"a": 2, "b": 1, "c": 1}
+        assert breakdown.slice_name == "overall"
+        assert breakdown.total == 4
+
+    def test_top_k_slice(self):
+        r = ranking_with_groups(["a", "b", "a", "c"])
+        breakdown = category_breakdown(r, "cat", k=2)
+        assert breakdown.counts == {"a": 1, "b": 1}
+        assert breakdown.slice_name == "top-2"
+
+    def test_category_order_alignment(self):
+        r = ranking_with_groups(["a", "a", "b"])
+        breakdown = category_breakdown(r, "cat", k=2, category_order=("a", "b"))
+        assert breakdown.counts == {"a": 2, "b": 0}
+        assert breakdown.proportions["b"] == 0.0
+
+    def test_entropy_and_richness_methods(self):
+        r = ranking_with_groups(["a", "b", "a", "b"])
+        breakdown = category_breakdown(r, "cat")
+        assert breakdown.entropy() == pytest.approx(1.0)
+        assert breakdown.richness() == 2
+
+    def test_empty_slice_rejected(self):
+        t = Table.from_dict({"name": ["x", "y"], "cat": ["", "a"]})
+        r = Ranking.from_scores(t, [2.0, 1.0], id_column="name")
+        with pytest.raises(FairnessConfigError, match="no known categories"):
+            category_breakdown(r, "cat", k=1)
+
+
+class TestTopKVsOverall:
+    def test_figure1_shape(self):
+        # large monopolizes the top: the paper's §2.4 observation
+        groups = ["large"] * 10 + ["small", "large"] * 10
+        report = top_k_vs_overall(ranking_with_groups(groups), "cat", k=10)
+        assert report.top_k.proportions["large"] == 1.0
+        assert report.missing_categories() == ("small",)
+
+    def test_representation_gap_signs(self):
+        groups = ["large"] * 10 + ["small", "large"] * 10
+        gap = top_k_vs_overall(ranking_with_groups(groups), "cat", k=10).representation_gap()
+        assert gap["large"] > 0
+        assert gap["small"] < 0
+
+    def test_gap_sums_to_zero(self):
+        groups = ["a", "b", "c"] * 8
+        gap = top_k_vs_overall(ranking_with_groups(groups), "cat", k=6).representation_gap()
+        assert sum(gap.values()) == pytest.approx(0.0, abs=1e-12)
+
+    def test_no_missing_when_top_k_covers_all(self):
+        report = top_k_vs_overall(ranking_with_groups(["a", "b"] * 10), "cat", k=10)
+        assert report.missing_categories() == ()
+
+    def test_keys_aligned_between_slices(self):
+        groups = ["a"] * 5 + ["b"] * 5
+        report = top_k_vs_overall(ranking_with_groups(groups), "cat", k=3)
+        assert list(report.top_k.proportions) == list(report.overall.proportions)
+
+    def test_invalid_k(self):
+        with pytest.raises(FairnessConfigError):
+            top_k_vs_overall(ranking_with_groups(["a", "b"]), "cat", k=0)
+
+    def test_as_dict(self):
+        d = top_k_vs_overall(ranking_with_groups(["a", "b"] * 5), "cat", k=2).as_dict()
+        assert {"attribute", "top_k", "overall", "missing_categories",
+                "representation_gap"} == set(d)
+
+
+class TestDiversityReport:
+    def test_multiple_attributes(self):
+        t = Table.from_dict(
+            {
+                "name": [f"i{j}" for j in range(6)],
+                "a": ["x", "y"] * 3,
+                "b": ["u", "u", "v", "v", "u", "v"],
+            }
+        )
+        r = Ranking.from_scores(t, [6, 5, 4, 3, 2, 1], id_column="name")
+        reports = diversity_report(r, ["a", "b"], k=3)
+        assert [rep.attribute for rep in reports] == ["a", "b"]
+
+    def test_empty_attribute_list_rejected(self, small_ranking):
+        with pytest.raises(FairnessConfigError):
+            diversity_report(small_ranking, [], k=2)

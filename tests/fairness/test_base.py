@@ -1,0 +1,154 @@
+"""Tests for repro.fairness.base (ProtectedGroup, evaluate_fairness)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FairnessConfigError, ProtectedGroupError
+from repro.fairness import ProtectedGroup, evaluate_fairness
+from repro.fairness.proportion import ProportionMeasure
+from repro.ranking import LinearScoringFunction, Ranking, rank_table
+from repro.tabular import Table
+
+
+def group_of(labels):
+    """ProtectedGroup from a rank-ordered protected/other label list."""
+    t = Table.from_dict(
+        {
+            "name": [f"i{j}" for j in range(len(labels))],
+            "g": ["p" if flag else "o" for flag in labels],
+        }
+    )
+    r = Ranking.from_scores(
+        t, list(range(len(labels), 0, -1)), id_column="name"
+    )
+    return ProtectedGroup(r, "g", "p")
+
+
+class TestProtectedGroup:
+    def test_mask_in_rank_order(self):
+        group = group_of([True, False, True, False])
+        assert group.mask.tolist() == [True, False, True, False]
+
+    def test_counts_and_proportion(self):
+        group = group_of([True, False, True, False])
+        assert group.protected_count == 2
+        assert group.size == 4
+        assert group.proportion == 0.5
+
+    def test_count_at(self):
+        group = group_of([True, False, True, False])
+        assert group.count_at(1) == 1
+        assert group.count_at(3) == 2
+        assert group.count_at(100) == 2  # clamped
+
+    def test_count_at_invalid(self):
+        with pytest.raises(FairnessConfigError):
+            group_of([True, False]).count_at(0)
+
+    def test_prefix_counts(self):
+        group = group_of([True, False, True])
+        assert group.prefix_counts().tolist() == [1, 1, 2]
+        assert group.prefix_counts(2).tolist() == [1, 1]
+
+    def test_protected_positions_one_based(self):
+        group = group_of([False, True, True])
+        assert group.protected_positions().tolist() == [2, 3]
+
+    def test_label(self):
+        assert group_of([True, False]).label() == "g=p"
+
+    def test_unknown_category_rejected(self, small_ranking):
+        with pytest.raises(ProtectedGroupError, match="no category"):
+            ProtectedGroup(small_ranking, "group", "nope")
+
+    def test_empty_group_impossible_via_categories(self, small_ranking):
+        # every present category has members, so emptiness arises only via
+        # missing values, which are rejected up front
+        t = Table.from_dict({"name": ["a", "b"], "g": ["x", ""]})
+        r = Ranking.from_scores(t, [2.0, 1.0], id_column="name")
+        with pytest.raises(ProtectedGroupError, match="missing"):
+            ProtectedGroup(r, "g", "x")
+
+    def test_universal_group_rejected(self):
+        t = Table.from_dict({"name": ["a", "b"], "g": ["x", "x"]})
+        r = Ranking.from_scores(t, [2.0, 1.0], id_column="name")
+        with pytest.raises(ProtectedGroupError, match="every item"):
+            ProtectedGroup(r, "g", "x")
+
+    def test_mask_read_only(self):
+        group = group_of([True, False])
+        with pytest.raises(ValueError):
+            group.mask[0] = False
+
+
+class TestEvaluateFairness:
+    @pytest.fixture()
+    def biased_ranking(self):
+        # 40 items; protected ("small") occupy the bottom half entirely
+        labels = [False] * 20 + [True] * 20
+        t = Table.from_dict(
+            {
+                "name": [f"i{j}" for j in range(40)],
+                "size": ["small" if flag else "large" for flag in labels],
+            }
+        )
+        return Ranking.from_scores(t, list(range(40, 0, -1)), id_column="name")
+
+    def test_default_runs_three_measures_per_category(self, biased_ranking):
+        results = evaluate_fairness(biased_ranking, "size", k=10)
+        assert len(results) == 6  # 2 categories x 3 measures
+        measures = {r.measure for r in results}
+        assert measures == {"FA*IR", "Proportion", "Pairwise"}
+
+    def test_biased_ranking_flags_protected_unfair(self, biased_ranking):
+        results = evaluate_fairness(biased_ranking, "size", k=10)
+        small = [r for r in results if r.group_label == "size=small"]
+        assert all(not r.fair for r in small)
+
+    def test_explicit_categories_restrict(self, biased_ranking):
+        results = evaluate_fairness(
+            biased_ranking, "size", categories=["small"], k=10
+        )
+        assert {r.group_label for r in results} == {"size=small"}
+
+    def test_non_binary_attribute_needs_explicit_categories(self):
+        t = Table.from_dict(
+            {"name": list("abcdef"), "r": ["x", "y", "z", "x", "y", "z"]}
+        )
+        r = Ranking.from_scores(t, [6, 5, 4, 3, 2, 1], id_column="name")
+        with pytest.raises(FairnessConfigError, match="binary"):
+            evaluate_fairness(r, "r", k=2)
+        results = evaluate_fairness(r, "r", categories=["x"], k=2)
+        assert len(results) == 3
+
+    def test_custom_measures(self, biased_ranking):
+        results = evaluate_fairness(
+            biased_ranking, "size", k=10,
+            measures=[ProportionMeasure(k=10)],
+        )
+        assert len(results) == 2
+        assert all(r.measure == "Proportion" for r in results)
+
+    def test_result_dict_shape(self, biased_ranking):
+        result = evaluate_fairness(biased_ranking, "size", k=10)[0]
+        d = result.as_dict()
+        assert {"measure", "group", "verdict", "fair", "p_value", "alpha", "details"} <= set(d)
+        assert d["verdict"] in ("fair", "unfair")
+
+    def test_verdict_property(self, biased_ranking):
+        for result in evaluate_fairness(biased_ranking, "size", k=10):
+            assert result.verdict == ("fair" if result.fair else "unfair")
+
+
+class TestFairRankingIsFair:
+    def test_alternating_ranking_passes_everything(self):
+        labels = [True, False] * 30
+        t = Table.from_dict(
+            {
+                "name": [f"i{j}" for j in range(60)],
+                "g": ["p" if flag else "o" for flag in labels],
+            }
+        )
+        r = Ranking.from_scores(t, list(range(60, 0, -1)), id_column="name")
+        results = evaluate_fairness(r, "g", k=10)
+        assert all(result.fair for result in results)

@@ -1,0 +1,88 @@
+"""Tests for repro.fairness.generative (the [13] model)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FairnessConfigError
+from repro.fairness import generate_ranking_labels, mixing_proportion
+
+
+class TestGenerateRankingLabels:
+    def test_length_and_composition(self, rng):
+        labels = generate_ranking_labels(100, 0.3, rng=rng)
+        assert labels.shape == (100,)
+        assert labels.sum() == 30  # exactly round(n*p) protected items
+
+    def test_f_zero_puts_protected_last(self, rng):
+        labels = generate_ranking_labels(20, 0.5, f=0.0, rng=rng)
+        assert labels.tolist() == [False] * 10 + [True] * 10
+
+    def test_f_one_puts_protected_first(self, rng):
+        labels = generate_ranking_labels(20, 0.5, f=1.0, rng=rng)
+        assert labels.tolist() == [True] * 10 + [False] * 10
+
+    def test_f_defaults_to_p(self, rng):
+        # group-blind: top-half share ~ p on average
+        shares = [
+            mixing_proportion(generate_ranking_labels(200, 0.4, rng=rng), 100)
+            for _ in range(50)
+        ]
+        assert np.mean(shares) == pytest.approx(0.4, abs=0.03)
+
+    def test_low_f_starves_the_top(self, rng):
+        labels = generate_ranking_labels(400, 0.5, f=0.1, rng=rng)
+        assert mixing_proportion(labels, 50) < 0.3
+        # composition is preserved overall
+        assert labels.sum() == 200
+
+    def test_reproducible_with_seeded_rng(self):
+        a = generate_ranking_labels(50, 0.5, f=0.3, rng=np.random.default_rng(7))
+        b = generate_ranking_labels(50, 0.5, f=0.3, rng=np.random.default_rng(7))
+        assert a.tolist() == b.tolist()
+
+    def test_validation(self):
+        with pytest.raises(FairnessConfigError):
+            generate_ranking_labels(0, 0.5)
+        with pytest.raises(FairnessConfigError):
+            generate_ranking_labels(10, 0.0)
+        with pytest.raises(FairnessConfigError):
+            generate_ranking_labels(10, 1.0)
+        with pytest.raises(FairnessConfigError):
+            generate_ranking_labels(10, 0.5, f=1.5)
+
+    def test_tiny_proportion_leaving_pool_empty_rejected(self):
+        with pytest.raises(FairnessConfigError, match="empty"):
+            generate_ranking_labels(3, 0.01)
+
+    @given(
+        st.integers(10, 150),
+        st.floats(0.1, 0.9),
+        st.floats(0.0, 1.0),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=60)
+    def test_composition_invariant(self, n, p, f, seed):
+        labels = generate_ranking_labels(n, p, f=f, rng=np.random.default_rng(seed))
+        expected = int(round(n * p))
+        if expected in (0, n):
+            return
+        assert labels.sum() == expected
+        assert labels.shape == (n,)
+
+
+class TestMixingProportion:
+    def test_full_and_prefix(self):
+        labels = np.asarray([True, True, False, False])
+        assert mixing_proportion(labels) == 0.5
+        assert mixing_proportion(labels, 2) == 1.0
+
+    def test_prefix_clamped(self):
+        assert mixing_proportion(np.asarray([True]), 100) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(FairnessConfigError):
+            mixing_proportion(np.asarray([]))
+        with pytest.raises(FairnessConfigError):
+            mixing_proportion(np.asarray([True]), 0)

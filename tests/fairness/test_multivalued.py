@@ -1,0 +1,143 @@
+"""Tests for repro.fairness.multivalued."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FairnessConfigError
+from repro.fairness import evaluate_fairness_multivalued, holm_bonferroni
+from repro.ranking import Ranking
+from repro.tabular import Table
+
+
+def ranking_with_categories(categories):
+    t = Table.from_dict(
+        {
+            "name": [f"i{j}" for j in range(len(categories))],
+            "ethnicity": list(categories),
+        }
+    )
+    return Ranking.from_scores(
+        t, list(range(len(categories), 0, -1)), id_column="name"
+    )
+
+
+class TestHolmBonferroni:
+    def test_single_hypothesis_is_plain_alpha(self):
+        assert holm_bonferroni([0.04]) == [True]
+        assert holm_bonferroni([0.06]) == [False]
+
+    def test_step_down_ordering(self):
+        # smallest p tested at alpha/m, next at alpha/(m-1), last at alpha
+        assert holm_bonferroni([0.01, 0.02, 0.06], alpha=0.05) == [True, True, False]
+
+    def test_step_down_less_conservative_than_bonferroni(self):
+        # 0.02 fails plain Bonferroni (0.05/3) but passes Holm's second step
+        assert holm_bonferroni([0.01, 0.02, 0.04], alpha=0.05) == [True, True, True]
+
+    def test_stops_at_first_acceptance(self):
+        # second-smallest fails -> everything larger accepted even if small
+        assert holm_bonferroni([0.001, 0.04, 0.041], alpha=0.05) == [
+            True, False, False,
+        ]
+
+    def test_results_align_with_input_order(self):
+        assert holm_bonferroni([0.04, 0.001, 0.5], alpha=0.05) == [
+            False, True, False,
+        ]
+
+    def test_empty(self):
+        assert holm_bonferroni([]) == []
+
+    def test_validation(self):
+        with pytest.raises(FairnessConfigError):
+            holm_bonferroni([0.5], alpha=0.0)
+        with pytest.raises(FairnessConfigError):
+            holm_bonferroni([1.5])
+
+    def test_controls_fwer_under_global_null(self, rng):
+        # simulate m independent true nulls; family-wise rejections <= alpha
+        m, trials, alpha = 5, 400, 0.05
+        family_errors = 0
+        for _ in range(trials):
+            p_values = rng.random(m)
+            if any(holm_bonferroni(list(p_values), alpha=alpha)):
+                family_errors += 1
+        assert family_errors / trials <= alpha + 0.03
+
+
+class TestEvaluateFairnessMultivalued:
+    @pytest.fixture()
+    def segregated_ranking(self):
+        # three ethnic groups; group "c" entirely at the bottom
+        cats = ["a", "b"] * 20 + ["c"] * 20
+        return ranking_with_categories(cats)
+
+    def test_flags_the_bottom_group_only(self, segregated_ranking):
+        # k=20: the top-20 contains zero "c" items — decisive evidence that
+        # survives the across-group correction
+        audit = evaluate_fairness_multivalued(segregated_ranking, "ethnicity", k=20)
+        assert audit.categories == ("a", "b", "c")
+        assert "c" in audit.unfair_categories("FA*IR")
+        assert "a" not in audit.unfair_categories("FA*IR")
+        assert audit.any_unfair()
+
+    def test_balanced_ranking_is_clean(self):
+        cats = ["a", "b", "c"] * 20
+        audit = evaluate_fairness_multivalued(
+            ranking_with_categories(cats), "ethnicity", k=12
+        )
+        assert not audit.any_unfair()
+
+    def test_results_cover_all_pairs(self, segregated_ranking):
+        audit = evaluate_fairness_multivalued(segregated_ranking, "ethnicity", k=10)
+        assert len(audit.results) == 3 * 3  # categories x measures
+
+    def test_correction_is_no_looser_than_raw(self, segregated_ranking):
+        audit = evaluate_fairness_multivalued(segregated_ranking, "ethnicity", k=10)
+        for measure, corrected in audit.corrected_unfair.items():
+            raw_unfair = {
+                r.group_label.split("=")[1]
+                for r in audit.results
+                if r.measure == measure and not r.fair
+            }
+            assert set(corrected) <= raw_unfair
+
+    def test_min_group_size_skips_tiny_groups(self):
+        cats = ["a", "b"] * 20 + ["rare"]
+        audit = evaluate_fairness_multivalued(
+            ranking_with_categories(cats), "ethnicity", k=10, min_group_size=2
+        )
+        assert "rare" not in audit.categories
+
+    def test_single_category_rejected(self):
+        with pytest.raises(FairnessConfigError, match="at least 2"):
+            evaluate_fairness_multivalued(
+                ranking_with_categories(["a"] * 10), "ethnicity"
+            )
+
+    def test_unknown_measure_lookup_rejected(self, segregated_ranking):
+        audit = evaluate_fairness_multivalued(segregated_ranking, "ethnicity", k=10)
+        with pytest.raises(FairnessConfigError, match="no measure"):
+            audit.unfair_categories("SHAP")
+
+    def test_as_dict(self, segregated_ranking):
+        d = evaluate_fairness_multivalued(
+            segregated_ranking, "ethnicity", k=10
+        ).as_dict()
+        assert set(d) == {
+            "attribute", "categories", "alpha", "results", "corrected_unfair",
+        }
+
+    def test_compas_race_audit(self):
+        # the flagship §4 use case: ethnicity (6 categories) on a risk ranking
+        from repro.datasets import compas
+        from repro.ranking import LinearScoringFunction, rank_table
+
+        table = compas(n=1500)
+        ranking = rank_table(
+            table, LinearScoringFunction({"decile_score": 1.0}), "defendant_id"
+        )
+        audit = evaluate_fairness_multivalued(ranking, "race", k=150)
+        # the documented skew: Caucasian defendants under-represented among
+        # the highest risk scores relative to African-American defendants
+        assert "Caucasian" in audit.unfair_categories("Pairwise")

@@ -1,0 +1,140 @@
+"""Tests for repro.fairness.pairwise."""
+
+import numpy as np
+import pytest
+import scipy.stats as sps
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FairnessConfigError
+from repro.fairness.pairwise import (
+    NaiveBinomialPairwiseMeasure,
+    PairwiseMeasure,
+    pairwise_preference_statistics,
+)
+from tests.fairness.test_base import group_of
+
+
+class TestPairwiseStatistics:
+    def test_all_protected_on_top(self):
+        stats = pairwise_preference_statistics([True, True, False, False])
+        assert stats.u_statistic == 4
+        assert stats.preference_probability == 1.0
+        assert stats.total_pairs == 4
+
+    def test_all_protected_on_bottom(self):
+        stats = pairwise_preference_statistics([False, False, True, True])
+        assert stats.preference_probability == 0.0
+
+    def test_interleaved(self):
+        stats = pairwise_preference_statistics([True, False, True, False])
+        # pairs won: first True beats both False (2), second beats one (1)
+        assert stats.u_statistic == 3
+        assert stats.preference_probability == 0.75
+
+    def test_matches_brute_force(self, rng):
+        for _ in range(25):
+            mask = rng.random(30) < 0.4
+            if not 0 < mask.sum() < 30:
+                continue
+            stats = pairwise_preference_statistics(mask)
+            brute = sum(
+                1
+                for i in range(30)
+                for j in range(30)
+                if mask[i] and not mask[j] and i < j
+            )
+            assert stats.u_statistic == brute
+
+    def test_matches_scipy_mannwhitney_u(self, rng):
+        mask = rng.random(50) < 0.5
+        if not 0 < mask.sum() < 50:
+            mask[0] = True
+            mask[1] = False
+        stats = pairwise_preference_statistics(mask)
+        # ranks: position 1 = best; U for protected over non-protected with
+        # "greater is better" uses reversed positions as scores
+        positions = np.arange(50, 0, -1)  # score = inverse position
+        u = sps.mannwhitneyu(
+            positions[mask], positions[~mask], alternative="two-sided"
+        ).statistic
+        assert stats.u_statistic == int(u)
+
+    def test_validation(self):
+        with pytest.raises(FairnessConfigError):
+            pairwise_preference_statistics([True])
+        with pytest.raises(FairnessConfigError):
+            pairwise_preference_statistics([True, True])
+
+    @given(st.lists(st.booleans(), min_size=2, max_size=60))
+    @settings(max_examples=60)
+    def test_probability_bounds(self, mask):
+        if not 0 < sum(mask) < len(mask):
+            return
+        stats = pairwise_preference_statistics(mask)
+        assert 0.0 <= stats.preference_probability <= 1.0
+        assert 0 <= stats.u_statistic <= stats.total_pairs
+
+
+class TestPairwiseMeasure:
+    def test_matches_scipy_ranksums_two_sided(self, rng):
+        mask = rng.random(60) < 0.45
+        if not 0 < mask.sum() < 60:
+            return
+        group = group_of(list(mask))
+        result = PairwiseMeasure().audit(group)
+        positions = np.arange(60, 0, -1).astype(float)
+        expected = sps.mannwhitneyu(
+            positions[mask], positions[~mask],
+            alternative="two-sided", method="asymptotic", use_continuity=True,
+        ).pvalue
+        assert result.p_value == pytest.approx(expected, rel=1e-6)
+
+    def test_segregated_is_unfair(self):
+        group = group_of([False] * 20 + [True] * 20)
+        result = PairwiseMeasure().audit(group)
+        assert not result.fair
+        assert result.details["preference_probability"] == 0.0
+
+    def test_alternating_is_fair(self):
+        group = group_of([True, False] * 20)
+        assert PairwiseMeasure().audit(group).fair
+
+    def test_alternative_less_one_sided(self):
+        group = group_of([True] * 15 + [False] * 15)  # protected on top
+        result = PairwiseMeasure(alternative="less").audit(group)
+        assert result.fair  # favoured, not disfavoured
+        assert result.p_value > 0.99
+
+    def test_constructor_validation(self):
+        with pytest.raises(FairnessConfigError):
+            PairwiseMeasure(alpha=0.0)
+        with pytest.raises(FairnessConfigError):
+            PairwiseMeasure(alternative="greater")
+
+    def test_details_content(self):
+        group = group_of([True, False] * 10)
+        details = PairwiseMeasure().audit(group).details
+        assert details["total_pairs"] == 100
+        assert details["n_protected"] == 10
+        assert "Mann-Whitney" in details["test"]
+
+    def test_exact_balance_z_zero(self):
+        group = group_of([True, False, False, True])  # U = 2 = mean
+        result = PairwiseMeasure().audit(group)
+        assert result.details["z_statistic"] == 0.0
+        assert result.p_value == pytest.approx(1.0)
+
+
+class TestNaiveBinomial:
+    def test_anticonservative_versus_ranksum(self):
+        # mild imbalance: the naive test flags it, the calibrated one doesn't
+        group = group_of([True, True, False, True, False, False, True, False,
+                          False, False, True, False] * 3)
+        naive = NaiveBinomialPairwiseMeasure().audit(group)
+        calibrated = PairwiseMeasure().audit(group)
+        assert naive.p_value < calibrated.p_value
+
+    def test_name_distinct(self):
+        group = group_of([True, False] * 5)
+        assert "naive" in NaiveBinomialPairwiseMeasure().audit(group).measure

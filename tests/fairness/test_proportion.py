@@ -1,0 +1,65 @@
+"""Tests for repro.fairness.proportion."""
+
+import pytest
+
+from repro.errors import FairnessConfigError
+from repro.fairness.proportion import ProportionMeasure
+from tests.fairness.test_base import group_of
+
+
+class TestProportionMeasure:
+    def test_severe_underrepresentation_is_unfair(self):
+        # protected fill the bottom 20 of 40
+        group = group_of([False] * 20 + [True] * 20)
+        result = ProportionMeasure(k=10).audit(group)
+        assert not result.fair
+        assert result.p_value < 0.01
+        assert result.details["protected_in_topk"] == 0
+
+    def test_balanced_is_fair(self):
+        group = group_of([True, False] * 20)
+        result = ProportionMeasure(k=10).audit(group)
+        assert result.fair
+
+    def test_two_sided_flags_overrepresentation(self):
+        group = group_of([True] * 10 + [False] * 25 + [True] * 5)
+        result = ProportionMeasure(k=10).audit(group)
+        assert not result.fair
+        assert result.details["topk_share"] == 1.0
+
+    def test_one_sided_less_ignores_overrepresentation(self):
+        group = group_of([True] * 10 + [False] * 25 + [True] * 5)
+        result = ProportionMeasure(k=10, alternative="less").audit(group)
+        assert result.fair
+
+    def test_details_content(self):
+        group = group_of([True, False] * 20)
+        details = ProportionMeasure(k=10).audit(group).details
+        assert details["k"] == 10
+        assert details["protected_in_topk"] == 5
+        assert details["overall_share"] == 0.5
+        assert details["test"] == "two-proportion z-test"
+
+    def test_k_must_be_smaller_than_ranking(self):
+        group = group_of([True, False] * 3)
+        with pytest.raises(FairnessConfigError, match="k < ranking size"):
+            ProportionMeasure(k=6).audit(group)
+
+    def test_constructor_validation(self):
+        with pytest.raises(FairnessConfigError):
+            ProportionMeasure(k=0)
+        with pytest.raises(FairnessConfigError):
+            ProportionMeasure(alpha=1.5)
+        with pytest.raises(FairnessConfigError):
+            ProportionMeasure(alternative="greater")
+
+    def test_alpha_threshold_respected(self):
+        group = group_of([False] * 12 + [True] * 12)
+        strict = ProportionMeasure(k=8, alpha=1e-6).audit(group)
+        loose = ProportionMeasure(k=8, alpha=0.2).audit(group)
+        assert strict.fair  # p-value above the extreme threshold
+        assert not loose.fair
+
+    def test_measure_name_on_result(self):
+        group = group_of([True, False] * 10)
+        assert ProportionMeasure(k=5).audit(group).measure == "Proportion"

@@ -1,0 +1,150 @@
+"""Tests for repro.fairness.relevance (rND / rKL / rRD of [13])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FairnessConfigError
+from repro.fairness import rkl, rnd, rrd, set_difference_scores
+
+
+def labels_protected_last(n, protected):
+    return np.asarray([False] * (n - protected) + [True] * protected)
+
+
+def labels_alternating(n):
+    return np.asarray([i % 2 == 0 for i in range(n)])
+
+
+class TestRND:
+    def test_extreme_ranking_scores_one(self):
+        assert rnd(labels_protected_last(100, 50)) == pytest.approx(1.0)
+
+    def test_protected_first_also_scores_one(self):
+        labels = np.asarray([True] * 50 + [False] * 50)
+        assert rnd(labels) == pytest.approx(1.0)
+
+    def test_alternating_is_near_zero(self):
+        assert rnd(labels_alternating(100)) < 0.05
+
+    def test_bounds(self, rng):
+        for _ in range(20):
+            labels = rng.random(80) < 0.4
+            if 0 < labels.sum() < 80:
+                assert 0.0 <= rnd(labels) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(FairnessConfigError):
+            rnd([True])  # too short
+        with pytest.raises(FairnessConfigError):
+            rnd([True, True])  # no non-protected
+        with pytest.raises(FairnessConfigError):
+            rnd(np.zeros((2, 2), dtype=bool))
+
+    def test_no_cut_points_returns_zero(self):
+        # n <= step: no prefix is evaluated, no signal
+        assert rnd([True, False], step=10) == 0.0
+
+    def test_custom_step(self):
+        labels = labels_protected_last(40, 20)
+        fine = rnd(labels, step=5)
+        coarse = rnd(labels, step=20)
+        assert 0.0 <= coarse <= 1.0 and 0.0 <= fine <= 1.0
+
+
+class TestRKL:
+    def test_extreme_ranking_scores_one(self):
+        assert rkl(labels_protected_last(100, 50)) == pytest.approx(1.0)
+
+    def test_alternating_is_near_zero(self):
+        assert rkl(labels_alternating(100)) < 0.05
+
+    def test_monotone_in_unfairness(self, rng):
+        from repro.fairness import generate_ranking_labels
+
+        values = []
+        for f in (0.5, 0.3, 0.1):
+            scores = [
+                rkl(generate_ranking_labels(200, 0.5, f=f, rng=rng))
+                for _ in range(10)
+            ]
+            values.append(np.mean(scores))
+        assert values[0] < values[1] < values[2]
+
+    def test_handles_empty_prefix_probability(self):
+        # a prefix with zero protected items: p_hat=0 must not blow up
+        labels = np.asarray([False] * 30 + [True] * 10)
+        assert np.isfinite(rkl(labels))
+
+
+class TestRRD:
+    def test_minority_required(self):
+        with pytest.raises(FairnessConfigError, match="minority"):
+            rrd(np.asarray([True] * 30 + [False] * 10))
+
+    def test_protected_first_scores_one(self):
+        # the normalizer is the maximum attainable value, reached when the
+        # protected minority monopolizes the top (ratio differences blow up)
+        labels = np.asarray([True] * 30 + [False] * 70)
+        assert rrd(labels) == pytest.approx(1.0)
+
+    def test_protected_last_scores_high(self):
+        value = rrd(labels_protected_last(100, 30))
+        assert 0.4 < value < 1.0
+        assert value > rrd(labels_alternating(100))
+
+    def test_balanced_allowed_at_exact_half(self):
+        labels = labels_alternating(100)
+        assert rrd(labels) < 0.1
+
+    def test_bounds(self, rng):
+        for _ in range(20):
+            labels = rng.random(90) < 0.3
+            count = labels.sum()
+            if 0 < count <= 45:
+                assert 0.0 <= rrd(labels) <= 1.0
+
+
+class TestSetDifferenceScores:
+    def test_bundle_matches_individuals(self):
+        labels = labels_protected_last(60, 20)
+        bundle = set_difference_scores(labels)
+        assert bundle.rnd == pytest.approx(rnd(labels))
+        assert bundle.rkl == pytest.approx(rkl(labels))
+        assert bundle.rrd == pytest.approx(rrd(labels))
+        assert bundle.n == 60
+        assert bundle.protected_count == 20
+
+    def test_rrd_none_for_majority_protected(self):
+        labels = np.asarray([True] * 40 + [False] * 20)
+        bundle = set_difference_scores(labels)
+        assert bundle.rrd is None
+
+    def test_as_dict(self):
+        d = set_difference_scores(labels_alternating(40)).as_dict()
+        assert {"rND", "rKL", "rRD", "step", "n", "protected_count"} == set(d)
+
+    @given(st.integers(20, 120), st.integers(1, 2**31))
+    @settings(max_examples=40)
+    def test_all_scores_in_unit_interval(self, n, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.random(n) < 0.35
+        if not 0 < labels.sum() < n:
+            return
+        bundle = set_difference_scores(labels)
+        assert 0.0 <= bundle.rnd <= 1.0
+        assert 0.0 <= bundle.rkl <= 1.0
+        if bundle.rrd is not None:
+            assert 0.0 <= bundle.rrd <= 1.0
+
+    def test_worse_f_scores_worse_on_average(self, rng):
+        from repro.fairness import generate_ranking_labels
+
+        fair = np.mean(
+            [rnd(generate_ranking_labels(150, 0.4, rng=rng)) for _ in range(15)]
+        )
+        unfair = np.mean(
+            [rnd(generate_ranking_labels(150, 0.4, f=0.05, rng=rng)) for _ in range(15)]
+        )
+        assert unfair > fair + 0.2

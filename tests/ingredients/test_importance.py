@@ -1,0 +1,156 @@
+"""Tests for repro.ingredients.importance."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RankingFactsError
+from repro.ingredients import (
+    correlation_importance,
+    ingredients,
+    linear_model_importance,
+)
+from repro.ranking import LinearScoringFunction, Ranking, rank_table
+from repro.tabular import Table
+
+
+@pytest.fixture()
+def driven_ranking(rng):
+    """Score driven by `driver`; `noise` unrelated; `anti` anti-correlated."""
+    n = 60
+    driver = rng.normal(0, 1, n)
+    noise = rng.normal(0, 1, n)
+    t = Table.from_dict(
+        {
+            "name": [f"i{j}" for j in range(n)],
+            "driver": driver,
+            "noise": noise,
+            "anti": -driver + rng.normal(0, 0.1, n),
+        }
+    )
+    return rank_table(t, LinearScoringFunction({"driver": 1.0}), "name")
+
+
+class TestCorrelationImportance:
+    def test_driver_dominates(self, driven_ranking):
+        analysis = correlation_importance(driven_ranking)
+        assert analysis.importances[0].attribute in ("driver", "anti")
+        assert analysis.importance_of("driver").importance > 0.99
+        assert analysis.importance_of("noise").importance < 0.4
+
+    def test_direction_signs(self, driven_ranking):
+        analysis = correlation_importance(driven_ranking)
+        assert analysis.importance_of("driver").direction > 0
+        assert analysis.importance_of("anti").direction < 0
+
+    def test_explicit_attribute_subset(self, driven_ranking):
+        analysis = correlation_importance(driven_ranking, ["noise"])
+        assert len(analysis.importances) == 1
+
+    def test_constant_attribute_zero(self):
+        t = Table.from_dict(
+            {"name": ["a", "b", "c"], "v": [3.0, 2.0, 1.0], "const": [7.0] * 3}
+        )
+        r = rank_table(t, LinearScoringFunction({"v": 1.0}), "name")
+        analysis = correlation_importance(r)
+        assert analysis.importance_of("const").importance == 0.0
+
+    def test_missing_values_dropped_pairwise(self):
+        t = Table.from_dict(
+            {"name": list("abcd"), "v": [4.0, 3.0, 2.0, 1.0],
+             "partial": [4.0, float("nan"), 2.0, 1.0]}
+        )
+        r = rank_table(t, LinearScoringFunction({"v": 1.0}), "name")
+        analysis = correlation_importance(r)
+        assert analysis.importance_of("partial").importance == pytest.approx(1.0)
+
+    def test_deterministic_tie_order(self):
+        t = Table.from_dict(
+            {"name": list("abc"), "v": [3.0, 2.0, 1.0],
+             "z2": [3.0, 2.0, 1.0], "z1": [3.0, 2.0, 1.0]}
+        )
+        r = rank_table(t, LinearScoringFunction({"v": 1.0}), "name")
+        names = [i.attribute for i in correlation_importance(r).importances]
+        assert names == ["v", "z1", "z2"]
+
+    def test_no_numeric_attributes_rejected(self):
+        t = Table.from_dict({"name": ["a", "b"], "c": ["x", "y"]})
+        r = Ranking.from_scores(t, [2.0, 1.0], id_column="name")
+        with pytest.raises(RankingFactsError, match="no numeric"):
+            correlation_importance(r)
+
+    def test_unknown_attribute_rejected(self, driven_ranking):
+        from repro.errors import MissingColumnError
+
+        with pytest.raises(MissingColumnError):
+            correlation_importance(driven_ranking, ["zz"])
+
+    def test_empty_attribute_list_rejected(self, driven_ranking):
+        with pytest.raises(RankingFactsError, match="at least one"):
+            correlation_importance(driven_ranking, [])
+
+
+class TestLinearModelImportance:
+    def test_recovers_weights(self, rng):
+        n = 80
+        a, b = rng.normal(0, 1, n), rng.normal(0, 1, n)
+        t = Table.from_dict(
+            {"name": [f"i{j}" for j in range(n)], "a": a, "b": b}
+        )
+        r = rank_table(t, LinearScoringFunction({"a": 3.0, "b": 1.0}), "name")
+        analysis = linear_model_importance(r)
+        imp_a = analysis.importance_of("a")
+        imp_b = analysis.importance_of("b")
+        # standardized coefficients ~ weight * std; stds are ~1
+        assert imp_a.importance > imp_b.importance
+        assert imp_a.importance / imp_b.importance == pytest.approx(3.0, rel=0.2)
+
+    def test_uninvolved_attribute_near_zero(self, driven_ranking):
+        analysis = linear_model_importance(driven_ranking, ["driver", "noise"])
+        assert analysis.importance_of("noise").importance < 0.05
+
+    def test_constant_attribute_zero_coefficient(self):
+        t = Table.from_dict(
+            {"name": list("abcd"), "v": [4.0, 3.0, 2.0, 1.0], "const": [7.0] * 4}
+        )
+        r = rank_table(t, LinearScoringFunction({"v": 1.0}), "name")
+        analysis = linear_model_importance(r)
+        assert analysis.importance_of("const").importance == 0.0
+
+    def test_insufficient_rows_rejected(self):
+        t = Table.from_dict({"name": ["a", "b"], "u": [2.0, 1.0], "v": [1.0, 2.0]})
+        r = rank_table(t, LinearScoringFunction({"u": 1.0}), "name")
+        with pytest.raises(RankingFactsError, match="more complete rows"):
+            linear_model_importance(r)
+
+
+class TestIngredientsDispatch:
+    def test_methods(self, driven_ranking):
+        assert ingredients(driven_ranking, method="spearman").method == "spearman"
+        assert ingredients(driven_ranking, method="linear-model").method == "linear-model"
+
+    def test_unknown_method(self, driven_ranking):
+        with pytest.raises(RankingFactsError, match="unknown ingredients method"):
+            ingredients(driven_ranking, method="shap")
+
+    def test_top_n(self, driven_ranking):
+        analysis = ingredients(driven_ranking)
+        assert len(analysis.top(2)) == 2
+        with pytest.raises(ValueError):
+            analysis.top(0)
+
+    def test_importance_of_unknown(self, driven_ranking):
+        analysis = ingredients(driven_ranking)
+        with pytest.raises(RankingFactsError, match="not part of"):
+            analysis.importance_of("zz")
+
+    def test_as_dict(self, driven_ranking):
+        d = ingredients(driven_ranking).as_dict()
+        assert d["method"] == "spearman"
+        assert all({"attribute", "importance", "direction", "method"} == set(i)
+                   for i in d["importances"])
+
+    def test_figure1_gre_is_weak(self, cs_ranking):
+        analysis = ingredients(cs_ranking, ["PubCount", "Faculty", "GRE"])
+        gre = analysis.importance_of("GRE")
+        assert gre.importance < 0.3
+        assert analysis.importances[-1].attribute == "GRE"

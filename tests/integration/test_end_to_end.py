@@ -1,0 +1,222 @@
+"""Integration tests: full pipelines across modules.
+
+Each test walks the complete demo path — dataset, preprocessing, scoring
+function, ranking, every widget, renderers — the way the paper's user
+would, including the three §3 scenarios.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import (
+    LinearScoringFunction,
+    NormalizationPlan,
+    RankingFactsBuilder,
+    render_json,
+    render_text,
+)
+from repro.datasets import compas, german_credit
+from repro.fairness import ProtectedGroup, fair_star_rerank
+from repro.label import label_from_json
+from repro.preprocess import binarize_categorical, binarize_numeric
+from repro.tabular import read_csv, write_csv
+
+
+class TestScenarioCsDepartments:
+    """Scenario 1 of the demo: the paper's running example."""
+
+    def test_figure1_label_shape(self, cs_table, cs_scorer):
+        facts = (
+            RankingFactsBuilder(cs_table, dataset_name="CS departments")
+            .with_id_column("DeptName")
+            .with_scoring(cs_scorer)
+            .with_sensitive_attribute("DeptSizeBin")
+            .with_diversity_attributes(["DeptSizeBin", "Region"])
+            .build()
+        )
+        label = facts.label
+        # §2.4: "only large departments are present in the top-10"
+        size_report = label.diversity.reports[0]
+        assert size_report.top_k.proportions["large"] == 1.0
+        assert size_report.missing_categories() == ("small",)
+        # §3: GRE "does not correlate with the ranked outcome"
+        gre = label.ingredients.analysis.importance_of("GRE")
+        assert gre.importance < 0.3
+        # §3: GRE's range and median similar in top-10 and overall
+        gre_stats = next(
+            s for s in label.recipe.statistics if s.attribute == "GRE"
+        )
+        overall_range = gre_stats.overall.maximum - gre_stats.overall.minimum
+        assert abs(gre_stats.top_k.median - gre_stats.overall.median) < 0.3 * overall_range
+        # fairness: small flagged unfair by all three measures
+        grid = label.fairness.verdict_grid()
+        assert set(grid["DeptSizeBin=small"].values()) == {"unfair"}
+
+    def test_mitigation_loop(self, cs_table, cs_scorer):
+        """Audit -> unfair -> FA*IR rerank -> re-audit -> fair (§4 roadmap)."""
+        facts = (
+            RankingFactsBuilder(cs_table)
+            .with_id_column("DeptName")
+            .with_scoring(cs_scorer)
+            .with_sensitive_attribute("DeptSizeBin")
+            .build()
+        )
+        group = ProtectedGroup(facts.ranking, "DeptSizeBin", "small")
+        fair_ranking = fair_star_rerank(group, k=20, alpha=0.1)
+        assert fair_ranking.group_count_at_k("DeptSizeBin", "small", 10) >= 2
+        regrouped = ProtectedGroup(fair_ranking, "DeptSizeBin", "small")
+        from repro.fairness.fair_star import FairStarMeasure
+
+        result = FairStarMeasure(k=20, alpha=0.1, p=group.proportion).audit(regrouped)
+        assert result.fair
+
+
+class TestScenarioCompas:
+    """Scenario 2: ranking defendants by COMPAS risk score."""
+
+    @pytest.fixture(scope="class")
+    def facts(self):
+        table = compas(n=1200)
+        table = binarize_categorical(
+            table, "race", "RaceBin", ["African-American"],
+            protected_label="African-American", other_label="other",
+        )
+        scorer = LinearScoringFunction({"decile_score": 0.7, "priors_count": 0.3})
+        return (
+            RankingFactsBuilder(table, dataset_name="COMPAS")
+            .with_id_column("defendant_id")
+            .with_scoring(scorer)
+            .with_sensitive_attribute("RaceBin")
+            .with_diversity_attributes(["RaceBin", "sex"])
+            .with_top_k(100)
+            .build()
+        )
+
+    def test_risk_ranking_overrepresents_protected_group(self, facts):
+        # ranking by risk: the documented score skew surfaces as
+        # over-representation of African-American defendants at the top
+        report = facts.label.diversity.reports[0]
+        assert (
+            report.top_k.proportions["African-American"]
+            > report.overall.proportions["African-American"]
+        )
+
+    def test_pairwise_measure_flags_the_skew(self, facts):
+        results = {
+            (r.measure, r.group_label): r for r in facts.label.fairness.results
+        }
+        pairwise = results[("Pairwise", "RaceBin=African-American")]
+        assert not pairwise.fair
+        assert pairwise.details["preference_probability"] > 0.5
+
+    def test_label_serializes(self, facts):
+        data = label_from_json(render_json(facts.label))
+        assert data["num_items"] == 1200
+
+
+class TestScenarioGermanCredit:
+    """Scenario 3: ranking credit applicants by creditworthiness."""
+
+    @pytest.fixture(scope="class")
+    def facts(self):
+        table = german_credit()
+        scorer = LinearScoringFunction(
+            {"credit_score": 0.8, "credit_amount": -0.1, "duration_months": -0.1}
+        )
+        return (
+            RankingFactsBuilder(table, dataset_name="German credit")
+            .with_id_column("applicant_id")
+            .with_scoring(scorer)
+            .with_sensitive_attribute("AgeGroup")
+            .with_sensitive_attribute("sex")
+            .with_top_k(100)
+            .build()
+        )
+
+    def test_negative_weights_supported(self, facts):
+        recipe = facts.label.recipe
+        assert recipe.weights["credit_amount"] < 0
+
+    def test_two_sensitive_attributes_audited(self, facts):
+        groups = {r.group_label for r in facts.label.fairness.results}
+        assert groups == {
+            "AgeGroup=young", "AgeGroup=adult", "sex=male", "sex=female",
+        }
+
+    def test_young_underrepresented_at_top(self, facts):
+        ranking = facts.ranking
+        young_top = ranking.group_count_at_k("AgeGroup", "young", 100)
+        young_share = ranking.group_share_overall("AgeGroup", "young")
+        assert young_top / 100 < young_share
+
+
+class TestCsvWorkflow:
+    """The upload path: CSV on disk -> label, exercising tabular I/O."""
+
+    def test_full_round_trip(self, tmp_path, cs_table, cs_scorer):
+        path = tmp_path / "upload.csv"
+        write_csv(cs_table, path)
+        table = read_csv(path)
+        facts = (
+            RankingFactsBuilder(table, dataset_name="uploaded")
+            .with_id_column("DeptName")
+            .with_scoring(cs_scorer)
+            .with_sensitive_attribute("DeptSizeBin")
+            .build()
+        )
+        text = render_text(facts.label, detailed=True)
+        assert "uploaded" in text
+        payload = json.loads(render_json(facts.label))
+        assert payload["dataset"] == "uploaded"
+
+    def test_derived_sensitive_attribute(self, tmp_path):
+        # user uploads raw data without a binary attribute and derives one
+        from repro.datasets import synthetic_scores_table
+
+        table = synthetic_scores_table(80, num_attributes=2, seed=11)
+        table = binarize_numeric(
+            table, "attr_1", "attr1Bin", above_label="high", below_label="low"
+        )
+        facts = (
+            RankingFactsBuilder(table)
+            .with_id_column("item")
+            .with_scoring(LinearScoringFunction({"attr_1": 0.5, "attr_2": 0.5}))
+            .with_sensitive_attribute("attr1Bin")
+            .build()
+        )
+        # scoring on attr_1 guarantees the "high" bin dominates the top
+        grid = facts.label.fairness.verdict_grid()
+        assert grid["attr1Bin=low"]["Pairwise"] == "unfair"
+
+
+class TestCrossWidgetConsistency:
+    def test_fairness_and_diversity_agree_on_counts(self, cs_ranking):
+        from repro.diversity import top_k_vs_overall
+        from repro.fairness import ProtectedGroup
+
+        group = ProtectedGroup(cs_ranking, "DeptSizeBin", "small")
+        report = top_k_vs_overall(cs_ranking, "DeptSizeBin", k=10)
+        assert group.count_at(10) == report.top_k.counts.get("small", 0)
+        assert group.proportion == pytest.approx(
+            report.overall.proportions["small"]
+        )
+
+    def test_recipe_weights_match_score_reconstruction(self, cs_table, cs_scorer):
+        facts = (
+            RankingFactsBuilder(cs_table)
+            .with_id_column("DeptName")
+            .with_scoring(cs_scorer)
+            .with_sensitive_attribute("DeptSizeBin")
+            .build()
+        )
+        # rebuilding scores from the scored table and recipe weights must
+        # reproduce the ranking's scores exactly
+        weights = facts.label.recipe.weights
+        table = facts.scored_table
+        rebuilt = np.zeros(table.num_rows)
+        for attribute, weight in weights.items():
+            rebuilt += weight * table.numeric_column(attribute).values
+        order = np.argsort(-rebuilt, kind="stable")
+        np.testing.assert_allclose(rebuilt[order], facts.ranking.scores)

@@ -1,0 +1,174 @@
+"""Tests for repro.label.compare (label diffing)."""
+
+import pytest
+
+from repro.errors import LabelError
+from repro.label import RankingFactsBuilder, diff_labels
+from repro.ranking import LinearScoringFunction
+
+
+@pytest.fixture(scope="module")
+def before_label(cs_table, cs_scorer):
+    return (
+        RankingFactsBuilder(cs_table, dataset_name="CS departments")
+        .with_id_column("DeptName")
+        .with_scoring(cs_scorer)
+        .with_sensitive_attribute("DeptSizeBin")
+        .with_diversity_attributes(["DeptSizeBin", "Region"])
+        .build()
+        .label
+    )
+
+
+@pytest.fixture(scope="module")
+def after_label(cs_table):
+    # the mitigation direction: weight shifted heavily toward GRE
+    return (
+        RankingFactsBuilder(cs_table, dataset_name="CS departments")
+        .with_id_column("DeptName")
+        .with_scoring(LinearScoringFunction(
+            {"PubCount": 0.1, "Faculty": 0.1, "GRE": 0.8}))
+        .with_sensitive_attribute("DeptSizeBin")
+        .with_diversity_attributes(["DeptSizeBin", "Region"])
+        .build()
+        .label
+    )
+
+
+class TestDiffLabels:
+    def test_weight_changes_reported(self, before_label, after_label):
+        diff = diff_labels(before_label, after_label)
+        assert diff.weight_changes["GRE"] == (0.2, 0.8)
+        assert set(diff.weight_changes) == {"PubCount", "Faculty", "GRE"}
+
+    def test_verdict_flips_reported(self, before_label, after_label):
+        diff = diff_labels(before_label, after_label)
+        flips = {(c.group, c.measure): c for c in diff.verdict_changes}
+        # the GRE-heavy recipe removes the size bias: small flips to fair
+        assert any(
+            group == "DeptSizeBin=small" and change.improved
+            for (group, _), change in flips.items()
+        )
+        assert diff.fairness_improved
+
+    def test_diversity_shift_direction(self, before_label, after_label):
+        diff = diff_labels(before_label, after_label)
+        shifts = diff.diversity_shifts["DeptSizeBin"]
+        assert shifts["small"] > 0  # small departments gained top-10 share
+        assert shifts["large"] < 0
+        assert sum(shifts.values()) == pytest.approx(0.0, abs=1e-9)
+
+    def test_stability_scores_carried(self, before_label, after_label):
+        diff = diff_labels(before_label, after_label)
+        assert diff.stability_before == before_label.stability.stability_score
+        assert diff.stability_after == after_label.stability.stability_score
+
+    def test_self_diff_is_empty(self, before_label):
+        diff = diff_labels(before_label, before_label)
+        assert diff.weight_changes == {}
+        assert diff.verdict_changes == ()
+        assert diff.diversity_shifts == {}
+        assert not diff.fairness_improved  # nothing changed
+
+    def test_summary_lines_readable(self, before_label, after_label):
+        lines = diff_labels(before_label, after_label).summary_lines()
+        assert any(line.startswith("weight GRE: 0.2 -> 0.8") for line in lines)
+        assert any("fairness" in line and "-> fair" in line for line in lines)
+
+    def test_different_datasets_rejected(self, before_label, cs_table, cs_scorer):
+        other = (
+            RankingFactsBuilder(cs_table, dataset_name="something else")
+            .with_id_column("DeptName")
+            .with_scoring(cs_scorer)
+            .with_sensitive_attribute("DeptSizeBin")
+            .build()
+            .label
+        )
+        with pytest.raises(LabelError, match="different datasets"):
+            diff_labels(before_label, other)
+
+    def test_different_k_rejected(self, before_label, cs_table, cs_scorer):
+        other = (
+            RankingFactsBuilder(cs_table, dataset_name="CS departments")
+            .with_id_column("DeptName")
+            .with_scoring(cs_scorer)
+            .with_sensitive_attribute("DeptSizeBin")
+            .with_top_k(5)
+            .build()
+            .label
+        )
+        with pytest.raises(LabelError, match="different k"):
+            diff_labels(before_label, other)
+
+    def test_as_dict(self, before_label, after_label):
+        d = diff_labels(before_label, after_label).as_dict()
+        assert {"weight_changes", "verdict_changes", "stability_before",
+                "stability_after", "diversity_shifts"} <= set(d)
+
+
+class TestIntersectAttributes:
+    def test_combined_categories(self):
+        from repro.preprocess import intersect_attributes
+        from repro.tabular import Table
+
+        t = Table.from_dict(
+            {"sex": ["F", "M", "F"], "race": ["A", "A", "B"]}
+        )
+        out = intersect_attributes(t, ["sex", "race"], "sex_race")
+        assert list(out.column("sex_race").values) == ["F&A", "M&A", "F&B"]
+
+    def test_missing_propagates(self):
+        from repro.preprocess import intersect_attributes
+        from repro.tabular import Table
+
+        t = Table.from_dict({"a": ["x", "", "y"], "b": ["u", "v", "w"]})
+        out = intersect_attributes(t, ["a", "b"], "ab")
+        assert out.column("ab").values[1] == ""
+        assert out.column("ab").values[0] == "x&u"
+
+    def test_single_source_rejected(self):
+        from repro.errors import ProtectedGroupError
+        from repro.preprocess import intersect_attributes
+        from repro.tabular import Table
+
+        t = Table.from_dict({"a": ["x", "y"]})
+        with pytest.raises(ProtectedGroupError, match="at least 2"):
+            intersect_attributes(t, ["a"], "aa")
+
+    def test_degenerate_combination_rejected(self):
+        from repro.errors import ProtectedGroupError
+        from repro.preprocess import intersect_attributes
+        from repro.tabular import Table
+
+        t = Table.from_dict({"a": ["x", "x"], "b": ["u", "u"]})
+        with pytest.raises(ProtectedGroupError, match="single category"):
+            intersect_attributes(t, ["a", "b"], "ab")
+
+    def test_numeric_source_rejected(self):
+        from repro.errors import ColumnTypeError
+        from repro.preprocess import intersect_attributes
+        from repro.tabular import Table
+
+        t = Table.from_dict({"a": ["x", "y"], "n": [1.0, 2.0]})
+        with pytest.raises(ColumnTypeError):
+            intersect_attributes(t, ["a", "n"], "an")
+
+    def test_intersectional_audit_end_to_end(self):
+        # sex x race on the COMPAS-like data, audited multivalued
+        from repro.datasets import compas
+        from repro.fairness import evaluate_fairness_multivalued
+        from repro.preprocess import binarize_categorical, intersect_attributes
+        from repro.ranking import LinearScoringFunction, rank_table
+
+        table = compas(n=1200)
+        table = binarize_categorical(
+            table, "race", "RaceBin", ["African-American"],
+            protected_label="AA", other_label="other",
+        )
+        table = intersect_attributes(table, ["sex", "RaceBin"], "sex_race")
+        ranking = rank_table(
+            table, LinearScoringFunction({"decile_score": 1.0}), "defendant_id"
+        )
+        audit = evaluate_fairness_multivalued(ranking, "sex_race", k=120)
+        assert len(audit.categories) == 4  # {M,F} x {AA, other}
+        assert audit.any_unfair()

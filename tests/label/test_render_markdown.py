@@ -1,0 +1,67 @@
+"""Tests for repro.label.render_markdown."""
+
+import pytest
+
+from repro.label import RankingFactsBuilder, render_markdown
+
+
+@pytest.fixture(scope="module")
+def label(cs_table, cs_scorer):
+    return (
+        RankingFactsBuilder(cs_table, dataset_name="CS departments")
+        .with_id_column("DeptName")
+        .with_scoring(cs_scorer)
+        .with_sensitive_attribute("DeptSizeBin")
+        .with_diversity_attributes(["DeptSizeBin", "Region"])
+        .with_monte_carlo_stability(trials=3, epsilons=[0.1])
+        .build()
+        .label
+    )
+
+
+class TestRenderMarkdown:
+    def test_heading_and_sections(self, label):
+        md = render_markdown(label)
+        assert md.startswith("# Ranking Facts")
+        for section in ("## Recipe", "## Ingredients", "## Stability",
+                        "## Fairness", "## Diversity"):
+            assert section in md
+
+    def test_tables_are_well_formed(self, label):
+        md = render_markdown(label)
+        for line in md.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_header_separator_column_counts_match(self, label):
+        lines = render_markdown(label, detailed=True).splitlines()
+        for i, line in enumerate(lines[:-1]):
+            if line.startswith("|") and set(lines[i + 1]) <= {"|", "-", " "} and lines[i + 1].startswith("|"):
+                header_cols = line.count("|")
+                separator_cols = lines[i + 1].count("|")
+                assert header_cols == separator_cols, (line, lines[i + 1])
+
+    def test_unfair_verdicts_bolded(self, label):
+        md = render_markdown(label)
+        assert "**unfair**" in md
+
+    def test_missing_category_called_out(self, label):
+        assert "Missing from top-10: **small**" in render_markdown(label)
+
+    def test_detailed_longer_and_has_stats(self, label):
+        brief = render_markdown(label)
+        detailed = render_markdown(label, detailed=True)
+        assert len(detailed) > len(brief)
+        assert "median" in detailed
+        assert "P[top-k changes]" in detailed
+
+    def test_brief_hides_weak_ingredients(self, label):
+        brief = render_markdown(label)
+        # only top-3 shown in brief mode; CS data has exactly 3 numeric
+        # attributes, so count rows in the ingredients table instead
+        section = brief.split("## Ingredients")[1].split("##")[0]
+        data_rows = [
+            line for line in section.splitlines()
+            if line.startswith("|") and "---" not in line and "importance" not in line
+        ]
+        assert len(data_rows) == 3

@@ -1,0 +1,131 @@
+"""Tests for the three label renderers (text, HTML, JSON)."""
+
+import json
+
+import pytest
+
+from repro.errors import LabelError
+from repro.label import (
+    RankingFactsBuilder,
+    label_from_json,
+    render_html,
+    render_json,
+    render_text,
+)
+
+
+@pytest.fixture(scope="module")
+def label(cs_table, cs_scorer):
+    return (
+        RankingFactsBuilder(cs_table, dataset_name="CS departments")
+        .with_id_column("DeptName")
+        .with_scoring(cs_scorer)
+        .with_sensitive_attribute("DeptSizeBin")
+        .with_diversity_attributes(["DeptSizeBin", "Region"])
+        .with_monte_carlo_stability(trials=3, epsilons=[0.1])
+        .build()
+        .label
+    )
+
+
+class TestRenderText:
+    def test_contains_every_section(self, label):
+        text = render_text(label)
+        for section in ("RANKING FACTS", "Recipe", "Ingredients", "Stability",
+                        "Fairness", "Diversity"):
+            assert section in text
+
+    def test_overview_contents(self, label):
+        text = render_text(label)
+        assert "PubCount" in text
+        assert "DeptSizeBin=small" in text
+        assert "unfair" in text
+        assert "missing from top-10: small" in text
+
+    def test_detailed_adds_statistics(self, label):
+        brief = render_text(label)
+        detailed = render_text(label, detailed=True)
+        assert len(detailed) > len(brief)
+        assert "median" in detailed
+        assert "R^2" in detailed
+        assert "P[top-k changes]" in detailed  # Monte-Carlo section
+        assert "swap margin" in detailed       # gap analysis
+        assert "weight sensitivity" in detailed  # per-attribute stability
+
+    def test_weights_shown_with_shares(self, label):
+        text = render_text(label)
+        assert "40.0%" in text and "20.0%" in text
+
+    def test_verdict_upper_case(self, label):
+        assert "verdict: STABLE" in render_text(label)
+
+
+class TestRenderHtml:
+    def test_complete_document(self, label):
+        html = render_html(label)
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.endswith("</html>")
+
+    def test_widget_cards_present(self, label):
+        html = render_html(label)
+        for cls in ("recipe", "ingredients", "stability", "fairness", "diversity"):
+            assert f'class="widget {cls}"' in html
+
+    def test_escaping(self, cs_table, cs_scorer):
+        facts = (
+            RankingFactsBuilder(cs_table, dataset_name="<evil> & co")
+            .with_id_column("DeptName")
+            .with_scoring(cs_scorer)
+            .with_sensitive_attribute("DeptSizeBin")
+            .build()
+        )
+        html = render_html(facts.label)
+        assert "<evil>" not in html
+        assert "&lt;evil&gt;" in html
+
+    def test_verdicts_styled(self, label):
+        html = render_html(label)
+        assert 'class="unfair"' in html
+
+    def test_monte_carlo_tables_present(self, label):
+        assert "weight perturbation" in render_html(label)
+
+
+class TestRenderJson:
+    def test_valid_json_with_required_sections(self, label):
+        payload = render_json(label)
+        data = json.loads(payload)
+        for key in ("dataset", "num_items", "k", "recipe", "ingredients",
+                    "stability", "fairness", "diversity"):
+            assert key in data
+
+    def test_round_trip_through_validator(self, label):
+        data = label_from_json(render_json(label))
+        assert data["dataset"] == "CS departments"
+        assert data["num_items"] == 51
+
+    def test_fairness_verdicts_serialized(self, label):
+        data = json.loads(render_json(label))
+        verdicts = data["fairness"]["verdicts"]
+        assert verdicts["DeptSizeBin=small"]["FA*IR"] == "unfair"
+
+    def test_no_nan_in_output(self, label):
+        payload = render_json(label)
+        assert "NaN" not in payload
+        json.loads(payload)  # strict parse succeeds
+
+    def test_compact_mode(self, label):
+        compact = render_json(label, indent=None)
+        assert "\n" not in compact
+
+    def test_label_from_json_rejects_garbage(self):
+        with pytest.raises(LabelError, match="invalid label JSON"):
+            label_from_json("{nope")
+
+    def test_label_from_json_rejects_non_object(self):
+        with pytest.raises(LabelError, match="top level"):
+            label_from_json("[1,2]")
+
+    def test_label_from_json_rejects_missing_sections(self):
+        with pytest.raises(LabelError, match="missing section"):
+            label_from_json('{"dataset": "x"}')

@@ -1,0 +1,195 @@
+"""Tests for repro.mitigation.weights."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RankingFactsError
+from repro.fairness.pairwise import PairwiseMeasure
+from repro.fairness.fair_star import FairStarMeasure
+from repro.mitigation import (
+    fairness_frontier,
+    suggest_diverse_weights,
+    suggest_fair_weights,
+)
+from repro.preprocess import NormalizationPlan, TablePreprocessor
+from repro.ranking import LinearScoringFunction, rank_table
+from repro.tabular import Table
+
+
+@pytest.fixture(scope="module")
+def prepared_cs(cs_table):
+    return TablePreprocessor(
+        NormalizationPlan.minmax_all(["PubCount", "Faculty", "GRE"])
+    ).fit_transform(cs_table)
+
+
+@pytest.fixture(scope="module")
+def figure1_scorer():
+    return LinearScoringFunction({"PubCount": 0.4, "Faculty": 0.4, "GRE": 0.2})
+
+
+class TestSuggestFairWeights:
+    def test_suggestions_actually_pass(self, prepared_cs, figure1_scorer):
+        suggestions = suggest_fair_weights(
+            prepared_cs, figure1_scorer, "DeptSizeBin", "small",
+            id_column="DeptName",
+        )
+        assert suggestions, "the searched neighbourhood contains fair recipes"
+        measure = FairStarMeasure(k=10, alpha=0.05)
+        from repro.fairness import ProtectedGroup
+
+        for suggestion in suggestions:
+            ranking = rank_table(
+                prepared_cs, LinearScoringFunction(suggestion.weights), "DeptName"
+            )
+            group = ProtectedGroup(ranking, "DeptSizeBin", "small")
+            assert measure.audit(group).fair
+
+    def test_ordered_by_distance(self, prepared_cs, figure1_scorer):
+        suggestions = suggest_fair_weights(
+            prepared_cs, figure1_scorer, "DeptSizeBin", "small",
+            id_column="DeptName",
+        )
+        distances = [s.distance for s in suggestions]
+        assert distances == sorted(distances)
+
+    def test_suggestions_shift_away_from_size(self, prepared_cs, figure1_scorer):
+        # mitigating size-unfairness must move weight toward GRE, the only
+        # size-independent attribute
+        best = suggest_fair_weights(
+            prepared_cs, figure1_scorer, "DeptSizeBin", "small",
+            id_column="DeptName",
+        )[0]
+        assert best.weights["GRE"] > 0.2
+
+    def test_already_fair_recipe_costs_nothing(self, prepared_cs):
+        gre_only = LinearScoringFunction({"GRE": 1.0, "PubCount": 0.0001})
+        suggestions = suggest_fair_weights(
+            prepared_cs, gre_only, "DeptSizeBin", "small", id_column="DeptName",
+        )
+        assert suggestions
+        assert suggestions[0].distance < 0.05
+
+    def test_custom_measure(self, prepared_cs, figure1_scorer):
+        suggestions = suggest_fair_weights(
+            prepared_cs, figure1_scorer, "DeptSizeBin", "small",
+            measure=PairwiseMeasure(alpha=0.05), id_column="DeptName",
+        )
+        for suggestion in suggestions:
+            assert suggestion.fair
+
+    def test_impossible_target_returns_empty(self):
+        # the protected group is strictly dominated on every attribute:
+        # no weight vector can make it fair
+        n = 40
+        t = Table.from_dict(
+            {
+                "name": [f"i{j}" for j in range(n)],
+                "g": ["o"] * 20 + ["p"] * 20,
+                "a": list(range(40, 0, -1)),
+                "b": list(range(80, 0, -2)),
+            }
+        )
+        scorer = LinearScoringFunction({"a": 0.5, "b": 0.5})
+        suggestions = suggest_fair_weights(
+            t, scorer, "g", "p", id_column="name",
+            measure=PairwiseMeasure(alpha=0.05),
+        )
+        assert suggestions == []
+
+    def test_max_suggestions_respected(self, prepared_cs, figure1_scorer):
+        suggestions = suggest_fair_weights(
+            prepared_cs, figure1_scorer, "DeptSizeBin", "small",
+            id_column="DeptName", max_suggestions=2,
+        )
+        assert len(suggestions) <= 2
+
+    def test_validation(self, prepared_cs, figure1_scorer):
+        with pytest.raises(RankingFactsError):
+            suggest_fair_weights(
+                prepared_cs, figure1_scorer, "DeptSizeBin", "small",
+                max_suggestions=0,
+            )
+
+    def test_deterministic(self, prepared_cs, figure1_scorer):
+        a = suggest_fair_weights(
+            prepared_cs, figure1_scorer, "DeptSizeBin", "small",
+            id_column="DeptName",
+        )
+        b = suggest_fair_weights(
+            prepared_cs, figure1_scorer, "DeptSizeBin", "small",
+            id_column="DeptName",
+        )
+        assert a == b
+
+    def test_as_dict(self, prepared_cs, figure1_scorer):
+        suggestion = suggest_fair_weights(
+            prepared_cs, figure1_scorer, "DeptSizeBin", "small",
+            id_column="DeptName",
+        )[0]
+        d = suggestion.as_dict()
+        assert {"weights", "distance", "fair", "p_value", "top_k_overlap"} == set(d)
+
+
+class TestSuggestDiverseWeights:
+    def test_restores_missing_category(self, prepared_cs, figure1_scorer):
+        suggestions = suggest_diverse_weights(
+            prepared_cs, figure1_scorer, "DeptSizeBin", "small",
+            minimum_count=2, id_column="DeptName",
+        )
+        assert suggestions
+        for suggestion in suggestions:
+            ranking = rank_table(
+                prepared_cs, LinearScoringFunction(suggestion.weights), "DeptName"
+            )
+            assert ranking.group_count_at_k("DeptSizeBin", "small", 10) >= 2
+
+    def test_higher_minimum_needs_bigger_change(self, prepared_cs, figure1_scorer):
+        one = suggest_diverse_weights(
+            prepared_cs, figure1_scorer, "DeptSizeBin", "small",
+            minimum_count=1, id_column="DeptName",
+        )
+        four = suggest_diverse_weights(
+            prepared_cs, figure1_scorer, "DeptSizeBin", "small",
+            minimum_count=4, id_column="DeptName",
+        )
+        if one and four:
+            assert four[0].distance >= one[0].distance
+
+    def test_unknown_category_rejected(self, prepared_cs, figure1_scorer):
+        with pytest.raises(RankingFactsError, match="no category"):
+            suggest_diverse_weights(
+                prepared_cs, figure1_scorer, "DeptSizeBin", "tiny",
+            )
+
+    def test_bad_minimum_rejected(self, prepared_cs, figure1_scorer):
+        with pytest.raises(RankingFactsError):
+            suggest_diverse_weights(
+                prepared_cs, figure1_scorer, "DeptSizeBin", "small",
+                minimum_count=0,
+            )
+
+
+class TestFairnessFrontier:
+    def test_frontier_sorted_and_eventually_fair(self, prepared_cs, figure1_scorer):
+        frontier = fairness_frontier(
+            prepared_cs, figure1_scorer, "DeptSizeBin", "small",
+            id_column="DeptName",
+        )
+        distances = [point.distance for point in frontier]
+        assert distances == sorted(distances)
+        assert any(point.fair for point in frontier)
+
+    def test_near_zero_distance_is_unfair_here(self, prepared_cs, figure1_scorer):
+        frontier = fairness_frontier(
+            prepared_cs, figure1_scorer, "DeptSizeBin", "small",
+            id_column="DeptName",
+        )
+        assert not frontier[0].fair  # the original recipe's bucket
+
+    def test_resolution_validation(self, prepared_cs, figure1_scorer):
+        with pytest.raises(RankingFactsError):
+            fairness_frontier(
+                prepared_cs, figure1_scorer, "DeptSizeBin", "small",
+                resolution=0.0,
+            )

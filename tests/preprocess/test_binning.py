@@ -1,0 +1,104 @@
+"""Tests for repro.preprocess.binning."""
+
+import pytest
+
+from repro.errors import ProtectedGroupError
+from repro.preprocess import binarize_categorical, binarize_numeric
+from repro.tabular import Table
+
+
+@pytest.fixture()
+def faculty_table():
+    return Table.from_dict(
+        {
+            "dept": ["a", "b", "c", "d"],
+            "Faculty": [10.0, 20.0, 30.0, 40.0],
+        }
+    )
+
+
+class TestBinarizeNumeric:
+    def test_median_split_default(self, faculty_table):
+        t = binarize_numeric(faculty_table, "Faculty", "DeptSizeBin",
+                             above_label="large", below_label="small")
+        assert list(t.column("DeptSizeBin").values) == [
+            "small", "small", "large", "large",
+        ]
+
+    def test_explicit_threshold(self, faculty_table):
+        t = binarize_numeric(faculty_table, "Faculty", "bin", threshold=35.0)
+        assert list(t.column("bin").values) == ["low", "low", "low", "high"]
+
+    def test_threshold_boundary_is_inclusive_above(self, faculty_table):
+        t = binarize_numeric(faculty_table, "Faculty", "bin", threshold=20.0)
+        assert t.column("bin").values[1] == "high"
+
+    def test_missing_becomes_missing(self):
+        t = Table.from_dict({"x": [1.0, float("nan"), 3.0]})
+        out = binarize_numeric(t, "x", "bin", threshold=2.0)
+        assert out.column("bin").values[1] == ""
+
+    def test_degenerate_split_rejected(self, faculty_table):
+        with pytest.raises(ProtectedGroupError, match="all rows"):
+            binarize_numeric(faculty_table, "Faculty", "bin", threshold=0.0)
+
+    def test_equal_labels_rejected(self, faculty_table):
+        with pytest.raises(ProtectedGroupError, match="differ"):
+            binarize_numeric(faculty_table, "Faculty", "bin",
+                             above_label="x", below_label="x")
+
+    def test_all_missing_rejected(self):
+        t = Table.from_dict({"x": [float("nan")]})
+        with pytest.raises(ProtectedGroupError, match="no non-missing"):
+            binarize_numeric(t, "x", "bin")
+
+    def test_original_table_unchanged(self, faculty_table):
+        binarize_numeric(faculty_table, "Faculty", "bin")
+        assert "bin" not in faculty_table
+
+
+class TestBinarizeCategorical:
+    @pytest.fixture()
+    def race_table(self):
+        return Table.from_dict(
+            {"race": ["A", "B", "C", "A", "B"], "v": [1.0, 2.0, 3.0, 4.0, 5.0]}
+        )
+
+    def test_single_protected_category(self, race_table):
+        t = binarize_categorical(race_table, "race", "bin", ["A"])
+        assert list(t.column("bin").values) == ["A", "other", "other", "A", "other"]
+
+    def test_multiple_protected_categories(self, race_table):
+        t = binarize_categorical(race_table, "race", "bin", ["A", "C"])
+        assert list(t.column("bin").values) == [
+            "protected", "other", "protected", "protected", "other",
+        ]
+
+    def test_custom_labels(self, race_table):
+        t = binarize_categorical(
+            race_table, "race", "bin", ["A"],
+            protected_label="minority", other_label="majority",
+        )
+        assert set(t.column("bin").values) == {"minority", "majority"}
+
+    def test_unknown_category_rejected(self, race_table):
+        with pytest.raises(ProtectedGroupError, match="no categor"):
+            binarize_categorical(race_table, "race", "bin", ["Z"])
+
+    def test_empty_protected_rejected(self, race_table):
+        with pytest.raises(ProtectedGroupError, match="no protected"):
+            binarize_categorical(race_table, "race", "bin", [])
+
+    def test_all_categories_protected_rejected(self, race_table):
+        with pytest.raises(ProtectedGroupError, match="every category"):
+            binarize_categorical(race_table, "race", "bin", ["A", "B", "C"])
+
+    def test_equal_labels_rejected(self, race_table):
+        with pytest.raises(ProtectedGroupError, match="differ"):
+            binarize_categorical(race_table, "race", "bin", ["A"],
+                                 protected_label="x", other_label="x")
+
+    def test_missing_stays_missing(self):
+        t = Table.from_dict({"race": ["A", "", "B"]})
+        out = binarize_categorical(t, "race", "bin", ["A"])
+        assert out.column("bin").values[1] == ""

@@ -1,0 +1,117 @@
+"""Tests for repro.preprocess.normalize."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NormalizationError
+from repro.preprocess import (
+    IdentityNormalizer,
+    MinMaxNormalizer,
+    ZScoreNormalizer,
+    make_normalizer,
+)
+from repro.tabular import NumericColumn
+
+# spread bounded away from zero: a spread below ~1e-150 underflows the
+# variance computation and is legitimately rejected as constant
+varied_values = st.lists(
+    st.floats(-1e4, 1e4), min_size=2, max_size=40
+).filter(lambda vs: max(vs) - min(vs) > 1e-6)
+
+
+class TestMinMax:
+    def test_maps_to_unit_interval(self):
+        col = NumericColumn("x", [0.0, 5.0, 10.0])
+        out = MinMaxNormalizer().fit_transform(col)
+        assert out.values.tolist() == [0.0, 0.5, 1.0]
+
+    def test_transform_uses_fit_parameters(self):
+        norm = MinMaxNormalizer().fit(NumericColumn("x", [0.0, 10.0]))
+        out = norm.transform(NumericColumn("x", [20.0]))
+        assert out.values.tolist() == [2.0]  # extrapolates beyond the fit
+
+    def test_constant_rejected(self):
+        with pytest.raises(NormalizationError, match="constant"):
+            MinMaxNormalizer().fit(NumericColumn("x", [3.0, 3.0]))
+
+    def test_nan_passes_through(self):
+        out = MinMaxNormalizer().fit_transform(
+            NumericColumn("x", [0.0, float("nan"), 10.0])
+        )
+        assert np.isnan(out.values[1])
+
+    def test_use_before_fit_rejected(self):
+        with pytest.raises(NormalizationError, match="before fit"):
+            MinMaxNormalizer().transform(NumericColumn("x", [1.0]))
+
+    def test_all_missing_rejected(self):
+        with pytest.raises(NormalizationError, match="no non-missing"):
+            MinMaxNormalizer().fit(NumericColumn("x", [float("nan")]))
+
+    def test_params(self):
+        norm = MinMaxNormalizer()
+        assert norm.params() == {}
+        norm.fit(NumericColumn("x", [1.0, 9.0]))
+        assert norm.params() == {"min": 1.0, "max": 9.0}
+
+    @given(varied_values)
+    @settings(max_examples=50)
+    def test_output_range_on_fit_data(self, values):
+        out = MinMaxNormalizer().fit_transform(NumericColumn("x", values))
+        clean = out.values[~np.isnan(out.values)]
+        assert clean.min() == pytest.approx(0.0, abs=1e-12)
+        assert clean.max() == pytest.approx(1.0, abs=1e-12)
+
+
+class TestZScore:
+    def test_zero_mean_unit_std(self):
+        out = ZScoreNormalizer().fit_transform(NumericColumn("x", [1.0, 2.0, 3.0]))
+        assert out.values.mean() == pytest.approx(0.0, abs=1e-12)
+        assert out.values.std(ddof=0) == pytest.approx(1.0)
+
+    def test_constant_rejected(self):
+        with pytest.raises(NormalizationError, match="constant"):
+            ZScoreNormalizer().fit(NumericColumn("x", [2.0, 2.0]))
+
+    def test_params(self):
+        norm = ZScoreNormalizer().fit(NumericColumn("x", [1.0, 3.0]))
+        assert norm.params() == {"mean": 2.0, "std": 1.0}
+
+    @given(varied_values)
+    @settings(max_examples=50)
+    def test_standardization_invariant(self, values):
+        out = ZScoreNormalizer().fit_transform(NumericColumn("x", values))
+        assert float(out.values.mean()) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestIdentity:
+    def test_no_op(self):
+        col = NumericColumn("x", [1.0, -5.0])
+        out = IdentityNormalizer().fit_transform(col)
+        assert out.values.tolist() == [1.0, -5.0]
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "scheme,cls",
+        [
+            ("minmax", MinMaxNormalizer),
+            ("zscore", ZScoreNormalizer),
+            ("identity", IdentityNormalizer),
+            ("raw", IdentityNormalizer),
+        ],
+    )
+    def test_known_schemes(self, scheme, cls):
+        assert isinstance(make_normalizer(scheme), cls)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(NormalizationError, match="unknown normalization scheme"):
+            make_normalizer("log")
+
+    def test_fitted_flag(self):
+        norm = make_normalizer("minmax")
+        assert not norm.fitted
+        norm.fit(NumericColumn("x", [0.0, 1.0]))
+        assert norm.fitted

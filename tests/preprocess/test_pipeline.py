@@ -1,0 +1,97 @@
+"""Tests for repro.preprocess.pipeline."""
+
+import pytest
+
+from repro.errors import MissingColumnError, NormalizationError
+from repro.preprocess import NormalizationPlan, TablePreprocessor
+from repro.tabular import Table
+
+
+@pytest.fixture()
+def table():
+    return Table.from_dict(
+        {"a": [0.0, 10.0], "b": [5.0, 15.0], "c": ["x", "y"]}
+    )
+
+
+class TestNormalizationPlan:
+    def test_scheme_for_listed_and_unlisted(self):
+        plan = NormalizationPlan(columns=("a",), default_scheme="zscore")
+        assert plan.scheme_for("a") == "zscore"
+        assert plan.scheme_for("b") == "identity"
+
+    def test_overrides(self):
+        plan = NormalizationPlan(
+            columns=("a", "b"), default_scheme="minmax", overrides={"b": "zscore"}
+        )
+        assert plan.scheme_for("a") == "minmax"
+        assert plan.scheme_for("b") == "zscore"
+
+    def test_raw_plan_touches_nothing(self):
+        assert NormalizationPlan.raw().columns == ()
+
+    def test_minmax_all(self):
+        plan = NormalizationPlan.minmax_all(["a", "b"])
+        assert plan.scheme_for("a") == "minmax"
+
+
+class TestTablePreprocessor:
+    def test_fit_transform_minmax(self, table):
+        prep = TablePreprocessor(NormalizationPlan.minmax_all(["a"]))
+        out = prep.fit_transform(table)
+        assert out.column("a").values.tolist() == [0.0, 1.0]
+        assert out.column("b").values.tolist() == [5.0, 15.0]  # untouched
+
+    def test_same_fit_on_slice(self, table):
+        # the top-k table must be rescaled with the full-table fit
+        prep = TablePreprocessor(NormalizationPlan.minmax_all(["a"]))
+        prep.fit(table)
+        sliced = prep.transform(table.head(1))
+        assert sliced.column("a").values.tolist() == [0.0]
+
+    def test_transform_before_fit_rejected(self, table):
+        prep = TablePreprocessor(NormalizationPlan.minmax_all(["a"]))
+        with pytest.raises(NormalizationError, match="before fit"):
+            prep.transform(table)
+
+    def test_fit_missing_column_rejected(self, table):
+        prep = TablePreprocessor(NormalizationPlan.minmax_all(["zz"]))
+        with pytest.raises(MissingColumnError):
+            prep.fit(table)
+
+    def test_fit_categorical_rejected(self, table):
+        from repro.errors import ColumnTypeError
+
+        prep = TablePreprocessor(NormalizationPlan.minmax_all(["c"]))
+        with pytest.raises(ColumnTypeError):
+            prep.fit(table)
+
+    def test_transform_on_table_missing_fitted_column(self, table):
+        prep = TablePreprocessor(NormalizationPlan.minmax_all(["a"]))
+        prep.fit(table)
+        with pytest.raises(NormalizationError, match="missing from the table"):
+            prep.transform(table.drop(["a"]))
+
+    def test_fitted_params_exposed(self, table):
+        prep = TablePreprocessor(NormalizationPlan.minmax_all(["a", "b"]))
+        prep.fit(table)
+        params = prep.fitted_params()
+        assert params["a"] == {"min": 0.0, "max": 10.0}
+        assert prep.schemes() == {"a": "minmax", "b": "minmax"}
+
+    def test_raw_plan_is_identity(self, table):
+        prep = TablePreprocessor(NormalizationPlan.raw())
+        out = prep.fit_transform(table)
+        assert out == table
+
+    def test_mixed_schemes(self, table):
+        plan = NormalizationPlan(
+            columns=("a", "b"), default_scheme="minmax", overrides={"b": "zscore"}
+        )
+        out = TablePreprocessor(plan).fit_transform(table)
+        assert out.column("a").values.tolist() == [0.0, 1.0]
+        assert out.column("b").values.mean() == pytest.approx(0.0)
+
+    def test_original_table_unchanged(self, table):
+        TablePreprocessor(NormalizationPlan.minmax_all(["a"])).fit_transform(table)
+        assert table.column("a").values.tolist() == [0.0, 10.0]

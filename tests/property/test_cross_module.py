@@ -1,0 +1,164 @@
+"""Cross-module property tests: the pipeline on arbitrary inputs.
+
+Hypothesis drives randomized tables and rankings through the whole
+stack — build a label, render it, check the invariants that must hold
+for *any* input, not just the demo datasets.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    LinearScoringFunction,
+    RankingFactsBuilder,
+    rank_table,
+    render_json,
+    render_markdown,
+    render_text,
+)
+from repro.datasets import synthetic_scores_table
+from repro.fairness import ProtectedGroup, evaluate_fairness
+from repro.label import label_from_json
+from repro.ranking import kendall_tau_rankings, top_k_overlap
+
+
+# -- strategies ----------------------------------------------------------------
+
+table_params = st.fixed_dictionaries(
+    {
+        "n": st.integers(12, 120),
+        "num_attributes": st.integers(1, 4),
+        "group_proportion": st.floats(0.15, 0.85),
+        "group_advantage": st.floats(-2.0, 2.0),
+        "seed": st.integers(0, 2**31),
+    }
+)
+
+
+def build_facts(params, k=5):
+    table = synthetic_scores_table(**params)
+    weights = {
+        f"attr_{i + 1}": 1.0 / params["num_attributes"]
+        for i in range(params["num_attributes"])
+    }
+    return (
+        RankingFactsBuilder(table, dataset_name="property table")
+        .with_id_column("item")
+        .with_scoring(LinearScoringFunction(weights))
+        .with_sensitive_attribute("group")
+        .with_top_k(k)
+        .build()
+    )
+
+
+class TestLabelInvariants:
+    @given(table_params)
+    @settings(max_examples=25, deadline=None)
+    def test_label_builds_and_is_consistent(self, params):
+        facts = build_facts(params)
+        label = facts.label
+        assert label.num_items == params["n"]
+        # scores are sorted
+        scores = facts.ranking.scores
+        assert (np.diff(scores) <= 1e-12).all()
+        # every fairness p-value is a probability and verdicts match alpha
+        for result in label.fairness.results:
+            assert 0.0 <= result.p_value <= 1.0
+            if result.measure in ("Proportion", "Pairwise"):
+                assert result.fair == (result.p_value >= result.alpha)
+        # diversity proportions sum to 1 per slice
+        for report in label.diversity.reports:
+            assert sum(report.overall.proportions.values()) == pytest.approx(1.0)
+            assert sum(report.top_k.proportions.values()) == pytest.approx(1.0)
+        # representation gaps cancel out
+        for report in label.diversity.reports:
+            assert sum(report.representation_gap().values()) == pytest.approx(
+                0.0, abs=1e-9
+            )
+
+    @given(table_params)
+    @settings(max_examples=10, deadline=None)
+    def test_all_renderers_accept_any_label(self, params):
+        label = build_facts(params).label
+        text = render_text(label, detailed=True)
+        assert "RANKING FACTS" in text
+        markdown = render_markdown(label, detailed=True)
+        assert markdown.startswith("# Ranking Facts")
+        payload = render_json(label)
+        assert label_from_json(payload)["num_items"] == params["n"]
+        json.loads(payload)  # strict JSON
+
+    @given(table_params)
+    @settings(max_examples=15, deadline=None)
+    def test_fairness_group_counts_consistent(self, params):
+        facts = build_facts(params)
+        group = ProtectedGroup(facts.ranking, "group", "a")
+        # prefix counts are non-decreasing and bounded by position
+        counts = group.prefix_counts()
+        assert (np.diff(counts) >= 0).all()
+        assert all(count <= i + 1 for i, count in enumerate(counts))
+        assert counts[-1] == group.protected_count
+
+
+class TestRankingInvariants:
+    @given(table_params, st.floats(0.1, 5.0))
+    @settings(max_examples=20, deadline=None)
+    def test_positive_weight_scaling_is_order_invariant(self, params, factor):
+        table = synthetic_scores_table(**params)
+        weights = {
+            f"attr_{i + 1}": 1.0 for i in range(params["num_attributes"])
+        }
+        base = rank_table(table, LinearScoringFunction(weights), "item")
+        scaled = rank_table(
+            table,
+            LinearScoringFunction({a: w * factor for a, w in weights.items()}),
+            "item",
+        )
+        assert base.item_ids() == scaled.item_ids()
+        assert kendall_tau_rankings(base, scaled) == pytest.approx(1.0)
+
+    @given(table_params)
+    @settings(max_examples=20, deadline=None)
+    def test_top_k_is_prefix(self, params):
+        table = synthetic_scores_table(**params)
+        weights = {f"attr_{i + 1}": 1.0 for i in range(params["num_attributes"])}
+        ranking = rank_table(table, LinearScoringFunction(weights), "item")
+        k = max(1, params["n"] // 3)
+        top = ranking.top_k(k)
+        assert top.item_ids() == ranking.item_ids()[:k]
+        assert top_k_overlap(ranking, top, k) == 1.0
+
+    @given(table_params)
+    @settings(max_examples=15, deadline=None)
+    def test_negated_weights_reverse_strict_orders(self, params):
+        table = synthetic_scores_table(**params)
+        weights = {f"attr_{i + 1}": 1.0 for i in range(params["num_attributes"])}
+        forward = rank_table(table, LinearScoringFunction(weights), "item")
+        backward = rank_table(
+            table,
+            LinearScoringFunction({a: -w for a, w in weights.items()}),
+            "item",
+        )
+        # continuous attributes: ties have probability zero
+        assert forward.item_ids() == list(reversed(backward.item_ids()))
+
+
+class TestFairnessMonotonicity:
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_larger_advantage_never_reduces_unfair_verdicts(self, seed):
+        def unfair_count(advantage):
+            table = synthetic_scores_table(
+                60, num_attributes=2, group_advantage=advantage, seed=seed
+            )
+            weights = {"attr_1": 0.5, "attr_2": 0.5}
+            ranking = rank_table(table, LinearScoringFunction(weights), "item")
+            results = evaluate_fairness(ranking, "group", k=10)
+            return sum(1 for r in results if not r.fair)
+
+        assert unfair_count(4.0) >= unfair_count(0.0) - 1  # allow 1 flake

@@ -1,0 +1,132 @@
+"""Tests for repro.ranking.compare."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RankingError
+from repro.ranking import (
+    Ranking,
+    kendall_distance,
+    kendall_tau_rankings,
+    rank_displacement,
+    spearman_footrule,
+    top_k_jaccard,
+    top_k_overlap,
+)
+from repro.tabular import Table
+
+
+def ranking_of(names, scores=None):
+    if scores is None:
+        scores = list(range(len(names), 0, -1))
+    t = Table.from_dict({"name": list(names)})
+    return Ranking.from_scores(t, [float(s) for s in scores], id_column="name")
+
+
+def permuted_ranking(names):
+    """Ranking placing `names` in the given order."""
+    return ranking_of(names)
+
+
+@pytest.fixture()
+def abcde():
+    return permuted_ranking(["a", "b", "c", "d", "e"])
+
+
+class TestKendall:
+    def test_identical(self, abcde):
+        assert kendall_tau_rankings(abcde, abcde) == pytest.approx(1.0)
+        assert kendall_distance(abcde, abcde) == 0.0
+
+    def test_reversed(self, abcde):
+        rev = permuted_ranking(["e", "d", "c", "b", "a"])
+        assert kendall_tau_rankings(abcde, rev) == pytest.approx(-1.0)
+        assert kendall_distance(abcde, rev) == 1.0
+
+    def test_one_swap(self, abcde):
+        swapped = permuted_ranking(["b", "a", "c", "d", "e"])
+        assert kendall_distance(abcde, swapped, normalized=False) == 1.0
+        assert kendall_distance(abcde, swapped) == pytest.approx(0.1)
+
+    def test_common_items_only(self):
+        a = permuted_ranking(["a", "b", "c", "x"])
+        b = permuted_ranking(["a", "b", "c", "y"])
+        assert kendall_tau_rankings(a, b) == pytest.approx(1.0)
+
+    def test_too_few_common_items(self):
+        a = permuted_ranking(["a", "x"])
+        b = permuted_ranking(["a", "y"])
+        with pytest.raises(RankingError, match="common items"):
+            kendall_tau_rankings(a, b)
+
+    def test_duplicate_ids_rejected(self):
+        a = ranking_of(["a", "a"])
+        with pytest.raises(RankingError, match="unique"):
+            kendall_tau_rankings(a, a)
+
+
+class TestFootruleAndDisplacement:
+    def test_identical(self, abcde):
+        assert spearman_footrule(abcde, abcde) == 0.0
+        assert rank_displacement(abcde, abcde) == 0
+
+    def test_reversed_is_max(self, abcde):
+        rev = permuted_ranking(["e", "d", "c", "b", "a"])
+        assert spearman_footrule(abcde, rev) == pytest.approx(1.0)
+        assert rank_displacement(abcde, rev) == 4
+
+    def test_unnormalized(self, abcde):
+        swapped = permuted_ranking(["b", "a", "c", "d", "e"])
+        assert spearman_footrule(abcde, swapped, normalized=False) == 2.0
+
+    @given(st.permutations(list("abcdef")))
+    @settings(max_examples=40)
+    def test_normalized_in_unit_interval(self, perm):
+        base = permuted_ranking(list("abcdef"))
+        other = permuted_ranking(list(perm))
+        value = spearman_footrule(base, other)
+        assert 0.0 <= value <= 1.0
+
+
+class TestTopKOverlap:
+    def test_full_overlap(self, abcde):
+        assert top_k_overlap(abcde, abcde, 3) == 1.0
+        assert top_k_jaccard(abcde, abcde, 3) == 1.0
+
+    def test_partial_overlap(self, abcde):
+        other = permuted_ranking(["a", "x", "y", "b", "c"])
+        assert top_k_overlap(abcde, other, 3) == pytest.approx(1 / 3)
+        assert top_k_jaccard(abcde, other, 3) == pytest.approx(1 / 5)
+
+    def test_disjoint(self, abcde):
+        other = permuted_ranking(["x", "y", "z"])
+        assert top_k_overlap(abcde, other, 3) == 0.0
+
+    def test_invalid_k(self, abcde):
+        with pytest.raises(RankingError):
+            top_k_overlap(abcde, abcde, 0)
+        with pytest.raises(RankingError):
+            top_k_jaccard(abcde, abcde, -1)
+
+    @given(st.permutations(list("abcdefgh")), st.integers(1, 8))
+    @settings(max_examples=40)
+    def test_overlap_bounds(self, perm, k):
+        base = permuted_ranking(list("abcdefgh"))
+        other = permuted_ranking(list(perm))
+        overlap = top_k_overlap(base, other, k)
+        jaccard = top_k_jaccard(base, other, k)
+        assert 0.0 <= jaccard <= overlap <= 1.0
+
+
+class TestMetricConsistency:
+    @given(st.permutations(list("abcdefg")))
+    @settings(max_examples=40)
+    def test_tau_and_distance_relation(self, perm):
+        # tau = 1 - 4*D/(n(n-1)) for permutations without ties
+        base = permuted_ranking(list("abcdefg"))
+        other = permuted_ranking(list(perm))
+        tau = kendall_tau_rankings(base, other)
+        distance = kendall_distance(base, other, normalized=False)
+        n = 7
+        assert tau == pytest.approx(1 - 4 * distance / (n * (n - 1)), abs=1e-9)

@@ -1,0 +1,149 @@
+"""Tests for repro.ranking.ranker."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RankingError
+from repro.ranking import LinearScoringFunction, Ranking, rank_table
+from repro.tabular import Table
+
+
+class TestFromScores:
+    def test_orders_descending(self, small_table):
+        r = Ranking.from_scores(small_table, [1, 3, 2, 6, 5, 4], id_column="name")
+        assert r.item_ids() == ["d", "e", "f", "b", "c", "a"]
+        assert r.scores.tolist() == [6, 5, 4, 3, 2, 1]
+
+    def test_stable_tie_break_by_row_order(self):
+        t = Table.from_dict({"name": ["p", "q", "r"]})
+        r = Ranking.from_scores(t, [1.0, 1.0, 2.0], id_column="name")
+        assert r.item_ids() == ["r", "p", "q"]
+
+    def test_nan_scores_sort_last(self):
+        t = Table.from_dict({"name": ["p", "q", "r"]})
+        r = Ranking.from_scores(t, [float("nan"), 2.0, 1.0], id_column="name")
+        assert r.item_ids() == ["q", "r", "p"]
+        assert np.isnan(r.scores[-1])
+
+    def test_shape_mismatch_rejected(self, small_table):
+        with pytest.raises(RankingError):
+            Ranking.from_scores(small_table, [1.0])
+
+    def test_empty_table_rejected(self):
+        from repro.errors import EmptyTableError
+
+        with pytest.raises(EmptyTableError):
+            Ranking.from_scores(Table.from_dict({"a": []}), [])
+
+
+class TestConstructorValidation:
+    def test_increasing_scores_rejected(self, small_table):
+        with pytest.raises(RankingError, match="non-increasing"):
+            Ranking(small_table, np.asarray([1.0, 2.0, 3.0, 4.0, 5.0, 6.0]))
+
+    def test_nan_in_middle_rejected(self, small_table):
+        scores = np.asarray([6.0, 5.0, float("nan"), 3.0, 2.0, 1.0])
+        with pytest.raises(RankingError, match="suffix"):
+            Ranking(small_table, scores)
+
+    def test_unknown_id_column_rejected(self, small_table):
+        with pytest.raises(RankingError, match="id column"):
+            Ranking(small_table, np.asarray([6.0, 5.0, 4.0, 3.0, 2.0, 1.0]),
+                    id_column="zz")
+
+    def test_presorted_skips_monotonicity(self, small_table):
+        r = Ranking.presorted(
+            small_table, [1.0, 9.0, 2.0, 8.0, 3.0, 7.0], id_column="name"
+        )
+        assert r.scores.tolist() == [1.0, 9.0, 2.0, 8.0, 3.0, 7.0]
+
+
+class TestAccessors:
+    def test_item(self, small_ranking):
+        item = small_ranking.item(1)
+        assert item.rank == 1
+        assert item.item_id == "a"
+        assert item.score == 6.0
+        assert item.attributes["group"] == "g1"
+
+    def test_item_out_of_range(self, small_ranking):
+        with pytest.raises(RankingError):
+            small_ranking.item(0)
+        with pytest.raises(RankingError):
+            small_ranking.item(7)
+
+    def test_iteration_covers_all_ranks(self, small_ranking):
+        ranks = [item.rank for item in small_ranking]
+        assert ranks == [1, 2, 3, 4, 5, 6]
+
+    def test_item_ids_without_id_column(self, small_table):
+        r = Ranking.from_scores(small_table, [6, 5, 4, 3, 2, 1])
+        assert r.item_ids() == [1, 2, 3, 4, 5, 6]
+
+    def test_rank_of(self, small_ranking):
+        assert small_ranking.rank_of("c") == 3
+
+    def test_rank_of_missing(self, small_ranking):
+        with pytest.raises(RankingError, match="not in this ranking"):
+            small_ranking.rank_of("zz")
+
+    def test_rank_of_duplicate(self):
+        t = Table.from_dict({"name": ["x", "x"]})
+        r = Ranking.from_scores(t, [2.0, 1.0], id_column="name")
+        with pytest.raises(RankingError, match="appears"):
+            r.rank_of("x")
+
+    def test_to_records(self, small_ranking):
+        records = small_ranking.to_records()
+        assert records[0]["rank"] == 1
+        assert records[0]["item_id"] == "a"
+        assert records[0]["x"] == 6.0
+
+    def test_scores_read_only(self, small_ranking):
+        with pytest.raises(ValueError):
+            small_ranking.scores[0] = 0.0
+
+
+class TestTopK:
+    def test_top_k_slices(self, small_ranking):
+        top = small_ranking.top_k(2)
+        assert top.size == 2
+        assert top.item_ids() == ["a", "b"]
+
+    def test_top_k_clamps(self, small_ranking):
+        assert small_ranking.top_k(100).size == 6
+
+    def test_top_k_invalid(self, small_ranking):
+        with pytest.raises(RankingError):
+            small_ranking.top_k(0)
+
+
+class TestGroupViews:
+    def test_group_mask(self, small_ranking):
+        assert small_ranking.group_mask("group", "g1").tolist() == [
+            True, True, True, False, False, False,
+        ]
+
+    def test_group_count_at_k(self, small_ranking):
+        assert small_ranking.group_count_at_k("group", "g2", 4) == 1
+        assert small_ranking.group_count_at_k("group", "g2", 100) == 3
+
+    def test_group_share_overall(self, small_ranking):
+        assert small_ranking.group_share_overall("group", "g1") == 0.5
+
+    def test_group_count_invalid_k(self, small_ranking):
+        with pytest.raises(RankingError):
+            small_ranking.group_count_at_k("group", "g1", 0)
+
+
+class TestRankTable:
+    def test_rank_table_end_to_end(self, small_table):
+        r = rank_table(small_table, LinearScoringFunction({"y": 1.0}), "name")
+        assert r.item_ids() == ["f", "e", "d", "c", "b", "a"]
+
+    def test_negative_weight_reverses(self, small_table):
+        r = rank_table(small_table, LinearScoringFunction({"y": -1.0}), "name")
+        assert r.item_ids() == ["a", "b", "c", "d", "e", "f"]
+
+    def test_repr(self, small_ranking):
+        assert "6 items" in repr(small_ranking)

@@ -1,0 +1,81 @@
+"""Tests for rank_biased_overlap."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RankingError
+from repro.ranking import rank_biased_overlap
+from tests.ranking.test_compare import permuted_ranking
+
+
+class TestRankBiasedOverlap:
+    def test_identical_rankings_score_one(self):
+        r = permuted_ranking(list("abcdefgh"))
+        assert rank_biased_overlap(r, r) == pytest.approx(1.0)
+
+    def test_disjoint_rankings_score_zero(self):
+        a = permuted_ranking(["a", "b", "c"])
+        b = permuted_ranking(["x", "y", "z"])
+        assert rank_biased_overlap(a, b) == pytest.approx(0.0)
+
+    def test_top_weightedness(self):
+        base = permuted_ranking(list("abcdefgh"))
+        # swap at the top hurts more than a swap at the bottom
+        top_swap = permuted_ranking(list("bacdefgh"))
+        bottom_swap = permuted_ranking(list("abcdefhg"))
+        assert rank_biased_overlap(base, top_swap) < rank_biased_overlap(
+            base, bottom_swap
+        )
+
+    def test_p_controls_weighting(self):
+        base = permuted_ranking(list("abcdefgh"))
+        other = permuted_ranking(list("bacdefgh"))  # top disturbed only
+        shallow = rank_biased_overlap(base, other, p=0.5)  # very top-heavy
+        deep = rank_biased_overlap(base, other, p=0.99)    # nearly uniform
+        assert shallow < deep
+
+    def test_known_value_two_items_swapped(self):
+        # rankings [a,b] vs [b,a]: overlap 0 at depth 1, 2/2 at depth 2
+        a = permuted_ranking(["a", "b"])
+        b = permuted_ranking(["b", "a"])
+        p = 0.9
+        expected = (1 - p) * (0 * 1 + 1.0 * p) + 1.0 * p**2
+        assert rank_biased_overlap(a, b, p=p) == pytest.approx(expected)
+
+    def test_different_lengths_use_shorter_depth(self):
+        a = permuted_ranking(list("abcdef"))
+        b = permuted_ranking(list("abc"))
+        assert rank_biased_overlap(a, b) == pytest.approx(1.0)
+
+    def test_validation(self):
+        r = permuted_ranking(["a", "b"])
+        with pytest.raises(RankingError):
+            rank_biased_overlap(r, r, p=0.0)
+        with pytest.raises(RankingError):
+            rank_biased_overlap(r, r, p=1.0)
+
+    def test_duplicate_ids_rejected(self):
+        from tests.ranking.test_compare import ranking_of
+
+        dup = ranking_of(["a", "a"])
+        with pytest.raises(RankingError, match="unique"):
+            rank_biased_overlap(dup, dup)
+
+    @given(st.permutations(list("abcdefg")), st.floats(0.1, 0.95))
+    @settings(max_examples=50)
+    def test_bounds_and_symmetry(self, perm, p):
+        base = permuted_ranking(list("abcdefg"))
+        other = permuted_ranking(list(perm))
+        value = rank_biased_overlap(base, other, p=p)
+        assert 0.0 <= value <= 1.0 + 1e-12
+        assert rank_biased_overlap(other, base, p=p) == pytest.approx(value)
+
+    @given(st.permutations(list("abcdefg")))
+    @settings(max_examples=30)
+    def test_identity_is_maximal(self, perm):
+        base = permuted_ranking(list("abcdefg"))
+        other = permuted_ranking(list(perm))
+        assert rank_biased_overlap(base, other) <= rank_biased_overlap(
+            base, base
+        ) + 1e-12

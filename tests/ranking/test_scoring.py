@@ -1,0 +1,124 @@
+"""Tests for repro.ranking.scoring."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MissingColumnError, ScoringError, WeightError
+from repro.ranking import LinearScoringFunction
+from repro.tabular import Table
+
+
+class TestConstruction:
+    def test_weights_copied_and_exposed(self):
+        f = LinearScoringFunction({"a": 1.0, "b": 2})
+        weights = f.weights
+        weights["a"] = 99.0
+        assert f.weights["a"] == 1.0
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(WeightError, match="at least one"):
+            LinearScoringFunction({})
+
+    def test_non_finite_weight_rejected(self):
+        with pytest.raises(WeightError, match="finite"):
+            LinearScoringFunction({"a": float("inf")})
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(WeightError, match="all weights are zero"):
+            LinearScoringFunction({"a": 0.0, "b": 0.0})
+
+    def test_negative_weights_allowed(self):
+        f = LinearScoringFunction({"risk": -1.0})
+        assert f.weights == {"risk": -1.0}
+
+    def test_bad_attribute_name_rejected(self):
+        with pytest.raises(WeightError):
+            LinearScoringFunction({"": 1.0})
+
+    def test_bad_missing_policy_rejected(self):
+        with pytest.raises(ScoringError, match="missing_policy"):
+            LinearScoringFunction({"a": 1.0}, missing_policy="drop")
+
+    def test_normalized_weights_sum_to_one(self):
+        f = LinearScoringFunction({"a": 3.0, "b": -1.0})
+        normalized = f.normalized_weights()
+        assert sum(abs(w) for w in normalized.values()) == pytest.approx(1.0)
+        assert normalized["a"] == pytest.approx(0.75)
+        assert normalized["b"] == pytest.approx(-0.25)
+
+    def test_describe_contents(self):
+        d = LinearScoringFunction({"a": 1.0}).describe()
+        assert d["attributes"] == ["a"]
+        assert d["missing_policy"] == "zero"
+
+
+class TestScoring:
+    def test_weighted_sum(self):
+        t = Table.from_dict({"a": [1.0, 2.0], "b": [10.0, 20.0]})
+        f = LinearScoringFunction({"a": 2.0, "b": 0.1})
+        assert f.score_table(t).tolist() == [3.0, 6.0]
+
+    def test_missing_policy_zero(self):
+        t = Table.from_dict({"a": [1.0, float("nan")]})
+        f = LinearScoringFunction({"a": 1.0}, missing_policy="zero")
+        assert f.score_table(t).tolist() == [1.0, 0.0]
+
+    def test_missing_policy_propagate(self):
+        t = Table.from_dict({"a": [1.0, float("nan")], "b": [1.0, 1.0]})
+        f = LinearScoringFunction({"a": 1.0, "b": 1.0}, missing_policy="propagate")
+        scores = f.score_table(t)
+        assert scores[0] == 2.0
+        assert np.isnan(scores[1])
+
+    def test_unknown_attribute_raises(self):
+        t = Table.from_dict({"a": [1.0]})
+        with pytest.raises(MissingColumnError):
+            LinearScoringFunction({"zz": 1.0}).score_table(t)
+
+    def test_categorical_attribute_raises(self):
+        from repro.errors import ColumnTypeError
+
+        t = Table.from_dict({"c": ["x", "y"]})
+        with pytest.raises(ColumnTypeError):
+            LinearScoringFunction({"c": 1.0}).score_table(t)
+
+    def test_empty_table_rejected(self):
+        from repro.errors import EmptyTableError
+
+        t = Table.from_dict({"a": []})
+        with pytest.raises(EmptyTableError):
+            LinearScoringFunction({"a": 1.0}).score_table(t)
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=1, max_size=20),
+        st.floats(0.1, 10.0),
+    )
+    @settings(max_examples=50)
+    def test_positive_scaling_preserves_order(self, values, factor):
+        t = Table.from_dict({"a": values})
+        base = LinearScoringFunction({"a": 1.0}).score_table(t)
+        scaled = LinearScoringFunction({"a": factor}).score_table(t)
+        assert np.argsort(base).tolist() == np.argsort(scaled).tolist()
+
+
+class TestDerivation:
+    def test_with_weights(self):
+        f = LinearScoringFunction({"a": 1.0}, missing_policy="propagate")
+        g = f.with_weights({"b": 2.0})
+        assert g.weights == {"b": 2.0}
+        assert g.missing_policy == "propagate"
+
+    def test_perturbed_adds_deltas(self):
+        f = LinearScoringFunction({"a": 1.0, "b": 2.0})
+        g = f.perturbed({"a": 0.5})
+        assert g.weights == {"a": 1.5, "b": 2.0}
+
+    def test_perturbed_unknown_attribute_rejected(self):
+        f = LinearScoringFunction({"a": 1.0})
+        with pytest.raises(WeightError, match="unknown attribute"):
+            f.perturbed({"zz": 0.1})
+
+    def test_repr_shows_formula(self):
+        assert "2*a" in repr(LinearScoringFunction({"a": 2.0}))

@@ -1,0 +1,97 @@
+"""Tests for repro.stability.slope."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StabilityError
+from repro.ranking import Ranking
+from repro.stability import SlopeStability, slope_stability
+from repro.tabular import Table
+
+
+def ranking_with_scores(scores):
+    t = Table.from_dict({"name": [f"i{j}" for j in range(len(scores))]})
+    return Ranking.from_scores(t, scores, id_column="name")
+
+
+class TestSlopeStability:
+    def test_well_separated_scores_are_stable(self):
+        # scores spread the full range evenly: rescaled slope magnitude 1
+        r = ranking_with_scores(np.linspace(10, 0, 20))
+        report = slope_stability(r, k=10)
+        assert report.stable
+        assert report.slope_overall == pytest.approx(1.0)
+
+    def test_flat_top_is_unstable_at_top_k(self):
+        # top-10 nearly tied, the rest falls away
+        scores = np.concatenate([np.linspace(10, 9.99, 10), np.linspace(8, 0, 20)])
+        report = slope_stability(r := ranking_with_scores(scores), k=10)
+        assert not report.stable_top_k
+        assert report.stable_overall
+        assert not report.stable  # one unstable segment taints the verdict
+
+    def test_stability_score_is_min_of_segments(self):
+        scores = np.concatenate([np.linspace(10, 9.99, 10), np.linspace(8, 0, 20)])
+        report = slope_stability(ranking_with_scores(scores), k=10)
+        assert report.stability_score == min(
+            report.slope_top_k, report.slope_overall
+        )
+
+    def test_threshold_boundary_is_unstable_at_or_below(self):
+        r = ranking_with_scores(np.linspace(10, 0, 20))
+        exactly = slope_stability(r, k=10, threshold=1.0)
+        assert not exactly.stable_overall  # slope == threshold -> unstable
+        below = slope_stability(r, k=10, threshold=0.99)
+        assert below.stable_overall
+
+    def test_raw_fit_mode(self):
+        r = ranking_with_scores([30.0, 20.0, 10.0])
+        report = slope_stability(r, k=3, rescale=False)
+        assert report.slope_overall == pytest.approx(10.0)
+        assert report.fit_overall.intercept == pytest.approx(40.0)
+
+    def test_k_clamped_to_size(self):
+        r = ranking_with_scores([3.0, 2.0, 1.0])
+        report = slope_stability(r, k=10)
+        assert report.k == 3
+
+    def test_constant_scores_unstable(self):
+        r = ranking_with_scores([5.0, 5.0, 5.0, 5.0])
+        report = slope_stability(r)
+        assert not report.stable
+        assert report.slope_overall == 0.0
+
+    def test_nan_scores_rejected(self):
+        r = ranking_with_scores([2.0, 1.0, float("nan")])
+        with pytest.raises(StabilityError, match="NaN"):
+            slope_stability(r)
+
+    def test_too_small_ranking_rejected(self):
+        r = ranking_with_scores([1.0])
+        with pytest.raises(StabilityError, match="at least 2"):
+            slope_stability(r)
+
+    def test_constructor_validation(self):
+        with pytest.raises(StabilityError):
+            SlopeStability(k=1)
+        with pytest.raises(StabilityError):
+            SlopeStability(threshold=0.0)
+
+    def test_verdict_string(self):
+        r = ranking_with_scores(np.linspace(10, 0, 20))
+        assert slope_stability(r).verdict == "stable"
+
+    def test_as_dict_shape(self):
+        d = slope_stability(ranking_with_scores([3.0, 2.0, 1.0])).as_dict()
+        assert {"k", "threshold", "rescaled", "stability_score", "stable",
+                "top_k", "overall"} == set(d)
+        assert "fit" in d["top_k"]
+
+    def test_rescaled_slope_scale_invariant(self):
+        base = np.linspace(100, 0, 30)
+        a = slope_stability(ranking_with_scores(base))
+        b = slope_stability(ranking_with_scores(base / 100.0))
+        assert a.slope_overall == pytest.approx(b.slope_overall)
+
+    def test_figure1_ranking_is_stable(self, cs_ranking):
+        assert slope_stability(cs_ranking).stable

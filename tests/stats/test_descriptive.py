@@ -1,0 +1,98 @@
+"""Tests for repro.stats.descriptive."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    five_number_summary,
+    mean,
+    median,
+    quantile,
+    stddev,
+    trimmed_mean,
+)
+
+finite_lists = st.lists(
+    st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=50
+)
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_median_odd_even(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_stddev_population_default(self):
+        assert stddev([1.0, 3.0]) == pytest.approx(1.0)
+
+    def test_stddev_sample(self):
+        assert stddev([1.0, 3.0], ddof=1) == pytest.approx(2.0**0.5)
+
+    def test_stddev_needs_enough_values(self):
+        with pytest.raises(ValueError):
+            stddev([1.0], ddof=1)
+
+    def test_quantile_bounds(self):
+        values = [1.0, 2.0, 3.0]
+        assert quantile(values, 0.0) == 1.0
+        assert quantile(values, 1.0) == 3.0
+        with pytest.raises(ValueError):
+            quantile(values, 1.5)
+
+    def test_empty_rejected(self):
+        for fn in (mean, median):
+            with pytest.raises(ValueError, match="empty"):
+                fn([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            mean([1.0, float("nan")])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            mean(np.zeros((2, 2)))
+
+
+class TestTrimmedMean:
+    def test_no_trim_is_mean(self):
+        values = [1.0, 2.0, 3.0, 100.0]
+        assert trimmed_mean(values, 0.0) == mean(values)
+
+    def test_trim_removes_outliers(self):
+        values = [1.0] * 8 + [1000.0, -1000.0]
+        assert trimmed_mean(values, 0.1) == pytest.approx(1.0)
+
+    def test_bad_proportion(self):
+        with pytest.raises(ValueError):
+            trimmed_mean([1.0], 0.5)
+        with pytest.raises(ValueError):
+            trimmed_mean([1.0], -0.1)
+
+    def test_overtrim_falls_back_to_full_mean(self):
+        assert trimmed_mean([1.0, 2.0], 0.49) == pytest.approx(1.5)
+
+
+class TestFiveNumberSummary:
+    def test_keys_and_order(self):
+        s = five_number_summary([4.0, 1.0, 3.0, 2.0])
+        assert s["min"] == 1.0
+        assert s["max"] == 4.0
+        assert s["min"] <= s["q1"] <= s["median"] <= s["q3"] <= s["max"]
+
+    @given(finite_lists)
+    @settings(max_examples=50)
+    def test_invariants(self, values):
+        s = five_number_summary(values)
+        assert s["min"] <= s["q1"] <= s["median"] <= s["q3"] <= s["max"]
+        assert s["min"] == min(values)
+        assert s["max"] == max(values)
+
+    @given(finite_lists)
+    @settings(max_examples=50)
+    def test_mean_within_range(self, values):
+        assert min(values) - 1e-9 <= mean(values) <= max(values) + 1e-9

@@ -1,0 +1,84 @@
+"""Tests for repro.stats.regression."""
+
+import numpy as np
+import pytest
+import scipy.stats as sps
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import fit_line, fit_line_xy
+
+
+class TestFitLineXY:
+    def test_perfect_line(self):
+        fit = fit_line_xy([1, 2, 3], [2, 4, 6])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.n == 3
+
+    def test_matches_scipy_linregress(self, rng):
+        x = rng.normal(size=40)
+        y = 3.0 * x + rng.normal(size=40)
+        ours = fit_line_xy(x, y)
+        theirs = sps.linregress(x, y)
+        assert ours.slope == pytest.approx(theirs.slope, rel=1e-10)
+        assert ours.intercept == pytest.approx(theirs.intercept, rel=1e-10)
+        assert ours.r_squared == pytest.approx(theirs.rvalue**2, rel=1e-8)
+
+    def test_constant_target(self):
+        fit = fit_line_xy([1, 2, 3], [5, 5, 5])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == 1.0
+
+    def test_constant_x_rejected(self):
+        with pytest.raises(ValueError, match="constant"):
+            fit_line_xy([2, 2, 2], [1, 2, 3])
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            fit_line_xy([1], [1])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            fit_line_xy([1, 2], [float("nan"), 1])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_line_xy([1, 2], [1, 2, 3])
+
+    def test_predict(self):
+        fit = fit_line_xy([0, 1], [1, 3])
+        assert fit.predict(2.0) == pytest.approx(5.0)
+
+    def test_residuals_sum_to_zero(self, rng):
+        x = rng.normal(size=25)
+        y = rng.normal(size=25)
+        fit = fit_line_xy(x, y)
+        assert float(fit.residuals(x, y).sum()) == pytest.approx(0.0, abs=1e-9)
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=3, max_size=30),
+        st.floats(-5, 5),
+        st.floats(-5, 5),
+    )
+    @settings(max_examples=50)
+    def test_recovers_exact_linear_relation(self, xs, slope, intercept):
+        xs = np.asarray(xs)
+        if np.ptp(xs) < 1e-6:
+            return
+        ys = slope * xs + intercept
+        fit = fit_line_xy(xs, ys)
+        assert fit.slope == pytest.approx(slope, abs=1e-6)
+        assert fit.intercept == pytest.approx(intercept, abs=1e-4)
+
+
+class TestFitLine:
+    def test_rank_indexed(self):
+        fit = fit_line([10.0, 9.0, 8.0])
+        assert fit.slope == pytest.approx(-1.0)
+        assert fit.predict(1) == pytest.approx(10.0)
+
+    def test_as_dict(self):
+        d = fit_line([3.0, 2.0, 1.0]).as_dict()
+        assert set(d) == {"slope", "intercept", "r_squared", "n"}

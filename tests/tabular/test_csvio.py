@@ -1,0 +1,113 @@
+"""Unit tests for repro.tabular.csvio."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CSVFormatError
+from repro.tabular import Table, read_csv, read_csv_text, write_csv
+from repro.tabular.csvio import write_csv_text
+
+
+class TestReadCsvText:
+    def test_basic_parse_and_inference(self):
+        t = read_csv_text("name,score\nalice,1.5\nbob,2\n")
+        assert t.num_rows == 2
+        assert t.column("name").kind == "categorical"
+        assert t.column("score").kind == "numeric"
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(CSVFormatError, match="empty CSV"):
+            read_csv_text("")
+
+    def test_blank_header_rejected(self):
+        with pytest.raises(CSVFormatError, match="blank column name"):
+            read_csv_text("a,,c\n1,2,3\n")
+
+    def test_duplicate_header_rejected(self):
+        with pytest.raises(CSVFormatError, match="duplicate"):
+            read_csv_text("a,a\n1,2\n")
+
+    def test_ragged_row_reports_line_number(self):
+        with pytest.raises(CSVFormatError, match="line 3"):
+            read_csv_text("a,b\n1,2\n1\n")
+
+    def test_blank_lines_skipped(self):
+        t = read_csv_text("a\n1\n\n2\n")
+        assert t.num_rows == 2
+
+    def test_cells_are_stripped(self):
+        t = read_csv_text("a,b\n 1 , x \n")
+        assert t.column("a").values.tolist() == [1.0]
+        assert list(t.column("b").values) == ["x"]
+
+    def test_missing_tokens_numeric(self):
+        t = read_csv_text("a\n1\nNA\n")
+        assert t.column("a").num_missing() == 1
+
+    def test_header_only_gives_zero_rows(self):
+        t = read_csv_text("a,b\n")
+        assert t.num_rows == 0
+        assert t.column_names == ("a", "b")
+
+    def test_custom_delimiter(self):
+        t = read_csv_text("a;b\n1;2\n", delimiter=";")
+        assert t.column("b").values.tolist() == [2.0]
+
+    def test_quoted_commas(self):
+        t = read_csv_text('name,v\n"Smith, J",1\n')
+        assert list(t.column("name").values) == ["Smith, J"]
+
+
+class TestTypeOverrides:
+    def test_force_categorical_on_numbers(self):
+        t = read_csv_text("zip\n01234\n99999\n", type_overrides={"zip": "categorical"})
+        assert t.column("zip").kind == "categorical"
+        assert list(t.column("zip").values) == ["01234", "99999"]
+
+    def test_force_numeric_on_numbers_is_fine(self):
+        t = read_csv_text("a\n1\n2\n", type_overrides={"a": "numeric"})
+        assert t.column("a").kind == "numeric"
+
+    def test_force_numeric_on_text_rejected(self):
+        with pytest.raises(CSVFormatError, match="forced numeric"):
+            read_csv_text("a\nhello\n", type_overrides={"a": "numeric"})
+
+    def test_unknown_override_column_rejected(self):
+        with pytest.raises(CSVFormatError, match="unknown column"):
+            read_csv_text("a\n1\n", type_overrides={"b": "numeric"})
+
+    def test_unknown_override_kind_rejected(self):
+        with pytest.raises(CSVFormatError, match="unknown type override"):
+            read_csv_text("a\n1\n", type_overrides={"a": "float"})
+
+
+class TestWriteCsv:
+    def test_round_trip(self, small_table):
+        text = write_csv_text(small_table)
+        rebuilt = read_csv_text(text)
+        assert rebuilt == small_table
+
+    def test_missing_round_trips(self):
+        t = Table.from_dict({"a": [1.0, float("nan")]})
+        rebuilt = read_csv_text(write_csv_text(t))
+        assert rebuilt.num_rows == 2
+        assert rebuilt.column("a").num_missing() == 1
+
+    def test_integral_floats_written_as_ints(self):
+        t = Table.from_dict({"a": [3.0]})
+        assert "3" in write_csv_text(t).splitlines()[1]
+        assert "3.0" not in write_csv_text(t).splitlines()[1]
+
+    def test_file_round_trip(self, tmp_path, small_table):
+        path = tmp_path / "data.csv"
+        write_csv(small_table, path)
+        assert read_csv(path) == small_table
+
+    def test_read_csv_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_csv(tmp_path / "absent.csv")
+
+    def test_non_integral_floats_preserved_exactly(self):
+        t = Table.from_dict({"a": [0.1, 1e-9]})
+        rebuilt = read_csv_text(write_csv_text(t))
+        assert np.allclose(rebuilt.column("a").values, [0.1, 1e-9])

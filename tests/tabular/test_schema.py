@@ -1,0 +1,104 @@
+"""Unit tests for repro.tabular.schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.tabular import ColumnSpec, Schema, Table
+
+
+@pytest.fixture()
+def schema():
+    return Schema.of(
+        ColumnSpec("name", "categorical"),
+        ColumnSpec("score", "numeric", minimum=0.0, maximum=10.0),
+        ColumnSpec("region", "categorical", allowed_categories=("N", "S")),
+        ColumnSpec("bonus", "numeric", required=False),
+    )
+
+
+@pytest.fixture()
+def good_table():
+    return Table.from_dict(
+        {"name": ["a", "b"], "score": [1.0, 9.5], "region": ["N", "S"]}
+    )
+
+
+class TestColumnSpec:
+    def test_bad_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnSpec("x", "integer")
+
+    def test_categories_on_numeric_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnSpec("x", "numeric", allowed_categories=("a",))
+
+    def test_bounds_on_categorical_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnSpec("x", "categorical", minimum=0.0)
+
+    def test_validate_reports_missing_required(self, good_table):
+        spec = ColumnSpec("absent", "numeric")
+        assert "missing required column" in spec.validate(good_table)[0]
+
+    def test_optional_column_may_be_absent(self, good_table):
+        assert ColumnSpec("absent", "numeric", required=False).validate(good_table) == []
+
+    def test_kind_mismatch(self, good_table):
+        spec = ColumnSpec("name", "numeric")
+        assert "requires numeric" in spec.validate(good_table)[0]
+
+    def test_unexpected_categories(self, good_table):
+        spec = ColumnSpec("region", "categorical", allowed_categories=("N",))
+        assert "unexpected categories" in spec.validate(good_table)[0]
+
+    def test_numeric_bounds(self):
+        t = Table.from_dict({"score": [-1.0, 11.0]})
+        spec = ColumnSpec("score", "numeric", minimum=0.0, maximum=10.0)
+        problems = spec.validate(t)
+        assert len(problems) == 2
+
+
+class TestSchema:
+    def test_duplicate_specs_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(ColumnSpec("x", "numeric"), ColumnSpec("x", "numeric"))
+
+    def test_conforming_table_validates(self, schema, good_table):
+        assert schema.validate(good_table) is good_table
+        assert schema.conforms(good_table)
+
+    def test_validate_raises_with_joined_messages(self, schema):
+        bad = Table.from_dict({"name": ["a"], "score": [99.0], "region": ["X"]})
+        with pytest.raises(SchemaError) as excinfo:
+            schema.validate(bad)
+        message = str(excinfo.value)
+        assert "above maximum" in message and "unexpected categories" in message
+
+    def test_problems_lists_all(self, schema):
+        empty = Table.empty()
+        assert len(schema.problems(empty)) == 3  # three required columns absent
+
+    def test_spec_lookup(self, schema):
+        assert schema.spec("score").maximum == 10.0
+        with pytest.raises(SchemaError):
+            schema.spec("nope")
+
+    def test_column_names_order(self, schema):
+        assert schema.column_names() == ("name", "score", "region", "bonus")
+
+
+class TestBuiltinSchemas:
+    def test_cs_departments_schema_validates_generator(self, cs_table):
+        from repro.datasets import CS_DEPARTMENTS_SCHEMA
+
+        assert CS_DEPARTMENTS_SCHEMA.conforms(cs_table)
+
+    def test_compas_schema_validates_generator(self):
+        from repro.datasets import COMPAS_SCHEMA, compas
+
+        assert COMPAS_SCHEMA.conforms(compas(n=300))
+
+    def test_german_schema_validates_generator(self):
+        from repro.datasets import GERMAN_CREDIT_SCHEMA, german_credit
+
+        assert GERMAN_CREDIT_SCHEMA.conforms(german_credit(n=300))

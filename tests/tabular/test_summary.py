@@ -1,0 +1,85 @@
+"""Unit tests for repro.tabular.summary."""
+
+import math
+
+import pytest
+
+from repro.errors import ColumnTypeError, EmptyTableError
+from repro.tabular import NumericColumn, Table, describe, histogram
+from repro.tabular.summary import describe_table
+
+
+class TestDescribe:
+    def test_basic_statistics(self):
+        s = describe(NumericColumn("x", [1.0, 2.0, 3.0, 4.0]))
+        assert s.count == 4
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.median == 2.5
+        assert s.mean == 2.5
+        assert s.std == pytest.approx((1.25) ** 0.5)
+
+    def test_missing_excluded(self):
+        s = describe(NumericColumn("x", [1.0, float("nan"), 3.0]))
+        assert s.count == 2
+        assert s.median == 2.0
+
+    def test_all_missing_gives_nan_stats(self):
+        s = describe(NumericColumn("x", [float("nan")]))
+        assert s.count == 0
+        assert math.isnan(s.minimum)
+
+    def test_categorical_rejected(self, small_table):
+        with pytest.raises(ColumnTypeError):
+            describe(small_table.column("group"))
+
+    def test_as_dict_keys(self):
+        d = describe(NumericColumn("x", [1.0])).as_dict()
+        assert set(d) == {"name", "count", "min", "max", "median", "mean", "std"}
+
+    def test_describe_table_covers_numeric_only(self, small_table):
+        summaries = describe_table(small_table)
+        assert [s.name for s in summaries] == ["x", "y"]
+
+
+class TestHistogram:
+    def test_counts_sum_to_n(self):
+        h = histogram(NumericColumn("x", [1.0, 2.0, 2.5, 3.0]), bins=2)
+        assert h.total == 4
+        assert len(h.edges) == h.num_bins + 1
+
+    def test_max_value_lands_in_last_bin(self):
+        h = histogram(NumericColumn("x", [0.0, 1.0]), bins=2)
+        assert h.counts == (1, 1)
+
+    def test_constant_column_degenerate_bin(self):
+        h = histogram(NumericColumn("x", [5.0, 5.0]), bins=4)
+        assert h.num_bins == 1
+        assert h.counts == (2,)
+        assert h.edges == (5.0, 5.0)
+
+    def test_missing_dropped(self):
+        h = histogram(NumericColumn("x", [1.0, float("nan"), 2.0]), bins=1)
+        assert h.total == 2
+
+    def test_all_missing_rejected(self):
+        with pytest.raises(EmptyTableError):
+            histogram(NumericColumn("x", [float("nan")]))
+
+    def test_bad_bins_rejected(self):
+        with pytest.raises(ValueError):
+            histogram(NumericColumn("x", [1.0]), bins=0)
+
+    def test_categorical_rejected(self, small_table):
+        with pytest.raises(ColumnTypeError):
+            histogram(small_table.column("group"))
+
+    def test_densities_normalize(self):
+        h = histogram(NumericColumn("x", [1.0, 2.0, 3.0, 4.0]), bins=2)
+        assert sum(h.densities()) == pytest.approx(1.0)
+
+    def test_as_dict(self):
+        h = histogram(NumericColumn("x", [1.0, 2.0]), bins=2)
+        d = h.as_dict()
+        assert d["name"] == "x"
+        assert len(d["edges"]) == 3

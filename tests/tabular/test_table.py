@@ -1,0 +1,200 @@
+"""Unit tests for repro.tabular.table."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyTableError, MissingColumnError, SchemaError
+from repro.tabular import CategoricalColumn, NumericColumn, Table
+
+
+class TestConstruction:
+    def test_from_dict_infers_types(self, small_table):
+        assert small_table.numeric_column_names() == ("x", "y")
+        assert small_table.categorical_column_names() == ("name", "group")
+
+    def test_from_dict_accepts_columns(self):
+        t = Table.from_dict({"x": NumericColumn("ignored", [1.0])})
+        assert t.column("x").values.tolist() == [1.0]
+
+    def test_from_rows(self):
+        t = Table.from_rows(["a", "b"], [[1, "x"], [2, "y"]])
+        assert t.num_rows == 2
+        assert t.column("a").kind == "numeric"
+
+    def test_from_rows_ragged_rejected(self):
+        with pytest.raises(SchemaError):
+            Table.from_rows(["a", "b"], [[1]])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Table([NumericColumn("x", [1.0]), NumericColumn("x", [2.0])])
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(SchemaError, match="unequal"):
+            Table([NumericColumn("x", [1.0]), NumericColumn("y", [1.0, 2.0])])
+
+    def test_empty_table(self):
+        t = Table.empty()
+        assert t.num_rows == 0
+        assert t.num_columns == 0
+
+
+class TestAccess:
+    def test_column_lookup(self, small_table):
+        assert small_table.column("x").name == "x"
+
+    def test_missing_column_error_lists_available(self, small_table):
+        with pytest.raises(MissingColumnError, match="available columns"):
+            small_table.column("nope")
+
+    def test_missing_column_is_keyerror(self, small_table):
+        with pytest.raises(KeyError):
+            small_table.column("nope")
+
+    def test_numeric_column_rejects_categorical(self, small_table):
+        from repro.errors import ColumnTypeError
+
+        with pytest.raises(ColumnTypeError):
+            small_table.numeric_column("group")
+
+    def test_row_as_dict(self, small_table):
+        row = small_table.row(0)
+        assert row == {"name": "a", "x": 6.0, "y": 1.0, "group": "g1"}
+
+    def test_row_negative_index(self, small_table):
+        assert small_table.row(-1)["name"] == "f"
+
+    def test_row_out_of_range(self, small_table):
+        with pytest.raises(IndexError):
+            small_table.row(6)
+
+    def test_iter_rows_count(self, small_table):
+        assert len(list(small_table.iter_rows())) == 6
+
+    def test_contains(self, small_table):
+        assert "x" in small_table
+        assert "z" not in small_table
+
+    def test_to_dict_round_trip(self, small_table):
+        rebuilt = Table.from_dict(small_table.to_dict())
+        assert rebuilt == small_table
+
+
+class TestTransformations:
+    def test_select_projects_and_orders(self, small_table):
+        t = small_table.select(["y", "name"])
+        assert t.column_names == ("y", "name")
+
+    def test_select_missing_raises(self, small_table):
+        with pytest.raises(MissingColumnError):
+            small_table.select(["nope"])
+
+    def test_drop(self, small_table):
+        t = small_table.drop(["x"])
+        assert "x" not in t
+        assert t.num_columns == 3
+
+    def test_drop_missing_raises(self, small_table):
+        with pytest.raises(MissingColumnError):
+            small_table.drop(["nope"])
+
+    def test_with_column_appends(self, small_table):
+        t = small_table.with_column(NumericColumn("z", [0.0] * 6))
+        assert t.column_names[-1] == "z"
+
+    def test_with_column_replaces_in_place(self, small_table):
+        t = small_table.with_column(NumericColumn("x", [9.0] * 6))
+        assert t.column_names == small_table.column_names
+        assert t.column("x").values.tolist() == [9.0] * 6
+
+    def test_with_column_length_mismatch(self, small_table):
+        with pytest.raises(SchemaError):
+            small_table.with_column(NumericColumn("z", [0.0]))
+
+    def test_rename_column(self, small_table):
+        t = small_table.rename_column("x", "score")
+        assert "score" in t and "x" not in t
+        assert t.column_names.index("score") == 1
+
+    def test_rename_collision_rejected(self, small_table):
+        with pytest.raises(SchemaError):
+            small_table.rename_column("x", "y")
+
+    def test_take_duplicates_allowed(self, small_table):
+        t = small_table.take([0, 0, 5])
+        assert list(t.column("name").values) == ["a", "a", "f"]
+
+    def test_take_out_of_range(self, small_table):
+        with pytest.raises(IndexError):
+            small_table.take([99])
+
+    def test_head_clamps(self, small_table):
+        assert small_table.head(100).num_rows == 6
+        assert small_table.head(0).num_rows == 0
+
+    def test_filter_by_mask(self, small_table):
+        t = small_table.filter(np.asarray([True, False] * 3))
+        assert list(t.column("name").values) == ["a", "c", "e"]
+
+    def test_filter_wrong_shape(self, small_table):
+        with pytest.raises(SchemaError):
+            small_table.filter([True])
+
+    def test_filter_rows_predicate(self, small_table):
+        t = small_table.filter_rows(lambda r: r["group"] == "g2")
+        assert t.num_rows == 3
+
+    def test_concat_rows(self, small_table):
+        t = small_table.concat_rows(small_table)
+        assert t.num_rows == 12
+
+    def test_concat_schema_mismatch(self, small_table):
+        with pytest.raises(SchemaError):
+            small_table.concat_rows(small_table.select(["x", "y", "name", "group"]))
+
+
+class TestSorting:
+    def test_sort_numeric_ascending(self, small_table):
+        t = small_table.sort_by("x")
+        assert list(t.column("name").values) == ["f", "e", "d", "c", "b", "a"]
+
+    def test_sort_numeric_descending(self, small_table):
+        t = small_table.sort_by("x", ascending=False)
+        assert list(t.column("name").values) == ["a", "b", "c", "d", "e", "f"]
+
+    def test_sort_is_stable_on_ties(self):
+        t = Table.from_dict({"name": ["p", "q", "r"], "v": [1.0, 1.0, 0.0]})
+        assert list(t.sort_by("v", ascending=False).column("name").values) == [
+            "p", "q", "r",
+        ]
+
+    def test_sort_categorical_lexicographic(self):
+        t = Table.from_dict({"c": ["b", "a", "c"]})
+        assert list(t.sort_by("c").column("c").values) == ["a", "b", "c"]
+
+    def test_nan_sorts_last_both_directions(self):
+        t = Table.from_dict({"v": [2.0, float("nan"), 1.0]})
+        assert t.sort_by("v").column("v").values.tolist()[:2] == [1.0, 2.0]
+        desc = t.sort_by("v", ascending=False).column("v").values.tolist()
+        assert desc[:2] == [2.0, 1.0]
+        assert np.isnan(desc[2])
+
+    def test_missing_categorical_sorts_last(self):
+        t = Table.from_dict({"c": ["b", "", "a"]})
+        assert list(t.sort_by("c").column("c").values) == ["a", "b", ""]
+
+
+class TestGuards:
+    def test_require_rows_passes(self, small_table):
+        assert small_table.require_rows(6) is small_table
+
+    def test_require_rows_fails(self, small_table):
+        with pytest.raises(EmptyTableError):
+            small_table.require_rows(7)
+
+    def test_equality(self, small_table):
+        assert small_table == small_table.select(list(small_table.column_names))
+        assert small_table != small_table.head(3)
+
+    def test_repr_mentions_shape(self, small_table):
+        assert "6 rows" in repr(small_table)

@@ -1,0 +1,117 @@
+"""Tests for the exception hierarchy and the public API surface."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.SchemaError,
+    errors.ColumnTypeError,
+    errors.MissingColumnError,
+    errors.EmptyTableError,
+    errors.CSVFormatError,
+    errors.NormalizationError,
+    errors.ScoringError,
+    errors.WeightError,
+    errors.RankingError,
+    errors.FairnessConfigError,
+    errors.ProtectedGroupError,
+    errors.StabilityError,
+    errors.LabelError,
+    errors.DatasetError,
+    errors.SessionStateError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", ALL_ERRORS)
+    def test_all_derive_from_base(self, exc):
+        assert issubclass(exc, errors.RankingFactsError)
+
+    def test_missing_column_is_keyerror(self):
+        assert issubclass(errors.MissingColumnError, KeyError)
+
+    def test_missing_column_message(self):
+        exc = errors.MissingColumnError("x", ("a", "b"))
+        assert "x" in str(exc) and "a, b" in str(exc)
+
+    def test_missing_column_without_alternatives(self):
+        assert str(errors.MissingColumnError("x")) == "column 'x' not found"
+
+    def test_csv_error_line_number(self):
+        assert str(errors.CSVFormatError("bad", line_number=7)).startswith("line 7:")
+        assert "line" not in str(errors.CSVFormatError("bad"))
+
+    def test_weight_error_is_scoring_error(self):
+        assert issubclass(errors.WeightError, errors.ScoringError)
+
+    def test_protected_group_error_is_fairness_config(self):
+        assert issubclass(errors.ProtectedGroupError, errors.FairnessConfigError)
+
+    def test_all_exports_match_module(self):
+        for name in errors.__all__:
+            assert hasattr(errors, name)
+
+
+def _walk_public_members():
+    """Yield (qualified name, object) for every public API member."""
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        module = importlib.import_module(module_info.name)
+        for name in getattr(module, "__all__", []):
+            yield f"{module_info.name}.{name}", getattr(module, name)
+
+
+class TestApiSurface:
+    def test_top_level_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_every_public_symbol_has_a_docstring(self):
+        missing = []
+        for qualified, obj in _walk_public_members():
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ or "").strip():
+                    missing.append(qualified)
+        assert not missing, f"undocumented public symbols: {missing}"
+
+    @staticmethod
+    def _documented_in_mro(cls, name) -> bool:
+        """A member counts as documented if any base documents the name."""
+        for base in cls.__mro__:
+            member = vars(base).get(name)
+            if member is None:
+                continue
+            func = member.fget if isinstance(member, property) else member
+            doc = getattr(func, "__doc__", None) or getattr(member, "__doc__", None)
+            if (doc or "").strip():
+                return True
+        return False
+
+    def test_every_public_class_method_documented(self):
+        missing = []
+        seen = set()
+        for qualified, obj in _walk_public_members():
+            if not inspect.isclass(obj) or obj in seen:
+                continue
+            seen.add(obj)
+            for name, member in vars(obj).items():
+                if name.startswith("_"):
+                    continue
+                func = member.fget if isinstance(member, property) else member
+                if callable(func) or isinstance(member, property):
+                    if not self._documented_in_mro(obj, name):
+                        missing.append(f"{qualified}.{name}")
+        assert not missing, f"undocumented public methods: {missing}"
+
+    def test_all_modules_importable(self):
+        count = 0
+        for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            importlib.import_module(module_info.name)
+            count += 1
+        assert count >= 40  # the package is not accidentally truncated

@@ -1,0 +1,45 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Each example is executed in a subprocess exactly as a user would run
+it; the test asserts a zero exit code and checks a load-bearing line of
+its output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_OUTPUT = {
+    "quickstart.py": "RANKING FACTS",
+    "cs_departments_label.py": "only large departments are present in the top-10",
+    "compas_audit.py": "FA*IR re-ranked top-100",
+    "german_credit_fairness.py": "stability, two ways",
+    "custom_csv_workflow.py": "wrote",
+    "mitigation_workflow.py": "cost-of-fairness frontier",
+}
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr[-2000:]}"
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_OUTPUT))
+def test_example_runs(name):
+    stdout = run_example(name)
+    assert EXPECTED_OUTPUT[name] in stdout
+
+
+def test_all_examples_are_covered():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXPECTED_OUTPUT)
