@@ -32,9 +32,13 @@ The subpackages (see DESIGN.md for the full inventory):
 - :mod:`repro.diversity` — top-k vs overall category breakdowns;
 - :mod:`repro.label` — widgets, label builder, renderers;
 - :mod:`repro.datasets` — the three demo datasets (synthesized) + CSV;
+- :mod:`repro.engine` — the label computation service: content-hash
+  caching, batch execution, parallel Monte-Carlo stability;
 - :mod:`repro.app` — workflow session, CLI, demo HTTP server.
 """
 
+from repro.engine.jobs import LabelDesign, LabelJob
+from repro.engine.service import LabelService
 from repro.errors import RankingFactsError
 from repro.label.builder import RankingFacts, RankingFactsBuilder
 from repro.label.render_html import render_html
@@ -48,11 +52,14 @@ from repro.ranking.scoring import LinearScoringFunction
 from repro.tabular.csvio import read_csv
 from repro.tabular.table import Table
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
     "RankingFactsError",
+    "LabelDesign",
+    "LabelJob",
+    "LabelService",
     "Table",
     "read_csv",
     "LinearScoringFunction",

@@ -6,7 +6,9 @@
   preview, histogram rendering, weight validation;
 - :mod:`repro.app.cli` — the ``ranking-facts`` command-line interface;
 - :mod:`repro.app.server` — a stdlib HTTP server exposing labels as
-  JSON and HTML (the web-demo substitution, see DESIGN.md §4).
+  JSON and HTML (the web-demo substitution, see DESIGN.md §4), with a
+  token-keyed session registry and batch-job endpoints backed by the
+  :mod:`repro.engine` label service.
 """
 
 from repro.app.design import attribute_preview, histogram_ascii, suggest_weights

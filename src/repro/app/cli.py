@@ -8,6 +8,8 @@ Subcommands mirror the demo workflow:
 - ``ranking-facts preview`` — rank and show the top rows;
 - ``ranking-facts label`` — generate the nutritional label (text,
   detailed text, JSON, or HTML);
+- ``ranking-facts batch`` — run many labels from a JSON spec through
+  the engine (shared cache, concurrent jobs) in one invocation;
 - ``ranking-facts serve`` — start the demo web server.
 
 Weights are given as ``name=value`` pairs, e.g.::
@@ -148,6 +150,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--suggestions", type=int, default=3, help="how many recipes to propose"
     )
 
+    batch = commands.add_parser(
+        "batch",
+        help="label many datasets/designs in one run (the engine's batch path)",
+    )
+    batch.add_argument(
+        "--spec", required=True,
+        help='JSON file: {"jobs": [{"dataset"|"csv": ..., "design": {...}}, ...]}',
+    )
+    batch.add_argument(
+        "--output-dir", help="write each finished label to DIR/<job_id>.json"
+    )
+    batch.add_argument(
+        "--workers", type=int, default=None,
+        help="job-level concurrency (default: CPU count)",
+    )
+    batch.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the label cache (every job builds cold)",
+    )
+    batch.add_argument(
+        "--stats", action="store_true",
+        help="also print the engine's cache/executor statistics",
+    )
+
     serve = commands.add_parser("serve", help="start the demo web server")
     _add_data_arguments(serve)
     _add_design_arguments(serve)
@@ -264,6 +290,74 @@ def _run_mitigate(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_batch(args: argparse.Namespace) -> str:
+    import json
+    from pathlib import Path
+
+    from repro.engine.jobs import JobStatus, LabelJob
+    from repro.engine.service import LabelService
+
+    spec_path = Path(args.spec)
+    if not spec_path.is_file():
+        raise RankingFactsError(f"batch spec not found: {args.spec}")
+    try:
+        spec = json.loads(spec_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise RankingFactsError(f"batch spec is not valid JSON: {exc}") from exc
+    jobs_spec = spec.get("jobs") if isinstance(spec, dict) else None
+    if not isinstance(jobs_spec, list) or not jobs_spec:
+        raise RankingFactsError('batch spec needs a non-empty "jobs" array')
+    jobs = [
+        LabelJob.from_mapping(entry, job_id=f"job-{index}")
+        for index, entry in enumerate(jobs_spec)
+    ]
+
+    output_dir = Path(args.output_dir) if args.output_dir else None
+    if output_dir is not None:
+        output_dir.mkdir(parents=True, exist_ok=True)
+
+    lines = [f"batch: {len(jobs)} job(s) from {spec_path.name}"]
+    failures = 0
+    with LabelService(
+        max_workers=args.workers, use_cache=not args.no_cache
+    ) as service:
+        for result in service.run_batch(jobs):
+            if result.status is JobStatus.DONE:
+                source = "cache" if result.cached else "built"
+                line = (
+                    f"  {result.job_id:<10} done    {result.dataset_name:<20} "
+                    f"{source:<6} {result.seconds * 1000:8.1f} ms"
+                )
+                if output_dir is not None:
+                    target = output_dir / f"{result.job_id}.json"
+                    target.write_text(
+                        render_json(result.facts.label) + "\n", encoding="utf-8"
+                    )
+                    line += f"  -> {target}"
+                lines.append(line)
+            else:
+                failures += 1
+                lines.append(
+                    f"  {result.job_id:<10} FAILED  {result.dataset_name:<20} "
+                    f"{result.error}"
+                )
+        if args.stats:
+            stats = service.stats()
+            cache = stats["cache"]
+            lines.append(
+                f"engine: {stats['service']['builds']} build(s) for "
+                f"{stats['service']['requests']} request(s); cache "
+                f"{cache['hits']} hit(s) / {cache['misses']} miss(es)"
+            )
+    lines.append(
+        f"{len(jobs) - failures}/{len(jobs)} job(s) succeeded"
+        + (f", {failures} failed" if failures else "")
+    )
+    if failures:
+        raise RankingFactsError("\n".join(lines[1:]))
+    return "\n".join(lines)
+
+
 def _run_serve(args: argparse.Namespace) -> str:
     # imported here so `label`/`preview` work even if sockets are restricted
     from repro.app.server import serve_forever
@@ -282,6 +376,7 @@ _RUNNERS = {
     "preview": _run_preview,
     "label": _run_label,
     "mitigate": _run_mitigate,
+    "batch": _run_batch,
     "serve": _run_serve,
 }
 

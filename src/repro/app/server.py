@@ -1,19 +1,40 @@
 """A stdlib-only HTTP server for the demo (the web-app substitution).
 
 The original Ranking Facts is "a Web-based application"; this server
-reproduces its workflow without Flask or network installs:
+reproduces its workflow without Flask or network installs — and serves
+*many* workflows at once: sessions live in a token-keyed registry, and
+every session computes through one shared
+:class:`~repro.engine.service.LabelService`, so identical designs
+across users are one cached Monte-Carlo loop, not N.
 
-- ``GET /``            — landing page with links;
-- ``GET /label``       — the label as JSON;
-- ``GET /label.html``  — the label as the Figure-1 style HTML page;
-- ``GET /preview``     — the ranking's top rows as JSON;
-- ``GET /datasets``    — the built-in dataset registry as JSON;
-- ``GET /attributes``  — the design view's attribute overview as JSON;
-- ``GET /health``      — liveness probe;
-- ``POST /dataset``    — ``{"name": "compas"}``: load a built-in dataset;
-- ``POST /design``     — Figure 3 over HTTP: ``{"weights": {...},
-  "sensitive": [...], "id_column": ..., "diversity": [...], "k": ...,
-  "alpha": ..., "normalize": true}``; the next ``GET /label`` reflects it.
+Global routes:
+
+- ``GET  /``              — landing page with links;
+- ``GET  /health``        — liveness probe;
+- ``GET  /datasets``      — the built-in dataset registry as JSON;
+- ``GET  /engine/stats``  — cache / executor / service counters;
+- ``POST /session``       — open a session; optional ``{"dataset":
+  ..., "design": {...}}`` preloads it; returns ``{"token": ...}``;
+- ``GET  /sessions``      — tokens and stages of every open session;
+- ``POST /jobs``          — submit a batch: ``{"jobs": [{"dataset":
+  ..., "design": {...}}, ...]}``; returns ``{"batch_id": ...}``;
+- ``GET  /jobs/<id>``     — poll a batch; ``?include=labels`` embeds
+  finished labels as JSON.
+
+Per-session routes (``<token>`` from ``POST /session``):
+
+- ``POST /session/<token>/dataset``  — load a built-in dataset;
+- ``POST /session/<token>/design``   — commit weights/sensitive/...;
+- ``POST /session/<token>/close``    — forget the session;
+- ``GET  /session/<token>/label``    — the label as JSON;
+- ``GET  /session/<token>/label.html`` — the Figure-1 style HTML page;
+- ``GET  /session/<token>/preview``  — ranking top rows as JSON;
+- ``GET  /session/<token>/attributes`` — the design view's overview.
+
+The seed's single-session routes (``/label``, ``/preview``,
+``/attributes``, ``POST /dataset``, ``POST /design``) still work and
+address the *default* session — the one :func:`make_server` was bound
+to — so existing clients and the CLI's ``serve`` are unaffected.
 
 Use :func:`make_server` in tests (ephemeral port) and
 :func:`serve_forever` from the CLI.
@@ -22,16 +43,19 @@ Use :func:`make_server` in tests (ephemeral port) and
 from __future__ import annotations
 
 import json
+import secrets
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.app.session import DemoSession, SessionStage
 from repro.datasets.loaders import list_datasets
-from repro.errors import RankingFactsError
+from repro.engine.jobs import JobStatus, LabelJob
+from repro.engine.service import LabelService
+from repro.errors import EngineError, RankingFactsError
 from repro.label.render_html import render_html
 from repro.label.render_json import render_json
 
-__all__ = ["make_server", "serve_forever", "ServerHandle"]
+__all__ = ["SessionRegistry", "make_server", "serve_forever", "ServerHandle"]
 
 _LANDING_PAGE = """<!DOCTYPE html><html><head><meta charset="utf-8">
 <title>Ranking Facts demo</title></head><body>
@@ -42,16 +66,112 @@ _LANDING_PAGE = """<!DOCTYPE html><html><head><meta charset="utf-8">
 <li><a href="/label">the label (JSON)</a></li>
 <li><a href="/preview">ranking preview (JSON)</a></li>
 <li><a href="/datasets">built-in datasets (JSON)</a></li>
-</ul></body></html>"""
+<li><a href="/engine/stats">engine statistics (JSON)</a></li>
+</ul>
+<p>Multi-session API: POST /session, then /session/&lt;token&gt;/...;
+batch API: POST /jobs, GET /jobs/&lt;batch_id&gt;.</p>
+</body></html>"""
+
+
+class SessionRegistry:
+    """Token-keyed sessions sharing one label service."""
+
+    def __init__(self, service: LabelService | None = None):
+        self._service = service if service is not None else LabelService()
+        self._sessions: dict[str, DemoSession] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def service(self) -> LabelService:
+        """The shared label service every session computes through."""
+        return self._service
+
+    def create(self) -> tuple[str, DemoSession]:
+        """Open a fresh session; returns its token and the session."""
+        session = DemoSession(service=self._service)
+        token = secrets.token_hex(8)
+        with self._lock:
+            self._sessions[token] = session
+        return token, session
+
+    def adopt(self, session: DemoSession, token: str | None = None) -> str:
+        """Register an existing session (the server's bound default)."""
+        token = token or secrets.token_hex(8)
+        with self._lock:
+            self._sessions[token] = session
+        return token
+
+    def get(self, token: str) -> DemoSession:
+        """The session for ``token`` (raises :class:`EngineError`)."""
+        with self._lock:
+            session = self._sessions.get(token)
+        if session is None:
+            raise EngineError(f"unknown session token {token!r}")
+        return session
+
+    def close(self, token: str) -> bool:
+        """Forget a session; returns whether it existed."""
+        with self._lock:
+            return self._sessions.pop(token, None) is not None
+
+    def tokens(self) -> dict[str, str]:
+        """``{token: stage}`` for every open session."""
+        with self._lock:
+            return {t: s.stage.value for t, s in self._sessions.items()}
+
+
+def _apply_dataset(session: DemoSession, body: dict) -> None:
+    name = body.get("name")
+    if not isinstance(name, str):
+        raise RankingFactsError('POST needs {"name": "<dataset>"}')
+    session.load_builtin(name)
+
+
+def _apply_design(session: DemoSession, body: dict) -> None:
+    weights = body.get("weights")
+    sensitive = body.get("sensitive")
+    if not isinstance(weights, dict) or not weights:
+        raise RankingFactsError('design needs a non-empty "weights" object')
+    if isinstance(sensitive, str):
+        sensitive = [sensitive]
+    if not isinstance(sensitive, list) or not sensitive:
+        raise RankingFactsError('design needs "sensitive": attribute name or list')
+    session.set_normalization(bool(body.get("normalize", True)))
+    session.design_scoring(
+        weights={str(a): float(w) for a, w in weights.items()},
+        sensitive_attribute=[str(s) for s in sensitive],
+        id_column=body.get("id_column"),
+        diversity_attributes=body.get("diversity"),
+        k=int(body.get("k", 10)),
+        alpha=float(body.get("alpha", 0.05)),
+    )
+    try:
+        if "seed" in body:
+            session.set_seed(int(body["seed"]))
+        epsilons = body.get("monte_carlo_epsilons", (0.05, 0.1, 0.2))
+        if isinstance(epsilons, (str, bytes)) or not isinstance(
+            epsilons, (list, tuple)
+        ):
+            raise RankingFactsError(
+                '"monte_carlo_epsilons" must be a list of numbers'
+            )
+        # always applied, so a redesign without the field (or with 0) turns
+        # the expensive Monte-Carlo detail off — consistent with k/alpha
+        session.set_monte_carlo(
+            int(body.get("monte_carlo_trials", 0)), tuple(epsilons)
+        )
+    except (TypeError, ValueError) as exc:
+        raise RankingFactsError(f"bad Monte-Carlo design value: {exc}") from exc
 
 
 class _RankingFactsHandler(BaseHTTPRequestHandler):
-    """Routes GET requests against the bound session."""
+    """Routes requests against the registry and the shared service."""
 
     # set by make_server on the subclass
-    session: DemoSession = None  # type: ignore[assignment]
+    registry: SessionRegistry = None  # type: ignore[assignment]
+    default_session: DemoSession | None = None
 
-    server_version = "RankingFacts/1.0"
+    server_version = "RankingFacts/2.0"
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # keep tests and CLI output clean
@@ -67,14 +187,9 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
     def _send_json(self, status: int, data: object) -> None:
         self._send(status, "application/json", json.dumps(data, indent=2))
 
-    def _label_or_error(self):
-        if self.session.stage is not SessionStage.LABELED:
-            self.session.generate_label()
-        return self.session.last_label()
-
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         try:
-            self._route()
+            self._route_get()
         except RankingFactsError as exc:
             self._send_json(400, {"error": str(exc)})
         except Exception as exc:  # pragma: no cover - defensive boundary
@@ -87,6 +202,8 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": str(exc)})
         except Exception as exc:  # pragma: no cover - defensive boundary
             self._send_json(500, {"error": f"internal error: {exc}"})
+
+    # -- helpers -----------------------------------------------------------------
 
     def _read_json_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -101,78 +218,190 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
             raise RankingFactsError("POST body must be a JSON object")
         return body
 
-    def _route_post(self) -> None:
-        path = self.path.split("?", 1)[0]
-        if path == "/dataset":
-            body = self._read_json_body()
-            name = body.get("name")
-            if not isinstance(name, str):
-                raise RankingFactsError('POST /dataset needs {"name": "<dataset>"}')
-            self.session.load_builtin(name)
-            self._send_json(
-                200, {"ok": True, "dataset": name, "stage": self.session.stage.value}
-            )
-        elif path == "/design":
-            body = self._read_json_body()
-            weights = body.get("weights")
-            sensitive = body.get("sensitive")
-            if not isinstance(weights, dict) or not weights:
-                raise RankingFactsError(
-                    'POST /design needs a non-empty "weights" object'
-                )
-            if isinstance(sensitive, str):
-                sensitive = [sensitive]
-            if not isinstance(sensitive, list) or not sensitive:
-                raise RankingFactsError(
-                    'POST /design needs "sensitive": attribute name or list'
-                )
-            self.session.set_normalization(bool(body.get("normalize", True)))
-            self.session.design_scoring(
-                weights={str(a): float(w) for a, w in weights.items()},
-                sensitive_attribute=[str(s) for s in sensitive],
-                id_column=body.get("id_column"),
-                diversity_attributes=body.get("diversity"),
-                k=int(body.get("k", 10)),
-                alpha=float(body.get("alpha", 0.05)),
-            )
-            self._send_json(200, {"ok": True, "stage": self.session.stage.value})
-        else:
-            self._send_json(404, {"error": f"unknown POST path {path!r}"})
+    def _split(self) -> tuple[list[str], str]:
+        path, _, query = self.path.partition("?")
+        return [part for part in path.split("/") if part], query
 
-    def _route(self) -> None:
-        path = self.path.split("?", 1)[0]
-        if path == "/":
-            self._send(200, "text/html", _LANDING_PAGE)
-        elif path == "/health":
-            self._send_json(200, {"status": "ok", "stage": self.session.stage.value})
-        elif path == "/datasets":
-            self._send_json(200, {"datasets": list(list_datasets())})
-        elif path == "/attributes":
-            self._send_json(
-                200, {"attributes": self.session.attribute_overview()}
+    def _default(self) -> DemoSession:
+        if self.default_session is None:
+            raise RankingFactsError(
+                "no default session bound; open one with POST /session "
+                "and use the /session/<token>/ routes"
             )
-        elif path == "/label":
-            facts = self._label_or_error()
+        return self.default_session
+
+    def _label_for(self, session: DemoSession):
+        if session.stage is not SessionStage.LABELED:
+            session.generate_label()
+        return session.last_label()
+
+    # -- session views (shared by default and token routes) -------------------------
+
+    def _get_session_view(self, session: DemoSession, view: str) -> None:
+        if view == "label":
+            facts = self._label_for(session)
             self._send(200, "application/json", render_json(facts.label))
-        elif path == "/label.html":
-            facts = self._label_or_error()
+        elif view == "label.html":
+            facts = self._label_for(session)
             self._send(200, "text/html", render_html(facts.label))
-        elif path == "/preview":
-            facts = self._label_or_error()
+        elif view == "preview":
+            facts = self._label_for(session)
             records = facts.ranking.top_k(
                 min(facts.label.k, facts.ranking.size)
             ).to_records()
             self._send_json(200, {"preview": records})
+        elif view == "attributes":
+            self._send_json(200, {"attributes": session.attribute_overview()})
+        elif view == "status":
+            self._send_json(
+                200,
+                {
+                    "stage": session.stage.value,
+                    "cached": session.last_label_was_cached(),
+                },
+            )
         else:
-            self._send_json(404, {"error": f"unknown path {path!r}"})
+            raise RankingFactsError(f"unknown session view {view!r}")
+
+    def _post_session_action(self, session: DemoSession, action: str) -> None:
+        body = self._read_json_body()
+        if action == "dataset":
+            _apply_dataset(session, body)
+            self._send_json(
+                200,
+                {"ok": True, "dataset": body["name"], "stage": session.stage.value},
+            )
+        elif action == "design":
+            _apply_design(session, body)
+            self._send_json(200, {"ok": True, "stage": session.stage.value})
+        else:
+            raise RankingFactsError(f"unknown session action {action!r}")
+
+    # -- GET routing ---------------------------------------------------------------
+
+    def _route_get(self) -> None:
+        parts, _ = self._split()
+        if not parts:
+            self._send(200, "text/html", _LANDING_PAGE)
+        elif parts == ["health"]:
+            sessions = self.registry.tokens()
+            self._send_json(
+                200, {"status": "ok", "sessions": len(sessions)}
+            )
+        elif parts == ["datasets"]:
+            self._send_json(200, {"datasets": list(list_datasets())})
+        elif parts == ["engine", "stats"]:
+            self._send_json(200, self.registry.service.stats())
+        elif parts == ["sessions"]:
+            self._send_json(200, {"sessions": self.registry.tokens()})
+        elif parts[0] == "session" and len(parts) == 3:
+            try:
+                session = self.registry.get(parts[1])
+            except EngineError as exc:
+                self._send_json(404, {"error": str(exc)})
+                return
+            self._get_session_view(session, parts[2])
+        elif parts[0] == "jobs" and len(parts) == 2:
+            self._get_batch(parts[1])
+        elif len(parts) == 1 and parts[0] in (
+            "label", "label.html", "preview", "attributes",
+        ):
+            self._get_session_view(self._default(), parts[0])
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def _get_batch(self, batch_id: str) -> None:
+        _, query = self._split()
+        try:
+            handle = self.registry.service.batch(batch_id)
+        except EngineError as exc:
+            self._send_json(404, {"error": str(exc)})
+            return
+        status = handle.status()
+        if "include=labels" in query:
+            labels: dict[str, object] = {}
+            for result in handle.completed_results():
+                if result is not None and result.status is JobStatus.DONE:
+                    labels[result.job_id] = json.loads(
+                        render_json(result.facts.label)
+                    )
+            status["labels"] = labels
+        self._send_json(200, status)
+
+    # -- POST routing -----------------------------------------------------------------
+
+    def _route_post(self) -> None:
+        parts, _ = self._split()
+        if not parts:
+            self._send_json(404, {"error": "unknown POST path '/'"})
+        elif parts == ["session"]:
+            self._post_new_session()
+        elif parts[0] == "session" and len(parts) == 3 and parts[2] == "close":
+            closed = self.registry.close(parts[1])
+            if closed:
+                self._send_json(200, {"ok": True, "closed": parts[1]})
+            else:
+                self._send_json(
+                    404, {"error": f"unknown session token {parts[1]!r}"}
+                )
+        elif parts[0] == "session" and len(parts) == 3:
+            try:
+                session = self.registry.get(parts[1])
+            except EngineError as exc:
+                self._send_json(404, {"error": str(exc)})
+                return
+            self._post_session_action(session, parts[2])
+        elif parts == ["jobs"]:
+            self._post_jobs()
+        elif parts == ["dataset"]:
+            self._post_session_action(self._default(), "dataset")
+        elif parts == ["design"]:
+            self._post_session_action(self._default(), "design")
+        else:
+            self._send_json(404, {"error": f"unknown POST path {self.path!r}"})
+
+    def _post_new_session(self) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self._read_json_body() if length > 0 else {}
+        token, session = self.registry.create()
+        try:
+            if "dataset" in body:
+                session.load_builtin(str(body["dataset"]))
+            if "design" in body:
+                design = body["design"]
+                if not isinstance(design, dict):
+                    raise RankingFactsError('"design" must be a JSON object')
+                _apply_design(session, design)
+        except RankingFactsError:
+            self.registry.close(token)
+            raise
+        self._send_json(
+            201, {"token": token, "stage": session.stage.value}
+        )
+
+    def _post_jobs(self) -> None:
+        body = self._read_json_body()
+        jobs_spec = body.get("jobs")
+        if not isinstance(jobs_spec, list) or not jobs_spec:
+            raise RankingFactsError('POST /jobs needs a non-empty "jobs" array')
+        jobs = [
+            LabelJob.from_mapping(spec, job_id=f"job-{index}")
+            for index, spec in enumerate(jobs_spec)
+        ]
+        handle = self.registry.service.submit_batch(jobs)
+        self._send_json(
+            202,
+            {"batch_id": handle.batch_id, "total": len(jobs), "done": handle.done()},
+        )
 
 
 class ServerHandle:
     """A running server plus its background thread (context manager)."""
 
-    def __init__(self, server: ThreadingHTTPServer):
+    def __init__(self, server: ThreadingHTTPServer, registry: SessionRegistry):
         self._server = server
         self._thread = threading.Thread(target=server.serve_forever, daemon=True)
+        self.registry = registry
 
     @property
     def address(self) -> tuple[str, int]:
@@ -197,21 +426,41 @@ class ServerHandle:
 
 
 def make_server(
-    session: DemoSession, host: str = "127.0.0.1", port: int = 0
+    session: DemoSession | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    service: LabelService | None = None,
 ) -> ServerHandle:
-    """Bind a server for ``session`` (port 0 = ephemeral, for tests).
+    """Bind a server (port 0 = ephemeral, for tests).
 
-    The session must have data loaded; the label is generated lazily on
-    the first request that needs it.
+    With ``session`` the server keeps the seed's single-session
+    contract: the session becomes the *default* target of the
+    unprefixed routes (it must have data loaded), and its service is
+    shared with every registry session unless ``service`` overrides it.
+    Without ``session`` the server starts empty and clients open their
+    own sessions via ``POST /session``.
     """
-    if session.stage is SessionStage.EMPTY:
+    if session is not None and session.stage is SessionStage.EMPTY:
         raise RankingFactsError("the session has no dataset; load one before serving")
-    handler = type("BoundHandler", (_RankingFactsHandler,), {"session": session})
+    if service is None:
+        service = session.service if session is not None else LabelService()
+    registry = SessionRegistry(service)
+    if session is not None:
+        registry.adopt(session)
+    handler = type(
+        "BoundHandler",
+        (_RankingFactsHandler,),
+        {"registry": registry, "default_session": session},
+    )
     server = ThreadingHTTPServer((host, port), handler)
-    return ServerHandle(server)
+    return ServerHandle(server, registry)
 
 
-def serve_forever(session: DemoSession, host: str = "127.0.0.1", port: int = 8000) -> None:
+def serve_forever(
+    session: DemoSession | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+) -> None:
     """Run the demo server until interrupted (the CLI's ``serve``)."""
     with make_server(session, host=host, port=port) as handle:
         print(f"Ranking Facts demo serving on {handle.url} (Ctrl-C to stop)")

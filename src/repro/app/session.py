@@ -11,6 +11,14 @@ on to generate Ranking Facts".
 (CLI, HTTP server, notebooks) drives the same object and out-of-order
 calls fail with :class:`~repro.errors.SessionStateError` instead of
 producing half-configured labels.
+
+Label computation goes through a
+:class:`~repro.engine.service.LabelService` rather than the builder
+directly: a session constructed with a shared service (the HTTP
+server's registry does this) gets content-addressed caching across
+*all* sessions — two users asking for the same design on the same data
+cost one Monte-Carlo loop.  A session constructed bare owns a private
+service, so caching still applies to its own repeated requests.
 """
 
 from __future__ import annotations
@@ -21,8 +29,10 @@ from pathlib import Path
 
 from repro.app.design import attribute_preview, histogram_ascii
 from repro.datasets.loaders import dataset_by_name, list_datasets, load_csv_dataset
+from repro.engine.jobs import LabelDesign
+from repro.engine.service import LabelService
 from repro.errors import SessionStateError
-from repro.label.builder import RankingFacts, RankingFactsBuilder
+from repro.label.builder import RankingFacts
 from repro.preprocess.pipeline import NormalizationPlan
 from repro.ranking.ranker import Ranking, rank_table
 from repro.ranking.scoring import LinearScoringFunction
@@ -61,7 +71,8 @@ class DemoSession:
     'cs-departments'
     """
 
-    def __init__(self):
+    def __init__(self, service: LabelService | None = None):
+        self._service = service if service is not None else LabelService()
         self._stage = SessionStage.EMPTY
         self._table: Table | None = None
         self._dataset_name = ""
@@ -72,7 +83,16 @@ class DemoSession:
         self._id_column: str | None = None
         self._k = 10
         self._alpha = 0.05
+        self._monte_carlo_trials = 0
+        self._monte_carlo_epsilons: tuple[float, ...] = (0.05, 0.1, 0.2)
+        self._seed = 20180610
         self._facts: RankingFacts | None = None
+        self._last_cached = False
+
+    @property
+    def service(self) -> LabelService:
+        """The label service this session computes through."""
+        return self._service
 
     # -- stage bookkeeping -------------------------------------------------------
 
@@ -117,7 +137,10 @@ class DemoSession:
         self._sensitive = []
         self._diversity = []
         self._id_column = None
+        self._monte_carlo_trials = 0
+        self._monte_carlo_epsilons = (0.05, 0.1, 0.2)
         self._facts = None
+        self._last_cached = False
         self._stage = SessionStage.DATA_LOADED
 
     @staticmethod
@@ -154,6 +177,23 @@ class DemoSession:
         """Figure 3's normalize-and-standardize checkbox."""
         self._require_table()
         self._normalize = bool(enabled)
+
+    def set_monte_carlo(
+        self, trials: int, epsilons: Sequence[float] = (0.05, 0.1, 0.2)
+    ) -> None:
+        """Enable (trials > 0) or disable (0) the Monte-Carlo stability detail."""
+        self._require_table()
+        if trials < 0:
+            raise SessionStateError(f"trials must be >= 0, got {trials}")
+        self._monte_carlo_trials = int(trials)
+        self._monte_carlo_epsilons = tuple(float(e) for e in epsilons)
+        self._facts = None
+
+    def set_seed(self, seed: int) -> None:
+        """Seed for the Monte-Carlo stability estimators."""
+        self._require_table()
+        self._seed = int(seed)
+        self._facts = None
 
     def design_scoring(
         self,
@@ -229,33 +269,47 @@ class DemoSession:
 
     # -- stage 5: the label -----------------------------------------------------------------
 
-    def generate_label(self) -> RankingFacts:
-        """Build the nutritional label for the current design."""
+    def current_design(self) -> LabelDesign:
+        """The committed design as the engine's frozen value object."""
         self._require_stage(
             SessionStage.SCORER_DESIGNED, SessionStage.PREVIEWED, SessionStage.LABELED
         )
-        table = self._require_table()
-        scorer = LinearScoringFunction(self._weights)
-        builder = (
-            RankingFactsBuilder(table, dataset_name=self._dataset_name)
-            .with_scoring(scorer)
-            .with_top_k(self._k)
-            .with_alpha(self._alpha)
-            .with_diversity_attributes(self._diversity)
+        return LabelDesign.create(
+            weights=self._weights,
+            sensitive=self._sensitive,
+            diversity=self._diversity,
+            id_column=self._id_column,
+            k=self._k,
+            alpha=self._alpha,
+            normalize=self._normalize,
+            monte_carlo_trials=self._monte_carlo_trials,
+            monte_carlo_epsilons=self._monte_carlo_epsilons,
+            seed=self._seed,
         )
-        if self._id_column is not None:
-            builder.with_id_column(self._id_column)
-        if not self._normalize:
-            builder.with_normalization(NormalizationPlan.raw())
-        for attr in self._sensitive:
-            builder.with_sensitive_attribute(attr)
-        facts = builder.build()
-        self._facts = facts
+
+    def generate_label(self) -> RankingFacts:
+        """Serve the nutritional label for the current design.
+
+        Computation goes through the label service: a repeat of an
+        unchanged design (from this session or any other sharing the
+        service) is a cache hit and performs zero rebuilds.
+        """
+        design = self.current_design()
+        table = self._require_table()
+        outcome = self._service.build_label(
+            table, design, dataset_name=self._dataset_name
+        )
+        self._facts = outcome.facts
+        self._last_cached = outcome.cached
         self._stage = SessionStage.LABELED
-        return facts
+        return outcome.facts
 
     def last_label(self) -> RankingFacts:
         """The most recently generated label."""
         if self._facts is None:
             raise SessionStateError("no label generated yet; call generate_label()")
         return self._facts
+
+    def last_label_was_cached(self) -> bool:
+        """Whether the last ``generate_label()`` was served from cache."""
+        return self._last_cached

@@ -1,0 +1,47 @@
+"""The label computation engine: cached, parallel, multi-session.
+
+The paper's tool is "a Web-based application"; serving it to more than
+one audience at hardware speed needs a layer between the app and the
+label builder.  That layer is this package:
+
+- :mod:`repro.engine.fingerprint` — content hashes for (table, design)
+  pairs, so identical requests are identical cache keys;
+- :mod:`repro.engine.cache` — a thread-safe LRU of built labels with
+  single-flight deduplication and hit/miss/eviction stats;
+- :mod:`repro.engine.jobs` — :class:`LabelDesign` / :class:`LabelJob`
+  value objects every entry point normalizes into;
+- :mod:`repro.engine.executor` — thread-pool fan-out for batches and
+  for the Monte-Carlo stability trials inside one build;
+- :mod:`repro.engine.service` — :class:`LabelService`, the facade the
+  session, server, and CLI call.
+
+Determinism contract: a label served by the engine — cached, batched,
+or trial-parallel — is byte-identical to one built serially by
+:class:`~repro.label.builder.RankingFactsBuilder` with the same seed.
+"""
+
+from repro.engine.cache import CacheStats, LabelCache
+from repro.engine.executor import BatchHandle, LabelExecutor
+from repro.engine.fingerprint import (
+    design_fingerprint,
+    label_fingerprint,
+    table_fingerprint,
+)
+from repro.engine.jobs import JobResult, JobStatus, LabelDesign, LabelJob
+from repro.engine.service import LabelOutcome, LabelService
+
+__all__ = [
+    "CacheStats",
+    "LabelCache",
+    "BatchHandle",
+    "LabelExecutor",
+    "table_fingerprint",
+    "design_fingerprint",
+    "label_fingerprint",
+    "LabelDesign",
+    "LabelJob",
+    "JobResult",
+    "JobStatus",
+    "LabelOutcome",
+    "LabelService",
+]

@@ -1,0 +1,169 @@
+"""A thread-safe LRU cache for built labels.
+
+The Monte-Carlo stability loop makes a label expensive to build and
+cheap to keep: a :class:`~repro.label.builder.RankingFacts` bundle is a
+few immutable dataclasses, while rebuilding it re-runs ``trials x
+epsilons`` full re-rankings.  :class:`LabelCache` therefore keeps the
+most recently used bundles keyed by their content fingerprint.
+
+Two concurrency guarantees matter for the multi-session server:
+
+- All bookkeeping happens under one lock, so hit/miss/eviction counts
+  are exact even under concurrent load.
+- :meth:`get_or_build` is *single-flight*: when N threads ask for the
+  same missing key at once, exactly one runs the build while the others
+  wait for its result — a thundering herd of identical label requests
+  costs one Monte-Carlo loop, not N.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import EngineError
+
+__all__ = ["CacheStats", "LabelCache"]
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of cache effectiveness."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    max_size: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when nothing was looked up yet)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Plain-dict form for the ``/engine/stats`` endpoint."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "max_size": self.max_size,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LabelCache:
+    """Thread-safe LRU mapping of fingerprint -> built value.
+
+    Parameters
+    ----------
+    max_size:
+        Entries kept; the least recently *used* entry is evicted first.
+    """
+
+    def __init__(self, max_size: int = 64):
+        if max_size < 1:
+            raise EngineError(f"cache max_size must be >= 1, got {max_size}")
+        self._max_size = max_size
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._build_locks: dict[str, threading.Lock] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Look up ``key``, counting a hit or miss."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry if full."""
+        with self._lock:
+            self._put_locked(key, value)
+
+    def _put_locked(self, key: str, value: Any) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self._max_size:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def get_or_build(self, key: str, build: Callable[[], Any]) -> tuple[Any, bool]:
+        """Return ``(value, was_cached)``; build at most once per key.
+
+        Concurrent callers with the same missing key serialize on a
+        per-key lock: the first runs ``build()``, the rest find the
+        fresh entry when the lock frees.  Distinct keys build fully in
+        parallel.  A failing build propagates to every waiter that
+        reaches the builder (the key stays absent).
+        """
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is not _MISSING:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return value, True
+            build_lock = self._build_locks.setdefault(key, threading.Lock())
+        with build_lock:
+            # someone may have finished the build while we waited
+            with self._lock:
+                value = self._entries.get(key, _MISSING)
+                if value is not _MISSING:
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                    return value, True
+                self._misses += 1
+            try:
+                value = build()
+                with self._lock:
+                    self._put_locked(key, value)
+            finally:
+                # drop the per-key lock on failure too; waiters re-check the
+                # cache, miss, and retry the build themselves
+                with self._lock:
+                    self._build_locks.pop(key, None)
+            return value, False
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; returns whether it existed."""
+        with self._lock:
+            return self._entries.pop(key, _MISSING) is not _MISSING
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                max_size=self._max_size,
+            )

@@ -1,0 +1,230 @@
+"""Concurrent batch execution for label jobs.
+
+:class:`LabelExecutor` owns two thread pools with distinct roles:
+
+- the **job pool** fans a batch of :class:`~repro.engine.jobs.LabelJob`
+  out so independent labels build concurrently;
+- the **trial pool** is handed to the label builder so each label's
+  Monte-Carlo stability trials (the hot path) fan out *within* a build.
+
+They must be separate: a job thread blocks until its trials finish, so
+sharing one pool would deadlock the moment jobs occupy every worker
+and their trials queue behind them.  On a single-core host the trial
+pool is skipped entirely (``trial_workers <= 1`` keeps trials inline —
+threads there are pure overhead), while the job pool is kept: batch
+jobs still overlap their cache waits, and the single-flight cache
+collapses duplicate designs to one build.
+
+Batches are tracked by id, so a client can submit asynchronously
+(``POST /jobs``) and poll (``GET /jobs/<id>``) — the shape the paper's
+"Web-based application" needs to serve many audiences at once.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from collections import OrderedDict
+from collections.abc import Callable, Sequence
+from concurrent.futures import Executor, Future, ThreadPoolExecutor
+
+from repro.engine.jobs import JobResult, JobStatus, LabelJob
+from repro.errors import EngineError
+
+__all__ = ["BatchHandle", "LabelExecutor"]
+
+
+class BatchHandle:
+    """One submitted batch: its jobs, futures, and status rollup."""
+
+    def __init__(self, batch_id: str, jobs: Sequence[LabelJob], futures: Sequence[Future]):
+        self.batch_id = batch_id
+        self.jobs = list(jobs)
+        self._futures = list(futures)
+
+    def done(self) -> bool:
+        """Whether every job has finished (successfully or not)."""
+        return all(future.done() for future in self._futures)
+
+    def results(self, timeout: float | None = None) -> list[JobResult]:
+        """Block until every job finishes; results in submission order."""
+        return [future.result(timeout=timeout) for future in self._futures]
+
+    def completed_results(self) -> list[JobResult | None]:
+        """Non-blocking: finished jobs' results, ``None`` where not done.
+
+        A slot is also ``None`` if the runner itself raised (the status
+        rollup reports that as a failed row); callers get exactly the
+        stored results, never a recomputation.
+        """
+        results: list[JobResult | None] = []
+        for future in self._futures:
+            if future.done() and future.exception() is None:
+                results.append(future.result())
+            else:
+                results.append(None)
+        return results
+
+    def status(self) -> dict[str, object]:
+        """Non-blocking snapshot for the polling endpoint."""
+        rows: list[dict[str, object]] = []
+        for job, future in zip(self.jobs, self._futures):
+            if future.done():
+                exc = future.exception()
+                if exc is not None:  # runner bugs; job errors come back as FAILED
+                    rows.append({
+                        "job_id": job.job_id,
+                        "status": JobStatus.FAILED.value,
+                        "error": str(exc),
+                    })
+                else:
+                    rows.append(future.result().summary())
+            else:
+                rows.append({
+                    "job_id": job.job_id,
+                    "status": (
+                        JobStatus.RUNNING.value
+                        if future.running()
+                        else JobStatus.PENDING.value
+                    ),
+                })
+        return {
+            "batch_id": self.batch_id,
+            "done": self.done(),
+            "total": len(self.jobs),
+            "completed": sum(future.done() for future in self._futures),
+            "jobs": rows,
+        }
+
+
+class LabelExecutor:
+    """Thread-pool fan-out for batches and Monte-Carlo trials.
+
+    Parameters
+    ----------
+    max_workers:
+        Job-level concurrency (default: CPU count, at least 2 so
+        batches overlap cache waits even on one core).
+    trial_workers:
+        Workers for the Monte-Carlo trial pool; ``None`` means CPU
+        count, and values ``<= 1`` disable the pool (trials run inline
+        on the building thread).
+    max_batches:
+        Finished-batch handles retained for polling; when exceeded the
+        oldest handle is forgotten (its jobs keep running if still
+        live, but it can no longer be polled).  Bounds a long-running
+        server's memory.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        trial_workers: int | None = None,
+        max_batches: int = 256,
+    ):
+        cpus = os.cpu_count() or 1
+        self._max_workers = max_workers if max_workers is not None else max(2, cpus)
+        if self._max_workers < 1:
+            raise EngineError(f"max_workers must be >= 1, got {self._max_workers}")
+        if max_batches < 1:
+            raise EngineError(f"max_batches must be >= 1, got {max_batches}")
+        self._trial_workers = trial_workers if trial_workers is not None else cpus
+        self._max_batches = max_batches
+        self._job_pool: ThreadPoolExecutor | None = None
+        self._trial_pool: ThreadPoolExecutor | None = None
+        self._batches: OrderedDict[str, BatchHandle] = OrderedDict()
+        self._lock = threading.Lock()
+        self._batch_counter = itertools.count(1)
+        self._jobs_submitted = 0
+
+    # -- pools -----------------------------------------------------------------
+
+    @property
+    def max_workers(self) -> int:
+        """Job-level worker count."""
+        return self._max_workers
+
+    @property
+    def trial_workers(self) -> int:
+        """Trial-level worker count (``<= 1`` means inline trials)."""
+        return self._trial_workers
+
+    def _jobs(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._job_pool is None:
+                self._job_pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="label-job",
+                )
+            return self._job_pool
+
+    def trial_executor(self) -> Executor | None:
+        """The pool for Monte-Carlo trials, or ``None`` to run inline."""
+        if self._trial_workers <= 1:
+            return None
+        with self._lock:
+            if self._trial_pool is None:
+                self._trial_pool = ThreadPoolExecutor(
+                    max_workers=self._trial_workers,
+                    thread_name_prefix="mc-trial",
+                )
+            return self._trial_pool
+
+    # -- batches ----------------------------------------------------------------
+
+    def submit_batch(
+        self,
+        jobs: Sequence[LabelJob],
+        runner: Callable[[LabelJob], JobResult],
+    ) -> BatchHandle:
+        """Queue every job on the job pool; returns the tracked handle."""
+        if not jobs:
+            raise EngineError("a batch needs at least one job")
+        with self._lock:
+            batch_id = f"batch-{next(self._batch_counter):04d}"
+            self._jobs_submitted += len(jobs)
+        pool = self._jobs()
+        futures = [pool.submit(runner, job) for job in jobs]
+        handle = BatchHandle(batch_id, jobs, futures)
+        with self._lock:
+            self._batches[batch_id] = handle
+            while len(self._batches) > self._max_batches:
+                self._batches.popitem(last=False)
+        return handle
+
+    def batch(self, batch_id: str) -> BatchHandle:
+        """Look a submitted batch up by id."""
+        with self._lock:
+            handle = self._batches.get(batch_id)
+        if handle is None:
+            raise EngineError(f"unknown batch id {batch_id!r}")
+        return handle
+
+    def batches(self) -> list[str]:
+        """Ids of every batch submitted so far, oldest first."""
+        with self._lock:
+            return list(self._batches)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """Executor counters for the stats endpoint."""
+        with self._lock:
+            return {
+                "max_workers": self._max_workers,
+                "trial_workers": self._trial_workers,
+                "parallel_trials": self._trial_workers > 1,
+                "batches_submitted": len(self._batches),
+                "jobs_submitted": self._jobs_submitted,
+            }
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop both pools (idempotent)."""
+        with self._lock:
+            job_pool, self._job_pool = self._job_pool, None
+            trial_pool, self._trial_pool = self._trial_pool, None
+        if job_pool is not None:
+            job_pool.shutdown(wait=wait)
+        if trial_pool is not None:
+            trial_pool.shutdown(wait=wait)

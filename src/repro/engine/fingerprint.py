@@ -1,0 +1,70 @@
+"""Content fingerprints: the engine's cache keys.
+
+A label is a pure function of (table, design): the same data ranked
+under the same recipe always yields the same nutritional label.  The
+engine exploits that by hashing both halves into a short hex digest —
+two requests with equal fingerprints are the *same* computation, no
+matter which session, endpoint, or batch job they arrived through.
+
+Fingerprints are content hashes, not identity hashes: a table rebuilt
+from the same CSV, or a design dict sent by a different client with
+keys in a different order, produces the same digest.  Numeric columns
+hash their raw float64 bytes (so ``-0.0`` vs ``0.0`` or NaN payload
+differences matter exactly as much as they do to the ranking code:
+NaN == NaN at the byte level here, and scoring treats both as missing).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Mapping
+
+from repro.tabular.table import Table
+
+__all__ = ["table_fingerprint", "design_fingerprint", "label_fingerprint"]
+
+_SEP = b"\x1f"  # unit separator: unambiguous field delimiter
+
+
+def _hash_update_str(digest, text: str) -> None:
+    data = text.encode("utf-8")
+    digest.update(len(data).to_bytes(8, "little"))
+    digest.update(data)
+
+
+def table_fingerprint(table: Table) -> str:
+    """Deterministic content hash of a table (names, kinds, values)."""
+    digest = hashlib.sha256()
+    digest.update(table.num_rows.to_bytes(8, "little"))
+    for name in table.column_names:
+        column = table.column(name)
+        _hash_update_str(digest, name)
+        _hash_update_str(digest, column.kind)
+        digest.update(_SEP)
+        if column.kind == "numeric":
+            digest.update(column.values.tobytes())
+        else:
+            for value in column.values:
+                _hash_update_str(digest, str(value))
+        digest.update(_SEP)
+    return digest.hexdigest()
+
+
+def design_fingerprint(design: Mapping[str, object]) -> str:
+    """Deterministic hash of a design mapping (key order irrelevant).
+
+    The mapping must be JSON-serializable; ``sort_keys`` makes the
+    digest independent of insertion order, so HTTP clients, the CLI,
+    and programmatic callers all key into the same cache entries.
+    """
+    canonical = json.dumps(dict(design), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def label_fingerprint(table: Table, design: Mapping[str, object]) -> str:
+    """The cache key for one label: table hash x design hash."""
+    digest = hashlib.sha256()
+    _hash_update_str(digest, table_fingerprint(table))
+    _hash_update_str(digest, design_fingerprint(design))
+    return digest.hexdigest()

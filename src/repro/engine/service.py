@@ -1,0 +1,197 @@
+"""The label computation service: the seam between app and builder.
+
+Every client — :class:`~repro.app.session.DemoSession`, the HTTP
+server's session registry, the CLI's ``batch`` command — asks
+:class:`LabelService` for labels instead of driving
+:class:`~repro.label.builder.RankingFactsBuilder` directly.  The
+service adds what a multi-session deployment needs and a single demo
+session never did:
+
+- **content-addressed caching** — identical (table, design) pairs are
+  one computation, across sessions and entry points, with single-flight
+  deduplication under concurrency (:mod:`repro.engine.cache`);
+- **parallel Monte-Carlo** — the builder gets the service's trial pool,
+  fanning the stability trials (the hot path) over workers with
+  bit-identical results (:mod:`repro.stability.montecarlo`);
+- **batch execution** — many jobs submitted at once, tracked by batch
+  id for async polling (:mod:`repro.engine.executor`);
+- **observability** — one ``stats()`` snapshot over cache, executor,
+  and build counters, served at ``GET /engine/stats``.
+
+Future scaling work (sharding the cache, remote workers, alternative
+builders) lands behind this facade without touching the clients.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Sequence
+from dataclasses import replace
+
+from repro.engine.cache import LabelCache
+from repro.engine.executor import BatchHandle, LabelExecutor
+from repro.engine.fingerprint import label_fingerprint
+from repro.engine.jobs import JobResult, JobStatus, LabelDesign, LabelJob
+from repro.errors import RankingFactsError
+from repro.label.builder import RankingFacts
+from repro.tabular.table import Table
+
+__all__ = ["LabelOutcome", "LabelService"]
+
+
+class LabelOutcome:
+    """A served label plus how it was produced (cache hit? how long?)."""
+
+    __slots__ = ("facts", "cached", "fingerprint", "seconds")
+
+    def __init__(self, facts: RankingFacts, cached: bool, fingerprint: str, seconds: float):
+        self.facts = facts
+        self.cached = cached
+        self.fingerprint = fingerprint
+        self.seconds = seconds
+
+
+class LabelService:
+    """Cached, parallel, multi-session label computation.
+
+    Parameters
+    ----------
+    cache_size:
+        LRU capacity, in labels.
+    max_workers:
+        Job-level batch concurrency (default: CPU count, min 2).
+    trial_workers:
+        Monte-Carlo trial concurrency (default: CPU count; ``<= 1``
+        runs trials inline — the right call on single-core hosts).
+    use_cache:
+        Master switch, mostly for benchmarking cold builds.
+    """
+
+    def __init__(
+        self,
+        cache_size: int = 64,
+        max_workers: int | None = None,
+        trial_workers: int | None = None,
+        use_cache: bool = True,
+    ):
+        self._cache = LabelCache(max_size=cache_size)
+        self._executor = LabelExecutor(
+            max_workers=max_workers, trial_workers=trial_workers
+        )
+        self._use_cache = use_cache
+        self._lock = threading.Lock()
+        self._builds = 0
+        self._requests = 0
+
+    # -- the core: one label -------------------------------------------------------
+
+    def build_label(
+        self, table: Table, design: LabelDesign, dataset_name: str = "unnamed dataset"
+    ) -> LabelOutcome:
+        """Serve the label for (table, design), building only on miss.
+
+        The cache key is the content fingerprint of both halves, so a
+        repeated request for an unchanged design performs zero rebuilds
+        regardless of which session issues it.  ``dataset_name`` is
+        display metadata and deliberately *not* part of the key... but
+        it is rendered into the label, so it rides along in the design
+        fingerprint input to keep cached bytes exact.
+        """
+        key = label_fingerprint(
+            table, {"design": design.canonical_dict(), "dataset_name": dataset_name}
+        )
+        with self._lock:
+            self._requests += 1
+        start = time.perf_counter()
+
+        def build() -> RankingFacts:
+            with self._lock:
+                self._builds += 1
+            builder = design.builder_for(table, dataset_name=dataset_name)
+            builder.with_executor(self._executor.trial_executor())
+            return builder.build()
+
+        if not self._use_cache:
+            facts = build()
+            return LabelOutcome(facts, False, key, time.perf_counter() - start)
+        facts, cached = self._cache.get_or_build(key, build)
+        return LabelOutcome(facts, cached, key, time.perf_counter() - start)
+
+    # -- batches ---------------------------------------------------------------------
+
+    def run_job(self, job: LabelJob) -> JobResult:
+        """Run one job to completion, capturing failures as results."""
+        started = time.perf_counter()
+        try:
+            table, name = job.resolve_table()
+            outcome = self.build_label(table, job.design, dataset_name=name)
+            return JobResult(
+                job_id=job.job_id,
+                status=JobStatus.DONE,
+                facts=outcome.facts,
+                fingerprint=outcome.fingerprint,
+                cached=outcome.cached,
+                seconds=time.perf_counter() - started,
+                dataset_name=name,
+            )
+        except RankingFactsError as exc:
+            return JobResult(
+                job_id=job.job_id,
+                status=JobStatus.FAILED,
+                seconds=time.perf_counter() - started,
+                error=str(exc),
+                dataset_name=job.dataset_name or job.dataset or job.csv_path or "",
+            )
+
+    def submit_batch(self, jobs: Sequence[LabelJob]) -> BatchHandle:
+        """Queue a batch asynchronously; poll via :meth:`batch`."""
+        numbered = [
+            job if job.job_id else replace(job, job_id=f"job-{index}")
+            for index, job in enumerate(jobs)
+        ]
+        return self._executor.submit_batch(numbered, self.run_job)
+
+    def run_batch(self, jobs: Sequence[LabelJob]) -> list[JobResult]:
+        """Submit and block until every job finishes (CLI path)."""
+        return self.submit_batch(jobs).results()
+
+    def batch(self, batch_id: str) -> BatchHandle:
+        """Look up a previously submitted batch."""
+        return self._executor.batch(batch_id)
+
+    # -- observability and lifecycle ----------------------------------------------------
+
+    @property
+    def cache(self) -> LabelCache:
+        """The underlying cache (tests and tuning)."""
+        return self._cache
+
+    @property
+    def executor(self) -> LabelExecutor:
+        """The underlying executor (tests and tuning)."""
+        return self._executor
+
+    def stats(self) -> dict[str, object]:
+        """One JSON-safe snapshot across cache, executor, and service."""
+        with self._lock:
+            service = {
+                "requests": self._requests,
+                "builds": self._builds,
+                "cache_enabled": self._use_cache,
+            }
+        return {
+            "service": service,
+            "cache": self._cache.stats().as_dict(),
+            "executor": self._executor.stats(),
+        }
+
+    def shutdown(self) -> None:
+        """Stop the worker pools (the cache needs no teardown)."""
+        self._executor.shutdown()
+
+    def __enter__(self) -> "LabelService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

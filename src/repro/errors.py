@@ -25,6 +25,7 @@ __all__ = [
     "LabelError",
     "DatasetError",
     "SessionStateError",
+    "EngineError",
 ]
 
 
@@ -107,6 +108,10 @@ class LabelError(RankingFactsError):
 
 class DatasetError(RankingFactsError):
     """A built-in dataset generator or loader received bad parameters."""
+
+
+class EngineError(RankingFactsError):
+    """The label engine was misused (bad job spec, unknown batch id...)."""
 
 
 class SessionStateError(RankingFactsError):

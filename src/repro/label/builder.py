@@ -12,6 +12,7 @@ a :class:`RankingFacts` bundle holding the ranking and its
 from __future__ import annotations
 
 from collections.abc import Sequence
+from concurrent.futures import Executor
 from dataclasses import dataclass
 
 from repro.errors import LabelError
@@ -88,6 +89,7 @@ class RankingFactsBuilder:
         self._monte_carlo_trials = 0  # 0 disables the optional MC stability
         self._monte_carlo_epsilons = (0.05, 0.1, 0.2)
         self._seed = 20180610
+        self._executor: Executor | None = None
 
     # -- configuration ---------------------------------------------------------
 
@@ -188,6 +190,16 @@ class RankingFactsBuilder:
         self._seed = seed
         return self
 
+    def with_executor(self, executor: Executor | None) -> "RankingFactsBuilder":
+        """Fan the Monte-Carlo stability trials out over ``executor``.
+
+        The estimators use one RNG stream per trial, so the parallel
+        label is bit-identical to the serial one for equal seeds.
+        ``None`` (the default) keeps the trials on the calling thread.
+        """
+        self._executor = executor
+        return self
+
     # -- build ------------------------------------------------------------------
 
     def _require_configured(self) -> LinearScoringFunction:
@@ -256,6 +268,7 @@ class RankingFactsBuilder:
             wps = WeightPerturbationStability(
                 prepared, scorer, self._id_column,
                 k=self._k, trials=self._monte_carlo_trials, seed=self._seed,
+                executor=self._executor,
             )
             perturbation_outcomes = tuple(
                 wps.assess_at(eps) for eps in self._monte_carlo_epsilons
@@ -263,6 +276,7 @@ class RankingFactsBuilder:
             dus = DataUncertaintyStability(
                 prepared, scorer, self._id_column,
                 k=self._k, trials=self._monte_carlo_trials, seed=self._seed,
+                executor=self._executor,
             )
             uncertainty_outcomes = tuple(
                 dus.assess_at(eps) for eps in self._monte_carlo_epsilons
@@ -271,6 +285,7 @@ class RankingFactsBuilder:
                 per_attribute_stability(
                     prepared, scorer, self._id_column,
                     k=self._k, trials=self._monte_carlo_trials, seed=self._seed,
+                    executor=self._executor,
                 )
             )
         stability_widget = StabilityWidget(

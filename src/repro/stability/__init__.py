@@ -20,6 +20,7 @@ Three estimators, matching the paper's three framings:
 """
 
 from repro.stability.gaps import GapReport, score_gap_analysis
+from repro.stability.montecarlo import run_trials, trial_rng
 from repro.stability.per_attribute import AttributeStability, per_attribute_stability
 from repro.stability.perturbation import (
     PerturbationOutcome,
@@ -41,4 +42,6 @@ __all__ = [
     "score_gap_analysis",
     "AttributeStability",
     "per_attribute_stability",
+    "run_trials",
+    "trial_rng",
 ]

@@ -1,0 +1,49 @@
+"""Shared Monte-Carlo plumbing for the stability estimators.
+
+Every stability estimator runs the same shape of loop: ``trials``
+independent draws, each of which re-ranks the table and compares the
+result to a baseline.  Two properties make that loop safe to
+parallelize:
+
+- **Per-trial RNG streams.**  Trial ``i`` draws from
+  ``default_rng([seed, i])`` instead of consuming a single sequential
+  stream, so a trial's randomness does not depend on which trials ran
+  before it (or on which worker ran it).  Results are therefore
+  bit-identical whether the loop runs serially, on a thread pool, or
+  in any interleaving — the property the engine's executor relies on.
+- **Order-preserving fan-out.**  :func:`run_trials` maps the trial
+  function over ``range(trials)`` either inline or via an executor's
+  ``map`` (which yields results in submission order), so aggregation
+  code never sees reordered outcomes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from concurrent.futures import Executor
+from typing import TypeVar
+
+import numpy as np
+
+__all__ = ["trial_rng", "run_trials"]
+
+T = TypeVar("T")
+
+
+def trial_rng(seed: int, trial: int) -> np.random.Generator:
+    """An independent, deterministic generator for one Monte-Carlo trial."""
+    return np.random.default_rng([seed, trial])
+
+
+def run_trials(
+    fn: Callable[[int], T], trials: int, executor: Executor | None = None
+) -> list[T]:
+    """Run ``fn(0..trials-1)``, inline or on ``executor``, in order.
+
+    ``Executor.map`` yields results in submission order, so the output
+    list is identical for both paths; with per-trial RNG streams the
+    *values* are identical too.
+    """
+    if executor is None:
+        return [fn(trial) for trial in range(trials)]
+    return list(executor.map(fn, range(trials)))

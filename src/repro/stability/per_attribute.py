@@ -10,6 +10,7 @@ a 6% change to PubCount's" directly off the detailed widget.
 
 from __future__ import annotations
 
+from concurrent.futures import Executor
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,6 +18,7 @@ import numpy as np
 from repro.errors import StabilityError
 from repro.ranking.ranker import rank_table
 from repro.ranking.scoring import LinearScoringFunction
+from repro.stability.montecarlo import run_trials, trial_rng
 from repro.tabular.table import Table
 
 __all__ = ["AttributeStability", "per_attribute_stability"]
@@ -57,20 +59,21 @@ def _change_probability(
     k: int,
     trials: int,
     seed: int,
+    executor: Executor | None = None,
 ) -> float:
-    rng = np.random.default_rng(seed)
     weight = scorer.weights[attribute]
     scale = abs(weight) if weight != 0.0 else float(
         np.mean([abs(w) for w in scorer.weights.values()])
     )
-    changed = 0
-    for _ in range(trials):
+
+    def one_trial(trial: int) -> bool:
+        rng = trial_rng(seed, trial)
         delta = float(rng.uniform(-epsilon, epsilon) * scale)
         perturbed = scorer.perturbed({attribute: delta})
         ranking = rank_table(table, perturbed, id_column)
-        if set(ranking.item_ids()[:k]) != baseline_top:
-            changed += 1
-    return changed / trials
+        return set(ranking.item_ids()[:k]) != baseline_top
+
+    return sum(run_trials(one_trial, trials, executor)) / trials
 
 
 def per_attribute_stability(
@@ -82,6 +85,7 @@ def per_attribute_stability(
     probability: float = 0.5,
     iterations: int = 8,
     seed: int = 20180610,
+    executor: Executor | None = None,
 ) -> list[AttributeStability]:
     """Critical single-weight change per attribute, most fragile first.
 
@@ -102,7 +106,12 @@ def per_attribute_stability(
     iterations:
         Bisection steps (the search window is [0, 1] relative change).
     seed:
-        RNG seed, fixed for reproducible labels.
+        RNG seed, fixed for reproducible labels.  Each Monte-Carlo
+        trial draws from its own ``[seed, trial]`` stream, so results
+        match between serial and parallel execution.
+    executor:
+        Optional :class:`concurrent.futures.Executor` the trials of
+        each bisection probe fan out over.
     """
     if k < 1:
         raise StabilityError(f"k must be >= 1, got {k}")
@@ -119,7 +128,7 @@ def per_attribute_stability(
         def probe(epsilon: float, attr=attribute) -> float:
             return _change_probability(
                 table, scorer, attr, epsilon, id_column,
-                baseline_top, k, trials, seed,
+                baseline_top, k, trials, seed, executor,
             )
 
         if probe(1.0) < probability:

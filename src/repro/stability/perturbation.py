@@ -11,7 +11,9 @@ ranking to change".
 
 from __future__ import annotations
 
+from concurrent.futures import Executor
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -19,6 +21,7 @@ from repro.errors import StabilityError
 from repro.ranking.compare import kendall_tau_rankings, top_k_overlap
 from repro.ranking.ranker import Ranking, rank_table
 from repro.ranking.scoring import LinearScoringFunction
+from repro.stability.montecarlo import run_trials, trial_rng
 from repro.tabular.table import Table
 
 __all__ = [
@@ -79,9 +82,15 @@ class WeightPerturbationStability:
     k:
         Top-k size whose composition defines "the ranking changed".
     trials:
-        Monte-Carlo draws per epsilon.
+        Monte-Carlo draws per epsilon.  Each trial draws from its own
+        ``[seed, trial]`` RNG stream, so outcomes do not depend on
+        execution order and the loop parallelizes deterministically.
     seed:
         RNG seed; fixed by default so labels are reproducible.
+    executor:
+        Optional :class:`concurrent.futures.Executor`; when given, the
+        trials of each ``assess_at`` fan out over its workers with
+        results identical to the serial path.
     """
 
     name = "weight perturbation"
@@ -94,6 +103,7 @@ class WeightPerturbationStability:
         k: int = 10,
         trials: int = 50,
         seed: int = 20180610,
+        executor: Executor | None = None,
     ):
         if k < 1:
             raise StabilityError(f"k must be >= 1, got {k}")
@@ -107,7 +117,9 @@ class WeightPerturbationStability:
         self._k = k
         self._trials = trials
         self._seed = seed
+        self._executor = executor
         self._baseline = rank_table(table, scorer, id_column)
+        self._baseline_top = frozenset(self._baseline.item_ids()[: self._k])
 
     @property
     def baseline(self) -> Ranking:
@@ -130,23 +142,27 @@ class WeightPerturbationStability:
         }
         return self._scorer.perturbed(deltas)
 
+    def _run_trial(self, epsilon: float, trial: int) -> tuple[float, float, bool]:
+        rng = trial_rng(self._seed, trial)
+        perturbed = rank_table(
+            self._table, self._perturbed_scorer(epsilon, rng), self._id_column
+        )
+        return (
+            kendall_tau_rankings(self._baseline, perturbed),
+            top_k_overlap(self._baseline, perturbed, self._k),
+            set(perturbed.item_ids()[: self._k]) != self._baseline_top,
+        )
+
     def assess_at(self, epsilon: float) -> PerturbationOutcome:
         """Run the Monte-Carlo loop at one perturbation magnitude."""
         if epsilon < 0.0:
             raise StabilityError(f"epsilon must be non-negative, got {epsilon}")
-        rng = np.random.default_rng(self._seed)
-        taus: list[float] = []
-        overlaps: list[float] = []
-        changed = 0
-        baseline_top = set(self._baseline.item_ids()[: self._k])
-        for _ in range(self._trials):
-            perturbed = rank_table(
-                self._table, self._perturbed_scorer(epsilon, rng), self._id_column
-            )
-            taus.append(kendall_tau_rankings(self._baseline, perturbed))
-            overlaps.append(top_k_overlap(self._baseline, perturbed, self._k))
-            if set(perturbed.item_ids()[: self._k]) != baseline_top:
-                changed += 1
+        outcomes = run_trials(
+            partial(self._run_trial, epsilon), self._trials, self._executor
+        )
+        taus = [tau for tau, _, _ in outcomes]
+        overlaps = [overlap for _, overlap, _ in outcomes]
+        changed = sum(moved for _, _, moved in outcomes)
         return PerturbationOutcome(
             epsilon=float(epsilon),
             mean_kendall_tau=float(np.mean(taus)),

@@ -1,0 +1,260 @@
+"""Tests for the server's multi-session registry and batch endpoints."""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.app.server import SessionRegistry, make_server
+
+DESIGN = {
+    "weights": {"PubCount": 0.4, "Faculty": 0.4, "GRE": 0.2},
+    "sensitive": ["DeptSizeBin"],
+    "id_column": "DeptName",
+}
+
+
+def get(handle, path):
+    with urllib.request.urlopen(handle.url + path, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def post(handle, path, body):
+    request = urllib.request.Request(
+        handle.url + path,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def wait_for_batch(handle, batch_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, status = get(handle, f"/jobs/{batch_id}")
+        if status["done"]:
+            return status
+        time.sleep(0.05)
+    raise AssertionError(f"batch {batch_id} did not finish within {timeout}s")
+
+
+@pytest.fixture(scope="module")
+def served():
+    with make_server() as handle:
+        yield handle
+
+
+class TestSessionRegistry:
+    def test_create_get_close(self):
+        registry = SessionRegistry()
+        token, session = registry.create()
+        assert registry.get(token) is session
+        assert registry.tokens() == {token: "empty"}
+        assert registry.close(token) is True
+        assert registry.close(token) is False
+
+    def test_sessions_share_the_service(self):
+        registry = SessionRegistry()
+        _, one = registry.create()
+        _, two = registry.create()
+        assert one.service is two.service is registry.service
+
+
+class TestSessionEndpoints:
+    def test_open_bare_session_then_configure(self, served):
+        status, reply = post(served, "/session", {})
+        assert status == 201 and reply["stage"] == "empty"
+        token = reply["token"]
+        status, reply = post(
+            served, f"/session/{token}/dataset", {"name": "cs-departments"}
+        )
+        assert status == 200 and reply["stage"] == "data-loaded"
+        status, reply = post(served, f"/session/{token}/design", DESIGN)
+        assert status == 200 and reply["stage"] == "scorer-designed"
+        status, label = get(served, f"/session/{token}/label")
+        assert status == 200 and label["dataset"] == "cs-departments"
+
+    def test_open_preloaded_session(self, served):
+        status, reply = post(
+            served, "/session", {"dataset": "cs-departments", "design": DESIGN}
+        )
+        assert status == 201 and reply["stage"] == "scorer-designed"
+        token = reply["token"]
+        _, overview = get(served, f"/session/{token}/attributes")
+        assert any(entry["name"] == "GRE" for entry in overview["attributes"])
+        _, preview = get(served, f"/session/{token}/preview")
+        assert preview["preview"][0]["rank"] == 1
+
+    def test_invalid_preload_does_not_leak_a_session(self, served):
+        _, before = get(served, "/sessions")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(served, "/session", {"dataset": "no-such-dataset"})
+        assert excinfo.value.code == 400
+        _, after = get(served, "/sessions")
+        assert len(after["sessions"]) == len(before["sessions"])
+
+    def test_unknown_token_404(self, served):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(served, "/session/deadbeef/label")
+        assert excinfo.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(served, "/session/deadbeef/design", DESIGN)
+        assert excinfo.value.code == 404
+
+    def test_two_sessions_are_isolated(self, served):
+        _, one = post(
+            served, "/session", {"dataset": "cs-departments", "design": DESIGN}
+        )
+        _, two = post(served, "/session", {
+            "dataset": "cs-departments",
+            "design": DESIGN | {"weights": {"GRE": 1.0}, "k": 5},
+        })
+        _, label_one = get(served, f"/session/{one['token']}/label")
+        _, label_two = get(served, f"/session/{two['token']}/label")
+        assert set(label_one["recipe"]["weights"]) == set(DESIGN["weights"])
+        assert set(label_two["recipe"]["weights"]) == {"GRE"}
+        assert label_one["k"] == 10 and label_two["k"] == 5
+
+    def test_identical_designs_hit_the_shared_cache(self, served):
+        body = {"dataset": "cs-departments", "design": DESIGN | {"seed": 99}}
+        _, one = post(served, "/session", body)
+        _, two = post(served, "/session", body)
+        get(served, f"/session/{one['token']}/label")
+        _, stats_before = get(served, "/engine/stats")
+        get(served, f"/session/{two['token']}/label")
+        _, stats_after = get(served, "/engine/stats")
+        assert (
+            stats_after["service"]["builds"] == stats_before["service"]["builds"]
+        )
+        _, status = get(served, f"/session/{two['token']}/status")
+        assert status["cached"] is True
+
+    def test_session_status_view(self, served):
+        _, reply = post(served, "/session", {"dataset": "cs-departments"})
+        _, status = get(served, f"/session/{reply['token']}/status")
+        assert status == {"stage": "data-loaded", "cached": False}
+
+    def test_monte_carlo_design_over_http(self, served):
+        _, reply = post(served, "/session", {
+            "dataset": "cs-departments",
+            "design": DESIGN | {
+                "monte_carlo_trials": 3, "monte_carlo_epsilons": [0.1],
+            },
+        })
+        _, label = get(served, f"/session/{reply['token']}/label")
+        perturbation = label["stability"]["weight_perturbation"]
+        assert perturbation and perturbation[0]["trials"] == 3
+
+    def test_redesign_without_monte_carlo_disables_it(self, served):
+        _, reply = post(served, "/session", {
+            "dataset": "cs-departments",
+            "design": DESIGN | {
+                "monte_carlo_trials": 3, "monte_carlo_epsilons": [0.1],
+            },
+        })
+        token = reply["token"]
+        _, label = get(served, f"/session/{token}/label")
+        assert label["stability"]["weight_perturbation"]
+        post(served, f"/session/{token}/design", DESIGN)  # no MC fields
+        _, label = get(served, f"/session/{token}/label")
+        assert label["stability"]["weight_perturbation"] == []
+
+    def test_malformed_monte_carlo_epsilons_is_400(self, served):
+        _, reply = post(served, "/session", {"dataset": "cs-departments"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(served, f"/session/{reply['token']}/design", DESIGN | {
+                "monte_carlo_trials": 3, "monte_carlo_epsilons": 0.1,
+            })
+        assert excinfo.value.code == 400
+
+    def test_close_session(self, served):
+        _, reply = post(served, "/session", {"dataset": "cs-departments"})
+        token = reply["token"]
+        status, closed = post(served, f"/session/{token}/close", {})
+        assert status == 200 and closed["closed"] == token
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(served, f"/session/{token}/status")
+        assert excinfo.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(served, f"/session/{token}/close", {})
+        assert excinfo.value.code == 404
+
+
+class TestBatchEndpoints:
+    def test_submit_and_poll(self, served):
+        status, reply = post(served, "/jobs", {"jobs": [
+            {"dataset": "cs-departments", "design": DESIGN},
+            {"dataset": "german-credit", "design": {
+                "weights": {"credit_score": 1.0}, "sensitive": ["sex"],
+                "id_column": "applicant_id",
+            }},
+        ]})
+        assert status == 202 and reply["total"] == 2
+        final = wait_for_batch(served, reply["batch_id"])
+        assert final["completed"] == 2
+        assert [row["status"] for row in final["jobs"]] == ["done", "done"]
+
+    def test_include_labels(self, served):
+        _, reply = post(served, "/jobs", {"jobs": [
+            {"dataset": "cs-departments", "design": DESIGN, "id": "mine"},
+        ]})
+        wait_for_batch(served, reply["batch_id"])
+        _, status = get(served, f"/jobs/{reply['batch_id']}?include=labels")
+        assert status["labels"]["job-0"]["dataset"] == "cs-departments"
+
+    def test_failed_job_visible_in_status(self, served):
+        _, reply = post(served, "/jobs", {"jobs": [
+            {"dataset": "no-such-dataset", "design": DESIGN},
+        ]})
+        final = wait_for_batch(served, reply["batch_id"])
+        assert final["jobs"][0]["status"] == "failed"
+        assert "no-such-dataset" in final["jobs"][0]["error"]
+
+    def test_unknown_batch_404(self, served):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(served, "/jobs/batch-9999")
+        assert excinfo.value.code == 404
+
+    def test_empty_batch_400(self, served):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(served, "/jobs", {"jobs": []})
+        assert excinfo.value.code == 400
+
+
+class TestEngineStats:
+    def test_stats_endpoint_shape(self, served):
+        status, stats = get(served, "/engine/stats")
+        assert status == 200
+        assert set(stats) == {"service", "cache", "executor"}
+
+    def test_health_reports_session_count(self, served):
+        _, health = get(served, "/health")
+        assert health["status"] == "ok"
+        assert health["sessions"] >= 0
+
+
+class TestHeadlessServer:
+    def test_default_routes_without_bound_session_are_400(self, served):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(served, "/label")
+        assert excinfo.value.code == 400
+        assert "no default session" in json.loads(excinfo.value.read())["error"]
+
+    def test_post_to_root_is_404_not_500(self, served):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(served, "/", {})
+        assert excinfo.value.code == 404
+
+    def test_bad_job_design_value_is_400(self, served):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(served, "/jobs", {"jobs": [
+                {"dataset": "compas", "design": {
+                    "weights": {"x": 1.0}, "sensitive": ["g"], "k": "ten",
+                }},
+            ]})
+        assert excinfo.value.code == 400
+        assert "bad design value" in json.loads(excinfo.value.read())["error"]

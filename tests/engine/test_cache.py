@@ -1,0 +1,139 @@
+"""Tests for repro.engine.cache: LRU semantics and thread safety."""
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.cache import LabelCache
+from repro.errors import EngineError
+
+
+class TestBasics:
+    def test_get_miss_then_hit(self):
+        cache = LabelCache(max_size=2)
+        assert cache.get("k") is None
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+
+    def test_contains_and_len(self):
+        cache = LabelCache(max_size=2)
+        cache.put("a", 1)
+        assert "a" in cache and "b" not in cache
+        assert len(cache) == 1
+
+    def test_invalidate_and_clear(self):
+        cache = LabelCache(max_size=4)
+        cache.put("a", 1)
+        assert cache.invalidate("a") is True
+        assert cache.invalidate("a") is False
+        cache.put("b", 2)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_max_size_validated(self):
+        with pytest.raises(EngineError):
+            LabelCache(max_size=0)
+
+
+class TestLRU:
+    def test_least_recently_used_evicted(self):
+        cache = LabelCache(max_size=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats().evictions == 1
+
+    def test_put_refreshes_existing(self):
+        cache = LabelCache(max_size=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh via put
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+
+class TestGetOrBuild:
+    def test_one_build_one_hit(self):
+        cache = LabelCache(max_size=4)
+        calls = []
+        value, cached = cache.get_or_build("k", lambda: calls.append(1) or "v")
+        assert (value, cached) == ("v", False)
+        value, cached = cache.get_or_build("k", lambda: calls.append(1) or "v")
+        assert (value, cached) == ("v", True)
+        assert len(calls) == 1
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+
+    def test_failed_build_leaves_key_absent_and_retries(self):
+        cache = LabelCache(max_size=4)
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise ValueError("boom")
+            return "ok"
+
+        with pytest.raises(ValueError):
+            cache.get_or_build("k", flaky)
+        assert "k" not in cache
+        assert cache._build_locks == {}  # no per-key lock leaked on failure
+        value, cached = cache.get_or_build("k", flaky)
+        assert (value, cached) == ("ok", False)
+        assert cache._build_locks == {}
+
+    def test_single_flight_under_concurrency(self):
+        """Ten threads, same key, slow build: exactly one build runs."""
+        cache = LabelCache(max_size=4)
+        build_count = []
+        build_lock = threading.Lock()
+
+        def slow_build():
+            with build_lock:
+                build_count.append(1)
+            time.sleep(0.05)
+            return "value"
+
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(cache.get_or_build("k", slow_build))
+            )
+            for _ in range(10)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(build_count) == 1
+        assert all(value == "value" for value, _ in results)
+        assert sum(1 for _, cached in results if not cached) == 1
+
+    def test_distinct_keys_build_independently(self):
+        cache = LabelCache(max_size=4)
+        a, a_cached = cache.get_or_build("a", lambda: "va")
+        b, b_cached = cache.get_or_build("b", lambda: "vb")
+        assert (a, b) == ("va", "vb")
+        assert not a_cached and not b_cached
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = LabelCache(max_size=2)
+        assert cache.stats().hit_rate == 0.0
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zz")
+        assert cache.stats().hit_rate == pytest.approx(0.5)
+
+    def test_as_dict_keys(self):
+        d = LabelCache(max_size=2).stats().as_dict()
+        assert set(d) == {
+            "hits", "misses", "evictions", "size", "max_size", "hit_rate",
+        }

@@ -1,0 +1,83 @@
+"""Tests for repro.engine.fingerprint."""
+
+import numpy as np
+
+from repro.engine.fingerprint import (
+    design_fingerprint,
+    label_fingerprint,
+    table_fingerprint,
+)
+from repro.tabular import Table
+
+
+def table(**overrides):
+    data = {
+        "name": ["a", "b", "c"],
+        "x": [1.0, 2.0, 3.0],
+        "group": ["g1", "g2", "g1"],
+    }
+    data.update(overrides)
+    return Table.from_dict(data)
+
+
+class TestTableFingerprint:
+    def test_content_equal_tables_hash_equal(self):
+        assert table_fingerprint(table()) == table_fingerprint(table())
+
+    def test_value_change_changes_hash(self):
+        assert table_fingerprint(table()) != table_fingerprint(
+            table(x=[1.0, 2.0, 3.5])
+        )
+
+    def test_categorical_change_changes_hash(self):
+        assert table_fingerprint(table()) != table_fingerprint(
+            table(group=["g1", "g2", "g2"])
+        )
+
+    def test_column_rename_changes_hash(self):
+        renamed = table().rename_column("x", "y")
+        assert table_fingerprint(table()) != table_fingerprint(renamed)
+
+    def test_column_order_changes_hash(self):
+        reordered = table().select(["x", "name", "group"])
+        assert table_fingerprint(table()) != table_fingerprint(reordered)
+
+    def test_nan_is_stable(self):
+        a = table(x=[1.0, float("nan"), 3.0])
+        b = table(x=[1.0, float("nan"), 3.0])
+        assert table_fingerprint(a) == table_fingerprint(b)
+
+    def test_no_separator_ambiguity_across_columns(self):
+        # "ab" + "c" must not collide with "a" + "bc"
+        one = Table.from_dict({"p": ["ab"], "q": ["c"]})
+        two = Table.from_dict({"p": ["a"], "q": ["bc"]})
+        assert table_fingerprint(one) != table_fingerprint(two)
+
+    def test_numeric_bytes_not_confused_with_row_count(self):
+        a = Table.from_dict({"x": np.array([0.0, 1.0])})
+        b = Table.from_dict({"x": np.array([0.0])})
+        assert table_fingerprint(a) != table_fingerprint(b)
+
+
+class TestDesignFingerprint:
+    def test_outer_key_order_irrelevant(self):
+        assert design_fingerprint({"a": 1, "b": [1, 2]}) == design_fingerprint(
+            {"b": [1, 2], "a": 1}
+        )
+
+    def test_inner_list_order_matters(self):
+        # attribute order is meaningful (it orders the label's widgets)
+        assert design_fingerprint({"weights": [["x", 1.0], ["y", 2.0]]}) != (
+            design_fingerprint({"weights": [["y", 2.0], ["x", 1.0]]})
+        )
+
+    def test_value_change_matters(self):
+        assert design_fingerprint({"k": 10}) != design_fingerprint({"k": 5})
+
+
+class TestLabelFingerprint:
+    def test_combines_both_halves(self):
+        key = label_fingerprint(table(), {"k": 10})
+        assert key != label_fingerprint(table(), {"k": 5})
+        assert key != label_fingerprint(table(x=[9.0, 2.0, 3.0]), {"k": 10})
+        assert key == label_fingerprint(table(), {"k": 10})

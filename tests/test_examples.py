@@ -5,6 +5,7 @@ it; the test asserts a zero exit code and checks a load-bearing line of
 its output.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -12,8 +13,10 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = EXAMPLES_DIR.parent / "src"
 
 EXPECTED_OUTPUT = {
+    "batch_engine.py": "served from cache",
     "quickstart.py": "RANKING FACTS",
     "cs_departments_label.py": "only large departments are present in the top-10",
     "compas_audit.py": "FA*IR re-ranked top-100",
@@ -24,11 +27,14 @@ EXPECTED_OUTPUT = {
 
 
 def run_example(name: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / name)],
         capture_output=True,
         text=True,
         timeout=300,
+        env=env,
     )
     assert result.returncode == 0, f"{name} failed:\n{result.stderr[-2000:]}"
     return result.stdout
