@@ -1,0 +1,111 @@
+"""B1: Monte-Carlo trial backends — serial vs thread vs process.
+
+PR 1 made the trial loop deterministic under any interleaving; this
+bench exercises the pluggable backends that exploit it.  The pools are
+*forced* to two workers so the thread and process paths really execute
+even on the single-CPU bench host (where auto-resolution deliberately
+self-disables them — that resolution is reported too).
+
+What is asserted is the determinism contract, not a speedup: on one
+CPU, threads are GIL-bound and processes pay fork+IPC, so wall-clock
+wins only appear on multi-core hosts.  The timings are recorded so a
+reader on real hardware can compare the three columns directly.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import report
+from repro.datasets import synthetic_scores_table
+from repro.engine import LabelDesign, LabelService
+from repro.engine.backends import (
+    ProcessTrialBackend,
+    SerialTrialBackend,
+    ThreadTrialBackend,
+    resolve_trial_backend,
+)
+from repro.label.render_json import render_json
+from repro.ranking.scoring import LinearScoringFunction
+from repro.stability import WeightPerturbationStability
+
+TRIALS = 40
+WEIGHTS = {"attr_1": 0.5, "attr_2": 0.3, "attr_3": 0.2}
+
+
+def bench_table():
+    return synthetic_scores_table(800, num_attributes=3, group_advantage=0.8, seed=42)
+
+
+def test_bench_b1_backend_timings_and_determinism():
+    """40 MC trials per backend: identical outcomes, recorded timings."""
+    table = bench_table()
+    scorer = LinearScoringFunction(WEIGHTS)
+    backends = [
+        ("serial", SerialTrialBackend()),
+        ("thread", ThreadTrialBackend(workers=2)),
+        ("process", ProcessTrialBackend(workers=2)),
+    ]
+    outcomes, rows = [], []
+    try:
+        for name, backend in backends:
+            estimator = WeightPerturbationStability(
+                table, scorer, "item", k=20, trials=TRIALS, seed=1, backend=backend
+            )
+            estimator.assess_at(0.1)  # warm-up: pools spin up outside the clock
+            start = time.perf_counter()
+            outcome = estimator.assess_at(0.1)
+            seconds = time.perf_counter() - start
+            outcomes.append(outcome)
+            rows.append(f"{name:<8} {seconds * 1000:8.1f} ms")
+    finally:
+        for _, backend in backends:
+            backend.shutdown()
+
+    resolved = resolve_trial_backend("process").name
+    rows.append(
+        f"auto-resolution for 'process' on this {os.cpu_count()}-CPU host: "
+        f"{resolved}"
+    )
+    report(f"B1: {TRIALS} MC trials per backend (pools forced to 2 workers)", rows)
+
+    # the determinism contract: every backend, the same outcome
+    assert outcomes[0] == outcomes[1] == outcomes[2]
+    # the bench host has one CPU: auto-resolution must self-disable there
+    if (os.cpu_count() or 1) <= 1:
+        assert resolved == "serial"
+
+
+def test_bench_b1_process_label_byte_identity():
+    """A full Monte-Carlo label: process-backend bytes == serial bytes."""
+    table = bench_table()
+    design = LabelDesign.create(
+        weights=WEIGHTS,
+        sensitive="group",
+        id_column="item",
+        k=20,
+        monte_carlo_trials=10,
+        monte_carlo_epsilons=(0.1,),
+    )
+
+    start = time.perf_counter()
+    serial_facts = design.builder_for(table, dataset_name="bench").build()
+    serial_seconds = time.perf_counter() - start
+
+    with LabelService(
+        use_cache=False, trial_backend="process", trial_workers=2
+    ) as service:
+        start = time.perf_counter()
+        outcome = service.build_label(table, design, "bench")
+        process_seconds = time.perf_counter() - start
+        effective = service.stats()["executor"]["trial_backend_effective"]
+
+    report("B1: full MC label (n=800, 10 trials), serial vs process backend", [
+        f"serial build    {serial_seconds * 1000:8.1f} ms",
+        f"process build   {process_seconds * 1000:8.1f} ms  "
+        f"(effective backend: {effective})",
+        "(speedup only expected on multi-core hosts)",
+    ])
+
+    # the acceptance criterion: byte-identical labels for equal seeds
+    assert render_json(outcome.facts.label) == render_json(serial_facts.label)
+    assert effective == "process"  # forced workers kept the pool alive

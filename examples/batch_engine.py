@@ -9,6 +9,15 @@ This walkthrough labels two built-in datasets under several recipes —
 including a deliberately repeated one — and reads the engine's
 statistics afterwards to show what was built versus served from cache.
 
+Backend selection: the Monte-Carlo trials inside each build run on a
+pluggable backend — ``serial``, ``thread`` (default), or ``process``
+(GIL-free).  Pick one with ``LabelService(trial_backend="process")``
+here, with ``ranking-facts batch --trial-backend process`` on the CLI,
+or with ``REPRO_TRIAL_BACKEND=process`` for the server.  All three
+serve byte-identical labels for equal seeds, and parallel backends
+self-disable to serial on single-CPU hosts, so the setting is purely a
+throughput knob.
+
 Run:  PYTHONPATH=src python examples/batch_engine.py
 """
 
@@ -49,8 +58,12 @@ jobs = [
 ]
 
 # -- 3. run everything through one service ----------------------------------------
+#
+# trial_backend picks how each build's Monte-Carlo trials execute;
+# "thread" is the default — on a multi-core host try "process" and
+# watch GET /engine/stats report the effective backend.
 
-with LabelService(cache_size=32) as service:
+with LabelService(cache_size=32, trial_backend="thread") as service:
     results = service.run_batch(jobs)
 
     print("batch of", len(jobs), "jobs:")
@@ -73,7 +86,8 @@ with LabelService(cache_size=32) as service:
         "engine: "
         f"{stats['service']['builds']} builds for "
         f"{stats['service']['requests']} requests, "
-        f"cache hit rate {stats['cache']['hit_rate']:.0%}"
+        f"cache hit rate {stats['cache']['hit_rate']:.0%}, "
+        f"trials on the {stats['executor']['trial_backend_effective']} backend"
     )
 
     # -- 5. the async path the web server uses ---------------------------------------

@@ -173,12 +173,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="also print the engine's cache/executor statistics",
     )
+    batch.add_argument(
+        "--trial-backend", choices=("serial", "thread", "process"), default=None,
+        help="Monte-Carlo trial execution backend (default: thread; "
+        "parallel backends self-disable on single-CPU hosts)",
+    )
 
     serve = commands.add_parser("serve", help="start the demo web server")
     _add_data_arguments(serve)
     _add_design_arguments(serve)
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8000)
+    serve.add_argument(
+        "--trial-backend", choices=("serial", "thread", "process"), default=None,
+        help="Monte-Carlo trial execution backend (default: the "
+        "REPRO_TRIAL_BACKEND environment variable, then thread)",
+    )
 
     return parser
 
@@ -319,7 +329,9 @@ def _run_batch(args: argparse.Namespace) -> str:
     lines = [f"batch: {len(jobs)} job(s) from {spec_path.name}"]
     failures = 0
     with LabelService(
-        max_workers=args.workers, use_cache=not args.no_cache
+        max_workers=args.workers,
+        use_cache=not args.no_cache,
+        trial_backend=args.trial_backend,
     ) as service:
         for result in service.run_batch(jobs):
             if result.status is JobStatus.DONE:
@@ -344,10 +356,12 @@ def _run_batch(args: argparse.Namespace) -> str:
         if args.stats:
             stats = service.stats()
             cache = stats["cache"]
+            executor = stats["executor"]
             lines.append(
                 f"engine: {stats['service']['builds']} build(s) for "
                 f"{stats['service']['requests']} request(s); cache "
-                f"{cache['hits']} hit(s) / {cache['misses']} miss(es)"
+                f"{cache['hits']} hit(s) / {cache['misses']} miss(es); "
+                f"trials on the {executor['trial_backend_effective']} backend"
             )
     lines.append(
         f"{len(jobs) - failures}/{len(jobs)} job(s) succeeded"
@@ -360,9 +374,13 @@ def _run_batch(args: argparse.Namespace) -> str:
 
 def _run_serve(args: argparse.Namespace) -> str:
     # imported here so `label`/`preview` work even if sockets are restricted
-    from repro.app.server import serve_forever
+    import os
 
-    session = DemoSession()
+    from repro.app.server import serve_forever
+    from repro.engine.service import LabelService
+
+    backend = args.trial_backend or os.environ.get("REPRO_TRIAL_BACKEND") or None
+    session = DemoSession(service=LabelService(trial_backend=backend))
     _load(session, args)
     _design(session, args)
     session.generate_label()

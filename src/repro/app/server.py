@@ -43,9 +43,11 @@ Use :func:`make_server` in tests (ephemeral port) and
 from __future__ import annotations
 
 import json
+import os
 import secrets
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs
 
 from repro.app.session import DemoSession, SessionStage
 from repro.datasets.loaders import list_datasets
@@ -136,14 +138,28 @@ def _apply_design(session: DemoSession, body: dict) -> None:
         sensitive = [sensitive]
     if not isinstance(sensitive, list) or not sensitive:
         raise RankingFactsError('design needs "sensitive": attribute name or list')
+    # coerce *before* touching the session: a non-numeric value is the
+    # client's mistake (400), not an internal error (500)
+    try:
+        clean_weights = {str(a): float(w) for a, w in weights.items()}
+    except (TypeError, ValueError) as exc:
+        raise RankingFactsError(f"bad design weight: {exc}") from exc
+    try:
+        k = int(body.get("k", 10))
+    except (TypeError, ValueError) as exc:
+        raise RankingFactsError(f'bad design value for "k": {exc}') from exc
+    try:
+        alpha = float(body.get("alpha", 0.05))
+    except (TypeError, ValueError) as exc:
+        raise RankingFactsError(f'bad design value for "alpha": {exc}') from exc
     session.set_normalization(bool(body.get("normalize", True)))
     session.design_scoring(
-        weights={str(a): float(w) for a, w in weights.items()},
+        weights=clean_weights,
         sensitive_attribute=[str(s) for s in sensitive],
         id_column=body.get("id_column"),
         diversity_attributes=body.get("diversity"),
-        k=int(body.get("k", 10)),
-        alpha=float(body.get("alpha", 0.05)),
+        k=k,
+        alpha=alpha,
     )
     try:
         if "seed" in body:
@@ -318,7 +334,7 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": str(exc)})
             return
         status = handle.status()
-        if "include=labels" in query:
+        if "labels" in parse_qs(query).get("include", []):
             labels: dict[str, object] = {}
             for result in handle.completed_results():
                 if result is not None and result.status is JobStatus.DONE:
@@ -439,11 +455,22 @@ def make_server(
     shared with every registry session unless ``service`` overrides it.
     Without ``session`` the server starts empty and clients open their
     own sessions via ``POST /session``.
+
+    When the server builds its own service (no ``session``, no
+    ``service``), the ``REPRO_TRIAL_BACKEND`` environment variable
+    selects the Monte-Carlo trial backend (``serial``, ``thread``, or
+    ``process``); an unknown value fails here, at startup, not on the
+    first label request.
     """
     if session is not None and session.stage is SessionStage.EMPTY:
         raise RankingFactsError("the session has no dataset; load one before serving")
     if service is None:
-        service = session.service if session is not None else LabelService()
+        if session is not None:
+            service = session.service
+        else:
+            service = LabelService(
+                trial_backend=os.environ.get("REPRO_TRIAL_BACKEND") or None
+            )
     registry = SessionRegistry(service)
     if session is not None:
         registry.adopt(session)

@@ -139,6 +139,7 @@ class DemoSession:
         self._id_column = None
         self._monte_carlo_trials = 0
         self._monte_carlo_epsilons = (0.05, 0.1, 0.2)
+        self._seed = 20180610  # a stale seed would silently change label bytes
         self._facts = None
         self._last_cached = False
         self._stage = SessionStage.DATA_LOADED
@@ -187,13 +188,19 @@ class DemoSession:
             raise SessionStateError(f"trials must be >= 0, got {trials}")
         self._monte_carlo_trials = int(trials)
         self._monte_carlo_epsilons = tuple(float(e) for e in epsilons)
-        self._facts = None
+        self._invalidate_label()
 
     def set_seed(self, seed: int) -> None:
         """Seed for the Monte-Carlo stability estimators."""
         self._require_table()
         self._seed = int(seed)
+        self._invalidate_label()
+
+    def _invalidate_label(self) -> None:
+        """Drop a stale label; LABELED must always mean last_label() works."""
         self._facts = None
+        if self._stage is SessionStage.LABELED:
+            self._stage = SessionStage.SCORER_DESIGNED
 
     def design_scoring(
         self,

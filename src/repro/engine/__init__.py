@@ -10,16 +10,29 @@ label builder.  That layer is this package:
   single-flight deduplication and hit/miss/eviction stats;
 - :mod:`repro.engine.jobs` — :class:`LabelDesign` / :class:`LabelJob`
   value objects every entry point normalizes into;
-- :mod:`repro.engine.executor` — thread-pool fan-out for batches and
-  for the Monte-Carlo stability trials inside one build;
+- :mod:`repro.engine.backends` — pluggable :class:`TrialBackend`
+  execution for the Monte-Carlo trials: serial, thread pool, or
+  process pool (GIL-free), selected by name;
+- :mod:`repro.engine.executor` — thread-pool fan-out for batches, plus
+  the trial backend handed to each build;
 - :mod:`repro.engine.service` — :class:`LabelService`, the facade the
   session, server, and CLI call.
 
 Determinism contract: a label served by the engine — cached, batched,
-or trial-parallel — is byte-identical to one built serially by
-:class:`~repro.label.builder.RankingFactsBuilder` with the same seed.
+or trial-parallel on any backend — is byte-identical to one built
+serially by :class:`~repro.label.builder.RankingFactsBuilder` with the
+same seed.
 """
 
+from repro.engine.backends import (
+    BACKEND_NAMES,
+    ExecutorTrialBackend,
+    ProcessTrialBackend,
+    SerialTrialBackend,
+    ThreadTrialBackend,
+    TrialBackend,
+    resolve_trial_backend,
+)
 from repro.engine.cache import CacheStats, LabelCache
 from repro.engine.executor import BatchHandle, LabelExecutor
 from repro.engine.fingerprint import (
@@ -31,6 +44,13 @@ from repro.engine.jobs import JobResult, JobStatus, LabelDesign, LabelJob
 from repro.engine.service import LabelOutcome, LabelService
 
 __all__ = [
+    "BACKEND_NAMES",
+    "TrialBackend",
+    "SerialTrialBackend",
+    "ThreadTrialBackend",
+    "ProcessTrialBackend",
+    "ExecutorTrialBackend",
+    "resolve_trial_backend",
     "CacheStats",
     "LabelCache",
     "BatchHandle",

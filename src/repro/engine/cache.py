@@ -31,6 +31,22 @@ __all__ = ["CacheStats", "LabelCache"]
 _MISSING = object()
 
 
+class _BuildSlot:
+    """The per-key single-flight state: a lock plus its waiter count.
+
+    The count is what makes the failure path race-free: the slot stays
+    registered until the *last* thread that grabbed it leaves, so a
+    late arrival always joins the same lock instead of creating a
+    fresh one and building concurrently with a retrying waiter.
+    """
+
+    __slots__ = ("lock", "waiters")
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.waiters = 0
+
+
 @dataclass(frozen=True)
 class CacheStats:
     """A point-in-time snapshot of cache effectiveness."""
@@ -74,7 +90,7 @@ class LabelCache:
         self._max_size = max_size
         self._entries: OrderedDict[str, Any] = OrderedDict()
         self._lock = threading.Lock()
-        self._build_locks: dict[str, threading.Lock] = {}
+        self._build_locks: dict[str, _BuildSlot] = {}
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -118,7 +134,10 @@ class LabelCache:
         per-key lock: the first runs ``build()``, the rest find the
         fresh entry when the lock frees.  Distinct keys build fully in
         parallel.  A failing build propagates to every waiter that
-        reaches the builder (the key stays absent).
+        reaches the builder (the key stays absent); waiters retry the
+        build one at a time, never concurrently — the slot is only
+        unregistered once its last holder leaves, so arrivals during a
+        retry join the same lock instead of minting a fresh one.
         """
         with self._lock:
             value = self._entries.get(key, _MISSING)
@@ -126,26 +145,27 @@ class LabelCache:
                 self._entries.move_to_end(key)
                 self._hits += 1
                 return value, True
-            build_lock = self._build_locks.setdefault(key, threading.Lock())
-        with build_lock:
-            # someone may have finished the build while we waited
-            with self._lock:
-                value = self._entries.get(key, _MISSING)
-                if value is not _MISSING:
-                    self._entries.move_to_end(key)
-                    self._hits += 1
-                    return value, True
-                self._misses += 1
-            try:
+            slot = self._build_locks.setdefault(key, _BuildSlot())
+            slot.waiters += 1
+        try:
+            with slot.lock:
+                # someone may have finished the build while we waited
+                with self._lock:
+                    value = self._entries.get(key, _MISSING)
+                    if value is not _MISSING:
+                        self._entries.move_to_end(key)
+                        self._hits += 1
+                        return value, True
+                    self._misses += 1
                 value = build()
                 with self._lock:
                     self._put_locked(key, value)
-            finally:
-                # drop the per-key lock on failure too; waiters re-check the
-                # cache, miss, and retry the build themselves
-                with self._lock:
-                    self._build_locks.pop(key, None)
-            return value, False
+                return value, False
+        finally:
+            with self._lock:
+                slot.waiters -= 1
+                if slot.waiters == 0 and self._build_locks.get(key) is slot:
+                    del self._build_locks[key]
 
     def invalidate(self, key: str) -> bool:
         """Drop one entry; returns whether it existed."""

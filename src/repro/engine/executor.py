@@ -1,17 +1,21 @@
 """Concurrent batch execution for label jobs.
 
-:class:`LabelExecutor` owns two thread pools with distinct roles:
+:class:`LabelExecutor` owns two layers of concurrency with distinct
+roles:
 
-- the **job pool** fans a batch of :class:`~repro.engine.jobs.LabelJob`
-  out so independent labels build concurrently;
-- the **trial pool** is handed to the label builder so each label's
-  Monte-Carlo stability trials (the hot path) fan out *within* a build.
+- the **job pool** (threads) fans a batch of
+  :class:`~repro.engine.jobs.LabelJob` out so independent labels build
+  concurrently;
+- the **trial backend** (:mod:`repro.engine.backends`) is handed to the
+  label builder so each label's Monte-Carlo stability trials (the hot
+  path) fan out *within* a build — serially, over threads, or over a
+  process pool, selected by name.
 
 They must be separate: a job thread blocks until its trials finish, so
 sharing one pool would deadlock the moment jobs occupy every worker
 and their trials queue behind them.  On a single-core host the trial
-pool is skipped entirely (``trial_workers <= 1`` keeps trials inline —
-threads there are pure overhead), while the job pool is kept: batch
+backend resolves to serial (``trial_workers <= 1`` or a 1-CPU probe —
+parallelism there is pure overhead), while the job pool is kept: batch
 jobs still overlap their cache waits, and the single-flight cache
 collapses duplicate designs to one build.
 
@@ -27,8 +31,13 @@ import os
 import threading
 from collections import OrderedDict
 from collections.abc import Callable, Sequence
-from concurrent.futures import Executor, Future, ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 
+from repro.engine.backends import (
+    ProcessTrialBackend,
+    TrialBackend,
+    resolve_trial_backend,
+)
 from repro.engine.jobs import JobResult, JobStatus, LabelJob
 from repro.errors import EngineError
 
@@ -99,7 +108,7 @@ class BatchHandle:
 
 
 class LabelExecutor:
-    """Thread-pool fan-out for batches and Monte-Carlo trials.
+    """Job-pool fan-out for batches plus a pluggable trial backend.
 
     Parameters
     ----------
@@ -107,14 +116,19 @@ class LabelExecutor:
         Job-level concurrency (default: CPU count, at least 2 so
         batches overlap cache waits even on one core).
     trial_workers:
-        Workers for the Monte-Carlo trial pool; ``None`` means CPU
-        count, and values ``<= 1`` disable the pool (trials run inline
-        on the building thread).
+        Workers for the Monte-Carlo trial backend; ``None`` means CPU
+        count, and values ``<= 1`` resolve the backend to serial
+        (trials run inline on the building thread).
     max_batches:
         Finished-batch handles retained for polling; when exceeded the
         oldest handle is forgotten (its jobs keep running if still
         live, but it can no longer be polled).  Bounds a long-running
         server's memory.
+    trial_backend:
+        Backend name for the Monte-Carlo trials — ``"serial"``,
+        ``"thread"`` (default), or ``"process"`` — resolved via
+        :func:`repro.engine.backends.resolve_trial_backend`, which
+        self-disables parallel backends on single-CPU hosts.
     """
 
     def __init__(
@@ -122,6 +136,7 @@ class LabelExecutor:
         max_workers: int | None = None,
         trial_workers: int | None = None,
         max_batches: int = 256,
+        trial_backend: str | None = None,
     ):
         cpus = os.cpu_count() or 1
         self._max_workers = max_workers if max_workers is not None else max(2, cpus)
@@ -130,12 +145,19 @@ class LabelExecutor:
         if max_batches < 1:
             raise EngineError(f"max_batches must be >= 1, got {max_batches}")
         self._trial_workers = trial_workers if trial_workers is not None else cpus
+        self._trial_backend_requested = (
+            trial_backend if trial_backend is not None else "thread"
+        )
+        # resolve eagerly so an unknown name fails at construction time
+        self._trial_backend: TrialBackend = resolve_trial_backend(
+            self._trial_backend_requested, trial_workers
+        )
         self._max_batches = max_batches
         self._job_pool: ThreadPoolExecutor | None = None
-        self._trial_pool: ThreadPoolExecutor | None = None
         self._batches: OrderedDict[str, BatchHandle] = OrderedDict()
         self._lock = threading.Lock()
         self._batch_counter = itertools.count(1)
+        self._batches_submitted = 0
         self._jobs_submitted = 0
 
     # -- pools -----------------------------------------------------------------
@@ -159,17 +181,9 @@ class LabelExecutor:
                 )
             return self._job_pool
 
-    def trial_executor(self) -> Executor | None:
-        """The pool for Monte-Carlo trials, or ``None`` to run inline."""
-        if self._trial_workers <= 1:
-            return None
-        with self._lock:
-            if self._trial_pool is None:
-                self._trial_pool = ThreadPoolExecutor(
-                    max_workers=self._trial_workers,
-                    thread_name_prefix="mc-trial",
-                )
-            return self._trial_pool
+    def trial_backend(self) -> TrialBackend:
+        """The backend Monte-Carlo trials run on (serial when disabled)."""
+        return self._trial_backend
 
     # -- batches ----------------------------------------------------------------
 
@@ -183,6 +197,7 @@ class LabelExecutor:
             raise EngineError("a batch needs at least one job")
         with self._lock:
             batch_id = f"batch-{next(self._batch_counter):04d}"
+            self._batches_submitted += 1
             self._jobs_submitted += len(jobs)
         pool = self._jobs()
         futures = [pool.submit(runner, job) for job in jobs]
@@ -202,29 +217,44 @@ class LabelExecutor:
         return handle
 
     def batches(self) -> list[str]:
-        """Ids of every batch submitted so far, oldest first."""
+        """Ids of every batch still retained for polling, oldest first."""
         with self._lock:
             return list(self._batches)
 
     # -- lifecycle ---------------------------------------------------------------
 
     def stats(self) -> dict[str, object]:
-        """Executor counters for the stats endpoint."""
+        """Executor counters for the stats endpoint.
+
+        ``batches_submitted``/``jobs_submitted`` count every submission
+        ever made; ``batches_retained`` is the handles currently kept
+        for polling (capped at ``max_batches``).
+        """
+        backend = self._trial_backend
+        fallback = (
+            backend.fallback_reason
+            if isinstance(backend, ProcessTrialBackend)
+            else None
+        )
         with self._lock:
             return {
                 "max_workers": self._max_workers,
                 "trial_workers": self._trial_workers,
-                "parallel_trials": self._trial_workers > 1,
-                "batches_submitted": len(self._batches),
+                # effective, not configured: a fallen-back process backend
+                # runs every trial inline and must not read as parallel
+                "parallel_trials": backend.effective_name != "serial",
+                "trial_backend": self._trial_backend_requested,
+                "trial_backend_effective": backend.effective_name,
+                "trial_backend_fallback": fallback,
+                "batches_submitted": self._batches_submitted,
+                "batches_retained": len(self._batches),
                 "jobs_submitted": self._jobs_submitted,
             }
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop both pools (idempotent)."""
+        """Stop the job pool and the trial backend (idempotent)."""
         with self._lock:
             job_pool, self._job_pool = self._job_pool, None
-            trial_pool, self._trial_pool = self._trial_pool, None
         if job_pool is not None:
             job_pool.shutdown(wait=wait)
-        if trial_pool is not None:
-            trial_pool.shutdown(wait=wait)
+        self._trial_backend.shutdown()

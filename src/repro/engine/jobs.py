@@ -15,6 +15,13 @@ with the same weights in a different order produce different label
 bytes — and therefore different fingerprints.  Canonicalization only
 normalizes representation (floats, key order of the outer mapping),
 never meaning.
+
+Execution note: *how* a label is computed — which
+:class:`~repro.engine.backends.TrialBackend` runs the Monte-Carlo
+trials, how many workers — is deliberately **not** part of a design.
+Backends are byte-identical for equal seeds, so the same fingerprint
+must be a cache hit whether the label was built serially or on a
+process pool.
 """
 
 from __future__ import annotations
@@ -235,7 +242,12 @@ class LabelJob:
 
     @classmethod
     def from_mapping(cls, body: Mapping[str, object], job_id: str = "") -> "LabelJob":
-        """Parse one entry of a batch spec (HTTP body or CLI JSON file)."""
+        """Parse one entry of a batch spec (HTTP body or CLI JSON file).
+
+        A spec-supplied ``"id"`` wins over the caller's positional
+        ``job_id`` default, so ``--output-dir`` files and poll rows
+        carry the user's name for the job, not ``job-<index>``.
+        """
         if not isinstance(body, Mapping):
             raise EngineError(f"job must be a mapping, got {type(body).__name__}")
         design = body.get("design")
@@ -250,7 +262,7 @@ class LabelJob:
             dataset_name=(
                 None if body.get("name") is None else str(body.get("name"))
             ),
-            job_id=job_id or str(body.get("id") or ""),
+            job_id=str(body.get("id") or "") or job_id,
         )
 
     def resolve_table(self) -> tuple[Table, str]:

@@ -66,6 +66,13 @@ class LabelService:
         runs trials inline — the right call on single-core hosts).
     use_cache:
         Master switch, mostly for benchmarking cold builds.
+    trial_backend:
+        Name of the Monte-Carlo trial backend — ``"serial"``,
+        ``"thread"`` (default), or ``"process"`` (see
+        :mod:`repro.engine.backends`).  All three serve byte-identical
+        labels for equal seeds; parallel backends self-disable to
+        serial on single-CPU hosts unless ``trial_workers`` forces a
+        pool.
     """
 
     def __init__(
@@ -74,10 +81,13 @@ class LabelService:
         max_workers: int | None = None,
         trial_workers: int | None = None,
         use_cache: bool = True,
+        trial_backend: str | None = None,
     ):
         self._cache = LabelCache(max_size=cache_size)
         self._executor = LabelExecutor(
-            max_workers=max_workers, trial_workers=trial_workers
+            max_workers=max_workers,
+            trial_workers=trial_workers,
+            trial_backend=trial_backend,
         )
         self._use_cache = use_cache
         self._lock = threading.Lock()
@@ -109,7 +119,7 @@ class LabelService:
             with self._lock:
                 self._builds += 1
             builder = design.builder_for(table, dataset_name=dataset_name)
-            builder.with_executor(self._executor.trial_executor())
+            builder.with_trial_backend(self._executor.trial_backend())
             return builder.build()
 
         if not self._use_cache:
@@ -141,6 +151,17 @@ class LabelService:
                 status=JobStatus.FAILED,
                 seconds=time.perf_counter() - started,
                 error=str(exc),
+                dataset_name=job.dataset_name or job.dataset or job.csv_path or "",
+            )
+        except Exception as exc:  # unexpected faults must not kill the batch
+            # e.g. a binary file handed to the CSV loader raises
+            # UnicodeDecodeError, not a RankingFactsError; the other
+            # jobs' results still matter
+            return JobResult(
+                job_id=job.job_id,
+                status=JobStatus.FAILED,
+                seconds=time.perf_counter() - started,
+                error=f"{type(exc).__name__}: {exc}",
                 dataset_name=job.dataset_name or job.dataset or job.csv_path or "",
             )
 

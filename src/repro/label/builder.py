@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from concurrent.futures import Executor
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import LabelError
 from repro.diversity.measures import diversity_report
@@ -38,6 +39,9 @@ from repro.stability.slope import SlopeStability
 from repro.stability.uncertainty import DataUncertaintyStability
 from repro.tabular.summary import describe
 from repro.tabular.table import Table
+
+if TYPE_CHECKING:
+    from repro.engine.backends import TrialBackend
 
 __all__ = ["RankingFactsBuilder", "RankingFacts"]
 
@@ -89,7 +93,7 @@ class RankingFactsBuilder:
         self._monte_carlo_trials = 0  # 0 disables the optional MC stability
         self._monte_carlo_epsilons = (0.05, 0.1, 0.2)
         self._seed = 20180610
-        self._executor: Executor | None = None
+        self._backend: "TrialBackend | None" = None
 
     # -- configuration ---------------------------------------------------------
 
@@ -196,8 +200,27 @@ class RankingFactsBuilder:
         The estimators use one RNG stream per trial, so the parallel
         label is bit-identical to the serial one for equal seeds.
         ``None`` (the default) keeps the trials on the calling thread.
+        Prefer :meth:`with_trial_backend`, which can also cross process
+        boundaries; this wrapper remains for caller-owned thread pools.
         """
-        self._executor = executor
+        if executor is None:
+            self._backend = None
+            return self
+        from repro.engine.backends import ExecutorTrialBackend
+
+        self._backend = ExecutorTrialBackend(executor)
+        return self
+
+    def with_trial_backend(
+        self, backend: "TrialBackend | None"
+    ) -> "RankingFactsBuilder":
+        """Run the Monte-Carlo stability trials on ``backend``.
+
+        Serial, thread, and process backends all produce byte-identical
+        labels for equal seeds (per-trial RNG streams + ordered
+        reassembly).  ``None`` keeps the trials on the calling thread.
+        """
+        self._backend = backend
         return self
 
     # -- build ------------------------------------------------------------------
@@ -268,7 +291,7 @@ class RankingFactsBuilder:
             wps = WeightPerturbationStability(
                 prepared, scorer, self._id_column,
                 k=self._k, trials=self._monte_carlo_trials, seed=self._seed,
-                executor=self._executor,
+                backend=self._backend,
             )
             perturbation_outcomes = tuple(
                 wps.assess_at(eps) for eps in self._monte_carlo_epsilons
@@ -276,7 +299,7 @@ class RankingFactsBuilder:
             dus = DataUncertaintyStability(
                 prepared, scorer, self._id_column,
                 k=self._k, trials=self._monte_carlo_trials, seed=self._seed,
-                executor=self._executor,
+                backend=self._backend,
             )
             uncertainty_outcomes = tuple(
                 dus.assess_at(eps) for eps in self._monte_carlo_epsilons
@@ -285,7 +308,7 @@ class RankingFactsBuilder:
                 per_attribute_stability(
                     prepared, scorer, self._id_column,
                     k=self._k, trials=self._monte_carlo_trials, seed=self._seed,
-                    executor=self._executor,
+                    backend=self._backend,
                 )
             )
         stability_widget = StabilityWidget(

@@ -15,10 +15,12 @@ from repro.stats.correlation import kendall_tau
 
 __all__ = [
     "kendall_tau_rankings",
+    "kendall_tau_ids",
     "kendall_distance",
     "spearman_footrule",
     "rank_displacement",
     "top_k_overlap",
+    "top_k_overlap_ids",
     "top_k_jaccard",
     "rank_biased_overlap",
 ]
@@ -26,8 +28,11 @@ __all__ = [
 
 def _common_rank_vectors(a: Ranking, b: Ranking) -> tuple[list[int], list[int]]:
     """Ranks in ``a`` and ``b`` of the items present in both (by item id)."""
-    ids_a = a.item_ids()
-    ids_b = b.item_ids()
+    return _common_ranks_from_ids(a.item_ids(), b.item_ids())
+
+
+def _common_ranks_from_ids(ids_a, ids_b) -> tuple[list[int], list[int]]:
+    """Rank vectors over the common items of two id sequences."""
     if len(set(ids_a)) != len(ids_a) or len(set(ids_b)) != len(ids_b):
         raise RankingError("rank comparison requires unique item ids")
     pos_b = {item: i + 1 for i, item in enumerate(ids_b)}
@@ -49,7 +54,17 @@ def kendall_tau_rankings(a: Ranking, b: Ranking) -> float:
 
     1.0 means identical order, -1.0 fully reversed.
     """
-    ranks_a, ranks_b = _common_rank_vectors(a, b)
+    return kendall_tau_ids(a.item_ids(), b.item_ids())
+
+
+def kendall_tau_ids(ids_a, ids_b) -> float:
+    """:func:`kendall_tau_rankings` over plain item-id sequences.
+
+    The id-sequence form is what the Monte-Carlo trial payloads carry
+    across process boundaries — a baseline's ids pickle in bytes where
+    its full :class:`Ranking` would re-ship the whole table.
+    """
+    ranks_a, ranks_b = _common_ranks_from_ids(ids_a, ids_b)
     return kendall_tau(ranks_a, ranks_b)
 
 
@@ -96,10 +111,15 @@ def rank_displacement(a: Ranking, b: Ranking) -> int:
 
 def top_k_overlap(a: Ranking, b: Ranking, k: int) -> float:
     """Fraction of ``a``'s top-k that also appears in ``b``'s top-k."""
+    return top_k_overlap_ids(a.item_ids(), b.item_ids(), k)
+
+
+def top_k_overlap_ids(ids_a, ids_b, k: int) -> float:
+    """:func:`top_k_overlap` over plain item-id sequences."""
     if k <= 0:
         raise RankingError(f"top_k_overlap needs k >= 1, got {k}")
-    top_a = set(a.item_ids()[:k])
-    top_b = set(b.item_ids()[:k])
+    top_a = set(ids_a[:k])
+    top_b = set(ids_b[:k])
     if not top_a:
         return 0.0
     return len(top_a & top_b) / len(top_a)

@@ -2,8 +2,8 @@
 
 Every stability estimator runs the same shape of loop: ``trials``
 independent draws, each of which re-ranks the table and compares the
-result to a baseline.  Two properties make that loop safe to
-parallelize:
+result to a baseline.  Three properties make that loop safe to
+parallelize — on threads *or* across processes:
 
 - **Per-trial RNG streams.**  Trial ``i`` draws from
   ``default_rng([seed, i])`` instead of consuming a single sequential
@@ -11,21 +11,33 @@ parallelize:
   before it (or on which worker ran it).  Results are therefore
   bit-identical whether the loop runs serially, on a thread pool, or
   in any interleaving — the property the engine's executor relies on.
-- **Order-preserving fan-out.**  :func:`run_trials` maps the trial
-  function over ``range(trials)`` either inline or via an executor's
-  ``map`` (which yields results in submission order), so aggregation
-  code never sees reordered outcomes.
+- **Picklable trial work.**  The estimators package everything a trial
+  needs into a plain payload (table arrays + design parameters) and
+  run a *module-level* function over it, so a process backend can ship
+  the work to workers by pickling one payload per chunk.
+- **Order-preserving fan-out.**  :func:`run_payload_trials` maps the
+  trial function over ``range(trials)`` inline or via a
+  :class:`~repro.engine.backends.TrialBackend`, every one of which
+  returns results in submission order — aggregation code never sees
+  reordered outcomes.
+
+:func:`run_trials` is the closure-based predecessor (inline or over a
+``concurrent.futures.Executor``); it remains for callers whose trial
+function is not picklable, but cannot cross a process boundary.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable
 from concurrent.futures import Executor
-from typing import TypeVar
+from typing import TYPE_CHECKING, Any, TypeVar
 
 import numpy as np
 
-__all__ = ["trial_rng", "run_trials"]
+if TYPE_CHECKING:  # engine imports stability; keep the reverse static-only
+    from repro.engine.backends import TrialBackend
+
+__all__ = ["trial_rng", "run_trials", "run_payload_trials", "backend_for"]
 
 T = TypeVar("T")
 
@@ -47,3 +59,36 @@ def run_trials(
     if executor is None:
         return [fn(trial) for trial in range(trials)]
     return list(executor.map(fn, range(trials)))
+
+
+def backend_for(
+    executor: Executor | None, backend: "TrialBackend | None"
+) -> "TrialBackend | None":
+    """Resolve an estimator's legacy ``executor=`` against ``backend=``.
+
+    ``backend`` wins; a bare ``executor`` is wrapped so the caller-owned
+    pool keeps working through the backend interface.  (Imported lazily:
+    the engine package imports stability at module load.)
+    """
+    if backend is not None or executor is None:
+        return backend
+    from repro.engine.backends import ExecutorTrialBackend
+
+    return ExecutorTrialBackend(executor)
+
+
+def run_payload_trials(
+    fn: Callable[[Any, int], T],
+    payload: Any,
+    trials: int,
+    backend: "TrialBackend | None" = None,
+) -> list[T]:
+    """Run ``fn(payload, 0..trials-1)`` on ``backend``, in trial order.
+
+    ``fn`` must be a module-level function and ``payload`` plain
+    picklable data when ``backend`` crosses a process boundary; with
+    ``backend=None`` the trials run inline on the calling thread.
+    """
+    if backend is None:
+        return [fn(payload, trial) for trial in range(trials)]
+    return backend.run(fn, payload, trials)

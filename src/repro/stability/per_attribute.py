@@ -6,22 +6,31 @@ jitters *only that attribute's weight* and finds the smallest relative
 change that more-likely-than-not alters the top-k — so an analyst can
 read "the ranking survives a 40% change to GRE's weight but flips under
 a 6% change to PubCount's" directly off the detailed widget.
+
+The bisection probes run their trials through a module-level function
+over a plain payload, so the loop parallelizes on any
+:class:`~repro.engine.backends.TrialBackend` (threads or processes)
+with byte-identical results.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import Executor
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import StabilityError
 from repro.ranking.ranker import rank_table
 from repro.ranking.scoring import LinearScoringFunction
-from repro.stability.montecarlo import run_trials, trial_rng
+from repro.stability.montecarlo import backend_for, run_payload_trials, trial_rng
 from repro.tabular.table import Table
 
-__all__ = ["AttributeStability", "per_attribute_stability"]
+if TYPE_CHECKING:
+    from repro.engine.backends import TrialBackend
+
+__all__ = ["AttributeStability", "AttributeTrialPayload", "per_attribute_stability"]
 
 
 @dataclass(frozen=True)
@@ -49,31 +58,62 @@ class AttributeStability:
         }
 
 
+@dataclass(frozen=True)
+class AttributeTrialPayload:
+    """Everything one single-weight-jitter trial needs, picklable.
+
+    The scorer travels as the object itself (the repo's scorers pickle
+    cleanly), so subclass behaviour survives the process boundary.
+    """
+
+    table: Table
+    scorer: LinearScoringFunction
+    attribute: str
+    epsilon: float
+    scale: float
+    id_column: str | None
+    baseline_top: frozenset
+    k: int
+    seed: int
+
+
+def _attribute_trial(payload: AttributeTrialPayload, trial: int) -> bool:
+    """One Monte-Carlo draw; module-level so a process backend can ship it."""
+    rng = trial_rng(payload.seed, trial)
+    delta = float(rng.uniform(-payload.epsilon, payload.epsilon) * payload.scale)
+    perturbed = payload.scorer.perturbed({payload.attribute: delta})
+    ranking = rank_table(payload.table, perturbed, payload.id_column)
+    return set(ranking.item_ids()[: payload.k]) != payload.baseline_top
+
+
 def _change_probability(
     table: Table,
     scorer: LinearScoringFunction,
     attribute: str,
     epsilon: float,
     id_column: str | None,
-    baseline_top: set,
+    baseline_top: frozenset,
     k: int,
     trials: int,
     seed: int,
-    executor: Executor | None = None,
+    backend: "TrialBackend | None" = None,
 ) -> float:
     weight = scorer.weights[attribute]
     scale = abs(weight) if weight != 0.0 else float(
         np.mean([abs(w) for w in scorer.weights.values()])
     )
-
-    def one_trial(trial: int) -> bool:
-        rng = trial_rng(seed, trial)
-        delta = float(rng.uniform(-epsilon, epsilon) * scale)
-        perturbed = scorer.perturbed({attribute: delta})
-        ranking = rank_table(table, perturbed, id_column)
-        return set(ranking.item_ids()[:k]) != baseline_top
-
-    return sum(run_trials(one_trial, trials, executor)) / trials
+    payload = AttributeTrialPayload(
+        table=table,
+        scorer=scorer,
+        attribute=attribute,
+        epsilon=float(epsilon),
+        scale=scale,
+        id_column=id_column,
+        baseline_top=baseline_top,
+        k=k,
+        seed=seed,
+    )
+    return sum(run_payload_trials(_attribute_trial, payload, trials, backend)) / trials
 
 
 def per_attribute_stability(
@@ -86,6 +126,7 @@ def per_attribute_stability(
     iterations: int = 8,
     seed: int = 20180610,
     executor: Executor | None = None,
+    backend: "TrialBackend | None" = None,
 ) -> list[AttributeStability]:
     """Critical single-weight change per attribute, most fragile first.
 
@@ -111,7 +152,10 @@ def per_attribute_stability(
         match between serial and parallel execution.
     executor:
         Optional :class:`concurrent.futures.Executor` the trials of
-        each bisection probe fan out over.
+        each bisection probe fan out over (when ``backend`` is unset).
+    backend:
+        Optional :class:`~repro.engine.backends.TrialBackend`; takes
+        precedence over ``executor`` and may cross process boundaries.
     """
     if k < 1:
         raise StabilityError(f"k must be >= 1, got {k}")
@@ -119,8 +163,9 @@ def per_attribute_stability(
         raise StabilityError(f"trials must be >= 1, got {trials}")
     if not 0.0 < probability <= 1.0:
         raise StabilityError(f"probability must be in (0, 1], got {probability}")
+    backend = backend_for(executor, backend)
     baseline = rank_table(table, scorer, id_column)
-    baseline_top = set(baseline.item_ids()[: min(k, baseline.size)])
+    baseline_top = frozenset(baseline.item_ids()[: min(k, baseline.size)])
     k = min(k, baseline.size)
 
     results = []
@@ -128,7 +173,7 @@ def per_attribute_stability(
         def probe(epsilon: float, attr=attribute) -> float:
             return _change_probability(
                 table, scorer, attr, epsilon, id_column,
-                baseline_top, k, trials, seed, executor,
+                baseline_top, k, trials, seed, backend,
             )
 
         if probe(1.0) < probability:

@@ -7,25 +7,34 @@ all).  :func:`minimal_change_epsilon` then inverts the profile: the
 smallest jitter at which the top-k is more likely than not to change —
 a direct reading of the paper's "extent of the change required for the
 ranking to change".
+
+The trial itself is a module-level function over a plain payload
+(:func:`_perturbation_trial` / :class:`PerturbationTrialPayload`), so
+the loop can run on any :class:`~repro.engine.backends.TrialBackend` —
+including across processes — with byte-identical results.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import Executor
 from dataclasses import dataclass
-from functools import partial
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import StabilityError
-from repro.ranking.compare import kendall_tau_rankings, top_k_overlap
+from repro.ranking.compare import kendall_tau_ids, top_k_overlap_ids
 from repro.ranking.ranker import Ranking, rank_table
 from repro.ranking.scoring import LinearScoringFunction
-from repro.stability.montecarlo import run_trials, trial_rng
+from repro.stability.montecarlo import backend_for, run_payload_trials, trial_rng
 from repro.tabular.table import Table
+
+if TYPE_CHECKING:
+    from repro.engine.backends import TrialBackend
 
 __all__ = [
     "PerturbationOutcome",
+    "PerturbationTrialPayload",
     "WeightPerturbationStability",
     "minimal_change_epsilon",
 ]
@@ -68,6 +77,63 @@ class PerturbationOutcome:
         }
 
 
+@dataclass(frozen=True)
+class PerturbationTrialPayload:
+    """Everything one weight-jitter trial needs, as picklable plain data.
+
+    The scorer travels as the object itself (the repo's scorers pickle
+    cleanly), so subclass behaviour survives the process boundary.  The
+    jitter draws one uniform per weight in the scorer's declaration
+    order, which is what keeps parallel results byte-identical to
+    serial ones.  The baseline travels as its item-id sequence, not a
+    full :class:`Ranking` — shipping the latter would pickle the table
+    a second time per chunk.
+    """
+
+    table: Table
+    scorer: LinearScoringFunction
+    id_column: str
+    baseline_ids: tuple
+    baseline_top: frozenset
+    k: int
+    epsilon: float
+    seed: int
+
+
+def _jittered_scorer(
+    scorer: LinearScoringFunction, epsilon: float, rng: np.random.Generator
+) -> LinearScoringFunction:
+    weights = scorer.weights
+    deltas = {
+        attr: float(rng.uniform(-epsilon, epsilon) * abs(w)) if w != 0.0
+        # zero weights jitter on the scale of the average weight, so a
+        # zeroed-out attribute can still re-enter under perturbation
+        else float(
+            rng.uniform(-epsilon, epsilon)
+            * float(np.mean([abs(v) for v in weights.values()]))
+        )
+        for attr, w in weights.items()
+    }
+    return scorer.perturbed(deltas)
+
+
+def _perturbation_trial(
+    payload: PerturbationTrialPayload, trial: int
+) -> tuple[float, float, bool]:
+    """One Monte-Carlo draw; module-level so a process backend can ship it."""
+    rng = trial_rng(payload.seed, trial)
+    perturbed = rank_table(
+        payload.table, _jittered_scorer(payload.scorer, payload.epsilon, rng),
+        payload.id_column,
+    )
+    perturbed_ids = perturbed.item_ids()
+    return (
+        kendall_tau_ids(payload.baseline_ids, perturbed_ids),
+        top_k_overlap_ids(payload.baseline_ids, perturbed_ids, payload.k),
+        set(perturbed_ids[: payload.k]) != payload.baseline_top,
+    )
+
+
 class WeightPerturbationStability:
     """Monte-Carlo weight-jitter stability for linear scoring functions.
 
@@ -88,9 +154,12 @@ class WeightPerturbationStability:
     seed:
         RNG seed; fixed by default so labels are reproducible.
     executor:
-        Optional :class:`concurrent.futures.Executor`; when given, the
-        trials of each ``assess_at`` fan out over its workers with
-        results identical to the serial path.
+        Optional :class:`concurrent.futures.Executor`; when given (and
+        ``backend`` is not), the trials of each ``assess_at`` fan out
+        over its workers with results identical to the serial path.
+    backend:
+        Optional :class:`~repro.engine.backends.TrialBackend`; takes
+        precedence over ``executor`` and may cross process boundaries.
     """
 
     name = "weight perturbation"
@@ -104,6 +173,7 @@ class WeightPerturbationStability:
         trials: int = 50,
         seed: int = 20180610,
         executor: Executor | None = None,
+        backend: "TrialBackend | None" = None,
     ):
         if k < 1:
             raise StabilityError(f"k must be >= 1, got {k}")
@@ -117,7 +187,7 @@ class WeightPerturbationStability:
         self._k = k
         self._trials = trials
         self._seed = seed
-        self._executor = executor
+        self._backend = backend_for(executor, backend)
         self._baseline = rank_table(table, scorer, id_column)
         self._baseline_top = frozenset(self._baseline.item_ids()[: self._k])
 
@@ -126,39 +196,28 @@ class WeightPerturbationStability:
         """The unperturbed ranking."""
         return self._baseline
 
-    def _perturbed_scorer(
-        self, epsilon: float, rng: np.random.Generator
-    ) -> LinearScoringFunction:
-        weights = self._scorer.weights
-        deltas = {
-            attr: float(rng.uniform(-epsilon, epsilon) * abs(w)) if w != 0.0
-            # zero weights jitter on the scale of the average weight, so a
-            # zeroed-out attribute can still re-enter under perturbation
-            else float(
-                rng.uniform(-epsilon, epsilon)
-                * float(np.mean([abs(v) for v in weights.values()]))
-            )
-            for attr, w in weights.items()
-        }
-        return self._scorer.perturbed(deltas)
+    def _payload_at(self, epsilon: float) -> PerturbationTrialPayload:
+        return PerturbationTrialPayload(
+            table=self._table,
+            scorer=self._scorer,
+            id_column=self._id_column,
+            baseline_ids=tuple(self._baseline.item_ids()),
+            baseline_top=self._baseline_top,
+            k=self._k,
+            epsilon=float(epsilon),
+            seed=self._seed,
+        )
 
     def _run_trial(self, epsilon: float, trial: int) -> tuple[float, float, bool]:
-        rng = trial_rng(self._seed, trial)
-        perturbed = rank_table(
-            self._table, self._perturbed_scorer(epsilon, rng), self._id_column
-        )
-        return (
-            kendall_tau_rankings(self._baseline, perturbed),
-            top_k_overlap(self._baseline, perturbed, self._k),
-            set(perturbed.item_ids()[: self._k]) != self._baseline_top,
-        )
+        return _perturbation_trial(self._payload_at(epsilon), trial)
 
     def assess_at(self, epsilon: float) -> PerturbationOutcome:
         """Run the Monte-Carlo loop at one perturbation magnitude."""
         if epsilon < 0.0:
             raise StabilityError(f"epsilon must be non-negative, got {epsilon}")
-        outcomes = run_trials(
-            partial(self._run_trial, epsilon), self._trials, self._executor
+        outcomes = run_payload_trials(
+            _perturbation_trial, self._payload_at(epsilon), self._trials,
+            self._backend,
         )
         taus = [tau for tau, _, _ in outcomes]
         overlaps = [overlap for _, overlap, _ in outcomes]

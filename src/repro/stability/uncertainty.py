@@ -7,25 +7,91 @@ standard deviation (so a 5% epsilon means "measurement error on the
 order of 5% of natural variation").  Re-ranking under noise yields the
 same movement metrics as the weight-perturbation estimator, and the two
 are directly comparable in the A1 ablation benchmark.
+
+As with the other estimators, the trial is a module-level function
+over a plain payload so any :class:`~repro.engine.backends.TrialBackend`
+(threads or processes) reproduces the serial results byte-for-byte.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import Executor
-from functools import partial
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import StabilityError
-from repro.ranking.compare import kendall_tau_rankings, top_k_overlap
+from repro.ranking.compare import kendall_tau_ids, top_k_overlap_ids
 from repro.ranking.ranker import Ranking, rank_table
 from repro.ranking.scoring import ScoringFunction
-from repro.stability.montecarlo import run_trials, trial_rng
+from repro.stability.montecarlo import backend_for, run_payload_trials, trial_rng
 from repro.stability.perturbation import PerturbationOutcome
 from repro.tabular.column import NumericColumn
 from repro.tabular.table import Table
 
-__all__ = ["DataUncertaintyStability"]
+if TYPE_CHECKING:
+    from repro.engine.backends import TrialBackend
+
+__all__ = ["DataUncertaintyStability", "UncertaintyTrialPayload"]
+
+
+@dataclass(frozen=True)
+class UncertaintyTrialPayload:
+    """Everything one attribute-noise trial needs, as picklable data.
+
+    ``attribute_stds`` keeps the scorer's attribute order: noise is
+    drawn per attribute *in that order*, which is what keeps parallel
+    results byte-identical to serial ones.  The baseline travels as its
+    item-id sequence, not a full :class:`Ranking` — shipping the latter
+    would pickle the table a second time per chunk.
+    """
+
+    table: Table
+    scorer: ScoringFunction
+    id_column: str
+    baseline_ids: tuple
+    baseline_top: frozenset
+    attribute_stds: tuple[tuple[str, float], ...]
+    k: int
+    epsilon: float
+    seed: int
+
+
+def _noisy_table(
+    table: Table,
+    attribute_stds: tuple[tuple[str, float], ...],
+    epsilon: float,
+    rng: np.random.Generator,
+) -> Table:
+    noisy = table
+    for attr, std in attribute_stds:
+        if std == 0.0:
+            continue  # constant attribute: noise would invent variation
+        column = table.numeric_column(attr)
+        values = column.values.copy()
+        mask = ~np.isnan(values)
+        values[mask] += rng.normal(0.0, epsilon * std, size=int(mask.sum()))
+        noisy = noisy.with_column(NumericColumn(attr, values))
+    return noisy
+
+
+def _uncertainty_trial(
+    payload: UncertaintyTrialPayload, trial: int
+) -> tuple[float, float, bool]:
+    """One Monte-Carlo draw; module-level so a process backend can ship it."""
+    rng = trial_rng(payload.seed, trial)
+    perturbed = rank_table(
+        _noisy_table(payload.table, payload.attribute_stds, payload.epsilon, rng),
+        payload.scorer,
+        payload.id_column,
+    )
+    perturbed_ids = perturbed.item_ids()
+    return (
+        kendall_tau_ids(payload.baseline_ids, perturbed_ids),
+        top_k_overlap_ids(payload.baseline_ids, perturbed_ids, payload.k),
+        set(perturbed_ids[: payload.k]) != payload.baseline_top,
+    )
 
 
 class DataUncertaintyStability:
@@ -52,9 +118,14 @@ class DataUncertaintyStability:
     seed:
         RNG seed; fixed by default so labels are reproducible.
     executor:
-        Optional :class:`concurrent.futures.Executor`; when given, the
-        trials of each ``assess_at`` fan out over its workers with
-        results identical to the serial path.
+        Optional :class:`concurrent.futures.Executor`; when given (and
+        ``backend`` is not), the trials of each ``assess_at`` fan out
+        over its workers with results identical to the serial path.
+    backend:
+        Optional :class:`~repro.engine.backends.TrialBackend`; takes
+        precedence over ``executor`` and may cross process boundaries
+        (the scorer must then be picklable, which the repo's scorers
+        are).
     """
 
     name = "data uncertainty"
@@ -68,6 +139,7 @@ class DataUncertaintyStability:
         trials: int = 50,
         seed: int = 20180610,
         executor: Executor | None = None,
+        backend: "TrialBackend | None" = None,
     ):
         if k < 1:
             raise StabilityError(f"k must be >= 1, got {k}")
@@ -81,53 +153,48 @@ class DataUncertaintyStability:
         self._k = k
         self._trials = trials
         self._seed = seed
-        self._executor = executor
+        self._backend = backend_for(executor, backend)
         self._baseline = rank_table(table, scorer, id_column)
         self._baseline_top = frozenset(self._baseline.item_ids()[: self._k])
         # pre-compute each scoring attribute's natural scale
-        self._attribute_stds: dict[str, float] = {}
+        stds: list[tuple[str, float]] = []
         for attr in scorer.attributes():
             values = table.numeric_column(attr).dropna_values()
             if values.size == 0:
                 raise StabilityError(
                     f"scoring attribute {attr!r} has no non-missing values"
                 )
-            self._attribute_stds[attr] = float(values.std(ddof=0))
+            stds.append((attr, float(values.std(ddof=0))))
+        self._attribute_stds: tuple[tuple[str, float], ...] = tuple(stds)
 
     @property
     def baseline(self) -> Ranking:
         """The noise-free ranking."""
         return self._baseline
 
-    def _noisy_table(self, epsilon: float, rng: np.random.Generator) -> Table:
-        noisy = self._table
-        for attr, std in self._attribute_stds.items():
-            if std == 0.0:
-                continue  # constant attribute: noise would invent variation
-            column = self._table.numeric_column(attr)
-            values = column.values.copy()
-            mask = ~np.isnan(values)
-            values[mask] += rng.normal(0.0, epsilon * std, size=int(mask.sum()))
-            noisy = noisy.with_column(NumericColumn(attr, values))
-        return noisy
+    def _payload_at(self, epsilon: float) -> UncertaintyTrialPayload:
+        return UncertaintyTrialPayload(
+            table=self._table,
+            scorer=self._scorer,
+            id_column=self._id_column,
+            baseline_ids=tuple(self._baseline.item_ids()),
+            baseline_top=self._baseline_top,
+            attribute_stds=self._attribute_stds,
+            k=self._k,
+            epsilon=float(epsilon),
+            seed=self._seed,
+        )
 
     def _run_trial(self, epsilon: float, trial: int) -> tuple[float, float, bool]:
-        rng = trial_rng(self._seed, trial)
-        perturbed = rank_table(
-            self._noisy_table(epsilon, rng), self._scorer, self._id_column
-        )
-        return (
-            kendall_tau_rankings(self._baseline, perturbed),
-            top_k_overlap(self._baseline, perturbed, self._k),
-            set(perturbed.item_ids()[: self._k]) != self._baseline_top,
-        )
+        return _uncertainty_trial(self._payload_at(epsilon), trial)
 
     def assess_at(self, epsilon: float) -> PerturbationOutcome:
         """Run the Monte-Carlo loop at one noise magnitude."""
         if epsilon < 0.0:
             raise StabilityError(f"epsilon must be non-negative, got {epsilon}")
-        outcomes = run_trials(
-            partial(self._run_trial, epsilon), self._trials, self._executor
+        outcomes = run_payload_trials(
+            _uncertainty_trial, self._payload_at(epsilon), self._trials,
+            self._backend,
         )
         taus = [tau for tau, _, _ in outcomes]
         overlaps = [overlap for _, overlap, _ in outcomes]

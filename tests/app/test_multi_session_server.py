@@ -204,7 +204,8 @@ class TestBatchEndpoints:
         ]})
         wait_for_batch(served, reply["batch_id"])
         _, status = get(served, f"/jobs/{reply['batch_id']}?include=labels")
-        assert status["labels"]["job-0"]["dataset"] == "cs-departments"
+        # the spec's own "id" names the job (it used to be shadowed by job-0)
+        assert status["labels"]["mine"]["dataset"] == "cs-departments"
 
     def test_failed_job_visible_in_status(self, served):
         _, reply = post(served, "/jobs", {"jobs": [

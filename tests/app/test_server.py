@@ -8,7 +8,7 @@ import pytest
 
 from repro.app import DemoSession
 from repro.app.server import make_server
-from repro.errors import RankingFactsError
+from repro.errors import EngineError, RankingFactsError
 
 
 @pytest.fixture(scope="module")
@@ -143,6 +143,29 @@ class TestPostEndpoints:
                 urllib.request.urlopen(request, timeout=10)
             assert excinfo.value.code == 400
 
+    def test_non_numeric_design_values_are_400_not_500(self, fresh):
+        """Regression: these used to hit the defensive 500 boundary."""
+        for body in (
+            {"weights": {"GRE": "abc"}, "sensitive": "DeptSizeBin"},
+            {"weights": {"GRE": None}, "sensitive": "DeptSizeBin"},
+            {"weights": {"GRE": 1.0}, "sensitive": "DeptSizeBin", "k": "ten"},
+            {"weights": {"GRE": 1.0}, "sensitive": "DeptSizeBin", "k": [5]},
+            {"weights": {"GRE": 1.0}, "sensitive": "DeptSizeBin", "alpha": "tiny"},
+            {"weights": {"GRE": 1.0}, "sensitive": "DeptSizeBin", "alpha": {}},
+        ):
+            request = urllib.request.Request(
+                fresh.url + "/design",
+                data=json.dumps(body).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 400
+            error = json.loads(excinfo.value.read())["error"]
+            assert "bad design" in error
+            assert "internal error" not in error
+
     def test_unknown_post_path(self, fresh):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             post(fresh, "/nope", {})
@@ -161,6 +184,27 @@ class TestPostEndpoints:
         label = json.loads(body)
         assert label["k"] == 5
         assert label["recipe"]["normalization"]["PubCount"] == "identity"
+
+
+class TestTrialBackendEnv:
+    def test_env_var_selects_the_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIAL_BACKEND", "serial")
+        with make_server() as handle:
+            executor = handle.registry.service.stats()["executor"]
+            assert executor["trial_backend"] == "serial"
+            assert executor["trial_backend_effective"] == "serial"
+
+    def test_unknown_env_backend_fails_at_startup(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIAL_BACKEND", "quantum")
+        with pytest.raises(EngineError, match="unknown trial backend"):
+            make_server()
+
+    def test_bound_session_service_wins_over_env(self, served, monkeypatch):
+        # the default session brought its own service; the env var only
+        # applies when the server builds the service itself
+        monkeypatch.setenv("REPRO_TRIAL_BACKEND", "quantum")
+        status, _, _ = get(served, "/engine/stats")
+        assert status == 200
 
 
 class TestServerLifecycle:

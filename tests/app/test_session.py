@@ -59,6 +59,35 @@ class TestStageProgression:
         with pytest.raises(SessionStateError, match="no label"):
             designed_session.last_label()
 
+    def test_dataset_load_resets_the_seed(self, designed_session):
+        """Regression: a stale seed survived the documented reset and
+        silently changed label bytes (and cache fingerprints) for
+        designs that never mentioned a seed."""
+        designed_session.set_seed(1)
+        designed_session.load_builtin("cs-departments")
+        designed_session.design_scoring(
+            weights={"PubCount": 0.4, "Faculty": 0.4, "GRE": 0.2},
+            sensitive_attribute="DeptSizeBin",
+            id_column="DeptName",
+        )
+        assert designed_session.current_design().seed == 20180610
+
+    @pytest.mark.parametrize("invalidate", ["seed", "monte_carlo"])
+    def test_invalidating_a_label_demotes_the_stage(self, designed_session, invalidate):
+        """Regression: set_seed/set_monte_carlo dropped the cached label
+        but left the stage LABELED, so last_label() raised on a session
+        that reported itself labeled."""
+        designed_session.generate_label()
+        assert designed_session.stage is SessionStage.LABELED
+        if invalidate == "seed":
+            designed_session.set_seed(7)
+        else:
+            designed_session.set_monte_carlo(5)
+        assert designed_session.stage is SessionStage.SCORER_DESIGNED
+        facts = designed_session.generate_label()  # the design is still committed
+        assert designed_session.stage is SessionStage.LABELED
+        assert facts is designed_session.last_label()
+
     def test_reload_resets_design(self, designed_session):
         designed_session.load_builtin("german-credit")
         assert designed_session.stage is SessionStage.DATA_LOADED

@@ -122,6 +122,61 @@ class TestGetOrBuild:
         assert (a, b) == ("va", "vb")
         assert not a_cached and not b_cached
 
+    def test_failing_build_keeps_single_flight_for_late_arrivals(self):
+        """A thread arriving during a waiter's retry joins the same lock.
+
+        Regression: the per-key lock used to be popped as soon as the
+        first build failed, while queued waiters still held it — so a
+        thread arriving *after* the pop minted a fresh lock and ran
+        ``build()`` concurrently with the retrying waiter, violating
+        the "one Monte-Carlo loop, not N" guarantee.
+        """
+        cache = LabelCache(max_size=4)
+        state = threading.Lock()
+        calls = [0]
+        active = [0]
+        max_active = [0]
+
+        def flaky_build():
+            with state:
+                calls[0] += 1
+                call = calls[0]
+                active[0] += 1
+                max_active[0] = max(max_active[0], active[0])
+            try:
+                time.sleep(0.15)  # long enough for the late thread to arrive
+                if call == 1:
+                    raise ValueError("first build fails")
+                return "value"
+            finally:
+                with state:
+                    active[0] -= 1
+
+        results, errors = [], []
+
+        def request():
+            try:
+                results.append(cache.get_or_build("k", flaky_build))
+            except ValueError as exc:
+                errors.append(exc)
+
+        first = threading.Thread(target=request)   # build #1: fails
+        waiter = threading.Thread(target=request)  # queued; retries as build #2
+        late = threading.Thread(target=request)    # arrives mid-retry
+        first.start()
+        time.sleep(0.05)   # first is inside build #1
+        waiter.start()
+        time.sleep(0.15)   # build #1 has failed; waiter is inside build #2
+        late.start()
+        for thread in (first, waiter, late):
+            thread.join()
+
+        assert max_active[0] == 1  # never two builders for one key
+        assert calls[0] == 2       # the failure plus exactly one retry
+        assert len(errors) == 1    # only the first caller saw the failure
+        assert sorted(results) == [("value", False), ("value", True)]
+        assert cache._build_locks == {}  # the slot was released at the end
+
 
 class TestStats:
     def test_hit_rate(self):

@@ -140,6 +140,19 @@ class TestLabelJob:
         )
         assert job.dataset == "compas" and job.job_id == "my-job"
 
+    def test_spec_id_wins_over_positional_default(self):
+        """Regression: a positional job-<index> id used to shadow the
+        spec's own "id", silently renaming batch outputs."""
+        named = LabelJob.from_mapping(
+            {"dataset": "compas", "design": DESIGN_BODY, "id": "my-job"},
+            job_id="job-3",
+        )
+        assert named.job_id == "my-job"
+        unnamed = LabelJob.from_mapping(
+            {"dataset": "compas", "design": DESIGN_BODY}, job_id="job-3"
+        )
+        assert unnamed.job_id == "job-3"
+
     def test_from_mapping_requires_design(self):
         with pytest.raises(EngineError, match="design"):
             LabelJob.from_mapping({"dataset": "compas"})

@@ -155,7 +155,7 @@ class TestParallelMonteCarlo:
 
     def test_trial_workers_one_disables_pool(self):
         executor = LabelExecutor(trial_workers=1)
-        assert executor.trial_executor() is None
+        assert executor.trial_backend().name == "serial"
         executor.shutdown()
 
 
@@ -197,6 +197,20 @@ class TestBatches:
         assert results[0].status is JobStatus.DONE
         assert results[1].status is JobStatus.FAILED
         assert "no-such-dataset" in results[1].error
+
+    def test_unexpected_loader_fault_reported_not_raised(self, service, tmp_path):
+        """Non-RankingFactsError faults (e.g. a binary 'CSV') fail one job,
+        not the whole batch."""
+        binary = tmp_path / "binary.csv"
+        binary.write_bytes(b"\xff\xfe\x00not,really,text")
+        jobs = [
+            LabelJob(design=design(), dataset="cs-departments"),
+            LabelJob(design=design(), csv_path=str(binary)),
+        ]
+        results = service.run_batch(jobs)
+        assert results[0].status is JobStatus.DONE
+        assert results[1].status is JobStatus.FAILED
+        assert results[1].error  # the fault is reported, with its type
 
     def test_async_submit_and_poll(self, service):
         handle = service.submit_batch(
