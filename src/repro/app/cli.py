@@ -174,9 +174,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the engine's cache/executor statistics",
     )
     batch.add_argument(
-        "--trial-backend", choices=("serial", "thread", "process"), default=None,
+        "--trial-backend",
+        choices=("serial", "thread", "process", "vectorized"), default=None,
         help="Monte-Carlo trial execution backend (default: thread; "
-        "parallel backends self-disable on single-CPU hosts)",
+        "'vectorized' batches all trials into array kernels — the fastest "
+        "single-machine option for linear scorers; thread/process "
+        "self-disable on single-CPU hosts)",
     )
 
     serve = commands.add_parser("serve", help="start the demo web server")
@@ -185,9 +188,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8000)
     serve.add_argument(
-        "--trial-backend", choices=("serial", "thread", "process"), default=None,
+        "--trial-backend",
+        choices=("serial", "thread", "process", "vectorized"), default=None,
         help="Monte-Carlo trial execution backend (default: the "
-        "REPRO_TRIAL_BACKEND environment variable, then thread)",
+        "REPRO_TRIAL_BACKEND environment variable, then thread; "
+        "'vectorized' batches all trials into array kernels)",
+    )
+    serve.add_argument(
+        "--allow-local-paths", action="store_true",
+        help='let POST /jobs read server-side "csv" paths (off by default: '
+        "a remote client could read any file on this host)",
     )
 
     return parser
@@ -384,7 +394,10 @@ def _run_serve(args: argparse.Namespace) -> str:
     _load(session, args)
     _design(session, args)
     session.generate_label()
-    serve_forever(session, host=args.host, port=args.port)
+    serve_forever(
+        session, host=args.host, port=args.port,
+        allow_local_paths=args.allow_local_paths,
+    )
     return ""  # serve_forever blocks; reached only on shutdown
 
 

@@ -2,10 +2,13 @@
 
 The original Ranking Facts is "a Web-based application"; this server
 reproduces its workflow without Flask or network installs — and serves
-*many* workflows at once: sessions live in a token-keyed registry, and
-every session computes through one shared
+*many* workflows at once: sessions live in a token-keyed, *bounded*
+registry (oldest-idle eviction past the cap), and every session
+computes through one shared
 :class:`~repro.engine.service.LabelService`, so identical designs
-across users are one cached Monte-Carlo loop, not N.
+across users are one cached Monte-Carlo loop, not N.  Server-side
+``"csv"`` paths in ``POST /jobs`` are rejected unless the server was
+started with ``--allow-local-paths``.
 
 Global routes:
 
@@ -46,6 +49,7 @@ import json
 import os
 import secrets
 import threading
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs
 
@@ -76,11 +80,26 @@ batch API: POST /jobs, GET /jobs/&lt;batch_id&gt;.</p>
 
 
 class SessionRegistry:
-    """Token-keyed sessions sharing one label service."""
+    """Token-keyed sessions sharing one label service.
 
-    def __init__(self, service: LabelService | None = None):
+    The registry is bounded (mirroring the executor's ``max_batches``):
+    a client looping ``POST /session`` can no longer grow server memory
+    until OOM.  When ``max_sessions`` is exceeded, the session that has
+    gone longest without being looked up is evicted — its token then
+    404s like any unknown one.  ``adopt``-ed sessions (the server's
+    bound default) are pinned and never evicted.
+    """
+
+    def __init__(self, service: LabelService | None = None, max_sessions: int = 256):
+        if max_sessions < 1:
+            raise EngineError(f"max_sessions must be >= 1, got {max_sessions}")
         self._service = service if service is not None else LabelService()
-        self._sessions: dict[str, DemoSession] = {}
+        # ordered oldest-touched first; get() re-ends a token, so the
+        # eviction victim is always the longest-idle session
+        self._sessions: OrderedDict[str, DemoSession] = OrderedDict()
+        self._pinned: set[str] = set()
+        self._max_sessions = max_sessions
+        self._evicted = 0
         self._lock = threading.Lock()
 
     @property
@@ -88,25 +107,59 @@ class SessionRegistry:
         """The shared label service every session computes through."""
         return self._service
 
+    @property
+    def max_sessions(self) -> int:
+        """The registry's capacity, in sessions."""
+        return self._max_sessions
+
+    @property
+    def evicted(self) -> int:
+        """How many idle sessions the cap has evicted so far."""
+        with self._lock:
+            return self._evicted
+
+    def _evict_locked(self, keep: str) -> None:
+        # never evict the token being registered right now: handing the
+        # caller a token that already 404s would be worse than briefly
+        # exceeding the cap when everything else is pinned
+        while len(self._sessions) > self._max_sessions:
+            victim = next(
+                (
+                    t
+                    for t in self._sessions
+                    if t not in self._pinned and t != keep
+                ),
+                None,
+            )
+            if victim is None:  # everything left is pinned (or just added)
+                break
+            del self._sessions[victim]
+            self._evicted += 1
+
     def create(self) -> tuple[str, DemoSession]:
         """Open a fresh session; returns its token and the session."""
         session = DemoSession(service=self._service)
         token = secrets.token_hex(8)
         with self._lock:
             self._sessions[token] = session
+            self._evict_locked(keep=token)
         return token, session
 
     def adopt(self, session: DemoSession, token: str | None = None) -> str:
-        """Register an existing session (the server's bound default)."""
+        """Register an existing session, pinned (the server's default)."""
         token = token or secrets.token_hex(8)
         with self._lock:
             self._sessions[token] = session
+            self._pinned.add(token)
+            self._evict_locked(keep=token)
         return token
 
     def get(self, token: str) -> DemoSession:
         """The session for ``token`` (raises :class:`EngineError`)."""
         with self._lock:
             session = self._sessions.get(token)
+            if session is not None:
+                self._sessions.move_to_end(token)  # mark recently used
         if session is None:
             raise EngineError(f"unknown session token {token!r}")
         return session
@@ -114,6 +167,7 @@ class SessionRegistry:
     def close(self, token: str) -> bool:
         """Forget a session; returns whether it existed."""
         with self._lock:
+            self._pinned.discard(token)
             return self._sessions.pop(token, None) is not None
 
     def tokens(self) -> dict[str, str]:
@@ -186,6 +240,7 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
     # set by make_server on the subclass
     registry: SessionRegistry = None  # type: ignore[assignment]
     default_session: DemoSession | None = None
+    allow_local_paths: bool = False
 
     server_version = "RankingFacts/2.0"
 
@@ -404,6 +459,16 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
             LabelJob.from_mapping(spec, job_id=f"job-{index}")
             for index, spec in enumerate(jobs_spec)
         ]
+        if not self.allow_local_paths:
+            for job in jobs:
+                if job.csv_path is not None:
+                    # a server-side path is a remote file-read primitive:
+                    # reject the whole batch before anything is queued
+                    raise RankingFactsError(
+                        f'job {job.job_id!r} names a server-side "csv" path; '
+                        "local paths are disabled unless the server is "
+                        "started with --allow-local-paths"
+                    )
         handle = self.registry.service.submit_batch(jobs)
         self._send_json(
             202,
@@ -446,6 +511,8 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 0,
     service: LabelService | None = None,
+    max_sessions: int = 256,
+    allow_local_paths: bool = False,
 ) -> ServerHandle:
     """Bind a server (port 0 = ephemeral, for tests).
 
@@ -458,9 +525,15 @@ def make_server(
 
     When the server builds its own service (no ``session``, no
     ``service``), the ``REPRO_TRIAL_BACKEND`` environment variable
-    selects the Monte-Carlo trial backend (``serial``, ``thread``, or
-    ``process``); an unknown value fails here, at startup, not on the
-    first label request.
+    selects the Monte-Carlo trial backend (``serial``, ``thread``,
+    ``process``, or ``vectorized`` — the batched-array-kernel path, the
+    fastest single-machine option for linear scorers); an unknown value
+    fails here, at startup, not on the first label request.
+
+    ``max_sessions`` bounds the registry (oldest-idle eviction past the
+    cap).  ``allow_local_paths`` re-enables server-side ``"csv"`` paths
+    in ``POST /jobs``, which are rejected by default because they let
+    any client read files off the server host.
     """
     if session is not None and session.stage is SessionStage.EMPTY:
         raise RankingFactsError("the session has no dataset; load one before serving")
@@ -471,13 +544,17 @@ def make_server(
             service = LabelService(
                 trial_backend=os.environ.get("REPRO_TRIAL_BACKEND") or None
             )
-    registry = SessionRegistry(service)
+    registry = SessionRegistry(service, max_sessions=max_sessions)
     if session is not None:
         registry.adopt(session)
     handler = type(
         "BoundHandler",
         (_RankingFactsHandler,),
-        {"registry": registry, "default_session": session},
+        {
+            "registry": registry,
+            "default_session": session,
+            "allow_local_paths": bool(allow_local_paths),
+        },
     )
     server = ThreadingHTTPServer((host, port), handler)
     return ServerHandle(server, registry)
@@ -487,9 +564,12 @@ def serve_forever(
     session: DemoSession | None = None,
     host: str = "127.0.0.1",
     port: int = 8000,
+    allow_local_paths: bool = False,
 ) -> None:
     """Run the demo server until interrupted (the CLI's ``serve``)."""
-    with make_server(session, host=host, port=port) as handle:
+    with make_server(
+        session, host=host, port=port, allow_local_paths=allow_local_paths
+    ) as handle:
         print(f"Ranking Facts demo serving on {handle.url} (Ctrl-C to stop)")
         try:
             threading.Event().wait()

@@ -19,11 +19,18 @@ server's registry does this) gets content-addressed caching across
 *all* sessions — two users asking for the same design on the same data
 cost one Monte-Carlo loop.  A session constructed bare owns a private
 service, so caching still applies to its own repeated requests.
+
+Sessions are served by ``ThreadingHTTPServer``, so every state
+transition and every read of the committed design happens under one
+re-entrant lock: a ``POST /design`` racing a ``GET /label`` either
+sees the old design or the new one, never a half-committed mix.
 """
 
 from __future__ import annotations
 
 import enum
+import functools
+import threading
 from collections.abc import Mapping, Sequence
 from pathlib import Path
 
@@ -40,6 +47,22 @@ from repro.tabular.summary import Histogram, histogram
 from repro.tabular.table import Table
 
 __all__ = ["SessionStage", "DemoSession"]
+
+
+def _locked(method):
+    """Run ``method`` under the session's re-entrant state lock.
+
+    The design fields (weights, sensitive, k, seed, ...) are committed
+    by several setters; without the lock a concurrent label build could
+    read a mix of old and new fields mid-redesign.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
 
 
 class SessionStage(enum.Enum):
@@ -73,6 +96,7 @@ class DemoSession:
 
     def __init__(self, service: LabelService | None = None):
         self._service = service if service is not None else LabelService()
+        self._lock = threading.RLock()  # guards every stage/design transition
         self._stage = SessionStage.EMPTY
         self._table: Table | None = None
         self._dataset_name = ""
@@ -115,16 +139,19 @@ class DemoSession:
 
     # -- stage 1: load data --------------------------------------------------------
 
+    @_locked
     def load_builtin(self, name: str, **kwargs) -> None:
         """Load one of the paper's demo datasets (any stage; resets)."""
         table = dataset_by_name(name, **kwargs)
         self._reset_with(table, name)
 
+    @_locked
     def load_csv(self, path: str | Path) -> None:
         """Load a user CSV (the paper's upload option; resets)."""
         table = load_csv_dataset(path)
         self._reset_with(table, Path(path).stem)
 
+    @_locked
     def load_table(self, table: Table, name: str = "in-memory table") -> None:
         """Adopt an already-built table (programmatic clients)."""
         table.require_rows(2)
@@ -174,11 +201,13 @@ class DemoSession:
 
     # -- stage 3: design the scoring function ------------------------------------------
 
+    @_locked
     def set_normalization(self, enabled: bool) -> None:
         """Figure 3's normalize-and-standardize checkbox."""
         self._require_table()
         self._normalize = bool(enabled)
 
+    @_locked
     def set_monte_carlo(
         self, trials: int, epsilons: Sequence[float] = (0.05, 0.1, 0.2)
     ) -> None:
@@ -190,6 +219,7 @@ class DemoSession:
         self._monte_carlo_epsilons = tuple(float(e) for e in epsilons)
         self._invalidate_label()
 
+    @_locked
     def set_seed(self, seed: int) -> None:
         """Seed for the Monte-Carlo stability estimators."""
         self._require_table()
@@ -202,6 +232,7 @@ class DemoSession:
         if self._stage is SessionStage.LABELED:
             self._stage = SessionStage.SCORER_DESIGNED
 
+    @_locked
     def design_scoring(
         self,
         weights: Mapping[str, float],
@@ -251,6 +282,7 @@ class DemoSession:
 
     # -- stage 4: preview ------------------------------------------------------------------
 
+    @_locked
     def preview(self, rows: int = 10) -> Ranking:
         """Rank with the current design and return the top ``rows``.
 
@@ -276,6 +308,7 @@ class DemoSession:
 
     # -- stage 5: the label -----------------------------------------------------------------
 
+    @_locked
     def current_design(self) -> LabelDesign:
         """The committed design as the engine's frozen value object."""
         self._require_stage(
@@ -294,6 +327,7 @@ class DemoSession:
             seed=self._seed,
         )
 
+    @_locked
     def generate_label(self) -> RankingFacts:
         """Serve the nutritional label for the current design.
 
@@ -311,12 +345,14 @@ class DemoSession:
         self._stage = SessionStage.LABELED
         return outcome.facts
 
+    @_locked
     def last_label(self) -> RankingFacts:
         """The most recently generated label."""
         if self._facts is None:
             raise SessionStateError("no label generated yet; call generate_label()")
         return self._facts
 
+    @_locked
     def last_label_was_cached(self) -> bool:
         """Whether the last ``generate_label()`` was served from cache."""
         return self._last_cached

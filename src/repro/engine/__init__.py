@@ -11,8 +11,9 @@ label builder.  That layer is this package:
 - :mod:`repro.engine.jobs` — :class:`LabelDesign` / :class:`LabelJob`
   value objects every entry point normalizes into;
 - :mod:`repro.engine.backends` — pluggable :class:`TrialBackend`
-  execution for the Monte-Carlo trials: serial, thread pool, or
-  process pool (GIL-free), selected by name;
+  execution for the Monte-Carlo trials: serial, thread pool, process
+  pool (GIL-free), or vectorized (the whole trial batch as array
+  kernels, see :mod:`repro.stability.kernels`), selected by name;
 - :mod:`repro.engine.executor` — thread-pool fan-out for batches, plus
   the trial backend handed to each build;
 - :mod:`repro.engine.service` — :class:`LabelService`, the facade the
@@ -31,6 +32,7 @@ from repro.engine.backends import (
     SerialTrialBackend,
     ThreadTrialBackend,
     TrialBackend,
+    VectorizedTrialBackend,
     resolve_trial_backend,
 )
 from repro.engine.cache import CacheStats, LabelCache
@@ -49,6 +51,7 @@ __all__ = [
     "SerialTrialBackend",
     "ThreadTrialBackend",
     "ProcessTrialBackend",
+    "VectorizedTrialBackend",
     "ExecutorTrialBackend",
     "resolve_trial_backend",
     "CacheStats",

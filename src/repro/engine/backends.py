@@ -11,6 +11,11 @@ shape lets the *same* trial code run on any :class:`TrialBackend`:
 - :class:`ProcessTrialBackend` — a process pool, sidestepping the GIL
   entirely; trials are *chunked* so one payload pickle amortizes over
   many trials instead of paying IPC per trial;
+- :class:`VectorizedTrialBackend` — no pool at all: the entire trial
+  batch is computed as array operations by the kernels in
+  :mod:`repro.stability.kernels`, eliminating per-trial Python
+  interpretation (the single biggest single-machine win); trial work
+  without a kernel runs inline, with the reason recorded;
 - :class:`ExecutorTrialBackend` — adapter for a caller-owned
   :class:`concurrent.futures.Executor` (the pre-backend API).
 
@@ -22,7 +27,8 @@ backend produces is byte-identical to the serial one for equal seeds.
 :func:`resolve_trial_backend` maps a backend *name* (CLI flag, env var,
 service config) to an instance, probing ``os.cpu_count()``: on a
 single-CPU host a parallel backend is pure overhead, so ``thread`` and
-``process`` self-disable to serial unless a worker count is forced.
+``process`` self-disable to serial unless a worker count is forced
+(``vectorized`` needs no workers and is never disabled).
 The process backend additionally falls back to serial — per instance,
 with the reason recorded for ``GET /engine/stats`` — when the trial
 work does not pickle or the worker pool breaks.
@@ -54,12 +60,13 @@ __all__ = [
     "SerialTrialBackend",
     "ThreadTrialBackend",
     "ProcessTrialBackend",
+    "VectorizedTrialBackend",
     "ExecutorTrialBackend",
     "resolve_trial_backend",
 ]
 
 #: names accepted by the CLI flag, the env var, and the service config
-BACKEND_NAMES = ("serial", "thread", "process")
+BACKEND_NAMES = ("serial", "thread", "process", "vectorized")
 
 TrialFn = Callable[[Any, int], Any]
 
@@ -177,6 +184,64 @@ class ThreadTrialBackend:
     def effective_name(self) -> str:
         """Always ``thread`` (threads have no fallback path)."""
         return self.name
+
+
+class VectorizedTrialBackend:
+    """Batch the whole trial loop into array kernels — no pool, no GIL.
+
+    Trial functions with a registered kernel
+    (:mod:`repro.stability.kernels`: weight perturbation, data
+    uncertainty, per-attribute stability over a plain
+    :class:`~repro.ranking.scoring.LinearScoringFunction`) are computed
+    as one ``(n x T)`` array program, byte-identical to the serial
+    scalar loop for equal seeds.  Anything else — an unknown trial
+    function, a non-linear scorer, a payload the kernel cannot
+    reproduce exactly — runs inline on the scalar path instead.
+
+    Unlike :class:`ProcessTrialBackend`'s sticky degrade, dispatch is
+    **per run**: one non-kernel job does not disable vectorization for
+    the next.  :attr:`fallback_reason` records the most recent decline
+    and :attr:`kernel_runs` / :attr:`scalar_runs` count both outcomes,
+    so ``GET /engine/stats`` can report how much of the trial load the
+    kernels actually absorbed.
+    """
+
+    name = "vectorized"
+
+    def __init__(self):
+        self.fallback_reason: str | None = None
+        self.kernel_runs = 0
+        self.scalar_runs = 0
+        self._lock = threading.Lock()
+
+    def run(self, fn: TrialFn, payload: Any, trials: int) -> list[Any]:
+        """Run the batch kernel for ``fn``, or the scalar loop inline."""
+        # imported lazily: stability imports this module for the
+        # TrialBackend protocol, so a module-level import would cycle
+        from repro.stability.kernels import dispatch_kernel
+
+        results, reason = dispatch_kernel(fn, payload, trials)
+        with self._lock:
+            if results is None:
+                self.scalar_runs += 1
+                self.fallback_reason = reason
+            else:
+                self.kernel_runs += 1
+        if results is None:
+            return _run_serially(fn, payload, trials)
+        return results
+
+    def shutdown(self) -> None:
+        """No pool to release."""
+        pass
+
+    @property
+    def effective_name(self) -> str:
+        """``vectorized``, or ``serial`` while no run has hit a kernel."""
+        with self._lock:
+            if self.scalar_runs and not self.kernel_runs:
+                return "serial"
+            return self.name
 
 
 def _safe_mp_context() -> multiprocessing.context.BaseContext:
@@ -335,7 +400,9 @@ def resolve_trial_backend(
     and a parallel backend on a single-CPU host resolves to
     :class:`SerialTrialBackend`, as does any explicit ``workers <= 1``.
     Forcing ``workers >= 2`` yields a real pool even on one CPU (tests
-    and benchmarks rely on this to exercise the process path).
+    and benchmarks rely on this to exercise the process path).  The
+    ``vectorized`` backend runs no workers at all, so it ignores the
+    count and is never self-disabled.
     """
     requested = name if name is not None else "thread"
     if requested not in BACKEND_NAMES:
@@ -343,6 +410,8 @@ def resolve_trial_backend(
             f"unknown trial backend {requested!r}; expected one of "
             f"{', '.join(BACKEND_NAMES)}"
         )
+    if requested == "vectorized":
+        return VectorizedTrialBackend()
     effective_workers = workers if workers is not None else (os.cpu_count() or 1)
     if requested == "serial" or effective_workers <= 1:
         return SerialTrialBackend()

@@ -34,8 +34,8 @@ from collections.abc import Callable, Sequence
 from concurrent.futures import Future, ThreadPoolExecutor
 
 from repro.engine.backends import (
-    ProcessTrialBackend,
     TrialBackend,
+    VectorizedTrialBackend,
     resolve_trial_backend,
 )
 from repro.engine.jobs import JobResult, JobStatus, LabelJob
@@ -126,9 +126,11 @@ class LabelExecutor:
         server's memory.
     trial_backend:
         Backend name for the Monte-Carlo trials — ``"serial"``,
-        ``"thread"`` (default), or ``"process"`` — resolved via
+        ``"thread"`` (default), ``"process"``, or ``"vectorized"``
+        (batched array kernels, the fastest single-machine option for
+        linear scorers) — resolved via
         :func:`repro.engine.backends.resolve_trial_backend`, which
-        self-disables parallel backends on single-CPU hosts.
+        self-disables worker-pool backends on single-CPU hosts.
     """
 
     def __init__(
@@ -231,18 +233,17 @@ class LabelExecutor:
         for polling (capped at ``max_batches``).
         """
         backend = self._trial_backend
-        fallback = (
-            backend.fallback_reason
-            if isinstance(backend, ProcessTrialBackend)
-            else None
-        )
+        # process and vectorized backends both record why they declined
+        fallback = getattr(backend, "fallback_reason", None)
         with self._lock:
-            return {
+            stats: dict[str, object] = {
                 "max_workers": self._max_workers,
                 "trial_workers": self._trial_workers,
                 # effective, not configured: a fallen-back process backend
                 # runs every trial inline and must not read as parallel
-                "parallel_trials": backend.effective_name != "serial",
+                # (vectorized trials are batched, not worker-parallel)
+                "parallel_trials": backend.effective_name
+                not in ("serial", "vectorized"),
                 "trial_backend": self._trial_backend_requested,
                 "trial_backend_effective": backend.effective_name,
                 "trial_backend_fallback": fallback,
@@ -250,6 +251,10 @@ class LabelExecutor:
                 "batches_retained": len(self._batches),
                 "jobs_submitted": self._jobs_submitted,
             }
+        if isinstance(backend, VectorizedTrialBackend):
+            stats["trial_kernel_runs"] = backend.kernel_runs
+            stats["trial_scalar_fallbacks"] = backend.scalar_runs
+        return stats
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the job pool and the trial backend (idempotent)."""

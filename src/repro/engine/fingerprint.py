@@ -12,6 +12,9 @@ keys in a different order, produces the same digest.  Numeric columns
 hash their raw float64 bytes (so ``-0.0`` vs ``0.0`` or NaN payload
 differences matter exactly as much as they do to the ranking code:
 NaN == NaN at the byte level here, and scoring treats both as missing).
+The table half is memoized on the immutable
+:class:`~repro.tabular.table.Table` itself, so repeated requests over
+the same table hash only the (small) design.
 """
 
 from __future__ import annotations
@@ -34,21 +37,13 @@ def _hash_update_str(digest, text: str) -> None:
 
 
 def table_fingerprint(table: Table) -> str:
-    """Deterministic content hash of a table (names, kinds, values)."""
-    digest = hashlib.sha256()
-    digest.update(table.num_rows.to_bytes(8, "little"))
-    for name in table.column_names:
-        column = table.column(name)
-        _hash_update_str(digest, name)
-        _hash_update_str(digest, column.kind)
-        digest.update(_SEP)
-        if column.kind == "numeric":
-            digest.update(column.values.tobytes())
-        else:
-            for value in column.values:
-                _hash_update_str(digest, str(value))
-        digest.update(_SEP)
-    return digest.hexdigest()
+    """Deterministic content hash of a table (names, kinds, values).
+
+    Delegates to :meth:`~repro.tabular.table.Table.content_digest`,
+    which memoizes on the immutable table — so a session re-requesting
+    the same dataset pays for the hash once, not per label request.
+    """
+    return table.content_digest()
 
 
 def design_fingerprint(design: Mapping[str, object]) -> str:

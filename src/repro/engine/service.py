@@ -68,11 +68,12 @@ class LabelService:
         Master switch, mostly for benchmarking cold builds.
     trial_backend:
         Name of the Monte-Carlo trial backend — ``"serial"``,
-        ``"thread"`` (default), or ``"process"`` (see
-        :mod:`repro.engine.backends`).  All three serve byte-identical
-        labels for equal seeds; parallel backends self-disable to
-        serial on single-CPU hosts unless ``trial_workers`` forces a
-        pool.
+        ``"thread"`` (default), ``"process"``, or ``"vectorized"``
+        (see :mod:`repro.engine.backends`).  All of them serve
+        byte-identical labels for equal seeds; worker-pool backends
+        self-disable to serial on single-CPU hosts unless
+        ``trial_workers`` forces a pool, while ``vectorized`` batches
+        the trials into array kernels and needs no workers at all.
     """
 
     def __init__(

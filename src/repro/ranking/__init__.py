@@ -8,17 +8,23 @@ Everything the label explains is produced here:
   ordered view of a table with top-k slicing and group lookups;
 - :mod:`repro.ranking.compare` — distances between rankings (Kendall
   tau, Spearman footrule/rho, top-k overlap), used by the perturbation
-  stability estimators.
+  stability estimators; the index-based variants (inversion counting
+  over permutation arrays) back the vectorized trial kernels.
 """
 
 from repro.ranking.compare import (
+    count_inversions,
+    count_inversions_batch,
     kendall_distance,
+    kendall_tau_from_discordant,
+    kendall_tau_positions,
     kendall_tau_rankings,
     rank_biased_overlap,
     rank_displacement,
     spearman_footrule,
     top_k_jaccard,
     top_k_overlap,
+    top_k_overlap_positions,
 )
 from repro.ranking.ranker import RankedItem, Ranking, rank_table
 from repro.ranking.scoring import LinearScoringFunction, ScoringFunction
@@ -30,10 +36,15 @@ __all__ = [
     "RankedItem",
     "rank_table",
     "kendall_tau_rankings",
+    "kendall_tau_positions",
+    "kendall_tau_from_discordant",
+    "count_inversions",
+    "count_inversions_batch",
     "kendall_distance",
     "spearman_footrule",
     "rank_displacement",
     "top_k_overlap",
+    "top_k_overlap_positions",
     "top_k_jaccard",
     "rank_biased_overlap",
 ]

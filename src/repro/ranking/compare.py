@@ -5,9 +5,27 @@ stability can be computed ...") quantify how far a ranking moves when
 weights or data are jittered.  These functions are the movement metrics:
 Kendall tau / Kendall distance over the common items, Spearman footrule,
 maximum rank displacement, and set overlap of the top-k.
+
+Three tiers of the same metrics coexist, ordered by how much structure
+the caller already has in hand:
+
+- **Ranking-based** (:func:`kendall_tau_rankings`, ...) — the friendly
+  API over :class:`~repro.ranking.ranker.Ranking` objects;
+- **id-based** (:func:`kendall_tau_ids`, :func:`top_k_overlap_ids`) —
+  over plain item-id sequences, which is what the Monte-Carlo trial
+  payloads ship across process boundaries;
+- **index-based** (:func:`kendall_tau_positions`,
+  :func:`top_k_overlap_positions`, :func:`count_inversions`,
+  :func:`count_inversions_batch`) — over integer permutation arrays,
+  the form the vectorized trial kernels
+  (:mod:`repro.stability.kernels`) work in: no id lists, no dict
+  lookups, inversions counted by array-level merge sorting.  For
+  tie-free rankings the three tiers return byte-identical floats.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.errors import RankingError
 from repro.ranking.ranker import Ranking
@@ -16,11 +34,16 @@ from repro.stats.correlation import kendall_tau
 __all__ = [
     "kendall_tau_rankings",
     "kendall_tau_ids",
+    "kendall_tau_positions",
+    "kendall_tau_from_discordant",
+    "count_inversions",
+    "count_inversions_batch",
     "kendall_distance",
     "spearman_footrule",
     "rank_displacement",
     "top_k_overlap",
     "top_k_overlap_ids",
+    "top_k_overlap_positions",
     "top_k_jaccard",
     "rank_biased_overlap",
 ]
@@ -123,6 +146,148 @@ def top_k_overlap_ids(ids_a, ids_b, k: int) -> float:
     if not top_a:
         return 0.0
     return len(top_a & top_b) / len(top_a)
+
+
+def count_inversions_batch(sequences: np.ndarray) -> np.ndarray:
+    """Inversions of each row of a ``(trials, n)`` integer array.
+
+    An inversion is a pair ``i < j`` with ``row[i] > row[j]`` (ties are
+    not inversions).  For a permutation row holding, per baseline
+    position, the item's position in a re-ranking, the inversion count
+    is exactly the discordant-pair count between the two rankings —
+    which is why this is the workhorse of the vectorized stability
+    kernels.
+
+    The count is a bottom-up merge sort over *all rows at once*: each
+    level sorts within blocks via one offset-keyed stable argsort and
+    reads the cross-block inversions off the merged positions, so the
+    total work is ``O(trials * n log^2 n)`` array operations with no
+    per-element Python.
+    """
+    arr = np.asarray(sequences)
+    if arr.ndim != 2:
+        raise RankingError(
+            f"count_inversions_batch expects a (trials, n) array, got shape {arr.shape}"
+        )
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise RankingError(
+            f"count_inversions_batch expects integer sequences, got dtype {arr.dtype}"
+        )
+    trials, n = arr.shape
+    if n < 2:
+        return np.zeros(trials, dtype=np.int64)
+    # the offset keys and padding below only need values in [0, n) —
+    # true already for the kernels' permutation rows; anything else is
+    # rank-transformed per row (ties keep equal codes)
+    if arr.size and int(arr.min()) >= 0 and int(arr.max()) < n:
+        codes = arr.astype(np.int64, copy=False)
+    else:
+        codes = np.empty((trials, n), dtype=np.int64)
+        for row in range(trials):
+            _, codes[row] = np.unique(arr[row], return_inverse=True)
+    # pad to a power of two with a value above every code; pads form a
+    # suffix and stay one after sorting, so they never add inversions
+    size = 1 << (n - 1).bit_length()
+    if size > n:
+        working = np.concatenate(
+            [codes, np.full((trials, size - n), n, dtype=np.int64)], axis=1
+        )
+    else:
+        working = codes
+    inversions = np.zeros(trials, dtype=np.int64)
+    positions = np.arange(size)
+    stride = n + 1  # exceeds every code, keeping block key ranges disjoint
+    width = 1
+    while width < size:
+        span = 2 * width
+        block = positions // span
+        order = np.argsort(working + (block * stride)[None, :], axis=1, kind="stable")
+        merged = np.empty_like(order)
+        np.put_along_axis(
+            merged, order, np.broadcast_to(positions[None, :], (trials, size)), axis=1
+        )
+        # for the element at right-half position p (index i within its
+        # half), merged[p] - block_start - i counts the left-half values
+        # <= it; the remainder of the left half is inverted with it
+        right = (positions % span) >= width
+        index_in_right = (positions % span)[right] - width
+        below = merged[:, right] - (block * span)[right][None, :] - index_in_right[None, :]
+        inversions += (width - below).sum(axis=1)
+        working = np.take_along_axis(working, order, axis=1)
+        width = span
+    return inversions
+
+
+def count_inversions(sequence) -> int:
+    """Number of out-of-order pairs in one integer sequence."""
+    arr = np.asarray(sequence)
+    if arr.ndim != 1:
+        raise RankingError(
+            f"count_inversions expects a 1-d sequence, got shape {arr.shape}"
+        )
+    if arr.size < 2:
+        return 0
+    return int(count_inversions_batch(arr[None, :])[0])
+
+
+def kendall_tau_from_discordant(discordant: int, n: int) -> float:
+    """Kendall tau of two tie-free rankings from their discordant-pair count.
+
+    Byte-identical to :func:`~repro.stats.correlation.kendall_tau` on
+    the corresponding rank vectors: the same integer counts feed the
+    same float expressions, so the vectorized stability kernels can
+    replace the pairwise enumeration without changing a single bit of
+    the label.
+    """
+    if n < 2:
+        raise RankingError(
+            f"rank comparison needs at least 2 common items, found {n}"
+        )
+    pairs = n * (n - 1) // 2
+    if not 0 <= discordant <= pairs:
+        raise RankingError(
+            f"discordant count {discordant} outside [0, {pairs}] for n={n}"
+        )
+    concordant = pairs - discordant
+    denom = float(np.sqrt((concordant + discordant) * (concordant + discordant)))
+    if denom == 0.0:
+        return 0.0
+    tau = (concordant - discordant) / denom
+    return max(-1.0, min(1.0, tau))
+
+
+def kendall_tau_positions(positions) -> float:
+    """:func:`kendall_tau_ids` when the re-ranked positions are in hand.
+
+    ``positions[i]`` is the position (0- or 1-based — inversions do not
+    care) that the baseline's rank-``i`` item took in the re-ranking.
+    This is the index-based form the vectorized kernels produce straight
+    from argsorted score matrices, skipping id lists and dict lookups.
+    """
+    arr = np.asarray(positions)
+    if arr.ndim != 1:
+        raise RankingError(
+            f"kendall_tau_positions expects a 1-d sequence, got shape {arr.shape}"
+        )
+    if np.unique(arr).size != arr.size:
+        raise RankingError("rank comparison requires distinct positions")
+    return kendall_tau_from_discordant(count_inversions(arr), int(arr.size))
+
+
+def top_k_overlap_positions(positions, k: int) -> float:
+    """:func:`top_k_overlap_ids` over a 0-based position vector.
+
+    ``positions[i]`` is the 0-based re-ranked position of the baseline's
+    ``i``-th item; an item stayed in the top-k exactly when its position
+    is below ``k``.
+    """
+    if k <= 0:
+        raise RankingError(f"top_k_overlap needs k >= 1, got {k}")
+    arr = np.asarray(positions)
+    kept = min(k, arr.size)
+    if kept == 0:
+        return 0.0
+    return int((arr[:kept] < k).sum()) / kept
 
 
 def rank_biased_overlap(a: Ranking, b: Ranking, p: float = 0.9) -> float:

@@ -17,9 +17,16 @@ Three estimators, matching the paper's three framings:
   moves and the smallest jitter that changes the top-k;
 - :mod:`repro.stability.uncertainty` — "a model of uncertainty in the
   data": attribute noise injection with the same movement metrics.
+
+The two Monte-Carlo estimators (and the per-attribute variant) run
+their trials through pluggable backends; when the scorer is a plain
+linear one, the ``vectorized`` backend computes the entire trial batch
+as array operations via :mod:`repro.stability.kernels` —
+byte-identical to the serial loop, minus the per-trial Python.
 """
 
 from repro.stability.gaps import GapReport, score_gap_analysis
+from repro.stability.kernels import dispatch_kernel
 from repro.stability.montecarlo import run_trials, trial_rng
 from repro.stability.per_attribute import AttributeStability, per_attribute_stability
 from repro.stability.perturbation import (
@@ -44,4 +51,5 @@ __all__ = [
     "per_attribute_stability",
     "run_trials",
     "trial_rng",
+    "dispatch_kernel",
 ]

@@ -19,7 +19,10 @@ parallelize — on threads *or* across processes:
   trial function over ``range(trials)`` inline or via a
   :class:`~repro.engine.backends.TrialBackend`, every one of which
   returns results in submission order — aggregation code never sees
-  reordered outcomes.
+  reordered outcomes.  (The ``vectorized`` backend exploits the same
+  shape from the other direction: because the payload is plain data
+  and the RNG streams are per-trial, the whole batch can be computed
+  as one array program — see :mod:`repro.stability.kernels`.)
 
 :func:`run_trials` is the closure-based predecessor (inline or over a
 ``concurrent.futures.Executor``); it remains for callers whose trial

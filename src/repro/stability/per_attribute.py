@@ -10,7 +10,9 @@ a 6% change to PubCount's" directly off the detailed widget.
 The bisection probes run their trials through a module-level function
 over a plain payload, so the loop parallelizes on any
 :class:`~repro.engine.backends.TrialBackend` (threads or processes)
-with byte-identical results.
+with byte-identical results; the ``vectorized`` backend computes each
+probe's batch as one array program
+(:func:`repro.stability.kernels.run_attribute_kernel`).
 """
 
 from __future__ import annotations

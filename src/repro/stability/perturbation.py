@@ -11,7 +11,11 @@ ranking to change".
 The trial itself is a module-level function over a plain payload
 (:func:`_perturbation_trial` / :class:`PerturbationTrialPayload`), so
 the loop can run on any :class:`~repro.engine.backends.TrialBackend` —
-including across processes — with byte-identical results.
+including across processes — with byte-identical results.  On the
+``vectorized`` backend the whole batch collapses into one array
+program (:func:`repro.stability.kernels.run_perturbation_kernel`):
+same RNG streams, same accumulation order, same bytes, no per-trial
+re-ranking.
 """
 
 from __future__ import annotations

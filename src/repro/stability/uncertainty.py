@@ -10,7 +10,11 @@ are directly comparable in the A1 ablation benchmark.
 
 As with the other estimators, the trial is a module-level function
 over a plain payload so any :class:`~repro.engine.backends.TrialBackend`
-(threads or processes) reproduces the serial results byte-for-byte.
+(threads or processes) reproduces the serial results byte-for-byte —
+and the ``vectorized`` backend batches the whole value-noise tensor
+into one array program
+(:func:`repro.stability.kernels.run_uncertainty_kernel`) whenever the
+scorer is a plain linear one.
 """
 
 from __future__ import annotations

@@ -9,6 +9,7 @@ drifting out of sync.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
@@ -52,6 +53,8 @@ class Table:
         self._columns: dict[str, Column] = {c.name: c for c in cols}
         self._order: tuple[str, ...] = tuple(names)
         self._num_rows = lengths.pop() if lengths else 0
+        self._content_digest: str | None = None  # memo, filled lazily
+        self._content_hash: int | None = None
 
     # -- constructors --------------------------------------------------------
 
@@ -121,6 +124,61 @@ class Table:
         if self._order != other._order:
             return False
         return all(self._columns[n] == other._columns[n] for n in self._order)
+
+    def __hash__(self) -> int:
+        """Content hash, memoized — the table is immutable.
+
+        Paired with ``__eq__``: column equality treats ``-0.0 == 0.0``
+        and any-NaN == any-NaN, so the hash is computed over the
+        *normalized* value bytes (signed zeros and NaN payloads
+        collapsed) and equal tables always hash equal.  The raw-bytes
+        digest the engine caches on lives in :meth:`content_digest`.
+        """
+        if self._content_hash is None:
+            self._content_hash = hash(self._compute_digest(normalize=True))
+        return self._content_hash
+
+    def content_digest(self) -> str:
+        """Deterministic SHA-256 over names, kinds, and raw values.
+
+        Computed once and memoized: the engine fingerprints every label
+        request with this digest, and before the memo each request —
+        including cache hits — re-hashed the full table.  Raw float64
+        bytes are hashed, so ``-0.0`` vs ``0.0`` or NaN payload
+        differences matter exactly as much as they do to the ranking
+        code (NaN == NaN at the byte level here, and scoring treats
+        both as missing).
+        """
+        if self._content_digest is None:
+            self._content_digest = self._compute_digest(normalize=False)
+        return self._content_digest
+
+    def _compute_digest(self, normalize: bool) -> str:
+        digest = hashlib.sha256()
+
+        def update_str(text: str) -> None:
+            data = text.encode("utf-8")
+            digest.update(len(data).to_bytes(8, "little"))
+            digest.update(data)
+
+        separator = b"\x1f"  # unit separator: unambiguous field delimiter
+        digest.update(self._num_rows.to_bytes(8, "little"))
+        for name in self._order:
+            column = self._columns[name]
+            update_str(name)
+            update_str(column.kind)
+            digest.update(separator)
+            if column.kind == "numeric":
+                values = column.values
+                if normalize:
+                    values = values + 0.0  # -0.0 -> 0.0
+                    values[np.isnan(values)] = np.nan  # one canonical NaN
+                digest.update(values.tobytes())
+            else:
+                for value in column.values:
+                    update_str(str(value))
+            digest.update(separator)
+        return digest.hexdigest()
 
     def __repr__(self) -> str:
         return f"Table({self.num_rows} rows x {self.num_columns} columns: {', '.join(self._order)})"

@@ -89,3 +89,52 @@ class TestEntryPointDeclaration:
         pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
         text = pyproject.read_text(encoding="utf-8")
         assert 'ranking-facts = "repro.app.cli:main"' in text
+
+
+class TestTrialBackendFlag:
+    MC_DESIGN = DESIGN | {
+        "monte_carlo_trials": 4, "monte_carlo_epsilons": [0.1], "seed": 3,
+    }
+
+    def test_vectorized_backend_accepted_and_byte_identical(
+        self, tmp_path, capsys
+    ):
+        spec = write_spec(
+            tmp_path, [{"dataset": "cs-departments", "design": self.MC_DESIGN}]
+        )
+        serial_dir = tmp_path / "serial"
+        vector_dir = tmp_path / "vectorized"
+        assert main([
+            "batch", "--spec", str(spec), "--output-dir", str(serial_dir),
+            "--trial-backend", "serial",
+        ]) == 0
+        assert main([
+            "batch", "--spec", str(spec), "--output-dir", str(vector_dir),
+            "--trial-backend", "vectorized", "--stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trials on the vectorized backend" in out
+        serial_bytes = (serial_dir / "job-0.json").read_text(encoding="utf-8")
+        vector_bytes = (vector_dir / "job-0.json").read_text(encoding="utf-8")
+        assert serial_bytes == vector_bytes
+
+    def test_unknown_backend_rejected_by_the_parser(self, tmp_path, capsys):
+        spec = write_spec(tmp_path, [{"dataset": "cs-departments", "design": DESIGN}])
+        with pytest.raises(SystemExit):
+            main(["batch", "--spec", str(spec), "--trial-backend", "quantum"])
+
+    def test_serve_parser_accepts_hardening_flags(self):
+        from repro.app.cli import build_parser
+
+        args = build_parser().parse_args([
+            "serve", "--dataset", "cs-departments",
+            "--weight", "GRE=1.0", "--sensitive", "DeptSizeBin",
+            "--trial-backend", "vectorized", "--allow-local-paths",
+        ])
+        assert args.trial_backend == "vectorized"
+        assert args.allow_local_paths is True
+        defaults = build_parser().parse_args([
+            "serve", "--dataset", "cs-departments",
+            "--weight", "GRE=1.0", "--sensitive", "DeptSizeBin",
+        ])
+        assert defaults.allow_local_paths is False

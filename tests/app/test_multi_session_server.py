@@ -259,3 +259,106 @@ class TestHeadlessServer:
             ]})
         assert excinfo.value.code == 400
         assert "bad design value" in json.loads(excinfo.value.read())["error"]
+
+
+class TestRegistryBounds:
+    """The session cap: oldest-idle eviction, pinned defaults survive."""
+
+    def test_cap_evicts_oldest_idle(self):
+        registry = SessionRegistry(max_sessions=3)
+        tokens = [registry.create()[0] for _ in range(3)]
+        registry.get(tokens[0])  # touch: no longer the eviction victim
+        overflow, _ = registry.create()
+        assert registry.evicted == 1
+        with pytest.raises(Exception, match="unknown session token"):
+            registry.get(tokens[1])  # the untouched oldest went
+        for token in (tokens[0], tokens[2], overflow):
+            registry.get(token)  # everyone else survives
+
+    def test_adopted_default_session_is_never_evicted(self):
+        from repro.app.session import DemoSession
+
+        registry = SessionRegistry(max_sessions=2)
+        default = DemoSession(service=registry.service)
+        pinned = registry.adopt(default)
+        for _ in range(5):
+            registry.create()
+        assert registry.get(pinned) is default
+        assert len(registry.tokens()) == 2  # cap held despite the pin
+
+    def test_close_unpins(self):
+        from repro.app.session import DemoSession
+
+        registry = SessionRegistry(max_sessions=1)
+        token = registry.adopt(DemoSession(service=registry.service))
+        assert registry.close(token) is True
+        fresh, _ = registry.create()
+        registry.create()
+        assert registry.evicted == 1
+        assert fresh not in registry.tokens()
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(Exception, match="max_sessions"):
+            SessionRegistry(max_sessions=0)
+
+    def test_session_churn_over_http_stays_bounded(self):
+        with make_server(max_sessions=4) as handle:
+            for _ in range(10):
+                post(handle, "/session", {})
+            _, listing = get(handle, "/sessions")
+            assert len(listing["sessions"]) == 4
+
+
+class TestLocalPathPolicy:
+    """POST /jobs must not read server-side files unless explicitly allowed."""
+
+    def test_csv_jobs_rejected_by_default(self, served, tmp_path):
+        target = tmp_path / "data.csv"
+        target.write_text("name,x\na,1\nb,2\n", encoding="utf-8")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(served, "/jobs", {"jobs": [{
+                "csv": str(target),
+                "design": {"weights": {"x": 1.0}, "sensitive": ["name"]},
+            }]})
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert "--allow-local-paths" in body["error"]
+
+    def test_rejection_queues_nothing(self, served):
+        _, stats_before = get(served, "/engine/stats")
+        with pytest.raises(urllib.error.HTTPError):
+            post(served, "/jobs", {"jobs": [
+                {"dataset": "cs-departments", "design": DESIGN},
+                {"csv": "/etc/passwd", "design": DESIGN},
+            ]})
+        _, stats_after = get(served, "/engine/stats")
+        assert (
+            stats_after["executor"]["jobs_submitted"]
+            == stats_before["executor"]["jobs_submitted"]
+        )
+
+    def test_flag_restores_csv_jobs(self, tmp_path):
+        target = tmp_path / "data.csv"
+        target.write_text(
+            "name,group,x\na,g1,1\nb,g2,2\nc,g1,3\nd,g2,4\n", encoding="utf-8"
+        )
+        with make_server(allow_local_paths=True) as handle:
+            status, reply = post(handle, "/jobs", {"jobs": [{
+                "csv": str(target),
+                "design": {
+                    "weights": {"x": 1.0}, "sensitive": ["group"],
+                    "id_column": "name", "k": 2,
+                },
+            }]})
+            assert status == 202
+            final = wait_for_batch(handle, reply["batch_id"])
+            assert [row["status"] for row in final["jobs"]] == ["done"]
+
+    def test_fresh_token_survives_even_when_everything_else_is_pinned(self):
+        """create() must never evict the session it just handed out."""
+        from repro.app.session import DemoSession
+
+        registry = SessionRegistry(max_sessions=1)
+        registry.adopt(DemoSession(service=registry.service))  # pinned at cap
+        token, session = registry.create()
+        assert registry.get(token) is session  # token must be live

@@ -195,3 +195,94 @@ class TestWorkflowOutputs:
         designed_session.set_normalization(False)
         facts = designed_session.generate_label()
         assert facts.label.recipe.normalization["GRE"] == "identity"
+
+
+class TestConcurrentDesignSafety:
+    """The design race: redesign + label build must serialize.
+
+    ``ThreadingHTTPServer`` drives one session from many threads; a
+    ``POST /design`` racing a ``GET /label`` must never observe a
+    half-committed design (e.g. design A's weights with design B's k).
+    """
+
+    # both designs use the binary sensitive attribute: generate_label
+    # builds the fairness widget, which rejects multi-valued attributes
+    DESIGN_A = dict(
+        weights={"PubCount": 1.0}, sensitive_attribute="DeptSizeBin",
+        id_column="DeptName", k=5,
+    )
+    DESIGN_B = dict(
+        weights={"GRE": 1.0}, sensitive_attribute="DeptSizeBin",
+        id_column="DeptName", k=7,
+    )
+
+    def test_design_commits_are_atomic_under_concurrency(self):
+        import threading
+
+        session = DemoSession()
+        session.load_builtin("cs-departments")
+        session.design_scoring(**self.DESIGN_A)
+        stop = threading.Event()
+        torn: list[tuple] = []
+
+        def redesigner():
+            flip = False
+            while not stop.is_set():
+                session.design_scoring(**(self.DESIGN_B if flip else self.DESIGN_A))
+                flip = not flip
+
+        def observer():
+            for _ in range(300):
+                design = session.current_design()
+                observed = (
+                    tuple(dict(design.weights)), design.sensitive, design.k
+                )
+                if observed not in (
+                    (("PubCount",), ("DeptSizeBin",), 5),
+                    (("GRE",), ("DeptSizeBin",), 7),
+                ):
+                    torn.append(observed)
+
+        writer = threading.Thread(target=redesigner)
+        writer.start()
+        try:
+            observer()
+        finally:
+            stop.set()
+            writer.join(timeout=10)
+        assert torn == [], f"observed half-committed designs: {torn[:3]}"
+
+    def test_generate_label_serializes_with_redesign(self):
+        import threading
+
+        session = DemoSession()
+        session.load_builtin("cs-departments")
+        session.design_scoring(**self.DESIGN_A)
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def redesigner():
+            flip = False
+            while not stop.is_set():
+                session.design_scoring(**(self.DESIGN_B if flip else self.DESIGN_A))
+                flip = not flip
+
+        def labeler():
+            for _ in range(20):
+                facts = session.generate_label()
+                weights = frozenset(facts.label.recipe.weights)
+                k = facts.label.k
+                if (weights, k) not in (
+                    (frozenset({"PubCount"}), 5),
+                    (frozenset({"GRE"}), 7),
+                ):
+                    failures.append(f"{set(weights)} k={k}")
+
+        writer = threading.Thread(target=redesigner)
+        writer.start()
+        try:
+            labeler()
+        finally:
+            stop.set()
+            writer.join(timeout=10)
+        assert failures == [], failures

@@ -23,6 +23,7 @@ from repro.engine.backends import (
     SerialTrialBackend,
     ThreadTrialBackend,
     TrialBackend,
+    VectorizedTrialBackend,
     _chunk_spans,
     resolve_trial_backend,
 )
@@ -83,6 +84,17 @@ class TestResolution:
 
     def test_serial_by_name(self):
         assert isinstance(resolve_trial_backend("serial"), SerialTrialBackend)
+
+    def test_vectorized_by_name(self):
+        assert isinstance(resolve_trial_backend("vectorized"), VectorizedTrialBackend)
+
+    def test_vectorized_ignores_cpu_count(self, monkeypatch):
+        # no worker pool to disable: one CPU still vectorizes
+        monkeypatch.setattr("repro.engine.backends.os.cpu_count", lambda: 1)
+        assert isinstance(resolve_trial_backend("vectorized"), VectorizedTrialBackend)
+        assert isinstance(
+            resolve_trial_backend("vectorized", 1), VectorizedTrialBackend
+        )
 
     def test_default_is_thread_on_multicore(self, monkeypatch):
         monkeypatch.setattr("repro.engine.backends.os.cpu_count", lambda: 4)
@@ -315,3 +327,90 @@ class TestServiceIntegration:
         with LabelService(trial_backend="process", trial_workers=2) as svc:
             b = svc.build_label(table, self.DESIGN, "mc")
         assert a.fingerprint == b.fingerprint
+
+
+class TestVectorizedBackend:
+    """Kernel dispatch, per-run fallback, and stats visibility."""
+
+    def test_non_kernel_work_runs_inline_with_reason(self):
+        backend = VectorizedTrialBackend()
+        assert backend.run(_square_trial, {"base": 7}, 12) == [
+            _square_trial({"base": 7}, t) for t in range(12)
+        ]
+        assert backend.kernel_runs == 0
+        assert backend.scalar_runs == 1
+        assert "no vectorized kernel" in backend.fallback_reason
+        assert backend.effective_name == "serial"  # nothing vectorized yet
+
+    def test_dispatch_is_per_run_not_sticky(self):
+        table = jittered_table()
+        backend = VectorizedTrialBackend()
+        backend.run(_square_trial, {"base": 7}, 4)  # declined
+        estimator = WeightPerturbationStability(
+            table, SCORER, "name", trials=6, seed=5, backend=backend
+        )
+        serial = WeightPerturbationStability(table, SCORER, "name", trials=6, seed=5)
+        assert estimator.assess_at(0.1) == serial.assess_at(0.1)
+        assert backend.kernel_runs == 1  # the decline did not stick
+        assert backend.effective_name == "vectorized"
+
+    def test_estimators_identical_on_vectorized_backend(self):
+        table = jittered_table()
+        backend = VectorizedTrialBackend()
+        serial = WeightPerturbationStability(table, SCORER, "name", trials=8, seed=5)
+        vectorized = WeightPerturbationStability(
+            table, SCORER, "name", trials=8, seed=5, backend=backend
+        )
+        for epsilon in (0.0, 0.05, 0.3):
+            assert serial.assess_at(epsilon) == vectorized.assess_at(epsilon)
+        serial_u = DataUncertaintyStability(table, SCORER, "name", trials=8, seed=5)
+        vectorized_u = DataUncertaintyStability(
+            table, SCORER, "name", trials=8, seed=5, backend=backend
+        )
+        for epsilon in (0.0, 0.1, 0.5):
+            assert serial_u.assess_at(epsilon) == vectorized_u.assess_at(epsilon)
+        assert per_attribute_stability(
+            table, SCORER, "name", trials=6, iterations=3, seed=5
+        ) == per_attribute_stability(
+            table, SCORER, "name", trials=6, iterations=3, seed=5, backend=backend
+        )
+        assert backend.scalar_runs == 0
+
+    def test_vectorized_labels_byte_identical_to_serial(self):
+        """The acceptance criterion, end to end through the service."""
+        table = TestServiceIntegration.mc_table()
+        design = TestServiceIntegration.DESIGN
+        serial = design.builder_for(table, dataset_name="mc").build()
+        with LabelService(use_cache=False, trial_backend="vectorized") as svc:
+            outcome = svc.build_label(table, design, "mc")
+            executor = svc.stats()["executor"]
+        assert render_json(outcome.facts.label) == render_json(serial.label)
+        assert executor["trial_backend"] == "vectorized"
+        assert executor["trial_backend_effective"] == "vectorized"
+        assert executor["trial_kernel_runs"] > 0
+        assert executor["trial_scalar_fallbacks"] == 0
+        # batched, not worker-parallel: must not read as a pool
+        assert executor["parallel_trials"] is False
+
+    def test_stats_surface_kernel_fallback_reason(self):
+        with LabelService(trial_backend="vectorized") as svc:
+            backend = svc.executor.trial_backend()
+            backend.run(_square_trial, {"base": 0}, 2)
+            executor = svc.stats()["executor"]
+        assert executor["trial_backend_effective"] == "serial"
+        assert "no vectorized kernel" in executor["trial_backend_fallback"]
+        assert executor["trial_scalar_fallbacks"] == 1
+
+    def test_backend_does_not_change_the_cache_key(self):
+        table = TestServiceIntegration.mc_table()
+        design = TestServiceIntegration.DESIGN
+        with LabelService(trial_backend="serial") as svc:
+            a = svc.build_label(table, design, "mc")
+        with LabelService(trial_backend="vectorized") as svc:
+            b = svc.build_label(table, design, "mc")
+        assert a.fingerprint == b.fingerprint
+
+    def test_shutdown_is_a_no_op(self):
+        backend = VectorizedTrialBackend()
+        backend.shutdown()  # nothing to release, must not raise
+        assert backend.run(_square_trial, {"base": 1}, 2) == [1, 2]

@@ -7,13 +7,19 @@ from hypothesis import strategies as st
 from repro.errors import RankingError
 from repro.ranking import (
     Ranking,
+    count_inversions,
+    count_inversions_batch,
     kendall_distance,
+    kendall_tau_from_discordant,
+    kendall_tau_positions,
     kendall_tau_rankings,
     rank_displacement,
     spearman_footrule,
     top_k_jaccard,
     top_k_overlap,
+    top_k_overlap_positions,
 )
+from repro.ranking.compare import kendall_tau_ids, top_k_overlap_ids
 from repro.tabular import Table
 
 
@@ -130,3 +136,82 @@ class TestMetricConsistency:
         distance = kendall_distance(base, other, normalized=False)
         n = 7
         assert tau == pytest.approx(1 - 4 * distance / (n * (n - 1)), abs=1e-9)
+
+
+class TestIndexBasedVariants:
+    """The permutation-array tier used by the vectorized trial kernels."""
+
+    def test_count_inversions_basics(self):
+        assert count_inversions([0, 1, 2, 3]) == 0
+        assert count_inversions([3, 2, 1, 0]) == 6
+        assert count_inversions([1, 0, 2]) == 1
+        assert count_inversions([5]) == 0
+        assert count_inversions([]) == 0
+
+    def test_count_inversions_ignores_ties(self):
+        # equal values are neither concordant nor discordant
+        assert count_inversions([1, 1, 1]) == 0
+        assert count_inversions([2, 1, 1]) == 2
+        assert count_inversions([1, 2, 1]) == 1
+
+    def test_count_inversions_rejects_bad_shapes(self):
+        with pytest.raises(RankingError, match="1-d"):
+            count_inversions([[1, 2], [3, 4]])
+        with pytest.raises(RankingError, match="trials, n"):
+            count_inversions_batch([1, 2, 3])
+        with pytest.raises(RankingError, match="integer"):
+            count_inversions_batch([[1.5, 2.5]])
+
+    @given(st.lists(st.integers(0, 12), min_size=2, max_size=40))
+    @settings(max_examples=60)
+    def test_count_inversions_matches_brute_force(self, seq):
+        brute = sum(
+            1
+            for i in range(len(seq))
+            for j in range(i + 1, len(seq))
+            if seq[i] > seq[j]
+        )
+        assert count_inversions(seq) == brute
+
+    def test_batch_counts_each_row_independently(self):
+        import numpy as np
+
+        batch = np.asarray([[0, 1, 2], [2, 1, 0], [1, 0, 2]])
+        assert count_inversions_batch(batch).tolist() == [0, 3, 1]
+
+    @given(st.permutations(list(range(9))))
+    @settings(max_examples=60)
+    def test_tau_positions_matches_id_based_tau(self, perm):
+        """Byte-identity across the tiers, not mere approximation."""
+        ids_a = list(range(9))
+        ids_b = list(perm)
+        where = {item: index for index, item in enumerate(ids_b)}
+        positions = [where[item] for item in ids_a]
+        assert kendall_tau_positions(positions) == kendall_tau_ids(ids_a, ids_b)
+
+    @given(st.permutations(list(range(8))), st.integers(1, 10))
+    @settings(max_examples=60)
+    def test_overlap_positions_matches_id_based_overlap(self, perm, k):
+        ids_a = list(range(8))
+        ids_b = list(perm)
+        where = {item: index for index, item in enumerate(ids_b)}
+        positions = [where[item] for item in ids_a]
+        assert top_k_overlap_positions(positions, k) == top_k_overlap_ids(
+            ids_a, ids_b, k
+        )
+
+    def test_tau_positions_validation(self):
+        with pytest.raises(RankingError, match="distinct"):
+            kendall_tau_positions([0, 0, 1])
+        with pytest.raises(RankingError, match="at least 2"):
+            kendall_tau_positions([0])
+        with pytest.raises(RankingError, match="k >= 1"):
+            top_k_overlap_positions([0, 1], 0)
+
+    def test_tau_from_discordant_bounds(self):
+        assert kendall_tau_from_discordant(0, 5) == 1.0
+        assert kendall_tau_from_discordant(10, 5) == -1.0
+        with pytest.raises(RankingError, match="outside"):
+            kendall_tau_from_discordant(11, 5)
+        with pytest.raises(RankingError, match="at least 2"):
+            kendall_tau_from_discordant(0, 1)

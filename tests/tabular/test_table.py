@@ -198,3 +198,50 @@ class TestGuards:
 
     def test_repr_mentions_shape(self, small_table):
         assert "6 rows" in repr(small_table)
+
+
+class TestContentHash:
+    """Table.__hash__ / content_digest: memoized, __eq__-consistent."""
+
+    def make(self):
+        return Table.from_dict(
+            {"name": ["a", "b", "c"], "x": [1.0, 2.0, 3.0]}
+        )
+
+    def test_equal_tables_hash_equal(self):
+        assert hash(self.make()) == hash(self.make())
+        assert self.make() == self.make()
+
+    def test_hash_usable_in_sets(self):
+        assert len({self.make(), self.make()}) == 1
+
+    def test_different_content_different_digest(self):
+        other = Table.from_dict({"name": ["a", "b", "c"], "x": [1.0, 2.0, 9.0]})
+        assert self.make().content_digest() != other.content_digest()
+        assert self.make() != other
+
+    def test_digest_is_memoized(self):
+        table = self.make()
+        first = table.content_digest()
+        assert table.content_digest() is first  # same string object: no rehash
+
+    def test_hash_consistent_with_eq_for_signed_zero(self):
+        # -0.0 == 0.0 under column equality, so the hashes must agree too
+        plus = Table.from_dict({"x": [0.0, 1.0]})
+        minus = Table.from_dict({"x": [-0.0, 1.0]})
+        assert plus == minus
+        assert hash(plus) == hash(minus)
+        # ...while the engine's raw-bytes digest deliberately differs
+        assert plus.content_digest() != minus.content_digest()
+
+    def test_hash_consistent_with_eq_for_nan(self):
+        a = Table.from_dict({"x": [np.nan, 1.0]})
+        b = Table.from_dict({"x": [np.nan, 1.0]})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_transformed_tables_get_fresh_digests(self):
+        table = self.make()
+        taken = table.take([2, 1, 0])
+        assert taken.content_digest() != table.content_digest()
+        assert taken.take([2, 1, 0]).content_digest() == table.content_digest()
