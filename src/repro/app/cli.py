@@ -10,7 +10,10 @@ Subcommands mirror the demo workflow:
   detailed text, JSON, or HTML);
 - ``ranking-facts batch`` — run many labels from a JSON spec through
   the engine (shared cache, concurrent jobs) in one invocation;
-- ``ranking-facts serve`` — start the demo web server.
+- ``ranking-facts serve`` — start the demo web server;
+- ``ranking-facts worker`` — run a Monte-Carlo trial worker daemon
+  that the ``remote`` trial backend shards stability trials onto
+  (see :mod:`repro.cluster`).
 
 Weights are given as ``name=value`` pairs, e.g.::
 
@@ -175,11 +178,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--trial-backend",
-        choices=("serial", "thread", "process", "vectorized"), default=None,
-        help="Monte-Carlo trial execution backend (default: thread; "
-        "'vectorized' batches all trials into array kernels — the fastest "
-        "single-machine option for linear scorers; thread/process "
-        "self-disable on single-CPU hosts)",
+        choices=("serial", "thread", "process", "vectorized", "remote"),
+        default=None,
+        help="Monte-Carlo trial execution backend (default: vectorized — "
+        "all trials batched into array kernels; thread/process "
+        "self-disable on single-CPU hosts; 'remote' shards trials across "
+        "worker daemons, see --workers-from)",
+    )
+    batch.add_argument(
+        "--workers-from", metavar="env|FILE", default=None,
+        help="with --trial-backend remote: worker addresses from the "
+        "REPRO_TRIAL_WORKERS environment variable ('env') or from a file "
+        "of host:port lines",
     )
 
     serve = commands.add_parser("serve", help="start the demo web server")
@@ -189,10 +199,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8000)
     serve.add_argument(
         "--trial-backend",
-        choices=("serial", "thread", "process", "vectorized"), default=None,
+        choices=("serial", "thread", "process", "vectorized", "remote"),
+        default=None,
         help="Monte-Carlo trial execution backend (default: the "
-        "REPRO_TRIAL_BACKEND environment variable, then thread; "
-        "'vectorized' batches all trials into array kernels)",
+        "REPRO_TRIAL_BACKEND environment variable, then vectorized; "
+        "'remote' shards trials across worker daemons, see --workers-from)",
+    )
+    serve.add_argument(
+        "--workers-from", metavar="env|FILE", default=None,
+        help="with --trial-backend remote: worker addresses from the "
+        "REPRO_TRIAL_WORKERS environment variable ('env') or from a file "
+        "of host:port lines",
+    )
+    serve.add_argument(
+        "--session-ttl", type=float, default=None, metavar="SECONDS",
+        help="expire sessions idle longer than this many seconds "
+        "(default: never; the server's default session is exempt)",
     )
     serve.add_argument(
         "--allow-local-paths", action="store_true",
@@ -200,7 +222,50 @@ def build_parser() -> argparse.ArgumentParser:
         "a remote client could read any file on this host)",
     )
 
+    worker = commands.add_parser(
+        "worker",
+        help="run a Monte-Carlo trial worker daemon (the remote backend's "
+        "executing end; see repro.cluster)",
+    )
+    # one source of truth with `python -m repro.cluster.worker`
+    from repro.cluster.worker import add_worker_arguments
+
+    add_worker_arguments(worker)
+
     return parser
+
+
+def _resolve_trial_backend_arg(args: argparse.Namespace):
+    """The ``--trial-backend``/``--workers-from`` pair as a service argument.
+
+    Returns a backend *name* (or ``None``) in the common case; for
+    ``remote`` with an explicit ``--workers-from``, returns a
+    pre-built coordinator so the address list travels with it.
+    """
+    name = getattr(args, "trial_backend", None)
+    source = getattr(args, "workers_from", None)
+    if source is None:
+        return name
+    if name != "remote":
+        raise RankingFactsError(
+            "--workers-from only applies with --trial-backend remote"
+        )
+    from repro.cluster.coordinator import (
+        RemoteTrialBackend,
+        workers_from_env,
+        workers_from_file,
+    )
+
+    if source == "env":
+        addresses = workers_from_env()
+        if not addresses:
+            raise RankingFactsError(
+                "--workers-from env: REPRO_TRIAL_WORKERS is empty or unset; "
+                "expected comma-separated host:port addresses"
+            )
+    else:
+        addresses = workers_from_file(source)
+    return RemoteTrialBackend(addresses)
 
 
 def _run_datasets(_: argparse.Namespace) -> str:
@@ -341,7 +406,7 @@ def _run_batch(args: argparse.Namespace) -> str:
     with LabelService(
         max_workers=args.workers,
         use_cache=not args.no_cache,
-        trial_backend=args.trial_backend,
+        trial_backend=_resolve_trial_backend_arg(args),
     ) as service:
         for result in service.run_batch(jobs):
             if result.status is JobStatus.DONE:
@@ -389,16 +454,31 @@ def _run_serve(args: argparse.Namespace) -> str:
     from repro.app.server import serve_forever
     from repro.engine.service import LabelService
 
-    backend = args.trial_backend or os.environ.get("REPRO_TRIAL_BACKEND") or None
+    backend = (
+        _resolve_trial_backend_arg(args)
+        or os.environ.get("REPRO_TRIAL_BACKEND")
+        or None
+    )
     session = DemoSession(service=LabelService(trial_backend=backend))
     _load(session, args)
     _design(session, args)
     session.generate_label()
     serve_forever(
         session, host=args.host, port=args.port,
+        session_ttl=args.session_ttl,
         allow_local_paths=args.allow_local_paths,
     )
     return ""  # serve_forever blocks; reached only on shutdown
+
+
+def _run_worker(args: argparse.Namespace) -> str:
+    # imported here so the cluster package only loads when asked for
+    from repro.cluster.worker import serve_worker_forever
+
+    serve_worker_forever(
+        host=args.host, port=args.port, backend=args.backend, workers=args.workers
+    )
+    return ""  # blocks; reached only on shutdown
 
 
 _RUNNERS = {
@@ -409,6 +489,7 @@ _RUNNERS = {
     "mitigate": _run_mitigate,
     "batch": _run_batch,
     "serve": _run_serve,
+    "worker": _run_worker,
 }
 
 

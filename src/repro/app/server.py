@@ -49,7 +49,9 @@ import json
 import os
 import secrets
 import threading
+import time
 from collections import OrderedDict
+from collections.abc import Callable
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs
 
@@ -82,24 +84,46 @@ batch API: POST /jobs, GET /jobs/&lt;batch_id&gt;.</p>
 class SessionRegistry:
     """Token-keyed sessions sharing one label service.
 
-    The registry is bounded (mirroring the executor's ``max_batches``):
-    a client looping ``POST /session`` can no longer grow server memory
-    until OOM.  When ``max_sessions`` is exceeded, the session that has
-    gone longest without being looked up is evicted — its token then
-    404s like any unknown one.  ``adopt``-ed sessions (the server's
-    bound default) are pinned and never evicted.
+    The registry is bounded two ways (mirroring the cache's caps):
+
+    - **count** — when ``max_sessions`` is exceeded, the session that
+      has gone longest without being looked up is evicted; a client
+      looping ``POST /session`` can no longer grow server memory until
+      OOM;
+    - **idle time** — with ``session_ttl`` set, a session untouched
+      for that many seconds is expired lazily (checked on every
+      registry operation), so a long-running server sheds abandoned
+      sessions even while well under the count cap.
+
+    An evicted or expired token then 404s like any unknown one.
+    ``adopt``-ed sessions (the server's bound default) are pinned:
+    neither the cap nor the TTL ever removes them.
     """
 
-    def __init__(self, service: LabelService | None = None, max_sessions: int = 256):
+    def __init__(
+        self,
+        service: LabelService | None = None,
+        max_sessions: int = 256,
+        session_ttl: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
         if max_sessions < 1:
             raise EngineError(f"max_sessions must be >= 1, got {max_sessions}")
+        if session_ttl is not None and session_ttl <= 0:
+            raise EngineError(
+                f"session_ttl must be > 0 seconds, got {session_ttl}"
+            )
         self._service = service if service is not None else LabelService()
         # ordered oldest-touched first; get() re-ends a token, so the
         # eviction victim is always the longest-idle session
         self._sessions: OrderedDict[str, DemoSession] = OrderedDict()
+        self._touched: dict[str, float] = {}
         self._pinned: set[str] = set()
         self._max_sessions = max_sessions
+        self._session_ttl = session_ttl
+        self._clock = clock
         self._evicted = 0
+        self._expired = 0
         self._lock = threading.Lock()
 
     @property
@@ -113,10 +137,36 @@ class SessionRegistry:
         return self._max_sessions
 
     @property
+    def session_ttl(self) -> float | None:
+        """Idle seconds after which a session expires (``None`` = never)."""
+        return self._session_ttl
+
+    @property
     def evicted(self) -> int:
         """How many idle sessions the cap has evicted so far."""
         with self._lock:
             return self._evicted
+
+    @property
+    def expired(self) -> int:
+        """How many idle sessions the TTL has expired so far."""
+        with self._lock:
+            return self._expired
+
+    def _expire_locked(self) -> None:
+        # lazy TTL sweep: tokens iterate oldest-touched first, so the
+        # scan stops at the first still-fresh unpinned session
+        if self._session_ttl is None:
+            return
+        now = self._clock()
+        for token in list(self._sessions):
+            if now - self._touched[token] <= self._session_ttl:
+                break
+            if token in self._pinned:
+                continue  # the adopted default session never expires
+            del self._sessions[token]
+            del self._touched[token]
+            self._expired += 1
 
     def _evict_locked(self, keep: str) -> None:
         # never evict the token being registered right now: handing the
@@ -134,6 +184,7 @@ class SessionRegistry:
             if victim is None:  # everything left is pinned (or just added)
                 break
             del self._sessions[victim]
+            self._touched.pop(victim, None)
             self._evicted += 1
 
     def create(self) -> tuple[str, DemoSession]:
@@ -141,7 +192,9 @@ class SessionRegistry:
         session = DemoSession(service=self._service)
         token = secrets.token_hex(8)
         with self._lock:
+            self._expire_locked()
             self._sessions[token] = session
+            self._touched[token] = self._clock()
             self._evict_locked(keep=token)
         return token, session
 
@@ -149,7 +202,9 @@ class SessionRegistry:
         """Register an existing session, pinned (the server's default)."""
         token = token or secrets.token_hex(8)
         with self._lock:
+            self._expire_locked()
             self._sessions[token] = session
+            self._touched[token] = self._clock()
             self._pinned.add(token)
             self._evict_locked(keep=token)
         return token
@@ -157,9 +212,11 @@ class SessionRegistry:
     def get(self, token: str) -> DemoSession:
         """The session for ``token`` (raises :class:`EngineError`)."""
         with self._lock:
+            self._expire_locked()
             session = self._sessions.get(token)
             if session is not None:
                 self._sessions.move_to_end(token)  # mark recently used
+                self._touched[token] = self._clock()
         if session is None:
             raise EngineError(f"unknown session token {token!r}")
         return session
@@ -168,11 +225,13 @@ class SessionRegistry:
         """Forget a session; returns whether it existed."""
         with self._lock:
             self._pinned.discard(token)
+            self._touched.pop(token, None)
             return self._sessions.pop(token, None) is not None
 
     def tokens(self) -> dict[str, str]:
         """``{token: stage}`` for every open session."""
         with self._lock:
+            self._expire_locked()
             return {t: s.stage.value for t, s in self._sessions.items()}
 
 
@@ -512,6 +571,7 @@ def make_server(
     port: int = 0,
     service: LabelService | None = None,
     max_sessions: int = 256,
+    session_ttl: float | None = None,
     allow_local_paths: bool = False,
 ) -> ServerHandle:
     """Bind a server (port 0 = ephemeral, for tests).
@@ -526,14 +586,18 @@ def make_server(
     When the server builds its own service (no ``session``, no
     ``service``), the ``REPRO_TRIAL_BACKEND`` environment variable
     selects the Monte-Carlo trial backend (``serial``, ``thread``,
-    ``process``, or ``vectorized`` — the batched-array-kernel path, the
-    fastest single-machine option for linear scorers); an unknown value
-    fails here, at startup, not on the first label request.
+    ``process``, ``vectorized`` — the default batched-array-kernel
+    path — or ``remote``, which shards trials across the worker
+    daemons listed in ``REPRO_TRIAL_WORKERS`` as comma-separated
+    ``host:port``; see :mod:`repro.cluster`); an unknown value fails
+    here, at startup, not on the first label request.
 
-    ``max_sessions`` bounds the registry (oldest-idle eviction past the
-    cap).  ``allow_local_paths`` re-enables server-side ``"csv"`` paths
-    in ``POST /jobs``, which are rejected by default because they let
-    any client read files off the server host.
+    ``max_sessions`` bounds the registry (oldest-idle eviction past
+    the cap) and ``session_ttl`` expires sessions idle longer than
+    that many seconds (the adopted default session is exempt from
+    both).  ``allow_local_paths`` re-enables server-side ``"csv"``
+    paths in ``POST /jobs``, which are rejected by default because
+    they let any client read files off the server host.
     """
     if session is not None and session.stage is SessionStage.EMPTY:
         raise RankingFactsError("the session has no dataset; load one before serving")
@@ -544,7 +608,9 @@ def make_server(
             service = LabelService(
                 trial_backend=os.environ.get("REPRO_TRIAL_BACKEND") or None
             )
-    registry = SessionRegistry(service, max_sessions=max_sessions)
+    registry = SessionRegistry(
+        service, max_sessions=max_sessions, session_ttl=session_ttl
+    )
     if session is not None:
         registry.adopt(session)
     handler = type(
@@ -564,11 +630,16 @@ def serve_forever(
     session: DemoSession | None = None,
     host: str = "127.0.0.1",
     port: int = 8000,
+    session_ttl: float | None = None,
     allow_local_paths: bool = False,
 ) -> None:
     """Run the demo server until interrupted (the CLI's ``serve``)."""
     with make_server(
-        session, host=host, port=port, allow_local_paths=allow_local_paths
+        session,
+        host=host,
+        port=port,
+        session_ttl=session_ttl,
+        allow_local_paths=allow_local_paths,
     ) as handle:
         print(f"Ranking Facts demo serving on {handle.url} (Ctrl-C to stop)")
         try:

@@ -1,0 +1,512 @@
+"""The trial coordinator: shard a Monte-Carlo batch across workers.
+
+:class:`RemoteTrialBackend` is a
+:class:`~repro.engine.backends.TrialBackend` whose ``run`` splits a
+trial batch into contiguous index spans (the same chunking the process
+backend uses) and executes them on remote worker daemons
+(:mod:`repro.cluster.worker`).  The scheduling loop provides the three
+guarantees a cluster needs:
+
+- **Registration + health probes.**  Workers are registered by
+  ``host:port`` address.  A worker is only scheduled onto after a
+  successful ``/healthz`` probe that reports *this* coordinator's
+  protocol version (:data:`repro.cluster.wire.PROTOCOL_VERSION`) — a
+  version-mismatched worker is rejected at registration, never sent
+  work.  Dead workers are re-probed — so a restarted daemon rejoins
+  automatically — but at most once per ``reprobe_interval``, so a down
+  machine whose probe hangs until timeout cannot stall every run.
+- **Failover.**  A chunk that fails — connection refused, timeout
+  (slow worker), HTTP error, rejected or corrupted frame — marks its
+  worker dead and is immediately retried on another live worker; when
+  every worker has been tried (or none is left), the chunk is re-run
+  on the **local fallback backend**.  Because every chunk executes its
+  trials at their absolute indices (per-trial ``[seed, trial]`` RNG
+  streams), a retried or locally recovered chunk returns byte-identical
+  results, so the assembled label never depends on *where* a trial ran.
+- **Degraded-mode fallback.**  With no live workers (empty registry,
+  all probes failing) or unpicklable trial work, the whole batch runs
+  on the local backend and :attr:`RemoteTrialBackend.fallback_reason`
+  records why — surfaced by ``GET /engine/stats`` alongside the
+  dispatch/failover counters from :meth:`RemoteTrialBackend.stats`.
+
+A genuine *trial* bug is distinguished from worker death by the
+worker's status code: HTTP 500 means "the trial function itself
+raised" (:mod:`repro.cluster.worker`), so the chunk skips failover —
+every other worker would fail identically — and re-runs locally, where
+the real error re-raises with its traceback; the worker stays alive
+and unblamed.  Everything else (connection failure, timeout, 4xx/5xx
+transport trouble) is treated as worker death and failed over.
+
+Worker addresses come from ``REPRO_TRIAL_WORKERS`` (comma-separated
+``host:port``, :func:`workers_from_env` — the server path) or a file
+(:func:`workers_from_file` — the CLI's ``--workers-from``).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import threading
+import time
+from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from repro.cluster import wire
+from repro.engine.backends import (
+    TrialBackend,
+    TrialFn,
+    _chunk_spans,
+    resolve_trial_backend,
+    run_trial_span,
+)
+from repro.errors import ClusterError
+
+__all__ = [
+    "WorkerClient",
+    "RemoteTrialBackend",
+    "workers_from_env",
+    "workers_from_file",
+]
+
+#: environment variable naming the cluster (comma-separated host:port)
+WORKERS_ENV_VAR = "REPRO_TRIAL_WORKERS"
+
+
+class _TrialFaultError(ClusterError):
+    """The *trial function* raised on a worker (HTTP 500).
+
+    Distinct from worker death: retrying the same chunk on another
+    worker would just re-raise the same bug, so the scheduler skips
+    failover, leaves the worker alive, and re-runs the chunk locally —
+    where a genuine bug raises with its real traceback (and a
+    worker-only fault, e.g. an OOM kill, still yields results).
+    """
+
+
+def workers_from_env(env_var: str = WORKERS_ENV_VAR) -> tuple[str, ...]:
+    """Worker addresses from the environment (empty when unset)."""
+    raw = os.environ.get(env_var, "")
+    return tuple(part.strip() for part in raw.split(",") if part.strip())
+
+
+def workers_from_file(path: str) -> tuple[str, ...]:
+    """Worker addresses from a file: one per line (or comma-separated).
+
+    Blank lines and ``#`` comments are ignored; raises
+    :class:`ClusterError` when the file is unreadable or names no
+    workers at all (a misconfigured cluster should fail loudly, not
+    silently run everything locally).
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ClusterError(f"cannot read workers file {path!r}: {exc}") from exc
+    addresses: list[str] = []
+    for line in text.splitlines():
+        line = line.partition("#")[0]
+        addresses.extend(part.strip() for part in line.split(",") if part.strip())
+    if not addresses:
+        raise ClusterError(f"workers file {path!r} names no workers")
+    return tuple(addresses)
+
+
+class WorkerClient:
+    """HTTP client for one worker daemon.
+
+    Every failure mode — unreachable host, timeout, HTTP error status,
+    malformed response frame — surfaces as :class:`ClusterError`, which
+    is the signal the coordinator's scheduler fails over on.
+    """
+
+    def __init__(self, address: str, timeout: float = 30.0, probe_timeout: float = 5.0):
+        host, sep, port = address.rpartition(":")
+        if not sep or not host:
+            raise ClusterError(
+                f"bad worker address {address!r}; expected host:port"
+            )
+        try:
+            self.port = int(port)
+        except ValueError:
+            raise ClusterError(
+                f"bad worker address {address!r}; port {port!r} is not a number"
+            ) from None
+        self.host = host
+        self.address = address
+        self.timeout = timeout
+        self.probe_timeout = probe_timeout
+
+    def _request(
+        self, method: str, path: str, body: bytes | None, timeout: float
+    ) -> tuple[int, bytes]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout
+        )
+        try:
+            connection.request(
+                method,
+                path,
+                body=body,
+                headers={"Content-Type": "application/octet-stream"}
+                if body is not None
+                else {},
+            )
+            response = connection.getresponse()
+            return response.status, response.read()
+        except ClusterError:
+            raise
+        except Exception as exc:  # socket/timeout/protocol faults alike
+            raise ClusterError(
+                f"worker {self.address} unreachable: {type(exc).__name__}: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+
+    def probe(self) -> dict[str, object]:
+        """``GET /healthz``; rejects protocol-mismatched workers.
+
+        Returns the health document of a live, compatible worker;
+        raises :class:`ClusterError` for anything else.
+        """
+        status, raw = self._request("GET", "/healthz", None, self.probe_timeout)
+        if status != 200:
+            raise ClusterError(
+                f"worker {self.address} health probe returned HTTP {status}"
+            )
+        try:
+            health = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ClusterError(
+                f"worker {self.address} health probe is not JSON: {exc}"
+            ) from exc
+        if health.get("status") != "ok":
+            raise ClusterError(
+                f"worker {self.address} reports status {health.get('status')!r}"
+            )
+        protocol = health.get("protocol")
+        if protocol != wire.PROTOCOL_VERSION:
+            raise ClusterError(
+                f"worker {self.address} speaks protocol v{protocol}, "
+                f"coordinator speaks v{wire.PROTOCOL_VERSION}; rejected"
+            )
+        return health
+
+    def run_chunk(self, body: bytes, start: int, stop: int) -> list:
+        """``POST /trials`` for span ``[start, stop)``; verified results."""
+        status, raw = self._request(
+            "POST", "/trials", wire.encode_request(body, start, stop), self.timeout
+        )
+        if status != 200:
+            try:
+                detail = json.loads(raw).get("error", "")
+            except Exception:
+                detail = raw[:200].decode("utf-8", "replace")
+            message = (
+                f"worker {self.address} failed chunk [{start}, {stop}): "
+                f"HTTP {status}: {detail}"
+            )
+            # 500 is the worker's "the trial function itself raised"
+            # signal (worker.py) — not evidence the worker is unhealthy
+            if status == 500:
+                raise _TrialFaultError(message)
+            raise ClusterError(message)
+        return wire.decode_response(raw, start, stop)
+
+
+class _WorkerSlot:
+    """One registered worker's scheduling state (guarded by the backend lock)."""
+
+    __slots__ = (
+        "client", "alive", "last_error", "last_probe",
+        "inflight", "chunks", "failures",
+    )
+
+    def __init__(self, client: WorkerClient):
+        self.client = client
+        self.alive = False  # probed before first use
+        self.last_error: str | None = None
+        self.last_probe = float("-inf")  # so the first probe always runs
+        self.inflight = 0
+        self.chunks = 0
+        self.failures = 0
+
+
+class RemoteTrialBackend:
+    """Monte-Carlo trials sharded across worker daemons, with failover.
+
+    Parameters
+    ----------
+    workers:
+        ``host:port`` addresses to register.  An empty registry is
+        legal: every run falls back to the local backend with the
+        reason recorded (so ``--trial-backend remote`` without a
+        cluster degrades instead of failing).
+    local:
+        The fallback :class:`TrialBackend` (or backend name) used when
+        the cluster is empty/degraded and for chunks no worker could
+        complete.  Default ``vectorized``.
+    timeout:
+        Per-chunk request timeout in seconds; a slower worker is
+        treated as dead and its chunk fails over.
+    probe_timeout:
+        Health-probe timeout in seconds.
+    chunk_size:
+        Trials per chunk; default a few chunks per live worker
+        (failover granularity vs per-chunk HTTP overhead).
+    reprobe_interval:
+        Minimum seconds between health probes of a *dead* worker.  A
+        down machine whose probes hang until ``probe_timeout`` would
+        otherwise stall every run; with the throttle, the cost is paid
+        at most once per interval and runs in between go straight to
+        the live workers (or the local fallback).
+    """
+
+    name = "remote"
+
+    def __init__(
+        self,
+        workers: Sequence[str] = (),
+        local: TrialBackend | str | None = None,
+        timeout: float = 30.0,
+        probe_timeout: float = 5.0,
+        chunk_size: int | None = None,
+        reprobe_interval: float = 10.0,
+    ):
+        if chunk_size is not None and chunk_size < 1:
+            raise ClusterError(f"chunk_size must be >= 1, got {chunk_size}")
+        self._slots = [
+            _WorkerSlot(WorkerClient(address, timeout, probe_timeout))
+            for address in workers
+        ]
+        if local is None or isinstance(local, str):
+            self._local = resolve_trial_backend(local or "vectorized")
+        else:
+            self._local = local
+        self._chunk_size = chunk_size
+        self._reprobe_interval = reprobe_interval
+        self._lock = threading.Lock()
+        self.fallback_reason: str | None = None  # read by LabelExecutor.stats
+        self._runs = 0
+        self._remote_runs = 0
+        self._local_runs = 0
+        self._chunks_remote = 0
+        self._chunk_failures = 0
+        self._chunks_failed_over = 0
+        self._chunks_recovered_locally = 0
+
+    # -- registry -------------------------------------------------------------
+
+    def register(self, address: str) -> None:
+        """Add a worker at runtime (probed before first use)."""
+        slot = _WorkerSlot(
+            WorkerClient(
+                address,
+                timeout=self._slots[0].client.timeout if self._slots else 30.0,
+                probe_timeout=(
+                    self._slots[0].client.probe_timeout if self._slots else 5.0
+                ),
+            )
+        )
+        with self._lock:
+            self._slots.append(slot)
+
+    def _live_slots(self) -> list[_WorkerSlot]:
+        """Probe every not-yet-live worker; return the live ones.
+
+        Live workers are trusted until a chunk fails on them.  Dead
+        ones are re-probed — so restarted daemons rejoin — but at most
+        once per ``reprobe_interval``, so a down machine with a
+        hang-until-timeout probe cannot stall every run.
+        """
+        live: list[_WorkerSlot] = []
+        for slot in self._slots:
+            with self._lock:
+                if slot.alive:
+                    live.append(slot)
+                    continue
+                now = time.monotonic()
+                if now - slot.last_probe < self._reprobe_interval:
+                    continue  # probed recently and it was down; skip
+                slot.last_probe = now
+            try:
+                slot.client.probe()
+            except ClusterError as exc:
+                with self._lock:
+                    slot.last_error = str(exc)
+                continue
+            with self._lock:
+                slot.alive = True
+                slot.last_error = None
+            live.append(slot)
+        return live
+
+    def _pick_worker(self, exclude: set[int]) -> _WorkerSlot | None:
+        """The least-loaded live worker not yet tried for this chunk."""
+        with self._lock:
+            candidates = [
+                slot
+                for slot in self._slots
+                if slot.alive and id(slot) not in exclude
+            ]
+            if not candidates:
+                return None
+            chosen = min(candidates, key=lambda slot: slot.inflight)
+            chosen.inflight += 1
+            return chosen
+
+    # -- execution ------------------------------------------------------------
+
+    def _run_local(
+        self, fn: TrialFn, payload: Any, trials: int, reason: str
+    ) -> list[Any]:
+        with self._lock:
+            self.fallback_reason = reason
+            self._local_runs += 1
+        return self._local.run(fn, payload, trials)
+
+    def _execute_chunk(
+        self,
+        body: bytes,
+        fn: TrialFn,
+        payload: Any,
+        start: int,
+        stop: int,
+        run_state: dict[str, int],
+    ) -> list[Any]:
+        """One chunk: remote with failover, locally as the last resort."""
+        tried: set[int] = set()
+        while True:
+            slot = self._pick_worker(exclude=tried)
+            if slot is None:
+                with self._lock:
+                    self._chunks_recovered_locally += 1
+                    run_state["local"] += 1
+                    if tried:
+                        self.fallback_reason = (
+                            f"chunk [{start}, {stop}) failed on "
+                            f"{len(tried)} worker(s); re-run locally"
+                        )
+                return run_trial_span(self._local, fn, payload, start, stop)
+            try:
+                results = slot.client.run_chunk(body, start, stop)
+            except _TrialFaultError:
+                # the trial *function* raised on the worker: every other
+                # worker would fail identically, so skip failover, leave
+                # the worker alive, and re-run locally — a genuine bug
+                # re-raises here with its real traceback
+                with self._lock:
+                    slot.inflight -= 1
+                    self._chunks_recovered_locally += 1
+                    run_state["local"] += 1
+                return run_trial_span(self._local, fn, payload, start, stop)
+            except ClusterError as exc:
+                tried.add(id(slot))
+                with self._lock:
+                    slot.inflight -= 1
+                    slot.alive = False
+                    slot.last_error = str(exc)
+                    slot.failures += 1
+                    self._chunk_failures += 1
+                continue
+            with self._lock:
+                slot.inflight -= 1
+                slot.chunks += 1
+                self._chunks_remote += 1
+                run_state["remote"] += 1
+                if tried:
+                    self._chunks_failed_over += 1
+            return results
+
+    def run(self, fn: TrialFn, payload: Any, trials: int) -> list[Any]:
+        """Shard the batch across live workers; results in trial order."""
+        with self._lock:
+            self._runs += 1
+        if trials <= 0:
+            return []
+        live = self._live_slots()
+        if not live:
+            reason = (
+                "no workers configured"
+                if not self._slots
+                else "no live workers (all probes failed)"
+            )
+            return self._run_local(fn, payload, trials, reason)
+        try:
+            body = wire.encode_trial_work(fn, payload)
+        except ClusterError as exc:
+            return self._run_local(fn, payload, trials, str(exc))
+        spans = _chunk_spans(trials, len(live), self._chunk_size)
+        run_state = {"remote": 0, "local": 0}  # this run's chunk outcomes
+        if len(spans) == 1:
+            chunks = [self._execute_chunk(body, fn, payload, *spans[0], run_state)]
+        else:
+            with ThreadPoolExecutor(
+                max_workers=min(len(live), len(spans)),
+                thread_name_prefix="mc-chunk",
+            ) as pool:
+                chunks = list(
+                    pool.map(
+                        lambda span: self._execute_chunk(
+                            body, fn, payload, *span, run_state
+                        ),
+                        spans,
+                    )
+                )
+        with self._lock:
+            # a "remote" run must mean trials actually crossed the wire;
+            # a batch whose every chunk was recovered locally counts local
+            if run_state["remote"] > 0:
+                self._remote_runs += 1
+            else:
+                self._local_runs += 1
+        results: list[Any] = []
+        for chunk in chunks:  # span order == trial order
+            results.extend(chunk)
+        return results
+
+    # -- observability and lifecycle ------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """Dispatch/failover counters plus per-worker registry state.
+
+        Merged into ``GET /engine/stats`` by
+        :meth:`repro.engine.executor.LabelExecutor.stats`.
+        """
+        with self._lock:
+            return {
+                "workers_configured": len(self._slots),
+                "workers_alive": sum(slot.alive for slot in self._slots),
+                "runs": self._runs,
+                "remote_runs": self._remote_runs,
+                "local_runs": self._local_runs,
+                "chunks_remote": self._chunks_remote,
+                "chunk_failures": self._chunk_failures,
+                "chunks_failed_over": self._chunks_failed_over,
+                "chunks_recovered_locally": self._chunks_recovered_locally,
+                "fallback_reason": self.fallback_reason,
+                "local_backend": self._local.effective_name,
+                "workers": [
+                    {
+                        "address": slot.client.address,
+                        "alive": slot.alive,
+                        "chunks": slot.chunks,
+                        "failures": slot.failures,
+                        "last_error": slot.last_error,
+                    }
+                    for slot in self._slots
+                ],
+            }
+
+    def shutdown(self) -> None:
+        """Release the local fallback backend (workers are not ours)."""
+        self._local.shutdown()
+
+    @property
+    def effective_name(self) -> str:
+        """``remote`` while any worker is live, else the local backend's."""
+        with self._lock:
+            if any(slot.alive for slot in self._slots):
+                return self.name
+        return self._local.effective_name

@@ -1,0 +1,155 @@
+"""The trial-cluster wire protocol: versioned, fingerprinted frames.
+
+A coordinator ships Monte-Carlo work to a worker as one binary frame::
+
+    magic    b"RFTC"                     (4 bytes)
+    version  protocol number, big-endian (2 bytes)
+    start    first trial index           (8 bytes)
+    stop     one past the last index     (8 bytes)
+    digest   SHA-256 of the body         (32 bytes)
+    body     pickle of (trial_fn, payload)
+
+and the worker replies with the same framing around a pickled result
+list (``start``/``stop`` echo the span, so a response can never be
+attributed to the wrong chunk).  Three properties matter:
+
+- **Version gate.**  ``version`` must equal :data:`PROTOCOL_VERSION`
+  on both ends.  A worker running older code — whose trial functions
+  or payload dataclasses may have drifted — *rejects* the frame with a
+  :class:`~repro.errors.ClusterError` instead of unpickling it and
+  producing silently different label bytes.  Version checks also run
+  at registration time: the worker's ``/healthz`` reports its protocol
+  number and the coordinator refuses to schedule onto a mismatch.
+- **Payload fingerprint.**  ``digest`` is the SHA-256 of the body
+  bytes.  A truncated or corrupted frame (proxy, partial read, flaky
+  network) fails the digest check and is rejected rather than fed to
+  the unpickler.
+- **Span framing.**  ``start``/``stop`` travel in the header, outside
+  the body, so one expensive body pickle (table + design) is encoded
+  once per batch and reused across every chunk of the shard.
+
+Trust model: the body is a pickle, so a worker must only accept frames
+from a coordinator it trusts (the daemon binds to localhost by
+default).  This mirrors ``ProcessPoolExecutor``'s trust of its parent
+process — the cluster is a wider process pool, not a public API.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import struct
+from typing import Any, Callable
+
+from repro.errors import ClusterError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "encode_trial_work",
+    "frame",
+    "unframe",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+]
+
+#: bump when the frame layout or the trial payload contracts change
+PROTOCOL_VERSION = 1
+
+_MAGIC = b"RFTC"
+_HEADER = struct.Struct(">4sHQQ32s")  # magic, version, start, stop, digest
+
+
+def encode_trial_work(fn: Callable, payload: Any) -> bytes:
+    """Pickle ``(fn, payload)`` once, for reuse across a batch's chunks.
+
+    Raises :class:`ClusterError` when the work cannot cross the wire
+    (the same contract as the process backend's pickle probe), so the
+    coordinator can fall back to its local backend deterministically.
+    """
+    try:
+        return pickle.dumps((fn, payload))
+    except Exception as exc:
+        raise ClusterError(f"trial work is not picklable: {exc}") from exc
+
+
+def frame(body: bytes, start: int = 0, stop: int = 0) -> bytes:
+    """Wrap ``body`` in a versioned, fingerprinted frame."""
+    digest = hashlib.sha256(body).digest()
+    return _HEADER.pack(_MAGIC, PROTOCOL_VERSION, start, stop, digest) + body
+
+
+def unframe(data: bytes) -> tuple[bytes, int, int]:
+    """Verify a frame and return ``(body, start, stop)``.
+
+    Rejects — with a :class:`ClusterError` naming the cause — anything
+    that is not a well-formed frame of *this* protocol version with an
+    intact body.
+    """
+    if len(data) < _HEADER.size:
+        raise ClusterError(
+            f"frame too short: {len(data)} bytes < {_HEADER.size}-byte header"
+        )
+    magic, version, start, stop, digest = _HEADER.unpack(data[: _HEADER.size])
+    if magic != _MAGIC:
+        raise ClusterError(f"bad frame magic {magic!r}; not a trial-cluster frame")
+    if version != PROTOCOL_VERSION:
+        raise ClusterError(
+            f"protocol version mismatch: frame is v{version}, "
+            f"this end speaks v{PROTOCOL_VERSION}"
+        )
+    body = data[_HEADER.size:]
+    if hashlib.sha256(body).digest() != digest:
+        raise ClusterError("payload fingerprint mismatch: frame body corrupted")
+    if stop < start:
+        raise ClusterError(f"invalid trial span [{start}, {stop})")
+    return body, start, stop
+
+
+def encode_request(body: bytes, start: int, stop: int) -> bytes:
+    """A chunk request: pre-encoded trial work plus its span."""
+    if stop <= start:
+        raise ClusterError(f"chunk span [{start}, {stop}) is empty")
+    return frame(body, start, stop)
+
+
+def decode_request(data: bytes) -> tuple[Callable, Any, int, int]:
+    """Verify and unpack a chunk request into ``(fn, payload, start, stop)``."""
+    body, start, stop = unframe(data)
+    if stop <= start:
+        raise ClusterError(f"chunk span [{start}, {stop}) is empty")
+    try:
+        fn, payload = pickle.loads(body)
+    except Exception as exc:
+        raise ClusterError(f"cannot unpickle trial work: {exc}") from exc
+    if not callable(fn):
+        raise ClusterError(f"trial work is not callable: {type(fn).__name__}")
+    return fn, payload, start, stop
+
+
+def encode_response(results: list, start: int, stop: int) -> bytes:
+    """A chunk response: the span's results, span echoed in the header."""
+    return frame(pickle.dumps(list(results)), start, stop)
+
+
+def decode_response(data: bytes, start: int, stop: int) -> list:
+    """Verify a chunk response against the span the caller requested."""
+    body, got_start, got_stop = unframe(data)
+    if (got_start, got_stop) != (start, stop):
+        raise ClusterError(
+            f"response span [{got_start}, {got_stop}) does not match "
+            f"requested [{start}, {stop})"
+        )
+    try:
+        results = pickle.loads(body)
+    except Exception as exc:
+        raise ClusterError(f"cannot unpickle chunk results: {exc}") from exc
+    if not isinstance(results, list):
+        raise ClusterError(f"chunk results are {type(results).__name__}, not a list")
+    if len(results) != stop - start:
+        raise ClusterError(
+            f"chunk returned {len(results)} results for a "
+            f"{stop - start}-trial span"
+        )
+    return results

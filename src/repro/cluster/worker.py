@@ -1,0 +1,286 @@
+"""The trial worker daemon: one machine's slice of the Monte-Carlo load.
+
+A worker is a stdlib ``http.server`` daemon (the same substrate as
+:mod:`repro.app.server`) that executes trial-chunk requests framed by
+:mod:`repro.cluster.wire`:
+
+- ``POST /trials``  — body is one wire frame: pickled
+  ``(trial_fn, payload)`` plus a trial-index span ``[start, stop)``.
+  The worker runs the span through its local
+  :class:`~repro.engine.backends.TrialBackend` (default ``vectorized``)
+  at the span's *absolute* trial indices —
+  :func:`repro.engine.backends.run_trial_span` — so per-trial RNG
+  streams, and therefore label bytes, are identical to an unsharded
+  run.  Responds with a result frame (200), a rejection (400: bad
+  magic, version mismatch, corrupted body — counted, never executed),
+  or a trial error (500: the trial function itself raised; the
+  coordinator will re-raise it locally).
+- ``GET /healthz``  — liveness + protocol version + backend names;
+  the coordinator refuses to schedule onto a worker whose protocol
+  differs from its own.
+- ``GET /stats``    — chunk/trial/rejection/error counters.
+
+Failover semantics from the worker's side: a worker holds **no** batch
+state — each chunk is self-contained — so the coordinator can resend a
+dead worker's span to any other worker (or run it locally) and the
+recomputed results are byte-identical.  Workers can join or die at any
+time without coordination.
+
+Run one with ``ranking-facts worker`` or
+``python -m repro.cluster.worker --port 8101``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+from collections.abc import Sequence
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.cluster import wire
+from repro.engine.backends import resolve_trial_backend, run_trial_span
+from repro.errors import ClusterError
+
+__all__ = [
+    "TrialWorker",
+    "WorkerHandle",
+    "make_worker",
+    "serve_worker_forever",
+    "add_worker_arguments",
+    "main",
+]
+
+
+class TrialWorker:
+    """The executing core of a worker daemon: backend + counters.
+
+    Kept separate from the HTTP plumbing so tests (and future
+    transports) can drive it directly.
+    """
+
+    def __init__(self, backend: str | None = None, workers: int | None = None):
+        self.backend_requested = backend if backend is not None else "vectorized"
+        if self.backend_requested == "remote":
+            # a worker relaying to more workers would recurse
+            raise ClusterError("a trial worker cannot use the 'remote' backend")
+        self._backend = resolve_trial_backend(self.backend_requested, workers)
+        self._lock = threading.Lock()
+        self._chunks = 0
+        self._trials = 0
+        self._rejected = 0
+        self._trial_errors = 0
+
+    def run_chunk(self, data: bytes) -> bytes:
+        """Decode one request frame, execute the span, return the response frame.
+
+        :class:`ClusterError` (bad frame) and trial-function exceptions
+        propagate to the HTTP layer, which maps them to 400 and 500.
+        """
+        try:
+            fn, payload, start, stop = wire.decode_request(data)
+        except ClusterError:
+            with self._lock:
+                self._rejected += 1
+            raise
+        try:
+            results = run_trial_span(self._backend, fn, payload, start, stop)
+        except Exception:
+            with self._lock:
+                self._trial_errors += 1
+            raise
+        with self._lock:
+            self._chunks += 1
+            self._trials += stop - start
+        return wire.encode_response(results, start, stop)
+
+    def health(self) -> dict[str, object]:
+        """The ``/healthz`` body: liveness plus compatibility facts."""
+        return {
+            "status": "ok",
+            "protocol": wire.PROTOCOL_VERSION,
+            "backend": self.backend_requested,
+            "backend_effective": self._backend.effective_name,
+        }
+
+    def stats(self) -> dict[str, object]:
+        """The ``/stats`` body: execution counters."""
+        with self._lock:
+            return {
+                "chunks": self._chunks,
+                "trials": self._trials,
+                "rejected_frames": self._rejected,
+                "trial_errors": self._trial_errors,
+                "backend": self.backend_requested,
+                "backend_effective": self._backend.effective_name,
+            }
+
+    def shutdown(self) -> None:
+        """Release the local backend's resources (idempotent)."""
+        self._backend.shutdown()
+
+
+class _TrialWorkerHandler(BaseHTTPRequestHandler):
+    """HTTP routes over one :class:`TrialWorker`."""
+
+    worker: TrialWorker = None  # type: ignore[assignment]  # set by make_worker
+
+    server_version = "RankingFactsWorker/1.0"
+    # HTTP/1.1 so clients that keep connections open can; the current
+    # coordinator opens one connection per chunk (reuse is a named
+    # ROADMAP lever), which this serves equally well
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep daemon output clean
+
+    def _send_bytes(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, data: object) -> None:
+        self._send_bytes(
+            status, "application/json", json.dumps(data, indent=2).encode("utf-8")
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.partition("?")[0]
+        if path == "/healthz":
+            self._send_json(200, self.worker.health())
+        elif path == "/stats":
+            self._send_json(200, self.worker.stats())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.partition("?")[0]
+        if path != "/trials":
+            self._send_json(404, {"error": f"unknown POST path {self.path!r}"})
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        data = self.rfile.read(length) if length > 0 else b""
+        try:
+            response = self.worker.run_chunk(data)
+        except ClusterError as exc:  # rejected frame: refuse, don't guess
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:  # the trial itself raised
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+        else:
+            self._send_bytes(200, "application/octet-stream", response)
+
+
+class WorkerHandle:
+    """A running worker daemon plus its thread (context manager)."""
+
+    def __init__(self, server: ThreadingHTTPServer, worker: TrialWorker):
+        self._server = server
+        self._thread = threading.Thread(target=server.serve_forever, daemon=True)
+        self.worker = worker
+
+    @property
+    def address(self) -> str:
+        """``host:port`` the daemon is bound to — a registry entry."""
+        host, port = self._server.server_address[:2]
+        return f"{host}:{int(port)}"
+
+    @property
+    def url(self) -> str:
+        """Base URL for client requests."""
+        return f"http://{self.address}"
+
+    def start(self) -> "WorkerHandle":
+        """Start serving in the background."""
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the backend (idempotent)."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread.is_alive():
+            self._thread.join(timeout=5)
+        self.worker.shutdown()
+
+    def __enter__(self) -> "WorkerHandle":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def make_worker(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    backend: str | None = None,
+    workers: int | None = None,
+) -> WorkerHandle:
+    """Bind a worker daemon (port 0 = ephemeral, for tests).
+
+    ``backend`` names the local :class:`TrialBackend` chunks execute on
+    (default ``vectorized``); ``workers`` sizes pool backends.  The
+    returned handle is a context manager that starts serving on entry.
+    """
+    worker = TrialWorker(backend=backend, workers=workers)
+    handler = type("BoundWorkerHandler", (_TrialWorkerHandler,), {"worker": worker})
+    server = ThreadingHTTPServer((host, port), handler)
+    return WorkerHandle(server, worker)
+
+
+def serve_worker_forever(
+    host: str = "127.0.0.1",
+    port: int = 8101,
+    backend: str | None = None,
+    workers: int | None = None,
+) -> None:
+    """Run a worker daemon until interrupted (the CLI's ``worker``)."""
+    with make_worker(host=host, port=port, backend=backend, workers=workers) as handle:
+        print(
+            f"Ranking Facts trial worker on {handle.url} "
+            f"(backend {handle.worker.backend_requested}, Ctrl-C to stop)"
+        )
+        try:
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            print("worker shutting down")
+
+
+def add_worker_arguments(parser: argparse.ArgumentParser) -> None:
+    """The worker daemon's options — shared with ``ranking-facts worker``.
+
+    One source of truth, so the module entry point and the CLI
+    subcommand cannot drift apart.
+    """
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8101)
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process", "vectorized"),
+        default="vectorized",
+        help="local backend trial chunks execute on (default vectorized)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for thread/process backends (default: CPU count)",
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.cluster.worker`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cluster.worker",
+        description="Run a Ranking Facts Monte-Carlo trial worker daemon",
+    )
+    add_worker_arguments(parser)
+    args = parser.parse_args(argv)
+    serve_worker_forever(
+        host=args.host, port=args.port, backend=args.backend, workers=args.workers
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

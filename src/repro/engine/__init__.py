@@ -12,8 +12,10 @@ label builder.  That layer is this package:
   value objects every entry point normalizes into;
 - :mod:`repro.engine.backends` — pluggable :class:`TrialBackend`
   execution for the Monte-Carlo trials: serial, thread pool, process
-  pool (GIL-free), or vectorized (the whole trial batch as array
-  kernels, see :mod:`repro.stability.kernels`), selected by name;
+  pool (GIL-free), vectorized (the whole trial batch as array
+  kernels, see :mod:`repro.stability.kernels` — the default), or
+  remote (the batch sharded across worker daemons with failover, see
+  :mod:`repro.cluster`), selected by name;
 - :mod:`repro.engine.executor` — thread-pool fan-out for batches, plus
   the trial backend handed to each build;
 - :mod:`repro.engine.service` — :class:`LabelService`, the facade the
@@ -34,6 +36,7 @@ from repro.engine.backends import (
     TrialBackend,
     VectorizedTrialBackend,
     resolve_trial_backend,
+    run_trial_span,
 )
 from repro.engine.cache import CacheStats, LabelCache
 from repro.engine.executor import BatchHandle, LabelExecutor
@@ -54,6 +57,7 @@ __all__ = [
     "VectorizedTrialBackend",
     "ExecutorTrialBackend",
     "resolve_trial_backend",
+    "run_trial_span",
     "CacheStats",
     "LabelCache",
     "BatchHandle",

@@ -6,10 +6,24 @@ few immutable dataclasses, while rebuilding it re-runs ``trials x
 epsilons`` full re-rankings.  :class:`LabelCache` therefore keeps the
 most recently used bundles keyed by their content fingerprint.
 
+Three bounding mechanisms compose (any may be off):
+
+- **entry count** (``max_size``) — the original LRU cap;
+- **size in bytes** (``max_bytes``) — every entry's footprint is
+  estimated at insert time (pickled size, the same bytes a shard or
+  spill would pay) and least-recently-used entries are evicted until
+  the total fits, so one giant table cannot silently hold the whole
+  budget that ``max_size`` was tuned for;
+- **time to live** (``ttl`` seconds) — an entry older than the TTL is
+  treated as a miss at lookup time (and dropped), so long-running
+  servers converge to fresh rebuilds instead of serving a week-old
+  label forever.
+
 Two concurrency guarantees matter for the multi-session server:
 
-- All bookkeeping happens under one lock, so hit/miss/eviction counts
-  are exact even under concurrent load.
+- All bookkeeping happens under one lock, so hit/miss/eviction/
+  expiration counts (and the byte total) are exact even under
+  concurrent load.
 - :meth:`get_or_build` is *single-flight*: when N threads ask for the
   same missing key at once, exactly one runs the build while the others
   wait for its result — a thundering herd of identical label requests
@@ -18,7 +32,10 @@ Two concurrency guarantees matter for the multi-session server:
 
 from __future__ import annotations
 
+import pickle
+import sys
 import threading
+import time
 from collections import OrderedDict
 from collections.abc import Callable
 from dataclasses import dataclass
@@ -29,6 +46,30 @@ from repro.errors import EngineError
 __all__ = ["CacheStats", "LabelCache"]
 
 _MISSING = object()
+
+
+def _estimate_size(value: Any) -> int:
+    """A value's approximate footprint in bytes (pickled size).
+
+    Pickling is what a future cache shard or disk spill would pay, so
+    it is the honest unit; unpicklable values fall back to
+    ``sys.getsizeof`` (shallow, but better than zero).
+    """
+    try:
+        return len(pickle.dumps(value))
+    except Exception:
+        return sys.getsizeof(value)
+
+
+class _CacheEntry:
+    """One cached value plus its accounting facts."""
+
+    __slots__ = ("value", "size", "stamp")
+
+    def __init__(self, value: Any, size: int, stamp: float):
+        self.value = value
+        self.size = size
+        self.stamp = stamp
 
 
 class _BuildSlot:
@@ -56,6 +97,10 @@ class CacheStats:
     evictions: int
     size: int
     max_size: int
+    bytes: int = 0
+    max_bytes: int | None = None
+    expirations: int = 0
+    ttl: float | None = None
 
     @property
     def hit_rate(self) -> float:
@@ -63,7 +108,7 @@ class CacheStats:
         lookups = self.hits + self.misses
         return self.hits / lookups if lookups else 0.0
 
-    def as_dict(self) -> dict[str, float | int]:
+    def as_dict(self) -> dict[str, float | int | None]:
         """Plain-dict form for the ``/engine/stats`` endpoint."""
         return {
             "hits": self.hits,
@@ -71,6 +116,10 @@ class CacheStats:
             "evictions": self.evictions,
             "size": self.size,
             "max_size": self.max_size,
+            "bytes": self.bytes,
+            "max_bytes": self.max_bytes,
+            "expirations": self.expirations,
+            "ttl": self.ttl,
             "hit_rate": self.hit_rate,
         }
 
@@ -82,18 +131,44 @@ class LabelCache:
     ----------
     max_size:
         Entries kept; the least recently *used* entry is evicted first.
+    max_bytes:
+        Optional byte budget over the entries' estimated (pickled)
+        sizes; LRU entries are evicted until the total fits.  The most
+        recently inserted entry is never evicted by the byte budget,
+        so a single oversized value still caches (and is the next
+        eviction victim).
+    ttl:
+        Optional time-to-live in seconds; an entry older than this is
+        dropped at lookup time and counted as an expiration + miss.
+    clock:
+        The time source (monotonic seconds); injectable for tests.
     """
 
-    def __init__(self, max_size: int = 64):
+    def __init__(
+        self,
+        max_size: int = 64,
+        max_bytes: int | None = None,
+        ttl: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
         if max_size < 1:
             raise EngineError(f"cache max_size must be >= 1, got {max_size}")
+        if max_bytes is not None and max_bytes < 1:
+            raise EngineError(f"cache max_bytes must be >= 1, got {max_bytes}")
+        if ttl is not None and ttl <= 0:
+            raise EngineError(f"cache ttl must be > 0 seconds, got {ttl}")
         self._max_size = max_size
-        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._max_bytes = max_bytes
+        self._ttl = ttl
+        self._clock = clock
+        self._entries: OrderedDict[str, _CacheEntry] = OrderedDict()
+        self._bytes = 0
         self._lock = threading.Lock()
         self._build_locks: dict[str, _BuildSlot] = {}
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._expirations = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -101,31 +176,69 @@ class LabelCache:
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
-            return key in self._entries
+            entry = self._entries.get(key)
+            return entry is not None and not self._expired(entry)
 
-    def get(self, key: str, default: Any = None) -> Any:
-        """Look up ``key``, counting a hit or miss."""
-        with self._lock:
-            value = self._entries.get(key, _MISSING)
-            if value is _MISSING:
-                self._misses += 1
-                return default
-            self._entries.move_to_end(key)
+    # -- internals (call with the lock held) -----------------------------------
+
+    def _expired(self, entry: _CacheEntry) -> bool:
+        return self._ttl is not None and self._clock() - entry.stamp > self._ttl
+
+    def _drop_locked(self, key: str) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._bytes -= entry.size
+
+    def _peek_locked(self, key: str) -> Any:
+        """Fetch + LRU-touch, expiring stale entries; no hit/miss count."""
+        entry = self._entries.get(key)
+        if entry is not None and self._expired(entry):
+            self._drop_locked(key)
+            self._expirations += 1
+            entry = None
+        if entry is None:
+            return _MISSING
+        self._entries.move_to_end(key)
+        return entry.value
+
+    def _lookup_locked(self, key: str) -> Any:
+        """:meth:`_peek_locked` plus the hit/miss bookkeeping."""
+        value = self._peek_locked(key)
+        if value is _MISSING:
+            self._misses += 1
+        else:
             self._hits += 1
-            return value
-
-    def put(self, key: str, value: Any) -> None:
-        """Insert (or refresh) ``key``, evicting the LRU entry if full."""
-        with self._lock:
-            self._put_locked(key, value)
+        return value
 
     def _put_locked(self, key: str, value: Any) -> None:
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
+        self._drop_locked(key)
+        entry = _CacheEntry(value, _estimate_size(value), self._clock())
+        self._entries[key] = entry
+        self._bytes += entry.size
         while len(self._entries) > self._max_size:
-            self._entries.popitem(last=False)
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.size
             self._evictions += 1
+        if self._max_bytes is not None:
+            # keep at least the fresh entry: an oversized value still
+            # caches once rather than looping forever
+            while self._bytes > self._max_bytes and len(self._entries) > 1:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.size
+                self._evictions += 1
+
+    # -- public API ------------------------------------------------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Look up ``key``, counting a hit or miss (expired = miss)."""
+        with self._lock:
+            value = self._lookup_locked(key)
+            return default if value is _MISSING else value
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert (or refresh) ``key``, evicting LRU entries past the caps."""
+        with self._lock:
+            self._put_locked(key, value)
 
     def get_or_build(self, key: str, build: Callable[[], Any]) -> tuple[Any, bool]:
         """Return ``(value, was_cached)``; build at most once per key.
@@ -140,9 +253,8 @@ class LabelCache:
         retry join the same lock instead of minting a fresh one.
         """
         with self._lock:
-            value = self._entries.get(key, _MISSING)
+            value = self._peek_locked(key)
             if value is not _MISSING:
-                self._entries.move_to_end(key)
                 self._hits += 1
                 return value, True
             slot = self._build_locks.setdefault(key, _BuildSlot())
@@ -151,9 +263,8 @@ class LabelCache:
             with slot.lock:
                 # someone may have finished the build while we waited
                 with self._lock:
-                    value = self._entries.get(key, _MISSING)
+                    value = self._peek_locked(key)
                     if value is not _MISSING:
-                        self._entries.move_to_end(key)
                         self._hits += 1
                         return value, True
                     self._misses += 1
@@ -170,12 +281,15 @@ class LabelCache:
     def invalidate(self, key: str) -> bool:
         """Drop one entry; returns whether it existed."""
         with self._lock:
-            return self._entries.pop(key, _MISSING) is not _MISSING
+            existed = key in self._entries
+            self._drop_locked(key)
+            return existed
 
     def clear(self) -> None:
         """Drop every entry (stats are kept)."""
         with self._lock:
             self._entries.clear()
+            self._bytes = 0
 
     def stats(self) -> CacheStats:
         """A consistent snapshot of the counters."""
@@ -186,4 +300,8 @@ class LabelCache:
                 evictions=self._evictions,
                 size=len(self._entries),
                 max_size=self._max_size,
+                bytes=self._bytes,
+                max_bytes=self._max_bytes,
+                expirations=self._expirations,
+                ttl=self._ttl,
             )

@@ -8,8 +8,10 @@ roles:
   concurrently;
 - the **trial backend** (:mod:`repro.engine.backends`) is handed to the
   label builder so each label's Monte-Carlo stability trials (the hot
-  path) fan out *within* a build — serially, over threads, or over a
-  process pool, selected by name.
+  path) fan out *within* a build — serially, over threads, over a
+  process pool, as batched array kernels (``vectorized``, the
+  default), or sharded across remote worker daemons (``remote``,
+  :mod:`repro.cluster`) — selected by name or passed as an instance.
 
 They must be separate: a job thread blocks until its trials finish, so
 sharing one pool would deadlock the moment jobs occupy every worker
@@ -125,12 +127,16 @@ class LabelExecutor:
         live, but it can no longer be polled).  Bounds a long-running
         server's memory.
     trial_backend:
-        Backend name for the Monte-Carlo trials — ``"serial"``,
-        ``"thread"`` (default), ``"process"``, or ``"vectorized"``
-        (batched array kernels, the fastest single-machine option for
-        linear scorers) — resolved via
+        Backend for the Monte-Carlo trials: a name — ``"serial"``,
+        ``"thread"``, ``"process"``, ``"vectorized"`` (the default:
+        batched array kernels, the fastest single-machine option for
+        linear scorers), or ``"remote"`` (trials sharded across the
+        worker daemons named by ``REPRO_TRIAL_WORKERS``, see
+        :mod:`repro.cluster`) — resolved via
         :func:`repro.engine.backends.resolve_trial_backend`, which
-        self-disables worker-pool backends on single-CPU hosts.
+        self-disables worker-pool backends on single-CPU hosts; or an
+        already-built :class:`TrialBackend` instance (how the CLI hands
+        over a remote coordinator configured from ``--workers-from``).
     """
 
     def __init__(
@@ -138,7 +144,7 @@ class LabelExecutor:
         max_workers: int | None = None,
         trial_workers: int | None = None,
         max_batches: int = 256,
-        trial_backend: str | None = None,
+        trial_backend: str | TrialBackend | None = None,
     ):
         cpus = os.cpu_count() or 1
         self._max_workers = max_workers if max_workers is not None else max(2, cpus)
@@ -147,13 +153,17 @@ class LabelExecutor:
         if max_batches < 1:
             raise EngineError(f"max_batches must be >= 1, got {max_batches}")
         self._trial_workers = trial_workers if trial_workers is not None else cpus
-        self._trial_backend_requested = (
-            trial_backend if trial_backend is not None else "thread"
-        )
-        # resolve eagerly so an unknown name fails at construction time
-        self._trial_backend: TrialBackend = resolve_trial_backend(
-            self._trial_backend_requested, trial_workers
-        )
+        if trial_backend is None or isinstance(trial_backend, str):
+            self._trial_backend_requested = (
+                trial_backend if trial_backend is not None else "vectorized"
+            )
+            # resolve eagerly so an unknown name fails at construction time
+            self._trial_backend: TrialBackend = resolve_trial_backend(
+                self._trial_backend_requested, trial_workers
+            )
+        else:  # a pre-built backend instance (e.g. a remote coordinator)
+            self._trial_backend_requested = trial_backend.name
+            self._trial_backend = trial_backend
         self._max_batches = max_batches
         self._job_pool: ThreadPoolExecutor | None = None
         self._batches: OrderedDict[str, BatchHandle] = OrderedDict()
@@ -254,6 +264,11 @@ class LabelExecutor:
         if isinstance(backend, VectorizedTrialBackend):
             stats["trial_kernel_runs"] = backend.kernel_runs
             stats["trial_scalar_fallbacks"] = backend.scalar_runs
+        # the remote coordinator carries its own dispatch/failover
+        # counters and per-worker registry state; surface them whole
+        backend_stats = getattr(backend, "stats", None)
+        if callable(backend_stats):
+            stats["trial_cluster"] = backend_stats()
         return stats
 
     def shutdown(self, wait: bool = True) -> None:

@@ -18,8 +18,10 @@ session never did:
 - **observability** — one ``stats()`` snapshot over cache, executor,
   and build counters, served at ``GET /engine/stats``.
 
-Future scaling work (sharding the cache, remote workers, alternative
-builders) lands behind this facade without touching the clients.
+Remote trial workers (:mod:`repro.cluster`) already land behind this
+facade — ``trial_backend="remote"`` — and future scaling work
+(sharding the cache, async IO, alternative builders) should too,
+without touching the clients.
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ import time
 from collections.abc import Sequence
 from dataclasses import replace
 
+from repro.engine.backends import TrialBackend
 from repro.engine.cache import LabelCache
 from repro.engine.executor import BatchHandle, LabelExecutor
 from repro.engine.fingerprint import label_fingerprint
@@ -67,13 +70,23 @@ class LabelService:
     use_cache:
         Master switch, mostly for benchmarking cold builds.
     trial_backend:
-        Name of the Monte-Carlo trial backend — ``"serial"``,
-        ``"thread"`` (default), ``"process"``, or ``"vectorized"``
-        (see :mod:`repro.engine.backends`).  All of them serve
-        byte-identical labels for equal seeds; worker-pool backends
-        self-disable to serial on single-CPU hosts unless
-        ``trial_workers`` forces a pool, while ``vectorized`` batches
-        the trials into array kernels and needs no workers at all.
+        The Monte-Carlo trial backend: a name — ``"serial"``,
+        ``"thread"``, ``"process"``, ``"vectorized"`` (the default),
+        or ``"remote"`` (trials sharded across the worker daemons in
+        ``REPRO_TRIAL_WORKERS``; see :mod:`repro.cluster`) — or an
+        already-built :class:`~repro.engine.backends.TrialBackend`
+        instance.  All of them serve byte-identical labels for equal
+        seeds; worker-pool backends self-disable to serial on
+        single-CPU hosts unless ``trial_workers`` forces a pool, while
+        ``vectorized`` batches the trials into array kernels and needs
+        no workers at all.
+    cache_max_bytes:
+        Optional cache budget in (estimated) bytes; evicts
+        least-recently-used labels past it (see
+        :class:`~repro.engine.cache.LabelCache`).
+    cache_ttl:
+        Optional label time-to-live in seconds; expired entries rebuild
+        on next request.
     """
 
     def __init__(
@@ -82,9 +95,13 @@ class LabelService:
         max_workers: int | None = None,
         trial_workers: int | None = None,
         use_cache: bool = True,
-        trial_backend: str | None = None,
+        trial_backend: "str | TrialBackend | None" = None,
+        cache_max_bytes: int | None = None,
+        cache_ttl: float | None = None,
     ):
-        self._cache = LabelCache(max_size=cache_size)
+        self._cache = LabelCache(
+            max_size=cache_size, max_bytes=cache_max_bytes, ttl=cache_ttl
+        )
         self._executor = LabelExecutor(
             max_workers=max_workers,
             trial_workers=trial_workers,

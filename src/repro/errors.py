@@ -26,6 +26,7 @@ __all__ = [
     "DatasetError",
     "SessionStateError",
     "EngineError",
+    "ClusterError",
 ]
 
 
@@ -112,6 +113,17 @@ class DatasetError(RankingFactsError):
 
 class EngineError(RankingFactsError):
     """The label engine was misused (bad job spec, unknown batch id...)."""
+
+
+class ClusterError(EngineError):
+    """A distributed-trial operation failed (bad frame, dead worker...).
+
+    Raised by the wire layer on malformed or version-mismatched frames
+    and by the coordinator when a worker cannot be reached or returns an
+    error.  The coordinator catches it internally to fail chunks over to
+    other workers (or the local backend); it only escapes to callers for
+    misconfiguration (e.g. an unparsable worker address).
+    """
 
 
 class SessionStateError(RankingFactsError):

@@ -205,19 +205,23 @@ def _movement_outcomes(
 
 
 def _jitter_weight_matrix(
-    scorer: LinearScoringFunction, epsilon: float, seed: int, trials: int
+    scorer: LinearScoringFunction, epsilon: float, seed: int, trials: int,
+    start: int = 0,
 ) -> np.ndarray:
     """All T perturbed weight vectors, drawn exactly like ``_jittered_scorer``.
 
-    Trial ``t`` consumes ``trial_rng(seed, t)`` with one uniform per
-    weight in declaration order — the identical draw sequence of the
+    Trial ``t`` consumes ``trial_rng(seed, start + t)`` with one uniform
+    per weight in declaration order — the identical draw sequence of the
     scalar path, so the perturbed weights match it float for float.
+    ``start`` offsets the trial indices so a cluster worker computing
+    the span ``[start, start + trials)`` of a larger batch draws the
+    same streams the full-batch kernel would.
     """
     weights = scorer.weights
     mean_abs = float(np.mean([abs(v) for v in weights.values()]))
     matrix = np.empty((len(weights), trials), dtype=np.float64)
     for t in range(trials):
-        rng = trial_rng(seed, t)
+        rng = trial_rng(seed, start + t)
         for index, (attr, w) in enumerate(weights.items()):
             scale = abs(w) if w != 0.0 else mean_abs
             matrix[index, t] = w + float(rng.uniform(-epsilon, epsilon) * scale)
@@ -225,14 +229,15 @@ def _jitter_weight_matrix(
 
 
 def run_perturbation_kernel(
-    payload: PerturbationTrialPayload, trials: int
+    payload: PerturbationTrialPayload, trials: int, start: int = 0
 ) -> list[tuple[float, float, bool]]:
-    """All trials of :func:`~repro.stability.perturbation._perturbation_trial`."""
+    """Trials ``[start, start + trials)`` of
+    :func:`~repro.stability.perturbation._perturbation_trial`."""
     scorer = _require_plain_linear_scorer(payload.scorer)
     table = payload.table
     ids = _unique_ids(table, payload.id_column)
     weight_matrix = _jitter_weight_matrix(
-        scorer, payload.epsilon, payload.seed, trials
+        scorer, payload.epsilon, payload.seed, trials, start
     )
     # an all-zero draw would make the scalar path raise WeightError;
     # decline so it still does
@@ -253,11 +258,11 @@ def run_perturbation_kernel(
 
 
 def _noise_matrices(
-    payload: UncertaintyTrialPayload, trials: int
+    payload: UncertaintyTrialPayload, trials: int, start: int = 0
 ) -> dict[str, np.ndarray]:
     """Per-attribute ``(n x T)`` noise, drawn exactly like ``_noisy_table``.
 
-    Trial ``t`` consumes ``trial_rng(seed, t)`` with one ``normal``
+    Trial ``t`` consumes ``trial_rng(seed, start + t)`` with one ``normal``
     batch per noisy attribute in ``attribute_stds`` order (skipping
     zero-std attributes), each sized to the attribute's non-missing
     count — the scalar draw sequence, reproduced.  Repeated attributes
@@ -279,7 +284,7 @@ def _noise_matrices(
     noise: dict[str, np.ndarray] = {}
     n = table.num_rows
     for t in range(trials):
-        rng = trial_rng(payload.seed, t)
+        rng = trial_rng(payload.seed, start + t)
         for attr, std in payload.attribute_stds:
             if std == 0.0:
                 continue
@@ -293,15 +298,16 @@ def _noise_matrices(
 
 
 def run_uncertainty_kernel(
-    payload: UncertaintyTrialPayload, trials: int
+    payload: UncertaintyTrialPayload, trials: int, start: int = 0
 ) -> list[tuple[float, float, bool]]:
-    """All trials of :func:`~repro.stability.uncertainty._uncertainty_trial`."""
+    """Trials ``[start, start + trials)`` of
+    :func:`~repro.stability.uncertainty._uncertainty_trial`."""
     scorer = _require_plain_linear_scorer(payload.scorer)
     table = payload.table
     ids = _unique_ids(table, payload.id_column)
     base_order = _baseline_order(table, scorer)
     _verified_baseline(payload, ids, base_order, payload.k)
-    noise = _noise_matrices(payload, trials)
+    noise = _noise_matrices(payload, trials, start)
     n = table.num_rows
     scores = np.zeros((n, trials), dtype=np.float64)
     any_missing = np.zeros(n, dtype=bool)
@@ -328,8 +334,11 @@ def run_uncertainty_kernel(
 # -- per-attribute stability ---------------------------------------------------
 
 
-def run_attribute_kernel(payload: AttributeTrialPayload, trials: int) -> list[bool]:
-    """All trials of :func:`~repro.stability.per_attribute._attribute_trial`."""
+def run_attribute_kernel(
+    payload: AttributeTrialPayload, trials: int, start: int = 0
+) -> list[bool]:
+    """Trials ``[start, start + trials)`` of
+    :func:`~repro.stability.per_attribute._attribute_trial`."""
     scorer = _require_plain_linear_scorer(payload.scorer)
     table = payload.table
     weights = scorer.weights
@@ -342,7 +351,7 @@ def run_attribute_kernel(payload: AttributeTrialPayload, trials: int) -> list[bo
     _require(payload.k >= 1, f"k must be >= 1, got {payload.k}")
     deltas = np.empty(trials, dtype=np.float64)
     for t in range(trials):
-        rng = trial_rng(payload.seed, t)
+        rng = trial_rng(payload.seed, start + t)
         deltas[t] = float(
             rng.uniform(-payload.epsilon, payload.epsilon) * payload.scale
         )
@@ -393,14 +402,16 @@ def kernel_for(fn: Callable) -> Callable | None:
 
 
 def dispatch_kernel(
-    fn: Callable, payload: Any, trials: int
+    fn: Callable, payload: Any, trials: int, start: int = 0
 ) -> tuple[list | None, str | None]:
     """Run the batch kernel for ``(fn, payload)``: ``(results, None)``.
 
     Returns ``(None, reason)`` when no kernel matches or the matching
     kernel declines the payload — the caller must then run the scalar
     path, which either produces the identical results or raises the
-    error the kernel could not reproduce.
+    error the kernel could not reproduce.  ``start`` offsets the trial
+    indices, so a cluster worker can vectorize the span
+    ``[start, start + trials)`` of a sharded batch.
     """
     entry = _KERNELS.get(fn)
     if entry is None:
@@ -413,7 +424,7 @@ def dispatch_kernel(
             f"{payload_type.__name__}"
         )
     try:
-        return kernel(payload, trials), None
+        return kernel(payload, trials, start), None
     except _KernelFallback as fallback:
         return None, str(fallback)
     except Exception as exc:  # the scalar rerun reproduces or explains it

@@ -149,3 +149,87 @@ class TestParser:
     def test_dataset_and_csv_mutually_exclusive(self):
         with pytest.raises(SystemExit):
             main(["inspect", "--dataset", "compas", "--csv", "x.csv"])
+
+
+class TestWorkerCommand:
+    """The worker daemon subcommand and the remote backend's CLI plumbing."""
+
+    def test_worker_parser_defaults(self):
+        from repro.app.cli import build_parser
+
+        args = build_parser().parse_args(["worker"])
+        assert args.command == "worker"
+        assert args.port == 8101
+        assert args.backend == "vectorized"
+
+    def test_worker_refuses_remote_backend_choice(self):
+        with pytest.raises(SystemExit):
+            main(["worker", "--backend", "remote"])
+
+    def test_workers_from_requires_remote_backend(self, tmp_path, capsys):
+        spec = tmp_path / "jobs.json"
+        spec.write_text(json.dumps({"jobs": [{"dataset": "compas", "design": {
+            "weights": {"age": 1.0}, "sensitive": ["race"],
+        }}]}))
+        code = main([
+            "batch", "--spec", str(spec),
+            "--trial-backend", "serial", "--workers-from", "env",
+        ])
+        assert code == 2
+        assert "--trial-backend remote" in capsys.readouterr().err
+
+    def test_workers_from_env_requires_the_variable(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_TRIAL_WORKERS", raising=False)
+        spec = tmp_path / "jobs.json"
+        spec.write_text(json.dumps({"jobs": [{"dataset": "compas", "design": {
+            "weights": {"age": 1.0}, "sensitive": ["race"],
+        }}]}))
+        code = main([
+            "batch", "--spec", str(spec),
+            "--trial-backend", "remote", "--workers-from", "env",
+        ])
+        assert code == 2
+        assert "REPRO_TRIAL_WORKERS" in capsys.readouterr().err
+
+    def test_workers_from_missing_file_fails_cleanly(self, tmp_path, capsys):
+        spec = tmp_path / "jobs.json"
+        spec.write_text(json.dumps({"jobs": [{"dataset": "compas", "design": {
+            "weights": {"age": 1.0}, "sensitive": ["race"],
+        }}]}))
+        code = main([
+            "batch", "--spec", str(spec),
+            "--trial-backend", "remote",
+            "--workers-from", str(tmp_path / "nope.txt"),
+        ])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_batch_runs_on_a_real_cluster_from_a_workers_file(
+        self, tmp_path, capsys
+    ):
+        from repro.cluster.worker import make_worker
+
+        spec = tmp_path / "jobs.json"
+        spec.write_text(json.dumps({"jobs": [{
+            "dataset": "cs-departments",
+            "design": {
+                "weights": {"PubCount": 0.4, "Faculty": 0.4, "GRE": 0.2},
+                "sensitive": ["DeptSizeBin"],
+                "id_column": "DeptName",
+                "monte_carlo_trials": 4,
+                "monte_carlo_epsilons": [0.1],
+            },
+        }]}))
+        with make_worker() as one, make_worker() as two:
+            workers = tmp_path / "workers.txt"
+            workers.write_text(f"{one.address}\n{two.address}\n")
+            code = main([
+                "batch", "--spec", str(spec), "--stats",
+                "--trial-backend", "remote", "--workers-from", str(workers),
+            ])
+            out = capsys.readouterr().out
+        assert code == 0
+        assert "1/1 job(s) succeeded" in out
+        assert "remote" in out

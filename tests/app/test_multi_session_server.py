@@ -362,3 +362,73 @@ class TestLocalPathPolicy:
         registry.adopt(DemoSession(service=registry.service))  # pinned at cap
         token, session = registry.create()
         assert registry.get(token) is session  # token must be live
+
+
+class TestSessionTTL:
+    """Idle-time expiry beside the count cap; the pinned default survives."""
+
+    @staticmethod
+    def ticking(ttl, max_sessions=256):
+        clock = {"now": 0.0}
+        registry = SessionRegistry(
+            max_sessions=max_sessions, session_ttl=ttl,
+            clock=lambda: clock["now"],
+        )
+        return clock, registry
+
+    def test_idle_sessions_expire(self):
+        clock, registry = self.ticking(ttl=60.0)
+        stale, _ = registry.create()
+        clock["now"] = 30.0
+        fresh, _ = registry.create()
+        clock["now"] = 70.0  # stale idle 70s, fresh idle 40s
+        assert set(registry.tokens()) == {fresh}
+        assert registry.expired == 1
+        with pytest.raises(Exception, match="unknown session token"):
+            registry.get(stale)
+
+    def test_a_lookup_resets_the_idle_clock(self):
+        clock, registry = self.ticking(ttl=60.0)
+        token, _ = registry.create()
+        clock["now"] = 50.0
+        registry.get(token)  # touched: idle clock restarts
+        clock["now"] = 100.0  # 50s since the touch, 100s since creation
+        assert registry.get(token) is not None
+        assert registry.expired == 0
+
+    def test_adopted_default_session_never_expires(self):
+        from repro.app.session import DemoSession
+
+        clock, registry = self.ticking(ttl=10.0)
+        default = DemoSession(service=registry.service)
+        pinned = registry.adopt(default)
+        doomed, _ = registry.create()
+        clock["now"] = 1000.0
+        assert set(registry.tokens()) == {pinned}
+        assert registry.get(pinned) is default
+        assert registry.expired == 1  # only the unpinned session went
+
+    def test_expiry_and_cap_count_separately(self):
+        clock, registry = self.ticking(ttl=10.0, max_sessions=2)
+        registry.create()
+        registry.create()
+        registry.create()  # cap eviction
+        assert registry.evicted == 1
+        clock["now"] = 20.0
+        registry.tokens()  # lazy sweep
+        assert registry.expired == 2
+        assert registry.tokens() == {}
+
+    def test_no_ttl_means_sessions_never_expire(self):
+        clock, registry = self.ticking(ttl=None)
+        token, _ = registry.create()
+        clock["now"] = 1e9
+        assert token in registry.tokens()
+
+    def test_invalid_ttl_rejected(self):
+        with pytest.raises(Exception, match="session_ttl"):
+            SessionRegistry(session_ttl=0)
+
+    def test_make_server_passes_the_ttl_through(self):
+        with make_server(session_ttl=123.0) as handle:
+            assert handle.registry.session_ttl == 123.0

@@ -1,0 +1,58 @@
+"""Byte-identity against an externally spawned cluster (CI's 2 workers).
+
+These tests only run when ``REPRO_TRIAL_WORKERS`` names a live cluster
+— CI spawns two ``python -m repro.cluster.worker`` daemons and points
+the variable at them (see ``.github/workflows/ci.yml``).  Locally::
+
+    python -m repro.cluster.worker --port 8101 &
+    python -m repro.cluster.worker --port 8102 &
+    REPRO_TRIAL_WORKERS=127.0.0.1:8101,127.0.0.2:8102 \
+        pytest tests/cluster/test_env_cluster.py
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cluster.coordinator import workers_from_env
+from repro.engine import LabelDesign, LabelService
+from repro.label.render_json import render_json
+from repro.tabular import Table
+
+pytestmark = pytest.mark.skipif(
+    not os.environ.get("REPRO_TRIAL_WORKERS"),
+    reason="REPRO_TRIAL_WORKERS names no external cluster",
+)
+
+
+def test_remote_labels_byte_identical_against_env_cluster():
+    rng = np.random.default_rng(3)
+    n = 24
+    table = Table.from_dict(
+        {
+            "name": [f"i{j}" for j in range(n)],
+            "a": rng.normal(0, 1, n) * 0.01 + 1.0,
+            "b": rng.normal(0, 1, n) * 0.01 + 1.0,
+            "group": ["g1", "g2"] * (n // 2),
+        }
+    )
+    design = LabelDesign.create(
+        weights={"a": 0.6, "b": 0.4},
+        sensitive="group",
+        id_column="name",
+        k=5,
+        monte_carlo_trials=12,
+        monte_carlo_epsilons=(0.05, 0.2),
+    )
+    serial = design.builder_for(table, dataset_name="mc").build()
+    with LabelService(use_cache=False, trial_backend="remote") as svc:
+        outcome = svc.build_label(table, design, "mc")
+        executor = svc.stats()["executor"]
+    assert render_json(outcome.facts.label) == render_json(serial.label)
+    cluster = executor["trial_cluster"]
+    assert cluster["workers_configured"] == len(workers_from_env())
+    # the point of the CI step: the trials really crossed the wire
+    assert cluster["workers_alive"] == cluster["workers_configured"]
+    assert cluster["chunks_remote"] > 0
+    assert cluster["local_runs"] == 0

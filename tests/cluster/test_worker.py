@@ -1,0 +1,160 @@
+"""Tests for repro.cluster.worker: the trial-daemon's HTTP contract."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cluster import wire
+from repro.cluster.worker import TrialWorker, make_worker
+from repro.engine.backends import SerialTrialBackend, run_trial_span
+from repro.errors import ClusterError
+from tests.cluster.test_wire import square
+
+
+def _get_json(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post_trials(url, data):
+    request = urllib.request.Request(
+        url + "/trials",
+        data=data,
+        headers={"Content-Type": "application/octet-stream"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, response.read()
+
+
+def _chunk_request(start, stop, payload=None):
+    body = wire.encode_trial_work(square, payload or {"base": 3})
+    return wire.encode_request(body, start, stop)
+
+
+class TestTrialWorkerCore:
+    def test_run_chunk_executes_the_span_at_absolute_indices(self):
+        worker = TrialWorker(backend="serial")
+        response = worker.run_chunk(_chunk_request(3, 7))
+        assert wire.decode_response(response, 3, 7) == [
+            square({"base": 3}, t) for t in range(3, 7)
+        ]
+
+    def test_bad_frame_counts_as_rejected(self):
+        worker = TrialWorker(backend="serial")
+        with pytest.raises(ClusterError):
+            worker.run_chunk(b"garbage")
+        assert worker.stats()["rejected_frames"] == 1
+        assert worker.stats()["chunks"] == 0
+
+    def test_trial_error_counts_and_propagates(self):
+        from tests.cluster.conftest import boom_trial
+
+        worker = TrialWorker(backend="serial")
+        body = wire.encode_trial_work(boom_trial, {})
+        with pytest.raises(ValueError, match="bad trial"):
+            worker.run_chunk(wire.encode_request(body, 0, 2))
+        assert worker.stats()["trial_errors"] == 1
+
+    def test_remote_backend_is_refused(self):
+        # a worker relaying to more workers would recurse
+        with pytest.raises(ClusterError, match="remote"):
+            TrialWorker(backend="remote")
+
+    def test_health_reports_protocol_and_backend(self):
+        worker = TrialWorker()  # default backend: vectorized
+        health = worker.health()
+        assert health["status"] == "ok"
+        assert health["protocol"] == wire.PROTOCOL_VERSION
+        assert health["backend"] == "vectorized"
+
+
+class TestWorkerHTTP:
+    def test_healthz_and_stats(self):
+        with make_worker(backend="serial") as handle:
+            status, health = _get_json(handle.url + "/healthz")
+            assert status == 200
+            assert health["protocol"] == wire.PROTOCOL_VERSION
+            status, stats = _get_json(handle.url + "/stats")
+            assert status == 200
+            assert stats["chunks"] == 0
+
+    def test_trials_roundtrip_over_http(self):
+        with make_worker(backend="serial") as handle:
+            status, raw = _post_trials(handle.url, _chunk_request(2, 6))
+            assert status == 200
+            assert wire.decode_response(raw, 2, 6) == [
+                square({"base": 3}, t) for t in range(2, 6)
+            ]
+            _, stats = _get_json(handle.url + "/stats")
+            assert stats["chunks"] == 1
+            assert stats["trials"] == 4
+
+    def test_bad_frame_is_http_400(self):
+        with make_worker(backend="serial") as handle:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post_trials(handle.url, b"not a frame")
+            assert excinfo.value.code == 400
+
+    def test_trial_fault_is_http_500(self):
+        from tests.cluster.conftest import boom_trial
+
+        with make_worker(backend="serial") as handle:
+            body = wire.encode_trial_work(boom_trial, {})
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post_trials(handle.url, wire.encode_request(body, 0, 2))
+            assert excinfo.value.code == 500
+
+    def test_unknown_paths_are_404(self):
+        with make_worker(backend="serial") as handle:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get_json(handle.url + "/nope")
+            assert excinfo.value.code == 404
+
+
+class TestRunTrialSpan:
+    """The span helper every worker chunk goes through."""
+
+    def test_span_matches_the_full_run_slice(self):
+        backend = SerialTrialBackend()
+        full = [square({"base": 3}, t) for t in range(12)]
+        assert run_trial_span(backend, square, {"base": 3}, 0, 12) == full
+        assert run_trial_span(backend, square, {"base": 3}, 5, 9) == full[5:9]
+        assert run_trial_span(backend, square, {"base": 3}, 11, 12) == full[11:]
+
+    def test_empty_span_is_empty(self):
+        backend = SerialTrialBackend()
+        assert run_trial_span(backend, square, {"base": 3}, 4, 4) == []
+
+    def test_vectorized_span_uses_absolute_rng_streams(self):
+        import numpy as np
+
+        from repro.engine.backends import VectorizedTrialBackend
+        from repro.ranking import LinearScoringFunction
+        from repro.stability import WeightPerturbationStability
+        from repro.tabular import Table
+
+        rng = np.random.default_rng(11)
+        table = Table.from_dict(
+            {
+                "name": [f"i{j}" for j in range(30)],
+                "a": rng.normal(0, 1, 30) * 0.01 + 1.0,
+                "b": rng.normal(0, 1, 30) * 0.01 + 1.0,
+            }
+        )
+        scorer = LinearScoringFunction({"a": 0.5, "b": 0.5})
+        estimator = WeightPerturbationStability(
+            table, scorer, "name", trials=10, seed=5
+        )
+        payload = estimator._payload_at(0.1)
+        from repro.stability.perturbation import _perturbation_trial
+
+        serial = [_perturbation_trial(payload, t) for t in range(10)]
+        backend = VectorizedTrialBackend()
+        assert (
+            run_trial_span(backend, _perturbation_trial, payload, 3, 8)
+            == serial[3:8]
+        )
+        assert backend.kernel_runs == 1  # the span hit the kernel, not scalar

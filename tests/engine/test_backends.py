@@ -96,9 +96,15 @@ class TestResolution:
             resolve_trial_backend("vectorized", 1), VectorizedTrialBackend
         )
 
-    def test_default_is_thread_on_multicore(self, monkeypatch):
+    def test_default_is_vectorized(self, monkeypatch):
+        # the soak-tested kernels are the default since PR 4, on any host
+        for cpus in (1, 4):
+            monkeypatch.setattr("repro.engine.backends.os.cpu_count", lambda c=cpus: c)
+            assert isinstance(resolve_trial_backend(), VectorizedTrialBackend)
+
+    def test_thread_by_name_on_multicore(self, monkeypatch):
         monkeypatch.setattr("repro.engine.backends.os.cpu_count", lambda: 4)
-        backend = resolve_trial_backend()
+        backend = resolve_trial_backend("thread")
         assert isinstance(backend, ThreadTrialBackend)
         assert backend.workers == 4
 

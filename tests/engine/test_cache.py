@@ -191,4 +191,114 @@ class TestStats:
         d = LabelCache(max_size=2).stats().as_dict()
         assert set(d) == {
             "hits", "misses", "evictions", "size", "max_size", "hit_rate",
+            "bytes", "max_bytes", "expirations", "ttl",
         }
+
+
+class TestByteAccounting:
+    """The max_bytes budget: estimated sizes, LRU eviction past it."""
+
+    def test_bytes_track_inserts_and_drops(self):
+        cache = LabelCache(max_size=8)
+        assert cache.stats().bytes == 0
+        cache.put("a", "x" * 100)
+        after_one = cache.stats().bytes
+        assert after_one > 100  # pickled size includes overhead
+        cache.put("b", "y" * 100)
+        assert cache.stats().bytes > after_one
+        cache.invalidate("a")
+        cache.invalidate("b")
+        assert cache.stats().bytes == 0
+
+    def test_refreshing_a_key_does_not_double_count(self):
+        cache = LabelCache(max_size=8)
+        cache.put("a", "x" * 100)
+        once = cache.stats().bytes
+        cache.put("a", "x" * 100)
+        assert cache.stats().bytes == once
+
+    def test_budget_evicts_lru_until_it_fits(self):
+        cache = LabelCache(max_size=8, max_bytes=400)
+        for key in ("a", "b", "c", "d"):
+            cache.put(key, "x" * 120)  # ~135 pickled bytes each
+        stats = cache.stats()
+        assert stats.bytes <= 400
+        assert stats.evictions >= 1
+        assert "d" in cache  # the newest entry always survives
+        assert "a" not in cache  # the oldest was the victim
+
+    def test_oversized_value_still_caches_alone(self):
+        cache = LabelCache(max_size=8, max_bytes=64)
+        cache.put("big", "x" * 10_000)
+        assert "big" in cache  # kept despite exceeding the whole budget
+        cache.put("next", "y")
+        assert "next" in cache
+        assert "big" not in cache  # and is the next eviction victim
+
+    def test_clear_resets_bytes(self):
+        cache = LabelCache(max_size=8)
+        cache.put("a", "x" * 100)
+        cache.clear()
+        assert cache.stats().bytes == 0
+
+    def test_max_bytes_validated(self):
+        with pytest.raises(EngineError, match="max_bytes"):
+            LabelCache(max_size=2, max_bytes=0)
+
+
+class TestTimeToLive:
+    """The ttl: lazy expiry at lookup time, counted separately."""
+
+    @staticmethod
+    def ticking(cache_ttl, start=0.0):
+        clock = {"now": start}
+        return clock, LabelCache(max_size=8, ttl=cache_ttl,
+                                 clock=lambda: clock["now"])
+
+    def test_fresh_entries_hit(self):
+        clock, cache = self.ticking(10.0)
+        cache.put("a", 1)
+        clock["now"] += 9.9
+        assert cache.get("a") == 1
+        assert cache.stats().expirations == 0
+
+    def test_stale_entries_expire_as_misses(self):
+        clock, cache = self.ticking(10.0)
+        cache.put("a", 1)
+        clock["now"] += 10.1
+        assert cache.get("a") is None
+        stats = cache.stats()
+        assert stats.expirations == 1
+        assert stats.misses == 1
+        assert stats.evictions == 0  # expiry is not an LRU eviction
+        assert len(cache) == 0
+
+    def test_get_or_build_rebuilds_expired_entries(self):
+        clock, cache = self.ticking(5.0)
+        calls = []
+        build = lambda: calls.append(1) or "v"  # noqa: E731
+        assert cache.get_or_build("k", build) == ("v", False)
+        assert cache.get_or_build("k", build) == ("v", True)
+        clock["now"] += 6.0
+        assert cache.get_or_build("k", build) == ("v", False)
+        assert len(calls) == 2
+        assert cache.stats().expirations == 1
+
+    def test_a_hit_refreshes_lru_order_not_the_ttl(self):
+        clock, cache = self.ticking(10.0)
+        cache.put("a", 1)
+        clock["now"] += 6.0
+        assert cache.get("a") == 1  # touched, but the stamp stays
+        clock["now"] += 6.0  # 12s after insert
+        assert cache.get("a") is None
+        assert cache.stats().expirations == 1
+
+    def test_ttl_validated(self):
+        with pytest.raises(EngineError, match="ttl"):
+            LabelCache(max_size=2, ttl=0)
+
+    def test_no_ttl_means_entries_never_expire(self):
+        clock, cache = self.ticking(None)
+        cache.put("a", 1)
+        clock["now"] += 1e9
+        assert cache.get("a") == 1

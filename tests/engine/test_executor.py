@@ -55,6 +55,7 @@ class TestSubmissionCounters:
         assert stats["jobs_submitted"] == 3
 
     def test_stats_shape(self, executor):
+        # the default backend is vectorized, which adds its two counters
         assert set(executor.stats()) == {
             "max_workers",
             "trial_workers",
@@ -65,7 +66,13 @@ class TestSubmissionCounters:
             "batches_submitted",
             "batches_retained",
             "jobs_submitted",
+            "trial_kernel_runs",
+            "trial_scalar_fallbacks",
         }
+
+    def test_default_backend_is_vectorized(self, executor):
+        stats = executor.stats()
+        assert stats["trial_backend"] == "vectorized"
 
 
 class TestEviction:

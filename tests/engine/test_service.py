@@ -154,8 +154,13 @@ class TestParallelMonteCarlo:
         assert a.fingerprint != b.fingerprint
 
     def test_trial_workers_one_disables_pool(self):
-        executor = LabelExecutor(trial_workers=1)
+        # worker-pool backends resolve to serial on one worker; the
+        # default (vectorized) runs no workers and ignores the count
+        executor = LabelExecutor(trial_workers=1, trial_backend="thread")
         assert executor.trial_backend().name == "serial"
+        executor.shutdown()
+        executor = LabelExecutor(trial_workers=1)
+        assert executor.trial_backend().name == "vectorized"
         executor.shutdown()
 
 
