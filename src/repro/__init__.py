@@ -34,6 +34,9 @@ The subpackages (see DESIGN.md for the full inventory):
 - :mod:`repro.datasets` — the three demo datasets (synthesized) + CSV;
 - :mod:`repro.engine` — the label computation service: content-hash
   caching, batch execution, parallel Monte-Carlo stability;
+- :mod:`repro.cluster` — Monte-Carlo trials sharded across machines;
+- :mod:`repro.store` — the durable label store: persistent
+  content-addressed L2 cache with provenance and drift APIs;
 - :mod:`repro.app` — workflow session, CLI, demo HTTP server.
 """
 
@@ -52,7 +55,7 @@ from repro.ranking.scoring import LinearScoringFunction
 from repro.tabular.csvio import read_csv
 from repro.tabular.table import Table
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

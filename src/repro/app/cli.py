@@ -11,6 +11,8 @@ Subcommands mirror the demo workflow:
 - ``ranking-facts batch`` — run many labels from a JSON spec through
   the engine (shared cache, concurrent jobs) in one invocation;
 - ``ranking-facts serve`` — start the demo web server;
+- ``ranking-facts store ls|show|gc|diff`` — inspect and maintain a
+  durable label store (the archive ``serve --store`` writes);
 - ``ranking-facts worker`` — run a Monte-Carlo trial worker daemon
   that the ``remote`` trial backend shards stability trials onto
   (see :mod:`repro.cluster`).
@@ -217,10 +219,81 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: never; the server's default session is exempt)",
     )
     serve.add_argument(
-        "--allow-local-paths", action="store_true",
-        help='let POST /jobs read server-side "csv" paths (off by default: '
-        "a remote client could read any file on this host)",
+        "--allow-local-paths", metavar="DIR", default=None,
+        help='let POST /jobs read server-side "csv" paths that resolve '
+        "inside DIR (off by default: a remote client could read any "
+        "file on this host; symlinks escaping DIR are rejected)",
     )
+    serve.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="durable label store (SQLite, WAL): labels survive restarts "
+        "and the /labels archive routes open up (default: the "
+        "REPRO_LABEL_STORE environment variable, else no store)",
+    )
+    serve.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="BYTES",
+        help="in-memory label cache budget in (estimated pickled) bytes "
+        "(default: REPRO_CACHE_MAX_BYTES, else unbounded)",
+    )
+    serve.add_argument(
+        "--cache-ttl", type=float, default=None, metavar="SECONDS",
+        help="in-memory label time-to-live in seconds "
+        "(default: REPRO_CACHE_TTL, else entries never expire)",
+    )
+
+    store = commands.add_parser(
+        "store",
+        help="inspect and maintain a durable label store (see serve --store)",
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+
+    def _store_path_argument(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--path", default=None, metavar="FILE",
+            help="the store file (default: the REPRO_LABEL_STORE "
+            "environment variable)",
+        )
+
+    store_ls = store_commands.add_parser(
+        "ls", help="list stored labels, newest first"
+    )
+    _store_path_argument(store_ls)
+    store_ls.add_argument(
+        "--limit", type=int, default=None, help="show at most this many rows"
+    )
+
+    store_show = store_commands.add_parser(
+        "show", help="one stored label: provenance plus the label itself"
+    )
+    _store_path_argument(store_show)
+    store_show.add_argument(
+        "fingerprint", help="the label's fingerprint (any unambiguous prefix)"
+    )
+    store_show.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="label rendering (default text)",
+    )
+
+    store_gc = store_commands.add_parser(
+        "gc", help="trim the store: expired labels first, then LRU past a budget"
+    )
+    _store_path_argument(store_gc)
+    store_gc.add_argument(
+        "--max-bytes", type=int, default=None, metavar="BYTES",
+        help="evict least-recently-accessed labels until the payload "
+        "total fits this budget",
+    )
+    store_gc.add_argument(
+        "--ttl", type=float, default=None, metavar="SECONDS",
+        help="drop labels created longer than this many seconds ago",
+    )
+
+    store_diff = store_commands.add_parser(
+        "diff", help="drift report between two stored labels of one dataset"
+    )
+    _store_path_argument(store_diff)
+    store_diff.add_argument("before", help="fingerprint (prefix) of the older label")
+    store_diff.add_argument("after", help="fingerprint (prefix) of the newer label")
 
     worker = commands.add_parser(
         "worker",
@@ -451,7 +524,7 @@ def _run_serve(args: argparse.Namespace) -> str:
     # imported here so `label`/`preview` work even if sockets are restricted
     import os
 
-    from repro.app.server import serve_forever
+    from repro.app.server import resolve_service_env, serve_forever
     from repro.engine.service import LabelService
 
     backend = (
@@ -459,7 +532,15 @@ def _run_serve(args: argparse.Namespace) -> str:
         or os.environ.get("REPRO_TRIAL_BACKEND")
         or None
     )
-    session = DemoSession(service=LabelService(trial_backend=backend))
+    store_path, cache_max_bytes, cache_ttl = resolve_service_env(
+        args.store, args.cache_max_bytes, args.cache_ttl
+    )
+    session = DemoSession(service=LabelService(
+        trial_backend=backend,
+        store_path=store_path,
+        cache_max_bytes=cache_max_bytes,
+        cache_ttl=cache_ttl,
+    ))
     _load(session, args)
     _design(session, args)
     session.generate_label()
@@ -469,6 +550,124 @@ def _run_serve(args: argparse.Namespace) -> str:
         allow_local_paths=args.allow_local_paths,
     )
     return ""  # serve_forever blocks; reached only on shutdown
+
+
+def _open_store(args: argparse.Namespace):
+    import os
+
+    from repro.store.store import LabelStore
+
+    path = args.path or os.environ.get("REPRO_LABEL_STORE") or None
+    if not path:
+        raise RankingFactsError(
+            "no store file given; pass --path FILE or set REPRO_LABEL_STORE"
+        )
+    if not os.path.exists(path):
+        # opening would create an empty store, which for every read-side
+        # command just means confusing "no such label" errors later
+        raise RankingFactsError(f"label store not found: {path}")
+    return LabelStore(path)
+
+
+def _format_age(seconds: float) -> str:
+    if seconds < 120:
+        return f"{seconds:.0f}s"
+    if seconds < 7200:
+        return f"{seconds / 60:.0f}m"
+    if seconds < 172800:
+        return f"{seconds / 3600:.1f}h"
+    return f"{seconds / 86400:.1f}d"
+
+
+def _run_store(args: argparse.Namespace) -> str:
+    import json
+    import time
+
+    if args.store_command == "ls":
+        with _open_store(args) as store:
+            records = store.records(limit=args.limit)
+            stats = store.stats()
+        if not records:
+            return f"store {stats['path']}: empty"
+        now = time.time()
+        lines = [
+            f"store {stats['path']}: {stats['labels']} label(s), "
+            f"{stats['bytes']} payload byte(s)",
+            f"  {'fingerprint':<16} {'dataset':<24} {'size':>9} "
+            f"{'age':>6} {'hits':>5}  engine",
+        ]
+        for record in records:
+            lines.append(
+                f"  {record['fingerprint'][:16]:<16} "
+                f"{(record['dataset_name'] or '-'):<24} "
+                f"{record['size_bytes']:>9} "
+                f"{_format_age(now - record['created_at']):>6} "
+                f"{record['hits']:>5}  {record['engine_version'] or '-'}"
+            )
+        return "\n".join(lines)
+
+    if args.store_command == "show":
+        with _open_store(args) as store:
+            fingerprint = store.resolve_prefix(args.fingerprint)
+            facts = store.get(fingerprint)
+            provenance = store.provenance(fingerprint)
+        if facts is None:
+            raise RankingFactsError(f"no stored label {args.fingerprint!r}")
+        if args.format == "json":
+            return json.dumps({
+                "fingerprint": fingerprint,
+                "label": json.loads(render_json(facts.label)),
+                "provenance": (
+                    None if provenance is None else provenance.as_dict()
+                ),
+            }, indent=2)
+        lines = [f"fingerprint: {fingerprint}"]
+        if provenance is not None:
+            lines += [
+                f"dataset:     {provenance.dataset_name}",
+                f"built:       {time.strftime('%Y-%m-%d %H:%M:%S', time.localtime(provenance.created_at))} "
+                f"by engine {provenance.engine_version} "
+                f"in {provenance.build_seconds * 1000:.1f} ms",
+                f"trials:      {provenance.monte_carlo_trials} x "
+                f"{provenance.epsilon_count} epsilon(s) on "
+                f"{provenance.trial_backend_effective} "
+                f"(requested {provenance.trial_backend_requested})",
+                f"table hash:  {provenance.table_fingerprint[:16]}",
+                f"design hash: {provenance.design_fingerprint[:16]}",
+            ]
+        lines += ["", render_text(facts.label)]
+        return "\n".join(lines)
+
+    if args.store_command == "gc":
+        if args.max_bytes is None and args.ttl is None:
+            raise RankingFactsError("store gc needs --max-bytes and/or --ttl")
+        with _open_store(args) as store:
+            removed = store.gc(max_bytes=args.max_bytes, ttl=args.ttl)
+            stats = store.stats()
+        return (
+            f"gc: dropped {removed['expired']} expired and evicted "
+            f"{removed['evicted']} label(s); {stats['labels']} label(s), "
+            f"{stats['bytes']} byte(s) remain"
+        )
+
+    assert args.store_command == "diff"
+    from repro.label.compare import diff_labels
+
+    with _open_store(args) as store:
+        fp_before = store.resolve_prefix(args.before)
+        fp_after = store.resolve_prefix(args.after)
+        before = store.get(fp_before)
+        after = store.get(fp_after)
+    if before is None or after is None:
+        raise RankingFactsError("a stored label expired while diffing")
+    drift = diff_labels(before.label, after.label)
+    lines = [f"diff {fp_before[:16]} -> {fp_after[:16]}:"]
+    changes = drift.summary_lines()
+    if changes:
+        lines += [f"  {line}" for line in changes]
+    else:
+        lines.append("  no differences")
+    return "\n".join(lines)
 
 
 def _run_worker(args: argparse.Namespace) -> str:
@@ -489,6 +688,7 @@ _RUNNERS = {
     "mitigate": _run_mitigate,
     "batch": _run_batch,
     "serve": _run_serve,
+    "store": _run_store,
     "worker": _run_worker,
 }
 

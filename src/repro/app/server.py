@@ -8,14 +8,24 @@ computes through one shared
 :class:`~repro.engine.service.LabelService`, so identical designs
 across users are one cached Monte-Carlo loop, not N.  Server-side
 ``"csv"`` paths in ``POST /jobs`` are rejected unless the server was
-started with ``--allow-local-paths``.
+started with ``--allow-local-paths DIR``, and then only paths that
+resolve inside that sandbox directory are read.
+
+With a durable label store attached (``--store PATH`` or
+``REPRO_LABEL_STORE``; :mod:`repro.store`), labels survive restarts
+and three archive routes open up:
+
+- ``GET /labels``                 — the stored-label listing;
+- ``GET /labels/<fp>``            — one label plus its provenance;
+- ``GET /labels/<fp1>/diff/<fp2>`` — the drift report between two
+  stored labels (:func:`repro.label.compare.diff_labels`).
 
 Global routes:
 
 - ``GET  /``              — landing page with links;
 - ``GET  /health``        — liveness probe;
 - ``GET  /datasets``      — the built-in dataset registry as JSON;
-- ``GET  /engine/stats``  — cache / executor / service counters;
+- ``GET  /engine/stats``  — cache / tier / store / executor counters;
 - ``POST /session``       — open a session; optional ``{"dataset":
   ..., "design": {...}}`` preloads it; returns ``{"token": ...}``;
 - ``GET  /sessions``      — tokens and stages of every open session;
@@ -53,6 +63,7 @@ import time
 from collections import OrderedDict
 from collections.abc import Callable
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from urllib.parse import parse_qs
 
 from repro.app.session import DemoSession, SessionStage
@@ -63,7 +74,13 @@ from repro.errors import EngineError, RankingFactsError
 from repro.label.render_html import render_html
 from repro.label.render_json import render_json
 
-__all__ = ["SessionRegistry", "make_server", "serve_forever", "ServerHandle"]
+__all__ = [
+    "SessionRegistry",
+    "make_server",
+    "serve_forever",
+    "resolve_service_env",
+    "ServerHandle",
+]
 
 _LANDING_PAGE = """<!DOCTYPE html><html><head><meta charset="utf-8">
 <title>Ranking Facts demo</title></head><body>
@@ -75,6 +92,7 @@ _LANDING_PAGE = """<!DOCTYPE html><html><head><meta charset="utf-8">
 <li><a href="/preview">ranking preview (JSON)</a></li>
 <li><a href="/datasets">built-in datasets (JSON)</a></li>
 <li><a href="/engine/stats">engine statistics (JSON)</a></li>
+<li><a href="/labels">stored label archive (JSON; needs --store)</a></li>
 </ul>
 <p>Multi-session API: POST /session, then /session/&lt;token&gt;/...;
 batch API: POST /jobs, GET /jobs/&lt;batch_id&gt;.</p>
@@ -299,7 +317,9 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
     # set by make_server on the subclass
     registry: SessionRegistry = None  # type: ignore[assignment]
     default_session: DemoSession | None = None
-    allow_local_paths: bool = False
+    # resolved sandbox directory server-side "csv" paths must live
+    # under; None disables local paths entirely
+    local_path_root: "Path | None" = None
 
     server_version = "RankingFacts/2.0"
 
@@ -433,12 +453,81 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
             self._get_session_view(session, parts[2])
         elif parts[0] == "jobs" and len(parts) == 2:
             self._get_batch(parts[1])
+        elif parts[0] == "labels":
+            self._get_labels(parts[1:])
         elif len(parts) == 1 and parts[0] in (
             "label", "label.html", "preview", "attributes",
         ):
             self._get_session_view(self._default(), parts[0])
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    # -- the durable label archive (requires a store) --------------------------
+
+    def _store(self):
+        store = self.registry.service.store
+        if store is None:
+            raise RankingFactsError(
+                "no label store configured; start the server with "
+                "--store PATH (or REPRO_LABEL_STORE) to keep a durable "
+                "label archive"
+            )
+        return store
+
+    def _stored_facts(self, store, fingerprint_or_prefix: str):
+        """Resolve a (possibly prefixed) fingerprint to its stored facts."""
+        from repro.errors import StoreError
+
+        try:
+            fingerprint = store.resolve_prefix(fingerprint_or_prefix)
+        except StoreError as exc:
+            self._send_json(404, {"error": str(exc)})
+            return None, None
+        facts = store.get(fingerprint)
+        if facts is None:  # expired between resolve and get
+            self._send_json(
+                404, {"error": f"no stored label {fingerprint_or_prefix!r}"}
+            )
+            return None, None
+        return fingerprint, facts
+
+    def _get_labels(self, parts: list[str]) -> None:
+        store = self._store()
+        if not parts:
+            records = store.records()
+            self._send_json(200, {"labels": records, "count": len(records)})
+            return
+        if len(parts) == 1:
+            fingerprint, facts = self._stored_facts(store, parts[0])
+            if fingerprint is None:
+                return
+            provenance = store.provenance(fingerprint)
+            self._send_json(200, {
+                "fingerprint": fingerprint,
+                "label": json.loads(render_json(facts.label)),
+                "provenance": None if provenance is None else provenance.as_dict(),
+            })
+            return
+        if len(parts) == 3 and parts[1] == "diff":
+            from repro.label.compare import diff_labels
+
+            fp_a, facts_a = self._stored_facts(store, parts[0])
+            if fp_a is None:
+                return
+            fp_b, facts_b = self._stored_facts(store, parts[2])
+            if fp_b is None:
+                return
+            # LabelError (different dataset/k) surfaces as a 400 via
+            # the RankingFactsError boundary in do_GET
+            drift = diff_labels(facts_a.label, facts_b.label)
+            self._send_json(200, {
+                "before": fp_a,
+                "after": fp_b,
+                "diff": drift.as_dict(),
+                "summary": drift.summary_lines(),
+            })
+            return
+        self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
     def _get_batch(self, batch_id: str) -> None:
         _, query = self._split()
@@ -518,16 +607,26 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
             LabelJob.from_mapping(spec, job_id=f"job-{index}")
             for index, spec in enumerate(jobs_spec)
         ]
-        if not self.allow_local_paths:
-            for job in jobs:
-                if job.csv_path is not None:
-                    # a server-side path is a remote file-read primitive:
-                    # reject the whole batch before anything is queued
-                    raise RankingFactsError(
-                        f'job {job.job_id!r} names a server-side "csv" path; '
-                        "local paths are disabled unless the server is "
-                        "started with --allow-local-paths"
-                    )
+        for job in jobs:
+            if job.csv_path is None:
+                continue
+            # a server-side path is a remote file-read primitive:
+            # reject the whole batch before anything is queued
+            if self.local_path_root is None:
+                raise RankingFactsError(
+                    f'job {job.job_id!r} names a server-side "csv" path; '
+                    "local paths are disabled unless the server is "
+                    "started with --allow-local-paths DIR"
+                )
+            # resolve() follows symlinks, so a link inside the sandbox
+            # pointing outside it is rejected too
+            resolved = Path(job.csv_path).resolve()
+            if not resolved.is_relative_to(self.local_path_root):
+                raise RankingFactsError(
+                    f'job {job.job_id!r}: server-side "csv" path '
+                    f"{job.csv_path!r} resolves outside the allowed "
+                    f"directory {str(self.local_path_root)!r}"
+                )
         handle = self.registry.service.submit_batch(jobs)
         self._send_json(
             202,
@@ -565,6 +664,52 @@ class ServerHandle:
         self._thread.join(timeout=5)
 
 
+def resolve_service_env(
+    store_path: str | None = None,
+    cache_max_bytes: int | None = None,
+    cache_ttl: float | None = None,
+) -> tuple[str | None, int | None, float | None]:
+    """Flag-or-environment resolution for the service durability knobs.
+
+    Explicit arguments win; otherwise ``REPRO_LABEL_STORE``,
+    ``REPRO_CACHE_MAX_BYTES``, and ``REPRO_CACHE_TTL`` fill in.  Shared
+    by :func:`make_server` and the CLI's ``serve`` so the two entry
+    points cannot drift.
+    """
+    store_path = store_path or os.environ.get("REPRO_LABEL_STORE") or None
+    if cache_max_bytes is None and os.environ.get("REPRO_CACHE_MAX_BYTES"):
+        cache_max_bytes = int(os.environ["REPRO_CACHE_MAX_BYTES"])
+    if cache_ttl is None and os.environ.get("REPRO_CACHE_TTL"):
+        cache_ttl = float(os.environ["REPRO_CACHE_TTL"])
+    return store_path, cache_max_bytes, cache_ttl
+
+
+def _resolve_local_path_root(allow_local_paths) -> Path | None:
+    """Normalize the ``allow_local_paths`` sandbox argument.
+
+    ``None``/``False`` disables server-side paths; a string or path
+    names the allow-list directory (resolved once, symlinks included,
+    so later checks compare against the real location).  The old
+    all-or-nothing ``True`` is rejected with a pointer to the new
+    shape — silently allowing everything would be the worst reading.
+    """
+    if allow_local_paths is None or allow_local_paths is False:
+        return None
+    if allow_local_paths is True:
+        raise EngineError(
+            "allow_local_paths now takes the allow-list directory "
+            "server-side csv paths must live under (was: a boolean); "
+            "pass the directory path instead of True"
+        )
+    root = Path(os.fspath(allow_local_paths)).resolve()
+    if not root.is_dir():
+        raise EngineError(
+            f"allow_local_paths directory {str(allow_local_paths)!r} "
+            "does not exist or is not a directory"
+        )
+    return root
+
+
 def make_server(
     session: DemoSession | None = None,
     host: str = "127.0.0.1",
@@ -572,7 +717,10 @@ def make_server(
     service: LabelService | None = None,
     max_sessions: int = 256,
     session_ttl: float | None = None,
-    allow_local_paths: bool = False,
+    allow_local_paths: "str | os.PathLike | None | bool" = None,
+    store_path: str | None = None,
+    cache_max_bytes: int | None = None,
+    cache_ttl: float | None = None,
 ) -> ServerHandle:
     """Bind a server (port 0 = ephemeral, for tests).
 
@@ -590,23 +738,37 @@ def make_server(
     path — or ``remote``, which shards trials across the worker
     daemons listed in ``REPRO_TRIAL_WORKERS`` as comma-separated
     ``host:port``; see :mod:`repro.cluster`); an unknown value fails
-    here, at startup, not on the first label request.
+    here, at startup, not on the first label request.  The same goes
+    for the durable label store and the cache bounds: ``store_path``
+    (or ``REPRO_LABEL_STORE``) attaches a
+    :class:`~repro.store.store.LabelStore` as the L2 tier, and
+    ``cache_max_bytes``/``cache_ttl`` (or ``REPRO_CACHE_MAX_BYTES``/
+    ``REPRO_CACHE_TTL``) bound the in-memory L1.  With a caller-built
+    ``service`` or ``session``, configure those on the service itself.
 
     ``max_sessions`` bounds the registry (oldest-idle eviction past
     the cap) and ``session_ttl`` expires sessions idle longer than
     that many seconds (the adopted default session is exempt from
-    both).  ``allow_local_paths`` re-enables server-side ``"csv"``
-    paths in ``POST /jobs``, which are rejected by default because
-    they let any client read files off the server host.
+    both).  ``allow_local_paths`` names the sandbox directory
+    server-side ``"csv"`` paths in ``POST /jobs`` must resolve into
+    (symlink-safe); by default they are rejected entirely, because
+    they would let any client read files off the server host.
     """
     if session is not None and session.stage is SessionStage.EMPTY:
         raise RankingFactsError("the session has no dataset; load one before serving")
+    local_path_root = _resolve_local_path_root(allow_local_paths)
     if service is None:
         if session is not None:
             service = session.service
         else:
+            store_path, cache_max_bytes, cache_ttl = resolve_service_env(
+                store_path, cache_max_bytes, cache_ttl
+            )
             service = LabelService(
-                trial_backend=os.environ.get("REPRO_TRIAL_BACKEND") or None
+                trial_backend=os.environ.get("REPRO_TRIAL_BACKEND") or None,
+                store_path=store_path,
+                cache_max_bytes=cache_max_bytes,
+                cache_ttl=cache_ttl,
             )
     registry = SessionRegistry(
         service, max_sessions=max_sessions, session_ttl=session_ttl
@@ -619,7 +781,7 @@ def make_server(
         {
             "registry": registry,
             "default_session": session,
-            "allow_local_paths": bool(allow_local_paths),
+            "local_path_root": local_path_root,
         },
     )
     server = ThreadingHTTPServer((host, port), handler)
@@ -631,7 +793,7 @@ def serve_forever(
     host: str = "127.0.0.1",
     port: int = 8000,
     session_ttl: float | None = None,
-    allow_local_paths: bool = False,
+    allow_local_paths: "str | os.PathLike | None" = None,
 ) -> None:
     """Run the demo server until interrupted (the CLI's ``serve``)."""
     with make_server(

@@ -114,11 +114,21 @@ def workers_from_file(path: str) -> tuple[str, ...]:
 
 
 class WorkerClient:
-    """HTTP client for one worker daemon.
+    """HTTP client for one worker daemon, over one persistent connection.
 
-    Every failure mode — unreachable host, timeout, HTTP error status,
-    malformed response frame — surfaces as :class:`ClusterError`, which
-    is the signal the coordinator's scheduler fails over on.
+    The connection is opened lazily, kept alive across chunks (the
+    workers speak HTTP/1.1), and serialized by a lock — chunk payloads
+    are large enough that one pipe per worker is the right shape, and
+    the coordinator's scheduler already spreads concurrent chunks over
+    *different* workers.  A request that fails on a previously-good
+    connection is retried once on a fresh one (a worker restart or an
+    idle-timeout close is not worker death); :attr:`reconnects` counts
+    those re-opens for the ``trial_cluster`` stats.
+
+    Every real failure mode — unreachable host, timeout, HTTP error
+    status, malformed response frame — surfaces as
+    :class:`ClusterError`, which is the signal the coordinator's
+    scheduler fails over on.
     """
 
     def __init__(self, address: str, timeout: float = 30.0, probe_timeout: float = 5.0):
@@ -137,32 +147,75 @@ class WorkerClient:
         self.address = address
         self.timeout = timeout
         self.probe_timeout = probe_timeout
+        self.reconnects = 0
+        self._connection: http.client.HTTPConnection | None = None
+        self._connection_lock = threading.Lock()
+
+    def _connect(self, timeout: float) -> http.client.HTTPConnection:
+        """The live connection (opened on demand), at ``timeout``."""
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=timeout
+            )
+        elif self._connection.sock is not None:
+            # reused connection: apply this request's timeout to the
+            # existing socket (probe vs chunk timeouts differ)
+            self._connection.sock.settimeout(timeout)
+        else:
+            self._connection.timeout = timeout
+        return self._connection
+
+    def _drop_connection(self) -> None:
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except Exception:
+                pass
+            self._connection = None
+
+    def close(self) -> None:
+        """Drop the persistent connection (safe to call any time)."""
+        with self._connection_lock:
+            self._drop_connection()
 
     def _request(
         self, method: str, path: str, body: bytes | None, timeout: float
     ) -> tuple[int, bytes]:
-        connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=timeout
+        headers = (
+            {"Content-Type": "application/octet-stream"} if body is not None else {}
         )
-        try:
-            connection.request(
-                method,
-                path,
-                body=body,
-                headers={"Content-Type": "application/octet-stream"}
-                if body is not None
-                else {},
-            )
-            response = connection.getresponse()
-            return response.status, response.read()
-        except ClusterError:
-            raise
-        except Exception as exc:  # socket/timeout/protocol faults alike
-            raise ClusterError(
-                f"worker {self.address} unreachable: {type(exc).__name__}: {exc}"
-            ) from exc
-        finally:
-            connection.close()
+        with self._connection_lock:
+            reused = self._connection is not None
+            for attempt in (1, 2):
+                connection = self._connect(timeout)
+                try:
+                    connection.request(method, path, body=body, headers=headers)
+                    response = connection.getresponse()
+                    payload = response.read()
+                except Exception as exc:
+                    self._drop_connection()
+                    # a stale kept-alive connection (worker restarted,
+                    # idle close) fails on reuse; one fresh attempt
+                    # distinguishes that from a genuinely dead worker.
+                    # NOT on timeout: a slow worker is already running
+                    # the chunk — re-sending it would double the
+                    # failover latency on the overloaded host
+                    if (
+                        attempt == 1
+                        and reused
+                        and not isinstance(exc, TimeoutError)
+                    ):
+                        self.reconnects += 1
+                        reused = False
+                        continue
+                    raise ClusterError(
+                        f"worker {self.address} unreachable: "
+                        f"{type(exc).__name__}: {exc}"
+                    ) from exc
+                if response.will_close:
+                    self._drop_connection()
+                return response.status, payload
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def probe(self) -> dict[str, object]:
         """``GET /healthz``; rejects protocol-mismatched workers.
@@ -485,6 +538,9 @@ class RemoteTrialBackend:
                 "chunk_failures": self._chunk_failures,
                 "chunks_failed_over": self._chunks_failed_over,
                 "chunks_recovered_locally": self._chunks_recovered_locally,
+                "connection_reconnects": sum(
+                    slot.client.reconnects for slot in self._slots
+                ),
                 "fallback_reason": self.fallback_reason,
                 "local_backend": self._local.effective_name,
                 "workers": [
@@ -493,6 +549,7 @@ class RemoteTrialBackend:
                         "alive": slot.alive,
                         "chunks": slot.chunks,
                         "failures": slot.failures,
+                        "reconnects": slot.client.reconnects,
                         "last_error": slot.last_error,
                     }
                     for slot in self._slots
@@ -500,8 +557,10 @@ class RemoteTrialBackend:
             }
 
     def shutdown(self) -> None:
-        """Release the local fallback backend (workers are not ours)."""
+        """Release the local backend and connections (workers are not ours)."""
         self._local.shutdown()
+        for slot in self._slots:
+            slot.client.close()
 
     @property
     def effective_name(self) -> str:

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import socket
 import sys
 import threading
 from collections.abc import Sequence
@@ -127,13 +128,27 @@ class _TrialWorkerHandler(BaseHTTPRequestHandler):
     worker: TrialWorker = None  # type: ignore[assignment]  # set by make_worker
 
     server_version = "RankingFactsWorker/1.0"
-    # HTTP/1.1 so clients that keep connections open can; the current
-    # coordinator opens one connection per chunk (reuse is a named
-    # ROADMAP lever), which this serves equally well
+    # HTTP/1.1: the coordinator keeps one persistent connection per
+    # worker, so chunks after the first skip the TCP handshake
     protocol_version = "HTTP/1.1"
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # keep daemon output clean
+
+    # coordinators hold persistent connections, so a handler thread can
+    # outlive serve_forever; the server tracks open sockets so stop()
+    # can sever them the way a killed process would
+    def setup(self) -> None:
+        connections = getattr(self.server, "live_connections", None)
+        if connections is not None:
+            connections.add(self.request)
+        super().setup()
+
+    def finish(self) -> None:
+        super().finish()
+        connections = getattr(self.server, "live_connections", None)
+        if connections is not None:
+            connections.discard(self.request)
 
     def _send_bytes(self, status: int, content_type: str, body: bytes) -> None:
         self.send_response(status)
@@ -198,9 +213,24 @@ class WorkerHandle:
         return self
 
     def stop(self) -> None:
-        """Stop serving and release the backend (idempotent)."""
+        """Stop serving and release the backend (idempotent).
+
+        Also severs any kept-alive client connections, so a stopped
+        daemon looks exactly like a killed one to a coordinator holding
+        a persistent connection (its next request fails instead of
+        being served by a lingering handler thread).
+        """
         self._server.shutdown()
         self._server.server_close()
+        for connection in list(getattr(self._server, "live_connections", ())):
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:
+                pass
         if self._thread.is_alive():
             self._thread.join(timeout=5)
         self.worker.shutdown()
@@ -227,6 +257,7 @@ def make_worker(
     worker = TrialWorker(backend=backend, workers=workers)
     handler = type("BoundWorkerHandler", (_TrialWorkerHandler,), {"worker": worker})
     server = ThreadingHTTPServer((host, port), handler)
+    server.live_connections = set()  # severed on stop(); see WorkerHandle
     return WorkerHandle(server, worker)
 
 

@@ -210,11 +210,31 @@ class LabelCache:
             self._hits += 1
         return value
 
+    def _sweep_expired_locked(self) -> None:
+        """Drop every TTL-expired entry (counted as expirations).
+
+        Run before evicting under pressure: an expired entry is dead
+        weight whatever its LRU position, so it must never cost a live
+        entry its slot — and dropping it counts as an expiration, not
+        an eviction, keeping the two counters honest.
+        """
+        if self._ttl is None:
+            return
+        for key in [
+            key for key, entry in self._entries.items() if self._expired(entry)
+        ]:
+            self._drop_locked(key)
+            self._expirations += 1
+
     def _put_locked(self, key: str, value: Any) -> None:
         self._drop_locked(key)
         entry = _CacheEntry(value, _estimate_size(value), self._clock())
         self._entries[key] = entry
         self._bytes += entry.size
+        if len(self._entries) > self._max_size or (
+            self._max_bytes is not None and self._bytes > self._max_bytes
+        ):
+            self._sweep_expired_locked()
         while len(self._entries) > self._max_size:
             _, evicted = self._entries.popitem(last=False)
             self._bytes -= evicted.size

@@ -44,15 +44,29 @@ __all__ = ["LabelOutcome", "LabelService"]
 
 
 class LabelOutcome:
-    """A served label plus how it was produced (cache hit? how long?)."""
+    """A served label plus how it was produced (which tier? how long?).
 
-    __slots__ = ("facts", "cached", "fingerprint", "seconds")
+    ``tier`` is ``"l1"`` (memory hit), ``"l2"`` (served from the
+    durable store), or ``"build"`` (cold Monte-Carlo build); without a
+    store, memory hits are still ``"l1"``.  ``cached`` stays the
+    boolean clients already rely on: anything but a cold build.
+    """
 
-    def __init__(self, facts: RankingFacts, cached: bool, fingerprint: str, seconds: float):
+    __slots__ = ("facts", "cached", "fingerprint", "seconds", "tier")
+
+    def __init__(
+        self,
+        facts: RankingFacts,
+        cached: bool,
+        fingerprint: str,
+        seconds: float,
+        tier: str = "build",
+    ):
         self.facts = facts
         self.cached = cached
         self.fingerprint = fingerprint
         self.seconds = seconds
+        self.tier = tier
 
 
 class LabelService:
@@ -87,6 +101,18 @@ class LabelService:
     cache_ttl:
         Optional label time-to-live in seconds; expired entries rebuild
         on next request.
+    store_path:
+        Opt-in durable L2: path to a
+        :class:`~repro.store.store.LabelStore` SQLite file.  Labels are
+        then served through a
+        :class:`~repro.store.tiering.TieredLabelCache` — memory first,
+        the store on an L1 miss (promoted back into memory), a build
+        only on a double miss — and every fresh build writes the label
+        plus its provenance record through to disk, so labels survive
+        restarts and can be shared by several processes on one host.
+    store:
+        An already-open :class:`~repro.store.store.LabelStore` instance
+        (wins over ``store_path``); the service owns its shutdown.
     """
 
     def __init__(
@@ -98,10 +124,28 @@ class LabelService:
         trial_backend: "str | TrialBackend | None" = None,
         cache_max_bytes: int | None = None,
         cache_ttl: float | None = None,
+        store_path: "str | None" = None,
+        store: "object | None" = None,
     ):
         self._cache = LabelCache(
             max_size=cache_size, max_bytes=cache_max_bytes, ttl=cache_ttl
         )
+        self._store = None
+        self._tiers = None
+        if (store is not None or store_path is not None) and not use_cache:
+            # the store is served through the tiered cache; disabling
+            # the cache would silently never read or write it
+            raise RankingFactsError(
+                "use_cache=False cannot be combined with a label store: "
+                "the store is the cache's L2 tier"
+            )
+        if store is not None or store_path is not None:
+            # local import: repro.store depends on repro.engine.cache
+            from repro.store.store import LabelStore
+            from repro.store.tiering import TieredLabelCache
+
+            self._store = store if store is not None else LabelStore(store_path)
+            self._tiers = TieredLabelCache(self._cache, self._store)
         self._executor = LabelExecutor(
             max_workers=max_workers,
             trial_workers=trial_workers,
@@ -143,8 +187,35 @@ class LabelService:
         if not self._use_cache:
             facts = build()
             return LabelOutcome(facts, False, key, time.perf_counter() - start)
+        if self._tiers is not None:
+
+            def build_with_provenance():
+                from repro.store.provenance import LabelProvenance
+
+                built_at = time.perf_counter()
+                facts = build()
+                provenance = LabelProvenance.capture(
+                    key,
+                    table,
+                    design,
+                    dataset_name,
+                    self._executor,
+                    build_seconds=time.perf_counter() - built_at,
+                )
+                return facts, provenance
+
+            facts, tier = self._tiers.get_or_build(key, build_with_provenance)
+            return LabelOutcome(
+                facts, tier != "build", key, time.perf_counter() - start, tier=tier
+            )
         facts, cached = self._cache.get_or_build(key, build)
-        return LabelOutcome(facts, cached, key, time.perf_counter() - start)
+        return LabelOutcome(
+            facts,
+            cached,
+            key,
+            time.perf_counter() - start,
+            tier="l1" if cached else "build",
+        )
 
     # -- batches ---------------------------------------------------------------------
 
@@ -211,6 +282,16 @@ class LabelService:
         """The underlying executor (tests and tuning)."""
         return self._executor
 
+    @property
+    def store(self):
+        """The durable L2 store, or ``None`` when not configured."""
+        return self._store
+
+    @property
+    def tiers(self):
+        """The tiered cache, or ``None`` when no store is configured."""
+        return self._tiers
+
     def stats(self) -> dict[str, object]:
         """One JSON-safe snapshot across cache, executor, and service."""
         with self._lock:
@@ -219,15 +300,21 @@ class LabelService:
                 "builds": self._builds,
                 "cache_enabled": self._use_cache,
             }
-        return {
+        snapshot: dict[str, object] = {
             "service": service,
             "cache": self._cache.stats().as_dict(),
             "executor": self._executor.stats(),
         }
+        if self._tiers is not None:
+            snapshot["tiers"] = self._tiers.stats()
+            snapshot["store"] = self._store.stats()
+        return snapshot
 
     def shutdown(self) -> None:
-        """Stop the worker pools (the cache needs no teardown)."""
+        """Stop the worker pools and close the store (if any)."""
         self._executor.shutdown()
+        if self._store is not None:
+            self._store.close()
 
     def __enter__(self) -> "LabelService":
         return self

@@ -27,6 +27,7 @@ __all__ = [
     "SessionStateError",
     "EngineError",
     "ClusterError",
+    "StoreError",
 ]
 
 
@@ -123,6 +124,17 @@ class ClusterError(EngineError):
     error.  The coordinator catches it internally to fail chunks over to
     other workers (or the local backend); it only escapes to callers for
     misconfiguration (e.g. an unparsable worker address).
+    """
+
+
+class StoreError(EngineError):
+    """A durable label-store operation failed.
+
+    Raised when a store file is not a label store (or was written by a
+    newer engine whose schema this one cannot read), when a fingerprint
+    prefix is unknown or ambiguous, and for invalid store
+    configuration.  Never raised for a plain miss — lookups return
+    ``None`` so the tiered cache can fall through to a rebuild.
     """
 
 

@@ -1,0 +1,33 @@
+"""The durable label store: labels that survive the process.
+
+The paper frames a nutritional label as an artifact that *accompanies*
+a published ranking; this package makes it one.  Labels are persisted
+content-addressed in an SQLite file (WAL mode — safe to share between
+processes on one host), each with a provenance record of how it was
+built, and served through a two-tier cache so a restarted server
+warm-starts instead of re-running every Monte-Carlo loop.
+
+- :mod:`repro.store.schema` — versioned DDL plus the migration guard;
+- :mod:`repro.store.store` — :class:`LabelStore`: put/get by
+  fingerprint, byte-exact payloads, TTL/``max_bytes`` GC;
+- :mod:`repro.store.provenance` — :class:`LabelProvenance` records;
+- :mod:`repro.store.tiering` — :class:`TieredLabelCache`: the
+  in-memory L1 over the store as L2, with promotion counters.
+
+Opt in via ``LabelService(store_path=...)``, ``serve --store PATH``
+(or ``REPRO_LABEL_STORE``), and inspect with ``ranking-facts store``.
+"""
+
+from repro.store.provenance import LabelProvenance
+from repro.store.schema import SCHEMA_VERSION, ensure_schema
+from repro.store.store import LabelStore, StoredLabel
+from repro.store.tiering import TieredLabelCache
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ensure_schema",
+    "LabelProvenance",
+    "LabelStore",
+    "StoredLabel",
+    "TieredLabelCache",
+]

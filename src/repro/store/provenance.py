@@ -1,0 +1,165 @@
+"""Provenance: *how* a stored label was produced.
+
+A nutritional label is an audit artifact, so the store records an audit
+trail for the label itself: which table and design bytes produced it
+(the two fingerprint halves of the cache key), the full design recipe,
+the Monte-Carlo estimator parameters, which trial backend was requested
+and which actually ran, how long the build took, and which engine
+version built it.  A label fetched a year later can answer "would
+rebuilding this today give the same bytes?" — same fingerprints and
+engine version mean yes; a drifted design or engine shows up here
+before anyone re-runs the Monte-Carlo loop.
+
+Records are value objects; :class:`~repro.store.store.LabelStore`
+persists them beside the label payload and
+:meth:`~repro.engine.service.LabelService.build_label` captures one per
+fresh build.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Mapping
+from dataclasses import asdict, dataclass
+from typing import Any
+
+from repro.errors import StoreError
+
+__all__ = ["LabelProvenance"]
+
+
+@dataclass(frozen=True)
+class LabelProvenance:
+    """Everything recorded about one label build.
+
+    Attributes
+    ----------
+    fingerprint:
+        The label's content address (the store/cache key).
+    table_fingerprint / design_fingerprint:
+        The two halves of the key: data bytes and recipe bytes.
+    dataset_name:
+        Display name the label was built under (part of the key's
+        design half, since it renders into the label).
+    design:
+        The full canonical design mapping, as submitted.
+    trial_backend_requested / trial_backend_effective:
+        What the caller asked the Monte-Carlo trials to run on and what
+        actually ran (backends self-disable or fall back; labels are
+        byte-identical either way, so this is context, not cache key).
+    monte_carlo_trials / epsilon_count:
+        The stability estimator parameters: trials per epsilon and how
+        many epsilons each estimator sweeps.
+    build_seconds:
+        Wall time of the cold build that produced the payload.
+    engine_version:
+        ``repro.__version__`` at build time.
+    created_at:
+        Unix timestamp (wall clock — store files travel across hosts).
+    """
+
+    fingerprint: str
+    table_fingerprint: str
+    design_fingerprint: str
+    dataset_name: str
+    design: dict[str, Any]
+    trial_backend_requested: str
+    trial_backend_effective: str
+    monte_carlo_trials: int
+    epsilon_count: int
+    build_seconds: float
+    engine_version: str
+    created_at: float
+
+    @classmethod
+    def capture(
+        cls,
+        fingerprint: str,
+        table: Any,
+        design: Any,
+        dataset_name: str,
+        executor: Any,
+        build_seconds: float,
+        clock=time.time,
+    ) -> "LabelProvenance":
+        """Record a build that just happened inside the service.
+
+        ``table`` is a :class:`~repro.tabular.table.Table`, ``design``
+        a :class:`~repro.engine.jobs.LabelDesign`, and ``executor`` the
+        :class:`~repro.engine.executor.LabelExecutor` whose trial
+        backend ran the Monte-Carlo loop.
+        """
+        from repro import __version__
+        from repro.engine.fingerprint import design_fingerprint, table_fingerprint
+
+        backend = executor.trial_backend()
+        return cls(
+            fingerprint=fingerprint,
+            table_fingerprint=table_fingerprint(table),
+            design_fingerprint=design_fingerprint(
+                {"design": design.canonical_dict(), "dataset_name": dataset_name}
+            ),
+            dataset_name=dataset_name,
+            design=design.canonical_dict(),
+            trial_backend_requested=getattr(backend, "name", "unknown"),
+            trial_backend_effective=backend.effective_name,
+            monte_carlo_trials=design.monte_carlo_trials,
+            epsilon_count=len(design.monte_carlo_epsilons),
+            build_seconds=build_seconds,
+            engine_version=__version__,
+            created_at=clock(),
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe mapping (the HTTP and CLI representation)."""
+        return asdict(self)
+
+    def as_row(self) -> tuple:
+        """The ``provenance`` table's column values, in DDL order."""
+        return (
+            self.fingerprint,
+            self.table_fingerprint,
+            self.design_fingerprint,
+            self.dataset_name,
+            json.dumps(self.design, sort_keys=True, separators=(",", ":")),
+            self.trial_backend_requested,
+            self.trial_backend_effective,
+            self.monte_carlo_trials,
+            self.epsilon_count,
+            self.build_seconds,
+            self.engine_version,
+            self.created_at,
+        )
+
+    @classmethod
+    def from_row(cls, row: tuple) -> "LabelProvenance":
+        """Rebuild a record from one ``provenance`` table row."""
+        try:
+            design = json.loads(row[4])
+        except (json.JSONDecodeError, TypeError) as exc:
+            raise StoreError(
+                f"corrupt provenance design for {row[0]!r}: {exc}"
+            ) from exc
+        return cls(
+            fingerprint=row[0],
+            table_fingerprint=row[1],
+            design_fingerprint=row[2],
+            dataset_name=row[3],
+            design=design,
+            trial_backend_requested=row[5],
+            trial_backend_effective=row[6],
+            monte_carlo_trials=int(row[7]),
+            epsilon_count=int(row[8]),
+            build_seconds=float(row[9]),
+            engine_version=row[10],
+            created_at=float(row[11]),
+        )
+
+    @classmethod
+    def from_mapping(cls, body: Mapping[str, Any]) -> "LabelProvenance":
+        """Rebuild a record from its :meth:`as_dict` form."""
+        try:
+            return cls(**dict(body))
+        except TypeError as exc:
+            raise StoreError(f"bad provenance mapping: {exc}") from exc

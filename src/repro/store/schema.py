@@ -1,0 +1,122 @@
+"""The label store's DDL, schema version, and migration guard.
+
+A store file outlives any one engine build, so the schema is versioned
+with SQLite's ``user_version`` pragma and every open goes through
+:func:`ensure_schema`, which distinguishes four situations:
+
+- **fresh file** (``user_version == 0``, no tables) — the current DDL
+  is created and the version stamped;
+- **current file** — nothing to do;
+- **older file** — the migration steps between its version and
+  :data:`SCHEMA_VERSION` are applied in order; a missing step is a
+  hard :class:`~repro.errors.StoreError` (refusing to guess beats
+  silently misreading a label archive);
+- **newer or foreign file** — a version above ours, or tables that are
+  not ours at version 0, is rejected: the file was written by a newer
+  engine (or is not a label store at all) and reading it could return
+  wrong bytes.
+
+The guard runs inside one transaction, so a crash mid-migration leaves
+the previous version intact.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from repro.errors import StoreError
+
+__all__ = ["SCHEMA_VERSION", "DDL", "MIGRATIONS", "ensure_schema"]
+
+#: bump on any DDL change, adding the migration step from the previous
+#: version to :data:`MIGRATIONS`
+SCHEMA_VERSION = 1
+
+#: the current schema, created wholesale on a fresh file
+DDL = (
+    """
+    CREATE TABLE labels (
+        fingerprint TEXT PRIMARY KEY,
+        payload     BLOB NOT NULL,
+        size_bytes  INTEGER NOT NULL,
+        created_at  REAL NOT NULL,
+        last_access REAL NOT NULL,
+        hits        INTEGER NOT NULL DEFAULT 0
+    )
+    """,
+    """
+    CREATE TABLE provenance (
+        fingerprint             TEXT PRIMARY KEY
+                                REFERENCES labels(fingerprint)
+                                ON DELETE CASCADE,
+        table_fingerprint       TEXT NOT NULL,
+        design_fingerprint      TEXT NOT NULL,
+        dataset_name            TEXT NOT NULL,
+        design                  TEXT NOT NULL,
+        trial_backend_requested TEXT NOT NULL,
+        trial_backend_effective TEXT NOT NULL,
+        monte_carlo_trials      INTEGER NOT NULL,
+        epsilon_count           INTEGER NOT NULL,
+        build_seconds           REAL NOT NULL,
+        engine_version          TEXT NOT NULL,
+        created_at              REAL NOT NULL
+    )
+    """,
+    "CREATE INDEX idx_labels_last_access ON labels(last_access)",
+    "CREATE INDEX idx_labels_created_at ON labels(created_at)",
+)
+
+#: ``{from_version: (sql, ...)}`` — the steps upgrading ``from_version``
+#: to ``from_version + 1``; every release that bumps
+#: :data:`SCHEMA_VERSION` must add its step here
+MIGRATIONS: dict[int, tuple[str, ...]] = {}
+
+
+def _has_tables(connection: sqlite3.Connection) -> bool:
+    row = connection.execute(
+        "SELECT COUNT(*) FROM sqlite_master WHERE type = 'table'"
+    ).fetchone()
+    return bool(row[0])
+
+
+def ensure_schema(connection: sqlite3.Connection, path: str = "<store>") -> None:
+    """Create or upgrade the schema; reject files we cannot read safely.
+
+    ``path`` only decorates error messages.  Raises
+    :class:`~repro.errors.StoreError` for newer-engine files, foreign
+    SQLite files, and missing migration steps.
+    """
+    version = connection.execute("PRAGMA user_version").fetchone()[0]
+    if version == SCHEMA_VERSION:
+        return
+    if version > SCHEMA_VERSION:
+        raise StoreError(
+            f"label store {path!r} has schema v{version}, but this engine "
+            f"only understands v{SCHEMA_VERSION}; it was written by a newer "
+            "engine — upgrade, or point at a different store file"
+        )
+    if version == 0:
+        if _has_tables(connection):
+            raise StoreError(
+                f"{path!r} is an SQLite file but not a label store "
+                "(it has tables yet no schema version); refusing to touch it"
+            )
+        with connection:  # one transaction: all of v1 or none of it
+            for statement in DDL:
+                connection.execute(statement)
+            connection.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+        return
+    # an older store: walk the migration chain one version at a time
+    while version < SCHEMA_VERSION:
+        steps = MIGRATIONS.get(version)
+        if steps is None:
+            raise StoreError(
+                f"label store {path!r} has schema v{version} and no "
+                f"migration step to v{version + 1} is known; refusing to "
+                "guess at its layout"
+            )
+        with connection:
+            for statement in steps:
+                connection.execute(statement)
+            connection.execute(f"PRAGMA user_version = {version + 1}")
+        version += 1

@@ -1,0 +1,435 @@
+"""The durable label store: a content-addressed L2 cache on SQLite.
+
+:class:`LabelStore` persists built labels keyed by the engine's content
+fingerprint (:mod:`repro.engine.fingerprint`), so labels survive the
+process: a restarted server warm-starts from disk, several server
+processes on one host share one archive, and every label carries a
+provenance record (:mod:`repro.store.provenance`) answering *how* it
+was produced.
+
+Design points:
+
+- **Byte-exact payloads.**  A label is stored as its pickle bytes
+  (``pickle.HIGHEST_PROTOCOL``) and served back from exactly those
+  bytes — :meth:`get_bytes` exposes them so tests can assert the
+  round trip is the identity.
+- **WAL mode.**  The database runs in write-ahead-log mode, so
+  concurrent readers never block the (serialized) writers — the mode
+  that makes one store file safe to share between processes.  A busy
+  timeout covers writer contention.
+- **Garbage collection, not eviction-on-read.**  Durable storage is
+  cheap, so bounds are applied by explicit or insert-time
+  :meth:`gc`: TTL-expired labels first, then oldest-``last_access``
+  labels until a ``max_bytes`` budget fits.  Reads bump
+  ``last_access``/``hits``, so the GC victim order is true LRU.
+- **Misses are ``None``.**  Only configuration and corruption raise
+  (:class:`~repro.errors.StoreError`); a miss must stay cheap because
+  the tiered cache (:mod:`repro.store.tiering`) falls through to a
+  rebuild on every one.
+
+One :class:`LabelStore` holds one connection guarded by a lock, which
+is the stdlib-safe shape for ``ThreadingHTTPServer`` handlers; open
+more instances (in the same or another process) for more concurrency.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sqlite3
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import StoreError
+from repro.store.provenance import LabelProvenance
+from repro.store.schema import ensure_schema
+
+__all__ = ["StoredLabel", "LabelStore"]
+
+#: pinned, not "whatever this interpreter defaults to": byte-exact
+#: round trips across processes require one protocol everywhere
+PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+@dataclass(frozen=True)
+class StoredLabel:
+    """One stored label's payload plus its accounting row."""
+
+    fingerprint: str
+    payload: bytes
+    size_bytes: int
+    created_at: float
+    last_access: float
+    hits: int
+
+    @property
+    def value(self) -> Any:
+        """The label, unpickled from the stored bytes."""
+        return pickle.loads(self.payload)
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-safe row for listings (no payload)."""
+        return {
+            "fingerprint": self.fingerprint,
+            "size_bytes": self.size_bytes,
+            "created_at": self.created_at,
+            "last_access": self.last_access,
+            "hits": self.hits,
+        }
+
+
+class LabelStore:
+    """Persistent fingerprint -> label mapping with provenance.
+
+    Parameters
+    ----------
+    path:
+        The SQLite file (created if missing, parent directory must
+        exist).  ``":memory:"`` works for tests but defeats the point.
+    max_bytes:
+        Optional payload budget; when an insert pushes the total past
+        it, :meth:`gc` trims expired then least-recently-accessed
+        labels until it fits.
+    ttl:
+        Optional label age limit in seconds (against ``created_at``);
+        an expired label reads as a miss and is dropped by the next GC.
+    timeout:
+        SQLite busy timeout in seconds (cross-process writer
+        contention).
+    clock:
+        Wall-clock source (``time.time``); injectable for tests.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        max_bytes: int | None = None,
+        ttl: float | None = None,
+        timeout: float = 30.0,
+        clock: Callable[[], float] = time.time,
+    ):
+        if max_bytes is not None and max_bytes < 1:
+            raise StoreError(f"store max_bytes must be >= 1, got {max_bytes}")
+        if ttl is not None and ttl <= 0:
+            raise StoreError(f"store ttl must be > 0 seconds, got {ttl}")
+        self.path = os.fspath(path)
+        self._max_bytes = max_bytes
+        self._ttl = ttl
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._puts = 0
+        self._gets = 0
+        self._hits = 0
+        self._misses = 0
+        self._expirations = 0
+        self._evictions = 0
+        self._decode_failures = 0
+        try:
+            self._connection = sqlite3.connect(
+                self.path, timeout=timeout, check_same_thread=False
+            )
+        except sqlite3.Error as exc:
+            raise StoreError(f"cannot open label store {self.path!r}: {exc}") from exc
+        try:
+            self._connection.execute("PRAGMA journal_mode=WAL")
+            self._connection.execute("PRAGMA synchronous=NORMAL")
+            self._connection.execute("PRAGMA foreign_keys=ON")
+            ensure_schema(self._connection, self.path)
+        except sqlite3.Error as exc:
+            self._connection.close()
+            raise StoreError(
+                f"{self.path!r} is not a usable label store: {exc}"
+            ) from exc
+        except StoreError:
+            self._connection.close()
+            raise
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def max_bytes(self) -> int | None:
+        """The configured payload budget (``None`` = unbounded)."""
+        return self._max_bytes
+
+    @property
+    def ttl(self) -> float | None:
+        """The configured label age limit (``None`` = immortal)."""
+        return self._ttl
+
+    # -- internals -------------------------------------------------------------
+
+    def _expired(self, created_at: float) -> bool:
+        return self._ttl is not None and self._clock() - created_at > self._ttl
+
+    def _gc_locked(self, max_bytes: int | None, ttl: float | None) -> dict[str, int]:
+        expired = evicted = 0
+        with self._connection:
+            if ttl is not None:
+                cursor = self._connection.execute(
+                    "DELETE FROM labels WHERE created_at < ?",
+                    (self._clock() - ttl,),
+                )
+                expired = cursor.rowcount
+            if max_bytes is not None:
+                # oldest-accessed first, but never the newest label: an
+                # oversized label still persists once (mirrors the L1
+                # cache's same guarantee); the total is aggregated once
+                # and adjusted per victim, not re-scanned
+                total, count = self._connection.execute(
+                    "SELECT COALESCE(SUM(size_bytes), 0), COUNT(*) FROM labels"
+                ).fetchone()
+                while total > max_bytes and count > 1:
+                    victim = self._connection.execute(
+                        "SELECT fingerprint, size_bytes FROM labels "
+                        "ORDER BY last_access ASC, fingerprint ASC LIMIT 1"
+                    ).fetchone()
+                    self._connection.execute(
+                        "DELETE FROM labels WHERE fingerprint = ?", (victim[0],)
+                    )
+                    total -= victim[1]
+                    count -= 1
+                    evicted += 1
+        self._expirations += expired
+        self._evictions += evicted
+        return {"expired": expired, "evicted": evicted}
+
+    # -- writes ----------------------------------------------------------------
+
+    def put(
+        self,
+        fingerprint: str,
+        value: Any,
+        provenance: LabelProvenance | None = None,
+    ) -> int:
+        """Persist one label (and its provenance); returns payload size.
+
+        An existing fingerprint is overwritten — the key is a content
+        hash, so the bytes can only be the same payload rebuilt.
+        """
+        try:
+            payload = pickle.dumps(value, protocol=PICKLE_PROTOCOL)
+        except Exception as exc:
+            raise StoreError(
+                f"label {fingerprint!r} is not picklable: {exc}"
+            ) from exc
+        now = self._clock()
+        with self._lock:
+            with self._connection:
+                self._connection.execute(
+                    "INSERT OR REPLACE INTO labels "
+                    "(fingerprint, payload, size_bytes, created_at, last_access, hits) "
+                    "VALUES (?, ?, ?, ?, ?, 0)",
+                    (fingerprint, payload, len(payload), now, now),
+                )
+                if provenance is not None:
+                    self._connection.execute(
+                        "INSERT OR REPLACE INTO provenance VALUES "
+                        "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                        provenance.as_row(),
+                    )
+            self._puts += 1
+            if self._max_bytes is not None or self._ttl is not None:
+                self._gc_locked(self._max_bytes, self._ttl)
+        return len(payload)
+
+    def gc(
+        self, max_bytes: int | None = None, ttl: float | None = None
+    ) -> dict[str, int]:
+        """Trim the store; returns ``{"expired": n, "evicted": m}``.
+
+        Arguments default to the instance's configured bounds; pass
+        explicit values for a one-off trim (the CLI's ``store gc``).
+        TTL-expired labels go first (they are dead weight regardless of
+        the budget), then least-recently-accessed labels until
+        ``max_bytes`` fits.
+        """
+        with self._lock:
+            return self._gc_locked(
+                max_bytes if max_bytes is not None else self._max_bytes,
+                ttl if ttl is not None else self._ttl,
+            )
+
+    def invalidate(self, fingerprint: str) -> bool:
+        """Drop one label (and its provenance); returns whether it existed."""
+        with self._lock:
+            with self._connection:
+                cursor = self._connection.execute(
+                    "DELETE FROM labels WHERE fingerprint = ?", (fingerprint,)
+                )
+            return cursor.rowcount > 0
+
+    # -- reads -----------------------------------------------------------------
+
+    def get_record(self, fingerprint: str) -> StoredLabel | None:
+        """The full stored row, or ``None`` on miss/expiry (counted)."""
+        with self._lock:
+            self._gets += 1
+            row = self._connection.execute(
+                "SELECT payload, size_bytes, created_at, last_access, hits "
+                "FROM labels WHERE fingerprint = ?",
+                (fingerprint,),
+            ).fetchone()
+            if row is not None and self._expired(row[2]):
+                with self._connection:
+                    self._connection.execute(
+                        "DELETE FROM labels WHERE fingerprint = ?", (fingerprint,)
+                    )
+                self._expirations += 1
+                row = None
+            if row is None:
+                self._misses += 1
+                return None
+            self._hits += 1
+            now = self._clock()
+            with self._connection:
+                self._connection.execute(
+                    "UPDATE labels SET last_access = ?, hits = hits + 1 "
+                    "WHERE fingerprint = ?",
+                    (now, fingerprint),
+                )
+            return StoredLabel(
+                fingerprint=fingerprint,
+                payload=row[0],
+                size_bytes=row[1],
+                created_at=row[2],
+                last_access=now,
+                hits=row[4] + 1,
+            )
+
+    def get(self, fingerprint: str) -> Any | None:
+        """The stored label, unpickled; ``None`` on miss or expiry.
+
+        An undecodable payload — disk corruption, or a label pickled
+        against a class layout this engine no longer has — is dropped
+        and served as a miss (counted in ``decode_failures``), so the
+        tiered cache rebuilds it instead of failing every request on
+        that fingerprint forever.
+        """
+        record = self.get_record(fingerprint)
+        if record is None:
+            return None
+        try:
+            return record.value
+        except Exception:
+            with self._lock:
+                self._decode_failures += 1
+            self.invalidate(fingerprint)
+            return None
+
+    def get_bytes(self, fingerprint: str) -> bytes | None:
+        """The exact stored payload bytes (byte-identity assertions)."""
+        record = self.get_record(fingerprint)
+        return None if record is None else record.payload
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT created_at FROM labels WHERE fingerprint = ?",
+                (fingerprint,),
+            ).fetchone()
+            return row is not None and not self._expired(row[0])
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._connection.execute(
+                "SELECT COUNT(*) FROM labels"
+            ).fetchone()[0]
+
+    def provenance(self, fingerprint: str) -> LabelProvenance | None:
+        """The provenance record for one label (``None`` if unrecorded)."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT * FROM provenance WHERE fingerprint = ?", (fingerprint,)
+            ).fetchone()
+        return None if row is None else LabelProvenance.from_row(row)
+
+    def resolve_prefix(self, prefix: str) -> str:
+        """Expand a fingerprint prefix to the unique full fingerprint.
+
+        Store fingerprints are 64 hex characters; the CLI accepts any
+        unambiguous prefix (like a VCS).  Raises
+        :class:`~repro.errors.StoreError` when nothing — or more than
+        one label — matches.
+        """
+        if not prefix:
+            raise StoreError("empty fingerprint prefix")
+        if not all(c in "0123456789abcdef" for c in prefix.lower()):
+            # reject, don't sanitize: stripping LIKE wildcards would
+            # make "%" silently resolve to an arbitrary label
+            raise StoreError(
+                f"fingerprint prefix {prefix!r} is not hex"
+            )
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT fingerprint FROM labels WHERE fingerprint LIKE ? LIMIT 2",
+                (prefix.lower() + "%",),
+            ).fetchall()
+        if not rows:
+            raise StoreError(f"no stored label matches fingerprint {prefix!r}")
+        if len(rows) > 1:
+            raise StoreError(
+                f"fingerprint prefix {prefix!r} is ambiguous; give more characters"
+            )
+        return rows[0][0]
+
+    def records(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """Listing rows (newest first): summaries plus dataset names."""
+        sql = (
+            "SELECT l.fingerprint, l.size_bytes, l.created_at, l.last_access, "
+            "l.hits, p.dataset_name, p.engine_version "
+            "FROM labels l LEFT JOIN provenance p USING (fingerprint) "
+            "ORDER BY l.created_at DESC"
+        )
+        if limit is not None:
+            sql += f" LIMIT {int(limit)}"
+        with self._lock:
+            rows = self._connection.execute(sql).fetchall()
+        return [
+            {
+                "fingerprint": row[0],
+                "size_bytes": row[1],
+                "created_at": row[2],
+                "last_access": row[3],
+                "hits": row[4],
+                "dataset_name": row[5],
+                "engine_version": row[6],
+            }
+            for row in rows
+        ]
+
+    # -- observability and lifecycle -------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Counters plus the on-disk totals (the ``/engine/stats`` shape)."""
+        with self._lock:
+            total, count = self._connection.execute(
+                "SELECT COALESCE(SUM(size_bytes), 0), COUNT(*) FROM labels"
+            ).fetchone()
+            return {
+                "path": self.path,
+                "labels": count,
+                "bytes": total,
+                "max_bytes": self._max_bytes,
+                "ttl": self._ttl,
+                "puts": self._puts,
+                "gets": self._gets,
+                "hits": self._hits,
+                "misses": self._misses,
+                "expirations": self._expirations,
+                "evictions": self._evictions,
+                "decode_failures": self._decode_failures,
+            }
+
+    def close(self) -> None:
+        """Close the connection (idempotent; further calls will fail)."""
+        with self._lock:
+            self._connection.close()
+
+    def __enter__(self) -> "LabelStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

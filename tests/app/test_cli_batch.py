@@ -129,12 +129,20 @@ class TestTrialBackendFlag:
         args = build_parser().parse_args([
             "serve", "--dataset", "cs-departments",
             "--weight", "GRE=1.0", "--sensitive", "DeptSizeBin",
-            "--trial-backend", "vectorized", "--allow-local-paths",
+            "--trial-backend", "vectorized", "--allow-local-paths", "/data",
+            "--store", "labels.db",
+            "--cache-max-bytes", "1048576", "--cache-ttl", "600",
         ])
         assert args.trial_backend == "vectorized"
-        assert args.allow_local_paths is True
+        assert args.allow_local_paths == "/data"
+        assert args.store == "labels.db"
+        assert args.cache_max_bytes == 1048576
+        assert args.cache_ttl == 600.0
         defaults = build_parser().parse_args([
             "serve", "--dataset", "cs-departments",
             "--weight", "GRE=1.0", "--sensitive", "DeptSizeBin",
         ])
-        assert defaults.allow_local_paths is False
+        assert defaults.allow_local_paths is None
+        assert defaults.store is None
+        assert defaults.cache_max_bytes is None
+        assert defaults.cache_ttl is None

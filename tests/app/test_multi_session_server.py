@@ -8,6 +8,7 @@ import urllib.request
 import pytest
 
 from repro.app.server import SessionRegistry, make_server
+from repro.errors import EngineError
 
 DESIGN = {
     "weights": {"PubCount": 0.4, "Faculty": 0.4, "GRE": 0.2},
@@ -342,7 +343,7 @@ class TestLocalPathPolicy:
         target.write_text(
             "name,group,x\na,g1,1\nb,g2,2\nc,g1,3\nd,g2,4\n", encoding="utf-8"
         )
-        with make_server(allow_local_paths=True) as handle:
+        with make_server(allow_local_paths=tmp_path) as handle:
             status, reply = post(handle, "/jobs", {"jobs": [{
                 "csv": str(target),
                 "design": {
@@ -353,6 +354,62 @@ class TestLocalPathPolicy:
             assert status == 202
             final = wait_for_batch(handle, reply["batch_id"])
             assert [row["status"] for row in final["jobs"]] == ["done"]
+
+    def test_paths_outside_the_sandbox_rejected(self, tmp_path):
+        sandbox = tmp_path / "allowed"
+        sandbox.mkdir()
+        (sandbox / "ok.csv").write_text(
+            "name,x\na,1\nb,2\n", encoding="utf-8"
+        )
+        secret = tmp_path / "secret.csv"
+        secret.write_text("name,x\na,1\n", encoding="utf-8")
+        with make_server(allow_local_paths=sandbox) as handle:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post(handle, "/jobs", {"jobs": [{
+                    "csv": str(secret),
+                    "design": {"weights": {"x": 1.0}, "sensitive": ["name"]},
+                }]})
+            assert excinfo.value.code == 400
+            body = json.loads(excinfo.value.read())
+            assert "outside the allowed directory" in body["error"]
+
+    def test_dotdot_escape_rejected(self, tmp_path):
+        sandbox = tmp_path / "allowed"
+        sandbox.mkdir()
+        secret = tmp_path / "secret.csv"
+        secret.write_text("name,x\na,1\n", encoding="utf-8")
+        with make_server(allow_local_paths=sandbox) as handle:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post(handle, "/jobs", {"jobs": [{
+                    "csv": str(sandbox / ".." / "secret.csv"),
+                    "design": {"weights": {"x": 1.0}, "sensitive": ["name"]},
+                }]})
+            assert excinfo.value.code == 400
+
+    def test_symlink_escaping_the_sandbox_rejected(self, tmp_path):
+        sandbox = tmp_path / "allowed"
+        sandbox.mkdir()
+        secret = tmp_path / "secret.csv"
+        secret.write_text("name,x\na,1\n", encoding="utf-8")
+        link = sandbox / "innocent.csv"
+        link.symlink_to(secret)
+        with make_server(allow_local_paths=sandbox) as handle:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post(handle, "/jobs", {"jobs": [{
+                    "csv": str(link),
+                    "design": {"weights": {"x": 1.0}, "sensitive": ["name"]},
+                }]})
+            assert excinfo.value.code == 400
+            body = json.loads(excinfo.value.read())
+            assert "outside the allowed directory" in body["error"]
+
+    def test_boolean_true_no_longer_accepted(self):
+        with pytest.raises(EngineError, match="directory"):
+            make_server(allow_local_paths=True)
+
+    def test_missing_sandbox_directory_rejected(self, tmp_path):
+        with pytest.raises(EngineError, match="not a directory"):
+            make_server(allow_local_paths=tmp_path / "does-not-exist")
 
     def test_fresh_token_survives_even_when_everything_else_is_pinned(self):
         """create() must never evict the session it just handed out."""

@@ -235,3 +235,30 @@ class TestServerLifecycle:
             assert other.address[1] != served.address[1]
             status, _, _ = get(other, "/health")
             assert status == 200
+
+
+class TestCacheBoundsWiring:
+    """serve --cache-max-bytes/--cache-ttl must reach /engine/stats."""
+
+    def test_flags_surface_in_engine_stats(self):
+        with make_server(cache_max_bytes=1 << 20, cache_ttl=900.0) as handle:
+            _, _, body = get(handle, "/engine/stats")
+            cache = json.loads(body)["cache"]
+            assert cache["max_bytes"] == 1 << 20
+            assert cache["ttl"] == 900.0
+
+    def test_env_vars_apply_when_flags_absent(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "2048")
+        monkeypatch.setenv("REPRO_CACHE_TTL", "30.5")
+        with make_server() as handle:
+            _, _, body = get(handle, "/engine/stats")
+            cache = json.loads(body)["cache"]
+            assert cache["max_bytes"] == 2048
+            assert cache["ttl"] == 30.5
+
+    def test_unbounded_by_default(self):
+        with make_server() as handle:
+            _, _, body = get(handle, "/engine/stats")
+            cache = json.loads(body)["cache"]
+            assert cache["max_bytes"] is None
+            assert cache["ttl"] is None

@@ -302,3 +302,72 @@ class TestTimeToLive:
         cache.put("a", 1)
         clock["now"] += 1e9
         assert cache.get("a") == 1
+
+
+class TestByteBudgetTTLInterplay:
+    """max_bytes + ttl together: expired entries die before live ones."""
+
+    @staticmethod
+    def bounded(max_bytes, cache_ttl):
+        clock = {"now": 100.0}
+        return clock, LabelCache(
+            max_size=32, max_bytes=max_bytes, ttl=cache_ttl,
+            clock=lambda: clock["now"],
+        )
+
+    def test_expired_but_largest_entry_evicted_before_live_entries(self):
+        import pickle
+
+        big = "x" * 4096
+        small = "y" * 64
+        # one byte short of fitting everything: the fourth insert is
+        # guaranteed to apply pressure
+        budget = len(pickle.dumps(big)) + 3 * len(pickle.dumps(small)) - 1
+        clock, cache = self.bounded(budget, 10.0)
+        cache.put("big", big)
+        clock["now"] += 5.0
+        cache.put("live-1", small)
+        cache.put("live-2", small)
+        # keep the expired entry *most* recently used, so plain LRU
+        # eviction would wrongly pick the live entries first
+        clock["now"] += 4.0
+        assert cache.get("big") == big
+        clock["now"] += 2.0  # big is now 11s old: expired; live-* are not
+        cache.put("live-3", small)  # pushes the total past the budget
+        assert "big" not in cache
+        assert "live-1" in cache and "live-2" in cache and "live-3" in cache
+        stats = cache.stats()
+        # the big entry's removal was an expiration, not an eviction
+        assert stats.expirations == 1
+        assert stats.evictions == 0
+
+    def test_counters_stay_consistent_when_both_mechanisms_fire(self):
+        import pickle
+
+        payload = "z" * 512
+        entry_size = len(pickle.dumps(payload))
+        clock, cache = self.bounded(3 * entry_size, 10.0)
+        cache.put("old-1", payload)
+        cache.put("old-2", payload)
+        clock["now"] += 11.0  # both old entries expire
+        cache.put("new-1", payload)
+        cache.put("new-2", payload)
+        cache.put("new-3", payload)
+        cache.put("new-4", payload)  # over budget among live entries only
+        stats = cache.stats()
+        assert stats.expirations == 2  # the two stale entries
+        assert stats.evictions == 1  # one live LRU entry (new-1)
+        assert "new-1" not in cache
+        assert "new-2" in cache and "new-3" in cache and "new-4" in cache
+        # byte accounting survived both paths
+        assert stats.bytes == 3 * entry_size
+        assert len(cache) == 3
+
+    def test_expired_sweep_only_runs_under_pressure(self):
+        clock, cache = self.bounded(None, 10.0)
+        cache.put("a", 1)
+        clock["now"] += 11.0
+        cache.put("b", 2)  # no byte budget, under max_size: no sweep
+        # the expired entry is still lazily dropped at lookup time
+        assert cache.get("a") is None
+        assert cache.stats().expirations == 1

@@ -1,0 +1,125 @@
+"""Tests for repro.store.schema: versioning and the migration guard."""
+
+import sqlite3
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store.schema import SCHEMA_VERSION, ensure_schema
+from repro.store.store import LabelStore
+
+
+def open_raw(path):
+    return sqlite3.connect(path)
+
+
+class TestFreshFile:
+    def test_creates_schema_and_stamps_version(self, tmp_path):
+        path = tmp_path / "fresh.db"
+        connection = open_raw(path)
+        ensure_schema(connection, str(path))
+        assert (
+            connection.execute("PRAGMA user_version").fetchone()[0]
+            == SCHEMA_VERSION
+        )
+        tables = {
+            row[0]
+            for row in connection.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        }
+        assert {"labels", "provenance"} <= tables
+        connection.close()
+
+    def test_idempotent_on_current_schema(self, tmp_path):
+        path = tmp_path / "twice.db"
+        connection = open_raw(path)
+        ensure_schema(connection, str(path))
+        ensure_schema(connection, str(path))  # must not raise or re-create
+        connection.close()
+
+    def test_reopen_through_label_store(self, tmp_path):
+        path = tmp_path / "store.db"
+        with LabelStore(path) as store:
+            store.put("a" * 64, {"x": 1})
+        with LabelStore(path) as store:
+            assert store.get("a" * 64) == {"x": 1}
+
+
+class TestGuards:
+    def test_newer_schema_rejected(self, tmp_path):
+        path = tmp_path / "future.db"
+        connection = open_raw(path)
+        ensure_schema(connection, str(path))
+        connection.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 5}")
+        connection.commit()
+        connection.close()
+        with pytest.raises(StoreError, match="newer engine"):
+            LabelStore(path)
+
+    def test_foreign_sqlite_file_rejected(self, tmp_path):
+        path = tmp_path / "not-a-store.db"
+        connection = open_raw(path)
+        connection.execute("CREATE TABLE somebody_elses_data (x INTEGER)")
+        connection.commit()
+        connection.close()
+        with pytest.raises(StoreError, match="not a label store"):
+            LabelStore(path)
+
+    def test_unmigratable_old_version_rejected(self, tmp_path):
+        # simulate a v1 file meeting an engine whose current version has
+        # no recorded migration step: user_version below current, step
+        # missing from MIGRATIONS
+        path = tmp_path / "old.db"
+        connection = open_raw(path)
+        ensure_schema(connection, str(path))
+        connection.close()
+
+        import repro.store.schema as schema_module
+
+        original = schema_module.SCHEMA_VERSION
+        schema_module.SCHEMA_VERSION = original + 1
+        try:
+            connection = open_raw(path)
+            with pytest.raises(StoreError, match="no.*migration step"):
+                ensure_schema(connection, str(path))
+            connection.close()
+        finally:
+            schema_module.SCHEMA_VERSION = original
+
+    def test_migration_steps_applied_in_order(self, tmp_path):
+        # with a registered step, the same old file upgrades cleanly
+        path = tmp_path / "upgradable.db"
+        connection = open_raw(path)
+        ensure_schema(connection, str(path))
+        connection.close()
+
+        import repro.store.schema as schema_module
+
+        original = schema_module.SCHEMA_VERSION
+        schema_module.SCHEMA_VERSION = original + 1
+        schema_module.MIGRATIONS[original] = (
+            "ALTER TABLE labels ADD COLUMN migrated INTEGER DEFAULT 1",
+        )
+        try:
+            connection = open_raw(path)
+            ensure_schema(connection, str(path))
+            assert (
+                connection.execute("PRAGMA user_version").fetchone()[0]
+                == original + 1
+            )
+            columns = {
+                row[1]
+                for row in connection.execute("PRAGMA table_info(labels)")
+            }
+            assert "migrated" in columns
+            connection.close()
+        finally:
+            schema_module.SCHEMA_VERSION = original
+            del schema_module.MIGRATIONS[original]
+
+    def test_not_sqlite_at_all_rejected(self, tmp_path):
+        path = tmp_path / "garbage.db"
+        path.write_bytes(b"this is not a database, it is a text file\n" * 20)
+        with pytest.raises(StoreError):
+            LabelStore(path)

@@ -1,0 +1,137 @@
+"""Cross-process safety: one store file, concurrent readers/writers.
+
+The store's whole point is to be shared — by a restarted server, and by
+several server processes on one host.  These tests assert the WAL-mode
+guarantees with *real* concurrency: a child process hammers the same
+file while the parent reads and writes through its own connection, and
+every label written by either side must come back intact.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import repro
+from repro.store.store import PICKLE_PROTOCOL, LabelStore
+
+#: the child must import repro however the parent did (editable install
+#: or a bare PYTHONPATH=src checkout)
+CHILD_ENV = {
+    **os.environ,
+    "PYTHONPATH": os.pathsep.join(
+        [str(Path(repro.__file__).parents[1]), os.environ.get("PYTHONPATH", "")]
+    ),
+}
+
+
+def fp(prefix: str, index: int) -> str:
+    return (f"{prefix}{index:04d}" + "0" * 64)[:64]
+
+
+#: the child's half of the workload: write N labels, read the parent's
+CHILD_SCRIPT = """
+import pickle, sys
+from repro.store.store import LabelStore
+
+path, count = sys.argv[1], int(sys.argv[2])
+with LabelStore(path) as store:
+    for index in range(count):
+        key = (f"child{index:04d}" + "0" * 64)[:64]
+        store.put(key, {"from": "child", "index": index, "pad": "x" * 256})
+    # read whatever the parent has managed to write so far — these must
+    # unpickle cleanly or not be visible at all, never half-written
+    seen = 0
+    for index in range(count):
+        key = (f"parent{index:04d}" + "0" * 64)[:64]
+        value = store.get(key)
+        if value is not None:
+            assert value["from"] == "parent", value
+            assert value["index"] == index, value
+            seen += 1
+print("child-ok", seen)
+"""
+
+COUNT = 25
+
+
+class TestTwoProcesses:
+    def test_concurrent_writers_no_corruption(self, tmp_path):
+        path = tmp_path / "shared.db"
+        parent = LabelStore(path)
+        child = subprocess.Popen(
+            [sys.executable, "-c", CHILD_SCRIPT, str(path), str(COUNT)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=CHILD_ENV,
+        )
+        # write the parent's labels while the child writes its own
+        for index in range(COUNT):
+            parent.put(
+                fp("parent", index),
+                {"from": "parent", "index": index, "pad": "y" * 256},
+            )
+        out, err = child.communicate(timeout=60)
+        assert child.returncode == 0, f"child failed:\n{out}\n{err}"
+        assert "child-ok" in out
+
+        # every label from both processes is present and intact
+        for index in range(COUNT):
+            assert parent.get(fp("parent", index))["index"] == index
+            child_value = parent.get(fp("child", index))
+            assert child_value == {
+                "from": "child", "index": index, "pad": "x" * 256,
+            }
+        assert len(parent) == 2 * COUNT
+        parent.close()
+
+    def test_wal_mode_is_actually_on(self, tmp_path):
+        with LabelStore(tmp_path / "wal.db") as store:
+            mode = store._connection.execute(
+                "PRAGMA journal_mode"
+            ).fetchone()[0]
+            assert mode.lower() == "wal"
+
+    def test_second_connection_sees_first_writes(self, tmp_path):
+        path = tmp_path / "pair.db"
+        writer = LabelStore(path)
+        reader = LabelStore(path)
+        writer.put(fp("w", 1), "written by the first connection")
+        assert reader.get(fp("w", 1)) == "written by the first connection"
+        # and byte-identically so
+        assert reader.get_bytes(fp("w", 1)) == pickle.dumps(
+            "written by the first connection", protocol=PICKLE_PROTOCOL
+        )
+        writer.close()
+        reader.close()
+
+
+class TestTwoThreadsOneStore:
+    def test_shared_instance_is_thread_safe(self, tmp_path):
+        store = LabelStore(tmp_path / "threads.db")
+        errors = []
+
+        def hammer(prefix):
+            try:
+                for index in range(50):
+                    store.put(fp(prefix, index), {"p": prefix, "i": index})
+                    assert store.get(fp(prefix, index)) == {
+                        "p": prefix, "i": index,
+                    }
+            except Exception as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(prefix,))
+            for prefix in ("aa", "bb", "cc", "dd")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(store) == 200
+        store.close()
