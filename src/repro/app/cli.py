@@ -11,6 +11,8 @@ Subcommands mirror the demo workflow:
 - ``ranking-facts batch`` — run many labels from a JSON spec through
   the engine (shared cache, concurrent jobs) in one invocation;
 - ``ranking-facts serve`` — start the demo web server;
+- ``ranking-facts stats`` — one readable engine/telemetry snapshot from
+  a running server (``--watch`` refreshes it in place);
 - ``ranking-facts store ls|show|gc|diff`` — inspect and maintain a
   durable label store (the archive ``serve --store`` writes);
 - ``ranking-facts worker`` — run a Monte-Carlo trial worker daemon
@@ -239,6 +241,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-ttl", type=float, default=None, metavar="SECONDS",
         help="in-memory label time-to-live in seconds "
         "(default: REPRO_CACHE_TTL, else entries never expire)",
+    )
+    serve.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        help="emit structured JSON logs on stderr at this level (debug, "
+        "info, ...), each line tagged with the request's trace id "
+        "(default: the REPRO_LOG_LEVEL environment variable, else quiet)",
+    )
+
+    stats = commands.add_parser(
+        "stats",
+        help="engine/telemetry snapshot from a running server's "
+        "/engine/stats endpoint",
+    )
+    stats.add_argument(
+        "--url", default="http://127.0.0.1:8000",
+        help="base URL of the running server (default http://127.0.0.1:8000)",
+    )
+    stats.add_argument(
+        "--watch", action="store_true",
+        help="refresh the snapshot continuously until Ctrl-C",
+    )
+    stats.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh period with --watch (default 2s)",
+    )
+    stats.add_argument(
+        "--raw", action="store_true",
+        help="print the raw /engine/stats JSON instead of the summary view",
     )
 
     store = commands.add_parser(
@@ -548,8 +578,114 @@ def _run_serve(args: argparse.Namespace) -> str:
         session, host=args.host, port=args.port,
         session_ttl=args.session_ttl,
         allow_local_paths=args.allow_local_paths,
+        log_level=args.log_level,
     )
     return ""  # serve_forever blocks; reached only on shutdown
+
+
+def _format_stats(stats: dict) -> str:
+    """The ``ranking-facts stats`` summary view of one ``/engine/stats``
+    snapshot.  Pure (dict in, text out) so tests need no server."""
+    lines: list[str] = []
+    service = stats.get("service") or {}
+    lines.append(
+        f"service:   {service.get('requests', 0)} request(s), "
+        f"{service.get('builds', 0)} build(s), cache "
+        + ("on" if service.get("cache_enabled", True) else "off")
+    )
+    cache = stats.get("cache") or {}
+    if cache:
+        lines.append(
+            f"cache:     {cache.get('hits', 0)} hit(s) / "
+            f"{cache.get('misses', 0)} miss(es), "
+            f"{cache.get('size', 0)} label(s) resident"
+        )
+    executor = stats.get("executor") or {}
+    if executor:
+        lines.append(
+            f"executor:  {executor.get('jobs_submitted', 0)} job(s) in "
+            f"{executor.get('batches_submitted', 0)} batch(es); trials on "
+            f"{executor.get('trial_backend_effective', '?')}"
+        )
+        cluster = executor.get("trial_cluster")
+        if isinstance(cluster, dict):
+            lines.append(
+                f"cluster:   {cluster.get('workers_alive', 0)}/"
+                f"{cluster.get('workers_configured', 0)} worker(s) alive; "
+                f"{cluster.get('chunks_remote', 0)} chunk(s) remote, "
+                f"{cluster.get('chunks_failed_over', 0)} failed over, "
+                f"{cluster.get('chunks_recovered_locally', 0)} recovered locally"
+            )
+    tiers = stats.get("tiers")
+    if isinstance(tiers, dict):
+        lines.append(
+            f"tiers:     l1 {tiers.get('l1_hits', 0)} hit(s), "
+            f"l2 {tiers.get('l2_hits', 0)} hit(s), "
+            f"{tiers.get('builds', 0)} build(s), "
+            f"{tiers.get('writes', 0)} write(s)"
+        )
+    store = stats.get("store")
+    if isinstance(store, dict):
+        lines.append(
+            f"store:     {store.get('labels', 0)} label(s), "
+            f"{store.get('bytes', 0)} byte(s) at {store.get('path', '?')}"
+        )
+    telemetry = stats.get("telemetry")
+    if isinstance(telemetry, dict):
+        metrics = telemetry.get("metrics") or {}
+        requests = (metrics.get("repro_http_requests_total") or {}).get(
+            "series"
+        ) or []
+        served = sum(int(series.get("value", 0)) for series in requests)
+        lines.append(
+            f"telemetry: {served} HTTP request(s) across "
+            f"{len(requests)} endpoint series, "
+            f"{len(metrics)} metric famil"
+            + ("y" if len(metrics) == 1 else "ies")
+        )
+        for trace in (telemetry.get("recent_traces") or [])[:5]:
+            duration = trace.get("duration")
+            millis = "?" if duration is None else f"{duration * 1000:.1f}"
+            lines.append(
+                f"  trace {str(trace.get('trace_id', ''))[:12]}  "
+                f"{trace.get('name', '?'):<18} {trace.get('status', '?'):<5} "
+                f"{millis:>8} ms"
+            )
+    return "\n".join(lines)
+
+
+def _run_stats(args: argparse.Namespace) -> str:
+    import json
+    import time
+    import urllib.request
+
+    url = args.url.rstrip("/") + "/engine/stats"
+
+    def fetch() -> dict:
+        try:
+            with urllib.request.urlopen(url, timeout=10) as response:
+                payload = json.load(response)
+        except (OSError, ValueError) as exc:
+            raise RankingFactsError(f"cannot fetch {url}: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise RankingFactsError(f"{url} did not return a JSON object")
+        return payload
+
+    def render(payload: dict) -> str:
+        if args.raw:
+            return json.dumps(payload, indent=2)
+        return _format_stats(payload)
+
+    if not args.watch:
+        return render(fetch())
+    try:
+        while True:
+            # clear + home, like `watch(1)`, so the view updates in place
+            print("\x1b[2J\x1b[H" + f"{args.url}  (Ctrl-C to stop)")
+            print(render(fetch()), flush=True)
+            time.sleep(max(args.interval, 0.1))
+    except KeyboardInterrupt:
+        return ""
 
 
 def _open_store(args: argparse.Namespace):
@@ -675,7 +811,8 @@ def _run_worker(args: argparse.Namespace) -> str:
     from repro.cluster.worker import serve_worker_forever
 
     serve_worker_forever(
-        host=args.host, port=args.port, backend=args.backend, workers=args.workers
+        host=args.host, port=args.port, backend=args.backend,
+        workers=args.workers, log_level=args.log_level,
     )
     return ""  # blocks; reached only on shutdown
 
@@ -688,6 +825,7 @@ _RUNNERS = {
     "mitigate": _run_mitigate,
     "batch": _run_batch,
     "serve": _run_serve,
+    "stats": _run_stats,
     "store": _run_store,
     "worker": _run_worker,
 }

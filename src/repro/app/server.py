@@ -24,8 +24,12 @@ Global routes:
 
 - ``GET  /``              — landing page with links;
 - ``GET  /health``        — liveness probe;
+- ``GET  /metrics``       — Prometheus exposition text: per-endpoint
+  request latency histograms, in-flight gauges, span durations, and
+  every other registry the process keeps (scrape this);
 - ``GET  /datasets``      — the built-in dataset registry as JSON;
-- ``GET  /engine/stats``  — cache / tier / store / executor counters;
+- ``GET  /engine/stats``  — cache / tier / store / executor counters,
+  plus a ``telemetry`` block (metric snapshot + recent traces);
 - ``POST /session``       — open a session; optional ``{"dataset":
   ..., "design": {...}}`` preloads it; returns ``{"token": ...}``;
 - ``GET  /sessions``      — tokens and stages of every open session;
@@ -73,6 +77,21 @@ from repro.engine.service import LabelService
 from repro.errors import EngineError, RankingFactsError
 from repro.label.render_html import render_html
 from repro.label.render_json import render_json
+from repro.telemetry import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRegistry,
+    configure_logging,
+    get_default_registry,
+    get_logger,
+    get_trace_buffer,
+    is_trace_id,
+    merged_stats,
+    new_trace_id,
+    render_prometheus,
+    span,
+)
+
+_log = get_logger("app.server")
 
 __all__ = [
     "SessionRegistry",
@@ -92,6 +111,7 @@ _LANDING_PAGE = """<!DOCTYPE html><html><head><meta charset="utf-8">
 <li><a href="/preview">ranking preview (JSON)</a></li>
 <li><a href="/datasets">built-in datasets (JSON)</a></li>
 <li><a href="/engine/stats">engine statistics (JSON)</a></li>
+<li><a href="/metrics">Prometheus metrics (text)</a></li>
 <li><a href="/labels">stored label archive (JSON; needs --store)</a></li>
 </ul>
 <p>Multi-session API: POST /session, then /session/&lt;token&gt;/...;
@@ -253,6 +273,51 @@ class SessionRegistry:
             return {t: s.stage.value for t, s in self._sessions.items()}
 
 
+#: session sub-routes with fixed names (anything else is collapsed, so
+#: client-invented paths cannot mint unbounded metric label values)
+_SESSION_SUBROUTES = frozenset({
+    "label", "label.html", "preview", "attributes", "status",
+    "close", "dataset", "design",
+})
+_TOP_ROUTES = frozenset({
+    "health", "metrics", "datasets", "sessions",
+    "label", "label.html", "preview", "attributes", "dataset", "design",
+})
+
+
+def _route_template(parts: list[str]) -> str:
+    """The bounded route label a request path falls under.
+
+    Metrics labels must come from a small fixed set — the raw path
+    embeds session tokens, batch ids, and fingerprints (unbounded
+    cardinality) and is attacker-controlled besides.
+    """
+    if not parts:
+        return "/"
+    head = parts[0]
+    if head == "session":
+        if len(parts) == 1:
+            return "/session"
+        if len(parts) == 3 and parts[2] in _SESSION_SUBROUTES:
+            return "/session/{token}/" + parts[2]
+        return "/session/{token}/{other}"
+    if head == "jobs":
+        return "/jobs" if len(parts) == 1 else "/jobs/{id}"
+    if head == "labels":
+        if len(parts) == 1:
+            return "/labels"
+        if len(parts) == 2:
+            return "/labels/{fp}"
+        if len(parts) == 3 and parts[1] == "diff":
+            return "/labels/{fp}/diff/{fp}"
+        return "/labels/{other}"
+    if parts == ["engine", "stats"]:
+        return "/engine/stats"
+    if len(parts) == 1 and head in _TOP_ROUTES:
+        return "/" + head
+    return "{unknown}"
+
+
 def _apply_dataset(session: DemoSession, body: dict) -> None:
     name = body.get("name")
     if not isinstance(name, str):
@@ -320,38 +385,108 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
     # resolved sandbox directory server-side "csv" paths must live
     # under; None disables local paths entirely
     local_path_root: "Path | None" = None
+    metrics: MetricsRegistry = None  # type: ignore[assignment]
+
+    # per-request state, initialized by _handle (class defaults so the
+    # helpers stay safe if a subclass calls them directly)
+    _status = 0
+    _trace_id: "str | None" = None
 
     server_version = "RankingFacts/2.0"
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # keep tests and CLI output clean
 
-    def _send(self, status: int, content_type: str, payload: str) -> None:
-        body = payload.encode("utf-8")
+    def _send_raw(self, status: int, content_type: str, body: bytes) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", f"{content_type}; charset=utf-8")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self._trace_id:
+            # echo the request's trace so a client (or curl -v) can
+            # grep server/worker logs for this exact request
+            self.send_header("X-Trace-Id", self._trace_id)
         self.end_headers()
         self.wfile.write(body)
+        self._status = status
+
+    def _send(self, status: int, content_type: str, payload: str) -> None:
+        self._send_raw(
+            status, f"{content_type}; charset=utf-8", payload.encode("utf-8")
+        )
 
     def _send_json(self, status: int, data: object) -> None:
         self._send(status, "application/json", json.dumps(data, indent=2))
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        try:
-            self._route_get()
-        except RankingFactsError as exc:
-            self._send_json(400, {"error": str(exc)})
-        except Exception as exc:  # pragma: no cover - defensive boundary
-            self._send_json(500, {"error": f"internal error: {exc}"})
+        self._handle("GET", self._route_get)
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._handle("POST", self._route_post)
+
+    def _handle(self, method: str, router: Callable[[], None]) -> None:
+        """Route one request inside a span, with per-endpoint metrics.
+
+        The request adopts the client's ``X-Trace-Id`` (32 hex chars)
+        when present — so a caller can stitch its own telemetry to the
+        server's — and mints a fresh trace id otherwise.  The span makes
+        the trace ambient for everything downstream on this thread:
+        engine spans, store spans, and the coordinator's wire frames all
+        inherit it.
+        """
+        route = _route_template(self._split()[0])
+        self._status = 0
+        claimed = (self.headers.get("X-Trace-Id") or "").strip().lower()
+        self._trace_id = claimed if is_trace_id(claimed) else new_trace_id()
+        inflight = self.metrics.gauge(
+            "repro_http_inflight_requests",
+            "HTTP requests currently being handled",
+            tag_names=("method",),
+        )
+        inflight.inc(method=method)
+        started = time.perf_counter()
         try:
-            self._route_post()
-        except RankingFactsError as exc:
-            self._send_json(400, {"error": str(exc)})
-        except Exception as exc:  # pragma: no cover - defensive boundary
-            self._send_json(500, {"error": f"internal error: {exc}"})
+            with span(
+                "http.request",
+                trace_id=self._trace_id,
+                registry=self.metrics,
+                method=method,
+                route=route,
+            ):
+                try:
+                    router()
+                except RankingFactsError as exc:
+                    self._send_json(400, {"error": str(exc)})
+                except Exception as exc:  # pragma: no cover - defensive boundary
+                    _log.error(
+                        "internal error on %s %s: %s", method, route, exc,
+                        extra={"trace_id": self._trace_id},
+                    )
+                    self._send_json(500, {"error": f"internal error: {exc}"})
+        finally:
+            inflight.dec(method=method)
+            elapsed = time.perf_counter() - started
+            status = str(self._status or 500)
+            self.metrics.histogram(
+                "repro_http_request_seconds",
+                "HTTP request latency by endpoint",
+                tag_names=("method", "route"),
+            ).observe(elapsed, method=method, route=route)
+            self.metrics.counter(
+                "repro_http_requests_total",
+                "HTTP requests served, by endpoint and status",
+                tag_names=("method", "route", "status"),
+            ).inc(method=method, route=route, status=status)
+            _log.debug(
+                "%s %s -> %s in %.6fs", method, route, status, elapsed,
+                extra={"trace_id": self._trace_id},
+            )
+
+    def _send_metrics(self) -> None:
+        """``GET /metrics``: one exposition page for the whole process."""
+        registries = [self.metrics, get_default_registry()]
+        registries.extend(self.registry.service.metrics_registries())
+        page = render_prometheus(*registries)
+        self._send_raw(200, PROMETHEUS_CONTENT_TYPE, page.encode("utf-8"))
 
     # -- helpers -----------------------------------------------------------------
 
@@ -438,10 +573,21 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
             self._send_json(
                 200, {"status": "ok", "sessions": len(sessions)}
             )
+        elif parts == ["metrics"]:
+            self._send_metrics()
         elif parts == ["datasets"]:
             self._send_json(200, {"datasets": list(list_datasets())})
         elif parts == ["engine", "stats"]:
-            self._send_json(200, self.registry.service.stats())
+            self._send_json(
+                200,
+                merged_stats(
+                    self.registry.service.stats,
+                    telemetry={
+                        "metrics": self.metrics.snapshot(),
+                        "recent_traces": get_trace_buffer().recent(10),
+                    },
+                ),
+            )
         elif parts == ["sessions"]:
             self._send_json(200, {"sessions": self.registry.tokens()})
         elif parts[0] == "session" and len(parts) == 3:
@@ -721,6 +867,7 @@ def make_server(
     store_path: str | None = None,
     cache_max_bytes: int | None = None,
     cache_ttl: float | None = None,
+    metrics_registry: MetricsRegistry | None = None,
 ) -> ServerHandle:
     """Bind a server (port 0 = ephemeral, for tests).
 
@@ -745,6 +892,12 @@ def make_server(
     ``cache_max_bytes``/``cache_ttl`` (or ``REPRO_CACHE_MAX_BYTES``/
     ``REPRO_CACHE_TTL``) bound the in-memory L1.  With a caller-built
     ``service`` or ``session``, configure those on the service itself.
+
+    ``metrics_registry`` scopes the server's HTTP metrics (in-flight
+    gauges, per-endpoint latency histograms, request counters) — tests
+    pass a fresh one for isolation; by default everything lands in the
+    process-wide registry, which ``GET /metrics`` renders alongside the
+    service's component registries.
 
     ``max_sessions`` bounds the registry (oldest-idle eviction past
     the cap) and ``session_ttl`` expires sessions idle longer than
@@ -782,6 +935,11 @@ def make_server(
             "registry": registry,
             "default_session": session,
             "local_path_root": local_path_root,
+            "metrics": (
+                metrics_registry
+                if metrics_registry is not None
+                else get_default_registry()
+            ),
         },
     )
     server = ThreadingHTTPServer((host, port), handler)
@@ -794,8 +952,17 @@ def serve_forever(
     port: int = 8000,
     session_ttl: float | None = None,
     allow_local_paths: "str | os.PathLike | None" = None,
+    log_level: str | None = None,
 ) -> None:
-    """Run the demo server until interrupted (the CLI's ``serve``)."""
+    """Run the demo server until interrupted (the CLI's ``serve``).
+
+    ``log_level`` (or ``REPRO_LOG_LEVEL``) turns on structured JSON
+    logs on stderr, each line carrying the request's trace id; unset,
+    the server stays as quiet as it always was.
+    """
+    log_level = log_level or os.environ.get("REPRO_LOG_LEVEL") or None
+    if log_level:
+        configure_logging(log_level)
     with make_server(
         session,
         host=host,

@@ -62,6 +62,15 @@ from repro.engine.backends import (
     run_trial_span,
 )
 from repro.errors import ClusterError
+from repro.telemetry import (
+    MetricsRegistry,
+    current_trace_id,
+    get_default_registry,
+    get_logger,
+    merged_stats,
+)
+
+_log = get_logger("cluster.coordinator")
 
 __all__ = [
     "WorkerClient",
@@ -246,10 +255,19 @@ class WorkerClient:
             )
         return health
 
-    def run_chunk(self, body: bytes, start: int, stop: int) -> list:
-        """``POST /trials`` for span ``[start, stop)``; verified results."""
+    def run_chunk(
+        self, body: bytes, start: int, stop: int, trace_id: "str | None" = None
+    ) -> list:
+        """``POST /trials`` for span ``[start, stop)``; verified results.
+
+        ``trace_id`` is stamped into the request frame so the worker's
+        logs and metrics correlate with the originating request.
+        """
         status, raw = self._request(
-            "POST", "/trials", wire.encode_request(body, start, stop), self.timeout
+            "POST",
+            "/trials",
+            wire.encode_request(body, start, stop, trace_id),
+            self.timeout,
         )
         if status != 200:
             try:
@@ -314,6 +332,11 @@ class RemoteTrialBackend:
         otherwise stall every run; with the throttle, the cost is paid
         at most once per interval and runs in between go straight to
         the live workers (or the local fallback).
+    registry:
+        The :class:`~repro.telemetry.MetricsRegistry` receiving the
+        coordinator's dispatch/failover latency histograms (default:
+        the process-wide registry).  Every chunk attempt observes
+        ``repro_cluster_chunk_seconds{worker, outcome}``.
     """
 
     name = "remote"
@@ -326,9 +349,17 @@ class RemoteTrialBackend:
         probe_timeout: float = 5.0,
         chunk_size: int | None = None,
         reprobe_interval: float = 10.0,
+        registry: MetricsRegistry | None = None,
     ):
         if chunk_size is not None and chunk_size < 1:
             raise ClusterError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.registry = registry if registry is not None else get_default_registry()
+        self._chunk_seconds = self.registry.histogram(
+            "repro_cluster_chunk_seconds",
+            "Latency of one chunk attempt, per worker and outcome "
+            "(ok, failed, trial_fault)",
+            tag_names=("worker", "outcome"),
+        )
         self._slots = [
             _WorkerSlot(WorkerClient(address, timeout, probe_timeout))
             for address in workers
@@ -427,8 +458,14 @@ class RemoteTrialBackend:
         start: int,
         stop: int,
         run_state: dict[str, int],
+        trace_id: "str | None" = None,
     ) -> list[Any]:
-        """One chunk: remote with failover, locally as the last resort."""
+        """One chunk: remote with failover, locally as the last resort.
+
+        ``trace_id`` is passed explicitly because chunk-pool threads do
+        not inherit the submitting thread's contextvars; it rides the
+        wire frame so the worker's telemetry carries the same trace.
+        """
         tried: set[int] = set()
         while True:
             slot = self._pick_worker(exclude=tried)
@@ -441,20 +478,39 @@ class RemoteTrialBackend:
                             f"chunk [{start}, {stop}) failed on "
                             f"{len(tried)} worker(s); re-run locally"
                         )
+                if tried:
+                    _log.warning(
+                        "chunk [%d, %d) exhausted %d worker(s); recovering locally",
+                        start, stop, len(tried), extra={"trace_id": trace_id},
+                    )
                 return run_trial_span(self._local, fn, payload, start, stop)
+            started = time.perf_counter()
             try:
-                results = slot.client.run_chunk(body, start, stop)
+                results = slot.client.run_chunk(body, start, stop, trace_id)
             except _TrialFaultError:
                 # the trial *function* raised on the worker: every other
                 # worker would fail identically, so skip failover, leave
                 # the worker alive, and re-run locally — a genuine bug
                 # re-raises here with its real traceback
+                self._chunk_seconds.observe(
+                    time.perf_counter() - started,
+                    worker=slot.client.address, outcome="trial_fault",
+                )
                 with self._lock:
                     slot.inflight -= 1
                     self._chunks_recovered_locally += 1
                     run_state["local"] += 1
+                _log.warning(
+                    "trial fault on %s for chunk [%d, %d); re-running locally",
+                    slot.client.address, start, stop,
+                    extra={"trace_id": trace_id},
+                )
                 return run_trial_span(self._local, fn, payload, start, stop)
             except ClusterError as exc:
+                self._chunk_seconds.observe(
+                    time.perf_counter() - started,
+                    worker=slot.client.address, outcome="failed",
+                )
                 tried.add(id(slot))
                 with self._lock:
                     slot.inflight -= 1
@@ -462,7 +518,16 @@ class RemoteTrialBackend:
                     slot.last_error = str(exc)
                     slot.failures += 1
                     self._chunk_failures += 1
+                _log.warning(
+                    "chunk [%d, %d) failed on %s; failing over: %s",
+                    start, stop, slot.client.address, exc,
+                    extra={"trace_id": trace_id},
+                )
                 continue
+            self._chunk_seconds.observe(
+                time.perf_counter() - started,
+                worker=slot.client.address, outcome="ok",
+            )
             with self._lock:
                 slot.inflight -= 1
                 slot.chunks += 1
@@ -470,6 +535,11 @@ class RemoteTrialBackend:
                 run_state["remote"] += 1
                 if tried:
                     self._chunks_failed_over += 1
+            _log.info(
+                "chunk [%d, %d) completed on %s",
+                start, stop, slot.client.address,
+                extra={"trace_id": trace_id},
+            )
             return results
 
     def run(self, fn: TrialFn, payload: Any, trials: int) -> list[Any]:
@@ -478,6 +548,10 @@ class RemoteTrialBackend:
             self._runs += 1
         if trials <= 0:
             return []
+        # captured here, on the submitting thread: the chunk pool's
+        # threads don't inherit contextvars, so the trace id travels as
+        # an explicit argument into each chunk (and onto the wire)
+        trace_id = current_trace_id()
         live = self._live_slots()
         if not live:
             reason = (
@@ -493,7 +567,11 @@ class RemoteTrialBackend:
         spans = _chunk_spans(trials, len(live), self._chunk_size)
         run_state = {"remote": 0, "local": 0}  # this run's chunk outcomes
         if len(spans) == 1:
-            chunks = [self._execute_chunk(body, fn, payload, *spans[0], run_state)]
+            chunks = [
+                self._execute_chunk(
+                    body, fn, payload, *spans[0], run_state, trace_id
+                )
+            ]
         else:
             with ThreadPoolExecutor(
                 max_workers=min(len(live), len(spans)),
@@ -502,7 +580,7 @@ class RemoteTrialBackend:
                 chunks = list(
                     pool.map(
                         lambda span: self._execute_chunk(
-                            body, fn, payload, *span, run_state
+                            body, fn, payload, *span, run_state, trace_id
                         ),
                         spans,
                     )
@@ -528,22 +606,24 @@ class RemoteTrialBackend:
         :meth:`repro.engine.executor.LabelExecutor.stats`.
         """
         with self._lock:
-            return {
-                "workers_configured": len(self._slots),
-                "workers_alive": sum(slot.alive for slot in self._slots),
-                "runs": self._runs,
-                "remote_runs": self._remote_runs,
-                "local_runs": self._local_runs,
-                "chunks_remote": self._chunks_remote,
-                "chunk_failures": self._chunk_failures,
-                "chunks_failed_over": self._chunks_failed_over,
-                "chunks_recovered_locally": self._chunks_recovered_locally,
-                "connection_reconnects": sum(
-                    slot.client.reconnects for slot in self._slots
-                ),
-                "fallback_reason": self.fallback_reason,
-                "local_backend": self._local.effective_name,
-                "workers": [
+            return merged_stats(
+                {
+                    "workers_configured": len(self._slots),
+                    "workers_alive": sum(slot.alive for slot in self._slots),
+                    "runs": self._runs,
+                    "remote_runs": self._remote_runs,
+                    "local_runs": self._local_runs,
+                    "chunks_remote": self._chunks_remote,
+                    "chunk_failures": self._chunk_failures,
+                    "chunks_failed_over": self._chunks_failed_over,
+                    "chunks_recovered_locally": self._chunks_recovered_locally,
+                    "connection_reconnects": sum(
+                        slot.client.reconnects for slot in self._slots
+                    ),
+                    "fallback_reason": self.fallback_reason,
+                    "local_backend": self._local.effective_name,
+                },
+                workers=[
                     {
                         "address": slot.client.address,
                         "alive": slot.alive,
@@ -554,7 +634,7 @@ class RemoteTrialBackend:
                     }
                     for slot in self._slots
                 ],
-            }
+            )
 
     def shutdown(self) -> None:
         """Release the local backend and connections (workers are not ours)."""

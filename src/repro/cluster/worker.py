@@ -17,8 +17,17 @@ A worker is a stdlib ``http.server`` daemon (the same substrate as
   coordinator will re-raise it locally).
 - ``GET /healthz``  — liveness + protocol version + backend names;
   the coordinator refuses to schedule onto a worker whose protocol
-  differs from its own.
-- ``GET /stats``    — chunk/trial/rejection/error counters.
+  differs from its own.  The probe's own response time is recorded in
+  the worker's metrics registry (``repro_worker_healthz_seconds``).
+- ``GET /stats``    — chunk/trial/rejection/error counters, daemon
+  ``uptime_seconds``, and the trace id of the last executed chunk.
+
+Telemetry: a chunk request frame may carry the originating request's
+trace id (:mod:`repro.cluster.wire`, protocol minor 1).  The worker
+adopts it — chunk spans, metrics, and structured log lines
+(``--log-level`` / ``REPRO_LOG_LEVEL``; :mod:`repro.telemetry.logging`)
+all carry the coordinator's trace id, so one label request can be
+followed across the process boundary.
 
 Failover semantics from the worker's side: a worker holds **no** batch
 state — each chunk is self-contained — so the coordinator can resend a
@@ -34,15 +43,27 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import socket
 import sys
 import threading
+import time
 from collections.abc import Sequence
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.cluster import wire
 from repro.engine.backends import resolve_trial_backend, run_trial_span
 from repro.errors import ClusterError
+from repro.telemetry import (
+    MetricsRegistry,
+    configure_logging,
+    get_default_registry,
+    get_logger,
+    merged_stats,
+    span,
+)
+
+_log = get_logger("cluster.worker")
 
 __all__ = [
     "TrialWorker",
@@ -61,61 +82,97 @@ class TrialWorker:
     transports) can drive it directly.
     """
 
-    def __init__(self, backend: str | None = None, workers: int | None = None):
+    def __init__(
+        self,
+        backend: str | None = None,
+        workers: int | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
         self.backend_requested = backend if backend is not None else "vectorized"
         if self.backend_requested == "remote":
             # a worker relaying to more workers would recurse
             raise ClusterError("a trial worker cannot use the 'remote' backend")
         self._backend = resolve_trial_backend(self.backend_requested, workers)
+        self.registry = registry if registry is not None else get_default_registry()
         self._lock = threading.Lock()
+        self._started = time.monotonic()
         self._chunks = 0
         self._trials = 0
         self._rejected = 0
         self._trial_errors = 0
+        self._last_trace_id: str | None = None
 
     def run_chunk(self, data: bytes) -> bytes:
         """Decode one request frame, execute the span, return the response frame.
 
         :class:`ClusterError` (bad frame) and trial-function exceptions
         propagate to the HTTP layer, which maps them to 400 and 500.
+        The frame's propagated trace id (if any) becomes the ambient
+        trace for the chunk's span and log lines, and is echoed in the
+        response frame.
         """
         try:
-            fn, payload, start, stop = wire.decode_request(data)
-        except ClusterError:
+            fn, payload, start, stop, trace_id = wire.decode_request(data)
+        except ClusterError as exc:
             with self._lock:
                 self._rejected += 1
+            _log.warning("rejected chunk frame: %s", exc)
             raise
+        with self._lock:
+            if trace_id is not None:
+                self._last_trace_id = trace_id
         try:
-            results = run_trial_span(self._backend, fn, payload, start, stop)
-        except Exception:
+            # adopting the coordinator's trace id makes this worker's
+            # span, metrics, and log lines correlatable with the
+            # originating request on the far side of the wire
+            with span(
+                "worker.chunk",
+                trace_id=trace_id,
+                registry=self.registry,
+                span_range=f"[{start}, {stop})",
+            ):
+                results = run_trial_span(self._backend, fn, payload, start, stop)
+        except Exception as exc:
             with self._lock:
                 self._trial_errors += 1
+            _log.error(
+                "trial function raised in chunk [%d, %d): %s", start, stop, exc,
+                extra={"trace_id": trace_id},
+            )
             raise
         with self._lock:
             self._chunks += 1
             self._trials += stop - start
-        return wire.encode_response(results, start, stop)
+        _log.info(
+            "executed chunk [%d, %d) on %s", start, stop,
+            self._backend.effective_name, extra={"trace_id": trace_id},
+        )
+        return wire.encode_response(results, start, stop, trace_id)
 
     def health(self) -> dict[str, object]:
         """The ``/healthz`` body: liveness plus compatibility facts."""
         return {
             "status": "ok",
             "protocol": wire.PROTOCOL_VERSION,
+            "protocol_minor": wire.PROTOCOL_MINOR,
             "backend": self.backend_requested,
             "backend_effective": self._backend.effective_name,
         }
 
     def stats(self) -> dict[str, object]:
-        """The ``/stats`` body: execution counters."""
+        """The ``/stats`` body: counters, uptime, last chunk's trace id."""
         with self._lock:
-            return {
+            counters = {
                 "chunks": self._chunks,
                 "trials": self._trials,
                 "rejected_frames": self._rejected,
                 "trial_errors": self._trial_errors,
                 "backend": self.backend_requested,
                 "backend_effective": self._backend.effective_name,
+                "uptime_seconds": time.monotonic() - self._started,
+                "last_trace_id": self._last_trace_id,
             }
+        return merged_stats(counters)
 
     def shutdown(self) -> None:
         """Release the local backend's resources (idempotent)."""
@@ -165,7 +222,14 @@ class _TrialWorkerHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         path = self.path.partition("?")[0]
         if path == "/healthz":
+            # the probe's own latency is a health signal: a loaded
+            # worker answers slowly long before it answers wrongly
+            started = time.perf_counter()
             self._send_json(200, self.worker.health())
+            self.worker.registry.histogram(
+                "repro_worker_healthz_seconds",
+                "Latency of this worker's own /healthz responses",
+            ).observe(time.perf_counter() - started)
         elif path == "/stats":
             self._send_json(200, self.worker.stats())
         else:
@@ -247,14 +311,17 @@ def make_worker(
     port: int = 0,
     backend: str | None = None,
     workers: int | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> WorkerHandle:
     """Bind a worker daemon (port 0 = ephemeral, for tests).
 
     ``backend`` names the local :class:`TrialBackend` chunks execute on
-    (default ``vectorized``); ``workers`` sizes pool backends.  The
-    returned handle is a context manager that starts serving on entry.
+    (default ``vectorized``); ``workers`` sizes pool backends;
+    ``registry`` scopes the daemon's metrics (default: process-wide).
+    The returned handle is a context manager that starts serving on
+    entry.
     """
-    worker = TrialWorker(backend=backend, workers=workers)
+    worker = TrialWorker(backend=backend, workers=workers, registry=registry)
     handler = type("BoundWorkerHandler", (_TrialWorkerHandler,), {"worker": worker})
     server = ThreadingHTTPServer((host, port), handler)
     server.live_connections = set()  # severed on stop(); see WorkerHandle
@@ -266,8 +333,17 @@ def serve_worker_forever(
     port: int = 8101,
     backend: str | None = None,
     workers: int | None = None,
+    log_level: str | None = None,
 ) -> None:
-    """Run a worker daemon until interrupted (the CLI's ``worker``)."""
+    """Run a worker daemon until interrupted (the CLI's ``worker``).
+
+    ``log_level`` (or ``REPRO_LOG_LEVEL``) turns on structured JSON
+    logs on stderr — chunk executions tagged with the coordinator's
+    propagated trace ids; unset, the daemon stays as quiet as before.
+    """
+    log_level = log_level or os.environ.get("REPRO_LOG_LEVEL") or None
+    if log_level:
+        configure_logging(log_level)
     with make_worker(host=host, port=port, backend=backend, workers=workers) as handle:
         print(
             f"Ranking Facts trial worker on {handle.url} "
@@ -297,6 +373,12 @@ def add_worker_arguments(parser: argparse.ArgumentParser) -> None:
         "--workers", type=int, default=None,
         help="worker count for thread/process backends (default: CPU count)",
     )
+    parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        help="emit structured JSON logs on stderr at this level (debug, "
+        "info, ...); default: the REPRO_LOG_LEVEL environment variable, "
+        "else quiet",
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -308,7 +390,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     add_worker_arguments(parser)
     args = parser.parse_args(argv)
     serve_worker_forever(
-        host=args.host, port=args.port, backend=args.backend, workers=args.workers
+        host=args.host, port=args.port, backend=args.backend,
+        workers=args.workers, log_level=args.log_level,
     )
     return 0
 

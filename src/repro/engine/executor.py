@@ -28,6 +28,7 @@ Batches are tracked by id, so a client can submit asynchronously
 
 from __future__ import annotations
 
+import contextvars
 import itertools
 import os
 import threading
@@ -42,6 +43,7 @@ from repro.engine.backends import (
 )
 from repro.engine.jobs import JobResult, JobStatus, LabelJob
 from repro.errors import EngineError
+from repro.telemetry import merged_stats, span
 
 __all__ = ["BatchHandle", "LabelExecutor"]
 
@@ -212,7 +214,18 @@ class LabelExecutor:
             self._batches_submitted += 1
             self._jobs_submitted += len(jobs)
         pool = self._jobs()
-        futures = [pool.submit(runner, job) for job in jobs]
+
+        def run_job(job: LabelJob) -> JobResult:
+            with span("executor.job", job_id=job.job_id, batch_id=batch_id):
+                return runner(job)
+
+        # each job gets its own copy of the *submitting* context, so a
+        # trace started by the HTTP request propagates into the pool
+        # thread (a shared Context cannot be entered concurrently)
+        futures = [
+            pool.submit(contextvars.copy_context().run, run_job, job)
+            for job in jobs
+        ]
         handle = BatchHandle(batch_id, jobs, futures)
         with self._lock:
             self._batches[batch_id] = handle
@@ -266,10 +279,9 @@ class LabelExecutor:
             stats["trial_scalar_fallbacks"] = backend.scalar_runs
         # the remote coordinator carries its own dispatch/failover
         # counters and per-worker registry state; surface them whole
-        backend_stats = getattr(backend, "stats", None)
-        if callable(backend_stats):
-            stats["trial_cluster"] = backend_stats()
-        return stats
+        return merged_stats(
+            stats, trial_cluster=getattr(backend, "stats", None)
+        )
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the job pool and the trial backend (idempotent)."""

@@ -39,6 +39,15 @@ from repro.engine.jobs import JobResult, JobStatus, LabelDesign, LabelJob
 from repro.errors import RankingFactsError
 from repro.label.builder import RankingFacts
 from repro.tabular.table import Table
+from repro.telemetry import (
+    MetricsRegistry,
+    get_default_registry,
+    get_logger,
+    merged_stats,
+    span,
+)
+
+_log = get_logger("engine.service")
 
 __all__ = ["LabelOutcome", "LabelService"]
 
@@ -155,6 +164,12 @@ class LabelService:
         self._lock = threading.Lock()
         self._builds = 0
         self._requests = 0
+        self._registry = get_default_registry()
+        self._tier_counter = self._registry.counter(
+            "repro_label_requests_total",
+            "Labels served, by tier (l1, l2, build)",
+            tag_names=("tier",),
+        )
 
     # -- the core: one label -------------------------------------------------------
 
@@ -175,6 +190,18 @@ class LabelService:
         )
         with self._lock:
             self._requests += 1
+        with span("label.build", fingerprint=key[:12], dataset=dataset_name):
+            outcome = self._serve_label(key, table, design, dataset_name)
+        self._tier_counter.inc(tier=outcome.tier)
+        _log.debug(
+            "label %s served from %s in %.6fs",
+            key[:12], outcome.tier, outcome.seconds,
+        )
+        return outcome
+
+    def _serve_label(
+        self, key: str, table: Table, design: LabelDesign, dataset_name: str
+    ) -> LabelOutcome:
         start = time.perf_counter()
 
         def build() -> RankingFacts:
@@ -292,6 +319,19 @@ class LabelService:
         """The tiered cache, or ``None`` when no store is configured."""
         return self._tiers
 
+    def metrics_registries(self) -> list[MetricsRegistry]:
+        """Every metric registry this service's components write to.
+
+        The server's ``GET /metrics`` renders these alongside its own;
+        component-scoped registries (a coordinator built with its own)
+        would otherwise be invisible to the scrape.
+        """
+        registries = [self._registry]
+        backend_registry = getattr(self._executor.trial_backend(), "registry", None)
+        if isinstance(backend_registry, MetricsRegistry):
+            registries.append(backend_registry)
+        return registries
+
     def stats(self) -> dict[str, object]:
         """One JSON-safe snapshot across cache, executor, and service."""
         with self._lock:
@@ -300,15 +340,13 @@ class LabelService:
                 "builds": self._builds,
                 "cache_enabled": self._use_cache,
             }
-        snapshot: dict[str, object] = {
-            "service": service,
-            "cache": self._cache.stats().as_dict(),
-            "executor": self._executor.stats(),
-        }
-        if self._tiers is not None:
-            snapshot["tiers"] = self._tiers.stats()
-            snapshot["store"] = self._store.stats()
-        return snapshot
+        return merged_stats(
+            {"service": service},
+            cache=self._cache.stats().as_dict,
+            executor=self._executor.stats,
+            tiers=self._tiers.stats if self._tiers is not None else None,
+            store=self._store.stats if self._store is not None else None,
+        )
 
     def shutdown(self) -> None:
         """Stop the worker pools and close the store (if any)."""

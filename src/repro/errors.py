@@ -28,6 +28,7 @@ __all__ = [
     "EngineError",
     "ClusterError",
     "StoreError",
+    "TelemetryError",
 ]
 
 
@@ -135,6 +136,16 @@ class StoreError(EngineError):
     prefix is unknown or ambiguous, and for invalid store
     configuration.  Never raised for a plain miss — lookups return
     ``None`` so the tiered cache can fall through to a rebuild.
+    """
+
+
+class TelemetryError(RankingFactsError):
+    """The telemetry layer was misconfigured or misused.
+
+    Raised for metric-registry misuse (re-registering a name as a
+    different kind, updating with the wrong tag names — always a bug in
+    instrumentation code, never a runtime condition) and for an unknown
+    log level handed to ``configure_logging``.
     """
 
 

@@ -46,6 +46,7 @@ from typing import Any
 from repro.errors import StoreError
 from repro.store.provenance import LabelProvenance
 from repro.store.schema import ensure_schema
+from repro.telemetry import span
 
 __all__ = ["StoredLabel", "LabelStore"]
 
@@ -216,7 +217,7 @@ class LabelStore:
                 f"label {fingerprint!r} is not picklable: {exc}"
             ) from exc
         now = self._clock()
-        with self._lock:
+        with span("store.put", fingerprint=fingerprint[:12]), self._lock:
             with self._connection:
                 self._connection.execute(
                     "INSERT OR REPLACE INTO labels "
@@ -265,7 +266,7 @@ class LabelStore:
 
     def get_record(self, fingerprint: str) -> StoredLabel | None:
         """The full stored row, or ``None`` on miss/expiry (counted)."""
-        with self._lock:
+        with span("store.get", fingerprint=fingerprint[:12]), self._lock:
             self._gets += 1
             row = self._connection.execute(
                 "SELECT payload, size_bytes, created_at, last_access, hits "

@@ -28,6 +28,7 @@ from typing import Any
 from repro.engine.cache import LabelCache
 from repro.store.provenance import LabelProvenance
 from repro.store.store import LabelStore
+from repro.telemetry import span
 
 __all__ = ["TieredLabelCache"]
 
@@ -90,8 +91,11 @@ class TieredLabelCache:
                 self._writes += 1
             return value
 
-        value, l1_cached = self._l1.get_or_build(key, fill)
-        tier = "l1" if l1_cached else state["tier"]
+        with span("tiers.get_or_build", fingerprint=key[:12]) as tier_span:
+            value, l1_cached = self._l1.get_or_build(key, fill)
+            tier = "l1" if l1_cached else state["tier"]
+            # the decision this span exists to record: which tier served
+            tier_span.tags["tier"] = tier
         with self._lock:
             if tier == "l1":
                 self._l1_hits += 1

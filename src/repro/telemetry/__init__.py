@@ -1,0 +1,66 @@
+"""Unified telemetry: metrics, tracing, structured logs, exporters.
+
+The observability layer every subsystem shares:
+
+- :mod:`repro.telemetry.registry` — thread-safe ``Counter`` / ``Gauge``
+  / ``Histogram`` families in a :class:`MetricsRegistry`, plus the
+  process-wide default registry and the :func:`merged_stats` helper the
+  ``stats()`` endpoints assemble themselves with;
+- :mod:`repro.telemetry.tracing` — trace/span ids, the contextvar
+  ``span()`` context manager, and the in-memory ring of recently
+  completed traces;
+- :mod:`repro.telemetry.logging` — JSON log formatter that auto-injects
+  the active trace/span ids; ``configure_logging`` opts a process in
+  (quiet by default);
+- :mod:`repro.telemetry.exporters` — Prometheus text-format rendering,
+  served at the app server's ``GET /metrics``.
+"""
+
+from repro.telemetry.exporters import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.telemetry.logging import JSONLogFormatter, configure_logging, get_logger
+from repro.telemetry.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_default_registry,
+    merged_stats,
+    set_default_registry,
+)
+from repro.telemetry.tracing import (
+    Span,
+    TraceBuffer,
+    current_span,
+    current_trace_id,
+    get_trace_buffer,
+    is_trace_id,
+    new_span_id,
+    new_trace_id,
+    span,
+)
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "render_prometheus",
+    "JSONLogFormatter",
+    "configure_logging",
+    "get_logger",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_default_registry",
+    "merged_stats",
+    "set_default_registry",
+    "Span",
+    "TraceBuffer",
+    "current_span",
+    "current_trace_id",
+    "get_trace_buffer",
+    "is_trace_id",
+    "new_span_id",
+    "new_trace_id",
+    "span",
+]

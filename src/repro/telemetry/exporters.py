@@ -1,0 +1,114 @@
+"""Prometheus text-format rendering of one or more metric registries.
+
+:func:`render_prometheus` produces exposition-format 0.0.4 text — the
+format every Prometheus-compatible scraper (Prometheus, VictoriaMetrics,
+Grafana Agent...) accepts — from :class:`~repro.telemetry.registry.
+MetricsRegistry` snapshots.  Served by the app server's ``GET
+/metrics``.
+
+Renders several registries in one page because the process keeps
+component-scoped registries (a coordinator or store constructed with
+its own) alongside the process-wide default; duplicate registry
+objects are skipped, and a family name appearing in two registries is
+emitted once with the union of its series (first registry wins on
+``HELP`` text).
+
+Conventions honored:
+
+- counters are registered with a ``_total``-suffixed name and typed
+  ``counter``;
+- histograms render cumulative ``_bucket{le="..."}`` series (the
+  registry stores per-bucket counts; the cumulation happens here),
+  plus ``_sum`` and ``_count``;
+- label values escape backslash, double-quote, and newline; ``HELP``
+  text escapes backslash and newline.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = ["PROMETHEUS_CONTENT_TYPE", "render_prometheus"]
+
+#: the Content-Type a /metrics response must declare
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    as_int = int(value)
+    return str(as_int) if value == as_int else repr(value)
+
+
+def _labels(tags: tuple, extra: "tuple[tuple[str, str], ...]" = ()) -> str:
+    pairs = tuple(tags) + tuple(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(str(value))}"' for name, value in pairs
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(*registries: MetricsRegistry) -> str:
+    """The exposition page for ``registries`` (deduplicated, sorted)."""
+    seen_registries: list[MetricsRegistry] = []
+    for registry in registries:
+        if not any(registry is existing for existing in seen_registries):
+            seen_registries.append(registry)
+
+    # family name -> (family, [series...]): union series across registries
+    families: dict[str, tuple[object, list]] = {}
+    for registry in seen_registries:
+        for family in registry.families():
+            entry = families.get(family.name)
+            if entry is None:
+                families[family.name] = (family, list(family.series()))
+            else:
+                entry[1].extend(family.series())
+
+    lines: list[str] = []
+    for name in sorted(families):
+        family, series = families[name]
+        if family.help:
+            lines.append(f"# HELP {name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {name} {family.kind}")
+        if isinstance(family, Histogram):
+            for tags, cell in series:
+                cumulative = 0
+                for bound, count in zip(family.buckets, cell.counts):
+                    cumulative += count
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_labels(tags, (('le', _format_value(bound)),))} "
+                        f"{cumulative}"
+                    )
+                cumulative += cell.counts[-1]
+                lines.append(
+                    f"{name}_bucket{_labels(tags, (('le', '+Inf'),))} "
+                    f"{cumulative}"
+                )
+                lines.append(f"{name}_sum{_labels(tags)} {_format_value(cell.sum)}")
+                lines.append(f"{name}_count{_labels(tags)} {cell.count}")
+        elif isinstance(family, (Counter, Gauge)):
+            for tags, cell in series:
+                lines.append(f"{name}{_labels(tags)} {_format_value(cell.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,119 @@
+"""Structured JSON logs that carry the active trace and span ids.
+
+Every subsystem logs through :func:`get_logger` (children of the
+``repro`` logger).  By default the tree is quiet — a ``NullHandler``
+on ``repro`` keeps ``logging.lastResort`` from printing stray warnings
+to stderr, and no level is forced, so CLI output is byte-identical to
+an unconfigured process (records still propagate to the root logger,
+which is how pytest's ``caplog`` sees them).
+
+:func:`configure_logging` opts in: one stderr handler with
+:class:`JSONLogFormatter`, which renders each record as a single JSON
+object and auto-injects the ambient trace/span ids from
+:mod:`repro.telemetry.tracing` — so a ``grep trace_id=...`` (or a jq
+filter) follows one request across the server, the coordinator, and a
+remote worker daemon.  A record may also carry *explicit*
+``trace_id``/``span_id`` attributes (via ``extra={...}``); those win
+over the ambient context, which is what cross-thread and cross-process
+call sites (the coordinator's chunk pool, the worker) use.
+
+Wired by ``serve --log-level`` / ``worker --log-level`` and the
+``REPRO_LOG_LEVEL`` environment variable.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO
+
+from repro.errors import TelemetryError
+from repro.telemetry.tracing import current_span
+
+__all__ = ["JSONLogFormatter", "configure_logging", "get_logger"]
+
+_ROOT_LOGGER = "repro"
+
+#: LogRecord attributes that are plumbing, not payload
+_RESERVED = frozenset(vars(logging.makeLogRecord({}))) | {
+    "message", "asctime", "taskName",
+}
+
+# quiet by default: a handler (even a null one) stops logging.lastResort
+# from printing un-configured WARNING+ records to stderr, while records
+# still propagate to the root logger for anyone (pytest) listening there
+logging.getLogger(_ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+class JSONLogFormatter(logging.Formatter):
+    """One JSON object per record, trace/span ids injected."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry: dict[str, object] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        active = current_span()
+        trace_id = getattr(record, "trace_id", None) or (
+            active.trace_id if active is not None else None
+        )
+        span_id = getattr(record, "span_id", None) or (
+            active.span_id if active is not None else None
+        )
+        if trace_id:
+            entry["trace_id"] = trace_id
+        if span_id:
+            entry["span_id"] = span_id
+        for key, value in record.__dict__.items():
+            if key.startswith("_") or key in _RESERVED or key in entry:
+                continue
+            entry[key] = value
+        if record.exc_info:
+            entry["exception"] = self.formatException(record.exc_info)
+        return json.dumps(entry, default=str)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child of the ``repro`` logger (``get_logger("cluster.worker")``)."""
+    if name == _ROOT_LOGGER or name.startswith(_ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_LOGGER}.{name}")
+
+
+def _resolve_level(level: "int | str") -> int:
+    if isinstance(level, int):
+        return level
+    resolved = logging.getLevelName(str(level).strip().upper())
+    if not isinstance(resolved, int):
+        raise TelemetryError(
+            f"unknown log level {level!r}; expected one of "
+            "debug, info, warning, error, critical (or a number)"
+        )
+    return resolved
+
+
+def configure_logging(
+    level: "int | str" = "info", stream: "IO[str] | None" = None
+) -> logging.Logger:
+    """Emit structured JSON logs for the ``repro`` tree at ``level``.
+
+    Idempotent: reconfiguring replaces the handler this function
+    installed earlier (never anyone else's), so tests and long-lived
+    processes can change the level without stacking duplicate handlers.
+    Propagation is switched off while configured — the JSON handler is
+    now the one sink, not a second copy next to the root logger's.
+    """
+    logger = logging.getLogger(_ROOT_LOGGER)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JSONLogFormatter())
+    handler._repro_telemetry = True  # type: ignore[attr-defined]
+    for existing in list(logger.handlers):
+        if getattr(existing, "_repro_telemetry", False):
+            logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.setLevel(_resolve_level(level))
+    logger.propagate = False
+    return logger

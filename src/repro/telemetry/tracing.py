@@ -1,0 +1,226 @@
+"""Request tracing: ids, a contextvars-propagated span, a trace buffer.
+
+A *trace* is one logical request — an HTTP call, a CLI label build —
+identified by a 32-hex-char ``trace_id`` (16 bytes, the width the
+cluster wire frame carries).  A *span* is one timed operation inside
+it: ``label.build``, ``store.get``, ``worker.chunk``.  Spans nest via a
+``contextvars.ContextVar``, so the active span follows the request
+through nested calls (and across threads wherever the caller copies
+its context, as the batch executor does); a span opened with no parent
+starts a fresh trace.
+
+Two things happen when a span closes:
+
+- its duration and outcome land in the ``repro_span_seconds`` histogram
+  of the target registry (tagged by span name and ``ok``/``error``), so
+  every instrumented operation gets a latency distribution for free;
+- the completed span is appended to an in-memory ring buffer
+  (:class:`TraceBuffer`), giving ``/engine/stats`` a "recently
+  completed traces" view without any storage backend.
+
+Cross-process propagation is explicit: the HTTP server accepts an
+``X-Trace-Id`` request header, and the cluster coordinator stamps the
+current trace id into its wire frames so worker logs and metrics carry
+the originating request's id (``span(..., trace_id=...)`` adopts a
+propagated id as the root of a local span tree).
+"""
+
+from __future__ import annotations
+
+import re
+import secrets
+import threading
+import time
+from collections import deque
+from collections.abc import Iterator
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+from repro.telemetry.registry import MetricsRegistry, get_default_registry
+
+__all__ = [
+    "TRACE_ID_BYTES",
+    "Span",
+    "TraceBuffer",
+    "current_span",
+    "current_trace_id",
+    "get_trace_buffer",
+    "is_trace_id",
+    "new_span_id",
+    "new_trace_id",
+    "span",
+]
+
+#: trace ids are 16 random bytes, hex-encoded (the wire frame's width)
+TRACE_ID_BYTES = 16
+
+_TRACE_ID_RE = re.compile(r"^[0-9a-f]{32}$")
+
+#: span-duration histogram buckets: spans range from sub-ms SQLite ops
+#: to multi-second Monte-Carlo builds
+_SPAN_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace id."""
+    return secrets.token_hex(TRACE_ID_BYTES)
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-char span id."""
+    return secrets.token_hex(8)
+
+
+def is_trace_id(value: object) -> bool:
+    """Whether ``value`` is a well-formed trace id (wire/header safe)."""
+    return isinstance(value, str) and bool(_TRACE_ID_RE.match(value))
+
+
+class Span:
+    """One timed operation within a trace (created by :func:`span`)."""
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id", "tags",
+        "started_at", "duration", "status", "error",
+    )
+
+    def __init__(self, name: str, trace_id: str, span_id: str,
+                 parent_id: str | None, tags: dict[str, str]):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.tags = tags
+        self.started_at = time.time()
+        self.duration: float | None = None
+        self.status = "ok"
+        self.error: str | None = None
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-safe form for ``/engine/stats`` and tests."""
+        entry: dict[str, object] = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "started_at": self.started_at,
+            "duration": self.duration,
+            "status": self.status,
+        }
+        if self.tags:
+            entry["tags"] = dict(self.tags)
+        if self.error is not None:
+            entry["error"] = self.error
+        return entry
+
+
+_current_span: ContextVar[Span | None] = ContextVar(
+    "repro_current_span", default=None
+)
+
+
+def current_span() -> Span | None:
+    """The active span in this context, if any."""
+    return _current_span.get()
+
+
+def current_trace_id() -> str | None:
+    """The active trace id in this context, if any."""
+    active = _current_span.get()
+    return None if active is None else active.trace_id
+
+
+class TraceBuffer:
+    """A bounded ring of recently completed spans (newest last)."""
+
+    def __init__(self, capacity: int = 256):
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._completed = 0
+
+    def record(self, span: Span) -> None:
+        """Append a completed span (oldest entries fall off the ring)."""
+        with self._lock:
+            self._spans.append(span)
+            self._completed += 1
+
+    def recent(self, limit: int | None = None) -> list[dict[str, object]]:
+        """The newest-first JSON-safe view (at most ``limit`` spans)."""
+        with self._lock:
+            spans = list(self._spans)
+        spans.reverse()
+        if limit is not None:
+            spans = spans[:limit]
+        return [entry.as_dict() for entry in spans]
+
+    @property
+    def completed(self) -> int:
+        """Total spans ever recorded (the ring only keeps the tail)."""
+        with self._lock:
+            return self._completed
+
+    def clear(self) -> None:
+        """Drop the buffered spans (tests)."""
+        with self._lock:
+            self._spans.clear()
+
+
+_default_buffer = TraceBuffer()
+
+
+def get_trace_buffer() -> TraceBuffer:
+    """The process-wide ring of recently completed spans."""
+    return _default_buffer
+
+
+@contextmanager
+def span(
+    name: str,
+    trace_id: str | None = None,
+    registry: MetricsRegistry | None = None,
+    buffer: TraceBuffer | None = None,
+    **tags: object,
+) -> Iterator[Span]:
+    """Open a span: times the block, records duration + outcome.
+
+    Nested calls become children of the active span; with no parent a
+    fresh trace starts.  ``trace_id`` adopts a propagated id (a wire
+    frame, an ``X-Trace-Id`` header) as this context's trace — it wins
+    over both the ambient trace and a fresh one.  An exception marks
+    the span ``error`` (with the exception's type and message) and
+    re-raises; the duration is recorded either way.
+    """
+    parent = _current_span.get()
+    if trace_id is not None and not is_trace_id(trace_id):
+        trace_id = None  # a malformed propagated id must not poison tracing
+    if trace_id is None:
+        trace_id = parent.trace_id if parent is not None else new_trace_id()
+    entry = Span(
+        name=name,
+        trace_id=trace_id,
+        span_id=new_span_id(),
+        parent_id=parent.span_id if parent is not None else None,
+        tags={key: str(value) for key, value in tags.items()},
+    )
+    token = _current_span.set(entry)
+    start = time.perf_counter()
+    try:
+        yield entry
+    except BaseException as exc:
+        entry.status = "error"
+        entry.error = f"{type(exc).__name__}: {exc}"
+        raise
+    finally:
+        entry.duration = time.perf_counter() - start
+        _current_span.reset(token)
+        (buffer if buffer is not None else _default_buffer).record(entry)
+        target = registry if registry is not None else get_default_registry()
+        target.histogram(
+            "repro_span_seconds",
+            "Duration of instrumented operations (spans), by name and outcome",
+            tag_names=("name", "status"),
+            buckets=_SPAN_BUCKETS,
+        ).observe(entry.duration, name=name, status=entry.status)

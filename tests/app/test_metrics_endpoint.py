@@ -1,0 +1,136 @@
+"""Tests for GET /metrics and the server's HTTP request telemetry."""
+
+import contextlib
+import re
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.app.server import make_server
+from repro.telemetry import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRegistry,
+    is_trace_id,
+)
+
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+@pytest.fixture(scope="module")
+def served():
+    # a module-private registry keeps the assertions below independent
+    # of whatever other test modules did to the process-wide default
+    with make_server(metrics_registry=MetricsRegistry()) as handle:
+        yield handle
+
+
+def fetch(handle, path, headers=None):
+    request = urllib.request.Request(handle.url + path, headers=headers or {})
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def request_samples(text, family="repro_http_requests_total"):
+    """``(labels, value)`` for each series of ``family`` in the page."""
+    samples = []
+    for line in text.splitlines():
+        if not line.startswith(family + "{"):
+            continue
+        labeled, _, value = line.rpartition(" ")
+        samples.append((dict(_LABEL.findall(labeled)), float(value)))
+    return samples
+
+
+def settle(read, target, timeout=5.0):
+    """Poll ``read()`` until it reaches ``target``: request counters are
+    incremented after the response is flushed, so a scrape racing the
+    previous request's bookkeeping may briefly run one behind."""
+    deadline = time.monotonic() + timeout
+    value = read()
+    while value < target and time.monotonic() < deadline:
+        time.sleep(0.02)
+        value = read()
+    return value
+
+
+class TestMetricsEndpoint:
+    def test_scrape_returns_prometheus_exposition_text(self, served):
+        fetch(served, "/health")  # mint at least one request sample
+
+        def health_series():
+            _, _, body = fetch(served, "/metrics")
+            return len(
+                [
+                    labels
+                    for labels, _ in request_samples(body.decode("utf-8"))
+                    if labels.get("route") == "/health"
+                ]
+            )
+
+        assert settle(health_series, 1) >= 1
+        status, headers, body = fetch(served, "/metrics")
+        text = body.decode("utf-8")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert "# TYPE repro_http_request_seconds histogram" in text
+        assert "# TYPE repro_http_inflight_requests gauge" in text
+        assert "repro_http_request_seconds_bucket" in text
+        health = [
+            labels
+            for labels, _ in request_samples(text)
+            if labels.get("route") == "/health"
+        ]
+        assert health and all(
+            labels["method"] == "GET" and labels["status"] == "200"
+            for labels in health
+        )
+
+    def test_request_counters_are_monotone_across_scrapes(self, served):
+        def health_count():
+            _, _, body = fetch(served, "/metrics")
+            return sum(
+                value
+                for labels, value in request_samples(body.decode("utf-8"))
+                if labels.get("route") == "/health"
+            )
+
+        fetch(served, "/health")
+        before = settle(health_count, 1)
+        fetch(served, "/health")
+        fetch(served, "/health")
+        assert settle(health_count, before + 2) == before + 2
+
+    def test_every_response_carries_a_trace_id(self, served):
+        _, headers, _ = fetch(served, "/health")
+        assert is_trace_id(headers["X-Trace-Id"])
+
+    def test_a_valid_client_trace_id_is_adopted(self, served):
+        trace = "ab" * 16
+        _, headers, _ = fetch(served, "/health", {"X-Trace-Id": trace})
+        assert headers["X-Trace-Id"] == trace
+
+    def test_a_malformed_client_trace_id_is_replaced(self, served):
+        _, headers, _ = fetch(served, "/health", {"X-Trace-Id": "nonsense"})
+        assert is_trace_id(headers["X-Trace-Id"])
+        assert headers["X-Trace-Id"] != "nonsense"
+
+    def test_routes_are_templated_not_raw_paths(self, served):
+        # attacker-controlled path segments must not mint new series
+        for token in ("tok-one", "tok-two"):
+            with contextlib.suppress(urllib.error.HTTPError):
+                fetch(served, f"/session/{token}/label")
+        for path in ("/no-such-page", "/another-miss"):
+            with contextlib.suppress(urllib.error.HTTPError):
+                fetch(served, path)
+        _, _, body = fetch(served, "/metrics")
+        routes = {
+            labels["route"]
+            for labels, _ in request_samples(body.decode("utf-8"))
+        }
+        assert "/session/{token}/label" in routes
+        assert "{unknown}" in routes
+        assert not any("tok-one" in route for route in routes)
+        assert not any("no-such-page" in route for route in routes)

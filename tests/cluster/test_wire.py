@@ -21,10 +21,41 @@ class TestRoundTrip:
     def test_request_roundtrip(self):
         body = wire.encode_trial_work(square, {"base": 3})
         data = wire.encode_request(body, 4, 9)
-        fn, payload, start, stop = wire.decode_request(data)
+        fn, payload, start, stop, trace_id = wire.decode_request(data)
         assert fn is square
         assert payload == {"base": 3}
         assert (start, stop) == (4, 9)
+        assert trace_id is None  # no trace was stamped
+
+    def test_request_roundtrip_carries_the_trace_id(self):
+        body = wire.encode_trial_work(square, {"base": 3})
+        trace = "ab" * wire.TRACE_ID_BYTES
+        data = wire.encode_request(body, 4, 9, trace)
+        *_, trace_id = wire.decode_request(data)
+        assert trace_id == trace
+
+    def test_bad_trace_id_is_rejected_at_encode_time(self):
+        body = wire.encode_trial_work(square, {"base": 3})
+        with pytest.raises(ClusterError, match="bad trace id"):
+            wire.encode_request(body, 4, 9, "not-hex")
+        with pytest.raises(ClusterError, match="bad trace id"):
+            wire.encode_request(body, 4, 9, "abcd")  # too short
+
+    def test_legacy_minor0_frame_still_decodes(self):
+        # a minor-0 peer frames without the minor/trace fields; the
+        # digest proves which layout the sender used
+        body = wire.encode_trial_work(square, {"base": 3})
+        import hashlib
+
+        digest = hashlib.sha256(body).digest()
+        legacy = (
+            struct.pack(">4sHQQ32s", b"RFTC", wire.PROTOCOL_VERSION, 4, 9, digest)
+            + body
+        )
+        fn, payload, start, stop, trace_id = wire.decode_request(legacy)
+        assert fn is square
+        assert (start, stop) == (4, 9)
+        assert trace_id is None
 
     def test_response_roundtrip(self):
         data = wire.encode_response([1, 2, 3], 5, 8)

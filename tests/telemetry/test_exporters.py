@@ -1,0 +1,130 @@
+"""Tests for repro.telemetry.exporters: Prometheus exposition text.
+
+The rendering is validated by *parsing it back*: every sample line must
+split into a metric name, a well-formed label set, and a float value,
+and histogram bucket series must be cumulative and monotone — the
+properties a real Prometheus scraper depends on.
+"""
+
+import re
+
+from repro.telemetry import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRegistry,
+    render_prometheus,
+)
+
+_SAMPLE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?$")
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_samples(text):
+    """``(name, labels, value)`` for every non-comment line."""
+    samples = []
+    for line in text.strip().splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value = line.rpartition(" ")
+        match = _SAMPLE.match(name_part)
+        assert match, f"unparseable sample line: {line!r}"
+        labels = dict(_LABEL.findall(match.group(2) or ""))
+        samples.append((match.group(1), labels, float(value)))
+    return samples
+
+
+class TestCountersAndGauges:
+    def test_counter_renders_help_type_and_series(self):
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "jobs_total", "jobs executed", tag_names=("kind",)
+        )
+        counter.inc(kind="build")
+        counter.inc(2, kind="probe")
+        text = render_prometheus(registry)
+        assert "# HELP jobs_total jobs executed\n" in text
+        assert "# TYPE jobs_total counter\n" in text
+        assert 'jobs_total{kind="build"} 1\n' in text
+        assert 'jobs_total{kind="probe"} 2\n' in text
+
+    def test_gauge_renders_its_current_value(self):
+        registry = MetricsRegistry()
+        registry.gauge("inflight", "in-flight requests").set(3)
+        text = render_prometheus(registry)
+        assert "# TYPE inflight gauge\n" in text
+        assert "inflight 3\n" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("odd_total", "odd", tag_names=("path",)).inc(
+            path='a"b\\c\nd'
+        )
+        text = render_prometheus(registry)
+        assert 'odd_total{path="a\\"b\\\\c\\nd"} 1\n' in text
+        # and the escape round-trips through the parser
+        [(_, labels, _)] = parse_samples(text)
+        assert labels["path"] == 'a\\"b\\\\c\\nd'
+
+
+class TestHistograms:
+    def test_buckets_are_cumulative_and_inf_equals_count(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "lat_seconds", "latency", buckets=(0.1, 1.0)
+        )
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        samples = parse_samples(render_prometheus(registry))
+        buckets = {
+            labels["le"]: value
+            for name, labels, value in samples
+            if name == "lat_seconds_bucket"
+        }
+        assert buckets == {"0.1": 1, "1": 2, "+Inf": 3}
+        by_name = {
+            name: value for name, labels, value in samples if not labels
+        }
+        assert by_name["lat_seconds_count"] == 3
+        assert abs(by_name["lat_seconds_sum"] - 5.55) < 1e-9
+
+    def test_bucket_counts_are_monotone(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "lat_seconds", "latency", buckets=(0.01, 0.1, 1.0, 10.0)
+        )
+        for value in (0.005, 0.05, 0.05, 0.5, 2.0, 20.0):
+            histogram.observe(value)
+        counts = [
+            value
+            for name, labels, value in parse_samples(
+                render_prometheus(registry)
+            )
+            if name == "lat_seconds_bucket"
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 6  # +Inf is last and equals the observation count
+
+
+class TestMultiRegistry:
+    def test_duplicate_registry_objects_render_once(self):
+        registry = MetricsRegistry()
+        registry.counter("once_total", "once").inc()
+        text = render_prometheus(registry, registry)
+        assert text.count("once_total 1") == 1
+
+    def test_family_series_union_across_registries(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("hits_total", "hits", tag_names=("tier",)).inc(tier="l1")
+        second.counter("hits_total", "hits", tag_names=("tier",)).inc(
+            tier="l2"
+        )
+        text = render_prometheus(first, second)
+        assert text.count("# TYPE hits_total counter") == 1
+        assert 'hits_total{tier="l1"} 1\n' in text
+        assert 'hits_total{tier="l2"} 1\n' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+def test_content_type_is_the_prometheus_exposition_one():
+    assert PROMETHEUS_CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"

@@ -1,0 +1,127 @@
+"""Tests for repro.telemetry.logging: JSON records carrying trace ids."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    JSONLogFormatter,
+    MetricsRegistry,
+    TraceBuffer,
+    configure_logging,
+    get_logger,
+    span,
+)
+
+
+@pytest.fixture()
+def restored_logging():
+    """Snapshot the ``repro`` logger and restore it after the test."""
+    logger = logging.getLogger("repro")
+    handlers = list(logger.handlers)
+    level = logger.level
+    propagate = logger.propagate
+    yield logger
+    logger.handlers[:] = handlers
+    logger.setLevel(level)
+    logger.propagate = propagate
+
+
+def make_record(message, **attrs):
+    record = logging.LogRecord(
+        "repro.test", logging.INFO, __file__, 1, message, None, None
+    )
+    for key, value in attrs.items():
+        setattr(record, key, value)
+    return record
+
+
+class TestGetLogger:
+    def test_names_are_children_of_the_repro_tree(self):
+        assert get_logger("cluster.worker").name == "repro.cluster.worker"
+        assert get_logger("repro.app").name == "repro.app"
+        assert get_logger("repro").name == "repro"
+
+    def test_quiet_by_default(self):
+        # a NullHandler keeps logging.lastResort from printing stray
+        # warnings when nobody has called configure_logging
+        handlers = logging.getLogger("repro").handlers
+        assert any(
+            isinstance(handler, logging.NullHandler) for handler in handlers
+        )
+
+
+class TestJSONLogFormatter:
+    def test_renders_one_json_object(self):
+        entry = json.loads(JSONLogFormatter().format(make_record("hello %s")))
+        assert entry["message"] == "hello %s"
+        assert entry["level"] == "INFO"
+        assert entry["logger"] == "repro.test"
+        assert "trace_id" not in entry  # no ambient span, no noise
+
+    def test_ambient_trace_and_span_ids_are_injected(self):
+        formatter = JSONLogFormatter()
+        with span(
+            "op", registry=MetricsRegistry(), buffer=TraceBuffer()
+        ) as active:
+            entry = json.loads(formatter.format(make_record("inside")))
+        assert entry["trace_id"] == active.trace_id
+        assert entry["span_id"] == active.span_id
+
+    def test_explicit_ids_win_over_the_ambient_span(self):
+        # cross-thread/cross-process call sites pass extra={"trace_id": ...}
+        formatter = JSONLogFormatter()
+        with span("op", registry=MetricsRegistry(), buffer=TraceBuffer()):
+            entry = json.loads(
+                formatter.format(make_record("explicit", trace_id="ff" * 16))
+            )
+        assert entry["trace_id"] == "ff" * 16
+
+    def test_extra_fields_pass_through(self):
+        entry = json.loads(
+            JSONLogFormatter().format(make_record("payload", worker="w1"))
+        )
+        assert entry["worker"] == "w1"
+
+    def test_exceptions_are_rendered(self):
+        try:
+            raise RuntimeError("kaput")
+        except RuntimeError:
+            import sys
+
+            record = make_record("failed")
+            record.exc_info = sys.exc_info()
+        entry = json.loads(JSONLogFormatter().format(record))
+        assert "RuntimeError: kaput" in entry["exception"]
+
+
+class TestConfigureLogging:
+    def test_writes_json_lines_at_the_requested_level(self, restored_logging):
+        stream = io.StringIO()
+        configure_logging("info", stream)
+        logger = get_logger("test.sink")
+        logger.debug("too quiet")
+        logger.info("heard", extra={"worker": "w1"})
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 1
+        entry = json.loads(lines[0])
+        assert entry["message"] == "heard"
+        assert entry["worker"] == "w1"
+
+    def test_reconfiguring_does_not_stack_handlers(self, restored_logging):
+        configure_logging("info", io.StringIO())
+        configure_logging("debug", io.StringIO())
+        ours = [
+            handler
+            for handler in logging.getLogger("repro").handlers
+            if getattr(handler, "_repro_telemetry", False)
+        ]
+        assert len(ours) == 1
+        assert logging.getLogger("repro").level == logging.DEBUG
+
+    def test_unknown_level_is_rejected(self, restored_logging):
+        with pytest.raises(TelemetryError, match="unknown log level"):
+            configure_logging("loud", io.StringIO())

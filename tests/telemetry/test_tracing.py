@@ -1,0 +1,132 @@
+"""Tests for repro.telemetry.tracing: spans, ids, the trace buffer."""
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    TraceBuffer,
+    current_span,
+    current_trace_id,
+    is_trace_id,
+    new_span_id,
+    new_trace_id,
+    span,
+)
+
+
+class TestIds:
+    def test_trace_ids_are_32_hex_chars(self):
+        trace = new_trace_id()
+        assert is_trace_id(trace)
+        assert len(trace) == 32
+
+    def test_span_ids_are_16_hex_chars(self):
+        assert len(new_span_id()) == 16
+        assert new_span_id() != new_span_id()
+
+    def test_is_trace_id_rejects_malformed_values(self):
+        assert not is_trace_id("abcd")  # too short
+        assert not is_trace_id("Z" * 32)  # not hex
+        assert not is_trace_id("AB" * 16)  # uppercase is not wire format
+        assert not is_trace_id(None)
+        assert not is_trace_id(123)
+
+
+class TestSpan:
+    def test_root_span_starts_a_fresh_trace(self):
+        registry, buffer = MetricsRegistry(), TraceBuffer()
+        assert current_span() is None
+        with span("outer", registry=registry, buffer=buffer) as outer:
+            assert is_trace_id(outer.trace_id)
+            assert outer.parent_id is None
+            assert current_trace_id() == outer.trace_id
+        assert current_trace_id() is None  # context restored
+
+    def test_children_join_the_parents_trace(self):
+        registry, buffer = MetricsRegistry(), TraceBuffer()
+        with span("outer", registry=registry, buffer=buffer) as outer:
+            with span("inner", registry=registry, buffer=buffer) as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+
+    def test_propagated_trace_id_is_adopted(self):
+        registry, buffer = MetricsRegistry(), TraceBuffer()
+        trace = "ab" * 16
+        with span(
+            "worker.chunk", trace_id=trace, registry=registry, buffer=buffer
+        ) as entry:
+            assert entry.trace_id == trace
+
+    def test_propagated_id_wins_over_the_ambient_trace(self):
+        registry, buffer = MetricsRegistry(), TraceBuffer()
+        trace = "cd" * 16
+        with span("outer", registry=registry, buffer=buffer) as outer:
+            with span(
+                "adopted", trace_id=trace, registry=registry, buffer=buffer
+            ) as inner:
+                assert inner.trace_id == trace
+                assert inner.trace_id != outer.trace_id
+
+    def test_malformed_propagated_id_is_ignored(self):
+        registry, buffer = MetricsRegistry(), TraceBuffer()
+        with span(
+            "worker.chunk",
+            trace_id="not-a-trace",
+            registry=registry,
+            buffer=buffer,
+        ) as entry:
+            assert is_trace_id(entry.trace_id)
+            assert entry.trace_id != "not-a-trace"
+
+    def test_tags_are_stringified(self):
+        registry, buffer = MetricsRegistry(), TraceBuffer()
+        with span("op", registry=registry, buffer=buffer, n=3) as entry:
+            assert entry.tags == {"n": "3"}
+
+    def test_exception_marks_the_span_error_and_reraises(self):
+        registry, buffer = MetricsRegistry(), TraceBuffer()
+        with pytest.raises(ValueError, match="boom"):
+            with span("bad", registry=registry, buffer=buffer):
+                raise ValueError("boom")
+        [entry] = buffer.recent()
+        assert entry["status"] == "error"
+        assert entry["error"] == "ValueError: boom"
+        assert entry["duration"] >= 0
+        assert current_span() is None  # context restored despite the raise
+
+    def test_completed_spans_feed_the_duration_histogram(self):
+        registry, buffer = MetricsRegistry(), TraceBuffer()
+        with span("op", registry=registry, buffer=buffer):
+            pass
+        family = registry.snapshot()["repro_span_seconds"]
+        [series] = family["series"]
+        assert series["tags"] == {"name": "op", "status": "ok"}
+        assert series["count"] == 1
+
+
+class TestTraceBuffer:
+    def test_ring_keeps_only_the_newest_spans(self):
+        registry = MetricsRegistry()
+        buffer = TraceBuffer(capacity=2)
+        for name in ("a", "b", "c"):
+            with span(name, registry=registry, buffer=buffer):
+                pass
+        assert [entry["name"] for entry in buffer.recent()] == ["c", "b"]
+        assert buffer.completed == 3  # the total survives the ring
+
+    def test_recent_respects_the_limit(self):
+        registry = MetricsRegistry()
+        buffer = TraceBuffer()
+        for name in ("a", "b", "c"):
+            with span(name, registry=registry, buffer=buffer):
+                pass
+        assert [entry["name"] for entry in buffer.recent(1)] == ["c"]
+
+    def test_clear_drops_spans_but_not_the_total(self):
+        registry = MetricsRegistry()
+        buffer = TraceBuffer()
+        with span("a", registry=registry, buffer=buffer):
+            pass
+        buffer.clear()
+        assert buffer.recent() == []
+        assert buffer.completed == 1
