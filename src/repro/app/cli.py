@@ -90,6 +90,11 @@ def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--alpha", type=float, default=0.05, help="significance level (default 0.05)"
     )
+    parser.add_argument(
+        "--monte-carlo-trials", type=int, default=None, metavar="N",
+        help="Monte-Carlo trials for the stability detail (0 disables; "
+        "default: the session's built-in default)",
+    )
 
 
 def _load(session: DemoSession, args: argparse.Namespace) -> None:
@@ -101,6 +106,8 @@ def _load(session: DemoSession, args: argparse.Namespace) -> None:
 
 def _design(session: DemoSession, args: argparse.Namespace) -> None:
     session.set_normalization(not args.raw)
+    if getattr(args, "monte_carlo_trials", None) is not None:
+        session.set_monte_carlo(args.monte_carlo_trials)
     session.design_scoring(
         weights=_parse_weights(args.weight),
         sensitive_attribute=args.sensitive,
@@ -142,6 +149,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="text", help="output format (default text)",
     )
     label.add_argument("--output", help="write to this file instead of stdout")
+    label.add_argument(
+        "--stream", action="store_true",
+        help="print each widget to stderr as it finishes building "
+        "(cheapest first, Monte-Carlo stability last) before the "
+        "final label; the label itself is unchanged",
+    )
 
     mitigate = commands.add_parser(
         "mitigate",
@@ -241,6 +254,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-ttl", type=float, default=None, metavar="SECONDS",
         help="in-memory label time-to-live in seconds "
         "(default: REPRO_CACHE_TTL, else entries never expire)",
+    )
+    serve.add_argument(
+        "--max-streams", type=int, default=32, metavar="N",
+        help="maximum concurrently open SSE streams (label.stream / "
+        "POST /jobs?stream=1); requests past the cap get 503 "
+        "(default 32)",
     )
     serve.add_argument(
         "--log-level", default=None, metavar="LEVEL",
@@ -411,10 +430,44 @@ def _run_preview(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _stream_label_to_stderr(session: DemoSession) -> None:
+    """Consume a label event stream, narrating widgets on stderr.
+
+    Uses the same event protocol as the server's SSE endpoint, so the
+    CLI exercises (and demonstrates) incremental delivery: each widget
+    prints the moment it finishes building, with the Monte-Carlo-heavy
+    stability detail last.  The built label lands in the service cache;
+    the caller re-requests it through the session afterwards (a cache
+    hit) so rendering works on the real label object.
+    """
+    import sys
+
+    table, design, dataset_name = session.label_inputs()
+    events = session.service.stream_label(table, design, dataset_name)
+    for event in events.events(timeout=0.5):
+        if event is None:
+            continue  # idle tick; keep waiting
+        if event.kind == "widget":
+            if event.streamed and event.seconds is not None:
+                detail = f"built in {event.seconds:.3f}s"
+            else:
+                detail = "cached"  # replayed from a finished label
+            print(
+                f"  widget {event.name:<12} {detail}",
+                file=sys.stderr, flush=True,
+            )
+        elif event.kind == "error":
+            raise RankingFactsError(str(event.payload.get("error")))
+    if events.aborted:
+        raise RankingFactsError(f"label stream aborted: {events.abort_reason}")
+
+
 def _run_label(args: argparse.Namespace) -> str:
     session = DemoSession()
     _load(session, args)
     _design(session, args)
+    if args.stream:
+        _stream_label_to_stderr(session)
     facts = session.generate_label()
     if args.format == "json":
         payload = render_json(facts.label)
@@ -579,6 +632,7 @@ def _run_serve(args: argparse.Namespace) -> str:
         session_ttl=args.session_ttl,
         allow_local_paths=args.allow_local_paths,
         log_level=args.log_level,
+        max_streams=args.max_streams,
     )
     return ""  # serve_forever blocks; reached only on shutdown
 

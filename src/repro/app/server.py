@@ -34,7 +34,9 @@ Global routes:
   ..., "design": {...}}`` preloads it; returns ``{"token": ...}``;
 - ``GET  /sessions``      — tokens and stages of every open session;
 - ``POST /jobs``          — submit a batch: ``{"jobs": [{"dataset":
-  ..., "design": {...}}, ...]}``; returns ``{"batch_id": ...}``;
+  ..., "design": {...}}, ...]}``; returns ``{"batch_id": ...}``; with
+  ``?stream=1`` the response is instead a Server-Sent-Events stream
+  of per-job ``widget``/``label``/``error`` events;
 - ``GET  /jobs/<id>``     — poll a batch; ``?include=labels`` embeds
   finished labels as JSON.
 
@@ -44,6 +46,10 @@ Per-session routes (``<token>`` from ``POST /session``):
 - ``POST /session/<token>/design``   — commit weights/sensitive/...;
 - ``POST /session/<token>/close``    — forget the session;
 - ``GET  /session/<token>/label``    — the label as JSON;
+- ``GET  /session/<token>/label.stream`` — the same label built live,
+  streamed as SSE: one ``widget`` event per finished widget (cheapest
+  first, Monte-Carlo-heavy stability last), then a terminal ``label``
+  event whose JSON is byte-identical to ``GET .../label``;
 - ``GET  /session/<token>/label.html`` — the Figure-1 style HTML page;
 - ``GET  /session/<token>/preview``  — ranking top rows as JSON;
 - ``GET  /session/<token>/attributes`` — the design view's overview.
@@ -62,6 +68,7 @@ from __future__ import annotations
 import json
 import os
 import secrets
+import socket
 import threading
 import time
 from collections import OrderedDict
@@ -71,9 +78,11 @@ from pathlib import Path
 from urllib.parse import parse_qs
 
 from repro.app.session import DemoSession, SessionStage
+from repro.app.sse import SSEStream
 from repro.datasets.loaders import list_datasets
 from repro.engine.jobs import JobStatus, LabelJob
 from repro.engine.service import LabelService
+from repro.engine.streaming import LabelEventQueue
 from repro.errors import EngineError, RankingFactsError
 from repro.label.render_html import render_html
 from repro.label.render_json import render_json
@@ -276,12 +285,13 @@ class SessionRegistry:
 #: session sub-routes with fixed names (anything else is collapsed, so
 #: client-invented paths cannot mint unbounded metric label values)
 _SESSION_SUBROUTES = frozenset({
-    "label", "label.html", "preview", "attributes", "status",
-    "close", "dataset", "design",
+    "label", "label.html", "label.stream", "preview", "attributes",
+    "status", "close", "dataset", "design",
 })
 _TOP_ROUTES = frozenset({
     "health", "metrics", "datasets", "sessions",
-    "label", "label.html", "preview", "attributes", "dataset", "design",
+    "label", "label.html", "label.stream", "preview", "attributes",
+    "dataset", "design",
 })
 
 
@@ -376,6 +386,53 @@ def _apply_design(session: DemoSession, body: dict) -> None:
         raise RankingFactsError(f"bad Monte-Carlo design value: {exc}") from exc
 
 
+class _StreamGate:
+    """Admission control plus the drain signal for SSE streams.
+
+    Every streaming response holds one slot for its whole lifetime; a
+    request past ``max_streams`` is rejected up front with 503 instead
+    of queueing — a slow-client pile-up must not pin every builder
+    thread.  ``draining`` is the graceful-shutdown signal: once set,
+    new streams are rejected and live stream loops close cleanly
+    within one poll interval (:meth:`ServerHandle.stop`).
+    """
+
+    def __init__(self, max_streams: int = 32):
+        if max_streams < 1:
+            raise EngineError(f"max_streams must be >= 1, got {max_streams}")
+        self.max_streams = max_streams
+        self.draining = threading.Event()
+        self._active = 0
+        self._lock = threading.Lock()
+
+    @property
+    def active(self) -> int:
+        with self._lock:
+            return self._active
+
+    def acquire(self) -> bool:
+        """Claim a stream slot; ``False`` when full or draining."""
+        with self._lock:
+            if self.draining.is_set() or self._active >= self.max_streams:
+                return False
+            self._active += 1
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            if self._active > 0:
+                self._active -= 1
+
+    def wait_idle(self, timeout: float) -> bool:
+        """Block until every stream released its slot (or timeout)."""
+        deadline = time.monotonic() + timeout
+        while self.active > 0:
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.05)
+        return True
+
+
 class _RankingFactsHandler(BaseHTTPRequestHandler):
     """Routes requests against the registry and the shared service."""
 
@@ -387,12 +444,39 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
     local_path_root: "Path | None" = None
     metrics: MetricsRegistry = None  # type: ignore[assignment]
 
+    # streaming knobs (class attributes so tests can tighten them)
+    stream_queue_size = 32
+    stream_publish_timeout = 2.0
+    stream_poll_interval = 0.5
+
     # per-request state, initialized by _handle (class defaults so the
     # helpers stay safe if a subclass calls them directly)
     _status = 0
     _trace_id: "str | None" = None
 
     server_version = "RankingFacts/2.0"
+    # chunked transfer (the streaming endpoints) requires HTTP/1.1;
+    # plain responses still carry Content-Length, so keep-alive works
+    protocol_version = "HTTP/1.1"
+    # reap keep-alive connections idle longer than this, so abandoned
+    # clients cannot hold handler threads forever
+    timeout = 60
+
+    def setup(self) -> None:
+        super().setup()
+        lock = getattr(self.server, "live_lock", None)
+        if lock is not None:
+            with lock:
+                self.server.live_connections.add(self.connection)
+
+    def finish(self) -> None:
+        try:
+            super().finish()
+        finally:
+            lock = getattr(self.server, "live_lock", None)
+            if lock is not None:
+                with lock:
+                    self.server.live_connections.discard(self.connection)
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # keep tests and CLI output clean
@@ -522,10 +606,128 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
 
     # -- session views (shared by default and token routes) -------------------------
 
+    # -- streaming (SSE) ---------------------------------------------------------
+
+    def _stream_response(self, produce: Callable[[LabelEventQueue], object]) -> None:
+        """Admission, metrics, and the drain loop for one SSE response.
+
+        ``produce`` receives the event queue once an admission slot is
+        held; it must arrange (asynchronously) for events to be
+        published and the queue closed.  The loop then relays every
+        event as an SSE frame, heartbeats on idle ticks (which is how a
+        vanished client is detected between events), and closes cleanly
+        on the terminal event, a disconnect, a backpressure abort, or
+        the server's drain signal.  The slot is held exactly as long as
+        the response lives, so a stalled client occupies bounded queue
+        memory and one admission slot — never a builder thread.
+        """
+        gate: "_StreamGate | None" = getattr(self.server, "stream_gate", None)
+        streams_total = self.metrics.counter(
+            "repro_streams_total",
+            "SSE streams, by outcome "
+            "(completed, rejected, disconnected, aborted, drained)",
+            tag_names=("outcome",),
+        )
+        if gate is None or not gate.acquire():
+            streams_total.inc(outcome="rejected")
+            cap = getattr(gate, "max_streams", 0)
+            self._send_json(
+                503,
+                {
+                    "error": (
+                        f"too many concurrent streams (cap {cap}); "
+                        "retry later or use the non-streaming endpoint"
+                    )
+                },
+            )
+            return
+        active_gauge = self.metrics.gauge(
+            "repro_streams_active", "SSE streams currently open"
+        )
+        active_gauge.inc()
+        started = time.perf_counter()
+        outcome = "completed"
+        events = LabelEventQueue(
+            maxsize=self.stream_queue_size,
+            publish_timeout=self.stream_publish_timeout,
+        )
+        stream = SSEStream(self)
+        # first-byte vs last-byte: this span runs from the response head
+        # to the first event frame; the enclosing http.request span (and
+        # repro_stream_seconds below) covers the full stream
+        first_span = span("stream.first_event", registry=self.metrics)
+        span_open = False
+        first_sent = False
+        try:
+            produce(events)
+            stream.begin()
+            first_span.__enter__()
+            span_open = True
+            try:
+                while True:
+                    if gate.draining.is_set():
+                        outcome = "drained"
+                        events.abort("server draining")
+                        stream.send_comment("server draining; stream closed")
+                        break
+                    event = events.get(timeout=self.stream_poll_interval)
+                    if event is None:
+                        if events.finished:
+                            break
+                        stream.send_comment("ping")
+                        continue
+                    stream.send_event(
+                        event.kind, json.dumps(event.as_dict(), indent=2)
+                    )
+                    if not first_sent:
+                        first_sent = True
+                        first_span.__exit__(None, None, None)
+                        span_open = False
+                        self.metrics.histogram(
+                            "repro_stream_first_event_seconds",
+                            "Latency from stream start to the first event "
+                            "on the wire",
+                        ).observe(time.perf_counter() - started)
+            except OSError:
+                outcome = "disconnected"
+                events.abort("client disconnected")
+            if outcome == "completed" and events.aborted:
+                outcome = "aborted"  # backpressure tore the stream down
+            stream.end()
+        finally:
+            if span_open:
+                first_span.__exit__(None, None, None)
+            gate.release()
+            active_gauge.dec()
+            self.metrics.histogram(
+                "repro_stream_seconds", "Total lifetime of one SSE stream"
+            ).observe(time.perf_counter() - started)
+            streams_total.inc(outcome=outcome)
+            _log.debug(
+                "stream closed (%s) after %d event(s)",
+                outcome, stream.events_sent,
+                extra={"trace_id": self._trace_id},
+            )
+
+    def _stream_label_view(self, session: DemoSession) -> None:
+        """``GET .../label.stream``: the label as staged SSE events."""
+        # one consistent design snapshot, taken under the session lock;
+        # the build itself runs on the executor pool so this handler
+        # thread only relays events (and the session stays unlocked)
+        table, design, dataset_name = session.label_inputs()
+        service = self.registry.service
+        self._stream_response(
+            lambda events: service.stream_label(
+                table, design, dataset_name, events=events
+            )
+        )
+
     def _get_session_view(self, session: DemoSession, view: str) -> None:
         if view == "label":
             facts = self._label_for(session)
             self._send(200, "application/json", render_json(facts.label))
+        elif view == "label.stream":
+            self._stream_label_view(session)
         elif view == "label.html":
             facts = self._label_for(session)
             self._send(200, "text/html", render_html(facts.label))
@@ -602,7 +804,7 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
         elif parts[0] == "labels":
             self._get_labels(parts[1:])
         elif len(parts) == 1 and parts[0] in (
-            "label", "label.html", "preview", "attributes",
+            "label", "label.html", "label.stream", "preview", "attributes",
         ):
             self._get_session_view(self._default(), parts[0])
         else:
@@ -773,6 +975,15 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
                     f"{job.csv_path!r} resolves outside the allowed "
                     f"directory {str(self.local_path_root)!r}"
                 )
+        _, query = self._split()
+        if parse_qs(query).get("stream", ["0"])[-1] in ("1", "true", "yes"):
+            # stream=1: relay per-job widget/label events as SSE instead
+            # of returning a batch handle to poll
+            service = self.registry.service
+            self._stream_response(
+                lambda events: service.stream_batch(jobs, events=events)
+            )
+            return
         handle = self.registry.service.submit_batch(jobs)
         self._send_json(
             202,
@@ -804,10 +1015,42 @@ class ServerHandle:
         self._thread.start()
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    @property
+    def stream_gate(self) -> "_StreamGate":
+        """The SSE admission gate (tests poke it directly)."""
+        return self._server.stream_gate
+
+    def stop(self, grace: float = 5.0) -> None:
+        """Shut down gracefully: drain live streams, then close.
+
+        New streams are rejected immediately (503); open streams get up
+        to ``grace`` seconds to finish their current build, after which
+        any connection still alive is severed so the accept loop and
+        handler threads cannot hang on a stalled client.  Idempotent.
+        """
+        gate = self._server.stream_gate
+        gate.draining.set()
+        gate.wait_idle(grace)
         self._server.shutdown()
+        # handler loops see draining and close their streams; anything
+        # still connected now (e.g. a client that stopped reading) is
+        # cut off at the socket so finish()/join below cannot block
+        with self._server.live_lock:
+            leftover = list(self._server.live_connections)
+        for conn in leftover:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
         self._server.server_close()
-        self._thread.join(timeout=5)
+        self._thread.join(timeout=grace)
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
 
 
 def resolve_service_env(
@@ -868,6 +1111,7 @@ def make_server(
     cache_max_bytes: int | None = None,
     cache_ttl: float | None = None,
     metrics_registry: MetricsRegistry | None = None,
+    max_streams: int = 32,
 ) -> ServerHandle:
     """Bind a server (port 0 = ephemeral, for tests).
 
@@ -906,6 +1150,11 @@ def make_server(
     server-side ``"csv"`` paths in ``POST /jobs`` must resolve into
     (symlink-safe); by default they are rejected entirely, because
     they would let any client read files off the server host.
+
+    ``max_streams`` caps concurrently-open SSE responses
+    (``label.stream`` / ``POST /jobs?stream=1``); a request past the
+    cap gets an immediate 503 instead of queueing, because each open
+    stream pins a handler thread for its whole lifetime.
     """
     if session is not None and session.stage is SessionStage.EMPTY:
         raise RankingFactsError("the session has no dataset; load one before serving")
@@ -943,6 +1192,10 @@ def make_server(
         },
     )
     server = ThreadingHTTPServer((host, port), handler)
+    server.stream_gate = _StreamGate(max_streams)
+    # every accepted connection, for stop()'s last-resort severing
+    server.live_connections = set()
+    server.live_lock = threading.Lock()
     return ServerHandle(server, registry)
 
 
@@ -953,6 +1206,7 @@ def serve_forever(
     session_ttl: float | None = None,
     allow_local_paths: "str | os.PathLike | None" = None,
     log_level: str | None = None,
+    max_streams: int = 32,
 ) -> None:
     """Run the demo server until interrupted (the CLI's ``serve``).
 
@@ -969,6 +1223,7 @@ def serve_forever(
         port=port,
         session_ttl=session_ttl,
         allow_local_paths=allow_local_paths,
+        max_streams=max_streams,
     ) as handle:
         print(f"Ranking Facts demo serving on {handle.url} (Ctrl-C to stop)")
         try:

@@ -346,6 +346,19 @@ class DemoSession:
         return outcome.facts
 
     @_locked
+    def label_inputs(self):
+        """The committed ``(table, design, dataset_name)`` triple.
+
+        One consistent snapshot for callers that run the build *outside*
+        the session lock — the streaming endpoint must not hold every
+        other request on this session hostage for the length of a
+        Monte-Carlo loop.  Raises like :meth:`current_design` when no
+        design is committed.
+        """
+        design = self.current_design()
+        return self._require_table(), design, self._dataset_name
+
+    @_locked
     def last_label(self) -> RankingFacts:
         """The most recently generated label."""
         if self._facts is None:

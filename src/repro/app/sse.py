@@ -1,0 +1,128 @@
+"""Server-Sent Events over chunked transfer, on the stdlib server.
+
+The streaming endpoints speak `text/event-stream
+<https://html.spec.whatwg.org/multipage/server-sent-events.html>`_:
+one ``event:`` line naming the event type, one ``data:`` line per
+payload line (multi-line payloads — pretty-printed JSON — become
+several ``data:`` lines the client reassembles with newlines), and a
+blank line terminating each event.  Lines starting with ``:`` are
+comments; the server sends them as heartbeats so a vanished client is
+detected between widget events (the write raises ``EPIPE``).
+
+``BaseHTTPRequestHandler`` has no response-streaming support, so
+:class:`SSEStream` also owns the transfer encoding: the response
+carries no ``Content-Length``, advertises ``Transfer-Encoding:
+chunked`` (the handler must set ``protocol_version = "HTTP/1.1"``),
+frames every event as a hex-length chunk, and ends the response with
+the zero-length terminator chunk.  ``Connection: close`` is always
+sent: re-using a connection after a stream would require strict
+chunked-parser agreement with arbitrary clients for zero benefit.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_sse_event", "format_sse_comment", "SSEStream"]
+
+
+def format_sse_event(event: str, data: str) -> bytes:
+    """One SSE frame: ``event:`` + one ``data:`` line per payload line.
+
+    A multi-line ``data`` (e.g. indented JSON) is split per the spec —
+    the client joins consecutive ``data:`` line values with ``\\n``,
+    reconstructing the payload byte-for-byte.
+    """
+    lines = [f"event: {event}"]
+    lines.extend(f"data: {line}" for line in data.split("\n"))
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+def format_sse_comment(text: str = "") -> bytes:
+    """A comment frame (heartbeat); clients ignore it by spec."""
+    return f": {text}\n\n".encode("utf-8")
+
+
+class SSEStream:
+    """One live event-stream response over a handler's socket.
+
+    Usage, inside a ``BaseHTTPRequestHandler`` route::
+
+        stream = SSEStream(handler)
+        stream.begin()                      # status line + headers
+        stream.send_event("widget", data)   # any number of times
+        stream.send_comment("ping")         # heartbeats between events
+        stream.end()                        # zero-chunk terminator
+
+    Writes raise ``OSError`` (``BrokenPipeError`` when the client went
+    away) — the caller's signal to abort the producer and stop.  After
+    :meth:`end` (or a failed write) further sends are no-ops, so
+    cleanup paths can call :meth:`end` unconditionally.
+    """
+
+    def __init__(self, handler):
+        self._handler = handler
+        self._open = False
+        self.events_sent = 0
+
+    @property
+    def is_open(self) -> bool:
+        """Whether the stream still accepts writes."""
+        return self._open
+
+    def begin(self, status: int = 200) -> None:
+        """Send the response head; the body is chunked from here on."""
+        handler = self._handler
+        handler.send_response(status)
+        handler.send_header("Content-Type", "text/event-stream; charset=utf-8")
+        handler.send_header("Cache-Control", "no-cache")
+        handler.send_header("Transfer-Encoding", "chunked")
+        handler.send_header("Connection", "close")
+        handler.send_header("X-Accel-Buffering", "no")  # proxies: don't buffer
+        if getattr(handler, "_trace_id", None):
+            handler.send_header("X-Trace-Id", handler._trace_id)
+        handler.end_headers()
+        # the terminator chunk ends the *response*; the connection
+        # itself must not be reused for another exchange
+        handler.close_connection = True
+        handler._status = status
+        self._open = True
+
+    def _write_chunk(self, payload: bytes) -> None:
+        if not payload:
+            return  # a zero-length chunk would terminate the stream
+        wfile = self._handler.wfile
+        wfile.write(f"{len(payload):X}\r\n".encode("ascii"))
+        wfile.write(payload)
+        wfile.write(b"\r\n")
+        wfile.flush()
+
+    def send_event(self, event: str, data: str) -> None:
+        """Write one event frame (no-op once the stream is closed)."""
+        if not self._open:
+            return
+        try:
+            self._write_chunk(format_sse_event(event, data))
+        except OSError:
+            self._open = False  # client is gone; stop writing
+            raise
+        self.events_sent += 1
+
+    def send_comment(self, text: str = "") -> None:
+        """Write a heartbeat comment (no-op once the stream is closed)."""
+        if not self._open:
+            return
+        try:
+            self._write_chunk(format_sse_comment(text))
+        except OSError:
+            self._open = False
+            raise
+
+    def end(self) -> None:
+        """Write the chunked-transfer terminator (idempotent)."""
+        if not self._open:
+            return
+        self._open = False
+        try:
+            self._handler.wfile.write(b"0\r\n\r\n")
+            self._handler.wfile.flush()
+        except OSError:
+            pass  # the client left first; nothing to terminate

@@ -4,8 +4,13 @@
 :class:`~repro.engine.backends.TrialBackend` whose ``run`` splits a
 trial batch into contiguous index spans (the same chunking the process
 backend uses) and executes them on remote worker daemons
-(:mod:`repro.cluster.worker`).  The scheduling loop provides the three
-guarantees a cluster needs:
+(:mod:`repro.cluster.worker`).  Dispatch is **non-blocking**: every
+chunk's request goes on the wire at once (least-loaded worker first)
+and a single :class:`~repro.cluster.multiplex.ChunkMultiplexer` poll
+loop completes chunks as their responses land — a slow chunk never
+serializes behind a fast one, and failover for a dead chunk starts
+while the healthy chunks are still streaming.  The scheduling loop
+provides the three guarantees a cluster needs:
 
 - **Registration + health probes.**  Workers are registered by
   ``host:port`` address.  A worker is only scheduled onto after a
@@ -15,9 +20,12 @@ guarantees a cluster needs:
   work.  Dead workers are re-probed — so a restarted daemon rejoins
   automatically — but at most once per ``reprobe_interval``, so a down
   machine whose probe hangs until timeout cannot stall every run.
-- **Failover.**  A chunk that fails — connection refused, timeout
-  (slow worker), HTTP error, rejected or corrupted frame — marks its
-  worker dead and is immediately retried on another live worker; when
+- **Failover.**  A chunk that fails — connection refused, half-closed
+  or reset at dispatch, timeout (slow worker), HTTP error, rejected or
+  corrupted frame — marks its worker dead and is immediately retried
+  on another live worker; a socket that dies *before any response
+  byte* fails over immediately (dead-at-dispatch) instead of burning
+  the full chunk timeout.  When
   every worker has been tried (or none is left), the chunk is re-run
   on the **local fallback backend**.  Because every chunk executes its
   trials at their absolute indices (per-trial ``[seed, trial]`` RNG
@@ -47,13 +55,18 @@ from __future__ import annotations
 import http.client
 import json
 import os
+import socket
 import threading
 import time
 from collections.abc import Sequence
-from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
 from repro.cluster import wire
+from repro.cluster.multiplex import (
+    ChunkMultiplexer,
+    ChunkStream,
+    encode_http_request,
+)
 from repro.engine.backends import (
     TrialBackend,
     TrialFn,
@@ -159,6 +172,30 @@ class WorkerClient:
         self.reconnects = 0
         self._connection: http.client.HTTPConnection | None = None
         self._connection_lock = threading.Lock()
+        # kept-alive sockets for the multiplexed chunk path; the probe
+        # path keeps its own http.client connection above
+        self._stream_sockets: list[socket.socket] = []
+
+    #: pooled keep-alive sockets per worker; beyond this, extras close
+    STREAM_POOL_SIZE = 8
+
+    def take_stream_socket(self) -> "socket.socket | None":
+        """A pooled keep-alive socket for a chunk stream, if any."""
+        with self._connection_lock:
+            if self._stream_sockets:
+                return self._stream_sockets.pop()
+        return None
+
+    def store_stream_socket(self, sock: socket.socket) -> None:
+        """Return a reusable socket after a completed chunk stream."""
+        with self._connection_lock:
+            if len(self._stream_sockets) < self.STREAM_POOL_SIZE:
+                self._stream_sockets.append(sock)
+                return
+        try:
+            sock.close()
+        except OSError:
+            pass
 
     def _connect(self, timeout: float) -> http.client.HTTPConnection:
         """The live connection (opened on demand), at ``timeout``."""
@@ -186,6 +223,12 @@ class WorkerClient:
         """Drop the persistent connection (safe to call any time)."""
         with self._connection_lock:
             self._drop_connection()
+            for sock in self._stream_sockets:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            self._stream_sockets.clear()
 
     def _request(
         self, method: str, path: str, body: bytes | None, timeout: float
@@ -302,6 +345,20 @@ class _WorkerSlot:
         self.inflight = 0
         self.chunks = 0
         self.failures = 0
+
+
+class _ChunkTask:
+    """One span's scheduling state while it is in the multiplexer."""
+
+    __slots__ = ("index", "start", "stop", "tried", "stale_retried", "slot")
+
+    def __init__(self, index: int, start: int, stop: int):
+        self.index = index
+        self.start = start
+        self.stop = stop
+        self.tried: set[int] = set()  # worker slots that failed this chunk
+        self.stale_retried = False  # one fresh-socket retry per chunk
+        self.slot: _WorkerSlot | None = None  # where it is running now
 
 
 class RemoteTrialBackend:
@@ -450,97 +507,201 @@ class RemoteTrialBackend:
             self._local_runs += 1
         return self._local.run(fn, payload, trials)
 
-    def _execute_chunk(
+    def _run_chunks(
         self,
         body: bytes,
         fn: TrialFn,
         payload: Any,
-        start: int,
-        stop: int,
+        spans: Sequence[tuple[int, int]],
         run_state: dict[str, int],
         trace_id: "str | None" = None,
-    ) -> list[Any]:
-        """One chunk: remote with failover, locally as the last resort.
+    ) -> list[list[Any]]:
+        """Every span at once through the multiplexer, with failover.
 
-        ``trace_id`` is passed explicitly because chunk-pool threads do
-        not inherit the submitting thread's contextvars; it rides the
-        wire frame so the worker's telemetry carries the same trace.
+        All spans are dispatched up front (least-loaded worker first,
+        several concurrent streams per worker — the daemons are
+        threaded), then one selector loop completes them in whatever
+        order responses land.  A failed chunk redispatches from inside
+        the loop, so failover overlaps the still-running chunks instead
+        of waiting behind them.  Spans no worker could complete (and
+        trial faults) are re-run locally after the loop, at their
+        absolute indices.
+
+        ``trace_id`` travels explicitly: it is stamped into each wire
+        frame so worker telemetry correlates with the originating
+        request.
         """
-        tried: set[int] = set()
-        while True:
-            slot = self._pick_worker(exclude=tried)
-            if slot is None:
-                with self._lock:
-                    self._chunks_recovered_locally += 1
-                    run_state["local"] += 1
-                    if tried:
-                        self.fallback_reason = (
-                            f"chunk [{start}, {stop}) failed on "
-                            f"{len(tried)} worker(s); re-run locally"
-                        )
-                if tried:
-                    _log.warning(
-                        "chunk [%d, %d) exhausted %d worker(s); recovering locally",
-                        start, stop, len(tried), extra={"trace_id": trace_id},
+        results: dict[int, list[Any]] = {}
+        # (index, start, stop) spans destined for the local fallback
+        local_spans: list[tuple[int, int, int]] = []
+        mux = ChunkMultiplexer()
+        completed: list[ChunkStream] = []
+
+        def start_attempt(task: _ChunkTask, slot: _WorkerSlot) -> None:
+            client = slot.client
+            sock = client.take_stream_socket()
+            frame = wire.encode_request(body, task.start, task.stop, trace_id)
+            stream = ChunkStream(
+                client.host,
+                client.port,
+                encode_http_request(client.host, client.port, "/trials", frame),
+                timeout=client.timeout,
+                sock=sock,
+                reused=sock is not None,
+                context=task,
+            )
+            task.slot = slot
+            if mux.submit(stream):  # failed synchronously (e.g. refused)
+                completed.append(stream)
+
+        def recover_locally(task: _ChunkTask) -> None:
+            with self._lock:
+                self._chunks_recovered_locally += 1
+                run_state["local"] += 1
+                if task.tried:
+                    self.fallback_reason = (
+                        f"chunk [{task.start}, {task.stop}) failed on "
+                        f"{len(task.tried)} worker(s); re-run locally"
                     )
-                return run_trial_span(self._local, fn, payload, start, stop)
-            started = time.perf_counter()
-            try:
-                results = slot.client.run_chunk(body, start, stop, trace_id)
-            except _TrialFaultError:
-                # the trial *function* raised on the worker: every other
-                # worker would fail identically, so skip failover, leave
-                # the worker alive, and re-run locally — a genuine bug
-                # re-raises here with its real traceback
-                self._chunk_seconds.observe(
-                    time.perf_counter() - started,
-                    worker=slot.client.address, outcome="trial_fault",
-                )
-                with self._lock:
-                    slot.inflight -= 1
-                    self._chunks_recovered_locally += 1
-                    run_state["local"] += 1
+            if task.tried:
                 _log.warning(
-                    "trial fault on %s for chunk [%d, %d); re-running locally",
-                    slot.client.address, start, stop,
+                    "chunk [%d, %d) exhausted %d worker(s); recovering locally",
+                    task.start, task.stop, len(task.tried),
                     extra={"trace_id": trace_id},
                 )
-                return run_trial_span(self._local, fn, payload, start, stop)
-            except ClusterError as exc:
+            local_spans.append((task.index, task.start, task.stop))
+
+        def dispatch(task: _ChunkTask) -> None:
+            slot = self._pick_worker(exclude=task.tried)
+            if slot is None:
+                recover_locally(task)
+                return
+            start_attempt(task, slot)
+
+        def finish(stream: ChunkStream) -> None:
+            task: _ChunkTask = stream.context
+            slot = task.slot
+            address = slot.client.address
+            if stream.state == "failed" and stream.stale and not task.stale_retried:
+                # a kept-alive socket died before any response byte: a
+                # worker restart or idle close, not worker death — one
+                # transparent retry on a fresh socket, worker unblamed
+                task.stale_retried = True
+                slot.client.reconnects += 1
+                start_attempt(task, slot)
+                return
+            error: ClusterError | None = stream.error
+            trial_fault = False
+            if error is None:
+                try:
+                    if stream.status == 500:
+                        # the worker's "the trial function itself raised"
+                        # signal (worker.py) — not worker ill health
+                        raise _TrialFaultError(
+                            self._chunk_error_detail(stream, task, address)
+                        )
+                    if stream.status != 200:
+                        raise ClusterError(
+                            self._chunk_error_detail(stream, task, address)
+                        )
+                    results[task.index] = wire.decode_response(
+                        stream.body, task.start, task.stop
+                    )
+                except _TrialFaultError as exc:
+                    trial_fault = True
+                    error = exc
+                except ClusterError as exc:
+                    error = exc
+            if trial_fault:
+                # every other worker would fail identically, so skip
+                # failover, leave the worker alive, and re-run locally —
+                # a genuine bug re-raises there with its real traceback
                 self._chunk_seconds.observe(
-                    time.perf_counter() - started,
-                    worker=slot.client.address, outcome="failed",
+                    time.perf_counter() - stream.started,
+                    worker=address, outcome="trial_fault",
                 )
-                tried.add(id(slot))
+                if stream.reusable:
+                    slot.client.store_stream_socket(stream.detach_socket())
+                else:
+                    stream.close()
+                with self._lock:
+                    slot.inflight -= 1
+                recover_locally(task)
+                _log.warning(
+                    "trial fault on %s for chunk [%d, %d); re-running locally",
+                    address, task.start, task.stop,
+                    extra={"trace_id": trace_id},
+                )
+                return
+            if error is not None:
+                stream.close()
+                self._chunk_seconds.observe(
+                    time.perf_counter() - stream.started,
+                    worker=address, outcome="failed",
+                )
+                task.tried.add(id(slot))
                 with self._lock:
                     slot.inflight -= 1
                     slot.alive = False
-                    slot.last_error = str(exc)
+                    slot.last_error = str(error)
                     slot.failures += 1
                     self._chunk_failures += 1
                 _log.warning(
                     "chunk [%d, %d) failed on %s; failing over: %s",
-                    start, stop, slot.client.address, exc,
+                    task.start, task.stop, address, error,
                     extra={"trace_id": trace_id},
                 )
-                continue
+                dispatch(task)
+                return
             self._chunk_seconds.observe(
-                time.perf_counter() - started,
-                worker=slot.client.address, outcome="ok",
+                time.perf_counter() - stream.started,
+                worker=address, outcome="ok",
             )
+            if stream.reusable:
+                slot.client.store_stream_socket(stream.detach_socket())
+            else:
+                stream.close()
             with self._lock:
                 slot.inflight -= 1
                 slot.chunks += 1
                 self._chunks_remote += 1
                 run_state["remote"] += 1
-                if tried:
+                if task.tried:
                     self._chunks_failed_over += 1
             _log.info(
                 "chunk [%d, %d) completed on %s",
-                start, stop, slot.client.address,
+                task.start, task.stop, address,
                 extra={"trace_id": trace_id},
             )
-            return results
+
+        try:
+            for index, (start, stop) in enumerate(spans):
+                dispatch(_ChunkTask(index, start, stop))
+            while completed or mux.active:
+                if not completed:
+                    completed.extend(mux.poll())
+                while completed:
+                    finish(completed.pop())
+        finally:
+            mux.close()
+        # local recovery runs after the wire work so a re-raising trial
+        # fault cannot strand still-registered sockets in the selector
+        for index, start, stop in local_spans:
+            results[index] = run_trial_span(self._local, fn, payload, start, stop)
+        return [results[index] for index in range(len(spans))]
+
+    @staticmethod
+    def _chunk_error_detail(
+        stream: ChunkStream, task: _ChunkTask, address: str
+    ) -> str:
+        try:
+            detail = json.loads(stream.body).get("error", "")
+        except Exception:
+            detail = stream.body[:200].decode("utf-8", "replace")
+        return (
+            f"worker {address} failed chunk [{task.start}, {task.stop}): "
+            f"HTTP {stream.status}: {detail}"
+        )
 
     def run(self, fn: TrialFn, payload: Any, trials: int) -> list[Any]:
         """Shard the batch across live workers; results in trial order."""
@@ -566,25 +727,7 @@ class RemoteTrialBackend:
             return self._run_local(fn, payload, trials, str(exc))
         spans = _chunk_spans(trials, len(live), self._chunk_size)
         run_state = {"remote": 0, "local": 0}  # this run's chunk outcomes
-        if len(spans) == 1:
-            chunks = [
-                self._execute_chunk(
-                    body, fn, payload, *spans[0], run_state, trace_id
-                )
-            ]
-        else:
-            with ThreadPoolExecutor(
-                max_workers=min(len(live), len(spans)),
-                thread_name_prefix="mc-chunk",
-            ) as pool:
-                chunks = list(
-                    pool.map(
-                        lambda span: self._execute_chunk(
-                            body, fn, payload, *span, run_state, trace_id
-                        ),
-                        spans,
-                    )
-                )
+        chunks = self._run_chunks(body, fn, payload, spans, run_state, trace_id)
         with self._lock:
             # a "remote" run must mean trials actually crossed the wire;
             # a batch whose every chunk was recovered locally counts local

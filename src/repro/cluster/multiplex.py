@@ -1,0 +1,462 @@
+"""Non-blocking HTTP fan-out for trial chunks: the selectors multiplexer.
+
+The coordinator used to burn one blocking thread per in-flight chunk —
+``ThreadPoolExecutor`` + ``http.client`` round-trips, at most one chunk
+per worker at a time.  This module replaces the *transport* with a
+single-threaded multiplexer: every chunk's request is written to its
+own socket without blocking, one ``selectors`` loop watches all the
+sockets at once, and chunks complete in whatever order their responses
+land.  A two-worker cluster with eight chunks now has eight requests
+on the wire simultaneously (the workers are threaded HTTP daemons, so
+they genuinely overlap), instead of two.
+
+The split of responsibilities:
+
+- :class:`ChunkStream` is one chunk attempt against one worker: a
+  non-blocking socket, the raw HTTP/1.1 request bytes, and an
+  incremental response parser.  It knows nothing about scheduling.
+- :class:`ChunkMultiplexer` owns the selector loop: register streams,
+  :meth:`~ChunkMultiplexer.poll` for progress, get finished streams
+  back (completed or failed).  Deadlines are enforced here — a stream
+  past its per-chunk timeout is failed without waiting on the socket.
+- Failure *classification* is on the stream, because the scheduler's
+  response differs by kind:
+
+  - ``stream.stale`` — a **reused** (kept-alive) socket died before a
+    single response byte.  A worker restart or idle-timeout close, not
+    worker death: the coordinator retries once on a fresh socket to
+    the same worker and counts a reconnect (the same policy
+    ``WorkerClient`` applies to probes).
+  - ``stream.dead_at_dispatch`` — a **fresh** socket was refused,
+    reset, or saw EOF before any response byte.  The worker is dead
+    *right now*; the chunk fails over immediately instead of
+    surfacing as a timeout after the full ``chunk_timeout`` (the
+    half-closed-socket bug this module fixes).
+  - ``stream.timed_out`` — the deadline passed with the request
+    outstanding.  Never retried on the same worker: a slow worker is
+    already running the chunk, and re-sending would double the load
+    on the overloaded host.
+
+Responses are parsed against Content-Length (what the workers send);
+an HTTP/1.0 or ``Connection: close`` peer is read to EOF instead.  A
+completed keep-alive socket is handed back to the scheduler for reuse
+on the next chunk.
+"""
+
+from __future__ import annotations
+
+import errno
+import selectors
+import socket
+import time
+
+from repro.errors import ClusterError
+
+__all__ = ["ChunkStream", "ChunkMultiplexer", "encode_http_request"]
+
+#: recv buffer size: chunk responses are tens of KB, one or two reads
+_RECV_SIZE = 1 << 16
+
+_CONNECT_IN_PROGRESS = {errno.EINPROGRESS, errno.EWOULDBLOCK, errno.EALREADY, 0}
+
+
+def encode_http_request(host: str, port: int, path: str, body: bytes) -> bytes:
+    """The raw bytes of one ``POST`` request (HTTP/1.1, keep-alive)."""
+    head = (
+        f"POST {path} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        "Content-Type: application/octet-stream\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Accept-Encoding: identity\r\n"
+        "\r\n"
+    ).encode("ascii")
+    return head + body
+
+
+class ChunkStream:
+    """One chunk request in flight over one non-blocking socket.
+
+    State machine: ``connecting -> sending -> receiving -> done`` (or
+    ``failed`` from anywhere).  The multiplexer drives transitions via
+    :meth:`advance`; the owner reads the terminal fields —
+    :attr:`status`/:attr:`body` on success, :attr:`error` plus the
+    classification flags on failure.
+
+    ``context`` is an opaque slot for the scheduler (the coordinator
+    hangs its per-chunk bookkeeping there); the transport never reads
+    it.
+    """
+
+    __slots__ = (
+        "host", "port", "request", "timeout", "reused", "context",
+        "sock", "state", "started", "deadline",
+        "_send_view", "_sent", "_buffer", "_headers_done", "_body_start",
+        "_content_length", "_until_close", "_keep_alive",
+        "status", "body", "error", "stale", "dead_at_dispatch", "timed_out",
+    )
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        request: bytes,
+        timeout: float,
+        sock: "socket.socket | None" = None,
+        reused: bool = False,
+        context: object = None,
+    ):
+        self.host = host
+        self.port = port
+        self.request = request
+        self.timeout = timeout
+        self.reused = reused
+        self.context = context
+        self.sock = sock
+        self.state = "new"
+        self.started = time.perf_counter()
+        self.deadline = time.monotonic() + timeout
+        self._send_view = memoryview(request)
+        self._sent = 0
+        self._buffer = bytearray()
+        self._headers_done = False
+        self._body_start = 0
+        self._content_length: int | None = None
+        self._until_close = False
+        self._keep_alive = False
+        self.status: int | None = None
+        self.body: bytes | None = None
+        self.error: ClusterError | None = None
+        self.stale = False
+        self.dead_at_dispatch = False
+        self.timed_out = False
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """Whether the stream reached a terminal state (done or failed)."""
+        return self.state in ("done", "failed")
+
+    def begin(self) -> None:
+        """Open (or adopt) the socket and start the request."""
+        if self.sock is not None:  # a kept-alive socket from the pool
+            self.sock.setblocking(False)
+            self.state = "sending"
+            self._pump_send()
+            return
+        try:
+            self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self.sock.setblocking(False)
+            self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            code = self.sock.connect_ex((self.host, self.port))
+        except OSError as exc:
+            self._fail_transport(exc)
+            return
+        if code not in _CONNECT_IN_PROGRESS:
+            self._fail_transport(OSError(code, errno.errorcode.get(code, str(code))))
+            return
+        self.state = "connecting"
+
+    def events_wanted(self) -> int:
+        """The selector interest mask for the current state."""
+        if self.state in ("connecting", "sending"):
+            return selectors.EVENT_WRITE
+        if self.state == "receiving":
+            return selectors.EVENT_READ
+        return 0
+
+    def detach_socket(self) -> "socket.socket | None":
+        """Hand the (reusable) socket to the caller; the stream forgets it."""
+        sock, self.sock = self.sock, None
+        return sock
+
+    def close(self) -> None:
+        """Close the socket (idempotent; errors swallowed)."""
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            self.sock = None
+
+    @property
+    def reusable(self) -> bool:
+        """Whether the socket can serve another request after this one.
+
+        Keep-alive agreed, body delimited by Content-Length, and no
+        pipelined leftovers in the buffer.
+        """
+        return (
+            self.state == "done"
+            and self._keep_alive
+            and self._content_length is not None
+            and len(self._buffer) == self._body_start + self._content_length
+        )
+
+    # -- transitions -------------------------------------------------------------
+
+    def advance(self, mask: int) -> None:
+        """One selector wake-up's worth of progress."""
+        if self.finished:
+            return
+        if self.state == "connecting" and mask & selectors.EVENT_WRITE:
+            code = self.sock.getsockopt(socket.SOL_SOCKET, socket.SO_ERROR)
+            if code != 0:
+                self._fail_transport(
+                    OSError(code, errno.errorcode.get(code, str(code)))
+                )
+                return
+            self.state = "sending"
+        if self.state == "sending" and mask & selectors.EVENT_WRITE:
+            self._pump_send()
+        if self.state == "receiving" and mask & selectors.EVENT_READ:
+            self._pump_recv()
+
+    def expire(self) -> None:
+        """Deadline passed: fail as a timeout (never stale-retried)."""
+        self.timed_out = True
+        self._fail(
+            ClusterError(
+                f"worker {self.host}:{self.port} timed out after "
+                f"{self.timeout:g}s (chunk still outstanding)"
+            )
+        )
+
+    def _pump_send(self) -> None:
+        try:
+            while self._sent < len(self.request):
+                self._sent += self.sock.send(self._send_view[self._sent:])
+        except (BlockingIOError, InterruptedError):
+            return  # socket buffer full; the selector will call back
+        except OSError as exc:
+            self._fail_transport(exc)
+            return
+        self.state = "receiving"
+
+    def _pump_recv(self) -> None:
+        while True:
+            try:
+                data = self.sock.recv(_RECV_SIZE)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError as exc:
+                self._fail_transport(exc)
+                return
+            if not data:
+                self._on_eof()
+                return
+            self._buffer.extend(data)
+            if self._parse():
+                return
+
+    def _on_eof(self) -> None:
+        if self._until_close and self._headers_done:
+            # HTTP/1.0-style body: EOF is the delimiter
+            self.body = bytes(self._buffer[self._body_start:])
+            self.state = "done"
+            self.close()
+            return
+        if not self._buffer:
+            # closed before a single response byte: a dead or restarted
+            # worker.  On a reused socket that is a stale keep-alive
+            # (retry once, fresh); on a fresh one the worker is dead at
+            # dispatch — fail over NOW, not after chunk_timeout.
+            if self.reused:
+                self.stale = True
+            else:
+                self.dead_at_dispatch = True
+            self._fail(
+                ClusterError(
+                    f"worker {self.host}:{self.port} closed the connection "
+                    "before responding"
+                )
+            )
+            return
+        self._fail(
+            ClusterError(
+                f"worker {self.host}:{self.port} sent a truncated response "
+                f"({len(self._buffer)} byte(s))"
+            )
+        )
+
+    def _parse(self) -> bool:
+        """Consume buffered bytes; returns True when the stream finished."""
+        if not self._headers_done:
+            end = self._buffer.find(b"\r\n\r\n")
+            if end < 0:
+                return False
+            try:
+                self._parse_head(bytes(self._buffer[:end]))
+            except ClusterError as exc:
+                self._fail(exc)
+                return True
+            self._headers_done = True
+            self._body_start = end + 4
+        if self._until_close:
+            return False  # keep reading until EOF
+        have = len(self._buffer) - self._body_start
+        if have < self._content_length:
+            return False
+        stop = self._body_start + self._content_length
+        self.body = bytes(self._buffer[self._body_start:stop])
+        self.state = "done"
+        return True
+
+    def _parse_head(self, head: bytes) -> None:
+        lines = head.split(b"\r\n")
+        parts = lines[0].split(None, 2)
+        if len(parts) < 2 or not parts[0].startswith(b"HTTP/"):
+            raise ClusterError(
+                f"worker {self.host}:{self.port} sent a malformed status "
+                f"line: {lines[0][:80]!r}"
+            )
+        version = parts[0].decode("ascii", "replace")
+        try:
+            self.status = int(parts[1])
+        except ValueError:
+            raise ClusterError(
+                f"worker {self.host}:{self.port} sent a non-numeric status: "
+                f"{parts[1][:20]!r}"
+            ) from None
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            name, sep, value = line.partition(b":")
+            if sep:
+                headers[name.strip().lower().decode("ascii", "replace")] = (
+                    value.strip().decode("ascii", "replace")
+                )
+        connection = headers.get("connection", "").lower()
+        if "chunked" in headers.get("transfer-encoding", "").lower():
+            raise ClusterError(
+                f"worker {self.host}:{self.port} sent a chunked response; "
+                "the trial protocol requires Content-Length"
+            )
+        length = headers.get("content-length")
+        if length is not None:
+            try:
+                self._content_length = int(length)
+            except ValueError:
+                raise ClusterError(
+                    f"worker {self.host}:{self.port} sent a bad "
+                    f"Content-Length: {length!r}"
+                ) from None
+            self._keep_alive = (
+                version == "HTTP/1.1" and "close" not in connection
+            ) or "keep-alive" in connection
+        else:
+            self._until_close = True  # HTTP/1.0 body: delimited by EOF
+
+    def _fail_transport(self, exc: OSError) -> None:
+        # a transport fault before any response byte is either a stale
+        # keep-alive (reused socket) or a dead-at-dispatch worker
+        if not self._buffer:
+            if self.reused:
+                self.stale = True
+            else:
+                self.dead_at_dispatch = True
+        self._fail(
+            ClusterError(
+                f"worker {self.host}:{self.port} unreachable: "
+                f"{type(exc).__name__}: {exc}"
+            )
+        )
+
+    def _fail(self, error: ClusterError) -> None:
+        self.error = error
+        self.state = "failed"
+        self.close()
+
+
+class ChunkMultiplexer:
+    """The selector loop over every in-flight :class:`ChunkStream`.
+
+    Usage::
+
+        mux = ChunkMultiplexer()
+        finished = mux.submit(stream)   # may finish synchronously
+        while mux.active:
+            for stream in mux.poll():
+                ...  # completed or failed; maybe submit a retry
+
+    ``poll`` returns as soon as at least one stream finishes (or the
+    nearest deadline passes), so the scheduler can fail over a dead
+    chunk while the other chunks keep streaming.
+    """
+
+    def __init__(self):
+        self._selector = selectors.DefaultSelector()
+        self._streams: dict[int, ChunkStream] = {}
+        # the socket each stream registered with: a failing stream
+        # closes its socket before we unregister, and selectors can
+        # only unregister a closed fd via the original object
+        self._socks: dict[int, socket.socket] = {}
+
+    @property
+    def active(self) -> int:
+        """How many streams are still in flight."""
+        return len(self._streams)
+
+    def submit(self, stream: ChunkStream) -> bool:
+        """Start a stream.  Returns True if it finished synchronously
+        (e.g. an immediate connect failure) — the caller handles it
+        directly instead of waiting for :meth:`poll`."""
+        stream.begin()
+        if stream.finished:
+            return True
+        self._streams[id(stream)] = stream
+        self._socks[id(stream)] = stream.sock
+        self._selector.register(stream.sock, stream.events_wanted(), stream)
+        return False
+
+    def _unregister(self, stream: ChunkStream) -> None:
+        del self._streams[id(stream)]
+        sock = self._socks.pop(id(stream))
+        try:
+            self._selector.unregister(sock)
+        except (KeyError, ValueError, OSError):
+            pass
+
+    def poll(self, max_wait: float = 0.5) -> list[ChunkStream]:
+        """Advance I/O until at least one stream finishes.
+
+        Returns the finished streams (possibly several: responses that
+        landed in the same wake-up).  Deadlines are checked every pass,
+        so a hung worker costs its chunk's timeout, nothing more.
+        """
+        finished: list[ChunkStream] = []
+        while self._streams and not finished:
+            now = time.monotonic()
+            wait = max(
+                0.0,
+                min(
+                    [max_wait]
+                    + [s.deadline - now for s in self._streams.values()],
+                ),
+            )
+            for key, mask in self._selector.select(wait):
+                stream: ChunkStream = key.data
+                interest_before = stream.events_wanted()
+                stream.advance(mask)
+                if stream.finished:
+                    self._unregister(stream)
+                    finished.append(stream)
+                elif stream.events_wanted() != interest_before:
+                    self._selector.modify(
+                        stream.sock, stream.events_wanted(), stream
+                    )
+            now = time.monotonic()
+            for stream in list(self._streams.values()):
+                if now >= stream.deadline:
+                    self._unregister(stream)
+                    stream.expire()
+                    finished.append(stream)
+            if not finished and wait >= max_wait:
+                break  # give the scheduler a turn even with nothing done
+        return finished
+
+    def close(self) -> None:
+        """Tear down any still-registered streams (error paths)."""
+        for stream in list(self._streams.values()):
+            self._unregister(stream)
+            stream.close()
+        self._selector.close()

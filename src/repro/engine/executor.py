@@ -173,6 +173,7 @@ class LabelExecutor:
         self._batch_counter = itertools.count(1)
         self._batches_submitted = 0
         self._jobs_submitted = 0
+        self._tasks_submitted = 0
 
     # -- pools -----------------------------------------------------------------
 
@@ -233,6 +234,18 @@ class LabelExecutor:
                 self._batches.popitem(last=False)
         return handle
 
+    def submit_task(self, fn: Callable, *args) -> Future:
+        """Run one bare callable on the job pool.
+
+        The streaming front end uses this to move a label build off the
+        request thread (the build publishes events; the handler drains
+        them).  The callable gets a copy of the submitting context, so
+        traces propagate exactly as they do for batch jobs.
+        """
+        with self._lock:
+            self._tasks_submitted += 1
+        return self._jobs().submit(contextvars.copy_context().run, fn, *args)
+
     def batch(self, batch_id: str) -> BatchHandle:
         """Look a submitted batch up by id."""
         with self._lock:
@@ -273,6 +286,7 @@ class LabelExecutor:
                 "batches_submitted": self._batches_submitted,
                 "batches_retained": len(self._batches),
                 "jobs_submitted": self._jobs_submitted,
+                "tasks_submitted": self._tasks_submitted,
             }
         if isinstance(backend, VectorizedTrialBackend):
             stats["trial_kernel_runs"] = backend.kernel_runs

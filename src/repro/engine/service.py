@@ -26,6 +26,7 @@ without touching the clients.
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 from collections.abc import Sequence
@@ -36,8 +37,17 @@ from repro.engine.cache import LabelCache
 from repro.engine.executor import BatchHandle, LabelExecutor
 from repro.engine.fingerprint import label_fingerprint
 from repro.engine.jobs import JobResult, JobStatus, LabelDesign, LabelJob
+from repro.engine.streaming import (
+    LabelEventQueue,
+    LabelStreamEvent,
+    error_event,
+    label_event,
+    replay_events,
+    widget_event,
+)
 from repro.errors import RankingFactsError
-from repro.label.builder import RankingFacts
+from repro.label.builder import RankingFacts, WidgetProgress
+from repro.label.render_json import render_json
 from repro.tabular.table import Table
 from repro.telemetry import (
     MetricsRegistry,
@@ -170,11 +180,20 @@ class LabelService:
             "Labels served, by tier (l1, l2, build)",
             tag_names=("tier",),
         )
+        self._widget_seconds = self._registry.histogram(
+            "repro_widget_seconds",
+            "Build time of one label widget, by widget name",
+            tag_names=("widget",),
+        )
 
     # -- the core: one label -------------------------------------------------------
 
     def build_label(
-        self, table: Table, design: LabelDesign, dataset_name: str = "unnamed dataset"
+        self,
+        table: Table,
+        design: LabelDesign,
+        dataset_name: str = "unnamed dataset",
+        progress: "WidgetProgress | None" = None,
     ) -> LabelOutcome:
         """Serve the label for (table, design), building only on miss.
 
@@ -184,6 +203,14 @@ class LabelService:
         display metadata and deliberately *not* part of the key... but
         it is rendered into the label, so it rides along in the design
         fingerprint input to keep cached bytes exact.
+
+        ``progress`` is called per finished widget **only when this
+        request performs the build** — a cache hit (or losing the
+        single-flight race to a concurrent identical request) returns
+        the shared result without re-running the widgets.  Streaming
+        callers replay the widgets from the final label in that case
+        (:meth:`stream_label`).  Callback exceptions are swallowed: a
+        broken consumer must not poison the build other waiters share.
         """
         key = label_fingerprint(
             table, {"design": design.canonical_dict(), "dataset_name": dataset_name}
@@ -191,7 +218,7 @@ class LabelService:
         with self._lock:
             self._requests += 1
         with span("label.build", fingerprint=key[:12], dataset=dataset_name):
-            outcome = self._serve_label(key, table, design, dataset_name)
+            outcome = self._serve_label(key, table, design, dataset_name, progress)
         self._tier_counter.inc(tier=outcome.tier)
         _log.debug(
             "label %s served from %s in %.6fs",
@@ -199,8 +226,31 @@ class LabelService:
         )
         return outcome
 
+    def _widget_progress(
+        self, progress: "WidgetProgress | None"
+    ) -> WidgetProgress:
+        """The builder callback: always observe, optionally forward."""
+
+        def on_widget(name: str, widget: object, seconds: float) -> None:
+            self._widget_seconds.observe(seconds, widget=name)
+            if progress is not None:
+                try:
+                    progress(name, widget, seconds)
+                except Exception:  # a consumer bug must not fail the build
+                    _log.exception(
+                        "widget progress callback failed for %r; "
+                        "continuing the build", name,
+                    )
+
+        return on_widget
+
     def _serve_label(
-        self, key: str, table: Table, design: LabelDesign, dataset_name: str
+        self,
+        key: str,
+        table: Table,
+        design: LabelDesign,
+        dataset_name: str,
+        progress: "WidgetProgress | None" = None,
     ) -> LabelOutcome:
         start = time.perf_counter()
 
@@ -209,7 +259,7 @@ class LabelService:
                 self._builds += 1
             builder = design.builder_for(table, dataset_name=dataset_name)
             builder.with_trial_backend(self._executor.trial_backend())
-            return builder.build()
+            return builder.build(progress=self._widget_progress(progress))
 
         if not self._use_cache:
             facts = build()
@@ -244,14 +294,170 @@ class LabelService:
             tier="l1" if cached else "build",
         )
 
+    # -- streaming ---------------------------------------------------------------------
+
+    def stream_label(
+        self,
+        table: Table,
+        design: LabelDesign,
+        dataset_name: str = "unnamed dataset",
+        events: "LabelEventQueue | None" = None,
+    ) -> LabelEventQueue:
+        """Serve a label as a stream of staged widget events.
+
+        Returns immediately with the :class:`LabelEventQueue` the
+        consumer drains; the build runs on the executor's job pool.  A
+        live build emits each widget as it finishes (cheapest first —
+        most of the label arrives while the Monte-Carlo stability loop
+        is still running); a cache hit, or losing the single-flight
+        race to a concurrent identical request, **replays** the widgets
+        from the finished label (``streamed=False``) so consumers see
+        one protocol either way.  The stream ends with exactly one
+        terminal event: ``label`` (carrying the full label document,
+        byte-identical to the non-streamed render, plus fingerprint and
+        tier) or ``error``.
+
+        Backpressure is the queue's: a consumer that stops draining
+        aborts the stream after one publish timeout, and the build
+        carries on for the cache — it is never blocked by a slow
+        client.
+        """
+        if events is None:
+            events = LabelEventQueue()
+
+        def produce() -> None:
+            live = 0
+
+            def on_widget(name: str, widget: object, seconds: float) -> None:
+                nonlocal live
+                live += 1
+                events.publish(widget_event(name, widget, seconds))
+
+            try:
+                outcome = self.build_label(
+                    table, design, dataset_name, progress=on_widget
+                )
+            except RankingFactsError as exc:
+                events.publish(error_event(str(exc), type(exc).__name__))
+                events.close()
+                return
+            except Exception as exc:  # the consumer needs a terminal event
+                events.publish(
+                    error_event(f"{type(exc).__name__}: {exc}", type(exc).__name__)
+                )
+                events.close()
+                return
+            if live == 0:  # cache hit or lost the single-flight race
+                for event in replay_events(outcome.facts.label):
+                    events.publish(event)
+            events.publish(
+                label_event(
+                    {
+                        "label": json.loads(render_json(outcome.facts.label)),
+                        "fingerprint": outcome.fingerprint,
+                        "cached": outcome.cached,
+                        "tier": outcome.tier,
+                        "seconds": outcome.seconds,
+                    },
+                    streamed=live > 0,
+                )
+            )
+            events.close()
+
+        self._executor.submit_task(produce)
+        return events
+
+    def stream_batch(
+        self, jobs: Sequence[LabelJob], events: "LabelEventQueue | None" = None
+    ) -> tuple[BatchHandle, LabelEventQueue]:
+        """Submit a batch whose progress streams as label events.
+
+        Jobs run concurrently on the job pool, so events from different
+        jobs interleave; every event carries a ``job_id``.  Unlike
+        :meth:`stream_label`, ``error`` events here are **per job** —
+        one failed job does not end the stream — and the stream closes
+        once every job has finished.
+        """
+        if events is None:
+            events = LabelEventQueue()
+        numbered = [
+            job if job.job_id else replace(job, job_id=f"job-{index}")
+            for index, job in enumerate(jobs)
+        ]
+
+        def runner(job: LabelJob) -> JobResult:
+            live = 0
+
+            def on_widget(name: str, widget: object, seconds: float) -> None:
+                nonlocal live
+                live += 1
+                base = widget_event(name, widget, seconds)
+                events.publish(
+                    LabelStreamEvent(
+                        kind="widget",
+                        name=name,
+                        seconds=seconds,
+                        payload={**base.payload, "job_id": job.job_id},
+                    )
+                )
+
+            result = self.run_job(job, progress=on_widget)
+            if result.status is JobStatus.DONE:
+                if live == 0:  # cached job: replay its widgets
+                    for event in replay_events(result.facts.label):
+                        events.publish(
+                            replace(
+                                event,
+                                payload={**event.payload, "job_id": job.job_id},
+                            )
+                        )
+                events.publish(
+                    label_event(
+                        {
+                            "job_id": job.job_id,
+                            "label": json.loads(render_json(result.facts.label)),
+                            "fingerprint": result.fingerprint,
+                            "cached": result.cached,
+                            "seconds": result.seconds,
+                        },
+                        streamed=live > 0,
+                    )
+                )
+            else:
+                base = error_event(result.error or "job failed")
+                events.publish(
+                    LabelStreamEvent(
+                        kind="error",
+                        payload={**base.payload, "job_id": job.job_id},
+                    )
+                )
+            return result
+
+        handle = self._executor.submit_batch(numbered, runner)
+
+        def close_when_done() -> None:
+            try:
+                handle.results()
+            finally:
+                events.close()
+
+        threading.Thread(
+            target=close_when_done, name="stream-batch-close", daemon=True
+        ).start()
+        return handle, events
+
     # -- batches ---------------------------------------------------------------------
 
-    def run_job(self, job: LabelJob) -> JobResult:
+    def run_job(
+        self, job: LabelJob, progress: "WidgetProgress | None" = None
+    ) -> JobResult:
         """Run one job to completion, capturing failures as results."""
         started = time.perf_counter()
         try:
             table, name = job.resolve_table()
-            outcome = self.build_label(table, job.design, dataset_name=name)
+            outcome = self.build_label(
+                table, job.design, dataset_name=name, progress=progress
+            )
             return JobResult(
                 job_id=job.job_id,
                 status=JobStatus.DONE,

@@ -11,7 +11,8 @@ a :class:`RankingFacts` bundle holding the ranking and its
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import time
+from collections.abc import Callable, Sequence
 from concurrent.futures import Executor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -43,7 +44,10 @@ from repro.tabular.table import Table
 if TYPE_CHECKING:
     from repro.engine.backends import TrialBackend
 
-__all__ = ["RankingFactsBuilder", "RankingFacts"]
+__all__ = ["RankingFactsBuilder", "RankingFacts", "WidgetProgress"]
+
+#: per-widget build callback: ``(widget_name, widget, seconds)``
+WidgetProgress = Callable[[str, object, float], None]
 
 
 @dataclass(frozen=True)
@@ -250,8 +254,21 @@ class RankingFactsBuilder:
             )
         return tuple(stats)
 
-    def build(self) -> RankingFacts:
-        """Run the full pipeline and assemble the label."""
+    def build(self, progress: "WidgetProgress | None" = None) -> RankingFacts:
+        """Run the full pipeline and assemble the label.
+
+        ``progress``, when given, is called once per widget — **as the
+        widget finishes** — with ``(name, widget, seconds)``.  Widgets
+        are computed cheapest-first (recipe, ingredients, fairness,
+        diversity, then the optionally Monte-Carlo-heavy stability), so
+        a streaming consumer sees most of the label while the trial
+        loop is still running.  Computation order does not affect the
+        label: every widget reads only the shared ranking, and the
+        assembled :class:`NutritionalLabel` is identical — same bytes,
+        same fingerprint — with or without a callback.  The callback
+        runs on the build thread and must not raise (wrap it if the
+        consumer is fallible).
+        """
         scorer = self._require_configured()
 
         plan = self._plan
@@ -262,6 +279,11 @@ class RankingFactsBuilder:
 
         ranking = rank_table(prepared, scorer, self._id_column)
 
+        def emit(name: str, widget, started: float) -> None:
+            if progress is not None:
+                progress(name, widget, time.perf_counter() - started)
+
+        started = time.perf_counter()
         recipe = RecipeWidget(
             scorer_name=scorer.name,
             weights=scorer.weights,
@@ -271,7 +293,9 @@ class RankingFactsBuilder:
             },
             statistics=self._statistics_for(ranking, scorer.attributes()),
         )
+        emit("recipe", recipe, started)
 
+        started = time.perf_counter()
         analysis = ingredients_analysis(ranking, method=self._ingredients_method)
         top_names = [item.attribute for item in analysis.top(3)]
         ingredients_widget = IngredientsWidget(
@@ -279,7 +303,33 @@ class RankingFactsBuilder:
             top_n=3,
             statistics=self._statistics_for(ranking, top_names),
         )
+        emit("ingredients", ingredients_widget, started)
 
+        started = time.perf_counter()
+        fairness_results = []
+        for attribute, categories in self._sensitive:
+            fairness_results.extend(
+                evaluate_fairness(
+                    ranking, attribute, categories=categories,
+                    k=self._k, alpha=self._alpha,
+                )
+            )
+        fairness_widget = FairnessWidget(
+            results=tuple(fairness_results), k=self._k, alpha=self._alpha
+        )
+        emit("fairness", fairness_widget, started)
+
+        started = time.perf_counter()
+        diversity_attrs = self._diversity_attributes or [
+            attr for attr, _ in self._sensitive
+        ]
+        diversity_widget = DiversityWidget(
+            reports=tuple(diversity_report(ranking, diversity_attrs, k=self._k)),
+            k=self._k,
+        )
+        emit("diversity", diversity_widget, started)
+
+        started = time.perf_counter()
         slope_report = SlopeStability(
             k=self._k, threshold=self._slope_threshold
         ).assess(ranking)
@@ -318,26 +368,7 @@ class RankingFactsBuilder:
             gaps=gap_reports,
             per_attribute=attribute_results,
         )
-
-        fairness_results = []
-        for attribute, categories in self._sensitive:
-            fairness_results.extend(
-                evaluate_fairness(
-                    ranking, attribute, categories=categories,
-                    k=self._k, alpha=self._alpha,
-                )
-            )
-        fairness_widget = FairnessWidget(
-            results=tuple(fairness_results), k=self._k, alpha=self._alpha
-        )
-
-        diversity_attrs = self._diversity_attributes or [
-            attr for attr, _ in self._sensitive
-        ]
-        diversity_widget = DiversityWidget(
-            reports=tuple(diversity_report(ranking, diversity_attrs, k=self._k)),
-            k=self._k,
-        )
+        emit("stability", stability_widget, started)
 
         label = NutritionalLabel(
             dataset_name=self._dataset_name,

@@ -13,7 +13,7 @@ import math
 from repro.errors import LabelError
 from repro.label.widgets import NutritionalLabel
 
-__all__ = ["render_json", "label_from_json"]
+__all__ = ["render_json", "label_from_json", "json_safe"]
 
 _REQUIRED_KEYS = (
     "dataset",
@@ -36,6 +36,16 @@ def _sanitize(value):
     if isinstance(value, (list, tuple)):
         return [_sanitize(v) for v in value]
     return value
+
+
+def json_safe(value):
+    """A strictly-JSON copy of ``value`` (non-finite floats → ``null``).
+
+    The same sanitation :func:`render_json` applies to whole labels,
+    exposed for callers serializing label *fragments* — the streaming
+    protocol's per-widget event payloads.
+    """
+    return _sanitize(value)
 
 
 def render_json(label: NutritionalLabel, indent: int | None = 2) -> str:

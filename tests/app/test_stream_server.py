@@ -1,0 +1,265 @@
+"""Tests for the server's SSE streaming front end.
+
+The wire-format satellites live here: SSE framing (including
+multi-line ``data:`` reassembly), byte-identity of the streamed final
+label against ``GET /label``, widget events arriving *before* the
+label on a Monte-Carlo-heavy design, admission control past
+``max_streams``, a disconnecting client releasing its slot, and
+graceful shutdown draining in-flight streams.
+"""
+
+import http.client
+import json
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.app import DemoSession
+from repro.app.server import _StreamGate, make_server
+from repro.app.sse import format_sse_comment, format_sse_event
+
+
+def _mc_session(trials: int = 120) -> DemoSession:
+    session = DemoSession()
+    session.load_builtin("cs-departments")
+    session.design_scoring(
+        weights={"PubCount": 0.4, "Faculty": 0.4, "GRE": 0.2},
+        sensitive_attribute="DeptSizeBin",
+        id_column="DeptName",
+    )
+    session.set_monte_carlo(trials=trials)
+    return session
+
+
+def parse_sse(body: str):
+    """Decode an SSE body into ``(event, data)`` pairs, skipping
+    comments; consecutive ``data:`` lines re-join with newlines per
+    the spec."""
+    frames = []
+    for block in body.split("\n\n"):
+        if not block.strip() or block.startswith(":"):
+            continue
+        event = None
+        data_lines = []
+        for line in block.split("\n"):
+            if line.startswith("event: "):
+                event = line[len("event: "):]
+            elif line.startswith("data: "):
+                data_lines.append(line[len("data: "):])
+        if event is not None:
+            frames.append((event, "\n".join(data_lines)))
+    return frames
+
+
+def open_stream(handle, path, timeout=60):
+    conn = http.client.HTTPConnection(*handle.address, timeout=timeout)
+    conn.request("GET", path)
+    return conn, conn.getresponse()
+
+
+class TestSSEFormat:
+    def test_single_line_event(self):
+        assert format_sse_event("widget", "hello") == (
+            b"event: widget\ndata: hello\n\n"
+        )
+
+    def test_multi_line_data_splits_per_spec(self):
+        payload = json.dumps({"a": 1}, indent=2)
+        raw = format_sse_event("label", payload).decode()
+        frames = parse_sse(raw)
+        assert frames == [("label", payload)]  # round-trips exactly
+
+    def test_comment_frame(self):
+        assert format_sse_comment("ping") == b": ping\n\n"
+
+
+class TestStreamGate:
+    def test_cap_enforced(self):
+        gate = _StreamGate(max_streams=2)
+        assert gate.acquire() and gate.acquire()
+        assert not gate.acquire()  # at the cap
+        gate.release()
+        assert gate.acquire()
+        assert gate.active == 2
+
+    def test_draining_rejects_new_streams(self):
+        gate = _StreamGate(max_streams=4)
+        gate.draining.set()
+        assert not gate.acquire()
+        assert gate.active == 0
+
+    def test_wait_idle(self):
+        gate = _StreamGate(max_streams=4)
+        assert gate.wait_idle(0.1)  # already idle
+        gate.acquire()
+        assert not gate.wait_idle(0.2)
+        threading.Timer(0.1, gate.release).start()
+        assert gate.wait_idle(5.0)
+
+
+class TestLabelStream:
+    @pytest.fixture(scope="class")
+    def served(self):
+        with make_server(_mc_session()) as handle:
+            yield handle
+
+    def test_headers_and_framing(self, served):
+        conn, resp = open_stream(served, "/label.stream")
+        assert resp.status == 200
+        assert resp.getheader("Content-Type").startswith("text/event-stream")
+        body = resp.read().decode()
+        conn.close()
+        frames = parse_sse(body)
+        assert all(event in ("widget", "label", "error") for event, _ in frames)
+        # every data payload is valid JSON after multi-line reassembly
+        for _, data in frames:
+            json.loads(data)
+
+    def test_widget_events_precede_the_label(self):
+        # a fresh server: the first stream must be a *live* build, so
+        # the cheapest-first ordering (stability last) is observable
+        with make_server(_mc_session()) as handle:
+            conn, resp = open_stream(handle, "/label.stream")
+            frames = parse_sse(resp.read().decode())
+            conn.close()
+        kinds = [event for event, _ in frames]
+        assert kinds[-1] == "label"
+        assert kinds.count("widget") == 5
+        assert kinds.index("widget") < kinds.index("label")
+        widgets = [json.loads(data) for event, data in frames
+                   if event == "widget"]
+        assert all(w["streamed"] for w in widgets)  # live, not replayed
+        names = [w["name"] for w in widgets]
+        assert names[-1] == "stability"  # the MC-heavy widget comes last
+
+    def test_streamed_label_byte_identical_to_get_label(self, served):
+        conn, resp = open_stream(served, "/label.stream")
+        frames = parse_sse(resp.read().decode())
+        conn.close()
+        final = json.loads(frames[-1][1])
+        streamed = json.dumps(final["label"], indent=2)
+        with urllib.request.urlopen(served.url + "/label", timeout=30) as r:
+            plain = r.read().decode()
+        assert streamed == plain
+
+    def test_session_scoped_route(self, served):
+        request = urllib.request.Request(
+            served.url + "/session",
+            data=json.dumps({"dataset": "cs-departments", "design": {
+                "weights": {"PubCount": 1.0}, "sensitive": "DeptSizeBin",
+                "id_column": "DeptName",
+            }}).encode(),
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            token = json.loads(response.read())["token"]
+        conn, resp = open_stream(served, f"/session/{token}/label.stream")
+        frames = parse_sse(resp.read().decode())
+        conn.close()
+        assert frames[-1][0] == "label"
+
+    def test_jobs_stream_carries_job_ids(self, served):
+        conn = http.client.HTTPConnection(*served.address, timeout=60)
+        body = json.dumps({"jobs": [
+            {"dataset": "cs-departments", "design": {
+                "weights": {"PubCount": 1.0}, "sensitive": "DeptSizeBin",
+                "id_column": "DeptName",
+            }},
+        ]}).encode()
+        conn.request("POST", "/jobs?stream=1", body=body,
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        assert resp.status == 200
+        assert resp.getheader("Content-Type").startswith("text/event-stream")
+        frames = parse_sse(resp.read().decode())
+        conn.close()
+        labels = [json.loads(d) for e, d in frames if e == "label"]
+        assert [l["job_id"] for l in labels] == ["job-0"]
+
+    def test_jobs_without_stream_still_returns_202(self, served):
+        request = urllib.request.Request(
+            served.url + "/jobs",
+            data=json.dumps({"jobs": [{"dataset": "cs-departments", "design": {
+                "weights": {"PubCount": 1.0}, "sensitive": "DeptSizeBin",
+                "id_column": "DeptName",
+            }}]}).encode(),
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.status == 202
+            assert "batch_id" in json.loads(response.read())
+
+
+class TestAdmissionControl:
+    def test_past_the_cap_is_503_not_queued(self):
+        with make_server(_mc_session(), max_streams=2) as handle:
+            gate = handle.stream_gate
+            assert gate.acquire() and gate.acquire()  # fill the cap
+            try:
+                started = time.perf_counter()
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(
+                        handle.url + "/label.stream", timeout=10
+                    )
+                assert excinfo.value.code == 503
+                assert time.perf_counter() - started < 5.0  # immediate
+                detail = json.loads(excinfo.value.read())
+                assert "too many concurrent streams" in detail["error"]
+            finally:
+                gate.release()
+                gate.release()
+            # with slots free the same request streams fine
+            conn, resp = open_stream(handle, "/label.stream")
+            assert resp.status == 200
+            resp.read()
+            conn.close()
+
+    def test_client_disconnect_releases_the_slot(self):
+        # enough trials that the stream is still mid-build when we bail;
+        # a raw socket because http.client detaches from Connection:
+        # close responses, hiding the socket we need to sever
+        with make_server(_mc_session(trials=4000), max_streams=2) as handle:
+            sock = socket.create_connection(handle.address, timeout=10)
+            sock.sendall(
+                b"GET /label.stream HTTP/1.1\r\nHost: test\r\n\r\n"
+            )
+            assert sock.recv(64)  # response head: the stream is live
+            assert handle.stream_gate.active == 1
+            sock.shutdown(socket.SHUT_RDWR)
+            sock.close()
+            # the next heartbeat/event write hits EPIPE and the handler
+            # must release its admission slot
+            deadline = time.monotonic() + 30
+            while handle.stream_gate.active and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert handle.stream_gate.active == 0
+
+
+class TestGracefulShutdown:
+    def test_stop_drains_open_streams(self):
+        handle = make_server(_mc_session(trials=4000), max_streams=4)
+        handle.__enter__()
+        conn, resp = open_stream(handle, "/label.stream")
+        resp.read(1)
+        stopper = threading.Thread(target=handle.stop, kwargs={"grace": 10})
+        stopper.start()
+        # the open stream is told the server is draining, then closed
+        body = resp.read().decode()
+        conn.close()
+        stopper.join(timeout=30)
+        assert not stopper.is_alive()
+        assert handle.stream_gate.draining.is_set()
+        assert "draining" in body or body == ""
+
+    def test_stop_is_idempotent_and_rejects_new_streams(self):
+        handle = make_server(_mc_session(), max_streams=4)
+        handle.__enter__()
+        url = handle.url
+        handle.stop()
+        handle.stop()  # second call is a no-op, not an error
+        with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
+            urllib.request.urlopen(url + "/label.stream", timeout=5)

@@ -110,6 +110,45 @@ def faulty_worker(
         thread.join(timeout=5)
 
 
+class _HalfClosedHandler(_FaultyHandler):
+    """Healthy on probe; half-closes the chunk connection, no response.
+
+    This reproduces a worker whose process died (or was SIGKILLed) right
+    as the chunk arrived: the kernel sends FIN, the socket reads EOF,
+    but the connection is never properly answered.  The coordinator
+    must classify this as dead-at-dispatch and fail over immediately —
+    not sit out the full chunk timeout.
+    """
+
+    hold: float = 5.0
+
+    def do_POST(self):  # noqa: N802
+        length = int(self.headers.get("Content-Length") or 0)
+        self.rfile.read(length)
+        try:
+            self.connection.shutdown(socket.SHUT_WR)  # FIN, no response bytes
+        except OSError:
+            pass
+        # keep the fd open so the client sees a half-close, not a reset
+        time.sleep(self.hold)
+
+
+@contextlib.contextmanager
+def half_closed_worker(hold: float = 5.0):
+    """Serve a worker that half-closes every chunk connection unanswered."""
+    handler = type("BoundHalfClosedHandler", (_HalfClosedHandler,), {"hold": hold})
+    server = ThreadingHTTPServer(("127.0.0.1", 0), handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield f"{host}:{int(port)}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
 @pytest.fixture()
 def worker_pair():
     """Two live trial workers on ephemeral ports."""

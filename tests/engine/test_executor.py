@@ -66,6 +66,7 @@ class TestSubmissionCounters:
             "batches_submitted",
             "batches_retained",
             "jobs_submitted",
+            "tasks_submitted",
             "trial_kernel_runs",
             "trial_scalar_fallbacks",
         }

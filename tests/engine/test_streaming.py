@@ -1,0 +1,235 @@
+"""Tests for repro.engine.streaming and the staged-build event protocol.
+
+Three properties anchor the streaming refactor:
+
+- the event protocol is a pure *ordering* change — the final label is
+  byte-identical with or without a progress consumer;
+- widgets arrive cheapest-first with the Monte-Carlo-heavy stability
+  detail last, so a consumer sees most of the label while the expensive
+  part is still computing;
+- the queue's backpressure protects the build: a consumer that stops
+  draining gets its stream aborted, the build finishes for the cache.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.engine import LabelDesign, LabelJob, LabelService
+from repro.engine.streaming import (
+    LabelEventQueue,
+    LabelStreamEvent,
+    error_event,
+    label_event,
+    replay_events,
+    widget_event,
+)
+from repro.label.render_json import render_json
+
+WEIGHTS = {"PubCount": 0.4, "Faculty": 0.4, "GRE": 0.2}
+
+STAGED_ORDER = ["recipe", "ingredients", "fairness", "diversity", "stability"]
+
+
+def design(**overrides):
+    base = dict(weights=WEIGHTS, sensitive="DeptSizeBin", id_column="DeptName")
+    base.update(overrides)
+    return LabelDesign.create(**base)
+
+
+def mc_design(**overrides):
+    overrides.setdefault("monte_carlo_trials", 8)
+    overrides.setdefault("monte_carlo_epsilons", (0.1,))
+    return design(**overrides)
+
+
+def drain(events: LabelEventQueue, timeout: float = 30.0):
+    """Collect every event until the stream closes (with a deadline)."""
+    collected = []
+    deadline = time.monotonic() + timeout
+    while not events.finished:
+        if time.monotonic() > deadline:
+            raise AssertionError(f"stream never closed; got {collected}")
+        event = events.get(timeout=0.2)
+        if event is not None:
+            collected.append(event)
+    return collected
+
+
+class TestEventQueue:
+    def test_publish_get_roundtrip(self):
+        events = LabelEventQueue()
+        assert events.publish(widget_event("recipe", _FakeWidget(), 0.1))
+        got = events.get(timeout=1)
+        assert got.kind == "widget"
+        assert got.name == "recipe"
+        assert events.published == 1
+
+    def test_close_finishes_the_stream(self):
+        events = LabelEventQueue()
+        events.close()
+        assert events.get(timeout=0.2) is None
+        assert events.finished
+
+    def test_get_after_finish_returns_none_immediately(self):
+        events = LabelEventQueue()
+        events.close()
+        drain(events, timeout=2)
+        started = time.perf_counter()
+        assert events.get(timeout=5) is None
+        assert time.perf_counter() - started < 1.0
+
+    def test_full_queue_aborts_instead_of_blocking_the_producer(self):
+        events = LabelEventQueue(maxsize=2, publish_timeout=0.1)
+        assert events.publish(error_event("a"))
+        assert events.publish(error_event("b"))
+        started = time.perf_counter()
+        assert not events.publish(error_event("c"))  # nobody draining
+        assert time.perf_counter() - started < 2.0
+        assert events.aborted
+        assert "queue full" in events.abort_reason
+        assert events.dropped == 1
+        # the producer is never deadlocked afterwards either
+        assert not events.publish(error_event("d"))
+
+    def test_abort_drains_and_closes(self):
+        events = LabelEventQueue(maxsize=4)
+        events.publish(error_event("stale"))
+        events.abort("client disconnected")
+        assert events.get(timeout=0.5) is None
+        assert events.finished
+        assert events.abort_reason == "client disconnected"
+
+    def test_event_as_dict_shape(self):
+        event = LabelStreamEvent(
+            kind="widget", payload={"widget": {"k": 1}},
+            name="recipe", seconds=0.25,
+        )
+        assert event.as_dict() == {
+            "kind": "widget",
+            "streamed": True,
+            "name": "recipe",
+            "seconds": 0.25,
+            "widget": {"k": 1},
+        }
+
+
+class _FakeWidget:
+    def as_dict(self):
+        return {"fake": True}
+
+
+class TestStreamLabel:
+    def test_staged_widget_order_stability_last(self, cs_table):
+        with LabelService() as svc:
+            events = drain(svc.stream_label(cs_table, mc_design(), "cs"))
+        kinds = [e.kind for e in events]
+        assert kinds == ["widget"] * 5 + ["label"]
+        assert [e.name for e in events[:-1]] == STAGED_ORDER
+        assert all(e.streamed for e in events)
+        assert all(e.seconds is not None for e in events[:-1])
+
+    def test_streamed_label_byte_identical_to_direct_build(self, cs_table):
+        with LabelService(use_cache=False) as svc:
+            direct = svc.build_label(cs_table, mc_design(), "cs")
+            events = drain(svc.stream_label(cs_table, mc_design(), "cs"))
+        final = events[-1]
+        assert final.kind == "label"
+        assert final.payload["fingerprint"] == direct.fingerprint
+        streamed = json.dumps(final.payload["label"], indent=2)
+        assert streamed == render_json(direct.facts.label)
+
+    def test_cache_hit_replays_widgets_unstreamed(self, cs_table):
+        with LabelService() as svc:
+            first = drain(svc.stream_label(cs_table, design(), "cs"))
+            second = drain(svc.stream_label(cs_table, design(), "cs"))
+        # replay follows the label's display order (the build is done,
+        # so there is no cheapest-first cost ordering to respect)
+        assert [e.name for e in second[:-1]] == [
+            "recipe", "ingredients", "stability", "fairness", "diversity",
+        ]
+        assert all(e.streamed for e in first)
+        assert not any(e.streamed for e in second)  # replayed, label cached
+        assert second[-1].payload["cached"] is True
+        # replayed widget payloads match the originally streamed ones
+        live_by_name = {e.name: e.payload["widget"] for e in first[:-1]}
+        for replay in second[:-1]:
+            assert replay.payload["widget"] == live_by_name[replay.name]
+
+    def test_build_error_becomes_a_terminal_error_event(self, cs_table):
+        with LabelService() as svc:
+            bad = design(weights={"NoSuchColumn": 1.0})
+            events = drain(svc.stream_label(cs_table, bad, "cs"))
+        assert len(events) == 1
+        assert events[0].kind == "error"
+        assert "NoSuchColumn" in events[0].payload["error"]
+
+    def test_slow_consumer_never_blocks_the_build(self, cs_table):
+        with LabelService(cache_size=8) as svc:
+            events = LabelEventQueue(maxsize=1, publish_timeout=0.1)
+            svc.stream_label(cs_table, mc_design(), "cs", events=events)
+            deadline = time.monotonic() + 30
+            while not events.aborted and time.monotonic() < deadline:
+                time.sleep(0.02)  # never drain: force the abort path
+            assert events.aborted
+            assert "queue full" in events.abort_reason
+            # the build itself completed and the cache has the label
+            outcome = svc.build_label(cs_table, mc_design(), "cs")
+            assert outcome.cached is True
+
+    def test_broken_progress_consumer_does_not_poison_the_build(self, cs_table):
+        def bomb(name, widget, seconds):
+            raise RuntimeError("consumer bug")
+
+        with LabelService(use_cache=False) as svc:
+            outcome = svc.build_label(cs_table, design(), "cs", progress=bomb)
+            plain = svc.build_label(cs_table, design(), "cs")
+        assert render_json(outcome.facts.label) == render_json(plain.facts.label)
+
+
+class TestStreamBatch:
+    def test_events_carry_job_ids_and_stream_closes(self):
+        jobs = [
+            LabelJob(
+                design=design(), dataset="cs-departments",
+                dataset_name=f"batch-{i}",
+            )
+            for i in range(2)
+        ]
+        with LabelService() as svc:
+            handle, events = svc.stream_batch(jobs)
+            collected = drain(events)
+            results = handle.results()
+        assert all(r.status.value == "done" for r in results)
+        labels = [e for e in collected if e.kind == "label"]
+        assert sorted(e.payload["job_id"] for e in labels) == ["job-0", "job-1"]
+        widgets = [e for e in collected if e.kind == "widget"]
+        assert widgets and all("job_id" in e.payload for e in widgets)
+
+    def test_one_failing_job_does_not_end_the_stream(self):
+        jobs = [
+            LabelJob(design=design(), dataset="cs-departments",
+                     dataset_name="good"),
+            LabelJob(design=design(weights={"Missing": 1.0}),
+                     dataset="cs-departments", dataset_name="bad"),
+        ]
+        with LabelService() as svc:
+            handle, events = svc.stream_batch(jobs)
+            collected = drain(events)
+            handle.results()
+        kinds = {e.kind for e in collected}
+        assert "error" in kinds and "label" in kinds
+        errors = [e for e in collected if e.kind == "error"]
+        assert all("job_id" in e.payload for e in errors)
+
+
+class TestReplayEvents:
+    def test_replay_matches_widget_names(self, cs_table):
+        with LabelService(use_cache=False) as svc:
+            outcome = svc.build_label(cs_table, design(), "cs")
+        label = outcome.facts.label
+        replayed = replay_events(label)
+        assert [e.name for e in replayed] == list(label.widget_names())
+        assert not any(e.streamed for e in replayed)
