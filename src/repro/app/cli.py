@@ -17,7 +17,13 @@ Subcommands mirror the demo workflow:
   durable label store (the archive ``serve --store`` writes);
 - ``ranking-facts worker`` — run a Monte-Carlo trial worker daemon
   that the ``remote`` trial backend shards stability trials onto
-  (see :mod:`repro.cluster`).
+  (see :mod:`repro.cluster`);
+- ``ranking-facts registry`` — run the worker registry daemon: workers
+  ``--register`` with it, coordinators discover the live fleet from it
+  (``--registry`` on ``batch``/``serve``, no static worker list);
+- ``ranking-facts fleet status`` — one view of a running fleet: the
+  registry's membership table plus, with ``--url``, a serving
+  coordinator's per-worker circuit-breaker and retry-budget state.
 
 Weights are given as ``name=value`` pairs, e.g.::
 
@@ -208,6 +214,13 @@ def build_parser() -> argparse.ArgumentParser:
         "REPRO_TRIAL_WORKERS environment variable ('env') or from a file "
         "of host:port lines",
     )
+    batch.add_argument(
+        "--registry", metavar="URL", default=None,
+        help="with --trial-backend remote: discover workers from this "
+        "registry service (see `ranking-facts registry`); workers may "
+        "join and leave mid-run — composes with --workers-from "
+        "(default: the REPRO_TRIAL_REGISTRY environment variable)",
+    )
 
     serve = commands.add_parser("serve", help="start the demo web server")
     _add_data_arguments(serve)
@@ -227,6 +240,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --trial-backend remote: worker addresses from the "
         "REPRO_TRIAL_WORKERS environment variable ('env') or from a file "
         "of host:port lines",
+    )
+    serve.add_argument(
+        "--registry", metavar="URL", default=None,
+        help="with --trial-backend remote: discover workers from this "
+        "registry service (see `ranking-facts registry`); workers may "
+        "join and leave mid-run — composes with --workers-from "
+        "(default: the REPRO_TRIAL_REGISTRY environment variable)",
     )
     serve.add_argument(
         "--session-ttl", type=float, default=None, metavar="SECONDS",
@@ -354,23 +374,63 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_worker_arguments(worker)
 
+    registry = commands.add_parser(
+        "registry",
+        help="run the worker registry daemon (workers --register with "
+        "it; coordinators discover the live fleet from it)",
+    )
+    # one source of truth with `python -m repro.cluster.registry`
+    from repro.cluster.registry import add_registry_arguments
+
+    add_registry_arguments(registry)
+
+    fleet = commands.add_parser(
+        "fleet",
+        help="operate on a running fleet (registry + workers + coordinators)",
+    )
+    fleet_commands = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_status = fleet_commands.add_parser(
+        "status",
+        help="membership from the registry plus, with --url, a serving "
+        "coordinator's breaker/budget state",
+    )
+    fleet_status.add_argument(
+        "--registry", metavar="URL", default=None,
+        help="the registry service to ask for live workers (default: "
+        "the REPRO_TRIAL_REGISTRY environment variable)",
+    )
+    fleet_status.add_argument(
+        "--url", metavar="URL", default=None,
+        help="also show this running server's coordinator view "
+        "(per-worker breaker states, retry budget) from /engine/stats",
+    )
+    fleet_status.add_argument(
+        "--raw", action="store_true",
+        help="print the raw JSON instead of the summary view",
+    )
+
     return parser
 
 
 def _resolve_trial_backend_arg(args: argparse.Namespace):
-    """The ``--trial-backend``/``--workers-from`` pair as a service argument.
+    """The ``--trial-backend``/``--workers-from``/``--registry`` trio
+    as a service argument.
 
     Returns a backend *name* (or ``None``) in the common case; for
-    ``remote`` with an explicit ``--workers-from``, returns a
-    pre-built coordinator so the address list travels with it.
+    ``remote`` with an explicit ``--workers-from`` or ``--registry``,
+    returns a pre-built coordinator so the worker sources travel with
+    it.  A static list and a registry compose: the list seeds the
+    fleet, the registry grows and shrinks it.
     """
     name = getattr(args, "trial_backend", None)
     source = getattr(args, "workers_from", None)
-    if source is None:
+    registry_url = getattr(args, "registry", None)
+    if source is None and registry_url is None:
         return name
     if name != "remote":
+        flag = "--workers-from" if source is not None else "--registry"
         raise RankingFactsError(
-            "--workers-from only applies with --trial-backend remote"
+            f"{flag} only applies with --trial-backend remote"
         )
     from repro.cluster.coordinator import (
         RemoteTrialBackend,
@@ -378,7 +438,9 @@ def _resolve_trial_backend_arg(args: argparse.Namespace):
         workers_from_file,
     )
 
-    if source == "env":
+    if source is None:
+        addresses: tuple[str, ...] = ()
+    elif source == "env":
         addresses = workers_from_env()
         if not addresses:
             raise RankingFactsError(
@@ -387,7 +449,7 @@ def _resolve_trial_backend_arg(args: argparse.Namespace):
             )
     else:
         addresses = workers_from_file(source)
-    return RemoteTrialBackend(addresses)
+    return RemoteTrialBackend(addresses, registry_url=registry_url)
 
 
 def _run_datasets(_: argparse.Namespace) -> str:
@@ -670,6 +732,21 @@ def _format_stats(stats: dict) -> str:
                 f"{cluster.get('chunks_failed_over', 0)} failed over, "
                 f"{cluster.get('chunks_recovered_locally', 0)} recovered locally"
             )
+            if cluster.get("breakers_open") or cluster.get("retries_spent"):
+                lines.append(
+                    f"           {cluster.get('breakers_open', 0)} breaker(s) "
+                    f"open, {cluster.get('retries_spent', 0)} retry(s) spent, "
+                    f"{cluster.get('budget_exhausted_runs', 0)} run(s) "
+                    f"budget-exhausted"
+                )
+            membership = cluster.get("membership")
+            if isinstance(membership, dict):
+                lines.append(
+                    f"           membership via "
+                    f"{membership.get('registry', '?')}: "
+                    f"{membership.get('workers_joined', 0)} joined, "
+                    f"{membership.get('workers_left', 0)} left"
+                )
     tiers = stats.get("tiers")
     if isinstance(tiers, dict):
         lines.append(
@@ -867,8 +944,125 @@ def _run_worker(args: argparse.Namespace) -> str:
     serve_worker_forever(
         host=args.host, port=args.port, backend=args.backend,
         workers=args.workers, log_level=args.log_level,
+        register=args.register, advertise=args.advertise,
+        heartbeat_ttl=args.heartbeat_ttl,
     )
     return ""  # blocks; reached only on shutdown
+
+
+def _run_registry(args: argparse.Namespace) -> str:
+    # imported here so the cluster package only loads when asked for
+    from repro.cluster.registry import serve_registry_forever
+
+    serve_registry_forever(
+        host=args.host, port=args.port, log_level=args.log_level
+    )
+    return ""  # blocks; reached only on shutdown
+
+
+def _format_fleet_registry(url: str, workers: dict, stats: dict) -> list[str]:
+    """The registry half of ``fleet status`` (pure: dicts in, lines out)."""
+    rows = workers.get("workers") or []
+    lines = [
+        f"registry {url}: {len(rows)} worker(s); "
+        f"{stats.get('registrations', 0)} registration(s), "
+        f"{stats.get('heartbeats', 0)} heartbeat(s), "
+        f"{stats.get('expirations', 0)} expiration(s), "
+        f"{stats.get('deregistrations', 0)} deregistration(s)"
+    ]
+    if rows:
+        lines.append(
+            f"  {'address':<21} {'backend':<11} {'lease':>8} {'beats':>6}"
+        )
+    for row in rows:
+        meta = row.get("meta") or {}
+        lines.append(
+            f"  {str(row.get('address', '?')):<21} "
+            f"{str(meta.get('backend', '-')):<11} "
+            f"{float(row.get('expires_in', 0.0)):>7.1f}s "
+            f"{row.get('beats', 0):>6}"
+        )
+    return lines
+
+
+def _format_fleet_cluster(url: str, cluster: dict | None) -> list[str]:
+    """The coordinator half of ``fleet status`` (pure: dict in, lines out)."""
+    if not isinstance(cluster, dict):
+        return [f"server {url}: no remote trial cluster configured"]
+    budget = cluster.get("retry_budget")
+    lines = [
+        f"server {url}: {cluster.get('workers_alive', 0)}/"
+        f"{cluster.get('workers_configured', 0)} worker(s) alive, "
+        f"{cluster.get('breakers_open', 0)} breaker(s) open; "
+        f"{cluster.get('retries_spent', 0)} retry(s) spent "
+        f"(budget {'auto' if budget is None else budget}), "
+        f"{cluster.get('budget_exhausted_runs', 0)} run(s) budget-exhausted"
+    ]
+    for row in cluster.get("workers") or []:
+        breaker = row.get("breaker") or {}
+        state = str(breaker.get("state", "?"))
+        detail = (
+            f"{row.get('chunks', 0)} chunk(s), "
+            f"{row.get('failures', 0)} failure(s)"
+        )
+        if state == "open":
+            detail += f", reprobe in {float(breaker.get('retry_in', 0.0)):.1f}s"
+        lines.append(
+            f"  {str(row.get('address', '?')):<21} {state:<9} "
+            f"({row.get('source', 'static')})  {detail}"
+        )
+    membership = cluster.get("membership")
+    if isinstance(membership, dict):
+        lines.append(
+            f"  membership via {membership.get('registry', '?')}: "
+            f"{membership.get('workers_joined', 0)} joined, "
+            f"{membership.get('workers_left', 0)} left, "
+            f"{membership.get('poll_failures', 0)} poll failure(s)"
+        )
+    return lines
+
+
+def _run_fleet(args: argparse.Namespace) -> str:
+    import json
+    import os
+    import urllib.request
+
+    assert args.fleet_command == "status"
+    registry_url = (
+        args.registry or os.environ.get("REPRO_TRIAL_REGISTRY") or None
+    )
+    if registry_url is None and args.url is None:
+        raise RankingFactsError(
+            "fleet status needs --registry URL (or REPRO_TRIAL_REGISTRY) "
+            "and/or --url SERVER"
+        )
+
+    def fetch(url: str) -> dict:
+        try:
+            with urllib.request.urlopen(url, timeout=10) as response:
+                payload = json.load(response)
+        except (OSError, ValueError) as exc:
+            raise RankingFactsError(f"cannot fetch {url}: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise RankingFactsError(f"{url} did not return a JSON object")
+        return payload
+
+    raw: dict = {}
+    lines: list[str] = []
+    if registry_url is not None:
+        base = registry_url.rstrip("/")
+        workers = fetch(base + "/workers")
+        stats = fetch(base + "/stats")
+        raw["registry"] = {"workers": workers, "stats": stats}
+        lines += _format_fleet_registry(base, workers, stats)
+    if args.url is not None:
+        stats = fetch(args.url.rstrip("/") + "/engine/stats")
+        raw["server"] = stats
+        cluster = (stats.get("executor") or {}).get("trial_cluster")
+        lines += _format_fleet_cluster(args.url, cluster)
+    if args.raw:
+        return json.dumps(raw, indent=2)
+    return "\n".join(lines)
 
 
 _RUNNERS = {
@@ -882,6 +1076,8 @@ _RUNNERS = {
     "stats": _run_stats,
     "store": _run_store,
     "worker": _run_worker,
+    "registry": _run_registry,
+    "fleet": _run_fleet,
 }
 
 

@@ -20,7 +20,16 @@ running the trial batch across *machines*.
   health-probes them, shards a trial batch into contiguous spans,
   fails chunks over to other workers on error or timeout, and falls
   back to a local backend when the cluster is empty or degraded —
-  recording why.
+  recording why;
+- :mod:`repro.cluster.registry` — dynamic membership: a TTL-lease
+  registry service workers announce themselves to (jittered
+  heartbeats, graceful deregistration), which coordinators poll so the
+  fleet reshapes mid-run without static address lists;
+- :mod:`repro.cluster.policy` — the failure policy engine: one
+  :class:`~repro.cluster.policy.FailurePolicy` drives per-worker
+  circuit breakers (closed → open → half-open with a single probe
+  chunk), jittered exponential re-probe backoff, and per-run retry
+  budgets.
 
 Determinism contract (inherited from the backends): every chunk runs
 its trials at their *absolute* indices, so each trial draws from its
@@ -38,6 +47,13 @@ __all__ = [
     "serve_worker_forever",
     "workers_from_env",
     "workers_from_file",
+    "FailurePolicy",
+    "CircuitBreaker",
+    "WorkerRegistry",
+    "RegistryClient",
+    "HeartbeatLoop",
+    "make_registry",
+    "serve_registry_forever",
 ]
 
 # lazy exports (PEP 562): ``python -m repro.cluster.worker`` must be able
@@ -52,6 +68,13 @@ _EXPORTS = {
     "TrialWorker": "repro.cluster.worker",
     "make_worker": "repro.cluster.worker",
     "serve_worker_forever": "repro.cluster.worker",
+    "FailurePolicy": "repro.cluster.policy",
+    "CircuitBreaker": "repro.cluster.policy",
+    "WorkerRegistry": "repro.cluster.registry",
+    "RegistryClient": "repro.cluster.registry",
+    "HeartbeatLoop": "repro.cluster.registry",
+    "make_registry": "repro.cluster.registry",
+    "serve_registry_forever": "repro.cluster.registry",
 }
 
 

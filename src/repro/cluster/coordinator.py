@@ -12,14 +12,26 @@ serializes behind a fast one, and failover for a dead chunk starts
 while the healthy chunks are still streaming.  The scheduling loop
 provides the three guarantees a cluster needs:
 
-- **Registration + health probes.**  Workers are registered by
-  ``host:port`` address.  A worker is only scheduled onto after a
-  successful ``/healthz`` probe that reports *this* coordinator's
-  protocol version (:data:`repro.cluster.wire.PROTOCOL_VERSION`) — a
-  version-mismatched worker is rejected at registration, never sent
-  work.  Dead workers are re-probed — so a restarted daemon rejoins
-  automatically — but at most once per ``reprobe_interval``, so a down
-  machine whose probe hangs until timeout cannot stall every run.
+- **Membership + health probes.**  Workers come from a static
+  ``host:port`` list, from a live worker registry
+  (:mod:`repro.cluster.registry` — the coordinator polls
+  ``GET /workers`` and reshapes its fleet mid-run, so workers join and
+  leave without a restart), or both.  A worker is only scheduled onto
+  after a successful ``/healthz`` probe that reports *this*
+  coordinator's protocol version
+  (:data:`repro.cluster.wire.PROTOCOL_VERSION`) — a version-mismatched
+  worker is rejected at registration, never sent work.
+- **Failure policy.**  Each worker carries a
+  :class:`~repro.cluster.policy.CircuitBreaker` driven by one explicit
+  :class:`~repro.cluster.policy.FailurePolicy`: failures below the
+  threshold delay the next probe by a per-worker *jittered* re-probe
+  interval (no probe thundering herd onto a recovering host);
+  threshold consecutive failures open the breaker, whose exponential
+  backoff must elapse before the half-open state admits a single probe
+  chunk that closes it again.  Every run also carries a finite **retry
+  budget** — failover retries past it degrade straight to local
+  execution with the reason recorded, so a flapping fleet can never
+  retry forever.
 - **Failover.**  A chunk that fails — connection refused, half-closed
   or reset at dispatch, timeout (slow worker), HTTP error, rejected or
   corrupted frame — marks its worker dead and is immediately retried
@@ -46,8 +58,10 @@ and unblamed.  Everything else (connection failure, timeout, 4xx/5xx
 transport trouble) is treated as worker death and failed over.
 
 Worker addresses come from ``REPRO_TRIAL_WORKERS`` (comma-separated
-``host:port``, :func:`workers_from_env` — the server path) or a file
-(:func:`workers_from_file` — the CLI's ``--workers-from``).
+``host:port``, :func:`workers_from_env` — the server path), a file
+(:func:`workers_from_file` — the CLI's ``--workers-from``), or a
+registry URL (``--registry`` / ``REPRO_TRIAL_REGISTRY`` — dynamic
+membership, no static list at all).
 """
 
 from __future__ import annotations
@@ -67,6 +81,8 @@ from repro.cluster.multiplex import (
     ChunkStream,
     encode_http_request,
 )
+from repro.cluster.policy import BREAKER_STATES, CircuitBreaker, FailurePolicy
+from repro.cluster.registry import RegistryClient
 from repro.engine.backends import (
     TrialBackend,
     TrialFn,
@@ -94,6 +110,9 @@ __all__ = [
 
 #: environment variable naming the cluster (comma-separated host:port)
 WORKERS_ENV_VAR = "REPRO_TRIAL_WORKERS"
+
+#: environment variable naming the worker registry (URL)
+REGISTRY_ENV_VAR = "REPRO_TRIAL_REGISTRY"
 
 
 class _TrialFaultError(ClusterError):
@@ -333,18 +352,25 @@ class _WorkerSlot:
     """One registered worker's scheduling state (guarded by the backend lock)."""
 
     __slots__ = (
-        "client", "alive", "last_error", "last_probe",
-        "inflight", "chunks", "failures",
+        "client", "alive", "last_error", "breaker",
+        "inflight", "chunks", "failures", "source", "retired",
     )
 
-    def __init__(self, client: WorkerClient):
+    def __init__(
+        self,
+        client: WorkerClient,
+        breaker: CircuitBreaker,
+        source: str = "static",
+    ):
         self.client = client
         self.alive = False  # probed before first use
         self.last_error: str | None = None
-        self.last_probe = float("-inf")  # so the first probe always runs
+        self.breaker = breaker  # per-worker failure policy state
         self.inflight = 0
         self.chunks = 0
         self.failures = 0
+        self.source = source  # "static" or "registry"
+        self.retired = False  # registry says gone; drop when drained
 
 
 class _ChunkTask:
@@ -367,7 +393,7 @@ class RemoteTrialBackend:
     Parameters
     ----------
     workers:
-        ``host:port`` addresses to register.  An empty registry is
+        Static ``host:port`` addresses to register.  An empty fleet is
         legal: every run falls back to the local backend with the
         reason recorded (so ``--trial-backend remote`` without a
         cluster degrades instead of failing).
@@ -384,16 +410,32 @@ class RemoteTrialBackend:
         Trials per chunk; default a few chunks per live worker
         (failover granularity vs per-chunk HTTP overhead).
     reprobe_interval:
-        Minimum seconds between health probes of a *dead* worker.  A
-        down machine whose probes hang until ``probe_timeout`` would
-        otherwise stall every run; with the throttle, the cost is paid
-        at most once per interval and runs in between go straight to
-        the live workers (or the local fallback).
+        Base seconds between health probes of a *dead* worker —
+        jittered per worker and grown exponentially by the breaker (see
+        ``policy``); kept as its own argument because it is the knob
+        every deployment tunes first.  Ignored when ``policy`` is
+        given.
     registry:
         The :class:`~repro.telemetry.MetricsRegistry` receiving the
-        coordinator's dispatch/failover latency histograms (default:
-        the process-wide registry).  Every chunk attempt observes
+        coordinator's dispatch/failover latency histograms, breaker
+        state gauges, and retry counters (default: the process-wide
+        registry).  Every chunk attempt observes
         ``repro_cluster_chunk_seconds{worker, outcome}``.
+    registry_url:
+        A worker registry (:mod:`repro.cluster.registry`) to poll for
+        live membership — workers join and leave without a coordinator
+        restart.  Composes with ``workers``: static addresses stay
+        pinned, registry-sourced ones follow the lease table.
+    membership_interval:
+        Minimum seconds between registry polls (also the staleness
+        bound on the fleet view).  When every known worker is
+        exhausted mid-run, the coordinator polls again ahead of
+        schedule so a just-registered replacement can pick up the
+        remaining chunks.
+    policy:
+        The :class:`~repro.cluster.policy.FailurePolicy` driving every
+        per-worker breaker and the per-run retry budget.  Default: a
+        policy whose re-probe interval is ``reprobe_interval``.
     """
 
     name = "remote"
@@ -407,6 +449,9 @@ class RemoteTrialBackend:
         chunk_size: int | None = None,
         reprobe_interval: float = 10.0,
         registry: MetricsRegistry | None = None,
+        registry_url: str | None = None,
+        membership_interval: float = 1.0,
+        policy: FailurePolicy | None = None,
     ):
         if chunk_size is not None and chunk_size < 1:
             raise ClusterError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -417,16 +462,48 @@ class RemoteTrialBackend:
             "(ok, failed, trial_fault)",
             tag_names=("worker", "outcome"),
         )
+        self._breaker_gauge = self.registry.gauge(
+            "repro_cluster_breaker_state",
+            "Circuit breaker state per worker "
+            "(0 closed, 1 open, 2 half-open)",
+            tag_names=("worker",),
+        )
+        self._breaker_transitions = self.registry.counter(
+            "repro_cluster_breaker_transitions_total",
+            "Circuit breaker transitions per worker and target state",
+            tag_names=("worker", "state"),
+        )
+        self._retries_counter = self.registry.counter(
+            "repro_cluster_retries_total",
+            "Failover retries spent against the per-run retry budget",
+        )
+        self.policy = (
+            policy
+            if policy is not None
+            else FailurePolicy(reprobe_interval=reprobe_interval)
+        )
+        self._timeout = timeout
+        self._probe_timeout = probe_timeout
         self._slots = [
-            _WorkerSlot(WorkerClient(address, timeout, probe_timeout))
-            for address in workers
+            self._make_slot(address, source="static") for address in workers
         ]
+        self._registry_client = (
+            RegistryClient(registry_url, timeout=probe_timeout)
+            if registry_url
+            else None
+        )
+        self._membership_interval = membership_interval
+        self._last_membership_poll = float("-inf")
+        self._membership_error: str | None = None
+        self._membership_polls = 0
+        self._membership_poll_failures = 0
+        self._workers_joined = 0
+        self._workers_left = 0
         if local is None or isinstance(local, str):
             self._local = resolve_trial_backend(local or "vectorized")
         else:
             self._local = local
         self._chunk_size = chunk_size
-        self._reprobe_interval = reprobe_interval
         self._lock = threading.Lock()
         self.fallback_reason: str | None = None  # read by LabelExecutor.stats
         self._runs = 0
@@ -436,66 +513,169 @@ class RemoteTrialBackend:
         self._chunk_failures = 0
         self._chunks_failed_over = 0
         self._chunks_recovered_locally = 0
+        self._retries_spent = 0
+        self._budget_exhausted_runs = 0
 
-    # -- registry -------------------------------------------------------------
+    def _make_slot(self, address: str, source: str) -> _WorkerSlot:
+        client = WorkerClient(address, self._timeout, self._probe_timeout)
+
+        def note_transition(state: str) -> None:
+            self._breaker_gauge.set(
+                BREAKER_STATES.index(state), worker=address
+            )
+            self._breaker_transitions.inc(worker=address, state=state)
+
+        breaker = CircuitBreaker(
+            self.policy, seed=address, on_transition=note_transition
+        )
+        # seed the gauge so healthy workers show a (closed) series too —
+        # an absent series is indistinguishable from an unmonitored worker
+        self._breaker_gauge.set(BREAKER_STATES.index("closed"), worker=address)
+        return _WorkerSlot(client, breaker, source=source)
+
+    # -- membership -----------------------------------------------------------
 
     def register(self, address: str) -> None:
-        """Add a worker at runtime (probed before first use)."""
-        slot = _WorkerSlot(
-            WorkerClient(
-                address,
-                timeout=self._slots[0].client.timeout if self._slots else 30.0,
-                probe_timeout=(
-                    self._slots[0].client.probe_timeout if self._slots else 5.0
-                ),
-            )
-        )
+        """Pin a worker at runtime (probed before first use)."""
+        slot = self._make_slot(address, source="static")
         with self._lock:
             self._slots.append(slot)
 
-    def _live_slots(self) -> list[_WorkerSlot]:
-        """Probe every not-yet-live worker; return the live ones.
+    def _refresh_membership(self, desperate: bool = False) -> None:
+        """Reconcile the slot table with the worker registry, if any.
 
-        Live workers are trusted until a chunk fails on them.  Dead
-        ones are re-probed — so restarted daemons rejoin — but at most
-        once per ``reprobe_interval``, so a down machine with a
-        hang-until-timeout probe cannot stall every run.
+        Called at the start of every run and — ``desperate`` — from the
+        failover path once every known worker has been tried, so a
+        replacement that registered seconds ago can still save the
+        run.  Throttled by ``membership_interval`` (a tighter floor
+        when desperate); a poll that fails leaves the last-known
+        membership in place, because a partitioned registry must
+        degrade the fleet view, not the fleet.
         """
-        live: list[_WorkerSlot] = []
-        for slot in self._slots:
+        client = self._registry_client
+        if client is None:
+            return
+        now = time.monotonic()
+        interval = (
+            min(0.25, self._membership_interval)
+            if desperate
+            else self._membership_interval
+        )
+        with self._lock:
+            if now - self._last_membership_poll < interval:
+                return
+            self._last_membership_poll = now
+        try:
+            addresses = set(client.addresses())
+        except ClusterError as exc:
             with self._lock:
-                if slot.alive:
+                self._membership_polls += 1
+                self._membership_poll_failures += 1
+                self._membership_error = str(exc)
+            _log.warning("registry poll failed; keeping last membership: %s", exc)
+            return
+        to_close: list[WorkerClient] = []
+        with self._lock:
+            self._membership_polls += 1
+            self._membership_error = None
+            known = {slot.client.address for slot in self._slots}
+            for address in sorted(addresses - known):
+                self._slots.append(self._make_slot(address, source="registry"))
+                self._workers_joined += 1
+                _log.info("worker %s joined from the registry", address)
+            for slot in list(self._slots):
+                if slot.source != "registry" or slot.client.address in addresses:
+                    continue
+                if slot.inflight > 0:
+                    slot.retired = True  # drained by _release_slot
+                else:
+                    self._slots.remove(slot)
+                    to_close.append(slot.client)
+                self._workers_left += 1
+                _log.info("worker %s left the registry", slot.client.address)
+        for client_ in to_close:
+            client_.close()
+
+    def _release_slot(self, slot: _WorkerSlot) -> None:
+        """Drop one in-flight count; reap the slot if it was retired.
+
+        Caller must hold the lock.
+        """
+        slot.inflight -= 1
+        if slot.retired and slot.inflight <= 0 and slot in self._slots:
+            self._slots.remove(slot)
+
+    def _live_slots(self) -> list[_WorkerSlot]:
+        """Refresh membership, probe what the policy allows, return the
+        schedulable workers.
+
+        Live (probed, breaker closed) workers are trusted until a chunk
+        fails on them.  Failed ones are re-probed on the breaker's
+        schedule — jittered per worker below the threshold, exponential
+        backoff once the breaker opens — so restarted daemons rejoin
+        without any down host being able to stall every run, and no
+        recovering host takes a synchronized probe herd.
+        """
+        self._refresh_membership()
+        live: list[_WorkerSlot] = []
+        for slot in list(self._slots):
+            with self._lock:
+                if slot.retired:
+                    continue
+                if slot.alive and slot.breaker.allows_dispatch():
                     live.append(slot)
                     continue
-                now = time.monotonic()
-                if now - slot.last_probe < self._reprobe_interval:
-                    continue  # probed recently and it was down; skip
-                slot.last_probe = now
+                if not slot.breaker.try_acquire_probe():
+                    continue  # backing off; skip this run
             try:
                 slot.client.probe()
             except ClusterError as exc:
                 with self._lock:
                     slot.last_error = str(exc)
+                    slot.breaker.record_failure()
                 continue
             with self._lock:
                 slot.alive = True
                 slot.last_error = None
+                if slot.breaker.state == "closed":
+                    # recovered below the threshold: clean slate.  A
+                    # half-open breaker stays half-open — only its
+                    # probe *chunk* may close it.
+                    slot.breaker.record_success()
             live.append(slot)
         return live
 
     def _pick_worker(self, exclude: set[int]) -> _WorkerSlot | None:
-        """The least-loaded live worker not yet tried for this chunk."""
+        """The least-loaded schedulable worker not yet tried for this chunk.
+
+        Breaker-closed workers share the load; a half-open worker is
+        used only when no closed one remains, and then for exactly one
+        probe chunk — its recovery must be tested without betting the
+        whole run on it.
+        """
         with self._lock:
             candidates = [
                 slot
                 for slot in self._slots
-                if slot.alive and id(slot) not in exclude
+                if slot.alive
+                and not slot.retired
+                and id(slot) not in exclude
+                and slot.breaker.allows_dispatch()
             ]
-            if not candidates:
-                return None
-            chosen = min(candidates, key=lambda slot: slot.inflight)
-            chosen.inflight += 1
-            return chosen
+            if candidates:
+                chosen = min(candidates, key=lambda slot: slot.inflight)
+                chosen.inflight += 1
+                return chosen
+            for slot in self._slots:
+                if (
+                    slot.alive
+                    and not slot.retired
+                    and id(slot) not in exclude
+                    and slot.breaker.try_acquire_half_open_chunk()
+                ):
+                    slot.inflight += 1
+                    return slot
+            return None
 
     # -- execution ------------------------------------------------------------
 
@@ -554,11 +734,13 @@ class RemoteTrialBackend:
             if mux.submit(stream):  # failed synchronously (e.g. refused)
                 completed.append(stream)
 
-        def recover_locally(task: _ChunkTask) -> None:
+        def recover_locally(task: _ChunkTask, reason: str | None = None) -> None:
             with self._lock:
                 self._chunks_recovered_locally += 1
                 run_state["local"] += 1
-                if task.tried:
+                if reason is not None:
+                    self.fallback_reason = reason
+                elif task.tried:
                     self.fallback_reason = (
                         f"chunk [{task.start}, {task.stop}) failed on "
                         f"{len(task.tried)} worker(s); re-run locally"
@@ -572,7 +754,32 @@ class RemoteTrialBackend:
             local_spans.append((task.index, task.start, task.stop))
 
         def dispatch(task: _ChunkTask) -> None:
+            if task.tried:  # a failover retry, not the first attempt
+                if run_state["budget"] <= 0:
+                    # the run's retry budget is spent: degrade to local
+                    # execution NOW with the reason recorded, instead of
+                    # cycling a flapping fleet forever
+                    run_state["budget_exhausted"] = True
+                    recover_locally(
+                        task,
+                        reason=(
+                            f"retry budget exhausted after "
+                            f"{run_state['retries']} failover retr"
+                            f"{'y' if run_state['retries'] == 1 else 'ies'}; "
+                            f"chunk [{task.start}, {task.stop}) re-run locally"
+                        ),
+                    )
+                    return
+                run_state["budget"] -= 1
+                run_state["retries"] += 1
+                self._retries_counter.inc()
             slot = self._pick_worker(exclude=task.tried)
+            if slot is None and self._registry_client is not None:
+                # every known worker is dead or tried — a replacement
+                # may have registered since the run began; look once
+                self._refresh_membership(desperate=True)
+                self._live_slots()  # probe whatever just joined
+                slot = self._pick_worker(exclude=task.tried)
             if slot is None:
                 recover_locally(task)
                 return
@@ -625,7 +832,10 @@ class RemoteTrialBackend:
                 else:
                     stream.close()
                 with self._lock:
-                    slot.inflight -= 1
+                    self._release_slot(slot)
+                    # a 500 is a *responsive* worker reporting someone
+                    # else's bug; its breaker heals like any success
+                    slot.breaker.record_success()
                 recover_locally(task)
                 _log.warning(
                     "trial fault on %s for chunk [%d, %d); re-running locally",
@@ -641,14 +851,16 @@ class RemoteTrialBackend:
                 )
                 task.tried.add(id(slot))
                 with self._lock:
-                    slot.inflight -= 1
+                    self._release_slot(slot)
                     slot.alive = False
                     slot.last_error = str(error)
                     slot.failures += 1
+                    slot.breaker.record_failure()
                     self._chunk_failures += 1
                 _log.warning(
-                    "chunk [%d, %d) failed on %s; failing over: %s",
-                    task.start, task.stop, address, error,
+                    "chunk [%d, %d) failed on %s (%s); failing over: %s",
+                    task.start, task.stop, address,
+                    stream.failure_class or "error", error,
                     extra={"trace_id": trace_id},
                 )
                 dispatch(task)
@@ -662,8 +874,9 @@ class RemoteTrialBackend:
             else:
                 stream.close()
             with self._lock:
-                slot.inflight -= 1
+                self._release_slot(slot)
                 slot.chunks += 1
+                slot.breaker.record_success()
                 self._chunks_remote += 1
                 run_state["remote"] += 1
                 if task.tried:
@@ -726,7 +939,13 @@ class RemoteTrialBackend:
         except ClusterError as exc:
             return self._run_local(fn, payload, trials, str(exc))
         spans = _chunk_spans(trials, len(live), self._chunk_size)
-        run_state = {"remote": 0, "local": 0}  # this run's chunk outcomes
+        run_state = {  # this run's chunk outcomes and retry budget
+            "remote": 0,
+            "local": 0,
+            "retries": 0,
+            "budget": self.policy.budget_for(len(spans)),
+            "budget_exhausted": False,
+        }
         chunks = self._run_chunks(body, fn, payload, spans, run_state, trace_id)
         with self._lock:
             # a "remote" run must mean trials actually crossed the wire;
@@ -735,6 +954,9 @@ class RemoteTrialBackend:
                 self._remote_runs += 1
             else:
                 self._local_runs += 1
+            self._retries_spent += run_state["retries"]
+            if run_state["budget_exhausted"]:
+                self._budget_exhausted_runs += 1
         results: list[Any] = []
         for chunk in chunks:  # span order == trial order
             results.extend(chunk)
@@ -749,7 +971,7 @@ class RemoteTrialBackend:
         :meth:`repro.engine.executor.LabelExecutor.stats`.
         """
         with self._lock:
-            return merged_stats(
+            stats = merged_stats(
                 {
                     "workers_configured": len(self._slots),
                     "workers_alive": sum(slot.alive for slot in self._slots),
@@ -760,6 +982,12 @@ class RemoteTrialBackend:
                     "chunk_failures": self._chunk_failures,
                     "chunks_failed_over": self._chunks_failed_over,
                     "chunks_recovered_locally": self._chunks_recovered_locally,
+                    "retries_spent": self._retries_spent,
+                    "budget_exhausted_runs": self._budget_exhausted_runs,
+                    "retry_budget": self.policy.retry_budget,
+                    "breakers_open": sum(
+                        slot.breaker.state != "closed" for slot in self._slots
+                    ),
                     "connection_reconnects": sum(
                         slot.client.reconnects for slot in self._slots
                     ),
@@ -770,14 +998,27 @@ class RemoteTrialBackend:
                     {
                         "address": slot.client.address,
                         "alive": slot.alive,
+                        "source": slot.source,
                         "chunks": slot.chunks,
                         "failures": slot.failures,
                         "reconnects": slot.client.reconnects,
                         "last_error": slot.last_error,
+                        "breaker": slot.breaker.view(),
                     }
                     for slot in self._slots
                 ],
             )
+            if self._registry_client is not None:
+                stats["membership"] = {
+                    "registry": self._registry_client.url,
+                    "interval": self._membership_interval,
+                    "polls": self._membership_polls,
+                    "poll_failures": self._membership_poll_failures,
+                    "workers_joined": self._workers_joined,
+                    "workers_left": self._workers_left,
+                    "last_error": self._membership_error,
+                }
+            return stats
 
     def shutdown(self) -> None:
         """Release the local backend and connections (workers are not ours)."""

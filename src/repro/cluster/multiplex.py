@@ -137,6 +137,29 @@ class ChunkStream:
         """Whether the stream reached a terminal state (done or failed)."""
         return self.state in ("done", "failed")
 
+    @property
+    def failure_class(self) -> "str | None":
+        """The documented failure taxonomy, as one word.
+
+        ``stale`` (reused socket died pre-response → one fresh retry on
+        the same worker), ``dead_at_dispatch`` (fresh socket
+        refused/reset/EOF pre-response → immediate failover),
+        ``timed_out`` (deadline passed → failover, never retried on the
+        same worker), ``error`` (any other transport/parse failure), or
+        ``None`` while the stream has not failed.  The coordinator's
+        scheduler and the table-driven classification tests both key
+        off this.
+        """
+        if self.state != "failed":
+            return None
+        if self.stale:
+            return "stale"
+        if self.dead_at_dispatch:
+            return "dead_at_dispatch"
+        if self.timed_out:
+            return "timed_out"
+        return "error"
+
     def begin(self) -> None:
         """Open (or adopt) the socket and start the request."""
         if self.sock is not None:  # a kept-alive socket from the pool

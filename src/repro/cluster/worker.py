@@ -19,8 +19,21 @@ A worker is a stdlib ``http.server`` daemon (the same substrate as
   the coordinator refuses to schedule onto a worker whose protocol
   differs from its own.  The probe's own response time is recorded in
   the worker's metrics registry (``repro_worker_healthz_seconds``).
+  Once shutdown begins the same route answers **503** with status
+  ``draining`` — probes see the worker leaving before its sockets
+  close, so coordinators stop scheduling onto it instead of timing
+  out against it.
 - ``GET /stats``    — chunk/trial/rejection/error counters, daemon
-  ``uptime_seconds``, and the trace id of the last executed chunk.
+  ``uptime_seconds``, the trace id of the last executed chunk, and —
+  when registered — the heartbeat loop's registration stats.
+
+Fleet membership (:mod:`repro.cluster.registry`): started with
+``--register URL`` the worker announces itself to a registry and
+keeps its TTL lease alive with jittered heartbeats
+(:class:`~repro.cluster.registry.HeartbeatLoop`).  On shutdown —
+including SIGTERM to ``serve_worker_forever`` — it first drains
+(``/healthz`` → 503), then deregisters gracefully, then closes; an
+unclean death is reaped by the lease TTL instead.
 
 Telemetry: a chunk request frame may carry the originating request's
 trace id (:mod:`repro.cluster.wire`, protocol minor 1).  The worker
@@ -44,6 +57,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import socket
 import sys
 import threading
@@ -52,6 +66,7 @@ from collections.abc import Sequence
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.cluster import wire
+from repro.cluster.registry import DEFAULT_LEASE_TTL, HeartbeatLoop, RegistryClient
 from repro.engine.backends import resolve_trial_backend, run_trial_span
 from repro.errors import ClusterError
 from repro.telemetry import (
@@ -101,6 +116,9 @@ class TrialWorker:
         self._rejected = 0
         self._trial_errors = 0
         self._last_trace_id: str | None = None
+        self._draining = False
+        #: the daemon's HeartbeatLoop, when registered (set by make_worker)
+        self.heartbeat: HeartbeatLoop | None = None
 
     def run_chunk(self, data: bytes) -> bytes:
         """Decode one request frame, execute the span, return the response frame.
@@ -149,10 +167,28 @@ class TrialWorker:
         )
         return wire.encode_response(results, start, stop, trace_id)
 
+    @property
+    def draining(self) -> bool:
+        """Whether shutdown has begun (``/healthz`` answers 503)."""
+        with self._lock:
+            return self._draining
+
+    def begin_drain(self) -> None:
+        """Flip ``/healthz`` to 503 *before* the sockets close.
+
+        A coordinator probing mid-shutdown sees an explicit "leaving"
+        instead of a connection error it must classify, and stops
+        scheduling here; chunks already in flight still complete.
+        """
+        with self._lock:
+            self._draining = True
+
     def health(self) -> dict[str, object]:
         """The ``/healthz`` body: liveness plus compatibility facts."""
+        with self._lock:
+            status = "draining" if self._draining else "ok"
         return {
-            "status": "ok",
+            "status": status,
             "protocol": wire.PROTOCOL_VERSION,
             "protocol_minor": wire.PROTOCOL_MINOR,
             "backend": self.backend_requested,
@@ -171,7 +207,10 @@ class TrialWorker:
                 "backend_effective": self._backend.effective_name,
                 "uptime_seconds": time.monotonic() - self._started,
                 "last_trace_id": self._last_trace_id,
+                "draining": self._draining,
             }
+        if self.heartbeat is not None:
+            counters["registration"] = self.heartbeat.stats()
         return merged_stats(counters)
 
     def shutdown(self) -> None:
@@ -225,7 +264,8 @@ class _TrialWorkerHandler(BaseHTTPRequestHandler):
             # the probe's own latency is a health signal: a loaded
             # worker answers slowly long before it answers wrongly
             started = time.perf_counter()
-            self._send_json(200, self.worker.health())
+            body = self.worker.health()
+            self._send_json(200 if body["status"] == "ok" else 503, body)
             self.worker.registry.histogram(
                 "repro_worker_healthz_seconds",
                 "Latency of this worker's own /healthz responses",
@@ -255,10 +295,16 @@ class _TrialWorkerHandler(BaseHTTPRequestHandler):
 class WorkerHandle:
     """A running worker daemon plus its thread (context manager)."""
 
-    def __init__(self, server: ThreadingHTTPServer, worker: TrialWorker):
+    def __init__(
+        self,
+        server: ThreadingHTTPServer,
+        worker: TrialWorker,
+        heartbeat: HeartbeatLoop | None = None,
+    ):
         self._server = server
         self._thread = threading.Thread(target=server.serve_forever, daemon=True)
         self.worker = worker
+        self.heartbeat = heartbeat
 
     @property
     def address(self) -> str:
@@ -272,18 +318,28 @@ class WorkerHandle:
         return f"http://{self.address}"
 
     def start(self) -> "WorkerHandle":
-        """Start serving in the background."""
+        """Start serving in the background (and the heartbeat, if any)."""
         self._thread.start()
+        if self.heartbeat is not None:
+            self.heartbeat.start()
         return self
 
     def stop(self) -> None:
-        """Stop serving and release the backend (idempotent).
+        """Drain, deregister, stop serving, release the backend (idempotent).
+
+        The order is the graceful-exit protocol: ``/healthz`` flips to
+        503 first, then the registry lease is released, and only then
+        do the sockets close — a coordinator watching either signal
+        stops scheduling here before requests start failing.
 
         Also severs any kept-alive client connections, so a stopped
         daemon looks exactly like a killed one to a coordinator holding
         a persistent connection (its next request fails instead of
         being served by a lingering handler thread).
         """
+        self.worker.begin_drain()
+        if self.heartbeat is not None:
+            self.heartbeat.stop(deregister=True)
         self._server.shutdown()
         self._server.server_close()
         for connection in list(getattr(self._server, "live_connections", ())):
@@ -312,20 +368,40 @@ def make_worker(
     backend: str | None = None,
     workers: int | None = None,
     registry: MetricsRegistry | None = None,
+    register_url: str | None = None,
+    advertise: str | None = None,
+    heartbeat_ttl: float = DEFAULT_LEASE_TTL,
 ) -> WorkerHandle:
     """Bind a worker daemon (port 0 = ephemeral, for tests).
 
     ``backend`` names the local :class:`TrialBackend` chunks execute on
     (default ``vectorized``); ``workers`` sizes pool backends;
     ``registry`` scopes the daemon's metrics (default: process-wide).
-    The returned handle is a context manager that starts serving on
-    entry.
+    ``register_url`` points at a :mod:`repro.cluster.registry` service:
+    the handle then announces itself on start (as ``advertise`` if
+    given — for daemons whose bind address is not how coordinators
+    reach them — else its own bound ``host:port``), heartbeats every
+    ``heartbeat_ttl / 3`` seconds, and deregisters on stop.  The
+    returned handle is a context manager that starts serving on entry.
     """
     worker = TrialWorker(backend=backend, workers=workers, registry=registry)
     handler = type("BoundWorkerHandler", (_TrialWorkerHandler,), {"worker": worker})
     server = ThreadingHTTPServer((host, port), handler)
     server.live_connections = set()  # severed on stop(); see WorkerHandle
-    return WorkerHandle(server, worker)
+    handle = WorkerHandle(server, worker)
+    if register_url:
+        handle.heartbeat = HeartbeatLoop(
+            RegistryClient(register_url),
+            advertise or handle.address,
+            ttl=heartbeat_ttl,
+            meta={
+                "role": "worker",
+                "protocol": wire.PROTOCOL_VERSION,
+                "backend": worker.backend_requested,
+            },
+        )
+        worker.heartbeat = handle.heartbeat  # surfaces in /stats
+    return handle
 
 
 def serve_worker_forever(
@@ -334,25 +410,45 @@ def serve_worker_forever(
     backend: str | None = None,
     workers: int | None = None,
     log_level: str | None = None,
+    register: str | None = None,
+    advertise: str | None = None,
+    heartbeat_ttl: float = DEFAULT_LEASE_TTL,
 ) -> None:
     """Run a worker daemon until interrupted (the CLI's ``worker``).
 
     ``log_level`` (or ``REPRO_LOG_LEVEL``) turns on structured JSON
     logs on stderr — chunk executions tagged with the coordinator's
     propagated trace ids; unset, the daemon stays as quiet as before.
+
+    ``register`` (a registry URL) enrolls the daemon in a fleet.  Both
+    SIGTERM and Ctrl-C exit gracefully: drain (``/healthz`` → 503),
+    deregister, then stop — so an orchestrator's ordinary stop signal
+    never leaves a stale lease behind.
     """
     log_level = log_level or os.environ.get("REPRO_LOG_LEVEL") or None
     if log_level:
         configure_logging(log_level)
-    with make_worker(host=host, port=port, backend=backend, workers=workers) as handle:
-        print(
-            f"Ranking Facts trial worker on {handle.url} "
-            f"(backend {handle.worker.backend_requested}, Ctrl-C to stop)"
-        )
-        try:
-            threading.Event().wait()
-        except KeyboardInterrupt:
-            print("worker shutting down")
+    stop = threading.Event()
+    previous = signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    try:
+        with make_worker(
+            host=host, port=port, backend=backend, workers=workers,
+            register_url=register, advertise=advertise,
+            heartbeat_ttl=heartbeat_ttl,
+        ) as handle:
+            registered = f", registered at {register}" if register else ""
+            print(
+                f"Ranking Facts trial worker on {handle.url} "
+                f"(backend {handle.worker.backend_requested}{registered}, "
+                "Ctrl-C to stop)"
+            )
+            try:
+                stop.wait()
+                print("worker draining (SIGTERM)")
+            except KeyboardInterrupt:
+                print("worker draining (interrupt)")
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 def add_worker_arguments(parser: argparse.ArgumentParser) -> None:
@@ -379,6 +475,23 @@ def add_worker_arguments(parser: argparse.ArgumentParser) -> None:
         "info, ...); default: the REPRO_LOG_LEVEL environment variable, "
         "else quiet",
     )
+    parser.add_argument(
+        "--register", default=None, metavar="URL",
+        help="registry service to announce this worker to (e.g. "
+        "http://127.0.0.1:8100); heartbeats keep the lease alive and "
+        "a graceful stop deregisters",
+    )
+    parser.add_argument(
+        "--advertise", default=None, metavar="HOST:PORT",
+        help="address to register instead of the bound one (when "
+        "coordinators reach this worker through NAT or a proxy)",
+    )
+    parser.add_argument(
+        "--heartbeat-ttl", type=float, default=DEFAULT_LEASE_TTL,
+        metavar="SECONDS",
+        help="registry lease TTL; heartbeats fire every TTL/3 "
+        f"(default {DEFAULT_LEASE_TTL:g})",
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -392,6 +505,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     serve_worker_forever(
         host=args.host, port=args.port, backend=args.backend,
         workers=args.workers, log_level=args.log_level,
+        register=args.register, advertise=args.advertise,
+        heartbeat_ttl=args.heartbeat_ttl,
     )
     return 0
 

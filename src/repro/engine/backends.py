@@ -510,8 +510,10 @@ def resolve_trial_backend(
     count and is never self-disabled.  ``remote`` builds a
     :class:`~repro.cluster.coordinator.RemoteTrialBackend` over the
     addresses in the ``REPRO_TRIAL_WORKERS`` environment variable
-    (comma-separated ``host:port``); with none configured it simply
-    runs everything on its local fallback, recording the reason.
+    (comma-separated ``host:port``) and/or the registry named by
+    ``REPRO_TRIAL_REGISTRY`` (a URL — dynamic membership, workers may
+    join and leave mid-run); with neither configured it simply runs
+    everything on its local fallback, recording the reason.
     """
     requested = name if name is not None else "vectorized"
     if requested not in BACKEND_NAMES:
@@ -524,11 +526,15 @@ def resolve_trial_backend(
     if requested == "remote":
         # lazy: the cluster package imports this module for the protocol
         from repro.cluster.coordinator import (
+            REGISTRY_ENV_VAR,
             RemoteTrialBackend,
             workers_from_env,
         )
 
-        return RemoteTrialBackend(workers_from_env())
+        return RemoteTrialBackend(
+            workers_from_env(),
+            registry_url=os.environ.get(REGISTRY_ENV_VAR) or None,
+        )
     effective_workers = workers if workers is not None else (os.cpu_count() or 1)
     if requested == "serial" or effective_workers <= 1:
         return SerialTrialBackend()

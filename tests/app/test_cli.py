@@ -233,3 +233,164 @@ class TestWorkerCommand:
         assert code == 0
         assert "1/1 job(s) succeeded" in out
         assert "remote" in out
+
+
+BATCH_SPEC = {"jobs": [{
+    "dataset": "cs-departments",
+    "design": {
+        "weights": {"PubCount": 0.4, "Faculty": 0.4, "GRE": 0.2},
+        "sensitive": ["DeptSizeBin"],
+        "id_column": "DeptName",
+        "monte_carlo_trials": 4,
+        "monte_carlo_epsilons": [0.1],
+    },
+}]}
+
+
+class TestRegistryAndFleetCommands:
+    """The fleet-facing subcommands: registry, fleet status, --registry."""
+
+    def test_registry_parser_defaults(self):
+        from repro.app.cli import build_parser
+
+        args = build_parser().parse_args(["registry"])
+        assert args.command == "registry"
+        assert args.port == 8100
+
+    def test_registry_flag_requires_remote_backend(self, tmp_path, capsys):
+        spec = tmp_path / "jobs.json"
+        spec.write_text(json.dumps(BATCH_SPEC))
+        code = main([
+            "batch", "--spec", str(spec),
+            "--trial-backend", "serial",
+            "--registry", "http://127.0.0.1:8100",
+        ])
+        assert code == 2
+        assert "--trial-backend remote" in capsys.readouterr().err
+
+    def test_batch_runs_on_a_registry_discovered_fleet(self, tmp_path, capsys):
+        from repro.cluster.registry import make_registry
+        from repro.cluster.worker import make_worker
+
+        spec = tmp_path / "jobs.json"
+        spec.write_text(json.dumps(BATCH_SPEC))
+        with make_registry() as registry:
+            with make_worker(register_url=registry.url):
+                code = main([
+                    "batch", "--spec", str(spec), "--stats",
+                    "--trial-backend", "remote",
+                    "--registry", registry.url,
+                ])
+                out = capsys.readouterr().out
+        assert code == 0
+        assert "1/1 job(s) succeeded" in out
+        assert "remote" in out
+
+    def test_fleet_status_needs_a_source(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_TRIAL_REGISTRY", raising=False)
+        assert main(["fleet", "status"]) == 2
+        assert "--registry" in capsys.readouterr().err
+
+    def test_fleet_status_lists_registered_workers(self, capsys):
+        from repro.cluster.registry import make_registry
+        from repro.cluster.worker import make_worker
+
+        with make_registry() as registry:
+            with make_worker(register_url=registry.url) as worker:
+                code = main(["fleet", "status", "--registry", registry.url])
+                out = capsys.readouterr().out
+        assert code == 0
+        assert "1 worker(s)" in out
+        assert worker.address in out
+
+    def test_fleet_status_raw_is_json(self, capsys):
+        from repro.cluster.registry import make_registry
+
+        with make_registry() as registry:
+            code = main([
+                "fleet", "status", "--registry", registry.url, "--raw",
+            ])
+            out = capsys.readouterr().out
+        assert code == 0
+        assert json.loads(out)["registry"]["workers"]["count"] == 0
+
+    def test_fleet_status_registry_from_the_environment(
+        self, capsys, monkeypatch
+    ):
+        from repro.cluster.registry import make_registry
+
+        with make_registry() as registry:
+            monkeypatch.setenv("REPRO_TRIAL_REGISTRY", registry.url)
+            assert main(["fleet", "status"]) == 0
+            assert "0 worker(s)" in capsys.readouterr().out
+
+    def test_fleet_status_unreachable_registry_fails_cleanly(self, capsys):
+        from tests.cluster.faults import dead_address
+
+        code = main([
+            "fleet", "status", "--registry", f"http://{dead_address()}",
+        ])
+        assert code == 2
+        assert "cannot fetch" in capsys.readouterr().err
+
+
+class TestFleetFormatting:
+    """Pure formatter coverage: dicts in, readable lines out."""
+
+    CLUSTER = {
+        "workers_alive": 1,
+        "workers_configured": 2,
+        "breakers_open": 1,
+        "retries_spent": 3,
+        "retry_budget": None,
+        "budget_exhausted_runs": 0,
+        "chunks_remote": 8,
+        "chunks_failed_over": 2,
+        "chunks_recovered_locally": 0,
+        "workers": [
+            {
+                "address": "127.0.0.1:8101", "source": "registry",
+                "chunks": 8, "failures": 0,
+                "breaker": {"state": "closed", "retry_in": 0.0},
+            },
+            {
+                "address": "127.0.0.1:8102", "source": "static",
+                "chunks": 0, "failures": 3,
+                "breaker": {"state": "open", "retry_in": 12.5},
+            },
+        ],
+        "membership": {
+            "registry": "http://127.0.0.1:8100",
+            "workers_joined": 3, "workers_left": 1, "poll_failures": 0,
+        },
+    }
+
+    def test_fleet_cluster_view_shows_breakers_and_membership(self):
+        from repro.app.cli import _format_fleet_cluster
+
+        text = "\n".join(
+            _format_fleet_cluster("http://127.0.0.1:8000", self.CLUSTER)
+        )
+        assert "1/2 worker(s) alive" in text
+        assert "1 breaker(s) open" in text
+        assert "open" in text and "reprobe in 12.5s" in text
+        assert "3 joined, 1 left" in text
+
+    def test_fleet_cluster_view_without_a_cluster(self):
+        from repro.app.cli import _format_fleet_cluster
+
+        text = "\n".join(_format_fleet_cluster("http://x:1", None))
+        assert "no remote trial cluster" in text
+
+    def test_stats_summary_includes_breakers_and_membership(self):
+        from repro.app.cli import _format_stats
+
+        text = _format_stats({
+            "executor": {
+                "jobs_submitted": 1, "batches_submitted": 1,
+                "trial_backend_effective": "remote",
+                "trial_cluster": self.CLUSTER,
+            },
+        })
+        assert "1 breaker(s) open" in text
+        assert "membership via http://127.0.0.1:8100" in text

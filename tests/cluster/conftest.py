@@ -1,152 +1,29 @@
-"""Shared cluster-test helpers: real workers and misbehaving ones.
+"""Shared cluster-test fixtures; the fault kit itself lives in faults.py.
 
-The fault-injection tests need workers that fail in specific,
-reproducible ways.  :func:`faulty_worker` serves a daemon that passes
-health probes (so the coordinator schedules onto it) but then breaks
-at chunk time — with an immediate error (a worker killed mid-batch
-looks exactly like this to the coordinator: scheduled, then
-unreachable) or by sleeping past the coordinator's timeout (a hung
-worker).  :func:`dead_address` reserves an address nothing listens on.
+PR 4 grew the misbehaving-worker fakes here one test at a time; PR 8
+promoted them to :mod:`tests.cluster.faults` — a composable harness the
+robustness tests and the CI chaos job share.  The names are re-exported
+so existing ``from tests.cluster.conftest import ...`` call sites keep
+working.
 """
 
 from __future__ import annotations
 
-import contextlib
-import json
-import socket
-import threading
-import time
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-
 import pytest
 
-from repro.cluster import wire
+from tests.cluster.faults import (  # noqa: F401  (re-exported fault kit)
+    boom_trial,
+    dead_address,
+    dropped_heartbeats,
+    faulty_worker,
+    half_closed_worker,
+    kill_worker,
+    partitioned_registry,
+    revive_worker,
+    slow_worker,
+)
+from repro.cluster.registry import make_registry
 from repro.cluster.worker import make_worker
-
-
-def boom_trial(payload, trial):
-    """A genuinely buggy trial — module-level so it crosses the wire."""
-    raise ValueError("bad trial")
-
-
-def dead_address() -> str:
-    """A host:port that was just free — connecting to it is refused."""
-    probe = socket.socket()
-    probe.bind(("127.0.0.1", 0))
-    address = f"127.0.0.1:{probe.getsockname()[1]}"
-    probe.close()
-    return address
-
-
-class _FaultyHandler(BaseHTTPRequestHandler):
-    """Healthy on probe, broken on work — the faulty-worker template."""
-
-    protocol_report: int = wire.PROTOCOL_VERSION
-    trial_delay: float = 0.0
-    # 503, not 500: a 500 is the worker's "the trial function raised"
-    # signal, which the coordinator deliberately does NOT fail over
-    trial_status: int = 503
-
-    def log_message(self, format, *args):  # noqa: A002
-        pass
-
-    def _send_json(self, status: int, data: object) -> None:
-        body = json.dumps(data).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def do_GET(self):  # noqa: N802
-        if self.path.partition("?")[0] == "/healthz":
-            self._send_json(
-                200, {"status": "ok", "protocol": self.protocol_report}
-            )
-        else:
-            self._send_json(404, {"error": "unknown"})
-
-    def do_POST(self):  # noqa: N802
-        length = int(self.headers.get("Content-Length") or 0)
-        self.rfile.read(length)
-        if self.trial_delay:
-            time.sleep(self.trial_delay)
-        self._send_json(self.trial_status, {"error": "injected worker fault"})
-
-
-@contextlib.contextmanager
-def faulty_worker(
-    protocol: int | None = None,
-    trial_delay: float = 0.0,
-    trial_status: int = 503,
-):
-    """Serve a worker that probes healthy but fails every chunk.
-
-    ``protocol`` overrides the version ``/healthz`` reports (a
-    mismatched worker must be rejected at probe time and never sent a
-    chunk).  ``trial_delay`` makes ``POST /trials`` hang that long
-    before failing (the slow-worker case).
-    """
-    handler = type(
-        "BoundFaultyHandler",
-        (_FaultyHandler,),
-        {
-            "protocol_report": (
-                protocol if protocol is not None else wire.PROTOCOL_VERSION
-            ),
-            "trial_delay": trial_delay,
-            "trial_status": trial_status,
-        },
-    )
-    server = ThreadingHTTPServer(("127.0.0.1", 0), handler)
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    host, port = server.server_address[:2]
-    try:
-        yield f"{host}:{int(port)}"
-    finally:
-        server.shutdown()
-        server.server_close()
-        thread.join(timeout=5)
-
-
-class _HalfClosedHandler(_FaultyHandler):
-    """Healthy on probe; half-closes the chunk connection, no response.
-
-    This reproduces a worker whose process died (or was SIGKILLed) right
-    as the chunk arrived: the kernel sends FIN, the socket reads EOF,
-    but the connection is never properly answered.  The coordinator
-    must classify this as dead-at-dispatch and fail over immediately —
-    not sit out the full chunk timeout.
-    """
-
-    hold: float = 5.0
-
-    def do_POST(self):  # noqa: N802
-        length = int(self.headers.get("Content-Length") or 0)
-        self.rfile.read(length)
-        try:
-            self.connection.shutdown(socket.SHUT_WR)  # FIN, no response bytes
-        except OSError:
-            pass
-        # keep the fd open so the client sees a half-close, not a reset
-        time.sleep(self.hold)
-
-
-@contextlib.contextmanager
-def half_closed_worker(hold: float = 5.0):
-    """Serve a worker that half-closes every chunk connection unanswered."""
-    handler = type("BoundHalfClosedHandler", (_HalfClosedHandler,), {"hold": hold})
-    server = ThreadingHTTPServer(("127.0.0.1", 0), handler)
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    host, port = server.server_address[:2]
-    try:
-        yield f"{host}:{int(port)}"
-    finally:
-        server.shutdown()
-        server.server_close()
-        thread.join(timeout=5)
 
 
 @pytest.fixture()
@@ -154,3 +31,10 @@ def worker_pair():
     """Two live trial workers on ephemeral ports."""
     with make_worker() as one, make_worker() as two:
         yield one, two
+
+
+@pytest.fixture()
+def registry():
+    """A live registry service on an ephemeral port."""
+    with make_registry() as handle:
+        yield handle

@@ -199,6 +199,7 @@ class TestFaultInjection:
     def test_dead_worker_reprobe_is_throttled(self):
         """A down worker is probed once per interval, not once per run."""
         from repro.cluster.coordinator import _WorkerSlot
+        from repro.cluster.policy import CircuitBreaker
 
         probes = []
 
@@ -208,7 +209,10 @@ class TestFaultInjection:
                 raise ClusterError("still down")
 
         backend = RemoteTrialBackend([], reprobe_interval=3600.0)
-        backend._slots.append(_WorkerSlot(CountingClient(dead_address())))
+        client = CountingClient(dead_address())
+        backend._slots.append(
+            _WorkerSlot(client, CircuitBreaker(backend.policy, seed=client.address))
+        )
         for _ in range(5):
             backend.run(square, {"base": 7}, 4)
         assert len(probes) == 1  # probed once, then throttled

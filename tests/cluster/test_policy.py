@@ -1,0 +1,204 @@
+"""The failure policy engine: breaker state machine under a fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.policy import BREAKER_STATES, CircuitBreaker, FailurePolicy
+from repro.errors import ClusterError
+
+
+class FakeClock:
+    """A steppable monotonic clock — breaker tests never sleep."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(clock=None, transitions=None, **policy_kwargs):
+    policy_kwargs.setdefault("jitter", 0.0)  # deterministic unless asked
+    return CircuitBreaker(
+        FailurePolicy(**policy_kwargs),
+        seed="127.0.0.1:9001",
+        clock=clock if clock is not None else FakeClock(),
+        on_transition=(
+            transitions.append if transitions is not None else None
+        ),
+    )
+
+
+class TestFailurePolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"breaker_threshold": 0},
+            {"reprobe_interval": -1},
+            {"backoff_factor": 0.5},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+            {"retry_budget": -1},
+        ],
+    )
+    def test_bad_knobs_are_rejected(self, kwargs):
+        with pytest.raises(ClusterError):
+            FailurePolicy(**kwargs)
+
+    def test_budget_defaults_to_twice_the_chunk_count(self):
+        assert FailurePolicy().budget_for(6) == 12
+        assert FailurePolicy(retry_budget=3).budget_for(6) == 3
+        assert FailurePolicy(retry_budget=0).budget_for(6) == 0
+
+    def test_backoff_is_flat_below_threshold_then_exponential_capped(self):
+        policy = FailurePolicy(
+            breaker_threshold=3, reprobe_interval=10, backoff_factor=2,
+            backoff_max=60,
+        )
+        assert policy.backoff_for(1) == 10
+        assert policy.backoff_for(2) == 10
+        assert policy.backoff_for(3) == 10  # first open: base interval
+        assert policy.backoff_for(4) == 20
+        assert policy.backoff_for(5) == 40
+        assert policy.backoff_for(6) == 60  # capped
+        assert policy.backoff_for(60) == 60
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_probeable(self):
+        breaker = make_breaker()
+        assert breaker.state == "closed"
+        assert breaker.allows_dispatch()
+        assert breaker.try_acquire_probe()
+
+    def test_failures_below_threshold_delay_probes_but_stay_closed(self):
+        clock = FakeClock()
+        breaker = make_breaker(
+            clock=clock, breaker_threshold=3, reprobe_interval=10
+        )
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert not breaker.try_acquire_probe()  # backing off
+        clock.advance(10)
+        assert breaker.try_acquire_probe()
+
+    def test_threshold_consecutive_failures_trip_the_breaker(self):
+        transitions = []
+        breaker = make_breaker(transitions=transitions, breaker_threshold=3)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allows_dispatch()
+        assert breaker.opened_count == 1
+        assert transitions == ["open"]
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = make_breaker(breaker_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # never 3 in a row
+
+    def test_open_breaker_goes_half_open_after_backoff(self):
+        clock = FakeClock()
+        transitions = []
+        breaker = make_breaker(
+            clock=clock, transitions=transitions,
+            breaker_threshold=1, reprobe_interval=10,
+        )
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.try_acquire_probe()  # backoff not elapsed
+        clock.advance(10)
+        assert breaker.try_acquire_probe()  # elapses: half-open probe
+        assert breaker.state == "half_open"
+        assert transitions == ["open", "half_open"]
+
+    def test_half_open_admits_exactly_one_probe_chunk(self):
+        clock = FakeClock()
+        breaker = make_breaker(
+            clock=clock, breaker_threshold=1, reprobe_interval=0
+        )
+        breaker.record_failure()
+        assert breaker.try_acquire_probe()
+        assert not breaker.allows_dispatch()  # half-open ≠ schedulable
+        assert breaker.try_acquire_half_open_chunk()
+        assert not breaker.try_acquire_half_open_chunk()  # one only
+
+    def test_probe_chunk_success_closes_the_breaker(self):
+        breaker = make_breaker(breaker_threshold=1, reprobe_interval=0)
+        breaker.record_failure()
+        breaker.try_acquire_probe()
+        breaker.try_acquire_half_open_chunk()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allows_dispatch()
+        assert breaker.consecutive_failures == 0
+
+    def test_probe_chunk_failure_reopens_with_longer_backoff(self):
+        clock = FakeClock()
+        breaker = make_breaker(
+            clock=clock, breaker_threshold=1, reprobe_interval=10,
+            backoff_factor=2, backoff_max=1000,
+        )
+        breaker.record_failure()  # open; next attempt at +10
+        first_backoff = breaker.next_attempt_at - clock.now
+        clock.advance(10)
+        breaker.try_acquire_probe()  # half-open
+        breaker.try_acquire_half_open_chunk()
+        breaker.record_failure()  # probe chunk failed
+        assert breaker.state == "open"
+        assert breaker.opened_count == 2
+        second_backoff = breaker.next_attempt_at - clock.now
+        assert second_backoff > first_backoff  # exponential growth
+
+    def test_jitter_staggers_breakers_by_seed(self):
+        """Two workers that fail together must not re-probe in lockstep."""
+        clock = FakeClock()
+        policy = FailurePolicy(reprobe_interval=100, jitter=0.5)
+        delays = set()
+        for address in ("127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9003"):
+            breaker = CircuitBreaker(policy, seed=address, clock=clock)
+            breaker.record_failure()
+            delay = breaker.next_attempt_at - clock.now
+            assert 50 <= delay <= 150  # within ±jitter of the base
+            delays.add(round(delay, 6))
+        assert len(delays) == 3  # all different: no thundering herd
+
+    def test_same_seed_is_reproducible(self):
+        clock = FakeClock()
+        policy = FailurePolicy(reprobe_interval=100, jitter=0.5)
+        delays = []
+        for _ in range(2):
+            breaker = CircuitBreaker(policy, seed="127.0.0.1:9001", clock=clock)
+            breaker.record_failure()
+            delays.append(breaker.next_attempt_at - clock.now)
+        assert delays[0] == delays[1]
+
+    def test_view_reports_state_for_stats(self):
+        clock = FakeClock()
+        breaker = make_breaker(
+            clock=clock, breaker_threshold=1, reprobe_interval=10
+        )
+        assert breaker.view() == {
+            "state": "closed",
+            "consecutive_failures": 0,
+            "retry_in": None,
+            "opened": 0,
+        }
+        breaker.record_failure()
+        view = breaker.view()
+        assert view["state"] == "open"
+        assert view["retry_in"] == pytest.approx(10)
+        assert view["opened"] == 1
+
+    def test_gauge_value_order_is_stable(self):
+        # the repro_cluster_breaker_state gauge encodes these indices;
+        # reordering them silently re-labels every dashboard
+        assert BREAKER_STATES == ("closed", "open", "half_open")

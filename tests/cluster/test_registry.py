@@ -1,0 +1,200 @@
+"""The worker registry: leases, the HTTP service, client, heartbeats."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster.registry import (
+    DEFAULT_LEASE_TTL,
+    HeartbeatLoop,
+    RegistryClient,
+    WorkerRegistry,
+    make_registry,
+)
+from repro.errors import ClusterError
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.exporters import render_prometheus
+from tests.cluster.faults import partitioned_registry
+
+
+class TestWorkerRegistry:
+    """The lease table itself, no HTTP."""
+
+    def test_register_and_list(self):
+        registry = WorkerRegistry(registry=MetricsRegistry())
+        lease = registry.register("127.0.0.1:9001", ttl=30, meta={"role": "worker"})
+        assert lease["address"] == "127.0.0.1:9001"
+        assert lease["expires_in"] == pytest.approx(30, abs=1)
+        workers = registry.workers()
+        assert [w["address"] for w in workers] == ["127.0.0.1:9001"]
+        assert workers[0]["meta"] == {"role": "worker"}
+
+    def test_registration_is_idempotent(self):
+        registry = WorkerRegistry(registry=MetricsRegistry())
+        registry.register("127.0.0.1:9001")
+        registry.register("127.0.0.1:9001")
+        assert len(registry.workers()) == 1
+        assert registry.stats()["registrations"] == 2
+
+    def test_lease_expires_without_heartbeat(self):
+        registry = WorkerRegistry(registry=MetricsRegistry())
+        registry.register("127.0.0.1:9001", ttl=0.05)
+        time.sleep(0.1)
+        assert registry.workers() == []
+        assert registry.stats()["expirations"] == 1
+
+    def test_heartbeat_renews_the_lease(self):
+        registry = WorkerRegistry(registry=MetricsRegistry())
+        registry.register("127.0.0.1:9001", ttl=0.25)
+        for _ in range(4):
+            time.sleep(0.1)
+            lease = registry.heartbeat("127.0.0.1:9001")
+        # 0.4s elapsed on a 0.25s ttl: only heartbeats kept it alive
+        assert lease["beats"] == 4
+        assert [w["address"] for w in registry.workers()] == ["127.0.0.1:9001"]
+
+    def test_heartbeat_for_unknown_worker_raises_keyerror(self):
+        registry = WorkerRegistry(registry=MetricsRegistry())
+        with pytest.raises(KeyError):
+            registry.heartbeat("127.0.0.1:9001")
+
+    def test_deregister_is_explicit_and_idempotent(self):
+        registry = WorkerRegistry(registry=MetricsRegistry())
+        registry.register("127.0.0.1:9001")
+        assert registry.deregister("127.0.0.1:9001") is True
+        assert registry.deregister("127.0.0.1:9001") is False
+        assert registry.workers() == []
+
+    @pytest.mark.parametrize(
+        "address", [None, 42, "no-port", ":9001", "host:not-a-number"]
+    )
+    def test_junk_addresses_are_rejected(self, address):
+        registry = WorkerRegistry(registry=MetricsRegistry())
+        with pytest.raises(ClusterError):
+            registry.register(address)
+
+    def test_bad_ttl_is_rejected(self):
+        registry = WorkerRegistry(registry=MetricsRegistry())
+        with pytest.raises(ClusterError):
+            registry.register("127.0.0.1:9001", ttl=0)
+
+    def test_lease_events_reach_the_metrics_registry(self):
+        metrics = MetricsRegistry()
+        registry = WorkerRegistry(registry=metrics)
+        registry.register("127.0.0.1:9001", ttl=0.05)
+        time.sleep(0.1)
+        registry.workers()  # prunes, counting the expiry
+        registry.register("127.0.0.1:9002")
+        registry.heartbeat("127.0.0.1:9002")
+        registry.deregister("127.0.0.1:9002")
+        rendered = render_prometheus(metrics)
+        assert 'repro_registry_events_total{event="register"} 2' in rendered
+        assert 'repro_registry_events_total{event="expire"} 1' in rendered
+        assert 'repro_registry_events_total{event="heartbeat"} 1' in rendered
+        assert 'repro_registry_events_total{event="deregister"} 1' in rendered
+        assert "repro_registry_workers 0" in rendered
+
+
+class TestRegistryService:
+    """The HTTP service + RegistryClient round trip."""
+
+    def test_register_heartbeat_deregister_round_trip(self, registry):
+        client = RegistryClient(registry.url)
+        lease = client.register("127.0.0.1:9001", ttl=30)
+        assert lease["address"] == "127.0.0.1:9001"
+        assert client.addresses() == ("127.0.0.1:9001",)
+        beat = client.heartbeat("127.0.0.1:9001")
+        assert beat["beats"] == 1
+        assert client.deregister("127.0.0.1:9001") == {"removed": True}
+        assert client.addresses() == ()
+
+    def test_heartbeat_for_unknown_worker_is_http_404(self, registry):
+        client = RegistryClient(registry.url)
+        with pytest.raises(ClusterError, match="HTTP 404"):
+            client.heartbeat("127.0.0.1:9001")
+
+    def test_bad_request_is_http_400(self, registry):
+        client = RegistryClient(registry.url)
+        with pytest.raises(ClusterError, match="HTTP 400"):
+            client.register("not-an-address")
+
+    def test_healthz_identifies_the_role(self, registry):
+        health = RegistryClient(registry.url)._call("GET", "/healthz")
+        assert health["status"] == "ok"
+        assert health["role"] == "registry"
+
+    def test_unreachable_registry_is_a_cluster_error(self):
+        handle = make_registry().start()
+        url = handle.url
+        handle.stop()  # connections are now refused
+        with pytest.raises(ClusterError, match="unreachable"):
+            RegistryClient(url, timeout=1.0).workers()
+
+    def test_partition_drops_connections_and_heals(self, registry):
+        client = RegistryClient(registry.url, timeout=1.0)
+        client.register("127.0.0.1:9001", ttl=60)
+        with partitioned_registry(registry):
+            with pytest.raises(ClusterError):
+                client.workers()
+        # healed: state survived the partition (leases are in memory)
+        assert client.addresses() == ("127.0.0.1:9001",)
+
+
+class TestHeartbeatLoop:
+    """The worker-side registration thread."""
+
+    def test_registers_on_start_and_keeps_lease_alive(self, registry):
+        client = RegistryClient(registry.url)
+        loop = HeartbeatLoop(client, "127.0.0.1:9001", ttl=0.3).start()
+        try:
+            time.sleep(0.8)  # several ttls: only the beats keep it alive
+            assert client.addresses() == ("127.0.0.1:9001",)
+            assert loop.stats()["beats"] >= 2
+        finally:
+            loop.stop()
+        assert client.addresses() == ()  # graceful stop deregisters
+
+    def test_paused_heartbeats_let_the_lease_expire(self, registry):
+        client = RegistryClient(registry.url)
+        loop = HeartbeatLoop(client, "127.0.0.1:9001", ttl=0.3).start()
+        try:
+            loop.pause()
+            time.sleep(0.5)
+            assert client.addresses() == ()
+            # resuming re-registers via the heartbeat 404 signal
+            loop.resume()
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                if client.addresses() == ("127.0.0.1:9001",):
+                    break
+                time.sleep(0.05)
+            assert client.addresses() == ("127.0.0.1:9001",)
+            assert loop.stats()["reregistrations"] >= 1
+        finally:
+            loop.stop(deregister=False)
+
+    def test_survives_a_registry_that_is_not_up_yet(self):
+        handle = make_registry()
+        url = handle.url
+        loop = HeartbeatLoop(
+            RegistryClient(url, timeout=1.0), "127.0.0.1:9001", ttl=0.3
+        ).start()  # registry not started: initial registration fails
+        try:
+            assert loop.stats()["errors"] >= 1
+            handle.start()  # late registry: the loop re-announces itself
+            deadline = time.monotonic() + 5
+            client = RegistryClient(url)
+            while time.monotonic() < deadline:
+                if client.addresses() == ("127.0.0.1:9001",):
+                    break
+                time.sleep(0.05)
+            assert client.addresses() == ("127.0.0.1:9001",)
+        finally:
+            loop.stop(deregister=False)
+            handle.stop()
+
+    def test_default_ttl_matches_the_module_constant(self):
+        loop = HeartbeatLoop(RegistryClient("127.0.0.1:1"), "127.0.0.1:9001")
+        assert loop.ttl == DEFAULT_LEASE_TTL

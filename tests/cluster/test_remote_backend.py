@@ -158,6 +158,24 @@ class TestServiceIntegration:
         assert backend.stats()["chunks_remote"] > 0
         backend.shutdown()
 
+    def test_resolve_by_name_reads_the_registry_env(self, monkeypatch):
+        from repro.cluster.registry import make_registry
+        from repro.cluster.worker import make_worker
+        from tests.cluster.test_wire import square
+
+        monkeypatch.delenv("REPRO_TRIAL_WORKERS", raising=False)
+        with make_registry() as registry:
+            monkeypatch.setenv("REPRO_TRIAL_REGISTRY", registry.url)
+            with make_worker(register_url=registry.url):
+                backend = resolve_trial_backend("remote")
+                assert isinstance(backend, RemoteTrialBackend)
+                expected = [square({"base": 7}, t) for t in range(8)]
+                assert backend.run(square, {"base": 7}, 8) == expected
+                stats = backend.stats()
+                assert stats["remote_runs"] == 1
+                assert stats["membership"]["registry"] == registry.url
+                backend.shutdown()
+
     def test_server_env_var_selects_remote(self, worker_pair, monkeypatch):
         one, two = worker_pair
         monkeypatch.setenv("REPRO_TRIAL_BACKEND", "remote")

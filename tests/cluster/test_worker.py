@@ -113,6 +113,32 @@ class TestWorkerHTTP:
                 _get_json(handle.url + "/nope")
             assert excinfo.value.code == 404
 
+    def test_draining_worker_answers_healthz_503(self):
+        with make_worker(backend="serial") as handle:
+            status, _ = _get_json(handle.url + "/healthz")
+            assert status == 200
+            # shutdown begins: probes must see "leaving", not a socket
+            # error — coordinators stop scheduling before requests fail
+            handle.worker.begin_drain()
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get_json(handle.url + "/healthz")
+            assert excinfo.value.code == 503
+            body = json.loads(excinfo.value.read())
+            assert body["status"] == "draining"
+            # chunks in flight still complete: /trials keeps working
+            status, raw = _post_trials(handle.url, _chunk_request(0, 4))
+            assert status == 200
+            _, stats = _get_json(handle.url + "/stats")
+            assert stats["draining"] is True
+
+    def test_drain_state_in_health_document(self):
+        worker = TrialWorker(backend="serial")
+        assert worker.health()["status"] == "ok"
+        assert worker.draining is False
+        worker.begin_drain()
+        assert worker.draining is True
+        assert worker.health()["status"] == "draining"
+
 
 class TestRunTrialSpan:
     """The span helper every worker chunk goes through."""
