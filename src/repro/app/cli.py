@@ -15,6 +15,10 @@ Subcommands mirror the demo workflow:
   a running server (``--watch`` refreshes it in place);
 - ``ranking-facts store ls|show|gc|diff`` — inspect and maintain a
   durable label store (the archive ``serve --store`` writes);
+- ``ranking-facts trace ls|show`` — list archived traces and render one
+  as an ASCII request waterfall (coordinator *and* worker spans; from a
+  running server with ``--url`` or straight off a store file with
+  ``--path``);
 - ``ranking-facts worker`` — run a Monte-Carlo trial worker daemon
   that the ``remote`` trial backend shards stability trials onto
   (see :mod:`repro.cluster`);
@@ -282,6 +286,24 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 32)",
     )
     serve.add_argument(
+        "--metrics-exemplars", action="store_true",
+        help="render /metrics as OpenMetrics with per-bucket trace-id "
+        "exemplars (default: the REPRO_METRICS_EXEMPLARS environment "
+        "variable, else plain Prometheus text — byte-identical to "
+        "previous releases)",
+    )
+    serve.add_argument(
+        "--trace-sample-rate", type=int, default=None, metavar="N",
+        help="archive 1 in N sampled traces (errors and slow traces are "
+        "always kept; default: REPRO_TRACE_SAMPLE_RATE, else 1 = all); "
+        "needs --store",
+    )
+    serve.add_argument(
+        "--trace-slow-threshold", type=float, default=None, metavar="SECONDS",
+        help="traces slower than this are always archived "
+        "(default: REPRO_TRACE_SLOW_THRESHOLD, else 1.0)",
+    )
+    serve.add_argument(
         "--log-level", default=None, metavar="LEVEL",
         help="emit structured JSON logs on stderr at this level (debug, "
         "info, ...), each line tagged with the request's trace id "
@@ -363,6 +385,44 @@ def build_parser() -> argparse.ArgumentParser:
     _store_path_argument(store_diff)
     store_diff.add_argument("before", help="fingerprint (prefix) of the older label")
     store_diff.add_argument("after", help="fingerprint (prefix) of the newer label")
+
+    trace = commands.add_parser(
+        "trace",
+        help="inspect the durable trace archive (request waterfalls)",
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+
+    def _trace_source_arguments(sub: argparse.ArgumentParser) -> None:
+        source = sub.add_mutually_exclusive_group()
+        source.add_argument(
+            "--url", default=None, metavar="URL",
+            help="read traces from a running server's /traces routes",
+        )
+        source.add_argument(
+            "--path", default=None, metavar="FILE",
+            help="read traces straight off a store file (default: the "
+            "REPRO_LABEL_STORE environment variable)",
+        )
+
+    trace_ls = trace_commands.add_parser(
+        "ls", help="list archived traces, newest first"
+    )
+    _trace_source_arguments(trace_ls)
+    trace_ls.add_argument(
+        "--limit", type=int, default=20, help="show at most this many rows"
+    )
+
+    trace_show = trace_commands.add_parser(
+        "show", help="one trace as an ASCII request waterfall"
+    )
+    _trace_source_arguments(trace_show)
+    trace_show.add_argument(
+        "trace_id", help="the trace id (any unambiguous prefix)"
+    )
+    trace_show.add_argument(
+        "--raw", action="store_true",
+        help="print the raw span JSON instead of the waterfall",
+    )
 
     worker = commands.add_parser(
         "worker",
@@ -695,8 +755,25 @@ def _run_serve(args: argparse.Namespace) -> str:
         allow_local_paths=args.allow_local_paths,
         log_level=args.log_level,
         max_streams=args.max_streams,
+        # None defers to REPRO_METRICS_EXEMPLARS; the flag forces on
+        metrics_exemplars=True if args.metrics_exemplars else None,
+        trace_sample_rate=args.trace_sample_rate,
+        trace_slow_threshold=args.trace_slow_threshold,
     )
     return ""  # serve_forever blocks; reached only on shutdown
+
+
+def _format_slo_summary(slo: list) -> str:
+    """One line of per-objective burn, shared by stats and fleet views."""
+    parts = []
+    for entry in slo:
+        burn = entry.get("burn")
+        burn_text = "-" if burn is None else f"{float(burn):.2f}"
+        parts.append(
+            f"{entry.get('name', '?')} {entry.get('state', '?')} "
+            f"(burn {burn_text})"
+        )
+    return "; ".join(parts)
 
 
 def _format_stats(stats: dict) -> str:
@@ -739,6 +816,16 @@ def _format_stats(stats: dict) -> str:
                     f"{cluster.get('budget_exhausted_runs', 0)} run(s) "
                     f"budget-exhausted"
                 )
+            workers_rows = cluster.get("workers")
+            if isinstance(workers_rows, list) and workers_rows:
+                states: dict[str, int] = {}
+                for row in workers_rows:
+                    state = str((row.get("breaker") or {}).get("state", "?"))
+                    states[state] = states.get(state, 0) + 1
+                lines.append(
+                    "           breakers: "
+                    + ", ".join(f"{n} {s}" for s, n in sorted(states.items()))
+                )
             membership = cluster.get("membership")
             if isinstance(membership, dict):
                 lines.append(
@@ -774,6 +861,49 @@ def _format_stats(stats: dict) -> str:
             f"{len(metrics)} metric famil"
             + ("y" if len(metrics) == 1 else "ies")
         )
+        streams_active = sum(
+            int(series.get("value", 0))
+            for series in (metrics.get("repro_streams_active") or {}).get(
+                "series"
+            )
+            or []
+        )
+        stream_series = (metrics.get("repro_streams_total") or {}).get(
+            "series"
+        ) or []
+        if streams_active or stream_series:
+            outcomes = ", ".join(
+                f"{int(series.get('value', 0))} "
+                f"{(series.get('tags') or {}).get('outcome', '?')}"
+                for series in stream_series
+            )
+            lines.append(
+                f"streams:   {streams_active} active"
+                + (f"; {outcomes}" if outcomes else "")
+            )
+        registry_series = (metrics.get("repro_registry_workers") or {}).get(
+            "series"
+        ) or []
+        if registry_series:
+            leases = sum(
+                int(series.get("value", 0)) for series in registry_series
+            )
+            lines.append(f"registry:  {leases} live worker lease(s)")
+        buffer = telemetry.get("trace_buffer")
+        if isinstance(buffer, dict):
+            lines.append(
+                f"traces:    buffer {buffer.get('buffered', 0)}/"
+                f"{buffer.get('capacity', 0)}, "
+                f"{buffer.get('completed', 0)} completed, "
+                f"{buffer.get('dropped_spans', 0)} span(s) dropped"
+            )
+        collector = telemetry.get("trace_collector")
+        if isinstance(collector, dict):
+            lines.append(
+                f"archive:   {collector.get('archived', 0)} trace(s) "
+                f"archived, {collector.get('sampled_out', 0)} sampled out, "
+                f"{collector.get('pending', 0)} pending"
+            )
         for trace in (telemetry.get("recent_traces") or [])[:5]:
             duration = trace.get("duration")
             millis = "?" if duration is None else f"{duration * 1000:.1f}"
@@ -782,6 +912,9 @@ def _format_stats(stats: dict) -> str:
                 f"{trace.get('name', '?'):<18} {trace.get('status', '?'):<5} "
                 f"{millis:>8} ms"
             )
+    slo = stats.get("slo")
+    if isinstance(slo, list) and slo:
+        lines.append("slo:       " + _format_slo_summary(slo))
     return "\n".join(lines)
 
 
@@ -937,6 +1070,140 @@ def _run_store(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _format_trace_listing(source: str, records: list[dict]) -> str:
+    import time
+
+    if not records:
+        return f"trace archive {source}: empty"
+    now = time.time()
+    lines = [
+        f"trace archive {source}: {len(records)} trace(s)",
+        f"  {'trace id':<16} {'root':<22} {'status':<7} {'spans':>5} "
+        f"{'duration':>10} {'age':>6}  kept",
+    ]
+    for record in records:
+        lines.append(
+            f"  {str(record.get('trace_id', '?'))[:16]:<16} "
+            f"{str(record.get('root_name', '?'))[:22]:<22} "
+            f"{str(record.get('status', '?')):<7} "
+            f"{record.get('span_count', 0):>5} "
+            f"{float(record.get('duration') or 0.0) * 1000:>8.1f}ms "
+            f"{_format_age(now - float(record.get('created_at') or now)):>6}  "
+            f"{record.get('sampled', '?')}"
+        )
+    return "\n".join(lines)
+
+
+def _format_waterfall(summary: dict, spans: list[dict], tree: list[dict]) -> str:
+    """One archived trace as an ASCII request waterfall.
+
+    Pure (dicts in, text out) so tests need neither a server nor a
+    store.  Each span prints tree-indented with its offset from the
+    trace start, duration, worker, and outcome — failover attempts show
+    up as sibling ``cluster.chunk`` rows tagged with their failure
+    class — plus a proportional timeline bar.
+    """
+    start = min(
+        (float(s.get("started_at") or 0.0) for s in spans), default=0.0
+    )
+    end = max(
+        (
+            float(s.get("started_at") or 0.0) + float(s.get("duration") or 0.0)
+            for s in spans
+        ),
+        default=start,
+    )
+    total = max(end - start, 0.0)
+    bar_width = 24
+    lines = [
+        f"trace {summary.get('trace_id', '?')}",
+        f"root {summary.get('root_name', '?')}  "
+        f"status {summary.get('status', '?')}  "
+        f"{float(summary.get('duration') or 0.0) * 1000:.1f} ms  "
+        f"{summary.get('span_count', len(spans))} span(s)  "
+        f"kept: {summary.get('sampled', '?')}",
+        "",
+        f"  {'span':<40} {'offset':>10} {'duration':>11}  "
+        f"{'worker':<21} {'outcome':<28} timeline",
+    ]
+
+    def bar(offset: float, duration: float) -> str:
+        if total <= 0:
+            return "#" * bar_width
+        lead = min(int(round(bar_width * offset / total)), bar_width - 1)
+        fill = max(1, int(round(bar_width * duration / total)))
+        return ("." * lead + "#" * fill)[:bar_width].ljust(bar_width, ".")
+
+    def walk(nodes: list[dict], depth: int) -> None:
+        for node in nodes:
+            offset = float(node.get("started_at") or 0.0) - start
+            duration = float(node.get("duration") or 0.0)
+            tags = node.get("tags") or {}
+            outcome = str(tags.get("outcome") or node.get("status") or "?")
+            if tags.get("failure_class"):
+                outcome += f" ({tags['failure_class']})"
+            name = "  " * depth + str(node.get("name", "?"))
+            lines.append(
+                f"  {name:<40.40} {offset * 1000:>8.1f}ms "
+                f"{duration * 1000:>9.1f}ms  "
+                f"{str(tags.get('worker', '-')):<21.21} {outcome:<28} "
+                f"|{bar(offset, duration)}|"
+            )
+            walk(node.get("children") or [], depth + 1)
+
+    walk(tree, 0)
+    return "\n".join(lines)
+
+
+def _run_trace(args: argparse.Namespace) -> str:
+    import json
+    import urllib.request
+
+    from repro.telemetry import span_tree
+
+    if args.url is not None:
+        base = args.url.rstrip("/")
+
+        def fetch(path: str) -> dict:
+            try:
+                with urllib.request.urlopen(base + path, timeout=10) as response:
+                    payload = json.load(response)
+            except (OSError, ValueError) as exc:
+                raise RankingFactsError(
+                    f"cannot fetch {base + path}: {exc}"
+                ) from exc
+            if not isinstance(payload, dict):
+                raise RankingFactsError(
+                    f"{base + path} did not return a JSON object"
+                )
+            return payload
+
+        if args.trace_command == "ls":
+            payload = fetch(f"/traces?limit={args.limit}")
+            return _format_trace_listing(base, payload.get("traces") or [])
+        payload = fetch(f"/traces/{args.trace_id}")
+        if args.raw:
+            return json.dumps(payload, indent=2)
+        spans = payload.get("spans") or []
+        tree = payload.get("tree") or span_tree(spans)
+        return _format_waterfall(payload, spans, tree)
+
+    with _open_store(args) as store:
+        if args.trace_command == "ls":
+            records = store.trace_records(limit=args.limit)
+            return _format_trace_listing(store.path, records)
+        trace_id = store.resolve_trace_prefix(args.trace_id)
+        record = store.get_trace(trace_id)
+        if record is None:  # expired between resolve and get
+            raise RankingFactsError(f"no archived trace {args.trace_id!r}")
+        spans = record.spans
+        if args.raw:
+            return json.dumps(
+                {**record.summary(), "spans": spans}, indent=2
+            )
+        return _format_waterfall(record.summary(), spans, span_tree(spans))
+
+
 def _run_worker(args: argparse.Namespace) -> str:
     # imported here so the cluster package only loads when asked for
     from repro.cluster.worker import serve_worker_forever
@@ -1060,6 +1327,9 @@ def _run_fleet(args: argparse.Namespace) -> str:
         raw["server"] = stats
         cluster = (stats.get("executor") or {}).get("trial_cluster")
         lines += _format_fleet_cluster(args.url, cluster)
+        slo = stats.get("slo")
+        if isinstance(slo, list) and slo:
+            lines.append("  slo: " + _format_slo_summary(slo))
     if args.raw:
         return json.dumps(raw, indent=2)
     return "\n".join(lines)
@@ -1075,6 +1345,7 @@ _RUNNERS = {
     "serve": _run_serve,
     "stats": _run_stats,
     "store": _run_store,
+    "trace": _run_trace,
     "worker": _run_worker,
     "registry": _run_registry,
     "fleet": _run_fleet,

@@ -18,12 +18,17 @@ and three archive routes open up:
 - ``GET /labels``                 — the stored-label listing;
 - ``GET /labels/<fp>``            — one label plus its provenance;
 - ``GET /labels/<fp1>/diff/<fp2>`` — the drift report between two
-  stored labels (:func:`repro.label.compare.diff_labels`).
+  stored labels (:func:`repro.label.compare.diff_labels`);
+- ``GET /traces``                 — the archived-trace listing;
+- ``GET /traces/<id>``            — one trace, spans plus the
+  reconstructed span tree (any unambiguous id prefix works).
 
 Global routes:
 
 - ``GET  /``              — landing page with links;
 - ``GET  /health``        — liveness probe;
+- ``GET  /healthz``       — liveness plus SLO error-budget burn
+  (always 200; ``status`` flips to ``"degraded"`` while burning);
 - ``GET  /metrics``       — Prometheus exposition text: per-endpoint
   request latency histograms, in-flight gauges, span durations, and
   every other registry the process keeps (scrape this);
@@ -87,8 +92,12 @@ from repro.errors import EngineError, RankingFactsError
 from repro.label.render_html import render_html
 from repro.label.render_json import render_json
 from repro.telemetry import (
+    OPENMETRICS_CONTENT_TYPE,
     PROMETHEUS_CONTENT_TYPE,
     MetricsRegistry,
+    SamplingPolicy,
+    SLOEngine,
+    TraceCollector,
     configure_logging,
     get_default_registry,
     get_logger,
@@ -98,6 +107,7 @@ from repro.telemetry import (
     new_trace_id,
     render_prometheus,
     span,
+    span_tree,
 )
 
 _log = get_logger("app.server")
@@ -289,7 +299,7 @@ _SESSION_SUBROUTES = frozenset({
     "status", "close", "dataset", "design",
 })
 _TOP_ROUTES = frozenset({
-    "health", "metrics", "datasets", "sessions",
+    "health", "healthz", "metrics", "datasets", "sessions",
     "label", "label.html", "label.stream", "preview", "attributes",
     "dataset", "design",
 })
@@ -321,6 +331,8 @@ def _route_template(parts: list[str]) -> str:
         if len(parts) == 3 and parts[1] == "diff":
             return "/labels/{fp}/diff/{fp}"
         return "/labels/{other}"
+    if head == "traces":
+        return "/traces" if len(parts) == 1 else "/traces/{id}"
     if parts == ["engine", "stats"]:
         return "/engine/stats"
     if len(parts) == 1 and head in _TOP_ROUTES:
@@ -443,6 +455,11 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
     # under; None disables local paths entirely
     local_path_root: "Path | None" = None
     metrics: MetricsRegistry = None  # type: ignore[assignment]
+    slo: "SLOEngine | None" = None
+    trace_collector: "TraceCollector | None" = None
+    # render /metrics as OpenMetrics with per-bucket trace-id exemplars;
+    # off by default so existing scrapes see byte-identical output
+    metrics_exemplars = False
 
     # streaming knobs (class attributes so tests can tighten them)
     stream_queue_size = 32
@@ -520,7 +537,16 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
         route = _route_template(self._split()[0])
         self._status = 0
         claimed = (self.headers.get("X-Trace-Id") or "").strip().lower()
-        self._trace_id = claimed if is_trace_id(claimed) else new_trace_id()
+        if claimed and not is_trace_id(claimed):
+            # a malformed id is treated as absent, never propagated into
+            # spans/logs/wire frames — but it is counted, because a
+            # client sending junk ids deserves a visible signal
+            self.metrics.counter(
+                "repro_http_bad_trace_id_total",
+                "Requests whose X-Trace-Id header was malformed",
+            ).inc()
+            claimed = ""
+        self._trace_id = claimed or new_trace_id()
         inflight = self.metrics.gauge(
             "repro_http_inflight_requests",
             "HTTP requests currently being handled",
@@ -565,12 +591,30 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
                 extra={"trace_id": self._trace_id},
             )
 
-    def _send_metrics(self) -> None:
-        """``GET /metrics``: one exposition page for the whole process."""
+    def _metric_registries(self) -> list[MetricsRegistry]:
+        """The union ``/metrics`` renders and the SLO engine reads."""
         registries = [self.metrics, get_default_registry()]
         registries.extend(self.registry.service.metrics_registries())
-        page = render_prometheus(*registries)
-        self._send_raw(200, PROMETHEUS_CONTENT_TYPE, page.encode("utf-8"))
+        return registries
+
+    def _send_metrics(self) -> None:
+        """``GET /metrics``: one exposition page for the whole process.
+
+        With exemplars enabled — server flag, ``REPRO_METRICS_EXEMPLARS``,
+        or a per-scrape ``?exemplars=1`` — the page switches to the
+        OpenMetrics dialect and each histogram bucket carries its last
+        trace-id exemplar; otherwise the output stays byte-identical to
+        what existing scrapes have always seen.
+        """
+        _, query = self._split()
+        exemplars = self.metrics_exemplars or (
+            parse_qs(query).get("exemplars", ["0"])[-1] in ("1", "true", "yes")
+        )
+        page = render_prometheus(*self._metric_registries(), exemplars=exemplars)
+        content_type = (
+            OPENMETRICS_CONTENT_TYPE if exemplars else PROMETHEUS_CONTENT_TYPE
+        )
+        self._send_raw(200, content_type, page.encode("utf-8"))
 
     # -- helpers -----------------------------------------------------------------
 
@@ -775,20 +819,25 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
             self._send_json(
                 200, {"status": "ok", "sessions": len(sessions)}
             )
+        elif parts == ["healthz"]:
+            self._get_healthz()
         elif parts == ["metrics"]:
             self._send_metrics()
         elif parts == ["datasets"]:
             self._send_json(200, {"datasets": list(list_datasets())})
         elif parts == ["engine", "stats"]:
+            telemetry: dict[str, object] = {
+                "metrics": self.metrics.snapshot(),
+                "recent_traces": get_trace_buffer().recent(10),
+                "trace_buffer": get_trace_buffer().snapshot(),
+            }
+            if self.trace_collector is not None:
+                telemetry["trace_collector"] = self.trace_collector.stats()
+            extra: dict[str, object] = {"telemetry": telemetry}
+            if self.slo is not None:
+                extra["slo"] = self.slo.evaluate()
             self._send_json(
-                200,
-                merged_stats(
-                    self.registry.service.stats,
-                    telemetry={
-                        "metrics": self.metrics.snapshot(),
-                        "recent_traces": get_trace_buffer().recent(10),
-                    },
-                ),
+                200, merged_stats(self.registry.service.stats, **extra)
             )
         elif parts == ["sessions"]:
             self._send_json(200, {"sessions": self.registry.tokens()})
@@ -803,6 +852,8 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
             self._get_batch(parts[1])
         elif parts[0] == "labels":
             self._get_labels(parts[1:])
+        elif parts[0] == "traces":
+            self._get_traces(parts[1:])
         elif len(parts) == 1 and parts[0] in (
             "label", "label.html", "label.stream", "preview", "attributes",
         ):
@@ -873,6 +924,66 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
                 "after": fp_b,
                 "diff": drift.as_dict(),
                 "summary": drift.summary_lines(),
+            })
+            return
+        self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def _get_healthz(self) -> None:
+        """``GET /healthz``: liveness plus advisory SLO burn.
+
+        Always 200 — a burning error budget means "page a human", not
+        "take the instance out of rotation"; the payload's ``status``
+        flips to ``"degraded"`` so watchers see it.
+        """
+        payload: dict[str, object] = {
+            "status": "ok",
+            "sessions": len(self.registry.tokens()),
+        }
+        if self.slo is not None:
+            health = self.slo.health()
+            payload["status"] = health["status"]
+            payload["slo"] = health
+        self._send_json(200, payload)
+
+    # -- the durable trace archive (requires a store) ---------------------------
+
+    def _get_traces(self, parts: list[str]) -> None:
+        from repro.errors import StoreError
+
+        store = self.registry.service.store
+        if store is None:
+            raise RankingFactsError(
+                "no trace archive configured; start the server with "
+                "--store PATH (or REPRO_LABEL_STORE) to keep completed "
+                "traces"
+            )
+        if not parts:
+            _, query = self._split()
+            limit_values = parse_qs(query).get("limit", [])
+            try:
+                limit = int(limit_values[-1]) if limit_values else 50
+            except ValueError as exc:
+                raise RankingFactsError(f"bad limit: {exc}") from exc
+            records = store.trace_records(limit=limit)
+            self._send_json(200, {"traces": records, "count": len(records)})
+            return
+        if len(parts) == 1:
+            try:
+                trace_id = store.resolve_trace_prefix(parts[0])
+            except StoreError as exc:
+                self._send_json(404, {"error": str(exc)})
+                return
+            record = store.get_trace(trace_id)
+            if record is None:  # expired between resolve and get
+                self._send_json(
+                    404, {"error": f"no archived trace {parts[0]!r}"}
+                )
+                return
+            spans = record.spans
+            self._send_json(200, {
+                **record.summary(),
+                "spans": spans,
+                "tree": span_tree(spans),
             })
             return
         self._send_json(404, {"error": f"unknown path {self.path!r}"})
@@ -994,10 +1105,16 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
 class ServerHandle:
     """A running server plus its background thread (context manager)."""
 
-    def __init__(self, server: ThreadingHTTPServer, registry: SessionRegistry):
+    def __init__(
+        self,
+        server: ThreadingHTTPServer,
+        registry: SessionRegistry,
+        trace_collector: "TraceCollector | None" = None,
+    ):
         self._server = server
         self._thread = threading.Thread(target=server.serve_forever, daemon=True)
         self.registry = registry
+        self.trace_collector = trace_collector
 
     @property
     def address(self) -> tuple[str, int]:
@@ -1048,6 +1165,10 @@ class ServerHandle:
                 pass
         self._server.server_close()
         self._thread.join(timeout=grace)
+        if self.trace_collector is not None:
+            # detach the buffer listener so a later server in the same
+            # process doesn't archive into a closed store
+            self.trace_collector.close()
 
     def __exit__(self, *exc_info) -> None:
         self.stop()
@@ -1112,6 +1233,9 @@ def make_server(
     cache_ttl: float | None = None,
     metrics_registry: MetricsRegistry | None = None,
     max_streams: int = 32,
+    metrics_exemplars: bool | None = None,
+    trace_sample_rate: int | None = None,
+    trace_slow_threshold: float | None = None,
 ) -> ServerHandle:
     """Bind a server (port 0 = ephemeral, for tests).
 
@@ -1155,6 +1279,16 @@ def make_server(
     (``label.stream`` / ``POST /jobs?stream=1``); a request past the
     cap gets an immediate 503 instead of queueing, because each open
     stream pins a handler thread for its whole lifetime.
+
+    ``metrics_exemplars`` (or ``REPRO_METRICS_EXEMPLARS``) renders
+    ``/metrics`` as OpenMetrics with per-bucket trace-id exemplars;
+    off by default, so existing scrapes are byte-identical.  When the
+    service has a durable store, completed traces are archived into it
+    through a :class:`~repro.telemetry.collect.TraceCollector` under
+    tail-based sampling: errors and traces slower than
+    ``trace_slow_threshold`` (or ``REPRO_TRACE_SLOW_THRESHOLD``,
+    default 1s) are always kept, the rest 1-in-``trace_sample_rate``
+    (``REPRO_TRACE_SAMPLE_RATE``, default 1 = keep everything).
     """
     if session is not None and session.stage is SessionStage.EMPTY:
         raise RankingFactsError("the session has no dataset; load one before serving")
@@ -1177,6 +1311,33 @@ def make_server(
     )
     if session is not None:
         registry.adopt(session)
+    if metrics_exemplars is None:
+        metrics_exemplars = os.environ.get(
+            "REPRO_METRICS_EXEMPLARS", ""
+        ).lower() in ("1", "true", "yes")
+    if trace_sample_rate is None and os.environ.get("REPRO_TRACE_SAMPLE_RATE"):
+        trace_sample_rate = int(os.environ["REPRO_TRACE_SAMPLE_RATE"])
+    if trace_slow_threshold is None and os.environ.get(
+        "REPRO_TRACE_SLOW_THRESHOLD"
+    ):
+        trace_slow_threshold = float(os.environ["REPRO_TRACE_SLOW_THRESHOLD"])
+    collector: TraceCollector | None = None
+    if registry.service.store is not None:
+        collector = TraceCollector(
+            archive=registry.service.store,
+            policy=SamplingPolicy(
+                sample_rate=trace_sample_rate or 1,
+                slow_threshold=(
+                    trace_slow_threshold
+                    if trace_slow_threshold is not None
+                    else 1.0
+                ),
+            ),
+        )
+        collector.install()
+    bound_metrics = (
+        metrics_registry if metrics_registry is not None else get_default_registry()
+    )
     handler = type(
         "BoundHandler",
         (_RankingFactsHandler,),
@@ -1184,19 +1345,23 @@ def make_server(
             "registry": registry,
             "default_session": session,
             "local_path_root": local_path_root,
-            "metrics": (
-                metrics_registry
-                if metrics_registry is not None
-                else get_default_registry()
-            ),
+            "metrics": bound_metrics,
+            "metrics_exemplars": metrics_exemplars,
+            "trace_collector": collector,
         },
+    )
+    # the engine reads the same registry union /metrics renders, so the
+    # burn it reports is exactly what a scraper would compute
+    handler.slo = SLOEngine(
+        registries=lambda: [bound_metrics, get_default_registry()]
+        + list(registry.service.metrics_registries())
     )
     server = ThreadingHTTPServer((host, port), handler)
     server.stream_gate = _StreamGate(max_streams)
     # every accepted connection, for stop()'s last-resort severing
     server.live_connections = set()
     server.live_lock = threading.Lock()
-    return ServerHandle(server, registry)
+    return ServerHandle(server, registry, trace_collector=collector)
 
 
 def serve_forever(
@@ -1207,6 +1372,9 @@ def serve_forever(
     allow_local_paths: "str | os.PathLike | None" = None,
     log_level: str | None = None,
     max_streams: int = 32,
+    metrics_exemplars: bool | None = None,
+    trace_sample_rate: int | None = None,
+    trace_slow_threshold: float | None = None,
 ) -> None:
     """Run the demo server until interrupted (the CLI's ``serve``).
 
@@ -1224,6 +1392,9 @@ def serve_forever(
         session_ttl=session_ttl,
         allow_local_paths=allow_local_paths,
         max_streams=max_streams,
+        metrics_exemplars=metrics_exemplars,
+        trace_sample_rate=trace_sample_rate,
+        trace_slow_threshold=trace_slow_threshold,
     ) as handle:
         print(f"Ranking Facts demo serving on {handle.url} (Ctrl-C to stop)")
         try:

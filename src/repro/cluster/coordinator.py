@@ -93,10 +93,16 @@ from repro.engine.backends import (
 from repro.errors import ClusterError
 from repro.telemetry import (
     MetricsRegistry,
+    Span,
+    clamp_tags,
     current_trace_id,
     get_default_registry,
     get_logger,
+    get_trace_buffer,
     merged_stats,
+    new_span_id,
+    revive_spans,
+    span,
 )
 
 _log = get_logger("cluster.coordinator")
@@ -376,7 +382,10 @@ class _WorkerSlot:
 class _ChunkTask:
     """One span's scheduling state while it is in the multiplexer."""
 
-    __slots__ = ("index", "start", "stop", "tried", "stale_retried", "slot")
+    __slots__ = (
+        "index", "start", "stop", "tried", "stale_retried", "slot",
+        "attempt_span", "attempts",
+    )
 
     def __init__(self, index: int, start: int, stop: int):
         self.index = index
@@ -385,6 +394,8 @@ class _ChunkTask:
         self.tried: set[int] = set()  # worker slots that failed this chunk
         self.stale_retried = False  # one fresh-socket retry per chunk
         self.slot: _WorkerSlot | None = None  # where it is running now
+        self.attempt_span: Span | None = None  # the in-flight attempt's span
+        self.attempts = 0  # attempt ordinal (retries become sibling spans)
 
 
 class RemoteTrialBackend:
@@ -695,6 +706,7 @@ class RemoteTrialBackend:
         spans: Sequence[tuple[int, int]],
         run_state: dict[str, int],
         trace_id: "str | None" = None,
+        parent_span: "Span | None" = None,
     ) -> list[list[Any]]:
         """Every span at once through the multiplexer, with failover.
 
@@ -709,18 +721,37 @@ class RemoteTrialBackend:
 
         ``trace_id`` travels explicitly: it is stamped into each wire
         frame so worker telemetry correlates with the originating
-        request.
+        request.  ``parent_span`` (the ``cluster.dispatch`` span opened
+        by :meth:`run`) parents one ``cluster.chunk`` span per *attempt*
+        — retries and failovers become sibling spans tagged with the
+        failure class — and the worker spans backhauled in each chunk
+        response are revived under their attempt's span, so the whole
+        cross-process trace assembles on this side of the wire.
         """
         results: dict[int, list[Any]] = {}
         # (index, start, stop) spans destined for the local fallback
         local_spans: list[tuple[int, int, int]] = []
         mux = ChunkMultiplexer()
         completed: list[ChunkStream] = []
+        ring = get_trace_buffer()
 
         def start_attempt(task: _ChunkTask, slot: _WorkerSlot) -> None:
             client = slot.client
             sock = client.take_stream_socket()
             frame = wire.encode_request(body, task.start, task.stop, trace_id)
+            if parent_span is not None:
+                task.attempts += 1
+                task.attempt_span = Span(
+                    "cluster.chunk",
+                    trace_id=parent_span.trace_id,
+                    span_id=new_span_id(),
+                    parent_id=parent_span.span_id,
+                    tags=clamp_tags({
+                        "worker": client.address,
+                        "chunk": f"[{task.start}, {task.stop})",
+                        "attempt": task.attempts,
+                    }),
+                )
             stream = ChunkStream(
                 client.host,
                 client.port,
@@ -733,6 +764,27 @@ class RemoteTrialBackend:
             task.slot = slot
             if mux.submit(stream):  # failed synchronously (e.g. refused)
                 completed.append(stream)
+
+        def finish_attempt(
+            task: _ChunkTask,
+            stream: ChunkStream,
+            outcome: str,
+            failure_class: "str | None" = None,
+        ) -> "Span | None":
+            """Close the in-flight attempt's span and record it."""
+            attempt = task.attempt_span
+            task.attempt_span = None
+            if attempt is None:
+                return None
+            attempt.duration = max(0.0, time.perf_counter() - stream.started)
+            attempt.tags["outcome"] = outcome
+            if failure_class is not None:
+                attempt.status = "error"
+                attempt.tags["failure_class"] = failure_class
+                if stream.error is not None:
+                    attempt.error = str(stream.error)[:200]
+            ring.record(attempt)
+            return attempt
 
         def recover_locally(task: _ChunkTask, reason: str | None = None) -> None:
             with self._lock:
@@ -793,12 +845,14 @@ class RemoteTrialBackend:
                 # a kept-alive socket died before any response byte: a
                 # worker restart or idle close, not worker death — one
                 # transparent retry on a fresh socket, worker unblamed
+                finish_attempt(task, stream, "stale_retry", "stale")
                 task.stale_retried = True
                 slot.client.reconnects += 1
                 start_attempt(task, slot)
                 return
             error: ClusterError | None = stream.error
             trial_fault = False
+            backhauled: list = []
             if error is None:
                 try:
                     if stream.status == 500:
@@ -811,7 +865,7 @@ class RemoteTrialBackend:
                         raise ClusterError(
                             self._chunk_error_detail(stream, task, address)
                         )
-                    results[task.index] = wire.decode_response(
+                    results[task.index], backhauled = wire.decode_response_spans(
                         stream.body, task.start, task.stop
                     )
                 except _TrialFaultError as exc:
@@ -820,6 +874,7 @@ class RemoteTrialBackend:
                 except ClusterError as exc:
                     error = exc
             if trial_fault:
+                finish_attempt(task, stream, "trial_fault", "trial_fault")
                 # every other worker would fail identically, so skip
                 # failover, leave the worker alive, and re-run locally —
                 # a genuine bug re-raises there with its real traceback
@@ -844,6 +899,9 @@ class RemoteTrialBackend:
                 )
                 return
             if error is not None:
+                finish_attempt(
+                    task, stream, "failed", stream.failure_class or "error"
+                )
                 stream.close()
                 self._chunk_seconds.observe(
                     time.perf_counter() - stream.started,
@@ -865,6 +923,18 @@ class RemoteTrialBackend:
                 )
                 dispatch(task)
                 return
+            attempt = finish_attempt(task, stream, "ok")
+            if attempt is not None and backhauled:
+                # the worker's spans, re-parented under this attempt so
+                # the cross-process tree connects; the ring's listeners
+                # (the trace collector) see them like any local span
+                for revived in revive_spans(
+                    backhauled,
+                    trace_id=attempt.trace_id,
+                    parent_id=attempt.span_id,
+                    extra_tags={"worker": address},
+                ):
+                    ring.record(revived)
             self._chunk_seconds.observe(
                 time.perf_counter() - stream.started,
                 worker=address, outcome="ok",
@@ -900,7 +970,14 @@ class RemoteTrialBackend:
         # local recovery runs after the wire work so a re-raising trial
         # fault cannot strand still-registered sockets in the selector
         for index, start, stop in local_spans:
-            results[index] = run_trial_span(self._local, fn, payload, start, stop)
+            with span(
+                "cluster.chunk.local",
+                registry=self.registry,
+                chunk=f"[{start}, {stop})",
+            ):
+                results[index] = run_trial_span(
+                    self._local, fn, payload, start, stop
+                )
         return [results[index] for index in range(len(spans))]
 
     @staticmethod
@@ -946,7 +1023,21 @@ class RemoteTrialBackend:
             "budget": self.policy.budget_for(len(spans)),
             "budget_exhausted": False,
         }
-        chunks = self._run_chunks(body, fn, payload, spans, run_state, trace_id)
+        # one dispatch span covers the sharded run; per-attempt chunk
+        # spans (and the worker spans each response backhauls) hang off
+        # it, so a request's waterfall shows exactly where trials ran
+        with span(
+            "cluster.dispatch",
+            trace_id=trace_id,
+            registry=self.registry,
+            trials=trials,
+            chunks=len(spans),
+            workers=len(live),
+        ) as dispatch_span:
+            chunks = self._run_chunks(
+                body, fn, payload, spans, run_state, trace_id,
+                parent_span=dispatch_span,
+            )
         with self._lock:
             # a "remote" run must mean trials actually crossed the wire;
             # a batch whose every chunk was recovered locally counts local

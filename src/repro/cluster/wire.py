@@ -61,6 +61,7 @@ from repro.errors import ClusterError
 __all__ = [
     "PROTOCOL_VERSION",
     "PROTOCOL_MINOR",
+    "MAX_RESPONSE_SPANS",
     "TRACE_ID_BYTES",
     "encode_trial_work",
     "frame",
@@ -69,14 +70,23 @@ __all__ = [
     "decode_request",
     "encode_response",
     "decode_response",
+    "decode_response_spans",
 ]
 
 #: bump when the frame layout or the trial payload contracts change
 #: incompatibly; a mismatch is rejected at probe time and frame time
 PROTOCOL_VERSION = 1
 
-#: additive revisions within the major; minor 1 added the trace-id field
-PROTOCOL_MINOR = 1
+#: additive revisions within the major; minor 1 added the trace-id
+#: field, minor 2 added the optional span-backhaul response body (a
+#: ``{"results", "spans"}`` dict instead of the bare result list —
+#: both shapes decode, so mixed-minor pairs interoperate)
+PROTOCOL_MINOR = 2
+
+#: ceiling on spans accepted from one response body, over and above the
+#: producer-side cap (``repro.telemetry.collect.MAX_BACKHAUL_SPANS``);
+#: a misbehaving worker cannot make the coordinator buffer more
+MAX_RESPONSE_SPANS = 256
 
 #: width of the raw trace-id header field (32 hex chars when encoded)
 TRACE_ID_BYTES = 16
@@ -200,14 +210,32 @@ def decode_request(data: bytes) -> tuple[Callable, Any, int, int, "str | None"]:
 
 
 def encode_response(
-    results: list, start: int, stop: int, trace_id: "str | None" = None
+    results: list,
+    start: int,
+    stop: int,
+    trace_id: "str | None" = None,
+    spans: "list[dict] | None" = None,
 ) -> bytes:
-    """A chunk response: the span's results, span + trace echoed."""
-    return frame(pickle.dumps(list(results)), start, stop, trace_id)
+    """A chunk response: the span's results, span + trace echoed.
+
+    ``spans`` (minor 2) backhauls the worker's completed trace spans —
+    a bounded list of JSON-safe ``Span.as_dict()`` entries — alongside
+    the results.  Without spans the body stays the bare pickled result
+    list of minor <= 1, so the common path pays nothing and older
+    decoders keep working.
+    """
+    if spans:
+        body = pickle.dumps(
+            {"results": list(results), "spans": list(spans)[:MAX_RESPONSE_SPANS]}
+        )
+    else:
+        body = pickle.dumps(list(results))
+    return frame(body, start, stop, trace_id)
 
 
-def decode_response(data: bytes, start: int, stop: int) -> list:
-    """Verify a chunk response against the span the caller requested."""
+def _decode_response_body(
+    data: bytes, start: int, stop: int
+) -> tuple[list, list]:
     body, got_start, got_stop, _trace = unframe(data)
     if (got_start, got_stop) != (start, stop):
         raise ClusterError(
@@ -215,14 +243,38 @@ def decode_response(data: bytes, start: int, stop: int) -> list:
             f"requested [{start}, {stop})"
         )
     try:
-        results = pickle.loads(body)
+        decoded = pickle.loads(body)
     except Exception as exc:
         raise ClusterError(f"cannot unpickle chunk results: {exc}") from exc
+    spans: list = []
+    if isinstance(decoded, dict):  # minor-2 body: results + backhauled spans
+        results = decoded.get("results")
+        raw_spans = decoded.get("spans")
+        if isinstance(raw_spans, list):
+            spans = [
+                entry for entry in raw_spans[:MAX_RESPONSE_SPANS]
+                if isinstance(entry, dict)
+            ]
+    else:
+        results = decoded
     if not isinstance(results, list):
-        raise ClusterError(f"chunk results are {type(results).__name__}, not a list")
+        raise ClusterError(
+            f"chunk results are {type(results).__name__}, not a list"
+        )
     if len(results) != stop - start:
         raise ClusterError(
             f"chunk returned {len(results)} results for a "
             f"{stop - start}-trial span"
         )
+    return results, spans
+
+
+def decode_response(data: bytes, start: int, stop: int) -> list:
+    """Verify a chunk response against the span the caller requested."""
+    results, _spans = _decode_response_body(data, start, stop)
     return results
+
+
+def decode_response_spans(data: bytes, start: int, stop: int) -> tuple[list, list]:
+    """Like :func:`decode_response`, plus the backhauled span dicts."""
+    return _decode_response_body(data, start, stop)

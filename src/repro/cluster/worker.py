@@ -70,6 +70,7 @@ from repro.cluster.registry import DEFAULT_LEASE_TTL, HeartbeatLoop, RegistryCli
 from repro.engine.backends import resolve_trial_backend, run_trial_span
 from repro.errors import ClusterError
 from repro.telemetry import (
+    MAX_BACKHAUL_SPANS,
     MetricsRegistry,
     configure_logging,
     get_default_registry,
@@ -90,11 +91,35 @@ __all__ = [
 ]
 
 
+class _SpanCapture:
+    """A ``record``-compatible sink collecting a chunk's spans in order.
+
+    Handed to ``span(buffer=...)`` for the chunk so its spans are
+    captured for backhaul instead of landing in the process ring —
+    the coordinator revives them (re-parented under its own attempt
+    span) on the far side, which is where they become visible.
+    """
+
+    __slots__ = ("spans",)
+
+    def __init__(self) -> None:
+        self.spans: list = []
+
+    def record(self, entry) -> None:
+        self.spans.append(entry)
+
+
 class TrialWorker:
     """The executing core of a worker daemon: backend + counters.
 
     Kept separate from the HTTP plumbing so tests (and future
     transports) can drive it directly.
+
+    ``span_backhaul`` (default on) serializes the spans completed under
+    a traced chunk into the response frame (wire minor 2, bounded by
+    :data:`~repro.telemetry.collect.MAX_BACKHAUL_SPANS`), so the
+    coordinator can assemble one cross-process trace.  Untraced chunks
+    never pay for it — their response body stays the bare result list.
     """
 
     def __init__(
@@ -102,6 +127,7 @@ class TrialWorker:
         backend: str | None = None,
         workers: int | None = None,
         registry: MetricsRegistry | None = None,
+        span_backhaul: bool = True,
     ):
         self.backend_requested = backend if backend is not None else "vectorized"
         if self.backend_requested == "remote":
@@ -109,12 +135,14 @@ class TrialWorker:
             raise ClusterError("a trial worker cannot use the 'remote' backend")
         self._backend = resolve_trial_backend(self.backend_requested, workers)
         self.registry = registry if registry is not None else get_default_registry()
+        self.span_backhaul = span_backhaul
         self._lock = threading.Lock()
         self._started = time.monotonic()
         self._chunks = 0
         self._trials = 0
         self._rejected = 0
         self._trial_errors = 0
+        self._backhauled_spans = 0
         self._last_trace_id: str | None = None
         self._draining = False
         #: the daemon's HeartbeatLoop, when registered (set by make_worker)
@@ -139,6 +167,11 @@ class TrialWorker:
         with self._lock:
             if trace_id is not None:
                 self._last_trace_id = trace_id
+        capture = (
+            _SpanCapture()
+            if (self.span_backhaul and trace_id is not None)
+            else None
+        )
         try:
             # adopting the coordinator's trace id makes this worker's
             # span, metrics, and log lines correlatable with the
@@ -147,7 +180,9 @@ class TrialWorker:
                 "worker.chunk",
                 trace_id=trace_id,
                 registry=self.registry,
+                buffer=capture,
                 span_range=f"[{start}, {stop})",
+                backend=self._backend.effective_name,
             ):
                 results = run_trial_span(self._backend, fn, payload, start, stop)
         except Exception as exc:
@@ -158,14 +193,22 @@ class TrialWorker:
                 extra={"trace_id": trace_id},
             )
             raise
+        spans = None
+        if capture is not None and capture.spans:
+            spans = [
+                entry.as_dict()
+                for entry in capture.spans[:MAX_BACKHAUL_SPANS]
+            ]
         with self._lock:
             self._chunks += 1
             self._trials += stop - start
+            if spans:
+                self._backhauled_spans += len(spans)
         _log.info(
             "executed chunk [%d, %d) on %s", start, stop,
             self._backend.effective_name, extra={"trace_id": trace_id},
         )
-        return wire.encode_response(results, start, stop, trace_id)
+        return wire.encode_response(results, start, stop, trace_id, spans=spans)
 
     @property
     def draining(self) -> bool:
@@ -203,6 +246,7 @@ class TrialWorker:
                 "trials": self._trials,
                 "rejected_frames": self._rejected,
                 "trial_errors": self._trial_errors,
+                "backhauled_spans": self._backhauled_spans,
                 "backend": self.backend_requested,
                 "backend_effective": self._backend.effective_name,
                 "uptime_seconds": time.monotonic() - self._started,
@@ -371,6 +415,7 @@ def make_worker(
     register_url: str | None = None,
     advertise: str | None = None,
     heartbeat_ttl: float = DEFAULT_LEASE_TTL,
+    span_backhaul: bool = True,
 ) -> WorkerHandle:
     """Bind a worker daemon (port 0 = ephemeral, for tests).
 
@@ -384,7 +429,10 @@ def make_worker(
     ``heartbeat_ttl / 3`` seconds, and deregisters on stop.  The
     returned handle is a context manager that starts serving on entry.
     """
-    worker = TrialWorker(backend=backend, workers=workers, registry=registry)
+    worker = TrialWorker(
+        backend=backend, workers=workers, registry=registry,
+        span_backhaul=span_backhaul,
+    )
     handler = type("BoundWorkerHandler", (_TrialWorkerHandler,), {"worker": worker})
     server = ThreadingHTTPServer((host, port), handler)
     server.live_connections = set()  # severed on stop(); see WorkerHandle

@@ -9,7 +9,9 @@ warm-starts instead of re-running every Monte-Carlo loop.
 
 - :mod:`repro.store.schema` — versioned DDL plus the migration guard;
 - :mod:`repro.store.store` — :class:`LabelStore`: put/get by
-  fingerprint, byte-exact payloads, TTL/``max_bytes`` GC;
+  fingerprint, byte-exact payloads, TTL/``max_bytes`` GC, plus the
+  durable trace archive (``put_trace``/``get_trace``) sharing the
+  same file and budget;
 - :mod:`repro.store.provenance` — :class:`LabelProvenance` records;
 - :mod:`repro.store.tiering` — :class:`TieredLabelCache`: the
   in-memory L1 over the store as L2, with promotion counters.
@@ -20,7 +22,7 @@ Opt in via ``LabelService(store_path=...)``, ``serve --store PATH``
 
 from repro.store.provenance import LabelProvenance
 from repro.store.schema import SCHEMA_VERSION, ensure_schema
-from repro.store.store import LabelStore, StoredLabel
+from repro.store.store import LabelStore, StoredLabel, StoredTrace
 from repro.store.tiering import TieredLabelCache
 
 __all__ = [
@@ -29,5 +31,6 @@ __all__ = [
     "LabelProvenance",
     "LabelStore",
     "StoredLabel",
+    "StoredTrace",
     "TieredLabelCache",
 ]

@@ -30,7 +30,31 @@ __all__ = ["SCHEMA_VERSION", "DDL", "MIGRATIONS", "ensure_schema"]
 
 #: bump on any DDL change, adding the migration step from the previous
 #: version to :data:`MIGRATIONS`
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: the v2 addition: a durable trace archive beside the labels — one row
+#: per kept trace, payload = the JSON-encoded span list; shared between
+#: :data:`DDL` (fresh files) and ``MIGRATIONS[1]`` (v1 upgrades) so the
+#: two paths cannot drift
+_TRACE_DDL = (
+    """
+    CREATE TABLE traces (
+        trace_id    TEXT PRIMARY KEY,
+        root_name   TEXT NOT NULL,
+        status      TEXT NOT NULL,
+        started_at  REAL NOT NULL,
+        duration    REAL NOT NULL,
+        span_count  INTEGER NOT NULL,
+        payload     BLOB NOT NULL,
+        size_bytes  INTEGER NOT NULL,
+        sampled     TEXT NOT NULL,
+        created_at  REAL NOT NULL,
+        last_access REAL NOT NULL
+    )
+    """,
+    "CREATE INDEX idx_traces_last_access ON traces(last_access)",
+    "CREATE INDEX idx_traces_created_at ON traces(created_at)",
+)
 
 #: the current schema, created wholesale on a fresh file
 DDL = (
@@ -64,12 +88,12 @@ DDL = (
     """,
     "CREATE INDEX idx_labels_last_access ON labels(last_access)",
     "CREATE INDEX idx_labels_created_at ON labels(created_at)",
-)
+) + _TRACE_DDL
 
 #: ``{from_version: (sql, ...)}`` — the steps upgrading ``from_version``
 #: to ``from_version + 1``; every release that bumps
 #: :data:`SCHEMA_VERSION` must add its step here
-MIGRATIONS: dict[int, tuple[str, ...]] = {}
+MIGRATIONS: dict[int, tuple[str, ...]] = {1: _TRACE_DDL}
 
 
 def _has_tables(connection: sqlite3.Connection) -> bool:
@@ -101,7 +125,7 @@ def ensure_schema(connection: sqlite3.Connection, path: str = "<store>") -> None
                 f"{path!r} is an SQLite file but not a label store "
                 "(it has tables yet no schema version); refusing to touch it"
             )
-        with connection:  # one transaction: all of v1 or none of it
+        with connection:  # one transaction: the whole schema or none of it
             for statement in DDL:
                 connection.execute(statement)
             connection.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")

@@ -27,6 +27,17 @@ Design points:
   the tiered cache (:mod:`repro.store.tiering`) falls through to a
   rebuild on every one.
 
+Since schema v2 the same file doubles as the **durable trace archive**:
+completed traces kept by the tail-based sampler
+(:class:`repro.telemetry.collect.TraceCollector`) land in a ``traces``
+table beside the labels as canonical-JSON span lists, so a trace
+retrieved after a server restart is byte-identical to the one archived.
+Traces share the labels' GC discipline — and the *one* ``max_bytes``
+budget — with a fixed victim order: TTL-expired traces, then expired
+labels, then least-recently-accessed traces, then LRU labels; traces
+are always cheaper to lose than labels, and the newest label survives
+any budget (the same guarantee the label-only GC made).
+
 One :class:`LabelStore` holds one connection guarded by a lock, which
 is the stdlib-safe shape for ``ThreadingHTTPServer`` handlers; open
 more instances (in the same or another process) for more concurrency.
@@ -34,6 +45,7 @@ more instances (in the same or another process) for more concurrency.
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import sqlite3
@@ -48,7 +60,7 @@ from repro.store.provenance import LabelProvenance
 from repro.store.schema import ensure_schema
 from repro.telemetry import span
 
-__all__ = ["StoredLabel", "LabelStore"]
+__all__ = ["StoredLabel", "StoredTrace", "LabelStore"]
 
 #: pinned, not "whatever this interpreter defaults to": byte-exact
 #: round trips across processes require one protocol everywhere
@@ -82,6 +94,49 @@ class StoredLabel:
         }
 
 
+@dataclass(frozen=True)
+class StoredTrace:
+    """One archived trace: its summary row plus the span payload."""
+
+    trace_id: str
+    root_name: str
+    status: str
+    started_at: float
+    duration: float
+    span_count: int
+    payload: bytes
+    size_bytes: int
+    sampled: str
+    created_at: float
+    last_access: float
+
+    @property
+    def spans(self) -> list[dict[str, Any]]:
+        """The span dicts, decoded from the canonical-JSON payload."""
+        return json.loads(self.payload.decode("utf-8"))
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-safe row for listings (no payload)."""
+        return {
+            "trace_id": self.trace_id,
+            "root_name": self.root_name,
+            "status": self.status,
+            "started_at": self.started_at,
+            "duration": self.duration,
+            "span_count": self.span_count,
+            "size_bytes": self.size_bytes,
+            "sampled": self.sampled,
+            "created_at": self.created_at,
+        }
+
+
+def _encode_trace_payload(spans: list) -> bytes:
+    """Canonical JSON — one encoding, so round trips are byte-exact."""
+    return json.dumps(
+        spans, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    ).encode("ascii")
+
+
 class LabelStore:
     """Persistent fingerprint -> label mapping with provenance.
 
@@ -97,6 +152,10 @@ class LabelStore:
     ttl:
         Optional label age limit in seconds (against ``created_at``);
         an expired label reads as a miss and is dropped by the next GC.
+    trace_ttl:
+        Optional age limit for archived traces; defaults to ``ttl``
+        (``None`` = traces live as long as labels do).  Traces age out
+        independently of labels but share the ``max_bytes`` budget.
     timeout:
         SQLite busy timeout in seconds (cross-process writer
         contention).
@@ -109,6 +168,7 @@ class LabelStore:
         path: str | os.PathLike,
         max_bytes: int | None = None,
         ttl: float | None = None,
+        trace_ttl: float | None = None,
         timeout: float = 30.0,
         clock: Callable[[], float] = time.time,
     ):
@@ -116,9 +176,14 @@ class LabelStore:
             raise StoreError(f"store max_bytes must be >= 1, got {max_bytes}")
         if ttl is not None and ttl <= 0:
             raise StoreError(f"store ttl must be > 0 seconds, got {ttl}")
+        if trace_ttl is not None and trace_ttl <= 0:
+            raise StoreError(
+                f"store trace_ttl must be > 0 seconds, got {trace_ttl}"
+            )
         self.path = os.fspath(path)
         self._max_bytes = max_bytes
         self._ttl = ttl
+        self._trace_ttl = trace_ttl
         self._clock = clock
         self._lock = threading.RLock()
         self._puts = 0
@@ -128,6 +193,12 @@ class LabelStore:
         self._expirations = 0
         self._evictions = 0
         self._decode_failures = 0
+        self._trace_puts = 0
+        self._trace_gets = 0
+        self._trace_hits = 0
+        self._trace_misses = 0
+        self._trace_expirations = 0
+        self._trace_evictions = 0
         try:
             self._connection = sqlite3.connect(
                 self.path, timeout=timeout, check_same_thread=False
@@ -160,14 +231,37 @@ class LabelStore:
         """The configured label age limit (``None`` = immortal)."""
         return self._ttl
 
+    @property
+    def trace_ttl(self) -> float | None:
+        """The effective trace age limit (falls back to ``ttl``)."""
+        return self._trace_ttl if self._trace_ttl is not None else self._ttl
+
     # -- internals -------------------------------------------------------------
 
     def _expired(self, created_at: float) -> bool:
         return self._ttl is not None and self._clock() - created_at > self._ttl
 
-    def _gc_locked(self, max_bytes: int | None, ttl: float | None) -> dict[str, int]:
-        expired = evicted = 0
+    def _trace_expired(self, created_at: float) -> bool:
+        ttl = self.trace_ttl
+        return ttl is not None and self._clock() - created_at > ttl
+
+    def _gc_locked(
+        self,
+        max_bytes: int | None,
+        ttl: float | None,
+        trace_ttl: float | None,
+    ) -> dict[str, int]:
+        expired = evicted = trace_expired = trace_evicted = 0
         with self._connection:
+            # victim order: expired traces, expired labels, LRU traces,
+            # LRU labels — a trace is always cheaper to lose than a
+            # label (labels cost a rebuild, traces are diagnostics)
+            if trace_ttl is not None:
+                cursor = self._connection.execute(
+                    "DELETE FROM traces WHERE created_at < ?",
+                    (self._clock() - trace_ttl,),
+                )
+                trace_expired = cursor.rowcount
             if ttl is not None:
                 cursor = self._connection.execute(
                     "DELETE FROM labels WHERE created_at < ?",
@@ -175,14 +269,30 @@ class LabelStore:
                 )
                 expired = cursor.rowcount
             if max_bytes is not None:
-                # oldest-accessed first, but never the newest label: an
-                # oversized label still persists once (mirrors the L1
-                # cache's same guarantee); the total is aggregated once
-                # and adjusted per victim, not re-scanned
-                total, count = self._connection.execute(
+                # one budget over both tables; totals are aggregated
+                # once and adjusted per victim, not re-scanned
+                label_total, label_count = self._connection.execute(
                     "SELECT COALESCE(SUM(size_bytes), 0), COUNT(*) FROM labels"
                 ).fetchone()
-                while total > max_bytes and count > 1:
+                trace_total, trace_count = self._connection.execute(
+                    "SELECT COALESCE(SUM(size_bytes), 0), COUNT(*) FROM traces"
+                ).fetchone()
+                total = label_total + trace_total
+                while total > max_bytes and trace_count > 0:
+                    victim = self._connection.execute(
+                        "SELECT trace_id, size_bytes FROM traces "
+                        "ORDER BY last_access ASC, trace_id ASC LIMIT 1"
+                    ).fetchone()
+                    self._connection.execute(
+                        "DELETE FROM traces WHERE trace_id = ?", (victim[0],)
+                    )
+                    total -= victim[1]
+                    trace_count -= 1
+                    trace_evicted += 1
+                # oldest-accessed first, but never the newest label: an
+                # oversized label still persists once (mirrors the L1
+                # cache's same guarantee)
+                while total > max_bytes and label_count > 1:
                     victim = self._connection.execute(
                         "SELECT fingerprint, size_bytes FROM labels "
                         "ORDER BY last_access ASC, fingerprint ASC LIMIT 1"
@@ -191,11 +301,18 @@ class LabelStore:
                         "DELETE FROM labels WHERE fingerprint = ?", (victim[0],)
                     )
                     total -= victim[1]
-                    count -= 1
+                    label_count -= 1
                     evicted += 1
         self._expirations += expired
         self._evictions += evicted
-        return {"expired": expired, "evicted": evicted}
+        self._trace_expirations += trace_expired
+        self._trace_evictions += trace_evicted
+        return {
+            "expired": expired,
+            "evicted": evicted,
+            "trace_expired": trace_expired,
+            "trace_evicted": trace_evicted,
+        }
 
     # -- writes ----------------------------------------------------------------
 
@@ -232,25 +349,89 @@ class LabelStore:
                         provenance.as_row(),
                     )
             self._puts += 1
-            if self._max_bytes is not None or self._ttl is not None:
-                self._gc_locked(self._max_bytes, self._ttl)
+            if (
+                self._max_bytes is not None
+                or self._ttl is not None
+                or self.trace_ttl is not None
+            ):
+                self._gc_locked(self._max_bytes, self._ttl, self.trace_ttl)
+        return len(payload)
+
+    def put_trace(
+        self,
+        trace_id: str,
+        *,
+        root_name: str,
+        status: str,
+        started_at: float,
+        duration: float,
+        spans: list,
+        sampled: str = "sampled",
+    ) -> int:
+        """Archive one completed trace; returns the payload size.
+
+        ``spans`` is the JSON-safe span-dict list the collector hands
+        over; it is stored as canonical JSON so retrieval — including
+        after a process restart on the same file — is byte-exact.
+        Re-archiving a trace id overwrites (ids are random 128-bit, so
+        a collision is the same trace finalized twice).
+        """
+        try:
+            payload = _encode_trace_payload(spans)
+        except (TypeError, ValueError) as exc:
+            raise StoreError(
+                f"trace {trace_id!r} spans are not JSON-safe: {exc}"
+            ) from exc
+        now = self._clock()
+        # deliberately NOT wrapped in a span: the collector calls this
+        # from its span listener, outside any request context — a span
+        # here would be a fresh root, finalize, archive itself, and so
+        # on forever (each archived trace spawning the next)
+        with self._lock:
+            with self._connection:
+                self._connection.execute(
+                    "INSERT OR REPLACE INTO traces "
+                    "(trace_id, root_name, status, started_at, duration, "
+                    " span_count, payload, size_bytes, sampled, "
+                    " created_at, last_access) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        trace_id, root_name, status, started_at, duration,
+                        len(spans), payload, len(payload), sampled, now, now,
+                    ),
+                )
+            self._trace_puts += 1
+            if (
+                self._max_bytes is not None
+                or self._ttl is not None
+                or self.trace_ttl is not None
+            ):
+                self._gc_locked(self._max_bytes, self._ttl, self.trace_ttl)
         return len(payload)
 
     def gc(
-        self, max_bytes: int | None = None, ttl: float | None = None
+        self,
+        max_bytes: int | None = None,
+        ttl: float | None = None,
+        trace_ttl: float | None = None,
     ) -> dict[str, int]:
-        """Trim the store; returns ``{"expired": n, "evicted": m}``.
+        """Trim the store; returns per-kind expired/evicted counts.
 
         Arguments default to the instance's configured bounds; pass
         explicit values for a one-off trim (the CLI's ``store gc``).
-        TTL-expired labels go first (they are dead weight regardless of
-        the budget), then least-recently-accessed labels until
-        ``max_bytes`` fits.
+        A one-off ``ttl`` applies to traces too unless ``trace_ttl``
+        overrides it — the same fallback the constructor uses.
+        TTL-expired traces and labels go first (dead weight regardless
+        of the budget), then least-recently-accessed traces, then LRU
+        labels until ``max_bytes`` fits.
         """
+        if trace_ttl is None:
+            trace_ttl = ttl if ttl is not None else self.trace_ttl
         with self._lock:
             return self._gc_locked(
                 max_bytes if max_bytes is not None else self._max_bytes,
                 ttl if ttl is not None else self._ttl,
+                trace_ttl,
             )
 
     def invalidate(self, fingerprint: str) -> bool:
@@ -401,6 +582,100 @@ class LabelStore:
             for row in rows
         ]
 
+    # -- trace archive reads ---------------------------------------------------
+
+    def get_trace(self, trace_id: str) -> StoredTrace | None:
+        """One archived trace, or ``None`` on miss/expiry (counted)."""
+        with span("store.get_trace", trace_id=trace_id[:12]), self._lock:
+            self._trace_gets += 1
+            row = self._connection.execute(
+                "SELECT root_name, status, started_at, duration, span_count, "
+                "payload, size_bytes, sampled, created_at, last_access "
+                "FROM traces WHERE trace_id = ?",
+                (trace_id,),
+            ).fetchone()
+            if row is not None and self._trace_expired(row[8]):
+                with self._connection:
+                    self._connection.execute(
+                        "DELETE FROM traces WHERE trace_id = ?", (trace_id,)
+                    )
+                self._trace_expirations += 1
+                row = None
+            if row is None:
+                self._trace_misses += 1
+                return None
+            self._trace_hits += 1
+            now = self._clock()
+            with self._connection:
+                self._connection.execute(
+                    "UPDATE traces SET last_access = ? WHERE trace_id = ?",
+                    (now, trace_id),
+                )
+            return StoredTrace(
+                trace_id=trace_id,
+                root_name=row[0],
+                status=row[1],
+                started_at=row[2],
+                duration=row[3],
+                span_count=row[4],
+                payload=row[5],
+                size_bytes=row[6],
+                sampled=row[7],
+                created_at=row[8],
+                last_access=now,
+            )
+
+    def get_trace_bytes(self, trace_id: str) -> bytes | None:
+        """The exact archived payload bytes (byte-identity assertions)."""
+        record = self.get_trace(trace_id)
+        return None if record is None else record.payload
+
+    def trace_records(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """Trace listing rows (newest first), no payloads."""
+        sql = (
+            "SELECT trace_id, root_name, status, started_at, duration, "
+            "span_count, size_bytes, sampled, created_at "
+            "FROM traces ORDER BY created_at DESC"
+        )
+        if limit is not None:
+            sql += f" LIMIT {int(limit)}"
+        with self._lock:
+            rows = self._connection.execute(sql).fetchall()
+        return [
+            {
+                "trace_id": row[0],
+                "root_name": row[1],
+                "status": row[2],
+                "started_at": row[3],
+                "duration": row[4],
+                "span_count": row[5],
+                "size_bytes": row[6],
+                "sampled": row[7],
+                "created_at": row[8],
+            }
+            for row in rows
+        ]
+
+    def resolve_trace_prefix(self, prefix: str) -> str:
+        """Expand a trace-id prefix to the unique full id (like a VCS)."""
+        if not prefix:
+            raise StoreError("empty trace id prefix")
+        if not all(c in "0123456789abcdef" for c in prefix.lower()):
+            # reject, don't sanitize — same reasoning as label prefixes
+            raise StoreError(f"trace id prefix {prefix!r} is not hex")
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT trace_id FROM traces WHERE trace_id LIKE ? LIMIT 2",
+                (prefix.lower() + "%",),
+            ).fetchall()
+        if not rows:
+            raise StoreError(f"no archived trace matches {prefix!r}")
+        if len(rows) > 1:
+            raise StoreError(
+                f"trace id prefix {prefix!r} is ambiguous; give more characters"
+            )
+        return rows[0][0]
+
     # -- observability and lifecycle -------------------------------------------
 
     def stats(self) -> dict[str, Any]:
@@ -408,6 +683,9 @@ class LabelStore:
         with self._lock:
             total, count = self._connection.execute(
                 "SELECT COALESCE(SUM(size_bytes), 0), COUNT(*) FROM labels"
+            ).fetchone()
+            trace_total, trace_count = self._connection.execute(
+                "SELECT COALESCE(SUM(size_bytes), 0), COUNT(*) FROM traces"
             ).fetchone()
             return {
                 "path": self.path,
@@ -422,6 +700,15 @@ class LabelStore:
                 "expirations": self._expirations,
                 "evictions": self._evictions,
                 "decode_failures": self._decode_failures,
+                "traces": trace_count,
+                "trace_bytes": trace_total,
+                "trace_ttl": self.trace_ttl,
+                "trace_puts": self._trace_puts,
+                "trace_gets": self._trace_gets,
+                "trace_hits": self._trace_hits,
+                "trace_misses": self._trace_misses,
+                "trace_expirations": self._trace_expirations,
+                "trace_evictions": self._trace_evictions,
             }
 
     def close(self) -> None:

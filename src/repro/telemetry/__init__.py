@@ -1,4 +1,4 @@
-"""Unified telemetry: metrics, tracing, structured logs, exporters.
+"""Unified telemetry: metrics, tracing, collection, SLOs, exporters.
 
 The observability layer every subsystem shares:
 
@@ -9,14 +9,32 @@ The observability layer every subsystem shares:
 - :mod:`repro.telemetry.tracing` — trace/span ids, the contextvar
   ``span()`` context manager, and the in-memory ring of recently
   completed traces;
+- :mod:`repro.telemetry.collect` — the trace collector: assembles
+  coordinator *and* backhauled worker spans into whole traces and
+  archives the keepers under tail-based sampling;
+- :mod:`repro.telemetry.slo` — declared latency/error objectives
+  evaluated against the live metric families (error-budget burn for
+  ``/healthz`` and ``fleet status``);
 - :mod:`repro.telemetry.logging` — JSON log formatter that auto-injects
   the active trace/span ids; ``configure_logging`` opts a process in
   (quiet by default);
 - :mod:`repro.telemetry.exporters` — Prometheus text-format rendering,
-  served at the app server's ``GET /metrics``.
+  served at the app server's ``GET /metrics`` (optionally with
+  OpenMetrics trace-id exemplars).
 """
 
-from repro.telemetry.exporters import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.telemetry.collect import (
+    MAX_BACKHAUL_SPANS,
+    SamplingPolicy,
+    TraceCollector,
+    revive_spans,
+    span_tree,
+)
+from repro.telemetry.exporters import (
+    OPENMETRICS_CONTENT_TYPE,
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+)
 from repro.telemetry.logging import JSONLogFormatter, configure_logging, get_logger
 from repro.telemetry.registry import (
     DEFAULT_LATENCY_BUCKETS,
@@ -28,9 +46,18 @@ from repro.telemetry.registry import (
     merged_stats,
     set_default_registry,
 )
+from repro.telemetry.slo import (
+    ErrorRateObjective,
+    LatencyObjective,
+    SLOEngine,
+    default_objectives,
+)
 from repro.telemetry.tracing import (
+    MAX_SPAN_TAGS,
+    MAX_TAG_VALUE_CHARS,
     Span,
     TraceBuffer,
+    clamp_tags,
     current_span,
     current_trace_id,
     get_trace_buffer,
@@ -41,6 +68,7 @@ from repro.telemetry.tracing import (
 )
 
 __all__ = [
+    "OPENMETRICS_CONTENT_TYPE",
     "PROMETHEUS_CONTENT_TYPE",
     "render_prometheus",
     "JSONLogFormatter",
@@ -54,8 +82,20 @@ __all__ = [
     "get_default_registry",
     "merged_stats",
     "set_default_registry",
+    "MAX_BACKHAUL_SPANS",
+    "SamplingPolicy",
+    "TraceCollector",
+    "revive_spans",
+    "span_tree",
+    "ErrorRateObjective",
+    "LatencyObjective",
+    "SLOEngine",
+    "default_objectives",
+    "MAX_SPAN_TAGS",
+    "MAX_TAG_VALUE_CHARS",
     "Span",
     "TraceBuffer",
+    "clamp_tags",
     "current_span",
     "current_trace_id",
     "get_trace_buffer",

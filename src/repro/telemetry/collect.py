@@ -1,0 +1,345 @@
+"""Trace assembly: spans from every process, one trace, one archive row.
+
+The tracing layer (:mod:`repro.telemetry.tracing`) records *spans* —
+each process keeps its own ring.  This module turns those rings into
+whole *traces*:
+
+- :func:`revive_spans` rebuilds :class:`~repro.telemetry.tracing.Span`
+  objects from the JSON-safe dicts a worker backhauls in its chunk
+  response (``repro.cluster.wire`` minor 2), re-parenting worker roots
+  under the coordinator's per-attempt span so the tree connects;
+- :class:`TraceCollector` listens on a :class:`~repro.telemetry.
+  tracing.TraceBuffer`, groups completed spans by trace id, and — when
+  a trace's *root* span closes (the span with no parent: the HTTP
+  request, or ``label.build`` from the CLI) — finalizes the trace and
+  hands it to an archive under a tail-based :class:`SamplingPolicy`;
+- :func:`span_tree` nests a flat span list into the parent/child tree
+  that ``GET /traces/<id>`` serves and the CLI waterfall renders.
+
+Tail-based sampling decides *after* the trace completes, so the
+decision can see what head-based sampling cannot: error traces and
+slow-over-threshold traces are always kept, the rest are sampled
+1-in-N — deterministically by trace id, so every process holding the
+same trace agrees.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Iterable, Mapping, Sequence
+
+from repro.telemetry.tracing import (
+    Span,
+    TraceBuffer,
+    clamp_tags,
+    get_trace_buffer,
+    is_trace_id,
+    new_span_id,
+)
+
+__all__ = [
+    "MAX_BACKHAUL_SPANS",
+    "SamplingPolicy",
+    "TraceCollector",
+    "revive_spans",
+    "span_tree",
+]
+
+#: the most spans a single chunk response may carry back; anything past
+#: the cap is dropped worker-side (and again coordinator-side, so a
+#: misbehaving worker cannot bloat the collector)
+MAX_BACKHAUL_SPANS = 32
+
+_SPAN_ID_LENGTH = 16
+
+
+def _is_span_id(value: object) -> bool:
+    return (
+        isinstance(value, str)
+        and len(value) == _SPAN_ID_LENGTH
+        and all(ch in "0123456789abcdef" for ch in value)
+    )
+
+
+def revive_spans(
+    entries: Sequence[Mapping[str, object]],
+    *,
+    trace_id: str,
+    parent_id: str | None = None,
+    extra_tags: Mapping[str, object] | None = None,
+    limit: int = MAX_BACKHAUL_SPANS,
+) -> list[Span]:
+    """Rebuild backhauled span dicts as :class:`Span` objects, safely.
+
+    Everything a remote process sent is treated as untrusted: the
+    trace id is forced to the coordinator's ``trace_id`` (the worker
+    only ever echoes it anyway), span ids are validated or re-minted,
+    tags are clamped under the record-time budget, and at most
+    ``limit`` entries survive.  Entries without a parent (the worker's
+    local roots, e.g. ``worker.chunk``) are re-parented under
+    ``parent_id`` so the cross-process tree connects; intra-worker
+    nesting is preserved.
+    """
+    if not is_trace_id(trace_id):
+        return []
+    revived: list[Span] = []
+    extras = dict(extra_tags or {})
+    for entry in list(entries)[: max(0, limit)]:
+        if not isinstance(entry, Mapping):
+            continue
+        name = entry.get("name")
+        if not isinstance(name, str) or not name:
+            continue
+        span_id = entry.get("span_id")
+        if not _is_span_id(span_id):
+            span_id = new_span_id()
+        entry_parent = entry.get("parent_id")
+        if not _is_span_id(entry_parent):
+            entry_parent = parent_id
+        tags = entry.get("tags")
+        merged = dict(tags) if isinstance(tags, Mapping) else {}
+        merged.update(extras)
+        revived_span = Span(
+            name=name[:120],
+            trace_id=trace_id,
+            span_id=span_id,  # type: ignore[arg-type]
+            parent_id=entry_parent,  # type: ignore[arg-type]
+            tags=clamp_tags(merged),
+        )
+        try:
+            revived_span.started_at = float(entry.get("started_at"))  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            pass  # keep the construction timestamp
+        try:
+            revived_span.duration = float(entry.get("duration"))  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            revived_span.duration = 0.0
+        if entry.get("status") == "error":
+            revived_span.status = "error"
+            error = entry.get("error")
+            if isinstance(error, str):
+                revived_span.error = error[:200]
+        revived.append(revived_span)
+    return revived
+
+
+def span_tree(spans: Iterable[Mapping[str, object]]) -> list[dict[str, object]]:
+    """Nest a flat span list into parent/child trees (roots returned).
+
+    Spans whose parent is absent from the list are promoted to roots
+    rather than lost; siblings sort by start time.  Input dicts are the
+    ``Span.as_dict()`` shape; output nodes add a ``children`` list.
+    """
+    nodes: dict[object, dict[str, object]] = {}
+    ordered: list[dict[str, object]] = []
+    for entry in spans:
+        span_id = entry.get("span_id")
+        if span_id in nodes:
+            continue  # duplicate span ids keep the first occurrence
+        node = dict(entry)
+        node["children"] = []
+        nodes[span_id] = node
+        ordered.append(node)
+    ordered.sort(key=lambda node: (node.get("started_at") or 0.0))
+    roots: list[dict[str, object]] = []
+    for node in ordered:
+        parent = node.get("parent_id")
+        if parent is not None and parent in nodes and parent != node["span_id"]:
+            nodes[parent]["children"].append(node)  # type: ignore[union-attr]
+        else:
+            roots.append(node)
+    return roots
+
+
+class SamplingPolicy:
+    """Tail-based keep/drop decisions for completed traces.
+
+    ``decide`` returns why a trace is kept — ``"error"``, ``"slow"``,
+    or ``"sampled"`` — or ``None`` to drop it.  Error traces and traces
+    slower than ``slow_threshold`` seconds are always kept; the rest
+    are kept 1-in-``sample_rate``, chosen deterministically from the
+    trace id so the decision is stable across processes and restarts.
+    ``sample_rate=1`` (the default) keeps everything — the right call
+    for a single-node deployment; raise it under heavy traffic.
+    """
+
+    def __init__(
+        self,
+        sample_rate: int = 1,
+        slow_threshold: float = 1.0,
+        keep_errors: bool = True,
+    ):
+        if sample_rate < 1:
+            raise ValueError(f"sample_rate must be >= 1, got {sample_rate}")
+        self.sample_rate = int(sample_rate)
+        self.slow_threshold = float(slow_threshold)
+        self.keep_errors = keep_errors
+
+    def decide(self, trace_id: str, status: str, duration: float) -> str | None:
+        """``"error"``/``"slow"``/``"sampled"`` to keep, ``None`` to drop."""
+        if self.keep_errors and status == "error":
+            return "error"
+        if duration >= self.slow_threshold:
+            return "slow"
+        if self.sample_rate == 1:
+            return "sampled"
+        if int(trace_id[:8], 16) % self.sample_rate == 0:
+            return "sampled"
+        return None
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-safe form for stats pages."""
+        return {
+            "sample_rate": self.sample_rate,
+            "slow_threshold": self.slow_threshold,
+            "keep_errors": self.keep_errors,
+        }
+
+
+class _PendingTrace:
+    __slots__ = ("spans", "span_ids", "first_seen", "dropped")
+
+    def __init__(self, clock_now: float):
+        self.spans: list[Span] = []
+        self.span_ids: set[str] = set()
+        self.first_seen = clock_now
+        self.dropped = 0
+
+
+class TraceCollector:
+    """Groups completed spans into traces and archives the keepers.
+
+    Installed as a listener on a :class:`TraceBuffer` (the process-wide
+    default unless told otherwise), so every locally recorded span —
+    including worker spans the coordinator revives from a chunk
+    backhaul — flows through with zero changes to instrumented code.
+    A trace finalizes when its root span (no parent) closes; the
+    sampling policy then decides whether the assembled trace reaches
+    the ``archive`` (anything with a ``put_trace`` method, normally the
+    SQLite :class:`~repro.store.store.LabelStore`).
+
+    Bounded on every axis: at most ``max_pending`` unfinished traces
+    (oldest evicted first), at most ``max_spans_per_trace`` spans kept
+    per trace (the rest counted, not stored).  Archive failures are
+    counted and swallowed — a broken store must never break serving.
+    """
+
+    def __init__(
+        self,
+        archive: object | None = None,
+        policy: SamplingPolicy | None = None,
+        buffer: TraceBuffer | None = None,
+        max_pending: int = 128,
+        max_spans_per_trace: int = 512,
+        clock: Callable[[], float] = time.time,
+    ):
+        self._archive = archive
+        self.policy = policy if policy is not None else SamplingPolicy()
+        self._buffer = buffer if buffer is not None else get_trace_buffer()
+        self._max_pending = max_pending
+        self._max_spans = max_spans_per_trace
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._pending: dict[str, _PendingTrace] = {}
+        self._installed = False
+        self._finalized = 0
+        self._archived = 0
+        self._sampled_out = 0
+        self._evicted = 0
+        self._span_overflow = 0
+        self._archive_errors = 0
+        self._kept_by_reason: dict[str, int] = {}
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def install(self) -> "TraceCollector":
+        """Start listening on the buffer (idempotent)."""
+        if not self._installed:
+            self._buffer.add_listener(self.on_span)
+            self._installed = True
+        return self
+
+    def close(self) -> None:
+        """Stop listening (idempotent; pending partial traces are kept)."""
+        if self._installed:
+            self._buffer.remove_listener(self.on_span)
+            self._installed = False
+
+    # -- span intake --------------------------------------------------------------------
+
+    def on_span(self, entry: Span) -> None:
+        """Buffer listener: one completed span."""
+        finalize: _PendingTrace | None = None
+        with self._lock:
+            pending = self._pending.get(entry.trace_id)
+            if pending is None:
+                while len(self._pending) >= self._max_pending:
+                    # oldest first: dict insertion order is arrival order
+                    evicted_id = next(iter(self._pending))
+                    del self._pending[evicted_id]
+                    self._evicted += 1
+                pending = _PendingTrace(self._clock())
+                self._pending[entry.trace_id] = pending
+            if entry.span_id in pending.span_ids:
+                return  # a duplicate backhaul: keep the first copy
+            pending.span_ids.add(entry.span_id)
+            if len(pending.spans) >= self._max_spans:
+                pending.dropped += 1
+                self._span_overflow += 1
+            else:
+                pending.spans.append(entry)
+            if entry.parent_id is None:
+                finalize = self._pending.pop(entry.trace_id)
+                self._finalized += 1
+        if finalize is not None:
+            self._finalize(entry.trace_id, root=entry, pending=finalize)
+
+    def _finalize(self, trace_id: str, root: Span, pending: _PendingTrace) -> None:
+        duration = root.duration if root.duration is not None else 0.0
+        status = "error" if any(
+            entry.status == "error" for entry in pending.spans
+        ) else root.status
+        reason = self.policy.decide(trace_id, status, duration)
+        if reason is None:
+            with self._lock:
+                self._sampled_out += 1
+            return
+        with self._lock:
+            self._kept_by_reason[reason] = self._kept_by_reason.get(reason, 0) + 1
+        archive = self._archive
+        if archive is None:
+            return
+        spans = sorted(pending.spans, key=lambda entry: entry.started_at)
+        try:
+            archive.put_trace(  # type: ignore[attr-defined]
+                trace_id=trace_id,
+                root_name=root.name,
+                status=status,
+                started_at=root.started_at,
+                duration=duration,
+                spans=[entry.as_dict() for entry in spans],
+                sampled=reason,
+            )
+            with self._lock:
+                self._archived += 1
+        except Exception:  # noqa: BLE001 - archiving must never break serving
+            with self._lock:
+                self._archive_errors += 1
+
+    # -- observability ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """JSON-safe counters for ``/engine/stats``."""
+        with self._lock:
+            return {
+                "pending": len(self._pending),
+                "finalized": self._finalized,
+                "archived": self._archived,
+                "sampled_out": self._sampled_out,
+                "kept": dict(self._kept_by_reason),
+                "evicted_pending": self._evicted,
+                "span_overflow": self._span_overflow,
+                "archive_errors": self._archive_errors,
+                "policy": self.policy.as_dict(),
+            }

@@ -33,10 +33,19 @@ from repro.telemetry.registry import (
     MetricsRegistry,
 )
 
-__all__ = ["PROMETHEUS_CONTENT_TYPE", "render_prometheus"]
+__all__ = [
+    "OPENMETRICS_CONTENT_TYPE",
+    "PROMETHEUS_CONTENT_TYPE",
+    "render_prometheus",
+]
 
 #: the Content-Type a /metrics response must declare
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: the Content-Type for the exemplar-annotated page (OpenMetrics);
+#: classic 0.0.4 parsers reject mid-line ``#``, so exemplars are strictly
+#: opt-in and switch the declared format
+OPENMETRICS_CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
 
 
 def _escape_help(text: str) -> str:
@@ -68,8 +77,30 @@ def _labels(tags: tuple, extra: "tuple[tuple[str, str], ...]" = ()) -> str:
     return "{" + inner + "}"
 
 
-def render_prometheus(*registries: MetricsRegistry) -> str:
-    """The exposition page for ``registries`` (deduplicated, sorted)."""
+def _exemplar_suffix(cell, index: int) -> str:
+    """The OpenMetrics exemplar annotation for one bucket, or ``""``."""
+    exemplars = getattr(cell, "exemplars", None)
+    if not exemplars:
+        return ""
+    entry = exemplars[index]
+    if entry is None:
+        return ""
+    trace_id, value, stamp = entry
+    return (
+        f' # {{trace_id="{_escape_label(str(trace_id))}"}}'
+        f" {_format_value(value)} {_format_value(stamp)}"
+    )
+
+
+def render_prometheus(*registries: MetricsRegistry, exemplars: bool = False) -> str:
+    """The exposition page for ``registries`` (deduplicated, sorted).
+
+    ``exemplars=True`` appends OpenMetrics exemplar annotations
+    (``# {trace_id="..."} value ts``) to histogram ``_bucket`` lines
+    that have a traced observation, and terminates the page with
+    ``# EOF``.  Off by default: the classic page stays byte-identical,
+    so existing scrapes are unaffected.
+    """
     seen_registries: list[MetricsRegistry] = []
     for registry in registries:
         if not any(registry is existing for existing in seen_registries):
@@ -94,21 +125,27 @@ def render_prometheus(*registries: MetricsRegistry) -> str:
         if isinstance(family, Histogram):
             for tags, cell in series:
                 cumulative = 0
-                for bound, count in zip(family.buckets, cell.counts):
+                for index, (bound, count) in enumerate(
+                    zip(family.buckets, cell.counts)
+                ):
                     cumulative += count
+                    suffix = _exemplar_suffix(cell, index) if exemplars else ""
                     lines.append(
                         f"{name}_bucket"
                         f"{_labels(tags, (('le', _format_value(bound)),))} "
-                        f"{cumulative}"
+                        f"{cumulative}{suffix}"
                     )
                 cumulative += cell.counts[-1]
+                suffix = _exemplar_suffix(cell, -1) if exemplars else ""
                 lines.append(
                     f"{name}_bucket{_labels(tags, (('le', '+Inf'),))} "
-                    f"{cumulative}"
+                    f"{cumulative}{suffix}"
                 )
                 lines.append(f"{name}_sum{_labels(tags)} {_format_value(cell.sum)}")
                 lines.append(f"{name}_count{_labels(tags)} {cell.count}")
         elif isinstance(family, (Counter, Gauge)):
             for tags, cell in series:
                 lines.append(f"{name}{_labels(tags)} {_format_value(cell.value)}")
+    if exemplars:
+        lines.append("# EOF")
     return "\n".join(lines) + ("\n" if lines else "")

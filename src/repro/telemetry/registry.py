@@ -32,6 +32,7 @@ worker.
 from __future__ import annotations
 
 import threading
+import time
 from bisect import bisect_left
 from collections.abc import Callable, Mapping, Sequence
 
@@ -45,8 +46,21 @@ __all__ = [
     "MetricsRegistry",
     "get_default_registry",
     "set_default_registry",
+    "set_exemplar_source",
     "merged_stats",
 ]
+
+#: zero-arg callable returning the active trace id (or ``None``); the
+#: tracing module injects :func:`~repro.telemetry.tracing.
+#: current_trace_id` at import so histograms can attach per-bucket
+#: exemplars without this module depending on tracing (which imports us)
+_exemplar_source: Callable[[], str | None] | None = None
+
+
+def set_exemplar_source(source: Callable[[], str | None] | None) -> None:
+    """Install the trace-id provider histogram exemplars sample from."""
+    global _exemplar_source
+    _exemplar_source = source
 
 #: seconds; Prometheus-style request-latency defaults (le semantics)
 DEFAULT_LATENCY_BUCKETS = (
@@ -166,12 +180,15 @@ class Gauge(_MetricFamily):
 
 
 class _HistogramCell:
-    __slots__ = ("counts", "sum", "count")
+    __slots__ = ("counts", "sum", "count", "exemplars")
 
     def __init__(self, buckets: int):
         self.counts = [0] * (buckets + 1)  # +1: the implicit +Inf bucket
         self.sum = 0.0
         self.count = 0
+        # per-bucket (trace_id, value, unix_ts) — allocated lazily on the
+        # first traced observation so untraced histograms pay nothing
+        self.exemplars: list | None = None
 
 
 class Histogram(_MetricFamily):
@@ -202,14 +219,26 @@ class Histogram(_MetricFamily):
         return (self.kind, self.tag_names, self.buckets)
 
     def observe(self, value: float, **tags: object) -> None:
-        """Record one observation into the series selected by ``tags``."""
+        """Record one observation into the series selected by ``tags``.
+
+        When a trace is active (see :func:`set_exemplar_source`) the
+        observation's trace id is kept as the bucket's exemplar — the
+        last traced observation per bucket — which the exporter can
+        render (behind its ``exemplars`` flag) per OpenMetrics.
+        """
         key = _freeze_tags(self.tag_names, tags)
         cell = self._slot(key, lambda: _HistogramCell(len(self.buckets)))
         index = bisect_left(self.buckets, value)
+        source = _exemplar_source
+        trace_id = source() if source is not None else None
         with self._lock_for(key):
             cell.counts[index] += 1
             cell.sum += value
             cell.count += 1
+            if trace_id is not None:
+                if cell.exemplars is None:
+                    cell.exemplars = [None] * len(cell.counts)
+                cell.exemplars[index] = (trace_id, value, time.time())
 
     def snapshot_series(self, **tags: object) -> dict[str, object]:
         """One series' state: per-bucket counts, sum, count (tests/stats)."""

@@ -1,0 +1,301 @@
+"""SLO objectives evaluated against the live metric families.
+
+An *objective* declares what "good" means over one metric family the
+process already exports — no new instrumentation, no time-series
+database.  Two kinds cover the families we have:
+
+- :class:`LatencyObjective` — "``target`` of observations complete
+  within ``threshold`` seconds", read from a histogram's cumulative
+  buckets (``repro_http_request_seconds``);
+- :class:`ErrorRateObjective` — "``target`` of events are good", read
+  from a counter family by classifying each series' tag value
+  (``repro_http_requests_total`` by status prefix,
+  ``repro_streams_total`` by outcome).
+
+:class:`SLOEngine` evaluates the declared objectives on demand and
+reports *error-budget burn*: ``burn = (1 - attainment)/(1 - target)``,
+so ``1.0`` means the budget is exactly spent and anything above it is
+an SLO breach.  Attainment is computed over the process lifetime (the
+counters are cumulative); each evaluation also reports the delta since
+the previous one, so a watcher polling ``/healthz`` sees recent burn
+alongside the lifetime number.  The health verdict is deliberately
+*advisory*: ``/healthz`` stays 200 while degraded — an SLO burn means
+"page a human", not "take the instance out of rotation".
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.telemetry.registry import Counter, Histogram, MetricsRegistry
+
+__all__ = [
+    "ErrorRateObjective",
+    "LatencyObjective",
+    "SLOEngine",
+    "default_objectives",
+]
+
+#: burn thresholds for the advisory verdict per objective
+WARN_BURN = 0.5
+BREACH_BURN = 1.0
+
+
+class _Objective:
+    """Shared declaration plumbing; subclasses implement ``measure``."""
+
+    kind = "objective"
+
+    def __init__(self, name: str, family: str, target: float, description: str = ""):
+        if not 0.0 < target <= 1.0:
+            raise ValueError(f"SLO target must be in (0, 1], got {target}")
+        self.name = name
+        self.family = family
+        self.target = float(target)
+        self.description = description
+
+    def measure(self, families: "Sequence[object]") -> tuple[float, float]:
+        """``(good, total)`` event counts over the family instances."""
+        raise NotImplementedError
+
+    def declaration(self) -> dict[str, object]:
+        """JSON-safe declaration for stats pages."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "family": self.family,
+            "target": self.target,
+            "description": self.description,
+        }
+
+
+class LatencyObjective(_Objective):
+    """``target`` of a histogram's observations land within ``threshold``.
+
+    ``threshold`` (seconds) is resolved against the histogram's bucket
+    bounds: the largest bound ``<= threshold`` is used, because bucket
+    counts are only knowable at bounds.  A threshold below every bound
+    measures zero observations as good — declare thresholds on bucket
+    edges (the default latency buckets include 0.1, 0.5, 1.0, 2.5...).
+    """
+
+    kind = "latency"
+
+    def __init__(self, name: str, family: str, threshold: float, target: float,
+                 description: str = ""):
+        super().__init__(name, family, target, description)
+        self.threshold = float(threshold)
+
+    def measure(self, families: "Sequence[object]") -> tuple[float, float]:
+        good = total = 0.0
+        for family in families:
+            if not isinstance(family, Histogram):
+                continue
+            # observations <= the largest bound that fits the threshold
+            edge = bisect_right(family.buckets, self.threshold)
+            for _tags, cell in family.series():
+                good += sum(cell.counts[:edge])
+                total += cell.count
+        return good, total
+
+    def declaration(self) -> dict[str, object]:
+        entry = super().declaration()
+        entry["threshold"] = self.threshold
+        return entry
+
+
+class ErrorRateObjective(_Objective):
+    """``target`` of a counter family's events classify as good.
+
+    A series is *bad* when its ``tag`` value is in ``bad_values`` or
+    starts with one of ``bad_prefixes`` (how HTTP status classes are
+    matched: ``bad_prefixes=("5",)``).
+    """
+
+    kind = "error_rate"
+
+    def __init__(self, name: str, family: str, tag: str,
+                 target: float, bad_values: Iterable[str] = (),
+                 bad_prefixes: Iterable[str] = (), description: str = ""):
+        super().__init__(name, family, target, description)
+        self.tag = tag
+        self.bad_values = frozenset(bad_values)
+        self.bad_prefixes = tuple(bad_prefixes)
+
+    def _is_bad(self, value: str) -> bool:
+        if value in self.bad_values:
+            return True
+        return any(value.startswith(prefix) for prefix in self.bad_prefixes)
+
+    def measure(self, families: "Sequence[object]") -> tuple[float, float]:
+        good = total = 0.0
+        for family in families:
+            if not isinstance(family, Counter):
+                continue
+            for tags, cell in family.series():
+                value = dict(tags).get(self.tag, "")
+                total += cell.value
+                if not self._is_bad(value):
+                    good += cell.value
+        return good, total
+
+    def declaration(self) -> dict[str, object]:
+        entry = super().declaration()
+        entry["tag"] = self.tag
+        entry["bad_values"] = sorted(self.bad_values)
+        entry["bad_prefixes"] = list(self.bad_prefixes)
+        return entry
+
+
+def default_objectives() -> tuple[_Objective, ...]:
+    """The server's out-of-the-box objectives.
+
+    Matched to the families the app server already exports; tune by
+    constructing the engine with your own declarations.
+    """
+    return (
+        LatencyObjective(
+            "http-latency",
+            family="repro_http_request_seconds",
+            threshold=2.5,
+            target=0.99,
+            description="99% of HTTP requests complete within 2.5s",
+        ),
+        ErrorRateObjective(
+            "http-errors",
+            family="repro_http_requests_total",
+            tag="status",
+            target=0.999,
+            bad_prefixes=("5",),
+            description="99.9% of HTTP responses are not 5xx",
+        ),
+        ErrorRateObjective(
+            "stream-errors",
+            family="repro_streams_total",
+            tag="outcome",
+            target=0.99,
+            bad_values=("aborted", "rejected"),
+            description="99% of SSE streams are neither aborted nor rejected",
+        ),
+    )
+
+
+def _burn(attainment: float, target: float) -> float:
+    """Error-budget burn: 1.0 = budget exactly spent."""
+    if target >= 1.0:
+        return 0.0 if attainment >= 1.0 else float("inf")
+    return (1.0 - attainment) / (1.0 - target)
+
+
+def _state(burn: float | None) -> str:
+    if burn is None:
+        return "no_data"
+    if burn >= BREACH_BURN:
+        return "breach"
+    if burn >= WARN_BURN:
+        return "warn"
+    return "ok"
+
+
+class SLOEngine:
+    """Evaluates declared objectives against one or more registries.
+
+    ``registries`` is a zero-arg callable returning the registries to
+    read (the server passes the same union its ``/metrics`` page
+    renders) or a static sequence.  ``evaluate()`` is cheap — a few
+    dict scans — and stateless except for remembering the previous
+    counts per objective, which is what makes the ``window`` block
+    (burn since the last evaluation) possible.
+    """
+
+    def __init__(
+        self,
+        objectives: Sequence[_Objective] | None = None,
+        registries: "Callable[[], Sequence[MetricsRegistry]] | Sequence[MetricsRegistry]" = (),
+    ):
+        self.objectives = tuple(
+            objectives if objectives is not None else default_objectives()
+        )
+        self._registries = registries
+        self._last: dict[str, tuple[float, float]] = {}
+
+    def _resolve_registries(self) -> list[MetricsRegistry]:
+        source = self._registries
+        registries = list(source() if callable(source) else source)
+        unique: list[MetricsRegistry] = []
+        for registry in registries:
+            if not any(registry is seen for seen in unique):
+                unique.append(registry)
+        return unique
+
+    def _families_named(self, name: str) -> list[object]:
+        found: list[object] = []
+        for registry in self._resolve_registries():
+            for family in registry.families():
+                if family.name == name:
+                    found.append(family)
+        return found
+
+    def evaluate(self) -> list[dict[str, object]]:
+        """One JSON-safe report per objective (lifetime + window burn)."""
+        report: list[dict[str, object]] = []
+        for objective in self.objectives:
+            good, total = objective.measure(self._families_named(objective.family))
+            attainment = (good / total) if total > 0 else None
+            burn = _burn(attainment, objective.target) if attainment is not None else None
+
+            last_good, last_total = self._last.get(objective.name, (0.0, 0.0))
+            window_good = max(0.0, good - last_good)
+            window_total = max(0.0, total - last_total)
+            window_attainment = (
+                (window_good / window_total) if window_total > 0 else None
+            )
+            window_burn = (
+                _burn(window_attainment, objective.target)
+                if window_attainment is not None
+                else None
+            )
+            self._last[objective.name] = (good, total)
+
+            entry = objective.declaration()
+            entry.update(
+                {
+                    "good": good,
+                    "total": total,
+                    "attainment": attainment,
+                    "burn": burn,
+                    "state": _state(burn),
+                    "window": {
+                        "good": window_good,
+                        "total": window_total,
+                        "attainment": window_attainment,
+                        "burn": window_burn,
+                        "state": _state(window_burn),
+                    },
+                }
+            )
+            report.append(entry)
+        return report
+
+    def health(self) -> dict[str, object]:
+        """The ``/healthz`` block: overall status + per-objective burn.
+
+        ``status`` is ``"ok"`` unless some objective is warning or
+        breaching over the process lifetime — then ``"degraded"``,
+        still served with HTTP 200 (burn is a page, not an outage).
+        """
+        objectives = self.evaluate()
+        worst = "ok"
+        for entry in objectives:
+            state = entry["state"]
+            if state == "breach":
+                worst = "breach"
+                break
+            if state == "warn":
+                worst = "warn"
+        return {
+            "status": "ok" if worst == "ok" else "degraded",
+            "worst_state": worst,
+            "objectives": objectives,
+        }

@@ -32,16 +32,23 @@ import secrets
 import threading
 import time
 from collections import deque
-from collections.abc import Iterator
+from collections.abc import Callable, Iterator, Mapping
 from contextlib import contextmanager
 from contextvars import ContextVar
 
-from repro.telemetry.registry import MetricsRegistry, get_default_registry
+from repro.telemetry.registry import (
+    MetricsRegistry,
+    get_default_registry,
+    set_exemplar_source,
+)
 
 __all__ = [
+    "MAX_SPAN_TAGS",
+    "MAX_TAG_VALUE_CHARS",
     "TRACE_ID_BYTES",
     "Span",
     "TraceBuffer",
+    "clamp_tags",
     "current_span",
     "current_trace_id",
     "get_trace_buffer",
@@ -53,6 +60,12 @@ __all__ = [
 
 #: trace ids are 16 random bytes, hex-encoded (the wire frame's width)
 TRACE_ID_BYTES = 16
+
+#: per-span tag budget, enforced at record time: a pathological caller
+#: (or a misbehaving worker backhauling spans) must not be able to bloat
+#: ``/engine/stats`` or the durable trace archive
+MAX_SPAN_TAGS = 16
+MAX_TAG_VALUE_CHARS = 128
 
 _TRACE_ID_RE = re.compile(r"^[0-9a-f]{32}$")
 
@@ -77,6 +90,27 @@ def new_span_id() -> str:
 def is_trace_id(value: object) -> bool:
     """Whether ``value`` is a well-formed trace id (wire/header safe)."""
     return isinstance(value, str) and bool(_TRACE_ID_RE.match(value))
+
+
+def clamp_tags(tags: "Mapping[str, object] | dict[str, object]") -> dict[str, str]:
+    """Stringify span tags under the record-time budget.
+
+    At most :data:`MAX_SPAN_TAGS` tags survive (in insertion order —
+    the caller's first tags are the ones worth keeping) and each value
+    is truncated to :data:`MAX_TAG_VALUE_CHARS` characters with a ``…``
+    marker.  Applied to every locally opened span *and* to spans
+    revived from a worker's backhaul, so no code path can bloat the
+    trace buffer or the archive.
+    """
+    clamped: dict[str, str] = {}
+    for key, value in tags.items():
+        if len(clamped) >= MAX_SPAN_TAGS:
+            break
+        text = str(value)
+        if len(text) > MAX_TAG_VALUE_CHARS:
+            text = text[: MAX_TAG_VALUE_CHARS - 1] + "…"
+        clamped[str(key)[:MAX_TAG_VALUE_CHARS]] = text
+    return clamped
 
 
 class Span:
@@ -133,19 +167,51 @@ def current_trace_id() -> str | None:
     return None if active is None else active.trace_id
 
 
+# histograms sample the active trace id as their per-bucket exemplar
+set_exemplar_source(current_trace_id)
+
+
 class TraceBuffer:
-    """A bounded ring of recently completed spans (newest last)."""
+    """A bounded ring of recently completed spans (newest last).
+
+    Listeners (see :meth:`add_listener`) observe every recorded span —
+    the hook :class:`~repro.telemetry.collect.TraceCollector` uses to
+    assemble whole traces without the hot path knowing about it.
+    """
 
     def __init__(self, capacity: int = 256):
+        self._capacity = capacity
         self._spans: deque[Span] = deque(maxlen=capacity)
         self._lock = threading.Lock()
         self._completed = 0
+        self._dropped = 0
+        self._listeners: list[Callable[[Span], None]] = []
 
     def record(self, span: Span) -> None:
         """Append a completed span (oldest entries fall off the ring)."""
         with self._lock:
+            if len(self._spans) == self._capacity:
+                self._dropped += 1
             self._spans.append(span)
             self._completed += 1
+            listeners = tuple(self._listeners)
+        for listener in listeners:  # outside the lock: listeners may be slow
+            try:
+                listener(span)
+            except Exception:  # noqa: BLE001 - a broken listener must not break spans
+                pass
+
+    def add_listener(self, listener: "Callable[[Span], None]") -> None:
+        """Subscribe ``listener`` to every span recorded from now on."""
+        with self._lock:
+            if listener not in self._listeners:
+                self._listeners.append(listener)
+
+    def remove_listener(self, listener: "Callable[[Span], None]") -> None:
+        """Unsubscribe a listener (no-op if it was never added)."""
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
 
     def recent(self, limit: int | None = None) -> list[dict[str, object]]:
         """The newest-first JSON-safe view (at most ``limit`` spans)."""
@@ -161,6 +227,22 @@ class TraceBuffer:
         """Total spans ever recorded (the ring only keeps the tail)."""
         with self._lock:
             return self._completed
+
+    @property
+    def dropped_spans(self) -> int:
+        """Spans that have fallen off the ring (recorded but no longer held)."""
+        with self._lock:
+            return self._dropped
+
+    def snapshot(self) -> dict[str, int]:
+        """Ring health counters for ``/engine/stats``."""
+        with self._lock:
+            return {
+                "capacity": self._capacity,
+                "buffered": len(self._spans),
+                "completed": self._completed,
+                "dropped_spans": self._dropped,
+            }
 
     def clear(self) -> None:
         """Drop the buffered spans (tests)."""
@@ -203,7 +285,7 @@ def span(
         trace_id=trace_id,
         span_id=new_span_id(),
         parent_id=parent.span_id if parent is not None else None,
-        tags={key: str(value) for key, value in tags.items()},
+        tags=clamp_tags(tags),
     )
     token = _current_span.set(entry)
     start = time.perf_counter()

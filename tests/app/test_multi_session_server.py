@@ -231,8 +231,8 @@ class TestEngineStats:
     def test_stats_endpoint_shape(self, served):
         status, stats = get(served, "/engine/stats")
         assert status == 200
-        assert set(stats) == {"service", "cache", "executor", "telemetry"}
-        assert set(stats["telemetry"]) == {"metrics", "recent_traces"}
+        assert set(stats) == {"service", "cache", "executor", "telemetry", "slo"}
+        assert set(stats["telemetry"]) >= {"metrics", "recent_traces", "trace_buffer"}
 
     def test_health_reports_session_count(self, served):
         _, health = get(served, "/health")

@@ -1,0 +1,377 @@
+"""The server's observability face: trace routes, /healthz, exemplars.
+
+Covers satellite 1 (malformed ``X-Trace-Id`` handling), the ``/traces``
+archive routes against a store-backed server, the always-200
+``/healthz`` SLO payload, the exemplars flag's dialect switch, and the
+CLI's pure waterfall/listing/stats renderers.
+"""
+
+import json
+import re
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.app.cli import (
+    _format_slo_summary,
+    _format_stats,
+    _format_trace_listing,
+    _format_waterfall,
+)
+from repro.app.server import make_server
+from repro.telemetry import (
+    OPENMETRICS_CONTENT_TYPE,
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRegistry,
+    is_trace_id,
+    new_trace_id,
+)
+
+DESIGN = {
+    "weights": {"PubCount": 0.4, "Faculty": 0.4, "GRE": 0.2},
+    "sensitive": ["DeptSizeBin"],
+    "id_column": "DeptName",
+    "monte_carlo_trials": 5,
+    "monte_carlo_epsilons": [0.1],
+}
+
+
+def fetch(handle, path, headers=None):
+    request = urllib.request.Request(handle.url + path, headers=headers or {})
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def get_json(handle, path, headers=None):
+    status, _, body = fetch(handle, path, headers)
+    return status, json.loads(body)
+
+
+def run_job(handle, design=DESIGN):
+    request = urllib.request.Request(
+        handle.url + "/jobs",
+        data=json.dumps(
+            {"jobs": [{"dataset": "cs-departments", "design": design}]}
+        ).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        reply = json.loads(response.read())
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        _, status = get_json(handle, f"/jobs/{reply['batch_id']}")
+        if status["done"]:
+            return status["jobs"][0]
+        time.sleep(0.05)
+    raise AssertionError("batch did not finish in time")
+
+
+def counter_value(handle, family):
+    _, _, body = fetch(handle, "/metrics")
+    for line in body.decode("utf-8").splitlines():
+        if line.startswith(family + " ") or line.startswith(family + "{"):
+            return float(line.rpartition(" ")[2])
+    return 0.0
+
+
+class TestBadTraceIdHeader:
+    """Satellite 1: junk X-Trace-Id values are dropped, counted, replaced."""
+
+    JUNK = [
+        "not-a-trace",
+        "1234",                      # too short
+        "zz" * 16,                   # right length, not hex
+        "ab" * 16 + "cd",            # too long
+        "<script>alert(1)</script>",
+        "ab" * 15 + "a_",
+    ]
+
+    def test_junk_header_is_counted_and_replaced(self):
+        with make_server(metrics_registry=MetricsRegistry()) as handle:
+            for junk in self.JUNK:
+                _, headers, _ = fetch(
+                    handle, "/health", headers={"X-Trace-Id": junk}
+                )
+                minted = headers.get("X-Trace-Id", "")
+                assert is_trace_id(minted), minted
+                assert minted != junk
+
+            def read():
+                return counter_value(handle, "repro_http_bad_trace_id_total")
+
+            deadline = time.monotonic() + 5
+            while read() < len(self.JUNK) and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert read() == len(self.JUNK)
+
+    def test_valid_header_still_adopted_and_not_counted(self):
+        with make_server(metrics_registry=MetricsRegistry()) as handle:
+            trace = new_trace_id()
+            _, headers, _ = fetch(
+                handle, "/health", headers={"X-Trace-Id": trace}
+            )
+            assert headers["X-Trace-Id"] == trace
+            assert counter_value(handle, "repro_http_bad_trace_id_total") == 0.0
+
+    def test_absent_header_mints_a_fresh_id(self):
+        with make_server(metrics_registry=MetricsRegistry()) as handle:
+            _, headers, _ = fetch(handle, "/health")
+            assert is_trace_id(headers.get("X-Trace-Id", ""))
+
+
+class TestHealthz:
+    def test_healthz_is_200_with_slo_block(self):
+        with make_server(metrics_registry=MetricsRegistry()) as handle:
+            status, body = get_json(handle, "/healthz")
+            assert status == 200
+            assert body["status"] in ("ok", "degraded")
+            assert "sessions" in body
+            slo = body["slo"]
+            assert slo["status"] in ("ok", "degraded")
+            names = {o["name"] for o in slo["objectives"]}
+            assert names == {"http-latency", "http-errors", "stream-errors"}
+
+    def test_healthz_stays_200_while_degraded(self):
+        with make_server(metrics_registry=MetricsRegistry()) as handle:
+            # mint guaranteed 5xx traffic: unknown routes are 404 (fine),
+            # so poison the error-rate family directly via its registry
+            for _ in range(5):
+                with pytest.raises(urllib.error.HTTPError):
+                    fetch(handle, "/jobs/not-a-batch")
+            status, body = get_json(handle, "/healthz")
+            assert status == 200  # degraded or not, never an error code
+
+
+class TestTraceRoutes:
+    def test_traces_require_a_store(self):
+        with make_server(metrics_registry=MetricsRegistry()) as handle:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(handle, "/traces")
+            assert excinfo.value.code == 400
+
+    def test_archived_request_trace_is_listed_and_browsable(self, tmp_path):
+        path = str(tmp_path / "labels.db")
+        with make_server(
+            store_path=path, metrics_registry=MetricsRegistry()
+        ) as handle:
+            run_job(handle)
+            deadline = time.time() + 10
+            listed = []
+            while time.time() < deadline:
+                _, listing = get_json(handle, "/traces")
+                listed = listing["traces"]
+                if listed:
+                    break
+                time.sleep(0.05)
+            assert listed, "no trace was archived after a served request"
+            newest = listed[0]
+            assert is_trace_id(newest["trace_id"])
+            assert newest["span_count"] >= 1
+
+            _, detail = get_json(handle, f"/traces/{newest['trace_id']}")
+            assert detail["trace_id"] == newest["trace_id"]
+            assert len(detail["spans"]) == newest["span_count"]
+            assert detail["tree"], "span tree is empty"
+            roots = [node["name"] for node in detail["tree"]]
+            assert any(name == "http.request" for name in roots)
+
+            # prefix lookup and a clean 404 for the unknown
+            _, by_prefix = get_json(
+                handle, f"/traces/{newest['trace_id'][:12]}"
+            )
+            assert by_prefix["trace_id"] == newest["trace_id"]
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(handle, "/traces/feedfacefeedface")
+            assert excinfo.value.code == 404
+
+    def test_trace_archive_survives_server_restart(self, tmp_path):
+        path = str(tmp_path / "labels.db")
+        with make_server(
+            store_path=path, metrics_registry=MetricsRegistry()
+        ) as handle:
+            run_job(handle)
+            deadline = time.time() + 10
+            traces = []
+            while time.time() < deadline:
+                _, listing = get_json(handle, "/traces")
+                traces = listing["traces"]
+                if traces:
+                    break
+                time.sleep(0.05)
+            assert traces
+            trace_id = traces[0]["trace_id"]
+            _, before = get_json(handle, f"/traces/{trace_id}")
+        with make_server(
+            store_path=path, metrics_registry=MetricsRegistry()
+        ) as restarted:
+            _, after = get_json(restarted, f"/traces/{trace_id}")
+            assert after["spans"] == before["spans"]
+
+
+class TestExemplarsFlag:
+    def test_default_scrape_is_classic_prometheus(self):
+        with make_server(metrics_registry=MetricsRegistry()) as handle:
+            fetch(handle, "/health")
+            _, headers, body = fetch(handle, "/metrics")
+            text = body.decode("utf-8")
+            assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+            assert "# EOF" not in text
+            assert 'trace_id="' not in text
+
+    def test_query_flag_switches_to_openmetrics(self):
+        with make_server(metrics_registry=MetricsRegistry()) as handle:
+            fetch(handle, "/health")  # a traced request seeds an exemplar
+            _, headers, body = fetch(handle, "/metrics?exemplars=1")
+            text = body.decode("utf-8")
+            assert headers["Content-Type"] == OPENMETRICS_CONTENT_TYPE
+            assert text.rstrip("\n").endswith("# EOF")
+            assert re.search(r'# \{trace_id="[0-9a-f]{32}"\}', text)
+
+    def test_server_flag_makes_openmetrics_the_default(self):
+        with make_server(
+            metrics_registry=MetricsRegistry(), metrics_exemplars=True
+        ) as handle:
+            _, headers, body = fetch(handle, "/metrics")
+            assert headers["Content-Type"] == OPENMETRICS_CONTENT_TYPE
+            assert body.decode("utf-8").rstrip("\n").endswith("# EOF")
+
+
+WATERFALL_TRACE = {
+    "trace_id": "ab" * 16,
+    "root_name": "http.request",
+    "status": "ok",
+    "started_at": 100.0,
+    "duration": 1.0,
+    "span_count": 4,
+    "sampled": "sampled",
+}
+
+WATERFALL_SPANS = [
+    {
+        "name": "http.request", "trace_id": "ab" * 16, "span_id": "01" * 8,
+        "parent_id": None, "started_at": 100.0, "duration": 1.0,
+        "status": "ok",
+    },
+    {
+        "name": "cluster.chunk", "trace_id": "ab" * 16, "span_id": "02" * 8,
+        "parent_id": "01" * 8, "started_at": 100.1, "duration": 0.2,
+        "status": "error",
+        "tags": {"worker": "127.0.0.1:9001", "outcome": "failed",
+                 "failure_class": "dead_at_dispatch"},
+    },
+    {
+        "name": "cluster.chunk", "trace_id": "ab" * 16, "span_id": "03" * 8,
+        "parent_id": "01" * 8, "started_at": 100.4, "duration": 0.5,
+        "status": "ok", "tags": {"worker": "127.0.0.1:9002", "outcome": "ok"},
+    },
+    {
+        "name": "worker.chunk", "trace_id": "ab" * 16, "span_id": "04" * 8,
+        "parent_id": "03" * 8, "started_at": 100.5, "duration": 0.4,
+        "status": "ok", "tags": {"worker": "127.0.0.1:9002"},
+    },
+]
+
+
+class TestWaterfallRendering:
+    def render(self):
+        from repro.telemetry import span_tree
+
+        return _format_waterfall(
+            WATERFALL_TRACE, WATERFALL_SPANS, span_tree(WATERFALL_SPANS)
+        )
+
+    def test_every_span_prints_a_row(self):
+        text = self.render()
+        assert text.count("http.request") >= 1
+        assert text.count("cluster.chunk") == 2
+        assert text.count("worker.chunk") == 1
+
+    def test_failure_class_and_worker_are_visible(self):
+        text = self.render()
+        assert "dead_at_dispatch" in text
+        assert "127.0.0.1:9001" in text
+        assert "127.0.0.1:9002" in text
+
+    def test_children_indent_under_parents(self):
+        lines = self.render().splitlines()
+        [worker_line] = [l for l in lines if "worker.chunk" in l]
+        [root_line] = [l for l in lines if "http.request" in l and "|" in l]
+        root_indent = root_line.index("http.request")
+        worker_indent = worker_line.index("worker.chunk")
+        assert worker_indent > root_indent
+
+    def test_timeline_bars_are_proportional(self):
+        lines = self.render().splitlines()
+        [root_line] = [l for l in lines if "http.request" in l and "#" in l]
+        [worker_line] = [l for l in lines if "worker.chunk" in l]
+        assert root_line.count("#") > worker_line.count("#")
+
+
+class TestListingAndStatsRendering:
+    def test_trace_listing_renders_rows(self):
+        now = time.time()
+        text = _format_trace_listing("labels.db", [
+            {
+                "trace_id": "ab" * 16, "root_name": "http.request",
+                "status": "ok", "span_count": 4, "duration": 0.25,
+                "created_at": now - 30, "sampled": "slow",
+            },
+        ])
+        assert "1 trace(s)" in text
+        assert ("ab" * 16)[:16] in text
+        assert "slow" in text
+
+    def test_empty_listing(self):
+        assert "empty" in _format_trace_listing("labels.db", [])
+
+    def test_stats_renders_new_telemetry_families(self):
+        text = _format_stats({
+            "service": {"requests": 3, "builds": 1},
+            "executor": {
+                "jobs_submitted": 1, "batches_submitted": 1,
+                "trial_backend_effective": "vectorized",
+                "trial_cluster": {
+                    "workers_alive": 1, "workers_configured": 2,
+                    "workers": [
+                        {"breaker": {"state": "closed"}},
+                        {"breaker": {"state": "open"}},
+                    ],
+                },
+            },
+            "telemetry": {
+                "metrics": {
+                    "repro_streams_active": {"series": [{"value": 2}]},
+                    "repro_streams_total": {"series": [
+                        {"tags": {"outcome": "completed"}, "value": 5},
+                        {"tags": {"outcome": "aborted"}, "value": 1},
+                    ]},
+                    "repro_registry_workers": {"series": [{"value": 2}]},
+                },
+                "trace_buffer": {
+                    "capacity": 256, "buffered": 10,
+                    "completed": 42, "dropped_spans": 3,
+                },
+                "trace_collector": {
+                    "archived": 7, "sampled_out": 2, "pending": 1,
+                },
+                "recent_traces": [],
+            },
+            "slo": [
+                {"name": "http-errors", "state": "ok", "burn": 0.0},
+            ],
+        })
+        assert "breakers: 1 closed, 1 open" in text
+        assert "streams:   2 active" in text
+        assert "5 completed" in text and "1 aborted" in text
+        assert "registry:  2 live worker lease(s)" in text
+        assert "buffer 10/256" in text and "3 span(s) dropped" in text
+        assert "7 trace(s) archived" in text
+        assert "slo:       http-errors ok (burn 0.00)" in text
+
+    def test_slo_summary_handles_missing_burn(self):
+        assert _format_slo_summary(
+            [{"name": "x", "state": "no_data", "burn": None}]
+        ) == "x no_data (burn -)"

@@ -139,7 +139,10 @@ class TestTTLAndGC:
             clock.advance(100)
             store.put(fp("2"), "fresh")
             removed = store.gc(ttl=50)
-            assert removed == {"expired": 1, "evicted": 0}
+            assert removed == {
+                "expired": 1, "evicted": 0,
+                "trace_expired": 0, "trace_evicted": 0,
+            }
             assert store.get(fp("2")) == "fresh"
             assert fp("1") not in store
 

@@ -1,0 +1,286 @@
+"""The durable trace archive: round trips, restart, GC interplay, migration.
+
+Satellite 4's contract lives here: traces and labels share one SQLite
+file and one ``max_bytes`` budget, expired traces die before live
+labels, and an archived trace survives a process restart byte-for-byte.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store.schema import DDL, SCHEMA_VERSION
+from repro.store.store import LabelStore, StoredTrace
+
+
+def fp(seed: str) -> str:
+    return (seed * 64)[:64]
+
+
+def tid(seed: str) -> str:
+    return (seed * 32)[:32]
+
+
+def sample_spans(trace_id, n=2):
+    spans = []
+    for index in range(n):
+        spans.append({
+            "name": "root" if index == 0 else f"child-{index}",
+            "trace_id": trace_id,
+            "span_id": f"{index:016x}",
+            "parent_id": None if index == 0 else "0" * 16,
+            "started_at": 100.0 + index,
+            "duration": 0.5,
+            "status": "ok",
+        })
+    return spans
+
+
+def put_sample(store, trace_id, **overrides):
+    kwargs = {
+        "root_name": "http.request",
+        "status": "ok",
+        "started_at": 100.0,
+        "duration": 1.5,
+        "spans": sample_spans(trace_id),
+        "sampled": "sampled",
+    }
+    kwargs.update(overrides)
+    return store.put_trace(trace_id, **kwargs)
+
+
+class FakeClock:
+    def __init__(self, now: float = 1_000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with LabelStore(tmp_path / "labels.db") as open_store:
+        yield open_store
+
+
+class TestRoundTrip:
+    def test_put_get(self, store):
+        put_sample(store, tid("a"))
+        record = store.get_trace(tid("a"))
+        assert isinstance(record, StoredTrace)
+        assert record.trace_id == tid("a")
+        assert record.root_name == "http.request"
+        assert record.span_count == 2
+        assert [s["name"] for s in record.spans] == ["root", "child-1"]
+
+    def test_miss_is_none(self, store):
+        assert store.get_trace(tid("9")) is None
+        assert store.get_trace_bytes(tid("9")) is None
+
+    def test_overwrite_same_trace_id(self, store):
+        put_sample(store, tid("a"))
+        put_sample(store, tid("a"), status="error", sampled="error")
+        assert store.stats()["traces"] == 1
+        assert store.get_trace(tid("a")).status == "error"
+
+    def test_summary_is_json_safe_without_payload(self, store):
+        import json
+
+        put_sample(store, tid("a"))
+        summary = store.get_trace(tid("a")).summary()
+        json.dumps(summary)
+        assert "payload" not in summary
+        assert summary["span_count"] == 2
+
+    def test_unjsonable_spans_rejected(self, store):
+        with pytest.raises(StoreError, match="JSON"):
+            put_sample(store, tid("a"), spans=[{"name": object()}])
+
+    def test_listing_newest_first_without_payloads(self, tmp_path):
+        clock = FakeClock()
+        with LabelStore(tmp_path / "s.db", clock=clock) as store:
+            put_sample(store, tid("a"))
+            clock.advance(5)
+            put_sample(store, tid("b"))
+            records = store.trace_records()
+            assert [r["trace_id"] for r in records] == [tid("b"), tid("a")]
+            assert store.trace_records(limit=1)[0]["trace_id"] == tid("b")
+
+
+class TestRestartDurability:
+    def test_archived_trace_is_byte_identical_after_reopen(self, tmp_path):
+        path = tmp_path / "labels.db"
+        with LabelStore(path) as store:
+            put_sample(store, tid("a"))
+            original = store.get_trace_bytes(tid("a"))
+        assert original is not None
+        with LabelStore(path) as reopened:  # the "restarted server"
+            assert reopened.get_trace_bytes(tid("a")) == original
+            assert reopened.get_trace(tid("a")).spans == sample_spans(tid("a"))
+
+    def test_labels_and_traces_coexist_across_reopen(self, tmp_path):
+        path = tmp_path / "labels.db"
+        with LabelStore(path) as store:
+            store.put(fp("1"), {"label": "value"})
+            put_sample(store, tid("a"))
+        with LabelStore(path) as reopened:
+            assert reopened.get(fp("1")) == {"label": "value"}
+            assert reopened.get_trace(tid("a")) is not None
+
+
+class TestGCInterplay:
+    def test_one_max_bytes_budget_covers_both_tables(self, tmp_path):
+        clock = FakeClock()
+        with LabelStore(tmp_path / "s.db", clock=clock) as store:
+            store.put(fp("1"), "x" * 200)
+            clock.advance(1)
+            trace_size = put_sample(store, tid("a"))
+            label_size = store.stats()["bytes"]
+            # a budget that fits the label alone must evict the trace
+            removed = store.gc(max_bytes=label_size + trace_size - 1)
+            assert removed["trace_evicted"] == 1
+            assert removed["evicted"] == 0
+            assert store.get_trace(tid("a")) is None
+            assert store.get(fp("1")) == "x" * 200
+
+    def test_traces_are_evicted_before_any_label(self, tmp_path):
+        clock = FakeClock()
+        with LabelStore(tmp_path / "s.db", clock=clock) as store:
+            put_sample(store, tid("a"))
+            clock.advance(1)
+            put_sample(store, tid("b"))
+            clock.advance(1)
+            store.put(fp("1"), "x" * 50)
+            removed = store.gc(max_bytes=1)  # starve everything
+            assert removed["trace_evicted"] == 2
+            # labels never go below the newest one
+            assert store.get(fp("1")) == "x" * 50
+            assert store.stats()["traces"] == 0
+
+    def test_ttl_expired_traces_die_before_live_labels(self, tmp_path):
+        clock = FakeClock()
+        with LabelStore(tmp_path / "s.db", clock=clock) as store:
+            put_sample(store, tid("a"))
+            clock.advance(100)
+            store.put(fp("1"), "fresh")
+            removed = store.gc(max_bytes=10_000_000, ttl=50)
+            assert removed["trace_expired"] == 1
+            assert removed["expired"] == 0
+            assert store.get(fp("1")) == "fresh"
+
+    def test_independent_trace_ttl(self, tmp_path):
+        clock = FakeClock()
+        with LabelStore(
+            tmp_path / "s.db", ttl=1_000, trace_ttl=10, clock=clock
+        ) as store:
+            store.put(fp("1"), "label")
+            put_sample(store, tid("a"))
+            clock.advance(50)  # beyond trace_ttl, within label ttl
+            assert store.get_trace(tid("a")) is None
+            assert store.stats()["trace_expirations"] == 1
+            assert store.get(fp("1")) == "label"
+
+    def test_trace_ttl_defaults_to_the_label_ttl(self, tmp_path):
+        with LabelStore(tmp_path / "a.db", ttl=60) as store:
+            assert store.trace_ttl == 60
+        with LabelStore(tmp_path / "b.db", ttl=60, trace_ttl=5) as store:
+            assert store.trace_ttl == 5
+
+    def test_put_time_gc_enforces_the_configured_budget(self, tmp_path):
+        clock = FakeClock()
+        with LabelStore(tmp_path / "s.db", max_bytes=500, clock=clock) as store:
+            store.put(fp("1"), "x" * 100)
+            for seed in "abc":
+                clock.advance(1)
+                put_sample(
+                    store, tid(seed),
+                    spans=sample_spans(tid(seed), n=6),
+                )
+            stats = store.stats()
+            assert stats["bytes"] + stats["trace_bytes"] <= 500
+            assert stats["trace_evictions"] > 0
+            assert store.get(fp("1")) == "x" * 100  # the label outlived them
+
+    def test_bad_trace_ttl_rejected(self, tmp_path):
+        with pytest.raises(StoreError, match="trace_ttl"):
+            LabelStore(tmp_path / "a.db", trace_ttl=0)
+
+
+class TestPrefixes:
+    def test_unique_prefix_resolves(self, store):
+        put_sample(store, tid("a"))
+        put_sample(store, tid("b"))
+        assert store.resolve_trace_prefix(tid("a")[:8]) == tid("a")
+
+    def test_ambiguous_prefix_rejected(self, store):
+        put_sample(store, "aa" + tid("1")[2:])
+        put_sample(store, "ab" + tid("2")[2:])
+        with pytest.raises(StoreError, match="ambiguous"):
+            store.resolve_trace_prefix("a")
+
+    def test_unknown_and_malformed_prefixes_rejected(self, store):
+        with pytest.raises(StoreError, match="no archived trace"):
+            store.resolve_trace_prefix("feed")
+        for bad in ("", "%", "zz"):
+            with pytest.raises(StoreError):
+                store.resolve_trace_prefix(bad)
+
+
+class TestMigration:
+    def make_v1_file(self, path):
+        """A store file exactly as schema v1 left it: no trace tables."""
+        connection = sqlite3.connect(path)
+        with connection:
+            for statement in DDL[:4]:  # labels + provenance + indexes
+                connection.execute(statement)
+            connection.execute("PRAGMA user_version = 1")
+            connection.execute(
+                """
+                INSERT INTO labels (fingerprint, payload, size_bytes,
+                                    created_at, last_access, hits)
+                VALUES (?, ?, ?, ?, ?, 0)
+                """,
+                (fp("1"), b"payload", 7, 1.0, 1.0),
+            )
+        connection.close()
+
+    def test_v1_file_is_migrated_in_place(self, tmp_path):
+        path = tmp_path / "labels.db"
+        self.make_v1_file(path)
+        with LabelStore(path) as store:
+            # the v1 row survived and the trace tables now exist
+            assert fp("1") in store
+            put_sample(store, tid("a"))
+            assert store.get_trace(tid("a")) is not None
+        connection = sqlite3.connect(path)
+        version = connection.execute("PRAGMA user_version").fetchone()[0]
+        connection.close()
+        assert version == SCHEMA_VERSION
+
+    def test_fresh_files_start_at_current_version(self, tmp_path):
+        path = tmp_path / "labels.db"
+        with LabelStore(path):
+            pass
+        connection = sqlite3.connect(path)
+        version = connection.execute("PRAGMA user_version").fetchone()[0]
+        connection.close()
+        assert version == SCHEMA_VERSION
+
+
+class TestStats:
+    def test_trace_counters(self, store):
+        put_sample(store, tid("a"))
+        store.get_trace(tid("a"))
+        store.get_trace(tid("b"))
+        stats = store.stats()
+        assert stats["traces"] == 1
+        assert stats["trace_puts"] == 1
+        assert (stats["trace_hits"], stats["trace_misses"]) == (1, 1)
+        assert stats["trace_bytes"] > 0
+        # label accounting is untouched by trace traffic
+        assert stats["labels"] == 0
+        assert stats["bytes"] == 0

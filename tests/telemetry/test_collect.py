@@ -1,0 +1,289 @@
+"""Tests for repro.telemetry.collect: revival, trees, sampling, collector."""
+
+from repro.telemetry import (
+    MAX_BACKHAUL_SPANS,
+    SamplingPolicy,
+    Span,
+    TraceBuffer,
+    TraceCollector,
+    new_span_id,
+    new_trace_id,
+    revive_spans,
+    span,
+    span_tree,
+)
+
+TRACE = "ab" * 16
+
+
+def worker_span_dict(name="worker.chunk", parent_id=None, **overrides):
+    entry = {
+        "name": name,
+        "trace_id": "cd" * 16,  # workers echo their own copy; must be overridden
+        "span_id": new_span_id(),
+        "parent_id": parent_id,
+        "started_at": 100.0,
+        "duration": 0.25,
+        "status": "ok",
+    }
+    entry.update(overrides)
+    return entry
+
+
+class RecordingArchive:
+    """Duck-typed put_trace sink (what the LabelStore implements)."""
+
+    def __init__(self, fail=False):
+        self.traces = []
+        self.fail = fail
+
+    def put_trace(self, **kwargs):
+        if self.fail:
+            raise RuntimeError("disk on fire")
+        self.traces.append(kwargs)
+
+
+class TestReviveSpans:
+    def test_trace_id_is_forced_to_the_coordinators(self):
+        revived = revive_spans([worker_span_dict()], trace_id=TRACE)
+        assert [entry.trace_id for entry in revived] == [TRACE]
+
+    def test_worker_roots_are_reparented(self):
+        attempt_id = new_span_id()
+        revived = revive_spans(
+            [worker_span_dict()], trace_id=TRACE, parent_id=attempt_id
+        )
+        assert revived[0].parent_id == attempt_id
+
+    def test_intra_worker_nesting_is_preserved(self):
+        root = worker_span_dict()
+        child = worker_span_dict(name="store.get", parent_id=root["span_id"])
+        revived = revive_spans([root, child], trace_id=TRACE, parent_id="ef" * 8)
+        assert revived[0].parent_id == "ef" * 8
+        assert revived[1].parent_id == root["span_id"]
+
+    def test_extra_tags_are_merged(self):
+        revived = revive_spans(
+            [worker_span_dict(tags={"backend": "vectorized"})],
+            trace_id=TRACE,
+            extra_tags={"worker": "127.0.0.1:8101"},
+        )
+        assert revived[0].tags["worker"] == "127.0.0.1:8101"
+        assert revived[0].tags["backend"] == "vectorized"
+
+    def test_malformed_entries_are_skipped_not_raised(self):
+        junk = [None, 42, {}, {"name": ""}, {"name": 7}, worker_span_dict()]
+        assert len(revive_spans(junk, trace_id=TRACE)) == 1
+
+    def test_invalid_span_ids_are_reminted(self):
+        revived = revive_spans(
+            [worker_span_dict(span_id="not-hex!")], trace_id=TRACE
+        )
+        assert len(revived[0].span_id) == 16
+
+    def test_error_status_and_message_survive(self):
+        revived = revive_spans(
+            [worker_span_dict(status="error", error="boom " * 100)],
+            trace_id=TRACE,
+        )
+        assert revived[0].status == "error"
+        assert len(revived[0].error) <= 200
+
+    def test_bad_trace_id_revives_nothing(self):
+        assert revive_spans([worker_span_dict()], trace_id="nope") == []
+
+    def test_limit_caps_the_batch(self):
+        entries = [worker_span_dict() for _ in range(MAX_BACKHAUL_SPANS + 10)]
+        assert len(revive_spans(entries, trace_id=TRACE)) == MAX_BACKHAUL_SPANS
+
+
+class TestSpanTree:
+    def test_nests_children_under_parents(self):
+        root = worker_span_dict(name="http.request", started_at=1.0)
+        child = worker_span_dict(
+            name="cluster.dispatch", parent_id=root["span_id"], started_at=2.0
+        )
+        grandchild = worker_span_dict(
+            name="cluster.chunk", parent_id=child["span_id"], started_at=3.0
+        )
+        tree = span_tree([grandchild, child, root])  # order must not matter
+        assert [node["name"] for node in tree] == ["http.request"]
+        assert tree[0]["children"][0]["name"] == "cluster.dispatch"
+        assert tree[0]["children"][0]["children"][0]["name"] == "cluster.chunk"
+
+    def test_orphans_are_promoted_to_roots(self):
+        orphan = worker_span_dict(parent_id="99" * 8)
+        assert [n["name"] for n in span_tree([orphan])] == ["worker.chunk"]
+
+    def test_siblings_sort_by_start_time(self):
+        root = worker_span_dict(name="root", started_at=0.0)
+        late = worker_span_dict(
+            name="late", parent_id=root["span_id"], started_at=5.0
+        )
+        early = worker_span_dict(
+            name="early", parent_id=root["span_id"], started_at=1.0
+        )
+        tree = span_tree([root, late, early])
+        assert [n["name"] for n in tree[0]["children"]] == ["early", "late"]
+
+    def test_duplicate_span_ids_keep_the_first(self):
+        entry = worker_span_dict(name="first")
+        dupe = dict(entry, name="second")
+        tree = span_tree([entry, dupe])
+        assert [n["name"] for n in tree] == ["first"]
+
+
+class TestSamplingPolicy:
+    def test_rate_one_keeps_everything(self):
+        policy = SamplingPolicy(sample_rate=1)
+        assert policy.decide(new_trace_id(), "ok", 0.001) == "sampled"
+
+    def test_errors_are_always_kept(self):
+        policy = SamplingPolicy(sample_rate=1000)
+        assert policy.decide(new_trace_id(), "error", 0.0) == "error"
+
+    def test_slow_traces_are_always_kept(self):
+        policy = SamplingPolicy(sample_rate=1000, slow_threshold=0.5)
+        assert policy.decide(new_trace_id(), "ok", 0.75) == "slow"
+
+    def test_sampling_is_deterministic_by_trace_id(self):
+        policy = SamplingPolicy(sample_rate=7, slow_threshold=10.0)
+        kept = "0000000e" + "0" * 24  # 14 % 7 == 0
+        dropped = "0000000f" + "0" * 24  # 15 % 7 != 0
+        assert policy.decide(kept, "ok", 0.0) == "sampled"
+        assert policy.decide(dropped, "ok", 0.0) is None
+        # same answer every time, in every process
+        assert policy.decide(kept, "ok", 0.0) == "sampled"
+
+
+def closed_span(trace_id, name="root", parent_id=None, duration=0.1,
+                status="ok"):
+    entry = Span(
+        name=name, trace_id=trace_id, span_id=new_span_id(),
+        parent_id=parent_id, tags={},
+    )
+    entry.duration = duration
+    entry.status = status
+    return entry
+
+
+class TestTraceCollector:
+    def test_root_close_finalizes_and_archives_the_whole_trace(self):
+        buffer = TraceBuffer()
+        archive = RecordingArchive()
+        collector = TraceCollector(archive=archive, buffer=buffer).install()
+        trace = new_trace_id()
+        root = closed_span(trace)
+        child = closed_span(trace, name="child", parent_id=root.span_id)
+        buffer.record(child)  # children close before the root
+        buffer.record(root)
+        assert len(archive.traces) == 1
+        archived = archive.traces[0]
+        assert archived["trace_id"] == trace
+        assert archived["root_name"] == "root"
+        assert {s["name"] for s in archived["spans"]} == {"root", "child"}
+        collector.close()
+
+    def test_collector_via_span_context_manager(self):
+        buffer = TraceBuffer()
+        archive = RecordingArchive()
+        collector = TraceCollector(archive=archive, buffer=buffer).install()
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        with span("outer", registry=registry, buffer=buffer):
+            with span("inner", registry=registry, buffer=buffer):
+                pass
+        assert len(archive.traces) == 1
+        assert archive.traces[0]["root_name"] == "outer"
+        collector.close()
+
+    def test_error_anywhere_marks_the_trace_error(self):
+        buffer = TraceBuffer()
+        archive = RecordingArchive()
+        collector = TraceCollector(archive=archive, buffer=buffer).install()
+        trace = new_trace_id()
+        root = closed_span(trace)
+        bad = closed_span(
+            trace, name="chunk", parent_id=root.span_id, status="error"
+        )
+        buffer.record(bad)
+        buffer.record(root)
+        assert archive.traces[0]["status"] == "error"
+        assert archive.traces[0]["sampled"] == "error"
+        collector.close()
+
+    def test_duplicate_span_ids_are_dropped(self):
+        buffer = TraceBuffer()
+        archive = RecordingArchive()
+        collector = TraceCollector(archive=archive, buffer=buffer).install()
+        trace = new_trace_id()
+        root = closed_span(trace)
+        child = closed_span(trace, name="child", parent_id=root.span_id)
+        buffer.record(child)
+        buffer.record(child)  # the same span backhauled twice
+        buffer.record(root)
+        assert len(archive.traces[0]["spans"]) == 2
+        collector.close()
+
+    def test_pending_traces_are_bounded(self):
+        buffer = TraceBuffer()
+        collector = TraceCollector(buffer=buffer, max_pending=4).install()
+        for _ in range(10):  # children only: the traces never finalize
+            trace = new_trace_id()
+            buffer.record(
+                closed_span(trace, name="child", parent_id=new_span_id())
+            )
+        stats = collector.stats()
+        assert stats["pending"] == 4
+        assert stats["evicted_pending"] == 6
+        collector.close()
+
+    def test_spans_per_trace_are_bounded(self):
+        buffer = TraceBuffer()
+        archive = RecordingArchive()
+        collector = TraceCollector(
+            archive=archive, buffer=buffer, max_spans_per_trace=3
+        ).install()
+        trace = new_trace_id()
+        root = closed_span(trace)
+        for index in range(5):
+            buffer.record(
+                closed_span(trace, name=f"child-{index}", parent_id=root.span_id)
+            )
+        buffer.record(root)
+        assert len(archive.traces[0]["spans"]) == 3
+        assert collector.stats()["span_overflow"] > 0
+        collector.close()
+
+    def test_sampled_out_traces_never_reach_the_archive(self):
+        buffer = TraceBuffer()
+        archive = RecordingArchive()
+        policy = SamplingPolicy(sample_rate=2, slow_threshold=10.0)
+        collector = TraceCollector(
+            archive=archive, policy=policy, buffer=buffer
+        ).install()
+        kept_trace = "00000002" + "0" * 24
+        dropped_trace = "00000003" + "0" * 24
+        buffer.record(closed_span(kept_trace))
+        buffer.record(closed_span(dropped_trace))
+        assert [t["trace_id"] for t in archive.traces] == [kept_trace]
+        assert collector.stats()["sampled_out"] == 1
+        collector.close()
+
+    def test_archive_failures_are_swallowed_and_counted(self):
+        buffer = TraceBuffer()
+        collector = TraceCollector(
+            archive=RecordingArchive(fail=True), buffer=buffer
+        ).install()
+        buffer.record(closed_span(new_trace_id()))  # must not raise
+        assert collector.stats()["archive_errors"] == 1
+        collector.close()
+
+    def test_close_detaches_the_listener(self):
+        buffer = TraceBuffer()
+        archive = RecordingArchive()
+        collector = TraceCollector(archive=archive, buffer=buffer).install()
+        collector.close()
+        buffer.record(closed_span(new_trace_id()))
+        assert archive.traces == []

@@ -1,0 +1,65 @@
+"""Tests for histogram exemplars and the OpenMetrics render dialect."""
+
+from repro.telemetry import (
+    OPENMETRICS_CONTENT_TYPE,
+    MetricsRegistry,
+    TraceBuffer,
+    render_prometheus,
+    span,
+)
+
+TRACE = "fe" * 16
+
+
+def traced_registry() -> MetricsRegistry:
+    """A registry with one observation recorded under an active trace."""
+    registry = MetricsRegistry()
+    histogram = registry.histogram(
+        "repro_http_request_seconds", "latency", ("route",)
+    )
+    with span(
+        "http.request", trace_id=TRACE,
+        registry=MetricsRegistry(), buffer=TraceBuffer(),
+    ):
+        histogram.observe(0.05, route="/label")
+    return registry
+
+
+class TestDefaultRender:
+    def test_default_page_has_no_exemplar_annotations(self):
+        page = render_prometheus(traced_registry())
+        assert "trace_id" not in page
+        assert "# EOF" not in page
+
+    def test_default_page_is_byte_identical_with_and_without_trace(self):
+        """Recording exemplars must not perturb the classic exposition."""
+        plain = MetricsRegistry()
+        plain.histogram(
+            "repro_http_request_seconds", "latency", ("route",)
+        ).observe(0.05, route="/label")
+        assert render_prometheus(traced_registry()) == render_prometheus(plain)
+
+
+class TestExemplarRender:
+    def test_exemplars_annotate_the_observed_bucket(self):
+        page = render_prometheus(traced_registry(), exemplars=True)
+        annotated = [line for line in page.splitlines() if " # {" in line]
+        assert annotated, page
+        assert all(f'trace_id="{TRACE}"' in line for line in annotated)
+        assert all("_bucket" in line for line in annotated)
+
+    def test_exemplar_page_ends_with_eof(self):
+        page = render_prometheus(traced_registry(), exemplars=True)
+        assert page.rstrip("\n").endswith("# EOF")
+
+    def test_untraced_observations_render_without_annotations(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            "repro_http_request_seconds", "latency", ("route",)
+        ).observe(0.05, route="/label")
+        page = render_prometheus(registry, exemplars=True)
+        assert "trace_id" not in page
+        assert page.rstrip("\n").endswith("# EOF")
+
+    def test_openmetrics_content_type_constant(self):
+        assert "openmetrics-text" in OPENMETRICS_CONTENT_TYPE

@@ -1,0 +1,164 @@
+"""Tests for repro.telemetry.slo: objectives, burn states, health."""
+
+import pytest
+
+from repro.telemetry import (
+    ErrorRateObjective,
+    LatencyObjective,
+    MetricsRegistry,
+    SLOEngine,
+    default_objectives,
+)
+
+
+def http_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.histogram(
+        "repro_http_request_seconds", "latency", ("method", "route")
+    )
+    registry.counter(
+        "repro_http_requests_total", "requests", ("method", "route", "status")
+    )
+    return registry
+
+
+def observe(registry, seconds, status="200", n=1):
+    histogram = registry.histogram(
+        "repro_http_request_seconds", "latency", ("method", "route")
+    )
+    counter = registry.counter(
+        "repro_http_requests_total", "requests", ("method", "route", "status")
+    )
+    for _ in range(n):
+        histogram.observe(seconds, method="GET", route="/label")
+        counter.inc(method="GET", route="/label", status=status)
+
+
+class TestLatencyObjective:
+    def test_counts_observations_within_threshold(self):
+        registry = http_registry()
+        observe(registry, 0.05, n=9)
+        observe(registry, 9.0, n=1)  # beyond every sub-2.5s bucket
+        objective = LatencyObjective(
+            "lat", family="repro_http_request_seconds", threshold=2.5, target=0.9
+        )
+        families = registry.families()
+        good, total = objective.measure(families)
+        assert (good, total) == (9.0, 10.0)
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError, match="target"):
+            LatencyObjective("lat", family="f", threshold=1.0, target=1.5)
+
+
+class TestErrorRateObjective:
+    def test_bad_prefix_classification(self):
+        registry = http_registry()
+        observe(registry, 0.01, status="200", n=8)
+        observe(registry, 0.01, status="503", n=2)
+        objective = ErrorRateObjective(
+            "err", family="repro_http_requests_total", tag="status",
+            target=0.9, bad_prefixes=("5",),
+        )
+        good, total = objective.measure(registry.families())
+        assert (good, total) == (8.0, 10.0)
+
+    def test_bad_values_classification(self):
+        registry = MetricsRegistry()
+        streams = registry.counter("repro_streams_total", "streams", ("outcome",))
+        streams.inc(3, outcome="completed")
+        streams.inc(1, outcome="aborted")
+        objective = ErrorRateObjective(
+            "streams", family="repro_streams_total", tag="outcome",
+            target=0.9, bad_values=("aborted", "rejected"),
+        )
+        assert objective.measure(registry.families()) == (3.0, 4.0)
+
+
+class TestSLOEngine:
+    def engine(self, registry, target=0.9):
+        objective = ErrorRateObjective(
+            "http-errors", family="repro_http_requests_total", tag="status",
+            target=target, bad_prefixes=("5",),
+        )
+        return SLOEngine(objectives=[objective], registries=lambda: [registry])
+
+    def test_no_traffic_reports_no_data(self):
+        engine = self.engine(http_registry())
+        [entry] = engine.evaluate()
+        assert entry["state"] == "no_data"
+        assert entry["burn"] is None
+
+    def test_healthy_traffic_is_ok(self):
+        registry = http_registry()
+        observe(registry, 0.01, status="200", n=100)
+        [entry] = self.engine(registry).evaluate()
+        assert entry["state"] == "ok"
+        assert entry["burn"] == 0.0
+
+    def test_burn_math_and_breach(self):
+        registry = http_registry()
+        observe(registry, 0.01, status="200", n=8)
+        observe(registry, 0.01, status="500", n=2)
+        # attainment 0.8 against target 0.9 -> burn (1-.8)/(1-.9) = 2.0
+        [entry] = self.engine(registry).evaluate()
+        assert entry["burn"] == pytest.approx(2.0)
+        assert entry["state"] == "breach"
+
+    def test_warn_between_half_and_full_burn(self):
+        registry = http_registry()
+        observe(registry, 0.01, status="200", n=93)
+        observe(registry, 0.01, status="500", n=7)
+        # attainment 0.93 against 0.9 -> burn 0.7 -> warn
+        [entry] = self.engine(registry).evaluate()
+        assert entry["state"] == "warn"
+
+    def test_window_reports_burn_since_last_evaluation(self):
+        registry = http_registry()
+        engine = self.engine(registry)
+        observe(registry, 0.01, status="500", n=10)
+        engine.evaluate()  # bad history absorbed into the baseline
+        observe(registry, 0.01, status="200", n=100)
+        [entry] = engine.evaluate()
+        assert entry["window"]["total"] == 100.0
+        assert entry["window"]["burn"] == 0.0
+        assert entry["window"]["state"] == "ok"
+        assert entry["state"] == "warn"  # lifetime still carries the damage
+
+    def test_health_degrades_but_is_advisory(self):
+        registry = http_registry()
+        observe(registry, 0.01, status="500", n=10)
+        health = self.engine(registry).health()
+        assert health["status"] == "degraded"
+        assert health["worst_state"] == "breach"
+        assert len(health["objectives"]) == 1
+
+    def test_health_ok_with_no_data(self):
+        health = self.engine(http_registry()).health()
+        assert health["status"] == "ok"
+        assert health["worst_state"] == "ok"
+
+    def test_duplicate_registries_counted_once(self):
+        registry = http_registry()
+        observe(registry, 0.01, status="200", n=10)
+        objective = ErrorRateObjective(
+            "e", family="repro_http_requests_total", tag="status",
+            target=0.9, bad_prefixes=("5",),
+        )
+        engine = SLOEngine(
+            objectives=[objective], registries=[registry, registry]
+        )
+        [entry] = engine.evaluate()
+        assert entry["total"] == 10.0
+
+
+class TestDefaults:
+    def test_default_objectives_cover_the_served_families(self):
+        names = {o.name for o in default_objectives()}
+        assert names == {"http-latency", "http-errors", "stream-errors"}
+
+    def test_default_declarations_are_json_safe(self):
+        import json
+
+        for objective in default_objectives():
+            json.dumps(objective.declaration())

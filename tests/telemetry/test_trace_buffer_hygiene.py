@@ -1,0 +1,120 @@
+"""Tests for TraceBuffer hygiene: tag caps, drop counters, listeners."""
+
+import pytest
+
+from repro.telemetry import (
+    MAX_SPAN_TAGS,
+    MAX_TAG_VALUE_CHARS,
+    MetricsRegistry,
+    TraceBuffer,
+    clamp_tags,
+    span,
+)
+
+
+class TestClampTags:
+    def test_passthrough_under_the_caps(self):
+        assert clamp_tags({"worker": "w1", "n": 3}) == {"worker": "w1", "n": "3"}
+
+    def test_tag_count_is_capped_keeping_the_first(self):
+        tags = {f"t{i:03d}": i for i in range(MAX_SPAN_TAGS + 10)}
+        clamped = clamp_tags(tags)
+        assert len(clamped) == MAX_SPAN_TAGS
+        assert list(clamped) == [f"t{i:03d}" for i in range(MAX_SPAN_TAGS)]
+
+    def test_long_values_are_truncated_with_a_marker(self):
+        clamped = clamp_tags({"query": "x" * 1000})
+        assert len(clamped["query"]) == MAX_TAG_VALUE_CHARS
+        assert clamped["query"].endswith("…")
+
+    def test_values_are_stringified(self):
+        assert clamp_tags({"ok": True, "ratio": 0.5}) == {
+            "ok": "True", "ratio": "0.5",
+        }
+
+
+class TestSpanTagBudget:
+    def test_span_applies_the_budget_at_open_time(self):
+        buffer = TraceBuffer()
+        registry = MetricsRegistry()
+        tags = {f"t{i:03d}": "v" for i in range(MAX_SPAN_TAGS + 5)}
+        with span("op", registry=registry, buffer=buffer, **tags):
+            pass
+        [entry] = buffer.recent()
+        assert len(entry["tags"]) == MAX_SPAN_TAGS
+
+
+class TestRingCounters:
+    def test_dropped_spans_counts_ring_overflow(self):
+        buffer = TraceBuffer(capacity=2)
+        registry = MetricsRegistry()
+        for index in range(5):
+            with span(f"op-{index}", registry=registry, buffer=buffer):
+                pass
+        assert buffer.dropped_spans == 3
+        assert buffer.completed == 5
+        assert [entry["name"] for entry in buffer.recent()] == ["op-4", "op-3"]
+
+    def test_snapshot_shape(self):
+        buffer = TraceBuffer(capacity=8)
+        registry = MetricsRegistry()
+        with span("op", registry=registry, buffer=buffer):
+            pass
+        assert buffer.snapshot() == {
+            "capacity": 8,
+            "buffered": 1,
+            "completed": 1,
+            "dropped_spans": 0,
+        }
+
+    def test_clear_keeps_lifetime_counters(self):
+        buffer = TraceBuffer(capacity=4)
+        registry = MetricsRegistry()
+        with span("op", registry=registry, buffer=buffer):
+            pass
+        buffer.clear()
+        assert buffer.recent() == []
+        assert buffer.completed == 1
+
+
+class TestListeners:
+    def test_listeners_see_every_recorded_span(self):
+        buffer = TraceBuffer()
+        seen = []
+        buffer.add_listener(seen.append)
+        registry = MetricsRegistry()
+        with span("op", registry=registry, buffer=buffer):
+            pass
+        assert [entry.name for entry in seen] == ["op"]
+
+    def test_removed_listener_stops_seeing_spans(self):
+        buffer = TraceBuffer()
+        seen = []
+        buffer.add_listener(seen.append)
+        buffer.remove_listener(seen.append)
+        registry = MetricsRegistry()
+        with span("op", registry=registry, buffer=buffer):
+            pass
+        assert seen == []
+
+    def test_broken_listener_does_not_break_recording(self):
+        buffer = TraceBuffer()
+
+        def explode(entry):
+            raise RuntimeError("listener bug")
+
+        buffer.add_listener(explode)
+        registry = MetricsRegistry()
+        with span("op", registry=registry, buffer=buffer):
+            pass  # must not raise
+        assert buffer.completed == 1
+
+    def test_error_spans_carry_status_and_message(self):
+        buffer = TraceBuffer()
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            with span("op", registry=registry, buffer=buffer):
+                raise ValueError("bad input")
+        [entry] = buffer.recent()
+        assert entry["status"] == "error"
+        assert "ValueError" in entry["error"]
