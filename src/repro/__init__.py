@@ -55,7 +55,7 @@ from repro.ranking.scoring import LinearScoringFunction
 from repro.tabular.csvio import read_csv
 from repro.tabular.table import Table
 
-__version__ = "1.3.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",

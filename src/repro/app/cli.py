@@ -18,7 +18,12 @@ Subcommands mirror the demo workflow:
 - ``ranking-facts trace ls|show`` — list archived traces and render one
   as an ASCII request waterfall (coordinator *and* worker spans; from a
   running server with ``--url`` or straight off a store file with
-  ``--path``);
+  ``--path``); slow traces with a linked profile also print per-span
+  top frames under the waterfall;
+- ``ranking-facts profile`` — capture a sampling-profiler window from a
+  running server (``GET /debug/profile``) and, with ``--worker`` or
+  ``--fleet``, from trial workers too — the whole fleet's flame
+  summaries in one command;
 - ``ranking-facts worker`` — run a Monte-Carlo trial worker daemon
   that the ``remote`` trial backend shards stability trials onto
   (see :mod:`repro.cluster`);
@@ -309,6 +314,13 @@ def build_parser() -> argparse.ArgumentParser:
         "info, ...), each line tagged with the request's trace id "
         "(default: the REPRO_LOG_LEVEL environment variable, else quiet)",
     )
+    serve.add_argument(
+        "--profile", action="store_true", default=None,
+        help="keep a low-rate continuous sampling profiler running; slow "
+        "archived traces get a linked profile window and /debug/profile "
+        "serves on-demand captures (default: the REPRO_PROFILE "
+        "environment variable)",
+    )
 
     stats = commands.add_parser(
         "stats",
@@ -422,6 +434,47 @@ def build_parser() -> argparse.ArgumentParser:
     trace_show.add_argument(
         "--raw", action="store_true",
         help="print the raw span JSON instead of the waterfall",
+    )
+
+    profile = commands.add_parser(
+        "profile",
+        help="capture sampling-profiler windows from a running server "
+        "and its trial workers (flame summaries, collapsed stacks)",
+    )
+    profile.add_argument(
+        "--url", default="http://127.0.0.1:8000",
+        help="base URL of the running server (default http://127.0.0.1:8000)",
+    )
+    profile.add_argument(
+        "--worker", action="append", default=[], metavar="HOST:PORT",
+        help="also profile this trial worker daemon; repeatable",
+    )
+    profile.add_argument(
+        "--fleet", action="store_true",
+        help="also profile every live worker: from the registry "
+        "(--registry / REPRO_TRIAL_REGISTRY) when given, else from the "
+        "server's own cluster view (/engine/stats)",
+    )
+    profile.add_argument(
+        "--registry", metavar="URL", default=None,
+        help="with --fleet: discover workers from this registry service "
+        "(default: the REPRO_TRIAL_REGISTRY environment variable, else "
+        "the server's cluster view)",
+    )
+    profile.add_argument(
+        "--seconds", type=float, default=2.0, metavar="N",
+        help="length of each capture window (default 2s; capped server-side)",
+    )
+    profile.add_argument(
+        "--hz", type=float, default=None, metavar="HZ",
+        help="sampling rate (default: the profiler's window rate)",
+    )
+    profile.add_argument(
+        "--format", choices=("summary", "collapsed", "json"),
+        default="summary",
+        help="summary: ASCII flame summaries (default); collapsed: "
+        "folded stacks for flamegraph tools, one section per target; "
+        "json: the raw report payloads",
     )
 
     worker = commands.add_parser(
@@ -759,6 +812,8 @@ def _run_serve(args: argparse.Namespace) -> str:
         metrics_exemplars=True if args.metrics_exemplars else None,
         trace_sample_rate=args.trace_sample_rate,
         trace_slow_threshold=args.trace_slow_threshold,
+        # None defers to REPRO_PROFILE; the flag forces on
+        profile=True if args.profile else None,
     )
     return ""  # serve_forever blocks; reached only on shutdown
 
@@ -776,9 +831,14 @@ def _format_slo_summary(slo: list) -> str:
     return "; ".join(parts)
 
 
-def _format_stats(stats: dict) -> str:
+def _format_stats(stats: dict, previous: dict | None = None) -> str:
     """The ``ranking-facts stats`` summary view of one ``/engine/stats``
-    snapshot.  Pure (dict in, text out) so tests need no server."""
+    snapshot.  Pure (dict in, text out) so tests need no server.
+
+    ``previous`` — the prior snapshot in a ``--watch`` loop — turns the
+    resources pane's CPU figure into a rate over the refresh interval
+    (a lifetime average on the first frame).
+    """
     lines: list[str] = []
     service = stats.get("service") or {}
     lines.append(
@@ -847,6 +907,50 @@ def _format_stats(stats: dict) -> str:
         lines.append(
             f"store:     {store.get('labels', 0)} label(s), "
             f"{store.get('bytes', 0)} byte(s) at {store.get('path', '?')}"
+        )
+    resources = stats.get("resources")
+    if isinstance(resources, dict):
+        cpu = float(resources.get("cpu_seconds") or 0.0)
+        uptime = float(resources.get("uptime_seconds") or 0.0)
+        prior = (previous or {}).get("resources")
+        if isinstance(prior, dict):
+            interval = uptime - float(prior.get("uptime_seconds") or 0.0)
+            burned = cpu - float(prior.get("cpu_seconds") or 0.0)
+        else:  # first frame: lifetime average
+            interval, burned = uptime, cpu
+        cpu_pct = 100.0 * burned / interval if interval > 0 else 0.0
+        parts = []
+        rss = resources.get("rss_bytes")
+        if isinstance(rss, (int, float)):
+            rss_text = f"rss {rss / 1048576:.1f} MB"
+            peak = resources.get("peak_rss_bytes")
+            if isinstance(peak, (int, float)):
+                rss_text += f" (peak {peak / 1048576:.1f})"
+            parts.append(rss_text)
+        parts.append(f"cpu {cpu:.1f}s ({cpu_pct:.1f}%)")
+        parts.append(f"{resources.get('threads', 0)} thread(s)")
+        if resources.get("open_fds") is not None:
+            parts.append(f"{resources['open_fds']} fd(s)")
+        gc_block = resources.get("gc") or {}
+        parts.append(
+            f"gc {gc_block.get('pauses', 0)} pause(s) / "
+            f"{float(gc_block.get('pause_seconds') or 0.0) * 1000:.1f} ms"
+        )
+        lines.append("resources: " + ", ".join(parts))
+    profiles = stats.get("profiles")
+    if isinstance(profiles, dict):
+        profiler = profiles.get("profiler") or {}
+        continuous = profiler.get("continuous")
+        if isinstance(continuous, dict):
+            state = (
+                f"continuous at {float(continuous.get('hz') or 0.0):g} hz, "
+                f"{continuous.get('samples', 0)} sample(s) buffered"
+            )
+        else:
+            state = "on demand only"
+        lines.append(
+            f"profiler:  {state}; {profiler.get('windows', 0)} window(s), "
+            f"{profiler.get('samples_total', 0)} sample(s) ever"
         )
     telemetry = stats.get("telemetry")
     if isinstance(telemetry, dict):
@@ -935,18 +1039,22 @@ def _run_stats(args: argparse.Namespace) -> str:
             raise RankingFactsError(f"{url} did not return a JSON object")
         return payload
 
-    def render(payload: dict) -> str:
+    def render(payload: dict, previous: dict | None = None) -> str:
         if args.raw:
             return json.dumps(payload, indent=2)
-        return _format_stats(payload)
+        return _format_stats(payload, previous)
 
     if not args.watch:
         return render(fetch())
+    previous: dict | None = None
     try:
         while True:
+            payload = fetch()
             # clear + home, like `watch(1)`, so the view updates in place
             print("\x1b[2J\x1b[H" + f"{args.url}  (Ctrl-C to stop)")
-            print(render(fetch()), flush=True)
+            # the prior frame turns the CPU figure into a live rate
+            print(render(payload, previous), flush=True)
+            previous = payload
             time.sleep(max(args.interval, 0.1))
     except KeyboardInterrupt:
         return ""
@@ -1094,7 +1202,12 @@ def _format_trace_listing(source: str, records: list[dict]) -> str:
     return "\n".join(lines)
 
 
-def _format_waterfall(summary: dict, spans: list[dict], tree: list[dict]) -> str:
+def _format_waterfall(
+    summary: dict,
+    spans: list[dict],
+    tree: list[dict],
+    profile: dict | None = None,
+) -> str:
     """One archived trace as an ASCII request waterfall.
 
     Pure (dicts in, text out) so tests need neither a server nor a
@@ -1102,6 +1215,11 @@ def _format_waterfall(summary: dict, spans: list[dict], tree: list[dict]) -> str
     trace start, duration, worker, and outcome — failover attempts show
     up as sibling ``cluster.chunk`` rows tagged with their failure
     class — plus a proportional timeline bar.
+
+    ``profile`` — the report dict of a linked sampling-profiler window
+    (slow traces archived by a ``--profile`` server carry one) — adds a
+    "top frames by span" section under the waterfall, answering *what
+    code* the slow spans were actually running.
     """
     start = min(
         (float(s.get("started_at") or 0.0) for s in spans), default=0.0
@@ -1152,11 +1270,54 @@ def _format_waterfall(summary: dict, spans: list[dict], tree: list[dict]) -> str
             walk(node.get("children") or [], depth + 1)
 
     walk(tree, 0)
+    if profile:
+        from repro.telemetry import ProfileReport
+
+        report = ProfileReport.from_dict(profile)
+        per_span = report.span_top_frames(3)
+        if not report.is_empty:
+            lines.append("")
+            lines.append(
+                f"  linked profile ({report.source}, "
+                f"{report.samples} samples at {report.hz:g} hz) — "
+                "top frames by span:"
+            )
+            if per_span:
+                ranked = sorted(
+                    per_span.items(),
+                    key=lambda item: -report.span_samples.get(item[0], 0),
+                )
+                for name, frames in ranked:
+                    span_count = report.span_samples.get(name, 0)
+                    lines.append(f"    {name}  ({span_count} samples)")
+                    for frame, count in frames:
+                        share = count / span_count if span_count else 0.0
+                        lines.append(f"      {share:6.1%} {count:>6}  {frame}")
+            else:  # nothing ran under a span that window; show the process
+                for frame, count in report.top_frames(3):
+                    share = count / report.samples if report.samples else 0.0
+                    lines.append(f"      {share:6.1%} {count:>6}  {frame}")
     return "\n".join(lines)
+
+
+def _ambiguous_id_error(
+    kind: str, prefix: str, matches: list, message: str
+) -> RankingFactsError:
+    """An ambiguous-prefix failure that *lists the candidates*.
+
+    ``trace show ab`` matching several archived traces used to die with
+    a bare "ambiguous" — the operator's next move (pick one) required a
+    separate ``trace ls``.  Now the error itself is the listing.
+    """
+    lines = [message, f"matching {kind}s:"]
+    lines += [f"  {match}" for match in matches]
+    lines.append(f"(pass a longer prefix of the {kind} you meant)")
+    return RankingFactsError("\n".join(lines))
 
 
 def _run_trace(args: argparse.Namespace) -> str:
     import json
+    import urllib.error
     import urllib.request
 
     from repro.telemetry import span_tree
@@ -1168,6 +1329,20 @@ def _run_trace(args: argparse.Namespace) -> str:
             try:
                 with urllib.request.urlopen(base + path, timeout=10) as response:
                     payload = json.load(response)
+            except urllib.error.HTTPError as exc:
+                # a 404 body carries the reason — and, for an ambiguous
+                # prefix, the candidate ids; surface them, not the code
+                try:
+                    body = json.load(exc)
+                except ValueError:
+                    body = {}
+                matches = body.get("matches")
+                error = str(body.get("error") or exc)
+                if isinstance(matches, list) and matches:
+                    raise _ambiguous_id_error(
+                        "trace id", args.trace_id, matches, error
+                    ) from exc
+                raise RankingFactsError(error) from exc
             except (OSError, ValueError) as exc:
                 raise RankingFactsError(
                     f"cannot fetch {base + path}: {exc}"
@@ -1186,13 +1361,27 @@ def _run_trace(args: argparse.Namespace) -> str:
             return json.dumps(payload, indent=2)
         spans = payload.get("spans") or []
         tree = payload.get("tree") or span_tree(spans)
-        return _format_waterfall(payload, spans, tree)
+        profile = payload.get("profile")
+        return _format_waterfall(
+            payload, spans, tree,
+            profile=profile if isinstance(profile, dict) else None,
+        )
+
+    from repro.errors import StoreError
 
     with _open_store(args) as store:
         if args.trace_command == "ls":
             records = store.trace_records(limit=args.limit)
             return _format_trace_listing(store.path, records)
-        trace_id = store.resolve_trace_prefix(args.trace_id)
+        try:
+            trace_id = store.resolve_trace_prefix(args.trace_id)
+        except StoreError as exc:
+            matches = getattr(exc, "matches", None)
+            if matches:
+                raise _ambiguous_id_error(
+                    "trace id", args.trace_id, matches, str(exc)
+                ) from exc
+            raise
         record = store.get_trace(trace_id)
         if record is None:  # expired between resolve and get
             raise RankingFactsError(f"no archived trace {args.trace_id!r}")
@@ -1201,7 +1390,129 @@ def _run_trace(args: argparse.Namespace) -> str:
             return json.dumps(
                 {**record.summary(), "spans": spans}, indent=2
             )
-        return _format_waterfall(record.summary(), spans, span_tree(spans))
+        linked = store.profile_for_trace(trace_id)
+        return _format_waterfall(
+            record.summary(), spans, span_tree(spans),
+            profile=None if linked is None else linked.report,
+        )
+
+
+def _run_profile(args: argparse.Namespace) -> str:
+    import json
+    import os
+    import threading
+    import urllib.request
+
+    from repro.telemetry import ProfileReport
+
+    # each capture blocks its handler for the whole window; give the
+    # socket timeout generous headroom past it
+    timeout = max(30.0, args.seconds * 2 + 10.0)
+
+    def fetch_json(url: str) -> dict:
+        try:
+            with urllib.request.urlopen(url, timeout=timeout) as response:
+                payload = json.load(response)
+        except (OSError, ValueError) as exc:
+            raise RankingFactsError(f"cannot fetch {url}: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise RankingFactsError(f"{url} did not return a JSON object")
+        return payload
+
+    base = args.url.rstrip("/")
+    addresses: list[str] = list(args.worker)
+    if args.fleet:
+        registry_url = (
+            args.registry or os.environ.get("REPRO_TRIAL_REGISTRY") or None
+        )
+        if registry_url:
+            rows = (
+                fetch_json(registry_url.rstrip("/") + "/workers").get("workers")
+                or []
+            )
+            discovered = [
+                str(row.get("address")) for row in rows if row.get("address")
+            ]
+        else:  # no registry: the coordinator already knows its fleet
+            stats = fetch_json(base + "/engine/stats")
+            cluster = (stats.get("executor") or {}).get("trial_cluster") or {}
+            discovered = [
+                str(row.get("address"))
+                for row in cluster.get("workers") or []
+                if row.get("address")
+            ]
+        for address in discovered:
+            if address not in addresses:
+                addresses.append(address)
+
+    query = f"/debug/profile?seconds={args.seconds:g}&format=json"
+    if args.hz is not None:
+        query += f"&hz={args.hz:g}"
+    targets = [("server", base + query)]
+    for address in addresses:
+        worker_base = address if "://" in address else f"http://{address}"
+        targets.append((address, worker_base.rstrip("/") + query))
+
+    # sweep the fleet concurrently: the whole capture costs one
+    # window's wall clock, not one per target
+    results: list[dict | RankingFactsError] = [
+        RankingFactsError("not captured")
+    ] * len(targets)
+
+    def capture(index: int, url: str) -> None:
+        try:
+            results[index] = fetch_json(url)
+        except RankingFactsError as exc:
+            results[index] = exc
+
+    threads = [
+        threading.Thread(target=capture, args=(i, url), daemon=True)
+        for i, (_, url) in enumerate(targets)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    failures = [
+        f"{name}: {result}"
+        for (name, _), result in zip(targets, results)
+        if isinstance(result, RankingFactsError)
+    ]
+    if len(failures) == len(targets):
+        raise RankingFactsError(
+            "no profile captured:\n  " + "\n  ".join(failures)
+        )
+
+    if args.format == "json":
+        payload = {
+            name: (
+                {"error": str(result)}
+                if isinstance(result, RankingFactsError)
+                else result
+            )
+            for (name, _), result in zip(targets, results)
+        }
+        return json.dumps({"profiles": payload}, indent=2)
+
+    sections: list[str] = []
+    for (name, _), result in zip(targets, results):
+        if isinstance(result, RankingFactsError):
+            prefix = "# " if args.format == "collapsed" else ""
+            sections.append(f"{prefix}profile {name}: error: {result}")
+            continue
+        report = ProfileReport.from_dict(result)
+        if args.format == "collapsed":
+            collapsed = report.to_collapsed().rstrip("\n")
+            sections.append(
+                f"# ==== {report.source or name}: {report.samples} "
+                f"sample(s) over {report.duration:.1f}s at "
+                f"{report.hz:g} hz ====\n"
+                + (collapsed if collapsed else "# (no samples)")
+            )
+        else:
+            sections.append(report.render())
+    return "\n\n".join(sections)
 
 
 def _run_worker(args: argparse.Namespace) -> str:
@@ -1212,7 +1523,7 @@ def _run_worker(args: argparse.Namespace) -> str:
         host=args.host, port=args.port, backend=args.backend,
         workers=args.workers, log_level=args.log_level,
         register=args.register, advertise=args.advertise,
-        heartbeat_ttl=args.heartbeat_ttl,
+        heartbeat_ttl=args.heartbeat_ttl, profile=args.profile,
     )
     return ""  # blocks; reached only on shutdown
 
@@ -1346,6 +1657,7 @@ _RUNNERS = {
     "stats": _run_stats,
     "store": _run_store,
     "trace": _run_trace,
+    "profile": _run_profile,
     "worker": _run_worker,
     "registry": _run_registry,
     "fleet": _run_fleet,

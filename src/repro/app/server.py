@@ -21,7 +21,11 @@ and three archive routes open up:
   stored labels (:func:`repro.label.compare.diff_labels`);
 - ``GET /traces``                 — the archived-trace listing;
 - ``GET /traces/<id>``            — one trace, spans plus the
-  reconstructed span tree (any unambiguous id prefix works).
+  reconstructed span tree (any unambiguous id prefix works; an
+  ambiguous one 404s *with* the candidate ids), and — when continuous
+  profiling linked a capture — the profile's per-span top frames;
+- ``GET /profiles``               — the archived-profile listing;
+- ``GET /profiles/<id>``          — one archived profile capture.
 
 Global routes:
 
@@ -34,7 +38,11 @@ Global routes:
   every other registry the process keeps (scrape this);
 - ``GET  /datasets``      — the built-in dataset registry as JSON;
 - ``GET  /engine/stats``  — cache / tier / store / executor counters,
-  plus a ``telemetry`` block (metric snapshot + recent traces);
+  plus ``telemetry`` (metric snapshot + recent traces), ``profiles``
+  (sampler state), and ``resources`` (CPU/RSS/threads/fds/GC) blocks;
+- ``GET  /debug/profile`` — capture a profiling window right now:
+  ``?seconds=N&hz=H&format=collapsed|json`` (``archive=1`` persists
+  the capture when a store is attached);
 - ``POST /session``       — open a session; optional ``{"dataset":
   ..., "design": {...}}`` preloads it; returns ``{"token": ...}``;
 - ``GET  /sessions``      — tokens and stages of every open session;
@@ -92,13 +100,19 @@ from repro.errors import EngineError, RankingFactsError
 from repro.label.render_html import render_html
 from repro.label.render_json import render_json
 from repro.telemetry import (
+    DEFAULT_CONTINUOUS_HZ,
+    DEFAULT_WINDOW_HZ,
     OPENMETRICS_CONTENT_TYPE,
     PROMETHEUS_CONTENT_TYPE,
     MetricsRegistry,
+    ResourceCollector,
     SamplingPolicy,
+    SamplingProfiler,
     SLOEngine,
     TraceCollector,
     configure_logging,
+    env_profile_enabled,
+    get_default_profiler,
     get_default_registry,
     get_logger,
     get_trace_buffer,
@@ -333,8 +347,12 @@ def _route_template(parts: list[str]) -> str:
         return "/labels/{other}"
     if head == "traces":
         return "/traces" if len(parts) == 1 else "/traces/{id}"
+    if head == "profiles":
+        return "/profiles" if len(parts) == 1 else "/profiles/{id}"
     if parts == ["engine", "stats"]:
         return "/engine/stats"
+    if parts == ["debug", "profile"]:
+        return "/debug/profile"
     if len(parts) == 1 and head in _TOP_ROUTES:
         return "/" + head
     return "{unknown}"
@@ -457,6 +475,13 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
     metrics: MetricsRegistry = None  # type: ignore[assignment]
     slo: "SLOEngine | None" = None
     trace_collector: "TraceCollector | None" = None
+    # the process-wide sampling profiler behind GET /debug/profile, and
+    # the label profile reports carry as their origin
+    profiler: "SamplingProfiler | None" = None
+    profile_source = "server"
+    # process resource collector behind the repro_process_* families;
+    # refreshed at scrape/stats time, no poller thread
+    resources: "ResourceCollector | None" = None
     # render /metrics as OpenMetrics with per-bucket trace-id exemplars;
     # off by default so existing scrapes see byte-identical output
     metrics_exemplars = False
@@ -610,6 +635,9 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
         exemplars = self.metrics_exemplars or (
             parse_qs(query).get("exemplars", ["0"])[-1] in ("1", "true", "yes")
         )
+        if self.resources is not None:
+            # refresh the repro_process_* gauges so the scrape is current
+            self.resources.refresh(self.metrics)
         page = render_prometheus(*self._metric_registries(), exemplars=exemplars)
         content_type = (
             OPENMETRICS_CONTENT_TYPE if exemplars else PROMETHEUS_CONTENT_TYPE
@@ -834,11 +862,19 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
             if self.trace_collector is not None:
                 telemetry["trace_collector"] = self.trace_collector.stats()
             extra: dict[str, object] = {"telemetry": telemetry}
+            if self.profiler is not None:
+                extra["profiles"] = {"profiler": self.profiler.stats()}
+            if self.resources is not None:
+                extra["resources"] = self.resources.snapshot()
             if self.slo is not None:
                 extra["slo"] = self.slo.evaluate()
             self._send_json(
                 200, merged_stats(self.registry.service.stats, **extra)
             )
+        elif parts == ["debug", "profile"]:
+            self._get_debug_profile()
+        elif parts[0] == "profiles":
+            self._get_profiles(parts[1:])
         elif parts == ["sessions"]:
             self._send_json(200, {"sessions": self.registry.tokens()})
         elif parts[0] == "session" and len(parts) == 3:
@@ -945,6 +981,97 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
             payload["slo"] = health
         self._send_json(200, payload)
 
+    # -- profiling ---------------------------------------------------------------
+
+    def _get_debug_profile(self) -> None:
+        """``GET /debug/profile?seconds=N&format=collapsed|json``.
+
+        Blocks this handler thread for the window (bounded by the
+        profiler's cap) while the sampler captures every *other*
+        thread; with ``archive=1`` and a store attached, the capture is
+        persisted and its profile id returned.
+        """
+        if self.profiler is None:
+            raise RankingFactsError("profiling is not available on this server")
+        _, query = self._split()
+        params = parse_qs(query)
+        try:
+            seconds = float(params.get("seconds", ["2"])[-1])
+            hz = float(params.get("hz", [str(DEFAULT_WINDOW_HZ)])[-1])
+        except ValueError as exc:
+            raise RankingFactsError(f"bad profile parameter: {exc}") from exc
+        fmt = params.get("format", ["json"])[-1]
+        if fmt not in ("json", "collapsed"):
+            raise RankingFactsError(
+                f"unknown profile format {fmt!r}; use collapsed or json"
+            )
+        report = self.profiler.window(seconds, hz=hz)
+        report.source = self.profile_source
+        if fmt == "collapsed":
+            self._send(200, "text/plain", report.to_collapsed())
+            return
+        payload = report.as_dict()
+        if params.get("archive", ["0"])[-1] in ("1", "true", "yes"):
+            store = self.registry.service.store
+            if store is None:
+                raise RankingFactsError(
+                    "archive=1 needs a label store; start the server with "
+                    "--store PATH (or REPRO_LABEL_STORE)"
+                )
+            profile_id = secrets.token_hex(16)
+            store.put_profile(
+                profile_id,
+                source=report.source,
+                started_at=report.started_at,
+                duration=report.duration,
+                hz=report.hz,
+                sample_count=report.samples,
+                report=payload,
+            )
+            payload["profile_id"] = profile_id
+        self._send_json(200, payload)
+
+    def _get_profiles(self, parts: list[str]) -> None:
+        """``GET /profiles[/<id>]``: the archived-profile listing/detail."""
+        from repro.errors import StoreError
+
+        store = self.registry.service.store
+        if store is None:
+            raise RankingFactsError(
+                "no profile archive configured; start the server with "
+                "--store PATH (or REPRO_LABEL_STORE) to keep captured "
+                "profiles"
+            )
+        if not parts:
+            _, query = self._split()
+            limit_values = parse_qs(query).get("limit", [])
+            try:
+                limit = int(limit_values[-1]) if limit_values else 50
+            except ValueError as exc:
+                raise RankingFactsError(f"bad limit: {exc}") from exc
+            records = store.profile_records(limit=limit)
+            self._send_json(200, {"profiles": records, "count": len(records)})
+            return
+        if len(parts) == 1:
+            try:
+                profile_id = store.resolve_profile_prefix(parts[0])
+            except StoreError as exc:
+                body: dict[str, object] = {"error": str(exc)}
+                matches = getattr(exc, "matches", None)
+                if matches:
+                    body["matches"] = matches
+                self._send_json(404, body)
+                return
+            record = store.get_profile(profile_id)
+            if record is None:  # expired between resolve and get
+                self._send_json(
+                    404, {"error": f"no archived profile {parts[0]!r}"}
+                )
+                return
+            self._send_json(200, {**record.summary(), "report": record.report})
+            return
+        self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
     # -- the durable trace archive (requires a store) ---------------------------
 
     def _get_traces(self, parts: list[str]) -> None:
@@ -971,7 +1098,13 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
             try:
                 trace_id = store.resolve_trace_prefix(parts[0])
             except StoreError as exc:
-                self._send_json(404, {"error": str(exc)})
+                # an ambiguous prefix carries the candidate ids, so the
+                # client can list them instead of dead-ending
+                body: dict[str, object] = {"error": str(exc)}
+                matches = getattr(exc, "matches", None)
+                if matches:
+                    body["matches"] = matches
+                self._send_json(404, body)
                 return
             record = store.get_trace(trace_id)
             if record is None:  # expired between resolve and get
@@ -980,11 +1113,19 @@ class _RankingFactsHandler(BaseHTTPRequestHandler):
                 )
                 return
             spans = record.spans
-            self._send_json(200, {
+            payload = {
                 **record.summary(),
                 "spans": spans,
                 "tree": span_tree(spans),
-            })
+            }
+            # a slow trace archived while continuous profiling ran has
+            # a linked capture: surface it so clients can print the
+            # top frames under the slow spans
+            profile = store.profile_for_trace(trace_id)
+            if profile is not None:
+                payload["profile_id"] = profile.profile_id
+                payload["profile"] = profile.report
+            self._send_json(200, payload)
             return
         self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
@@ -1110,11 +1251,17 @@ class ServerHandle:
         server: ThreadingHTTPServer,
         registry: SessionRegistry,
         trace_collector: "TraceCollector | None" = None,
+        resources: "ResourceCollector | None" = None,
     ):
         self._server = server
         self._thread = threading.Thread(target=server.serve_forever, daemon=True)
         self.registry = registry
         self.trace_collector = trace_collector
+        self.resources = resources
+        #: the process profiler serving this daemon, and whether this
+        #: daemon started its continuous sink (set by make_server)
+        self.profiler: "SamplingProfiler | None" = None
+        self.owns_continuous = False
 
     @property
     def address(self) -> tuple[str, int]:
@@ -1169,6 +1316,15 @@ class ServerHandle:
             # detach the buffer listener so a later server in the same
             # process doesn't archive into a closed store
             self.trace_collector.close()
+        if self.resources is not None:
+            # unhook the gc callback so repeated make_server calls in
+            # one process (tests) don't stack dead collectors
+            self.resources.close()
+        if self.owns_continuous and self.profiler is not None:
+            # the continuous sink we started dies with us, so a stopped
+            # server leaves the process profiler fully idle
+            self.profiler.stop_continuous()
+            self.owns_continuous = False
 
     def __exit__(self, *exc_info) -> None:
         self.stop()
@@ -1236,6 +1392,9 @@ def make_server(
     metrics_exemplars: bool | None = None,
     trace_sample_rate: int | None = None,
     trace_slow_threshold: float | None = None,
+    profile: bool | None = None,
+    profile_hz: float | None = None,
+    track_allocations: bool = False,
 ) -> ServerHandle:
     """Bind a server (port 0 = ephemeral, for tests).
 
@@ -1289,6 +1448,15 @@ def make_server(
     ``trace_slow_threshold`` (or ``REPRO_TRACE_SLOW_THRESHOLD``,
     default 1s) are always kept, the rest 1-in-``trace_sample_rate``
     (``REPRO_TRACE_SAMPLE_RATE``, default 1 = keep everything).
+
+    ``profile`` (or ``REPRO_PROFILE``) turns on *continuous* low-rate
+    sampling profiling (``profile_hz``, default 19 Hz): ``GET
+    /debug/profile`` windows work either way (the sampler only runs
+    while a capture is open), but with continuous mode on, every slow
+    archived trace also gets the profiler's rolling window archived
+    beside it (``GET /traces/<id>`` then carries per-span top frames).
+    ``track_allocations`` opts into ``tracemalloc`` top-allocator
+    reporting in ``/engine/stats`` (real overhead; never ambient).
     """
     if session is not None and session.stage is SessionStage.EMPTY:
         raise RankingFactsError("the session has no dataset; load one before serving")
@@ -1321,6 +1489,15 @@ def make_server(
         "REPRO_TRACE_SLOW_THRESHOLD"
     ):
         trace_slow_threshold = float(os.environ["REPRO_TRACE_SLOW_THRESHOLD"])
+    profiler = get_default_profiler()
+    if profile is None:
+        profile = env_profile_enabled()
+    owns_continuous = False
+    if profile:
+        owns_continuous = profiler.start_continuous(
+            hz=profile_hz if profile_hz is not None else DEFAULT_CONTINUOUS_HZ
+        )
+    resources = ResourceCollector(track_allocations=track_allocations).install()
     collector: TraceCollector | None = None
     if registry.service.store is not None:
         collector = TraceCollector(
@@ -1333,6 +1510,9 @@ def make_server(
                     else 1.0
                 ),
             ),
+            # with continuous profiling on, slow traces archive the
+            # profiler's rolling window beside them
+            profiler=profiler if profile else None,
         )
         collector.install()
     bound_metrics = (
@@ -1348,6 +1528,8 @@ def make_server(
             "metrics": bound_metrics,
             "metrics_exemplars": metrics_exemplars,
             "trace_collector": collector,
+            "profiler": profiler,
+            "resources": resources,
         },
     )
     # the engine reads the same registry union /metrics renders, so the
@@ -1361,7 +1543,12 @@ def make_server(
     # every accepted connection, for stop()'s last-resort severing
     server.live_connections = set()
     server.live_lock = threading.Lock()
-    return ServerHandle(server, registry, trace_collector=collector)
+    handle = ServerHandle(
+        server, registry, trace_collector=collector, resources=resources
+    )
+    handle.owns_continuous = owns_continuous
+    handle.profiler = profiler
+    return handle
 
 
 def serve_forever(
@@ -1375,6 +1562,8 @@ def serve_forever(
     metrics_exemplars: bool | None = None,
     trace_sample_rate: int | None = None,
     trace_slow_threshold: float | None = None,
+    profile: bool | None = None,
+    track_allocations: bool = False,
 ) -> None:
     """Run the demo server until interrupted (the CLI's ``serve``).
 
@@ -1395,6 +1584,8 @@ def serve_forever(
         metrics_exemplars=metrics_exemplars,
         trace_sample_rate=trace_sample_rate,
         trace_slow_threshold=trace_slow_threshold,
+        profile=profile,
+        track_allocations=track_allocations,
     ) as handle:
         print(f"Ranking Facts demo serving on {handle.url} (Ctrl-C to stop)")
         try:

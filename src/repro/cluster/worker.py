@@ -26,6 +26,13 @@ A worker is a stdlib ``http.server`` daemon (the same substrate as
 - ``GET /stats``    — chunk/trial/rejection/error counters, daemon
   ``uptime_seconds``, the trace id of the last executed chunk, and —
   when registered — the heartbeat loop's registration stats.
+- ``GET /debug/profile?seconds=N&hz=H&format=collapsed|json`` — an
+  on-demand sampling-profiler window (:mod:`repro.telemetry.profiling`)
+  over this worker's threads, same contract as the coordinator's
+  endpoint; ``ranking-facts profile --fleet`` backhauls these from
+  every registry-known worker in one sweep.  ``--profile`` (or
+  ``REPRO_PROFILE=1``) additionally keeps a low-rate continuous
+  sampler running from startup.
 
 Fleet membership (:mod:`repro.cluster.registry`): started with
 ``--register URL`` the worker announces itself to a registry and
@@ -64,15 +71,21 @@ import threading
 import time
 from collections.abc import Sequence
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs
 
 from repro.cluster import wire
 from repro.cluster.registry import DEFAULT_LEASE_TTL, HeartbeatLoop, RegistryClient
 from repro.engine.backends import resolve_trial_backend, run_trial_span
 from repro.errors import ClusterError
 from repro.telemetry import (
+    DEFAULT_CONTINUOUS_HZ,
+    DEFAULT_WINDOW_HZ,
     MAX_BACKHAUL_SPANS,
     MetricsRegistry,
+    SamplingProfiler,
     configure_logging,
+    env_profile_enabled,
+    get_default_profiler,
     get_default_registry,
     get_logger,
     merged_stats,
@@ -147,6 +160,8 @@ class TrialWorker:
         self._draining = False
         #: the daemon's HeartbeatLoop, when registered (set by make_worker)
         self.heartbeat: HeartbeatLoop | None = None
+        #: the daemon's sampling profiler (set by make_worker)
+        self.profiler: SamplingProfiler | None = None
 
     def run_chunk(self, data: bytes) -> bytes:
         """Decode one request frame, execute the span, return the response frame.
@@ -255,6 +270,8 @@ class TrialWorker:
             }
         if self.heartbeat is not None:
             counters["registration"] = self.heartbeat.stats()
+        if self.profiler is not None:
+            counters["profiles"] = {"profiler": self.profiler.stats()}
         return merged_stats(counters)
 
     def shutdown(self) -> None:
@@ -266,6 +283,7 @@ class _TrialWorkerHandler(BaseHTTPRequestHandler):
     """HTTP routes over one :class:`TrialWorker`."""
 
     worker: TrialWorker = None  # type: ignore[assignment]  # set by make_worker
+    profile_source: str = "worker"  # refined to worker:<port> by make_worker
 
     server_version = "RankingFactsWorker/1.0"
     # HTTP/1.1: the coordinator keeps one persistent connection per
@@ -316,8 +334,48 @@ class _TrialWorkerHandler(BaseHTTPRequestHandler):
             ).observe(time.perf_counter() - started)
         elif path == "/stats":
             self._send_json(200, self.worker.stats())
+        elif path == "/debug/profile":
+            self._get_debug_profile()
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def _get_debug_profile(self) -> None:
+        """``GET /debug/profile?seconds=N&hz=H&format=collapsed|json``.
+
+        The worker half of the fleet-wide profile backhaul: same
+        parameters and payload shape as the coordinator's endpoint
+        (:mod:`repro.app.server`), so one client can sweep both.  The
+        handler thread blocks for the window while the sampler captures
+        every *other* thread — chunk execution included.
+        """
+        profiler = self.worker.profiler
+        if profiler is None:
+            self._send_json(
+                503, {"error": "profiling is not available on this worker"}
+            )
+            return
+        params = parse_qs(self.path.partition("?")[2])
+        try:
+            seconds = float(params.get("seconds", ["2"])[-1])
+            hz = float(params.get("hz", [str(DEFAULT_WINDOW_HZ)])[-1])
+        except ValueError as exc:
+            self._send_json(400, {"error": f"bad profile parameter: {exc}"})
+            return
+        fmt = params.get("format", ["json"])[-1]
+        if fmt not in ("json", "collapsed"):
+            self._send_json(
+                400,
+                {"error": f"unknown profile format {fmt!r}; use collapsed or json"},
+            )
+            return
+        report = profiler.window(seconds, hz=hz)
+        report.source = self.profile_source
+        if fmt == "collapsed":
+            self._send_bytes(
+                200, "text/plain", report.to_collapsed().encode("utf-8")
+            )
+        else:
+            self._send_json(200, report.as_dict())
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         path = self.path.partition("?")[0]
@@ -349,6 +407,9 @@ class WorkerHandle:
         self._thread = threading.Thread(target=server.serve_forever, daemon=True)
         self.worker = worker
         self.heartbeat = heartbeat
+        #: whether this daemon started the process profiler's continuous
+        #: sink (and so must stop it on shutdown); set by make_worker
+        self.owns_continuous = False
 
     @property
     def address(self) -> str:
@@ -397,6 +458,9 @@ class WorkerHandle:
                 pass
         if self._thread.is_alive():
             self._thread.join(timeout=5)
+        if self.owns_continuous and self.worker.profiler is not None:
+            self.worker.profiler.stop_continuous()
+            self.owns_continuous = False
         self.worker.shutdown()
 
     def __enter__(self) -> "WorkerHandle":
@@ -416,6 +480,8 @@ def make_worker(
     advertise: str | None = None,
     heartbeat_ttl: float = DEFAULT_LEASE_TTL,
     span_backhaul: bool = True,
+    profile: bool | None = None,
+    profile_hz: float | None = None,
 ) -> WorkerHandle:
     """Bind a worker daemon (port 0 = ephemeral, for tests).
 
@@ -428,15 +494,29 @@ def make_worker(
     reach them — else its own bound ``host:port``), heartbeats every
     ``heartbeat_ttl / 3`` seconds, and deregisters on stop.  The
     returned handle is a context manager that starts serving on entry.
+
+    ``profile`` (default: the ``REPRO_PROFILE`` environment variable)
+    keeps the process profiler's low-rate continuous sampler running;
+    ``GET /debug/profile`` windows work either way.
     """
     worker = TrialWorker(
         backend=backend, workers=workers, registry=registry,
         span_backhaul=span_backhaul,
     )
+    worker.profiler = get_default_profiler()
+    if profile is None:
+        profile = env_profile_enabled()
+    owns_continuous = False
+    if profile:
+        owns_continuous = worker.profiler.start_continuous(
+            hz=profile_hz or DEFAULT_CONTINUOUS_HZ
+        )
     handler = type("BoundWorkerHandler", (_TrialWorkerHandler,), {"worker": worker})
     server = ThreadingHTTPServer((host, port), handler)
     server.live_connections = set()  # severed on stop(); see WorkerHandle
+    handler.profile_source = f"worker:{int(server.server_address[1])}"
     handle = WorkerHandle(server, worker)
+    handle.owns_continuous = owns_continuous
     if register_url:
         handle.heartbeat = HeartbeatLoop(
             RegistryClient(register_url),
@@ -461,6 +541,7 @@ def serve_worker_forever(
     register: str | None = None,
     advertise: str | None = None,
     heartbeat_ttl: float = DEFAULT_LEASE_TTL,
+    profile: bool | None = None,
 ) -> None:
     """Run a worker daemon until interrupted (the CLI's ``worker``).
 
@@ -482,7 +563,7 @@ def serve_worker_forever(
         with make_worker(
             host=host, port=port, backend=backend, workers=workers,
             register_url=register, advertise=advertise,
-            heartbeat_ttl=heartbeat_ttl,
+            heartbeat_ttl=heartbeat_ttl, profile=profile,
         ) as handle:
             registered = f", registered at {register}" if register else ""
             print(
@@ -540,6 +621,12 @@ def add_worker_arguments(parser: argparse.ArgumentParser) -> None:
         help="registry lease TTL; heartbeats fire every TTL/3 "
         f"(default {DEFAULT_LEASE_TTL:g})",
     )
+    parser.add_argument(
+        "--profile", action="store_true", default=None,
+        help="keep a low-rate continuous sampling profiler running "
+        "(default: the REPRO_PROFILE environment variable); "
+        "GET /debug/profile windows work either way",
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -554,7 +641,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         host=args.host, port=args.port, backend=args.backend,
         workers=args.workers, log_level=args.log_level,
         register=args.register, advertise=args.advertise,
-        heartbeat_ttl=args.heartbeat_ttl,
+        heartbeat_ttl=args.heartbeat_ttl, profile=args.profile,
     )
     return 0
 

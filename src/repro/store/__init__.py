@@ -10,8 +10,9 @@ warm-starts instead of re-running every Monte-Carlo loop.
 - :mod:`repro.store.schema` — versioned DDL plus the migration guard;
 - :mod:`repro.store.store` — :class:`LabelStore`: put/get by
   fingerprint, byte-exact payloads, TTL/``max_bytes`` GC, plus the
-  durable trace archive (``put_trace``/``get_trace``) sharing the
-  same file and budget;
+  durable trace archive (``put_trace``/``get_trace``) and profile
+  archive (``put_profile``/``get_profile``) sharing the same file
+  and budget;
 - :mod:`repro.store.provenance` — :class:`LabelProvenance` records;
 - :mod:`repro.store.tiering` — :class:`TieredLabelCache`: the
   in-memory L1 over the store as L2, with promotion counters.
@@ -22,7 +23,7 @@ Opt in via ``LabelService(store_path=...)``, ``serve --store PATH``
 
 from repro.store.provenance import LabelProvenance
 from repro.store.schema import SCHEMA_VERSION, ensure_schema
-from repro.store.store import LabelStore, StoredLabel, StoredTrace
+from repro.store.store import LabelStore, StoredLabel, StoredProfile, StoredTrace
 from repro.store.tiering import TieredLabelCache
 
 __all__ = [
@@ -31,6 +32,7 @@ __all__ = [
     "LabelProvenance",
     "LabelStore",
     "StoredLabel",
+    "StoredProfile",
     "StoredTrace",
     "TieredLabelCache",
 ]

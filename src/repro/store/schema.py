@@ -30,7 +30,7 @@ __all__ = ["SCHEMA_VERSION", "DDL", "MIGRATIONS", "ensure_schema"]
 
 #: bump on any DDL change, adding the migration step from the previous
 #: version to :data:`MIGRATIONS`
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: the v2 addition: a durable trace archive beside the labels — one row
 #: per kept trace, payload = the JSON-encoded span list; shared between
@@ -54,6 +54,31 @@ _TRACE_DDL = (
     """,
     "CREATE INDEX idx_traces_last_access ON traces(last_access)",
     "CREATE INDEX idx_traces_created_at ON traces(created_at)",
+)
+
+#: the v3 addition: archived CPU profiles beside the traces — one row
+#: per kept capture, payload = the profiler's canonical-JSON report;
+#: ``trace_id`` links a capture to the slow archived trace that
+#: triggered it (NULL for on-demand captures archived explicitly)
+_PROFILE_DDL = (
+    """
+    CREATE TABLE profiles (
+        profile_id   TEXT PRIMARY KEY,
+        trace_id     TEXT,
+        source       TEXT NOT NULL,
+        started_at   REAL NOT NULL,
+        duration     REAL NOT NULL,
+        hz           REAL NOT NULL,
+        sample_count INTEGER NOT NULL,
+        payload      BLOB NOT NULL,
+        size_bytes   INTEGER NOT NULL,
+        created_at   REAL NOT NULL,
+        last_access  REAL NOT NULL
+    )
+    """,
+    "CREATE INDEX idx_profiles_last_access ON profiles(last_access)",
+    "CREATE INDEX idx_profiles_created_at ON profiles(created_at)",
+    "CREATE INDEX idx_profiles_trace_id ON profiles(trace_id)",
 )
 
 #: the current schema, created wholesale on a fresh file
@@ -88,12 +113,12 @@ DDL = (
     """,
     "CREATE INDEX idx_labels_last_access ON labels(last_access)",
     "CREATE INDEX idx_labels_created_at ON labels(created_at)",
-) + _TRACE_DDL
+) + _TRACE_DDL + _PROFILE_DDL
 
 #: ``{from_version: (sql, ...)}`` — the steps upgrading ``from_version``
 #: to ``from_version + 1``; every release that bumps
 #: :data:`SCHEMA_VERSION` must add its step here
-MIGRATIONS: dict[int, tuple[str, ...]] = {1: _TRACE_DDL}
+MIGRATIONS: dict[int, tuple[str, ...]] = {1: _TRACE_DDL, 2: _PROFILE_DDL}
 
 
 def _has_tables(connection: sqlite3.Connection) -> bool:

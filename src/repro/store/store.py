@@ -38,6 +38,14 @@ labels, then least-recently-accessed traces, then LRU labels; traces
 are always cheaper to lose than labels, and the newest label survives
 any budget (the same guarantee the label-only GC made).
 
+Since schema v3 the file also archives **CPU profiles**: collapsed-
+stack captures from the sampling profiler
+(:mod:`repro.telemetry.profiling`), stored as canonical JSON with an
+optional ``trace_id`` linking a capture to the slow archived trace
+that triggered it.  Profiles share the traces' TTL and sit at the
+bottom of the GC victim order — diagnostics are always cheaper to
+lose than the traces they annotate, let alone the labels.
+
 One :class:`LabelStore` holds one connection guarded by a lock, which
 is the stdlib-safe shape for ``ThreadingHTTPServer`` handlers; open
 more instances (in the same or another process) for more concurrency.
@@ -60,7 +68,7 @@ from repro.store.provenance import LabelProvenance
 from repro.store.schema import ensure_schema
 from repro.telemetry import span
 
-__all__ = ["StoredLabel", "StoredTrace", "LabelStore"]
+__all__ = ["StoredLabel", "StoredTrace", "StoredProfile", "LabelStore"]
 
 #: pinned, not "whatever this interpreter defaults to": byte-exact
 #: round trips across processes require one protocol everywhere
@@ -130,10 +138,53 @@ class StoredTrace:
         }
 
 
+@dataclass(frozen=True)
+class StoredProfile:
+    """One archived profile capture: its summary row plus the payload."""
+
+    profile_id: str
+    trace_id: str | None
+    source: str
+    started_at: float
+    duration: float
+    hz: float
+    sample_count: int
+    payload: bytes
+    size_bytes: int
+    created_at: float
+    last_access: float
+
+    @property
+    def report(self) -> dict[str, Any]:
+        """The profiler's ``as_dict()`` shape, decoded from the payload."""
+        return json.loads(self.payload.decode("utf-8"))
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-safe row for listings (no payload)."""
+        return {
+            "profile_id": self.profile_id,
+            "trace_id": self.trace_id,
+            "source": self.source,
+            "started_at": self.started_at,
+            "duration": self.duration,
+            "hz": self.hz,
+            "sample_count": self.sample_count,
+            "size_bytes": self.size_bytes,
+            "created_at": self.created_at,
+        }
+
+
 def _encode_trace_payload(spans: list) -> bytes:
     """Canonical JSON — one encoding, so round trips are byte-exact."""
     return json.dumps(
         spans, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    ).encode("ascii")
+
+
+def _encode_profile_payload(report: dict) -> bytes:
+    """Canonical JSON for profile reports (same discipline as traces)."""
+    return json.dumps(
+        report, sort_keys=True, separators=(",", ":"), ensure_ascii=True
     ).encode("ascii")
 
 
@@ -199,6 +250,12 @@ class LabelStore:
         self._trace_misses = 0
         self._trace_expirations = 0
         self._trace_evictions = 0
+        self._profile_puts = 0
+        self._profile_gets = 0
+        self._profile_hits = 0
+        self._profile_misses = 0
+        self._profile_expirations = 0
+        self._profile_evictions = 0
         try:
             self._connection = sqlite3.connect(
                 self.path, timeout=timeout, check_same_thread=False
@@ -252,11 +309,18 @@ class LabelStore:
         trace_ttl: float | None,
     ) -> dict[str, int]:
         expired = evicted = trace_expired = trace_evicted = 0
+        profile_expired = profile_evicted = 0
         with self._connection:
-            # victim order: expired traces, expired labels, LRU traces,
-            # LRU labels — a trace is always cheaper to lose than a
-            # label (labels cost a rebuild, traces are diagnostics)
+            # victim order: expired profiles, expired traces, expired
+            # labels, LRU profiles, LRU traces, LRU labels — a profile
+            # only annotates a trace, a trace only explains a label,
+            # and a label costs a rebuild
             if trace_ttl is not None:
+                cursor = self._connection.execute(
+                    "DELETE FROM profiles WHERE created_at < ?",
+                    (self._clock() - trace_ttl,),
+                )
+                profile_expired = cursor.rowcount
                 cursor = self._connection.execute(
                     "DELETE FROM traces WHERE created_at < ?",
                     (self._clock() - trace_ttl,),
@@ -277,7 +341,21 @@ class LabelStore:
                 trace_total, trace_count = self._connection.execute(
                     "SELECT COALESCE(SUM(size_bytes), 0), COUNT(*) FROM traces"
                 ).fetchone()
-                total = label_total + trace_total
+                profile_total, profile_count = self._connection.execute(
+                    "SELECT COALESCE(SUM(size_bytes), 0), COUNT(*) FROM profiles"
+                ).fetchone()
+                total = label_total + trace_total + profile_total
+                while total > max_bytes and profile_count > 0:
+                    victim = self._connection.execute(
+                        "SELECT profile_id, size_bytes FROM profiles "
+                        "ORDER BY last_access ASC, profile_id ASC LIMIT 1"
+                    ).fetchone()
+                    self._connection.execute(
+                        "DELETE FROM profiles WHERE profile_id = ?", (victim[0],)
+                    )
+                    total -= victim[1]
+                    profile_count -= 1
+                    profile_evicted += 1
                 while total > max_bytes and trace_count > 0:
                     victim = self._connection.execute(
                         "SELECT trace_id, size_bytes FROM traces "
@@ -307,11 +385,15 @@ class LabelStore:
         self._evictions += evicted
         self._trace_expirations += trace_expired
         self._trace_evictions += trace_evicted
+        self._profile_expirations += profile_expired
+        self._profile_evictions += profile_evicted
         return {
             "expired": expired,
             "evicted": evicted,
             "trace_expired": trace_expired,
             "trace_evicted": trace_evicted,
+            "profile_expired": profile_expired,
+            "profile_evicted": profile_evicted,
         }
 
     # -- writes ----------------------------------------------------------------
@@ -401,6 +483,57 @@ class LabelStore:
                     ),
                 )
             self._trace_puts += 1
+            if (
+                self._max_bytes is not None
+                or self._ttl is not None
+                or self.trace_ttl is not None
+            ):
+                self._gc_locked(self._max_bytes, self._ttl, self.trace_ttl)
+        return len(payload)
+
+    def put_profile(
+        self,
+        profile_id: str,
+        *,
+        source: str,
+        started_at: float,
+        duration: float,
+        hz: float,
+        sample_count: int,
+        report: dict,
+        trace_id: str | None = None,
+    ) -> int:
+        """Archive one profile capture; returns the payload size.
+
+        ``report`` is the profiler's ``as_dict()`` shape, stored as
+        canonical JSON (byte-exact retrieval, like traces).
+        ``trace_id`` links the capture to the slow archived trace that
+        triggered it; on-demand captures pass ``None``.
+        """
+        try:
+            payload = _encode_profile_payload(report)
+        except (TypeError, ValueError) as exc:
+            raise StoreError(
+                f"profile {profile_id!r} report is not JSON-safe: {exc}"
+            ) from exc
+        now = self._clock()
+        # un-spanned for the same reason as put_trace: the collector
+        # archives profiles from its span listener, and a span here
+        # would start a fresh self-perpetuating trace
+        with self._lock:
+            with self._connection:
+                self._connection.execute(
+                    "INSERT OR REPLACE INTO profiles "
+                    "(profile_id, trace_id, source, started_at, duration, hz, "
+                    " sample_count, payload, size_bytes, created_at, last_access) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        profile_id, trace_id, source, started_at, duration,
+                        float(hz), int(sample_count), payload, len(payload),
+                        now, now,
+                    ),
+                )
+            self._profile_puts += 1
             if (
                 self._max_bytes is not None
                 or self._ttl is not None
@@ -657,7 +790,12 @@ class LabelStore:
         ]
 
     def resolve_trace_prefix(self, prefix: str) -> str:
-        """Expand a trace-id prefix to the unique full id (like a VCS)."""
+        """Expand a trace-id prefix to the unique full id (like a VCS).
+
+        An ambiguous prefix raises a :class:`~repro.errors.StoreError`
+        carrying the matching ids on its ``matches`` attribute (up to
+        ten), so callers can list the candidates instead of dead-ending.
+        """
         if not prefix:
             raise StoreError("empty trace id prefix")
         if not all(c in "0123456789abcdef" for c in prefix.lower()):
@@ -665,15 +803,121 @@ class LabelStore:
             raise StoreError(f"trace id prefix {prefix!r} is not hex")
         with self._lock:
             rows = self._connection.execute(
-                "SELECT trace_id FROM traces WHERE trace_id LIKE ? LIMIT 2",
+                "SELECT trace_id FROM traces WHERE trace_id LIKE ? "
+                "ORDER BY created_at DESC LIMIT 10",
                 (prefix.lower() + "%",),
             ).fetchall()
         if not rows:
             raise StoreError(f"no archived trace matches {prefix!r}")
         if len(rows) > 1:
-            raise StoreError(
-                f"trace id prefix {prefix!r} is ambiguous; give more characters"
+            error = StoreError(
+                f"trace id prefix {prefix!r} is ambiguous "
+                f"({len(rows)}{'+' if len(rows) == 10 else ''} matches); "
+                "give more characters"
             )
+            error.matches = [row[0] for row in rows]
+            raise error
+        return rows[0][0]
+
+    # -- profile archive reads -------------------------------------------------
+
+    def get_profile(self, profile_id: str) -> StoredProfile | None:
+        """One archived profile, or ``None`` on miss/expiry (counted)."""
+        with span("store.get_profile", profile_id=profile_id[:12]), self._lock:
+            self._profile_gets += 1
+            row = self._connection.execute(
+                "SELECT trace_id, source, started_at, duration, hz, "
+                "sample_count, payload, size_bytes, created_at, last_access "
+                "FROM profiles WHERE profile_id = ?",
+                (profile_id,),
+            ).fetchone()
+            if row is not None and self._trace_expired(row[8]):
+                with self._connection:
+                    self._connection.execute(
+                        "DELETE FROM profiles WHERE profile_id = ?", (profile_id,)
+                    )
+                self._profile_expirations += 1
+                row = None
+            if row is None:
+                self._profile_misses += 1
+                return None
+            self._profile_hits += 1
+            now = self._clock()
+            with self._connection:
+                self._connection.execute(
+                    "UPDATE profiles SET last_access = ? WHERE profile_id = ?",
+                    (now, profile_id),
+                )
+            return StoredProfile(
+                profile_id=profile_id,
+                trace_id=row[0],
+                source=row[1],
+                started_at=row[2],
+                duration=row[3],
+                hz=row[4],
+                sample_count=row[5],
+                payload=row[6],
+                size_bytes=row[7],
+                created_at=row[8],
+                last_access=now,
+            )
+
+    def profile_for_trace(self, trace_id: str) -> StoredProfile | None:
+        """The newest profile linked to an archived trace, if any."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT profile_id FROM profiles WHERE trace_id = ? "
+                "ORDER BY created_at DESC LIMIT 1",
+                (trace_id,),
+            ).fetchone()
+        return None if row is None else self.get_profile(row[0])
+
+    def profile_records(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """Profile listing rows (newest first), no payloads."""
+        sql = (
+            "SELECT profile_id, trace_id, source, started_at, duration, hz, "
+            "sample_count, size_bytes, created_at "
+            "FROM profiles ORDER BY created_at DESC"
+        )
+        if limit is not None:
+            sql += f" LIMIT {int(limit)}"
+        with self._lock:
+            rows = self._connection.execute(sql).fetchall()
+        return [
+            {
+                "profile_id": row[0],
+                "trace_id": row[1],
+                "source": row[2],
+                "started_at": row[3],
+                "duration": row[4],
+                "hz": row[5],
+                "sample_count": row[6],
+                "size_bytes": row[7],
+                "created_at": row[8],
+            }
+            for row in rows
+        ]
+
+    def resolve_profile_prefix(self, prefix: str) -> str:
+        """Expand a profile-id prefix to the unique full id (like a VCS)."""
+        if not prefix:
+            raise StoreError("empty profile id prefix")
+        if not all(c in "0123456789abcdef" for c in prefix.lower()):
+            raise StoreError(f"profile id prefix {prefix!r} is not hex")
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT profile_id FROM profiles WHERE profile_id LIKE ? "
+                "ORDER BY created_at DESC LIMIT 10",
+                (prefix.lower() + "%",),
+            ).fetchall()
+        if not rows:
+            raise StoreError(f"no archived profile matches {prefix!r}")
+        if len(rows) > 1:
+            error = StoreError(
+                f"profile id prefix {prefix!r} is ambiguous; give more characters"
+            )
+            error.matches = [row[0] for row in rows]
+            raise error
         return rows[0][0]
 
     # -- observability and lifecycle -------------------------------------------
@@ -686,6 +930,9 @@ class LabelStore:
             ).fetchone()
             trace_total, trace_count = self._connection.execute(
                 "SELECT COALESCE(SUM(size_bytes), 0), COUNT(*) FROM traces"
+            ).fetchone()
+            profile_total, profile_count = self._connection.execute(
+                "SELECT COALESCE(SUM(size_bytes), 0), COUNT(*) FROM profiles"
             ).fetchone()
             return {
                 "path": self.path,
@@ -709,6 +956,14 @@ class LabelStore:
                 "trace_misses": self._trace_misses,
                 "trace_expirations": self._trace_expirations,
                 "trace_evictions": self._trace_evictions,
+                "profiles": profile_count,
+                "profile_bytes": profile_total,
+                "profile_puts": self._profile_puts,
+                "profile_gets": self._profile_gets,
+                "profile_hits": self._profile_hits,
+                "profile_misses": self._profile_misses,
+                "profile_expirations": self._profile_expirations,
+                "profile_evictions": self._profile_evictions,
             }
 
     def close(self) -> None:

@@ -20,7 +20,14 @@ The observability layer every subsystem shares:
   (quiet by default);
 - :mod:`repro.telemetry.exporters` — Prometheus text-format rendering,
   served at the app server's ``GET /metrics`` (optionally with
-  OpenMetrics trace-id exemplars).
+  OpenMetrics trace-id exemplars);
+- :mod:`repro.telemetry.profiling` — the sampling wall-clock profiler:
+  collapsed flamegraph-ready stacks, per-span frame attribution,
+  on-demand windows (``GET /debug/profile``) and an always-on low-rate
+  continuous mode;
+- :mod:`repro.telemetry.resources` — the process resource collector
+  behind the ``repro_process_*`` gauge families (CPU, RSS, threads,
+  fds, GC pauses, opt-in allocation tracking).
 """
 
 from repro.telemetry.collect import (
@@ -36,6 +43,15 @@ from repro.telemetry.exporters import (
     render_prometheus,
 )
 from repro.telemetry.logging import JSONLogFormatter, configure_logging, get_logger
+from repro.telemetry.profiling import (
+    DEFAULT_CONTINUOUS_HZ,
+    DEFAULT_WINDOW_HZ,
+    ProfileReport,
+    SamplingProfiler,
+    env_profile_enabled,
+    get_default_profiler,
+    set_default_profiler,
+)
 from repro.telemetry.registry import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -46,6 +62,7 @@ from repro.telemetry.registry import (
     merged_stats,
     set_default_registry,
 )
+from repro.telemetry.resources import ResourceCollector
 from repro.telemetry.slo import (
     ErrorRateObjective,
     LatencyObjective,
@@ -82,6 +99,14 @@ __all__ = [
     "get_default_registry",
     "merged_stats",
     "set_default_registry",
+    "DEFAULT_CONTINUOUS_HZ",
+    "DEFAULT_WINDOW_HZ",
+    "ProfileReport",
+    "SamplingProfiler",
+    "env_profile_enabled",
+    "get_default_profiler",
+    "set_default_profiler",
+    "ResourceCollector",
     "MAX_BACKHAUL_SPANS",
     "SamplingPolicy",
     "TraceCollector",

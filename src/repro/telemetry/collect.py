@@ -25,10 +25,12 @@ same trace agrees.
 
 from __future__ import annotations
 
+import secrets
 import threading
 import time
 from collections.abc import Callable, Iterable, Mapping, Sequence
 
+from repro.telemetry.profiling import SamplingProfiler
 from repro.telemetry.tracing import (
     Span,
     TraceBuffer,
@@ -233,8 +235,14 @@ class TraceCollector:
         max_pending: int = 128,
         max_spans_per_trace: int = 512,
         clock: Callable[[], float] = time.time,
+        profiler: SamplingProfiler | None = None,
     ):
         self._archive = archive
+        # when handed a profiler running in continuous mode, a trace
+        # kept for being *slow* also archives the profiler's rolling
+        # window (rotated fresh afterwards), linked by trace id — the
+        # "why was it slow" beside the "what was slow"
+        self._profiler = profiler
         self.policy = policy if policy is not None else SamplingPolicy()
         self._buffer = buffer if buffer is not None else get_trace_buffer()
         self._max_pending = max_pending
@@ -249,6 +257,8 @@ class TraceCollector:
         self._evicted = 0
         self._span_overflow = 0
         self._archive_errors = 0
+        self._profiles_linked = 0
+        self._profile_errors = 0
         self._kept_by_reason: dict[str, int] = {}
 
     # -- lifecycle ----------------------------------------------------------------------
@@ -326,6 +336,35 @@ class TraceCollector:
         except Exception:  # noqa: BLE001 - archiving must never break serving
             with self._lock:
                 self._archive_errors += 1
+            return
+        if reason == "slow":
+            self._link_profile(trace_id, archive)
+
+    def _link_profile(self, trace_id: str, archive: object) -> None:
+        """Archive the profiler's rolling window against a slow trace."""
+        profiler = self._profiler
+        put_profile = getattr(archive, "put_profile", None)
+        if profiler is None or put_profile is None:
+            return
+        try:
+            report = profiler.rotate_continuous()
+            if report is None or report.is_empty:
+                return
+            put_profile(
+                secrets.token_hex(16),
+                source=report.source,
+                started_at=report.started_at,
+                duration=report.duration,
+                hz=report.hz,
+                sample_count=report.samples,
+                report=report.as_dict(),
+                trace_id=trace_id,
+            )
+            with self._lock:
+                self._profiles_linked += 1
+        except Exception:  # noqa: BLE001 - profiling must never break serving
+            with self._lock:
+                self._profile_errors += 1
 
     # -- observability ------------------------------------------------------------------
 
@@ -341,5 +380,7 @@ class TraceCollector:
                 "evicted_pending": self._evicted,
                 "span_overflow": self._span_overflow,
                 "archive_errors": self._archive_errors,
+                "profiles_linked": self._profiles_linked,
+                "profile_errors": self._profile_errors,
                 "policy": self.policy.as_dict(),
             }

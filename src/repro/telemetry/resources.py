@@ -1,0 +1,253 @@
+"""Process resource observatory: the ``repro_process_*`` metric families.
+
+One :class:`ResourceCollector` per process reads cheap OS-level facts —
+CPU seconds, RSS and peak RSS, thread count, open file descriptors, GC
+activity — and exposes them two ways: :meth:`snapshot` (a JSON-safe
+dict for ``/engine/stats`` and the CLI's resources pane) and
+:meth:`refresh` (gauge updates into a :class:`MetricsRegistry`, called
+at scrape time so ``GET /metrics`` always renders current values
+without a background thread).
+
+Memory numbers come from ``/proc/self/status`` (``VmRSS`` / ``VmHWM``)
+where available, with a ``resource.getrusage`` fallback for peak RSS on
+non-Linux platforms; fields the platform can't provide are simply
+omitted from the snapshot and never exported as zero-lies.  GC pauses
+are measured via paired ``gc.callbacks`` start/stop events — the
+callbacks run on whichever thread triggered collection, but CPython
+runs a collection to completion on one thread, so a single pending
+timestamp suffices.  ``tracemalloc`` allocation tracking is opt-in
+(``track_allocations=True`` / ``--track-allocations``): it costs real
+memory and CPU, so it must never be ambient.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import sys
+import threading
+import time
+
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = [
+    "ResourceCollector",
+]
+
+_PROC_STATUS = "/proc/self/status"
+_PROC_FD = "/proc/self/fd"
+
+
+def _read_proc_status() -> dict[str, int]:
+    """``VmRSS``/``VmHWM``/``Threads`` from procfs (bytes), or ``{}``."""
+    out: dict[str, int] = {}
+    try:
+        with open(_PROC_STATUS, encoding="ascii", errors="replace") as handle:
+            for line in handle:
+                key, _, rest = line.partition(":")
+                if key in ("VmRSS", "VmHWM"):
+                    parts = rest.split()
+                    if parts and parts[0].isdigit():
+                        out[key] = int(parts[0]) * 1024  # procfs reports kB
+                elif key == "Threads":
+                    value = rest.strip()
+                    if value.isdigit():
+                        out[key] = int(value)
+    except OSError:
+        return {}
+    return out
+
+
+def _peak_rss_fallback() -> int | None:
+    """Peak RSS via ``getrusage`` (portable; units differ per platform)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - resource is POSIX-only
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if peak <= 0:
+        return None
+    # ru_maxrss is kilobytes on Linux, bytes on macOS
+    return peak if sys.platform.startswith("darwin") else peak * 1024
+
+
+def _open_fds() -> int | None:
+    """Open descriptor count via procfs, or ``None`` where unsupported."""
+    try:
+        return len(os.listdir(_PROC_FD))
+    except OSError:
+        return None
+
+
+class ResourceCollector:
+    """Samples process-level resource facts on demand.
+
+    Construct once per process and :meth:`install` to hook GC callbacks
+    (paired with :meth:`close`, so tests don't leak callbacks into each
+    other).  All reads happen in the caller's thread at snapshot/refresh
+    time — the collector owns no thread of its own.
+    """
+
+    def __init__(self, track_allocations: bool = False, top_allocators: int = 10):
+        self._started_at = time.time()
+        self._lock = threading.Lock()
+        self._installed = False
+        self._gc_started: float | None = None
+        self._gc_pauses = 0
+        self._gc_pause_seconds = 0.0
+        self._gc_collected = 0
+        self._track_allocations = bool(track_allocations)
+        self._top_allocators = max(1, int(top_allocators))
+        self._tracemalloc_started = False
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def install(self) -> "ResourceCollector":
+        """Hook ``gc.callbacks`` (and ``tracemalloc`` if opted in); idempotent."""
+        if not self._installed:
+            gc.callbacks.append(self._on_gc)
+            self._installed = True
+        if self._track_allocations and not self._tracemalloc_started:
+            import tracemalloc
+
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._tracemalloc_started = True
+        return self
+
+    def close(self) -> None:
+        """Unhook the GC callback and stop tracemalloc we started; idempotent."""
+        if self._installed:
+            try:
+                gc.callbacks.remove(self._on_gc)
+            except ValueError:
+                pass
+            self._installed = False
+        if self._tracemalloc_started:
+            import tracemalloc
+
+            tracemalloc.stop()
+            self._tracemalloc_started = False
+
+    def _on_gc(self, phase: str, info: dict) -> None:
+        if phase == "start":
+            self._gc_started = time.perf_counter()
+            return
+        # phase == "stop": CPython finishes one collection before another
+        # starts, so the single pending timestamp pairs correctly.
+        started = self._gc_started
+        self._gc_started = None
+        with self._lock:
+            self._gc_pauses += 1
+            if started is not None:
+                self._gc_pause_seconds += max(
+                    0.0, time.perf_counter() - started
+                )
+            collected = info.get("collected")
+            if isinstance(collected, int):
+                self._gc_collected += collected
+
+    # -- reads --------------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, object]:
+        """One JSON-safe resource snapshot (``/engine/stats`` shape)."""
+        times = os.times()
+        status = _read_proc_status()
+        with self._lock:
+            gc_block: dict[str, object] = {
+                "pauses": self._gc_pauses,
+                "pause_seconds": round(self._gc_pause_seconds, 6),
+                "collected": self._gc_collected,
+            }
+        counts = gc.get_count()
+        gc_block["pending"] = list(counts)
+        out: dict[str, object] = {
+            "uptime_seconds": round(time.time() - self._started_at, 3),
+            "cpu_seconds": round(times.user + times.system, 3),
+            "cpu_user_seconds": round(times.user, 3),
+            "cpu_system_seconds": round(times.system, 3),
+            "threads": status.get("Threads", threading.active_count()),
+            "gc": gc_block,
+        }
+        rss = status.get("VmRSS")
+        if rss is not None:
+            out["rss_bytes"] = rss
+        peak = status.get("VmHWM")
+        if peak is None:
+            peak = _peak_rss_fallback()
+        if peak is not None:
+            out["peak_rss_bytes"] = peak
+        fds = _open_fds()
+        if fds is not None:
+            out["open_fds"] = fds
+        allocators = self._top_allocations()
+        if allocators is not None:
+            out["top_allocators"] = allocators
+        return out
+
+    def _top_allocations(self) -> list[dict[str, object]] | None:
+        if not self._track_allocations:
+            return None
+        import tracemalloc
+
+        if not tracemalloc.is_tracing():
+            return None
+        try:
+            snapshot = tracemalloc.take_snapshot()
+            stats = snapshot.statistics("lineno")
+        except Exception:  # noqa: BLE001 - diagnostics must not break stats
+            return None
+        top = []
+        for stat in stats[: self._top_allocators]:
+            frame = stat.traceback[0]
+            top.append(
+                {
+                    "file": os.path.basename(frame.filename),
+                    "line": frame.lineno,
+                    "size_bytes": stat.size,
+                    "count": stat.count,
+                }
+            )
+        return top
+
+    def refresh(self, registry: MetricsRegistry) -> None:
+        """Update the ``repro_process_*`` gauges from a fresh snapshot.
+
+        Called at scrape time (``GET /metrics``) and before stats pages
+        render, so exported values are current without a poller thread.
+        """
+        snap = self.snapshot()
+        gauge = registry.gauge
+        gauge(
+            "repro_process_cpu_seconds",
+            "Process CPU time consumed (user+system), seconds",
+        ).set(float(snap["cpu_seconds"]))
+        gauge(
+            "repro_process_uptime_seconds", "Seconds since the collector started"
+        ).set(float(snap["uptime_seconds"]))
+        gauge(
+            "repro_process_threads", "Live threads in the process"
+        ).set(float(snap["threads"]))
+        if "rss_bytes" in snap:
+            gauge(
+                "repro_process_rss_bytes", "Resident set size, bytes"
+            ).set(float(snap["rss_bytes"]))  # type: ignore[arg-type]
+        if "peak_rss_bytes" in snap:
+            gauge(
+                "repro_process_peak_rss_bytes", "Peak resident set size, bytes"
+            ).set(float(snap["peak_rss_bytes"]))  # type: ignore[arg-type]
+        if "open_fds" in snap:
+            gauge(
+                "repro_process_open_fds", "Open file descriptors"
+            ).set(float(snap["open_fds"]))  # type: ignore[arg-type]
+        gc_block = snap["gc"]
+        gauge(
+            "repro_process_gc_pauses", "Garbage collections observed"
+        ).set(float(gc_block["pauses"]))  # type: ignore[index]
+        gauge(
+            "repro_process_gc_pause_seconds",
+            "Total time spent inside observed garbage collections, seconds",
+        ).set(float(gc_block["pause_seconds"]))  # type: ignore[index]
+        gauge(
+            "repro_process_gc_collected", "Objects reclaimed by observed collections"
+        ).set(float(gc_block["collected"]))  # type: ignore[index]

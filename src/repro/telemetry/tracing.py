@@ -36,6 +36,7 @@ from collections.abc import Callable, Iterator, Mapping
 from contextlib import contextmanager
 from contextvars import ContextVar
 
+from repro.telemetry.profiling import note_span_enter, note_span_exit
 from repro.telemetry.registry import (
     MetricsRegistry,
     get_default_registry,
@@ -288,6 +289,10 @@ def span(
         tags=clamp_tags(tags),
     )
     token = _current_span.set(entry)
+    # mirror enter/exit into the profiler's per-thread table: span() runs
+    # both on the executing thread, which is exactly the thread whose
+    # samples should attribute to this span
+    note_span_enter(name)
     start = time.perf_counter()
     try:
         yield entry
@@ -297,6 +302,7 @@ def span(
         raise
     finally:
         entry.duration = time.perf_counter() - start
+        note_span_exit()
         _current_span.reset(token)
         (buffer if buffer is not None else _default_buffer).record(entry)
         target = registry if registry is not None else get_default_registry()

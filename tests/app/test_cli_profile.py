@@ -1,0 +1,218 @@
+"""CLI tests for the profiling surface: the `profile` subcommand, the
+stats resources pane, profile-aware waterfalls, and the ambiguous
+trace-prefix listing (regression)."""
+
+import json
+
+import pytest
+
+from repro.app.cli import (
+    _format_stats,
+    _format_waterfall,
+    build_parser,
+    main,
+)
+from repro.store.store import LabelStore
+
+
+def sample_profile_dict():
+    return {
+        "source": "server",
+        "started_at": 100.0,
+        "duration": 2.0,
+        "hz": 97.0,
+        "samples": 10,
+        "stacks": {"a.py:main;a.py:hot": 10},
+        "spans": {
+            "engine.label": {"samples": 8, "frames": {"a.py:hot": 8}},
+        },
+    }
+
+
+class TestParser:
+    def test_profile_subcommand_registered(self):
+        args = build_parser().parse_args(
+            ["profile", "--fleet", "--worker", "h:1", "--worker", "h:2",
+             "--seconds", "0.5", "--format", "collapsed"]
+        )
+        assert args.command == "profile"
+        assert args.worker == ["h:1", "h:2"]
+        assert args.fleet is True
+        assert args.seconds == 0.5
+
+    def test_serve_profile_flag(self):
+        argv = ["serve", "--dataset", "cs-departments", "--profile"]
+        assert build_parser().parse_args(argv).profile is True
+        assert build_parser().parse_args(argv[:-1]).profile is None
+
+
+class TestStatsResourcesPane:
+    def test_resources_and_profiler_lines(self):
+        stats = {
+            "service": {"requests": 1, "builds": 1},
+            "resources": {
+                "uptime_seconds": 100.0,
+                "cpu_seconds": 5.0,
+                "threads": 7,
+                "rss_bytes": 50 * 1048576,
+                "peak_rss_bytes": 64 * 1048576,
+                "open_fds": 12,
+                "gc": {"pauses": 3, "pause_seconds": 0.004},
+            },
+            "profiles": {
+                "profiler": {
+                    "windows": 2,
+                    "samples_total": 123,
+                    "continuous": {"hz": 19.0, "samples": 40},
+                }
+            },
+        }
+        text = _format_stats(stats)
+        assert "resources: rss 50.0 MB (peak 64.0)" in text
+        # first frame: lifetime average 5s over 100s = 5%
+        assert "cpu 5.0s (5.0%)" in text
+        assert "7 thread(s), 12 fd(s), gc 3 pause(s) / 4.0 ms" in text
+        assert "profiler:  continuous at 19 hz, 40 sample(s) buffered" in text
+        assert "2 window(s), 123 sample(s) ever" in text
+
+    def test_watch_delta_turns_cpu_into_a_rate(self):
+        previous = {
+            "resources": {"uptime_seconds": 100.0, "cpu_seconds": 5.0,
+                          "threads": 7, "gc": {}},
+        }
+        current = {
+            "resources": {"uptime_seconds": 102.0, "cpu_seconds": 6.0,
+                          "threads": 7, "gc": {}},
+        }
+        text = _format_stats(current, previous)
+        # 1 cpu-second over a 2-second interval = 50%
+        assert "cpu 6.0s (50.0%)" in text
+
+    def test_no_resources_block_no_pane(self):
+        assert "resources:" not in _format_stats({"service": {}})
+
+
+class TestWaterfallProfileSection:
+    def summary_and_spans(self):
+        summary = {
+            "trace_id": "ab" * 16, "root_name": "http.request",
+            "status": "ok", "duration": 2.0, "span_count": 1,
+            "sampled": "slow",
+        }
+        spans = [{
+            "name": "http.request", "started_at": 100.0, "duration": 2.0,
+            "status": "ok",
+        }]
+        tree = [dict(spans[0], children=[])]
+        return summary, spans, tree
+
+    def test_linked_profile_prints_span_frames(self):
+        summary, spans, tree = self.summary_and_spans()
+        text = _format_waterfall(
+            summary, spans, tree, profile=sample_profile_dict()
+        )
+        assert "top frames by span" in text
+        assert "engine.label  (8 samples)" in text
+        assert "a.py:hot" in text
+
+    def test_spanless_profile_falls_back_to_process_frames(self):
+        summary, spans, tree = self.summary_and_spans()
+        profile = sample_profile_dict()
+        profile["spans"] = {}
+        text = _format_waterfall(summary, spans, tree, profile=profile)
+        assert "top frames by span" in text
+        assert "a.py:hot" in text
+
+    def test_no_profile_no_section(self):
+        summary, spans, tree = self.summary_and_spans()
+        assert "linked profile" not in _format_waterfall(summary, spans, tree)
+
+
+class TestAmbiguousTraceShow:
+    """Regression: `trace show <prefix>` on an ambiguous prefix must list
+    the matching trace ids, not die with a bare error."""
+
+    def make_store(self, tmp_path):
+        path = tmp_path / "labels.db"
+        with LabelStore(path) as store:
+            for suffix in ("0", "1"):
+                trace_id = "ab" + suffix * 30
+                store.put_trace(
+                    trace_id, root_name="http.request", status="ok",
+                    started_at=100.0, duration=1.0,
+                    spans=[{"name": "root", "trace_id": trace_id}],
+                    sampled="sampled",
+                )
+        return path
+
+    def test_store_path_lists_candidates(self, tmp_path, capsys):
+        path = self.make_store(tmp_path)
+        rc = main(["trace", "show", "--path", str(path), "ab"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "ambiguous" in err
+        assert "ab" + "0" * 30 in err
+        assert "ab" + "1" * 30 in err
+        assert "longer prefix" in err
+
+    def test_unique_prefix_still_resolves(self, tmp_path, capsys):
+        path = self.make_store(tmp_path)
+        rc = main(["trace", "show", "--path", str(path), "ab0"])
+        assert rc == 0
+        assert "http.request" in capsys.readouterr().out
+
+
+class TestProfileCommandLive:
+    @pytest.fixture()
+    def served(self):
+        from repro.app import DemoSession
+        from repro.app.server import make_server
+
+        session = DemoSession()
+        session.load_builtin("cs-departments")
+        session.set_monte_carlo(20)
+        session.design_scoring(
+            weights={"PubCount": 0.4, "Faculty": 0.4, "GRE": 0.2},
+            sensitive_attribute="DeptSizeBin",
+            id_column="DeptName",
+        )
+        with make_server(session) as handle:
+            yield handle
+
+    def test_summary_capture_from_server(self, served, capsys):
+        rc = main(["profile", "--url", served.url, "--seconds", "0.3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profile server" in out
+        assert "samples=" in out
+
+    def test_collapsed_sections_per_target(self, served, capsys):
+        from repro.cluster.worker import make_worker
+
+        with make_worker(port=0) as worker:
+            rc = main([
+                "profile", "--url", served.url,
+                "--worker", worker.address,
+                "--seconds", "0.3", "--format", "collapsed",
+            ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("# ====") == 2
+        assert f"worker:{worker.address.rsplit(':', 1)[1]}" in out
+
+    def test_json_format(self, served, capsys):
+        rc = main([
+            "profile", "--url", served.url, "--seconds", "0.2",
+            "--format", "json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["profiles"]["server"]["samples"] >= 0
+
+    def test_unreachable_target_fails_cleanly(self, capsys):
+        rc = main([
+            "profile", "--url", "http://127.0.0.1:1",
+            "--seconds", "0.1",
+        ])
+        assert rc == 2
+        assert "no profile captured" in capsys.readouterr().err

@@ -231,7 +231,10 @@ class TestEngineStats:
     def test_stats_endpoint_shape(self, served):
         status, stats = get(served, "/engine/stats")
         assert status == 200
-        assert set(stats) == {"service", "cache", "executor", "telemetry", "slo"}
+        assert set(stats) == {
+            "service", "cache", "executor", "telemetry", "slo",
+            "profiles", "resources",
+        }
         assert set(stats["telemetry"]) >= {"metrics", "recent_traces", "trace_buffer"}
 
     def test_health_reports_session_count(self, served):

@@ -1,0 +1,91 @@
+"""Tests for the worker daemon's profiling surface: /debug/profile,
+the /stats profiler block, and the --profile flag."""
+
+import argparse
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cluster.worker import add_worker_arguments, make_worker
+
+
+def get(url, timeout=30):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return (
+            response.status,
+            response.headers.get("Content-Type"),
+            response.read(),
+        )
+
+
+@pytest.fixture()
+def worker():
+    with make_worker(port=0, profile=True) as handle:
+        yield handle
+
+
+class TestDebugProfile:
+    def test_json_window_names_the_worker(self, worker):
+        status, content_type, body = get(
+            f"{worker.url}/debug/profile?seconds=0.3&hz=200&format=json"
+        )
+        assert status == 200
+        assert "application/json" in content_type
+        payload = json.loads(body)
+        port = int(worker.address.rsplit(":", 1)[1])
+        assert payload["source"] == f"worker:{port}"
+        # even an idle daemon has live threads (accept loop, main) to sample
+        assert payload["samples"] > 0
+        assert payload["stacks"]
+
+    def test_collapsed_window(self, worker):
+        status, content_type, body = get(
+            f"{worker.url}/debug/profile?seconds=0.2&format=collapsed"
+        )
+        assert status == 200
+        assert "text/plain" in content_type
+        assert body.decode().strip()
+
+    def test_bad_parameters_rejected(self, worker):
+        for query in ("seconds=nope", "format=flame"):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(f"{worker.url}/debug/profile?{query}")
+            assert excinfo.value.code == 400
+
+    def test_window_works_without_continuous_mode(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        with make_worker(port=0) as handle:
+            _, _, body = get(
+                f"{handle.url}/debug/profile?seconds=0.2&format=json"
+            )
+            assert json.loads(body)["samples"] > 0
+            # no continuous sink was started for this daemon
+            _, _, stats_body = get(f"{handle.url}/stats")
+            profiler = json.loads(stats_body)["profiles"]["profiler"]
+            assert profiler["sinks"] == 0
+
+
+class TestStats:
+    def test_stats_reports_continuous_profiler(self, worker):
+        _, _, body = get(f"{worker.url}/stats")
+        profiler = json.loads(body)["profiles"]["profiler"]
+        assert profiler["running"] is True
+        assert profiler["continuous"] is not None
+        assert profiler["continuous"]["hz"] > 0
+
+
+class TestArguments:
+    def test_profile_flag(self):
+        parser = argparse.ArgumentParser()
+        add_worker_arguments(parser)
+        assert parser.parse_args([]).profile is None  # env decides
+        assert parser.parse_args(["--profile"]).profile is True
+
+    def test_env_enables_continuous(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        with make_worker(port=0) as handle:
+            _, _, body = get(f"{handle.url}/stats")
+            profiler = json.loads(body)["profiles"]["profiler"]
+            assert profiler["continuous"] is not None

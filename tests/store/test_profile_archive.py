@@ -1,0 +1,240 @@
+"""The durable profile archive: round trips, GC order, migration, prefixes.
+
+Profiles share the trace archive's file, TTL, and ``max_bytes`` budget;
+under pressure they are the *first* casualties — diagnostics die before
+the traces they explain, and traces die before labels.  Ambiguous
+prefix resolution (traces and profiles both) must name its candidates
+so the CLI can list them.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store.schema import DDL, MIGRATIONS, SCHEMA_VERSION
+from repro.store.store import LabelStore, StoredProfile
+
+
+def fp(seed: str) -> str:
+    return (seed * 64)[:64]
+
+
+def tid(seed: str) -> str:
+    return (seed * 32)[:32]
+
+
+def pid(seed: str) -> str:
+    return (seed * 32)[:32]
+
+
+def sample_report(samples: int = 5) -> dict:
+    return {
+        "source": "server",
+        "started_at": 100.0,
+        "duration": 2.0,
+        "hz": 97.0,
+        "samples": samples,
+        "stacks": {"a.py:main;a.py:hot": samples},
+        "spans": {"engine.label": {"samples": samples, "frames": {"a.py:hot": samples}}},
+    }
+
+
+def put_profile(store, profile_id, **overrides):
+    kwargs = {
+        "source": "server",
+        "started_at": 100.0,
+        "duration": 2.0,
+        "hz": 97.0,
+        "sample_count": 5,
+        "report": sample_report(),
+        "trace_id": None,
+    }
+    kwargs.update(overrides)
+    return store.put_profile(profile_id, **kwargs)
+
+
+def put_trace(store, trace_id, **overrides):
+    kwargs = {
+        "root_name": "http.request",
+        "status": "ok",
+        "started_at": 100.0,
+        "duration": 1.5,
+        "spans": [{"name": "root", "trace_id": trace_id}],
+        "sampled": "slow",
+    }
+    kwargs.update(overrides)
+    return store.put_trace(trace_id, **kwargs)
+
+
+class FakeClock:
+    def __init__(self, now: float = 1_000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with LabelStore(tmp_path / "labels.db") as open_store:
+        yield open_store
+
+
+class TestRoundTrip:
+    def test_put_get(self, store):
+        put_profile(store, pid("a"), trace_id=tid("1"))
+        record = store.get_profile(pid("a"))
+        assert isinstance(record, StoredProfile)
+        assert record.profile_id == pid("a")
+        assert record.trace_id == tid("1")
+        assert record.source == "server"
+        assert record.sample_count == 5
+        assert record.report == sample_report()
+
+    def test_miss_is_none(self, store):
+        assert store.get_profile(pid("9")) is None
+
+    def test_payload_is_canonical_json(self, store):
+        put_profile(store, pid("a"))
+        record = store.get_profile(pid("a"))
+        assert record.payload == json.dumps(
+            sample_report(), sort_keys=True,
+            separators=(",", ":"), ensure_ascii=True,
+        ).encode("ascii")
+
+    def test_summary_is_json_safe_without_payload(self, store):
+        put_profile(store, pid("a"))
+        summary = store.get_profile(pid("a")).summary()
+        json.dumps(summary)
+        assert "payload" not in summary
+        assert summary["sample_count"] == 5
+
+    def test_listing_newest_first(self, tmp_path):
+        clock = FakeClock()
+        with LabelStore(tmp_path / "s.db", clock=clock) as store:
+            put_profile(store, pid("a"))
+            clock.advance(5)
+            put_profile(store, pid("b"))
+            records = store.profile_records()
+            assert [r["profile_id"] for r in records] == [pid("b"), pid("a")]
+            assert all("payload" not in r for r in records)
+
+    def test_profile_for_trace_returns_newest(self, tmp_path):
+        clock = FakeClock()
+        with LabelStore(tmp_path / "s.db", clock=clock) as store:
+            put_profile(store, pid("a"), trace_id=tid("1"))
+            clock.advance(5)
+            put_profile(store, pid("b"), trace_id=tid("1"))
+            linked = store.profile_for_trace(tid("1"))
+            assert linked.profile_id == pid("b")
+            assert store.profile_for_trace(tid("9")) is None
+
+
+class TestPrefixes:
+    def test_unique_prefix_resolves(self, store):
+        put_profile(store, pid("a"))
+        assert store.resolve_profile_prefix(pid("a")[:6]) == pid("a")
+
+    def test_ambiguous_prefix_names_its_candidates(self, store):
+        put_profile(store, "aa" + "0" * 30)
+        put_profile(store, "aa" + "1" * 30)
+        with pytest.raises(StoreError, match="ambiguous") as excinfo:
+            store.resolve_profile_prefix("aa")
+        assert sorted(excinfo.value.matches) == [
+            "aa" + "0" * 30, "aa" + "1" * 30,
+        ]
+
+    def test_trace_prefix_ambiguity_also_names_candidates(self, store):
+        """Regression: `trace show ab` used to die with a bare error."""
+        put_trace(store, "ab" + "0" * 30)
+        put_trace(store, "ab" + "1" * 30)
+        with pytest.raises(StoreError, match="ambiguous") as excinfo:
+            store.resolve_trace_prefix("ab")
+        assert sorted(excinfo.value.matches) == [
+            "ab" + "0" * 30, "ab" + "1" * 30,
+        ]
+
+    def test_unknown_and_malformed_prefixes_rejected(self, store):
+        with pytest.raises(StoreError, match="no archived profile"):
+            store.resolve_profile_prefix("feed")
+        for bad in ("", "zz"):
+            with pytest.raises(StoreError):
+                store.resolve_profile_prefix(bad)
+
+
+class TestGc:
+    def test_profiles_share_trace_ttl(self, tmp_path):
+        clock = FakeClock()
+        with LabelStore(
+            tmp_path / "s.db", trace_ttl=10.0, clock=clock
+        ) as store:
+            put_profile(store, pid("a"))
+            clock.advance(11)
+            assert store.get_profile(pid("a")) is None
+            assert store.stats()["profile_expirations"] == 1
+
+    def test_profiles_evicted_before_traces_and_labels(self, tmp_path):
+        clock = FakeClock()
+        with LabelStore(tmp_path / "s.db", clock=clock) as store:
+            store.put(fp("1"), {"k": "v" * 50})
+            put_trace(store, tid("a"))
+            put_profile(store, pid("b"))
+            # budget only big enough once the profile is gone
+            sizes = store.stats()
+            budget = sizes["bytes"] + sizes["trace_bytes"]
+            removed = store.gc(max_bytes=budget)
+            assert removed["profile_evicted"] == 1
+            assert store.get_profile(pid("b")) is None
+            assert store.get_trace(tid("a")) is not None
+            assert store.get(fp("1")) is not None
+
+    def test_expired_profiles_removed_by_explicit_gc(self, tmp_path):
+        clock = FakeClock()
+        with LabelStore(tmp_path / "s.db", clock=clock) as store:
+            put_profile(store, pid("a"))
+            clock.advance(100)
+            removed = store.gc(ttl=50.0)
+            assert removed["profile_expired"] == 1
+
+    def test_stats_counters(self, store):
+        put_profile(store, pid("a"))
+        store.get_profile(pid("a"))
+        store.get_profile(pid("f"))
+        stats = store.stats()
+        assert stats["profiles"] == 1
+        assert stats["profile_bytes"] > 0
+        assert stats["profile_puts"] == 1
+        assert stats["profile_hits"] == 1
+        assert stats["profile_misses"] == 1
+
+
+class TestMigration:
+    def make_v2_file(self, path):
+        """A store file exactly as schema v2 left it: no profiles table."""
+        connection = sqlite3.connect(path)
+        with connection:
+            for statement in DDL:
+                if "profiles" in statement:
+                    continue
+                connection.execute(statement)
+            connection.execute("PRAGMA user_version = 2")
+        connection.close()
+
+    def test_v2_file_is_migrated_in_place(self, tmp_path):
+        path = tmp_path / "labels.db"
+        self.make_v2_file(path)
+        with LabelStore(path) as store:
+            put_profile(store, pid("a"))
+            assert store.get_profile(pid("a")) is not None
+        connection = sqlite3.connect(path)
+        version = connection.execute("PRAGMA user_version").fetchone()[0]
+        connection.close()
+        assert version == SCHEMA_VERSION
+
+    def test_migrations_cover_every_step(self):
+        assert set(MIGRATIONS) == set(range(1, SCHEMA_VERSION))

@@ -142,6 +142,7 @@ class TestTTLAndGC:
             assert removed == {
                 "expired": 1, "evicted": 0,
                 "trace_expired": 0, "trace_evicted": 0,
+                "profile_expired": 0, "profile_evicted": 0,
             }
             assert store.get(fp("2")) == "fresh"
             assert fp("1") not in store

@@ -1,0 +1,103 @@
+"""Tests for repro.telemetry.resources: the process resource observatory."""
+
+import gc
+
+import pytest
+
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.resources import ResourceCollector
+
+
+@pytest.fixture()
+def collector():
+    collector = ResourceCollector().install()
+    yield collector
+    collector.close()
+
+
+class TestSnapshot:
+    def test_core_fields(self, collector):
+        snap = collector.snapshot()
+        assert snap["uptime_seconds"] >= 0.0
+        assert snap["cpu_seconds"] >= 0.0
+        assert snap["cpu_seconds"] == pytest.approx(
+            snap["cpu_user_seconds"] + snap["cpu_system_seconds"], abs=0.01
+        )
+        assert snap["threads"] >= 1
+        gc_block = snap["gc"]
+        assert gc_block["pauses"] >= 0
+        assert gc_block["pause_seconds"] >= 0.0
+        assert len(gc_block["pending"]) == 3
+
+    def test_memory_fields_are_present_or_absent_never_zero_lies(self, collector):
+        snap = collector.snapshot()
+        # on Linux procfs gives both; elsewhere the keys are simply absent
+        if "rss_bytes" in snap:
+            assert snap["rss_bytes"] > 0
+        if "peak_rss_bytes" in snap:
+            assert snap["peak_rss_bytes"] > 0
+        if "open_fds" in snap:
+            assert snap["open_fds"] > 0
+
+    def test_allocations_are_opt_in(self, collector):
+        assert "top_allocators" not in collector.snapshot()
+
+
+class TestGcAccounting:
+    def test_collections_are_counted_with_pause_time(self, collector):
+        before = collector.snapshot()["gc"]["pauses"]
+        for _ in range(3):
+            gc.collect()
+        after = collector.snapshot()["gc"]
+        assert after["pauses"] >= before + 3
+
+    def test_install_close_pairing(self):
+        baseline = len(gc.callbacks)
+        collector = ResourceCollector()
+        collector.install()
+        collector.install()  # idempotent: one callback, not two
+        assert len(gc.callbacks) == baseline + 1
+        collector.close()
+        collector.close()
+        assert len(gc.callbacks) == baseline
+
+
+class TestRefresh:
+    def test_gauges_exported(self, collector):
+        registry = MetricsRegistry()
+        collector.refresh(registry)
+        names = {family.name for family in registry.families()}
+        for expected in (
+            "repro_process_cpu_seconds",
+            "repro_process_uptime_seconds",
+            "repro_process_threads",
+            "repro_process_gc_pauses",
+            "repro_process_gc_pause_seconds",
+            "repro_process_gc_collected",
+        ):
+            assert expected in names
+        assert registry.gauge("repro_process_threads").value() >= 1.0
+
+
+class TestAllocations:
+    def test_tracemalloc_top_allocators(self):
+        import tracemalloc
+
+        already = tracemalloc.is_tracing()
+        collector = ResourceCollector(track_allocations=True, top_allocators=3)
+        collector.install()
+        try:
+            hoard = [bytearray(4096) for _ in range(200)]
+            snap = collector.snapshot()
+            assert "top_allocators" in snap
+            top = snap["top_allocators"]
+            assert 0 < len(top) <= 3
+            assert all(
+                {"file", "line", "size_bytes", "count"} <= set(entry)
+                for entry in top
+            )
+            del hoard
+        finally:
+            collector.close()
+        # we only stop tracemalloc if we were the ones who started it
+        assert tracemalloc.is_tracing() == already
